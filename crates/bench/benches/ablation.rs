@@ -1,0 +1,174 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//!
+//! * MoC wrapper overhead: the same abstracted model stepped bare (the
+//!   "C++" row), inside the TDF static schedule, and inside the DE kernel
+//!   — isolating scheduler cost from numerics;
+//! * ELN discretization method: backward Euler vs trapezoidal;
+//! * implicit vs sequential (literal §IV-C) elaboration on RC1, the one
+//!   circuit where both are stable;
+//! * co-simulation synchronization: in-process stepping vs a full thread
+//!   round trip per step;
+//! * raw DE-kernel event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use amsvp_bench::{abstracted_model, paper_circuits, Workload};
+use amsvp_core::circuits::{rc_ladder, SquareWave};
+use amsvp_core::{Abstraction, SolveMode};
+use amsim::cosim::CosimHandle;
+use amsim::AmsSimulator;
+use de::{Kernel, ProcCtx, Process, SimTime};
+use eln::{ElnSolver, Method};
+use vp::{build_tdf_cluster, new_bridge, CompiledAnalog};
+
+fn moc_wrapper_overhead(c: &mut Criterion) {
+    let wl = Workload::table1(1e-3);
+    let spec = &paper_circuits()[1]; // RC1
+    let stim = SquareWave::paper();
+    let mut group = c.benchmark_group("ablation_moc_overhead");
+    group.sample_size(20);
+
+    group.bench_function("bare_model_step", |b| {
+        let mut model = abstracted_model(spec, &wl);
+        let mut k = 0u64;
+        b.iter(|| {
+            model.step(&[stim.value(k as f64 * wl.dt)]);
+            k += 1;
+        });
+    });
+
+    group.bench_function("tdf_cluster_step", |b| {
+        let bridge = new_bridge();
+        let mut exec =
+            build_tdf_cluster(abstracted_model(spec, &wl), bridge, stim).unwrap();
+        b.iter(|| exec.run_iteration());
+    });
+
+    group.bench_function("de_kernel_step", |b| {
+        let bridge = new_bridge();
+        let mut k = Kernel::new();
+        k.register(CompiledAnalog::new(abstracted_model(spec, &wl), bridge, stim));
+        let step = SimTime::from_seconds(wl.dt);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += step;
+            k.run_until(t).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn eln_method(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eln_method");
+    group.sample_size(20);
+    let spec = &paper_circuits()[2]; // RC20 — biggest MNA system
+    let stim = SquareWave::paper();
+    for (name, method) in [
+        ("backward_euler", Method::BackwardEuler),
+        ("trapezoidal", Method::Trapezoidal),
+    ] {
+        group.bench_function(name, |b| {
+            let (net, sources, out) = &spec.eln;
+            let mut solver = ElnSolver::new(net, 50e-9, method).unwrap();
+            let mut k = 0u64;
+            b.iter(|| {
+                let u = stim.value(k as f64 * 50e-9);
+                for &s in sources {
+                    solver.set_source(s, u);
+                }
+                solver.step();
+                k += 1;
+                solver.node_voltage(*out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn solve_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_solve_mode");
+    group.sample_size(20);
+    let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+    for (name, mode) in [
+        ("implicit", SolveMode::Implicit),
+        ("sequential", SolveMode::Sequential),
+    ] {
+        group.bench_function(format!("elaborate_{name}"), |b| {
+            b.iter(|| {
+                Abstraction::new(&module)
+                    .dt(50e-9)
+                    .mode(mode)
+                    .output("V(out)")
+                    .assembly()
+                    .unwrap()
+            });
+        });
+        group.bench_function(format!("step_{name}"), |b| {
+            let mut model = Abstraction::new(&module)
+                .dt(50e-9)
+                .mode(mode)
+                .output("V(out)")
+                .build()
+                .unwrap();
+            b.iter(|| {
+                model.step(&[1.0]);
+                model.output(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn cosim_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cosim_sync");
+    group.sample_size(20);
+    let spec = &paper_circuits()[1]; // RC1
+    group.bench_function("in_process_step", |b| {
+        let mut sim = AmsSimulator::new(&spec.module, 50e-9, &["V(out)"]).unwrap();
+        b.iter(|| {
+            sim.step(&[1.0]);
+            sim.output(0)
+        });
+    });
+    group.bench_function("cosim_round_trip_step", |b| {
+        let sim = AmsSimulator::new(&spec.module, 50e-9, &["V(out)"]).unwrap();
+        let mut handle = CosimHandle::spawn(sim, 1);
+        b.iter(|| handle.step(&[1.0]).unwrap());
+    });
+    group.finish();
+}
+
+fn kernel_throughput(c: &mut Criterion) {
+    struct Ticker {
+        period: SimTime,
+    }
+    impl Process for Ticker {
+        fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+            ctx.notify_self_after(self.period);
+        }
+    }
+    let mut group = c.benchmark_group("ablation_kernel");
+    group.sample_size(20);
+    group.bench_function("event_dispatch", |b| {
+        let mut k = Kernel::new();
+        k.register(Ticker {
+            period: SimTime::ns(10),
+        });
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimTime::ns(10);
+            k.run_until(t).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    moc_wrapper_overhead,
+    eln_method,
+    solve_mode,
+    cosim_sync,
+    kernel_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Runtime of the abstraction tool itself (§V-A: "The abstraction tool
+//! spent 7.67 s to process the most complex model, i.e., RC20").
+//!
+//! Benchmarks the complete pipeline — parse, acquire, enrich, assemble,
+//! compile — per benchmark circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use amsvp_bench::paper_circuits;
+use amsvp_core::Abstraction;
+
+fn tool_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abstraction_tool");
+    group.sample_size(20);
+    for spec in paper_circuits() {
+        group.bench_function(BenchmarkId::new("full_pipeline", spec.label), |b| {
+            b.iter(|| {
+                let module = vams_parser::parse_module(&spec.source).unwrap();
+                Abstraction::new(&module)
+                    .dt(50e-9)
+                    .output("V(out)")
+                    .build()
+                    .unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("assembly_only", spec.label), |b| {
+            b.iter(|| {
+                Abstraction::new(&spec.module)
+                    .dt(50e-9)
+                    .output("V(out)")
+                    .assembly()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tool_runtime);
+criterion_main!(benches);

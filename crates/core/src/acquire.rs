@@ -1,0 +1,761 @@
+//! Step 1 — Acquisition (§IV-A of the paper).
+//!
+//! Parses the module's contribution statements into dipole [`Relation`]s
+//! over electrical [`Quantity`] leaves, extracts the circuit graph
+//! `G = (N, B)`, and collects the signal-flow part of the analog block
+//! (assignments and conditionals) both as an ordered statement list (for
+//! direct conversion) and as folded single-definition equations (for the
+//! conservative abstraction to chain through).
+//!
+//! Complexity is O(|B|) in the number of contribution statements, as the
+//! paper states.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use expr::Expr;
+use netlist::{Graph, NodeId, Origin, QExpr, Quantity, Relation};
+use vams_ast::{Module, PortDir, Stmt, StmtKind, VamsExpr, VamsRef};
+
+use crate::AbstractError;
+
+/// A signal-flow statement with expressions already lowered to quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfStmt {
+    /// `var = value;`
+    Assign {
+        /// Target variable name.
+        var: String,
+        /// Lowered right-hand side.
+        value: QExpr,
+    },
+    /// `if (cond) ... else ...`
+    If {
+        /// Lowered condition.
+        cond: QExpr,
+        /// Then-arm statements.
+        then_stmts: Vec<SfStmt>,
+        /// Else-arm statements.
+        else_stmts: Vec<SfStmt>,
+    },
+    /// A contribution whose target is driven directly by the signal-flow
+    /// part (kept in order for the conversion path).
+    Contribution {
+        /// Target branch voltage/current.
+        target: Quantity,
+        /// Lowered right-hand side.
+        value: QExpr,
+    },
+}
+
+/// Everything the later pipeline steps need, extracted from one module.
+#[derive(Debug, Clone)]
+pub struct AcquiredModel {
+    /// Module name.
+    pub name: String,
+    /// The electrical graph `G = (N, B)`.
+    pub graph: Graph,
+    /// Dipole relations (`expr = 0`), one per contribution statement.
+    pub relations: Vec<Relation>,
+    /// Ordered signal-flow statements (conversion path).
+    pub signal_flow: Vec<SfStmt>,
+    /// Final definition of each `real` variable, in first-assignment order,
+    /// with earlier variable references substituted (abstraction path).
+    pub folded_vars: Vec<(String, QExpr)>,
+    /// Input port names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Output port names, in declaration order.
+    pub outputs: Vec<String>,
+    /// Ground node ids.
+    pub grounds: HashSet<NodeId>,
+    /// Nodes attached to input ports (excluded from KCL).
+    pub input_nodes: HashSet<NodeId>,
+    /// Evaluated parameters.
+    pub params: BTreeMap<String, f64>,
+}
+
+impl AcquiredModel {
+    /// Whether the model has any conservative (dipole) content.
+    pub fn is_conservative(&self) -> bool {
+        !self.relations.is_empty()
+    }
+}
+
+struct Ctx {
+    params: BTreeMap<String, f64>,
+    reals: HashSet<String>,
+    inputs: HashSet<String>,
+    grounds: HashSet<String>,
+    /// node-pair → branch name, for `I(a,b)` lookups (orientation-sensitive).
+    pair_branch: HashMap<(String, String), String>,
+    branch_names: HashSet<String>,
+    node_names: HashSet<String>,
+}
+
+impl Ctx {
+    fn potential(&self, node: &str) -> Result<QExpr, AbstractError> {
+        if self.grounds.contains(node) {
+            Ok(Expr::num(0.0))
+        } else if self.inputs.contains(node) {
+            Ok(Expr::var(Quantity::input(node)))
+        } else if self.node_names.contains(node) {
+            Ok(Expr::var(Quantity::node_v(node)))
+        } else {
+            Err(AbstractError::UnknownIdentifier(node.to_string()))
+        }
+    }
+
+    fn lower_ref(&self, r: &VamsRef) -> Result<QExpr, AbstractError> {
+        match r {
+            VamsRef::Ident(name) => {
+                if let Some(&v) = self.params.get(name) {
+                    Ok(Expr::num(v))
+                } else if self.reals.contains(name) {
+                    Ok(Expr::var(Quantity::var(name)))
+                } else {
+                    Err(AbstractError::UnknownIdentifier(name.clone()))
+                }
+            }
+            VamsRef::Potential(a, None) => {
+                if self.branch_names.contains(a) {
+                    Ok(Expr::var(Quantity::branch_v(a)))
+                } else {
+                    self.potential(a)
+                }
+            }
+            VamsRef::Potential(a, Some(b)) => {
+                Ok((self.potential(a)? - self.potential(b)?).simplified())
+            }
+            VamsRef::Flow(a, None) => {
+                if self.branch_names.contains(a) {
+                    Ok(Expr::var(Quantity::branch_i(a)))
+                } else {
+                    Err(AbstractError::NoSuchBranch(a.clone(), String::new()))
+                }
+            }
+            VamsRef::Flow(a, Some(b)) => {
+                if let Some(name) = self.pair_branch.get(&(a.clone(), b.clone())) {
+                    Ok(Expr::var(Quantity::branch_i(name)))
+                } else if let Some(name) = self.pair_branch.get(&(b.clone(), a.clone())) {
+                    Ok(-Expr::var(Quantity::branch_i(name)))
+                } else {
+                    Err(AbstractError::NoSuchBranch(a.clone(), b.clone()))
+                }
+            }
+        }
+    }
+
+    fn lower_expr(&self, e: &VamsExpr) -> Result<QExpr, AbstractError> {
+        Ok(match e {
+            Expr::Num(v) => Expr::Num(*v),
+            Expr::Var(r) => self.lower_ref(r)?,
+            Expr::Prev(..) => unreachable!("parser never produces Prev"),
+            Expr::Neg(a) => -self.lower_expr(a)?,
+            Expr::Bin(op, a, b) => {
+                Expr::bin(*op, self.lower_expr(a)?, self.lower_expr(b)?)
+            }
+            Expr::Call(f, args) => Expr::Call(
+                *f,
+                args.iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Ddt(a) => Expr::ddt(self.lower_expr(a)?),
+            Expr::Idt(a) => Expr::idt(self.lower_expr(a)?),
+            Expr::Cond(c, t, el) => Expr::cond(
+                self.lower_expr(c)?,
+                self.lower_expr(t)?,
+                self.lower_expr(el)?,
+            ),
+        })
+    }
+}
+
+/// Runs acquisition on a parsed module.
+///
+/// # Errors
+///
+/// Fails on unknown identifiers, unresolvable parameters, flow accesses
+/// that match no branch, conditional contributions, and malformed
+/// topologies (duplicate branches, branches on undeclared nets).
+pub fn acquire(module: &Module) -> Result<AcquiredModel, AbstractError> {
+    // Parameters: fold defaults left to right, allowing references to
+    // earlier parameters.
+    let mut params: BTreeMap<String, f64> = BTreeMap::new();
+    for p in &module.parameters {
+        let lowered = p.default.map_vars(&mut |r: &VamsRef| r.clone());
+        let value = lowered
+            .eval(&mut |r: &VamsRef, _| match r {
+                VamsRef::Ident(n) => params.get(n).copied(),
+                _ => None,
+            })
+            .map_err(|_| AbstractError::UnresolvedParameter(p.name.clone()))?;
+        params.insert(p.name.clone(), value);
+    }
+
+    // Graph: all declared nets are nodes, all declared branches are edges.
+    let mut graph = Graph::new();
+    for name in module.net_names() {
+        graph.ensure_node(name);
+    }
+    let mut pair_branch: HashMap<(String, String), String> = HashMap::new();
+    let mut branch_names: HashSet<String> = HashSet::new();
+    for b in &module.branches {
+        let pos = graph
+            .node_id(&b.pos)
+            .ok_or_else(|| AbstractError::UnknownIdentifier(b.pos.clone()))?;
+        let neg = graph
+            .node_id(&b.neg)
+            .ok_or_else(|| AbstractError::UnknownIdentifier(b.neg.clone()))?;
+        graph.add_branch(&b.name, pos, neg)?;
+        pair_branch
+            .entry((b.pos.clone(), b.neg.clone()))
+            .or_insert_with(|| b.name.clone());
+        branch_names.insert(b.name.clone());
+    }
+
+    // Pre-scan contribution targets to create implicit branches for
+    // node-pair accesses (`V(out, gnd) <+ ...` makes a source branch).
+    let mut implicit_counter = 0usize;
+    let mut scan_targets = |stmts: &[Stmt],
+                            graph: &mut Graph,
+                            pair_branch: &mut HashMap<(String, String), String>,
+                            branch_names: &mut HashSet<String>|
+     -> Result<(), AbstractError> {
+        fn walk(
+            stmts: &[Stmt],
+            graph: &mut Graph,
+            pair_branch: &mut HashMap<(String, String), String>,
+            branch_names: &mut HashSet<String>,
+            counter: &mut usize,
+        ) -> Result<(), AbstractError> {
+            for s in stmts {
+                match &s.kind {
+                    StmtKind::Contribution { target, .. } => {
+                        if let VamsRef::Potential(a, Some(b)) | VamsRef::Flow(a, Some(b)) =
+                            target
+                        {
+                            if !pair_branch.contains_key(&(a.clone(), b.clone()))
+                                && !pair_branch.contains_key(&(b.clone(), a.clone()))
+                            {
+                                let name = format!("src{counter}_{a}_{b}");
+                                *counter += 1;
+                                let pos = graph.node_id(a).ok_or_else(|| {
+                                    AbstractError::UnknownIdentifier(a.clone())
+                                })?;
+                                let neg = graph.node_id(b).ok_or_else(|| {
+                                    AbstractError::UnknownIdentifier(b.clone())
+                                })?;
+                                graph.add_branch(&name, pos, neg)?;
+                                pair_branch.insert((a.clone(), b.clone()), name.clone());
+                                branch_names.insert(name);
+                            }
+                        }
+                    }
+                    StmtKind::If {
+                        then_stmts,
+                        else_stmts,
+                        ..
+                    } => {
+                        walk(then_stmts, graph, pair_branch, branch_names, counter)?;
+                        walk(else_stmts, graph, pair_branch, branch_names, counter)?;
+                    }
+                    StmtKind::Assign { .. } => {}
+                }
+            }
+            Ok(())
+        }
+        walk(
+            stmts,
+            graph,
+            pair_branch,
+            branch_names,
+            &mut implicit_counter,
+        )
+    };
+    scan_targets(
+        &module.analog,
+        &mut graph,
+        &mut pair_branch,
+        &mut branch_names,
+    )?;
+
+    let inputs: Vec<String> = module
+        .ports
+        .iter()
+        .filter(|p| p.dir == PortDir::Input)
+        .map(|p| p.name.clone())
+        .collect();
+    let outputs: Vec<String> = module
+        .ports
+        .iter()
+        .filter(|p| p.dir == PortDir::Output)
+        .map(|p| p.name.clone())
+        .collect();
+
+    let ctx = Ctx {
+        params: params.clone(),
+        reals: module.reals.iter().cloned().collect(),
+        inputs: inputs.iter().cloned().collect(),
+        grounds: module.grounds.iter().cloned().collect(),
+        pair_branch,
+        branch_names,
+        node_names: module.net_names().map(str::to_string).collect(),
+    };
+
+    // Lower statements: top-level contributions become dipole relations;
+    // everything else is signal flow.
+    let mut relations = Vec::new();
+    let mut signal_flow = Vec::new();
+    lower_stmts(
+        &module.analog,
+        &ctx,
+        false,
+        &mut relations,
+        &mut signal_flow,
+    )?;
+
+    let folded_vars = fold_vars(&signal_flow)?;
+
+    let grounds: HashSet<NodeId> = module
+        .grounds
+        .iter()
+        .filter_map(|g| graph.node_id(g))
+        .collect();
+    let input_nodes: HashSet<NodeId> = inputs
+        .iter()
+        .filter_map(|p| graph.node_id(p))
+        .collect();
+
+    Ok(AcquiredModel {
+        name: module.name.clone(),
+        graph,
+        relations,
+        signal_flow,
+        folded_vars,
+        inputs,
+        outputs,
+        grounds,
+        input_nodes,
+        params,
+    })
+}
+
+fn lower_stmts(
+    stmts: &[Stmt],
+    ctx: &Ctx,
+    inside_if: bool,
+    relations: &mut Vec<Relation>,
+    sf: &mut Vec<SfStmt>,
+) -> Result<(), AbstractError> {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Contribution { target, value } => {
+                if inside_if {
+                    return Err(AbstractError::ConditionalContribution(
+                        target.to_string(),
+                    ));
+                }
+                let (target_q, target_expr) = lower_target(target, ctx)?;
+                let rhs = ctx.lower_expr(value)?;
+                relations.push(Relation::new(
+                    (target_expr - rhs.clone()).simplified(),
+                    Origin::Dipole,
+                    target_q.to_string(),
+                ));
+                sf.push(SfStmt::Contribution {
+                    target: target_q,
+                    value: rhs,
+                });
+            }
+            StmtKind::Assign { name, value } => {
+                if !ctx.reals.contains(name) {
+                    return Err(AbstractError::UnknownIdentifier(name.clone()));
+                }
+                sf.push(SfStmt::Assign {
+                    var: name.clone(),
+                    value: ctx.lower_expr(value)?,
+                });
+            }
+            StmtKind::If {
+                cond,
+                then_stmts,
+                else_stmts,
+            } => {
+                let mut then_sf = Vec::new();
+                let mut else_sf = Vec::new();
+                lower_stmts(then_stmts, ctx, true, relations, &mut then_sf)?;
+                lower_stmts(else_stmts, ctx, true, relations, &mut else_sf)?;
+                sf.push(SfStmt::If {
+                    cond: ctx.lower_expr(cond)?,
+                    then_stmts: then_sf,
+                    else_stmts: else_sf,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lowers a contribution target to its branch quantity plus the expression
+/// form used on the relation's left side.
+fn lower_target(target: &VamsRef, ctx: &Ctx) -> Result<(Quantity, QExpr), AbstractError> {
+    let q = match target {
+        VamsRef::Potential(a, None) if ctx.branch_names.contains(a) => {
+            Quantity::branch_v(a)
+        }
+        VamsRef::Flow(a, None) if ctx.branch_names.contains(a) => Quantity::branch_i(a),
+        VamsRef::Potential(a, Some(b)) => {
+            let name = branch_for_pair(ctx, a, b)?;
+            Quantity::branch_v(name)
+        }
+        VamsRef::Flow(a, Some(b)) => {
+            let name = branch_for_pair(ctx, a, b)?;
+            Quantity::branch_i(name)
+        }
+        other => {
+            return Err(AbstractError::UnknownIdentifier(other.to_string()));
+        }
+    };
+    Ok((q.clone(), Expr::var(q)))
+}
+
+fn branch_for_pair(ctx: &Ctx, a: &str, b: &str) -> Result<String, AbstractError> {
+    ctx.pair_branch
+        .get(&(a.to_string(), b.to_string()))
+        .or_else(|| ctx.pair_branch.get(&(b.to_string(), a.to_string())))
+        .cloned()
+        .ok_or_else(|| AbstractError::NoSuchBranch(a.to_string(), b.to_string()))
+}
+
+/// Folds sequential signal-flow assignments into one final definition per
+/// variable, substituting earlier definitions so each result is
+/// self-contained. Conditionals become `Cond` merges of the two arms.
+fn fold_vars(stmts: &[SfStmt]) -> Result<Vec<(String, QExpr)>, AbstractError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut defs: HashMap<String, QExpr> = HashMap::new();
+    fold_into(stmts, &mut order, &mut defs)?;
+    Ok(order
+        .into_iter()
+        .map(|v| {
+            let d = defs.remove(&v).expect("ordered vars are defined");
+            (v, d)
+        })
+        .collect())
+}
+
+fn fold_into(
+    stmts: &[SfStmt],
+    order: &mut Vec<String>,
+    defs: &mut HashMap<String, QExpr>,
+) -> Result<(), AbstractError> {
+    for s in stmts {
+        match s {
+            SfStmt::Assign { var, value } => {
+                let substituted = subst_vars(value, defs)?;
+                if !defs.contains_key(var) {
+                    order.push(var.clone());
+                }
+                defs.insert(var.clone(), substituted.simplified());
+            }
+            SfStmt::If {
+                cond,
+                then_stmts,
+                else_stmts,
+            } => {
+                let cond = subst_vars(cond, defs)?;
+                let mut then_defs = defs.clone();
+                let mut else_defs = defs.clone();
+                let mut then_order = Vec::new();
+                let mut else_order = Vec::new();
+                fold_into(then_stmts, &mut then_order, &mut then_defs)?;
+                fold_into(else_stmts, &mut else_order, &mut else_defs)?;
+                // Merge: every variable touched by either arm becomes a
+                // conditional over the two arm values (falling back to the
+                // pre-if value, which must exist for a well-formed model).
+                let mut touched: Vec<String> = then_order;
+                for v in else_order {
+                    if !touched.contains(&v) {
+                        touched.push(v);
+                    }
+                }
+                for v in defs.keys() {
+                    let changed = then_defs.get(v) != defs.get(v)
+                        || else_defs.get(v) != defs.get(v);
+                    if changed && !touched.contains(v) {
+                        touched.push(v.clone());
+                    }
+                }
+                for v in touched {
+                    let before = defs.get(&v).cloned();
+                    let tv = then_defs
+                        .get(&v)
+                        .cloned()
+                        .or_else(|| before.clone())
+                        .ok_or_else(|| AbstractError::UnknownIdentifier(v.clone()))?;
+                    let ev = else_defs
+                        .get(&v)
+                        .cloned()
+                        .or_else(|| before.clone())
+                        .ok_or_else(|| AbstractError::UnknownIdentifier(v.clone()))?;
+                    if !defs.contains_key(&v) {
+                        order.push(v.clone());
+                    }
+                    let merged = if tv == ev {
+                        tv
+                    } else {
+                        Expr::cond(cond.clone(), tv, ev).simplified()
+                    };
+                    defs.insert(v, merged);
+                }
+            }
+            SfStmt::Contribution { .. } => {
+                // Contributions do not define variables.
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replaces every `Var` leaf with its current definition; references to
+/// variables never assigned are an error.
+fn subst_vars(
+    e: &QExpr,
+    defs: &HashMap<String, QExpr>,
+) -> Result<QExpr, AbstractError> {
+    Ok(match e {
+        Expr::Var(Quantity::Var(name)) => defs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| AbstractError::UnknownIdentifier(name.clone()))?,
+        Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => e.clone(),
+        Expr::Neg(a) => -subst_vars(a, defs)?,
+        Expr::Bin(op, a, b) => {
+            Expr::bin(*op, subst_vars(a, defs)?, subst_vars(b, defs)?)
+        }
+        Expr::Call(f, args) => Expr::Call(
+            *f,
+            args.iter()
+                .map(|a| subst_vars(a, defs))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Ddt(a) => Expr::ddt(subst_vars(a, defs)?),
+        Expr::Idt(a) => Expr::idt(subst_vars(a, defs)?),
+        Expr::Cond(c, t, el) => Expr::cond(
+            subst_vars(c, defs)?,
+            subst_vars(t, defs)?,
+            subst_vars(el, defs)?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vams_parser::parse_module;
+
+    fn rc1_src() -> &'static str {
+        "module rc(in, out);
+           input in; output out;
+           parameter real R = 5k;
+           parameter real C = 25n;
+           electrical in, out, gnd;
+           ground gnd;
+           branch (in, out) res;
+           branch (out, gnd) cap;
+           analog begin
+             V(res) <+ R * I(res);
+             I(cap) <+ C * ddt(V(cap));
+           end
+         endmodule"
+    }
+
+    #[test]
+    fn acquires_rc_topology_and_relations() {
+        let m = parse_module(rc1_src()).unwrap();
+        let a = acquire(&m).unwrap();
+        assert_eq!(a.graph.node_count(), 3);
+        assert_eq!(a.graph.branch_count(), 2);
+        assert_eq!(a.relations.len(), 2);
+        assert!(a.is_conservative());
+        assert_eq!(a.inputs, vec!["in"]);
+        assert_eq!(a.outputs, vec!["out"]);
+        assert_eq!(a.params["R"], 5000.0);
+        // Resistor relation: V[res] − R·I[res] = 0.
+        let r = &a.relations[0];
+        let v = r
+            .zero
+            .eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchV(n) if n == "res" => Some(10.0),
+                Quantity::BranchI(n) if n == "res" => Some(0.002),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn parameter_chains_evaluate() {
+        let m = parse_module(
+            "module m(a); inout a; electrical a, gnd; ground gnd;
+             parameter real R = 2k;
+             parameter real G = 1 / R;
+             analog V(a, gnd) <+ G;
+             endmodule",
+        )
+        .unwrap();
+        let a = acquire(&m).unwrap();
+        assert_eq!(a.params["G"], 1.0 / 2000.0);
+    }
+
+    #[test]
+    fn implicit_source_branch_created() {
+        let m = parse_module(
+            "module m(o); output o; electrical o, gnd; ground gnd;
+             analog V(o, gnd) <+ 1.0;
+             endmodule",
+        )
+        .unwrap();
+        let a = acquire(&m).unwrap();
+        assert_eq!(a.graph.branch_count(), 1);
+        assert_eq!(a.relations.len(), 1);
+    }
+
+    #[test]
+    fn node_pair_potentials_fold_ground() {
+        let m = parse_module(
+            "module m(i, o); input i; output o;
+             electrical i, o, gnd; ground gnd;
+             branch (i, o) b;
+             analog V(b) <+ V(i, gnd) - V(o, gnd);
+             endmodule",
+        )
+        .unwrap();
+        let a = acquire(&m).unwrap();
+        let vars = a.relations[0].zero.variables();
+        // V(i,gnd) lowers to the input quantity, V(o,gnd) to a node potential.
+        assert!(vars.contains(&Quantity::input("i")));
+        assert!(vars.contains(&Quantity::node_v("o")));
+        assert!(!vars.iter().any(|q| q.name() == "gnd"));
+    }
+
+    #[test]
+    fn flow_pair_access_uses_existing_branch() {
+        let m = parse_module(
+            "module m(i); input i; electrical i, n, gnd; ground gnd;
+             branch (i, n) b1;
+             branch (n, gnd) b2;
+             analog begin
+               V(b2) <+ 10 * I(i, n);
+               V(b1) <+ 5 * I(n, i);
+             end
+             endmodule",
+        )
+        .unwrap();
+        let a = acquire(&m).unwrap();
+        // Forward access resolves to +I[b1], reversed to −I[b1].
+        let fwd = &a.relations[0].zero;
+        assert!(fwd.variables().contains(&Quantity::branch_i("b1")));
+        let rev = &a.relations[1].zero;
+        let v = rev
+            .eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchV(n) if n == "b1" => Some(-10.0),
+                Quantity::BranchI(n) if n == "b1" => Some(2.0),
+                _ => None,
+            })
+            .unwrap();
+        // V[b1] − 5·(−I[b1]) = −10 + 10 = 0.
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn signal_flow_folding_with_clamp() {
+        let m = parse_module(
+            "module clamp(i, o); input i; output o;
+             electrical i, o, gnd; ground gnd;
+             parameter real lim = 2.5;
+             real y;
+             analog begin
+               y = 2 * V(i, gnd);
+               if (y > lim) y = lim;
+               else if (y < -lim) y = -lim;
+               V(o, gnd) <+ y;
+             end
+             endmodule",
+        )
+        .unwrap();
+        let a = acquire(&m).unwrap();
+        assert_eq!(a.folded_vars.len(), 1);
+        let (name, def) = &a.folded_vars[0];
+        assert_eq!(name, "y");
+        // The folded definition must clamp: check at u = 5 → 2.5, u = 1 → 2,
+        // u = −5 → −2.5.
+        for (u, want) in [(5.0, 2.5), (1.0, 2.0), (-5.0, -2.5)] {
+            let got = def
+                .eval(&mut |q: &Quantity, _| {
+                    matches!(q, Quantity::Input(n) if n == "i").then_some(u)
+                })
+                .unwrap();
+            assert_eq!(got, want, "clamp at input {u}");
+        }
+    }
+
+    #[test]
+    fn conditional_contribution_rejected() {
+        let m = parse_module(
+            "module m(o); output o; electrical o, gnd; ground gnd;
+             analog begin
+               if (1) V(o, gnd) <+ 1.0;
+             end
+             endmodule",
+        )
+        .unwrap();
+        let err = acquire(&m).unwrap_err();
+        assert!(matches!(err, AbstractError::ConditionalContribution(_)));
+    }
+
+    #[test]
+    fn unknown_identifier_reported() {
+        let m = parse_module(
+            "module m(o); output o; electrical o, gnd; ground gnd;
+             analog V(o, gnd) <+ mystery;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(
+            acquire(&m).unwrap_err(),
+            AbstractError::UnknownIdentifier("mystery".into())
+        );
+    }
+
+    #[test]
+    fn flow_access_without_branch_rejected() {
+        let m = parse_module(
+            "module m(o); output o; electrical o, n, gnd; ground gnd;
+             analog V(o, gnd) <+ I(o, n);
+             endmodule",
+        )
+        .unwrap();
+        assert!(matches!(
+            acquire(&m).unwrap_err(),
+            AbstractError::NoSuchBranch(_, _)
+        ));
+    }
+
+    #[test]
+    fn variable_use_before_assignment_rejected() {
+        let m = parse_module(
+            "module m(o); output o; electrical o, gnd; ground gnd;
+             real y;
+             analog begin
+               y = y + 1;
+               V(o, gnd) <+ y;
+             end
+             endmodule",
+        )
+        .unwrap();
+        assert!(matches!(
+            acquire(&m).unwrap_err(),
+            AbstractError::UnknownIdentifier(_)
+        ));
+    }
+}

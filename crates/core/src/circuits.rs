@@ -1,0 +1,246 @@
+//! The paper's benchmark circuits (§V-A, Figure 8) as Verilog-AMS sources,
+//! plus the square-wave stimulus used throughout the evaluation.
+//!
+//! Circuit parameters follow the paper exactly:
+//!
+//! * **RCn** — a cascade of `n` RC stages, R = 5 kΩ, C = 25 nF;
+//! * **2IN** — the two-input summing amplifier of Figure 8(a),
+//!   R1 = 3 kΩ, R2 = 14 kΩ, R3 = 10 kΩ;
+//! * **OA** — the operational amplifier of Figure 8(b), R1 = 400 Ω,
+//!   R2 = 1.6 kΩ, C1 = 40 nF, Rin = 1 MΩ, Rout = 20 Ω.
+//!
+//! The op-amp gain stage is modeled as a voltage-controlled voltage source
+//! with open-loop gain `A₀ = 100k`, the conventional first-order macro
+//! model; the paper does not print its internal schematic.
+
+use std::fmt::Write as _;
+
+/// Square-wave stimulus (the paper uses a 1 ms period over ±amplitude).
+///
+/// # Example
+///
+/// ```
+/// use amsvp_core::circuits::SquareWave;
+///
+/// let sq = SquareWave::paper(); // 1 ms period, 0/1 V
+/// assert_eq!(sq.value(0.0), 1.0);
+/// assert_eq!(sq.value(0.6e-3), 0.0);
+/// assert_eq!(sq.value(1.1e-3), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareWave {
+    /// Full period in seconds.
+    pub period: f64,
+    /// Level during the first half period.
+    pub high: f64,
+    /// Level during the second half period.
+    pub low: f64,
+}
+
+impl SquareWave {
+    /// The paper's stimulus: 1 ms period, toggling between 0 V and 1 V.
+    pub fn paper() -> Self {
+        SquareWave {
+            period: 1e-3,
+            high: 1.0,
+            low: 0.0,
+        }
+    }
+
+    /// Sample the wave at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        let phase = (t / self.period).rem_euclid(1.0);
+        if phase < 0.5 {
+            self.high
+        } else {
+            self.low
+        }
+    }
+
+    /// Iterator over `n` samples spaced `dt` apart, starting at `t = 0`.
+    pub fn samples(&self, dt: f64, n: usize) -> impl Iterator<Item = f64> + '_ {
+        (0..n).map(move |i| self.value(i as f64 * dt))
+    }
+}
+
+/// Verilog-AMS source of an `n`-stage RC ladder (the paper's RCn).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn rc_ladder(n: usize) -> String {
+    assert!(n >= 1, "RC ladder needs at least one stage");
+    let mut src = String::new();
+    let _ = writeln!(src, "module rc{n}(in, out);");
+    let _ = writeln!(src, "  input in; output out;");
+    let _ = writeln!(src, "  parameter real R = 5k;");
+    let _ = writeln!(src, "  parameter real C = 25n;");
+    let mut nets = vec!["in".to_string()];
+    for i in 1..n {
+        nets.push(format!("n{i}"));
+    }
+    nets.push("out".to_string());
+    nets.push("gnd".to_string());
+    let _ = writeln!(src, "  electrical {};", nets.join(", "));
+    let _ = writeln!(src, "  ground gnd;");
+    for i in 0..n {
+        let a = &nets[i];
+        let b = &nets[i + 1];
+        let _ = writeln!(src, "  branch ({a}, {b}) r{i};");
+        let _ = writeln!(src, "  branch ({b}, gnd) c{i};");
+    }
+    let _ = writeln!(src, "  analog begin");
+    for i in 0..n {
+        let _ = writeln!(src, "    V(r{i}) <+ R * I(r{i});");
+        let _ = writeln!(src, "    I(c{i}) <+ C * ddt(V(c{i}));");
+    }
+    let _ = writeln!(src, "  end");
+    let _ = writeln!(src, "endmodule");
+    src
+}
+
+/// Verilog-AMS source of the two-input summing amplifier (2IN,
+/// Figure 8(a)): ideal-ish op-amp with R1/R2 input legs and R3 feedback.
+///
+/// Expected DC behaviour: `out ≈ −(R3/R1·in1 + R3/R2·in2)`.
+pub fn two_inputs() -> String {
+    "module two_inputs(in1, in2, out);
+  input in1; input in2; output out;
+  parameter real R1 = 3k;
+  parameter real R2 = 14k;
+  parameter real R3 = 10k;
+  parameter real A0 = 100k;
+  electrical in1, in2, inm, out, gnd;
+  ground gnd;
+  branch (in1, inm) b1;
+  branch (in2, inm) b2;
+  branch (inm, out) b3;
+  analog begin
+    V(b1) <+ R1 * I(b1);
+    V(b2) <+ R2 * I(b2);
+    V(b3) <+ R3 * I(b3);
+    V(out, gnd) <+ -A0 * V(inm, gnd);
+  end
+endmodule
+"
+    .to_string()
+}
+
+/// Verilog-AMS source of the operational amplifier circuit (OA,
+/// Figure 8(b)): inverting configuration with a first-order op-amp macro
+/// model (input resistance, VCVS gain stage, output resistance, load
+/// capacitance).
+///
+/// Expected DC behaviour: `out ≈ −(R2/R1)·in = −4·in`.
+pub fn opamp() -> String {
+    "module opamp(in, out);
+  input in; output out;
+  parameter real R1 = 400;
+  parameter real R2 = 1.6k;
+  parameter real C1 = 40n;
+  parameter real Rin = 1M;
+  parameter real Rout = 20;
+  parameter real A0 = 100k;
+  electrical in, inm, x, out, gnd;
+  ground gnd;
+  branch (in, inm) br1;
+  branch (inm, out) br2;
+  branch (inm, gnd) brin;
+  branch (x, gnd) bsrc;
+  branch (x, out) brout;
+  branch (out, gnd) bc1;
+  analog begin
+    V(br1) <+ R1 * I(br1);
+    V(br2) <+ R2 * I(br2);
+    V(brin) <+ Rin * I(brin);
+    V(bsrc) <+ -A0 * V(inm, gnd);
+    V(brout) <+ Rout * I(brout);
+    I(bc1) <+ C1 * ddt(V(bc1));
+  end
+endmodule
+"
+    .to_string()
+}
+
+/// The four benchmark circuits of Table I as `(label, source, inputs)`.
+pub fn paper_benchmarks() -> Vec<(&'static str, String, usize)> {
+    vec![
+        ("2IN", two_inputs(), 2),
+        ("RC1", rc_ladder(1), 1),
+        ("RC20", rc_ladder(20), 1),
+        ("OA", opamp(), 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Abstraction;
+    use vams_parser::parse_module;
+
+    #[test]
+    fn square_wave_shape() {
+        let sq = SquareWave::paper();
+        assert_eq!(sq.value(0.0), 1.0);
+        assert_eq!(sq.value(0.49e-3), 1.0);
+        assert_eq!(sq.value(0.51e-3), 0.0);
+        assert_eq!(sq.value(1.0e-3), 1.0);
+        let samples: Vec<f64> = sq.samples(0.25e-3, 5).collect();
+        assert_eq!(samples, vec![1.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn rc_ladder_sources_parse_and_scale() {
+        for n in [1, 2, 5, 20] {
+            let m = parse_module(&rc_ladder(n)).unwrap();
+            assert_eq!(m.branches.len(), 2 * n);
+            // Nodes: in, n1..n_{n−1}, out, gnd.
+            assert_eq!(m.net_names().count(), n + 2);
+        }
+        // The paper quotes RC20 as 22 nodes and 41 branches (their count
+        // includes the source branch added by the stimulus).
+        let m = parse_module(&rc_ladder(20)).unwrap();
+        assert_eq!(m.net_names().count(), 22);
+        assert_eq!(m.branches.len(), 40);
+    }
+
+    #[test]
+    fn two_inputs_gains_match_fig8a() {
+        let m = parse_module(&two_inputs()).unwrap();
+        let mut model = Abstraction::new(&m).dt(1e-6).build().unwrap();
+        assert_eq!(model.input_names(), &["in1".to_string(), "in2".to_string()]);
+        model.step(&[1.0, 0.0]);
+        let g1 = model.output(0);
+        assert!((g1 + 10.0 / 3.0).abs() < 2e-3, "in1 gain −R3/R1, got {g1}");
+        model.reset();
+        model.step(&[0.0, 1.0]);
+        let g2 = model.output(0);
+        assert!((g2 + 10.0 / 14.0).abs() < 2e-3, "in2 gain −R3/R2, got {g2}");
+    }
+
+    #[test]
+    fn opamp_settles_to_inverting_gain() {
+        let m = parse_module(&opamp()).unwrap();
+        let mut model = Abstraction::new(&m).dt(50e-9).build().unwrap();
+        // Settle well past the output pole (~Rout·C1 time scale).
+        for _ in 0..200_000 {
+            model.step(&[0.5]);
+        }
+        let v = model.output(0);
+        assert!((v + 2.0).abs() < 5e-3, "−4 × 0.5 = −2, got {v}");
+    }
+
+    #[test]
+    fn paper_benchmark_set_is_complete() {
+        let benches = paper_benchmarks();
+        let labels: Vec<_> = benches.iter().map(|(l, _, _)| *l).collect();
+        assert_eq!(labels, vec!["2IN", "RC1", "RC20", "OA"]);
+        for (label, src, inputs) in benches {
+            let m = parse_module(&src).unwrap();
+            let model = Abstraction::new(&m).dt(50e-9).build().unwrap_or_else(|e| {
+                panic!("{label} must abstract cleanly: {e}")
+            });
+            assert_eq!(model.input_names().len(), inputs, "{label} input count");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Step 4 — Code generation (§IV-D).
+//!
+//! Emits the elaborated update equations as compilable source in the
+//! paper's three target languages:
+//!
+//! * [`cpp::generate`] — plain C++ (the fastest target of Tables I–III);
+//! * [`systemc_de::generate`] — a SystemC discrete-event module clocked at
+//!   the discretization step;
+//! * [`systemc_tdf::generate`] — a SystemC-AMS timed-data-flow module.
+//!
+//! All three share one expression emitter, so the numerical behaviour of
+//! the generated code is identical across targets; only the wrapping
+//! model-of-computation differs, exactly as in the paper's experiments.
+
+pub mod cpp;
+pub mod systemc_de;
+pub mod systemc_tdf;
+
+use expr::{BinOp, Expr, Func};
+use netlist::{QExpr, Quantity};
+
+/// Renders a quantity as a C++ identifier; delayed values get a `_p{k}`
+/// suffix.
+pub(crate) fn cpp_name(q: &Quantity, delay: u32) -> String {
+    if delay == 0 {
+        q.mangle()
+    } else {
+        format!("{}_p{delay}", q.mangle())
+    }
+}
+
+/// Emits a C++ expression for a resolved (discretization-free) tree.
+///
+/// # Panics
+///
+/// Panics if the expression still contains `ddt`/`idt`; assemblies are
+/// discretized before reaching code generation.
+pub(crate) fn cpp_expr(e: &QExpr) -> String {
+    match e {
+        Expr::Num(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:e}")
+            }
+        }
+        Expr::Var(q) => cpp_name(q, 0),
+        Expr::Prev(q, k) => cpp_name(q, *k),
+        Expr::Neg(a) => format!("-({})", cpp_expr(a)),
+        Expr::Bin(op, a, b) => {
+            let (sa, sb) = (cpp_expr(a), cpp_expr(b));
+            match op {
+                BinOp::Add => format!("({sa} + {sb})"),
+                BinOp::Sub => format!("({sa} - {sb})"),
+                BinOp::Mul => format!("({sa} * {sb})"),
+                BinOp::Div => format!("({sa} / {sb})"),
+                BinOp::Lt => format!("(double)({sa} < {sb})"),
+                BinOp::Le => format!("(double)({sa} <= {sb})"),
+                BinOp::Gt => format!("(double)({sa} > {sb})"),
+                BinOp::Ge => format!("(double)({sa} >= {sb})"),
+                BinOp::Eq => format!("(double)({sa} == {sb})"),
+                BinOp::Ne => format!("(double)({sa} != {sb})"),
+                BinOp::And => format!("(double)(({sa} != 0.0) && ({sb} != 0.0))"),
+                BinOp::Or => format!("(double)(({sa} != 0.0) || ({sb} != 0.0))"),
+            }
+        }
+        Expr::Call(f, args) => {
+            let rendered: Vec<String> = args.iter().map(cpp_expr).collect();
+            let name = match f {
+                Func::Exp => "std::exp",
+                Func::Ln => "std::log",
+                Func::Log10 => "std::log10",
+                Func::Sin => "std::sin",
+                Func::Cos => "std::cos",
+                Func::Tan => "std::tan",
+                Func::Sinh => "std::sinh",
+                Func::Cosh => "std::cosh",
+                Func::Tanh => "std::tanh",
+                Func::Atan => "std::atan",
+                Func::Sqrt => "std::sqrt",
+                Func::Abs => "std::fabs",
+                Func::Floor => "std::floor",
+                Func::Ceil => "std::ceil",
+                Func::Min => "std::fmin",
+                Func::Max => "std::fmax",
+                Func::Pow => "std::pow",
+            };
+            format!("{name}({})", rendered.join(", "))
+        }
+        Expr::Ddt(_) | Expr::Idt(_) => {
+            panic!("codegen requires discretized expressions (ddt/idt found)")
+        }
+        Expr::Cond(c, t, el) => format!(
+            "(({}) != 0.0 ? ({}) : ({}))",
+            cpp_expr(c),
+            cpp_expr(t),
+            cpp_expr(el)
+        ),
+    }
+}
+
+/// Everything a code generator needs about the model: state variables with
+/// their maximum delays, update statements, and the delay-shift sequence.
+pub(crate) struct Layout {
+    /// Each tracked `(quantity, max delay)` needing member variables.
+    pub vars: Vec<(Quantity, u32)>,
+    /// `(lhs, rhs)` update statements in evaluation order.
+    pub updates: Vec<(Quantity, QExpr)>,
+    /// Input quantity order.
+    pub inputs: Vec<Quantity>,
+}
+
+impl Layout {
+    pub(crate) fn new(model: &crate::SignalFlowModel) -> Layout {
+        use std::collections::BTreeMap;
+        let mut delays: BTreeMap<Quantity, u32> = BTreeMap::new();
+        let inputs: Vec<Quantity> = model
+            .input_names()
+            .iter()
+            .map(|n| Quantity::input(n.clone()))
+            .collect();
+        for q in &inputs {
+            delays.insert(q.clone(), 0);
+        }
+        for (q, e) in model.assignments() {
+            delays.entry(q.clone()).or_insert(0);
+            e.visit_vars(&mut |v, _| {
+                delays.entry(v.clone()).or_insert(0);
+            });
+            fn scan(e: &QExpr, delays: &mut BTreeMap<Quantity, u32>) {
+                match e {
+                    Expr::Prev(v, k) => {
+                        let d = delays.entry(v.clone()).or_insert(0);
+                        *d = (*d).max(*k);
+                    }
+                    Expr::Num(_) | Expr::Var(_) => {}
+                    Expr::Neg(a) | Expr::Ddt(a) | Expr::Idt(a) => scan(a, delays),
+                    Expr::Bin(_, a, b) => {
+                        scan(a, delays);
+                        scan(b, delays);
+                    }
+                    Expr::Call(_, args) => args.iter().for_each(|a| scan(a, delays)),
+                    Expr::Cond(c, t, el) => {
+                        scan(c, delays);
+                        scan(t, delays);
+                        scan(el, delays);
+                    }
+                }
+            }
+            scan(e, &mut delays);
+        }
+        Layout {
+            vars: delays.into_iter().collect(),
+            updates: model.assignments().to_vec(),
+            inputs,
+        }
+    }
+
+    /// Emits the member-variable declarations.
+    pub(crate) fn member_decls(&self, indent: &str) -> String {
+        let mut out = String::new();
+        for (q, maxd) in &self.vars {
+            for k in 0..=*maxd {
+                out.push_str(&format!("{indent}double {} = 0.0;\n", cpp_name(q, k)));
+            }
+        }
+        out
+    }
+
+    /// Emits the update statements followed by the delay shifts.
+    pub(crate) fn step_body(&self, indent: &str) -> String {
+        let mut out = String::new();
+        for (q, e) in &self.updates {
+            out.push_str(&format!("{indent}{} = {};\n", cpp_name(q, 0), cpp_expr(e)));
+        }
+        for (q, maxd) in &self.vars {
+            for k in (1..=*maxd).rev() {
+                out.push_str(&format!(
+                    "{indent}{} = {};\n",
+                    cpp_name(q, k),
+                    cpp_name(q, k - 1)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_render_unambiguously() {
+        let five: QExpr = Expr::num(5.0);
+        assert_eq!(cpp_expr(&five), "5.0");
+        let tiny: QExpr = Expr::num(2.5e-8);
+        assert_eq!(cpp_expr(&tiny), "2.5e-8");
+    }
+
+    #[test]
+    fn operators_and_functions_render() {
+        let e: QExpr = Expr::call2(
+            Func::Max,
+            Expr::var(Quantity::var("x")),
+            Expr::num(0.0),
+        ) + Expr::call1(Func::Exp, Expr::prev(Quantity::var("x")));
+        let s = cpp_expr(&e);
+        assert_eq!(s, "(std::fmax(var_x, 0.0) + std::exp(var_x_p1))");
+    }
+
+    #[test]
+    fn conditionals_guard_against_nonbool() {
+        let e: QExpr = Expr::cond(
+            Expr::bin(
+                BinOp::Gt,
+                Expr::var(Quantity::var("a")),
+                Expr::num(1.0),
+            ),
+            Expr::num(2.0),
+            Expr::num(3.0),
+        );
+        assert_eq!(
+            cpp_expr(&e),
+            "(((double)(var_a > 1.0)) != 0.0 ? (2.0) : (3.0))"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "discretized")]
+    fn analog_ops_panic() {
+        let e: QExpr = Expr::ddt(Expr::var(Quantity::var("x")));
+        let _ = cpp_expr(&e);
+    }
+}

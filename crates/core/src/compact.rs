@@ -1,0 +1,247 @@
+//! Affine compaction of elaborated update expressions.
+//!
+//! Symbolic chain substitution (Gaussian elimination by splicing) leaves
+//! deeply nested trees whose size grows polynomially with circuit depth.
+//! For *linear* circuits every update is an affine function of its leaves
+//! (inputs, delayed states, already-computed quantities), so it can be
+//! rewritten as the flat constant-coefficient statement the paper's
+//! Figure 7(b) shows: `x = c₀ + c₁·a + c₂·b + …`. That keeps generated
+//! code and the compiled evaluator at O(#leaves) work per step.
+//!
+//! Nonlinear or conditional expressions are left untouched.
+
+use std::collections::BTreeMap;
+
+use expr::{BinOp, Expr};
+use netlist::{QExpr, Quantity};
+
+/// A leaf of an affine expression: a quantity at a given delay (0 =
+/// current value).
+pub type Leaf = (Quantity, u32);
+
+/// The affine view of an expression: constant term plus weighted leaves.
+pub type AffineTerms = (f64, Vec<(Leaf, f64)>);
+
+/// An affine form `constant + Σ coeff·leaf`.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Affine {
+    constant: f64,
+    terms: BTreeMap<Leaf, f64>,
+}
+
+impl Affine {
+    fn constant(v: f64) -> Affine {
+        Affine {
+            constant: v,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    fn leaf(l: Leaf) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(l, 1.0);
+        Affine {
+            constant: 0.0,
+            terms,
+        }
+    }
+
+    fn scale(mut self, k: f64) -> Affine {
+        self.constant *= k;
+        self.terms.values_mut().for_each(|c| *c *= k);
+        self
+    }
+
+    fn add(mut self, other: Affine, sign: f64) -> Affine {
+        self.constant += sign * other.constant;
+        for (l, c) in other.terms {
+            *self.terms.entry(l).or_insert(0.0) += sign * c;
+        }
+        self
+    }
+
+    fn as_pure_constant(&self) -> Option<f64> {
+        self.terms.is_empty().then_some(self.constant)
+    }
+
+    fn into_expr(self) -> QExpr {
+        // Coefficients more than 16 decimal orders below the largest one
+        // cannot influence a double-precision sum; dropping them keeps the
+        // eliminated updates of chain circuits O(bandwidth) instead of
+        // O(n²) without any representable change in the result.
+        let max_coeff = self
+            .terms
+            .values()
+            .fold(0.0_f64, |m, c| m.max(c.abs()));
+        let floor = max_coeff * 1e-16;
+        let mut e: Option<QExpr> = None;
+        for (l, c) in self.terms {
+            if c == 0.0 || c.abs() < floor {
+                continue;
+            }
+            let leaf = match l {
+                (q, 0) => Expr::var(q),
+                (q, k) => Expr::prev_n(q, k),
+            };
+            let term = if c == 1.0 {
+                leaf
+            } else {
+                Expr::num(c) * leaf
+            };
+            e = Some(match e {
+                None => term,
+                Some(acc) => acc + term,
+            });
+        }
+        match e {
+            None => Expr::num(self.constant),
+            Some(acc) if self.constant == 0.0 => acc,
+            Some(acc) => acc + Expr::num(self.constant),
+        }
+    }
+}
+
+/// Tries to view an expression as an affine form over its leaves.
+fn as_affine(e: &QExpr) -> Option<Affine> {
+    match e {
+        Expr::Num(v) => Some(Affine::constant(*v)),
+        Expr::Var(q) => Some(Affine::leaf((q.clone(), 0))),
+        Expr::Prev(q, k) => Some(Affine::leaf((q.clone(), *k))),
+        Expr::Neg(a) => Some(as_affine(a)?.scale(-1.0)),
+        Expr::Bin(BinOp::Add, a, b) => Some(as_affine(a)?.add(as_affine(b)?, 1.0)),
+        Expr::Bin(BinOp::Sub, a, b) => Some(as_affine(a)?.add(as_affine(b)?, -1.0)),
+        Expr::Bin(BinOp::Mul, a, b) => {
+            let fa = as_affine(a)?;
+            let fb = as_affine(b)?;
+            if let Some(k) = fa.as_pure_constant() {
+                Some(fb.scale(k))
+            } else { fb.as_pure_constant().map(|k| fa.scale(k)) }
+        }
+        Expr::Bin(BinOp::Div, a, b) => {
+            let fb = as_affine(b)?;
+            let k = fb.as_pure_constant()?;
+            if k == 0.0 {
+                return None;
+            }
+            Some(as_affine(a)?.scale(1.0 / k))
+        }
+        // Conditionals, relational operators, function calls and analog
+        // operators are not affine.
+        _ => None,
+    }
+}
+
+/// Rewrites an expression as a flat constant-coefficient combination when
+/// it is affine; returns a clone otherwise.
+pub fn compact(e: &QExpr) -> QExpr {
+    match as_affine(e) {
+        Some(affine) => affine.into_expr(),
+        None => e.clone(),
+    }
+}
+
+/// Extracts the affine view of an expression — the constant term plus
+/// `((quantity, delay), coefficient)` pairs — with the same sub-ULP
+/// pruning as [`compact`]. Returns `None` for non-affine expressions.
+///
+/// The compiled model evaluator uses this to run constant-coefficient
+/// updates as native dot products instead of interpreted bytecode.
+pub fn affine_terms(e: &QExpr) -> Option<AffineTerms> {
+    let affine = as_affine(e)?;
+    let max_coeff = affine
+        .terms
+        .values()
+        .fold(0.0_f64, |m, c| m.max(c.abs()));
+    let floor = max_coeff * 1e-16;
+    let terms = affine
+        .terms
+        .into_iter()
+        .filter(|(_, c)| *c != 0.0 && c.abs() >= floor)
+        .collect();
+    Some((affine.constant, terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> QExpr {
+        Expr::var(Quantity::var(n))
+    }
+
+    fn assert_same_value(a: &QExpr, b: &QExpr) {
+        for seed in [0.1_f64, -0.7, 2.3] {
+            let mut env = |q: &Quantity, delay: u32| {
+                let h = q.name().bytes().map(u64::from).sum::<u64>() as f64;
+                Some(seed * (h + 1.0) / (delay as f64 + 1.0))
+            };
+            let x = a.eval(&mut env).unwrap();
+            let y = b.eval(&mut env).unwrap();
+            assert!(
+                (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                "{a} vs {b}: {x} != {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn flattens_nested_linear_tree() {
+        // ((x + y)·2 − (x − 3)/4)·0.5 → flat affine
+        let e = ((v("x") + v("y")) * Expr::num(2.0)
+            - (v("x") - Expr::num(3.0)) / Expr::num(4.0))
+            * Expr::num(0.5);
+        let c = compact(&e);
+        assert!(c.node_count() < e.node_count());
+        assert_same_value(&e, &c);
+    }
+
+    #[test]
+    fn merges_duplicate_leaves() {
+        // x + x + x → 3x (one term)
+        let e = v("x") + v("x") + v("x");
+        let c = compact(&e);
+        assert_eq!(c, Expr::num(3.0) * v("x"));
+    }
+
+    #[test]
+    fn cancellation_drops_terms() {
+        let e = v("x") - v("x") + Expr::num(2.0);
+        assert_eq!(compact(&e), Expr::num(2.0));
+    }
+
+    #[test]
+    fn keeps_delays_distinct() {
+        let q = Quantity::var("x");
+        let e = Expr::var(q.clone()) + Expr::prev(q.clone()) + Expr::prev_n(q, 2);
+        let c = compact(&e);
+        assert_same_value(&e, &c);
+        assert_eq!(c.variables().len(), 1);
+        assert_eq!(c.node_count(), 5, "three distinct leaves survive");
+    }
+
+    #[test]
+    fn nonlinear_left_untouched() {
+        let e = v("x") * v("y");
+        assert_eq!(compact(&e), e);
+        let e2 = Expr::call1(expr::Func::Sin, v("x"));
+        assert_eq!(compact(&e2), e2);
+        let e3 = Expr::cond(v("c"), v("x"), v("y"));
+        assert_eq!(compact(&e3), e3);
+    }
+
+    #[test]
+    fn division_by_constant_is_affine() {
+        let e = (v("x") + Expr::num(1.0)) / Expr::num(4.0);
+        let c = compact(&e);
+        assert_same_value(&e, &c);
+        // Division by a variable is not.
+        let e2 = Expr::num(1.0) / v("x");
+        assert_eq!(compact(&e2), e2);
+    }
+
+    #[test]
+    fn pure_constant_collapses() {
+        let e: QExpr = (Expr::num(2.0) + Expr::num(3.0)) * Expr::num(4.0);
+        assert_eq!(compact(&e), Expr::num(20.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Resolution of the analog operators `ddt`/`idt` by backward-Euler
+//! discretization — the `ResolveDerivative` step of Algorithm 2.
+//!
+//! * `ddt(e)` distributes over linear structure down to variable leaves,
+//!   where `ddt(x) → (x − x@(t−Δt)) / Δt`. Nonlinear arguments get an
+//!   auxiliary state `s := e` so that `ddt(e) → (e − s@(t−Δt)) / Δt`.
+//! * `idt(e) → s@(t−Δt) + Δt·e` with the auxiliary accumulator
+//!   `s := s@(t−Δt) + Δt·e`.
+//!
+//! Auxiliary assignments are collected by [`AuxAllocator`] and appended to
+//! the model after the main evaluation sequence (they only need to be
+//! up to date by the *end* of each step).
+
+use expr::Expr;
+use netlist::{QExpr, Quantity};
+
+/// Allocates auxiliary state variables for discretization.
+#[derive(Debug, Default)]
+pub struct AuxAllocator {
+    counter: usize,
+    pending: Vec<(Quantity, QExpr)>,
+}
+
+impl AuxAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        AuxAllocator::default()
+    }
+
+    fn fresh(&mut self, prefix: &str) -> Quantity {
+        let q = Quantity::var(format!("__{prefix}{}", self.counter));
+        self.counter += 1;
+        q
+    }
+
+    fn push(&mut self, q: Quantity, def: QExpr) {
+        self.pending.push((q, def));
+    }
+
+    /// Number of auxiliaries allocated so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no auxiliaries were needed.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Truncates back to a snapshot (assembly backtracking support).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.pending.truncate(len);
+    }
+
+    /// Consumes the allocator, returning the pending `(state, definition)`
+    /// assignments in allocation order.
+    pub fn into_pending(self) -> Vec<(Quantity, QExpr)> {
+        self.pending
+    }
+
+    /// Borrows the pending assignments.
+    pub fn pending(&self) -> &[(Quantity, QExpr)] {
+        &self.pending
+    }
+}
+
+/// Rewrites every `ddt`/`idt` in `e` using backward-Euler formulas with
+/// time step `dt`, allocating auxiliary states in `aux` where the argument
+/// is not a linear combination of leaves.
+pub fn discretize(e: &QExpr, dt: f64, aux: &mut AuxAllocator) -> QExpr {
+    match e {
+        Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => e.clone(),
+        Expr::Neg(a) => -discretize(a, dt, aux),
+        Expr::Bin(op, a, b) => {
+            Expr::bin(*op, discretize(a, dt, aux), discretize(b, dt, aux))
+        }
+        Expr::Call(f, args) => Expr::Call(
+            *f,
+            args.iter().map(|a| discretize(a, dt, aux)).collect(),
+        ),
+        Expr::Cond(c, t, el) => Expr::cond(
+            discretize(c, dt, aux),
+            discretize(t, dt, aux),
+            discretize(el, dt, aux),
+        ),
+        Expr::Ddt(inner) => {
+            let inner = discretize(inner, dt, aux).simplified();
+            ddt_of(&inner, dt, aux)
+        }
+        Expr::Idt(inner) => {
+            let inner = discretize(inner, dt, aux).simplified();
+            let s = aux.fresh("idt");
+            let update = Expr::prev(s.clone()) + Expr::num(dt) * inner;
+            aux.push(s, update.clone());
+            update
+        }
+    }
+}
+
+/// Backward-Euler derivative of an already-discretized expression.
+fn ddt_of(e: &QExpr, dt: f64, aux: &mut AuxAllocator) -> QExpr {
+    let inv_dt = Expr::num(1.0 / dt);
+    match e {
+        Expr::Num(_) => Expr::num(0.0),
+        Expr::Var(x) => {
+            ((Expr::var(x.clone()) - Expr::prev(x.clone())) * inv_dt).simplified()
+        }
+        Expr::Prev(x, k) => ((Expr::prev_n(x.clone(), *k)
+            - Expr::prev_n(x.clone(), *k + 1))
+            * inv_dt)
+            .simplified(),
+        Expr::Neg(a) => -ddt_of(a, dt, aux),
+        Expr::Bin(expr::BinOp::Add, a, b) => ddt_of(a, dt, aux) + ddt_of(b, dt, aux),
+        Expr::Bin(expr::BinOp::Sub, a, b) => ddt_of(a, dt, aux) - ddt_of(b, dt, aux),
+        Expr::Bin(expr::BinOp::Mul, a, b) if a.as_num().is_some() => {
+            (**a).clone() * ddt_of(b, dt, aux)
+        }
+        Expr::Bin(expr::BinOp::Mul, a, b) if b.as_num().is_some() => {
+            ddt_of(a, dt, aux) * (**b).clone()
+        }
+        Expr::Bin(expr::BinOp::Div, a, b) if b.as_num().is_some() => {
+            ddt_of(a, dt, aux) / (**b).clone()
+        }
+        other => {
+            // Nonlinear argument: track it as an auxiliary state so its
+            // previous value exists.
+            let s = aux.fresh("ddt");
+            aux.push(s.clone(), other.clone());
+            ((other.clone() - Expr::prev(s)) * inv_dt).simplified()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expr::Func;
+
+    fn v(n: &str) -> QExpr {
+        Expr::var(Quantity::var(n))
+    }
+
+    fn eval(e: &QExpr, cur: f64, prev: f64) -> f64 {
+        e.eval(&mut |_q: &Quantity, delay| Some(if delay == 0 { cur } else { prev }))
+            .unwrap()
+    }
+
+    #[test]
+    fn ddt_of_variable_is_backward_difference() {
+        let mut aux = AuxAllocator::new();
+        let d = discretize(&Expr::ddt(v("x")), 0.5, &mut aux);
+        assert!(aux.is_empty());
+        // (4 − 1) / 0.5 = 6
+        assert_eq!(eval(&d, 4.0, 1.0), 6.0);
+    }
+
+    #[test]
+    fn ddt_distributes_over_linear_combinations() {
+        let mut aux = AuxAllocator::new();
+        let e = Expr::ddt(Expr::num(2.0) * v("x") - v("y") / Expr::num(4.0));
+        let d = discretize(&e, 1.0, &mut aux);
+        assert!(aux.is_empty(), "linear combos need no auxiliaries");
+        // x: 3→5, y: 8→4 ⇒ 2·2 − (−4)/4 = 5... careful: (cur−prev).
+        let val = d
+            .eval(&mut |q: &Quantity, delay| match (q.name(), delay) {
+                ("x", 0) => Some(5.0),
+                ("x", 1) => Some(3.0),
+                ("y", 0) => Some(4.0),
+                ("y", 1) => Some(8.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(val, 2.0 * 2.0 - (-4.0) / 4.0);
+    }
+
+    #[test]
+    fn second_derivative_uses_two_delays() {
+        let mut aux = AuxAllocator::new();
+        let d = discretize(&Expr::ddt(Expr::ddt(v("x"))), 1.0, &mut aux);
+        assert!(aux.is_empty());
+        // (x − 2x₁ + x₂) with dt = 1: x=1, x₁=4, x₂=9 ⇒ 1 − 8 + 9 = 2.
+        let val = d
+            .eval(&mut |_q: &Quantity, delay| {
+                Some(match delay {
+                    0 => 1.0,
+                    1 => 4.0,
+                    _ => 9.0,
+                })
+            })
+            .unwrap();
+        assert_eq!(val, 2.0);
+    }
+
+    #[test]
+    fn nonlinear_ddt_allocates_state() {
+        let mut aux = AuxAllocator::new();
+        let e = Expr::ddt(Expr::call1(Func::Sin, v("x")));
+        let d = discretize(&e, 0.1, &mut aux);
+        assert_eq!(aux.len(), 1);
+        let (s, def) = &aux.pending()[0];
+        assert_eq!(*def, Expr::call1(Func::Sin, v("x")));
+        // d = (sin(x) − prev(s)) / dt
+        let val = d
+            .eval(&mut |q: &Quantity, delay| {
+                if q == s && delay == 1 {
+                    Some(0.5_f64)
+                } else {
+                    Some(1.0) // x
+                }
+            })
+            .unwrap();
+        assert!((val - (1.0_f64.sin() - 0.5) / 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idt_accumulates() {
+        let mut aux = AuxAllocator::new();
+        let d = discretize(&Expr::idt(v("x")), 0.25, &mut aux);
+        assert_eq!(aux.len(), 1);
+        let (s, def) = &aux.pending()[0];
+        // Replacement and update are the same accumulator expression.
+        assert_eq!(d, *def);
+        // s_prev = 2, x = 4 ⇒ 2 + 0.25·4 = 3.
+        let val = d
+            .eval(&mut |q: &Quantity, delay| {
+                if q == s && delay == 1 {
+                    Some(2.0)
+                } else {
+                    Some(4.0)
+                }
+            })
+            .unwrap();
+        assert_eq!(val, 3.0);
+    }
+
+    #[test]
+    fn untouched_expressions_pass_through() {
+        let mut aux = AuxAllocator::new();
+        let e = Expr::cond(
+            v("c"),
+            Expr::call2(Func::Max, v("a"), Expr::num(0.0)),
+            Expr::prev(Quantity::var("b")),
+        );
+        assert_eq!(discretize(&e, 1.0, &mut aux), e);
+        assert!(aux.is_empty());
+    }
+
+    #[test]
+    fn allocator_truncates_for_backtracking() {
+        let mut aux = AuxAllocator::new();
+        let _ = discretize(&Expr::idt(v("x")), 1.0, &mut aux);
+        let snapshot = aux.len();
+        let _ = discretize(&Expr::idt(v("y")), 1.0, &mut aux);
+        assert_eq!(aux.len(), 2);
+        aux.truncate(snapshot);
+        assert_eq!(aux.len(), 1);
+        // Fresh names keep counting up; no collisions after truncation.
+        let d = discretize(&Expr::idt(v("z")), 1.0, &mut aux);
+        let names: Vec<_> = d
+            .variables()
+            .into_iter()
+            .map(|q| q.name().to_string())
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("__idt")));
+    }
+}

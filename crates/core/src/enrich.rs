@@ -1,0 +1,315 @@
+//! Step 2 — Enrichment (§IV-B, Algorithm 1 of the paper).
+//!
+//! Takes the dipole relations and the circuit graph from acquisition, adds
+//! Kirchhoff's current laws (NodalAnalysis), Kirchhoff's voltage laws
+//! (MeshAnalysis) and branch-voltage definitions, then — exactly as
+//! Algorithm 1's inner loop does — solves every relation for each of its
+//! terms, inserting all solved variants into the equation table as one
+//! *dependency class* (the circular `nextDependent` chain of Figure 5).
+//!
+//! Terms under a `ddt`/`idt` operator are not solvable by the linear solver
+//! and are skipped; the derivative is resolved later, during assembly
+//! (`ResolveDerivative` in Algorithm 2).
+//!
+//! Worst-case complexity matches the paper: O(|N|²) for KCL, O(|N|³) for
+//! KVL, and O(|B|²) for the solving loop.
+
+use expr::{solve_linear, Expr};
+use netlist::{
+    kcl_relations, kvl_relations, vdef_relations, Equation, EquationTable, NodeId,
+    Origin, Quantity, Relation,
+};
+
+use crate::{AbstractError, AcquiredModel};
+
+/// Options controlling enrichment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnrichOptions {
+    /// Also generate Kirchhoff voltage laws over fundamental loops (the
+    /// paper's MeshAnalysis). Because this crate references every branch
+    /// voltage to node potentials (`vdef` relations), KVL equations are
+    /// *linearly dependent* with them: including both lets assembly pick a
+    /// dependent equation subset, which is only detected as a degenerate
+    /// (zero-coefficient) solve at the output and forces large backtracking
+    /// searches. They are therefore off by default and exist for
+    /// experimentation and paper fidelity.
+    pub include_kvl: bool,
+}
+
+/// Builds the enriched equation table for a conservative model with
+/// default options (no mesh analysis; see [`EnrichOptions`]).
+///
+/// # Errors
+///
+/// * [`AbstractError::Netlist`] when the circuit has no ground or is
+///   disconnected.
+pub fn enrich(model: &AcquiredModel) -> Result<EquationTable, AbstractError> {
+    enrich_with(model, EnrichOptions::default())
+}
+
+/// Builds the enriched equation table with explicit [`EnrichOptions`].
+///
+/// Class insertion order — dipoles, branch-voltage definitions, KCL, (KVL),
+/// signal-flow definitions — also fixes the deterministic fetch preference
+/// used by assembly.
+///
+/// # Errors
+///
+/// * [`AbstractError::Netlist`] when the circuit has no ground or is
+///   disconnected.
+pub fn enrich_with(
+    model: &AcquiredModel,
+    options: EnrichOptions,
+) -> Result<EquationTable, AbstractError> {
+    let mut relations = conservative_relations(model)?;
+    if options.include_kvl {
+        let root = analysis_root(model).expect("checked by conservative_relations");
+        relations.extend(kvl_relations(&model.graph, root));
+    }
+
+    let mut table = EquationTable::new();
+    for rel in relations {
+        let members = solve_for_each_term(&rel);
+        table.insert_class(members, rel.origin, rel.label);
+    }
+
+    // Signal-flow variable definitions enter as single-member classes: they
+    // are explicit assignments, invertible in one direction only.
+    for (name, def) in &model.folded_vars {
+        let lhs = Quantity::var(name.clone());
+        table.insert_class(
+            vec![Equation {
+                lhs: lhs.clone(),
+                rhs: def.clone(),
+                origin: Origin::SignalFlow,
+            }],
+            Origin::SignalFlow,
+            format!("var {name}"),
+        );
+    }
+    Ok(table)
+}
+
+/// Builds the full conservative relation set for a model: its dipole
+/// equations, branch-voltage definitions (with input-port potentials
+/// folded to input leaves and grounds to zero), and Kirchhoff current laws
+/// at internal nodes. This is both the seed of [`enrich_with`] and the
+/// complete DAE system the reference simulator (`amsim`) resolves.
+///
+/// # Errors
+///
+/// * [`AbstractError::Netlist`] when the circuit has no ground or is
+///   disconnected.
+pub fn conservative_relations(
+    model: &AcquiredModel,
+) -> Result<Vec<Relation>, AbstractError> {
+    let graph = &model.graph;
+    let root = model
+        .grounds
+        .iter()
+        .copied()
+        .min()
+        .ok_or(AbstractError::Netlist(netlist::NetlistError::NoGround))?;
+    graph.check_connected(root)?;
+
+    // Node potentials of input-port nodes must become input leaves.
+    let input_names: Vec<&str> = model.inputs.iter().map(String::as_str).collect();
+    let map_inputs = |r: Relation| -> Relation {
+        let zero = r.zero.map_vars(&mut |q: &Quantity| match q {
+            Quantity::NodeV(n) if input_names.contains(&n.as_str()) => {
+                Quantity::input(n.clone())
+            }
+            other => other.clone(),
+        });
+        Relation::new(zero, r.origin, r.label)
+    };
+
+    let mut relations: Vec<Relation> = Vec::new();
+    relations.extend(model.relations.iter().cloned());
+    relations.extend(
+        vdef_relations(graph, &model.grounds)
+            .into_iter()
+            .map(map_inputs),
+    );
+    let mut excluded = model.grounds.clone();
+    excluded.extend(model.input_nodes.iter().copied());
+    relations.extend(kcl_relations(graph, &excluded));
+    Ok(relations)
+}
+
+/// The inner loop of Algorithm 1: one solved variant per solvable term.
+///
+/// Signal-flow variables are never solved for here: they are *defined* by
+/// their assignments (single-member SignalFlow classes), and inverting a
+/// dipole equation to define one would shadow that definition.
+fn solve_for_each_term(rel: &Relation) -> Vec<Equation> {
+    let zero = &rel.zero;
+    let mut members = Vec::new();
+    for q in zero.current_variables() {
+        if q.is_input() || matches!(q, Quantity::Var(_)) {
+            continue;
+        }
+        if let Some(rhs) = solve_linear(zero, &Expr::num(0.0), &q) {
+            members.push(Equation {
+                lhs: q,
+                rhs,
+                origin: rel.origin,
+            });
+        }
+    }
+    members
+}
+
+/// Convenience: the ground node chosen as analysis root.
+pub fn analysis_root(model: &AcquiredModel) -> Option<NodeId> {
+    model.grounds.iter().copied().min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquire::acquire;
+    use vams_parser::parse_module;
+
+    fn rc1() -> AcquiredModel {
+        let m = parse_module(
+            "module rc(in, out);
+               input in; output out;
+               parameter real R = 5k;
+               parameter real C = 25n;
+               electrical in, out, gnd;
+               ground gnd;
+               branch (in, out) res;
+               branch (out, gnd) cap;
+               analog begin
+                 V(res) <+ R * I(res);
+                 I(cap) <+ C * ddt(V(cap));
+               end
+             endmodule",
+        )
+        .unwrap();
+        acquire(&m).unwrap()
+    }
+
+    #[test]
+    fn rc1_table_shape() {
+        let model = rc1();
+        let table = enrich(&model).unwrap();
+        // Classes: 2 dipoles + 2 vdefs + 1 KCL (node out) + 0 KVL.
+        assert_eq!(table.class_count(), 5);
+        // Resistor dipole solves both ways; capacitor only for the current.
+        let res_cls = table
+            .class_ids()
+            .find(|&c| table.class_info(c).1.contains("V[res]"))
+            .unwrap();
+        assert_eq!(table.class_members(res_cls).len(), 2);
+        let cap_cls = table
+            .class_ids()
+            .find(|&c| table.class_info(c).1.contains("I[cap]"))
+            .unwrap();
+        let cap_members = table.class_members(cap_cls);
+        assert_eq!(cap_members.len(), 1, "ddt term is not invertible here");
+        assert_eq!(cap_members[0].lhs, Quantity::branch_i("cap"));
+    }
+
+    #[test]
+    fn input_potentials_become_inputs() {
+        let model = rc1();
+        let table = enrich(&model).unwrap();
+        // No equation may define the input, and references to the input
+        // node must appear as Input quantities.
+        assert!(table.fetch(&Quantity::node_v("in")).is_none());
+        assert!(table.fetch(&Quantity::input("in")).is_none());
+        let (eq, _) = table.fetch(&Quantity::branch_v("res")).unwrap();
+        // One of the variants defines V[res]; the vdef one references in:in.
+        let found_input = table
+            .candidates(&Quantity::branch_v("res"))
+            .iter()
+            .any(|(e, _)| e.rhs.variables().iter().any(Quantity::is_input));
+        assert!(found_input, "vdef variant must reference the input");
+        let _ = eq;
+    }
+
+    #[test]
+    fn kcl_excludes_input_and_ground_nodes() {
+        let model = rc1();
+        let table = enrich(&model).unwrap();
+        let kcl_classes: Vec<_> = table
+            .class_ids()
+            .filter(|&c| table.class_info(c).0 == Origin::Kcl)
+            .collect();
+        assert_eq!(kcl_classes.len(), 1);
+        assert!(table.class_info(kcl_classes[0]).1.contains("out"));
+    }
+
+    #[test]
+    fn no_ground_is_an_error() {
+        let m = parse_module(
+            "module m(o); output o; electrical o, n;
+             branch (o, n) b;
+             analog V(b) <+ 1.0;
+             endmodule",
+        )
+        .unwrap();
+        let model = acquire(&m).unwrap();
+        assert!(matches!(
+            enrich(&model).unwrap_err(),
+            AbstractError::Netlist(netlist::NetlistError::NoGround)
+        ));
+    }
+
+    #[test]
+    fn signal_flow_vars_get_classes() {
+        let m = parse_module(
+            "module m(i, o); input i; output o;
+             electrical i, o, gnd; ground gnd;
+             real y;
+             analog begin
+               y = 3 * V(i, gnd);
+               V(o, gnd) <+ y;
+             end
+             endmodule",
+        )
+        .unwrap();
+        let model = acquire(&m).unwrap();
+        let table = enrich(&model).unwrap();
+        let (eq, _) = table.fetch(&Quantity::var("y")).unwrap();
+        assert_eq!(eq.origin, Origin::SignalFlow);
+    }
+
+    #[test]
+    fn kvl_classes_appear_for_loops_when_requested() {
+        // in → n via two parallel branches + cap to ground forms a loop.
+        let m = parse_module(
+            "module m(i, o); input i; output o;
+             electrical i, o, gnd; ground gnd;
+             branch (i, o) r1;
+             branch (i, o) r2;
+             branch (o, gnd) c;
+             analog begin
+               V(r1) <+ 1k * I(r1);
+               V(r2) <+ 2k * I(r2);
+               I(c) <+ 1n * ddt(V(c));
+             end
+             endmodule",
+        )
+        .unwrap();
+        let model = acquire(&m).unwrap();
+        assert!(
+            enrich(&model)
+                .unwrap()
+                .class_ids()
+                .all(|c| enrich(&model).unwrap().class_info(c).0 != Origin::Kvl),
+            "KVL off by default"
+        );
+        let table = enrich_with(&model, EnrichOptions { include_kvl: true }).unwrap();
+        let kvl: Vec<_> = table
+            .class_ids()
+            .filter(|&c| table.class_info(c).0 == Origin::Kvl)
+            .collect();
+        assert_eq!(kvl.len(), 1, "one fundamental loop");
+        // The loop relates V[r1] and V[r2]; both variants exist.
+        let members = table.class_members(kvl[0]);
+        assert_eq!(members.len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+use std::error::Error;
+use std::fmt;
+
+use netlist::Quantity;
+
+/// Errors raised by the abstraction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbstractError {
+    /// An identifier in the analog block is neither a parameter, a declared
+    /// `real`, a net, nor a branch.
+    UnknownIdentifier(String),
+    /// A flow access `I(a,b)` does not correspond to any declared branch.
+    NoSuchBranch(String, String),
+    /// A parameter default could not be evaluated to a constant.
+    UnresolvedParameter(String),
+    /// Contribution statements inside conditionals are outside the
+    /// supported conservative subset (the paper's conditionals appear in
+    /// signal-flow blocks only).
+    ConditionalContribution(String),
+    /// The requested output quantity is not defined by any equation chain.
+    UndefinedOutput(Quantity),
+    /// Assembly could not find an independent equation for a quantity even
+    /// after exhausting all dependency-class choices.
+    NoEquationFor(Quantity),
+    /// The final equation for a quantity is not linear in that quantity, so
+    /// the Step-3 linear solve cannot eliminate its self-reference.
+    NonlinearLoop(Quantity),
+    /// Simultaneous elaboration requires a linear discretized system; a
+    /// nonlinear coupling was found involving this quantity.
+    NonlinearSystem(Quantity),
+    /// The discretized linear system is singular (e.g. floating subcircuit).
+    SingularSystem,
+    /// The module's circuit topology is invalid.
+    Netlist(netlist::NetlistError),
+    /// The time step must be strictly positive and finite.
+    InvalidTimeStep(f64),
+    /// Backtracking exceeded the safety bound (pathological topology).
+    SearchBudgetExhausted,
+}
+
+impl fmt::Display for AbstractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractError::UnknownIdentifier(s) => {
+                write!(f, "unknown identifier `{s}` in analog block")
+            }
+            AbstractError::NoSuchBranch(a, b) => {
+                write!(f, "flow access I({a},{b}) matches no declared branch")
+            }
+            AbstractError::UnresolvedParameter(p) => {
+                write!(f, "parameter `{p}` does not evaluate to a constant")
+            }
+            AbstractError::ConditionalContribution(t) => write!(
+                f,
+                "contribution to {t} inside a conditional is not supported"
+            ),
+            AbstractError::UndefinedOutput(q) => {
+                write!(f, "output {q} is not defined by the model")
+            }
+            AbstractError::NoEquationFor(q) => write!(
+                f,
+                "no independent equation available for {q} (over-constrained chain)"
+            ),
+            AbstractError::NonlinearLoop(q) => write!(
+                f,
+                "equation for {q} is nonlinear in {q}; cannot solve the loop"
+            ),
+            AbstractError::NonlinearSystem(q) => write!(
+                f,
+                "simultaneous elaboration requires linear equations; {q} appears nonlinearly"
+            ),
+            AbstractError::SingularSystem => {
+                write!(f, "discretized system is singular")
+            }
+            AbstractError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AbstractError::InvalidTimeStep(dt) => {
+                write!(f, "invalid time step {dt}; must be positive and finite")
+            }
+            AbstractError::SearchBudgetExhausted => {
+                write!(f, "assembly backtracking budget exhausted")
+            }
+        }
+    }
+}
+
+impl Error for AbstractError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AbstractError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for AbstractError {
+    fn from(e: netlist::NetlistError) -> Self {
+        AbstractError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(AbstractError::UnknownIdentifier("zz".into())
+            .to_string()
+            .contains("zz"));
+        assert!(AbstractError::NoSuchBranch("a".into(), "b".into())
+            .to_string()
+            .contains("I(a,b)"));
+        assert!(AbstractError::NonlinearLoop(Quantity::var("x"))
+            .to_string()
+            .contains('x'));
+        let e: AbstractError = netlist::NetlistError::NoGround.into();
+        assert!(e.to_string().contains("no ground"));
+    }
+}

@@ -1,0 +1,705 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::signal::{AnySignal, SignalState};
+use crate::trace::{Trace, TraceEvent, TraceValue};
+use crate::{Sig, SimTime};
+
+/// Identifier of a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId(u32);
+
+/// A simulation process: a struct activated by the kernel whenever one of
+/// its sensitivity signals changes or a timed self-notification fires.
+///
+/// The `Any` supertrait lets testbenches downcast processes back to their
+/// concrete type after a run (see [`Kernel::process_ref`]).
+pub trait Process: std::any::Any {
+    /// Called once when the simulation starts, before any event is
+    /// processed. Useful for driving initial values and scheduling the
+    /// first timed activation.
+    fn init(&mut self, _ctx: &mut ProcCtx<'_>) {}
+
+    /// Called on every activation.
+    fn activate(&mut self, ctx: &mut ProcCtx<'_>);
+}
+
+/// Error returned by [`Kernel::run_until`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// More than the configured number of delta cycles elapsed without
+    /// time advancing — a zero-delay oscillation in the model.
+    DeltaOverflow {
+        /// The time at which the oscillation occurred.
+        at: SimTime,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::DeltaOverflow { at, limit } => write!(
+                f,
+                "delta-cycle overflow at {at}: more than {limit} delta cycles \
+                 without time advancing"
+            ),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The execution context handed to a process during activation.
+///
+/// All signal access and scheduling goes through this context, which keeps
+/// the `Process` trait object borrow-checker-friendly (the kernel owns all
+/// shared state).
+pub struct ProcCtx<'k> {
+    signals: &'k mut [Box<dyn AnySignal>],
+    now: SimTime,
+    self_id: ProcId,
+    /// Writes performed in this activation: signal indices to update.
+    dirty: &'k mut Vec<u32>,
+    /// Timed notifications requested: (time, process).
+    timed: &'k mut Vec<(SimTime, ProcId)>,
+}
+
+impl ProcCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the running process.
+    pub fn self_id(&self) -> ProcId {
+        self.self_id
+    }
+
+    /// Reads the current (update-phase) value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this kernel.
+    pub fn read<T: Clone + PartialEq + 'static>(&self, sig: Sig<T>) -> T {
+        let state = self.signals[sig.index as usize]
+            .as_any()
+            .downcast_ref::<SignalState<T>>()
+            .expect("signal type mismatch");
+        state.current.clone()
+    }
+
+    /// Buffers a write; it becomes visible in the next update phase and
+    /// wakes sensitive processes only if the value changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this kernel.
+    pub fn write<T: Clone + PartialEq + 'static>(&mut self, sig: Sig<T>, value: T) {
+        let state = self.signals[sig.index as usize]
+            .as_any_mut()
+            .downcast_mut::<SignalState<T>>()
+            .expect("signal type mismatch");
+        state.pending = Some(value);
+        self.dirty.push(sig.index);
+    }
+
+    /// Schedules this process to run again after `delay` (SystemC's
+    /// `next_trigger`/timed `notify`).
+    pub fn notify_self_after(&mut self, delay: SimTime) {
+        let t = self.now + delay;
+        self.timed.push((t, self.self_id));
+    }
+
+    /// Schedules another process after `delay`.
+    pub fn notify_after(&mut self, proc: ProcId, delay: SimTime) {
+        self.timed.push((self.now + delay, proc));
+    }
+}
+
+/// The discrete-event kernel: owns signals, processes and the event queue.
+pub struct Kernel {
+    signals: Vec<Box<dyn AnySignal>>,
+    processes: Vec<Box<dyn Process>>,
+    /// Static sensitivity: per signal, the processes it wakes.
+    watchers: Vec<Vec<ProcId>>,
+    /// Timed events: min-heap of (time, sequence, process).
+    queue: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    seq: u64,
+    now: SimTime,
+    started: bool,
+    max_delta: usize,
+    activations: u64,
+    delta_cycles: u64,
+    /// (signal index, trace channel, kind) for traced signals.
+    traced: Vec<(u32, usize, TracedKind)>,
+    trace: Trace,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TracedKind {
+    Real,
+    Bit,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        Kernel {
+            signals: Vec::new(),
+            processes: Vec::new(),
+            watchers: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            started: false,
+            max_delta: 10_000,
+            activations: 0,
+            delta_cycles: 0,
+            traced: Vec::new(),
+            trace: Trace::default(),
+        }
+    }
+
+    /// Creates a typed signal with an initial value.
+    pub fn signal<T: Clone + PartialEq + 'static>(&mut self, initial: T) -> Sig<T> {
+        let index = self.signals.len() as u32;
+        self.signals.push(Box::new(SignalState {
+            current: initial,
+            pending: None,
+        }));
+        self.watchers.push(Vec::new());
+        Sig {
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Registers a process; it is activated once at simulation start (its
+    /// [`Process::init`] runs, then a first activation at time zero).
+    pub fn register(&mut self, process: impl Process + 'static) -> ProcId {
+        let id = ProcId(self.processes.len() as u32);
+        self.processes.push(Box::new(process));
+        let seq = self.next_seq();
+        self.queue.push(Reverse((SimTime::ZERO, seq, id.0)));
+        id
+    }
+
+    /// Makes `proc` sensitive to value changes of `sig`.
+    pub fn sensitize<T>(&mut self, proc: ProcId, sig: Sig<T>) {
+        let w = &mut self.watchers[sig.index as usize];
+        if !w.contains(&proc) {
+            w.push(proc);
+        }
+    }
+
+    /// Adds a free-running clock signal: rises at `t = 0`, toggles every
+    /// half `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or below 2 fs.
+    pub fn add_clock(&mut self, period: SimTime) -> Sig<bool> {
+        let half = SimTime::fs(period.as_fs() / 2);
+        assert!(half > SimTime::ZERO, "clock period too small");
+        let sig = self.signal(false);
+        struct ClockProc {
+            sig: Sig<bool>,
+            half: SimTime,
+        }
+        impl Process for ClockProc {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                let v = ctx.read(self.sig);
+                ctx.write(self.sig, !v);
+                ctx.notify_self_after(self.half);
+            }
+        }
+        self.register(ClockProc { sig, half });
+        sig
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Reads a signal's current value from outside any process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this kernel.
+    pub fn peek<T: Clone + PartialEq + 'static>(&self, sig: Sig<T>) -> T {
+        self.signals[sig.index as usize]
+            .as_any()
+            .downcast_ref::<SignalState<T>>()
+            .expect("signal type mismatch")
+            .current
+            .clone()
+    }
+
+    /// Forces a signal value from outside any process (testbench pokes).
+    /// The change wakes sensitive processes at the next delta cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this kernel.
+    pub fn poke<T: Clone + PartialEq + 'static>(&mut self, sig: Sig<T>, value: T) {
+        let state = self.signals[sig.index as usize]
+            .as_any_mut()
+            .downcast_mut::<SignalState<T>>()
+            .expect("signal type mismatch");
+        state.pending = Some(value);
+        // Schedule an immediate nop event so the update phase runs even if
+        // the queue was empty; wake-ups happen through the normal path.
+        let seq = self.next_seq();
+        self.queue.push(Reverse((self.now, seq, u32::MAX)));
+        self.apply_update_for(sig.index);
+    }
+
+    fn apply_update_for(&mut self, index: u32) {
+        if self.signals[index as usize].apply_pending() {
+            let watchers = self.watchers[index as usize].clone();
+            let now = self.now;
+            for p in watchers {
+                let seq = self.next_seq();
+                self.queue.push(Reverse((now, seq, p.0)));
+            }
+            self.record_trace(index);
+        }
+    }
+
+    fn record_trace(&mut self, index: u32) {
+        for &(sig, channel, kind) in &self.traced {
+            if sig != index {
+                continue;
+            }
+            let value = match kind {
+                TracedKind::Real => TraceValue::Real(
+                    self.signals[index as usize]
+                        .as_any()
+                        .downcast_ref::<SignalState<f64>>()
+                        .expect("trace() checked the type")
+                        .current,
+                ),
+                TracedKind::Bit => TraceValue::Bit(
+                    self.signals[index as usize]
+                        .as_any()
+                        .downcast_ref::<SignalState<bool>>()
+                        .expect("trace_bit() checked the type")
+                        .current,
+                ),
+            };
+            self.trace.events.push(TraceEvent {
+                time: self.now,
+                channel,
+                value,
+            });
+        }
+    }
+
+    /// Registers a real-valued signal for waveform tracing (the SystemC
+    /// `sc_trace` analogue); the initial value is recorded immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this kernel.
+    pub fn trace(&mut self, sig: Sig<f64>, name: impl Into<String>) {
+        let channel = self.trace.names.len();
+        self.trace.names.push(name.into());
+        let current = self.peek(sig);
+        self.traced.push((sig.index, channel, TracedKind::Real));
+        self.trace.events.push(TraceEvent {
+            time: self.now,
+            channel,
+            value: TraceValue::Real(current),
+        });
+    }
+
+    /// Registers a bit signal for waveform tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this kernel.
+    pub fn trace_bit(&mut self, sig: Sig<bool>, name: impl Into<String>) {
+        let channel = self.trace.names.len();
+        self.trace.names.push(name.into());
+        let current = self.peek(sig);
+        self.traced.push((sig.index, channel, TracedKind::Bit));
+        self.trace.events.push(TraceEvent {
+            time: self.now,
+            channel,
+            value: TraceValue::Bit(current),
+        });
+    }
+
+    /// The waveform recording so far.
+    pub fn waveforms(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Downcasts a registered process back to its concrete type (for
+    /// post-run inspection of testbench state).
+    pub fn process_ref<P: Process>(&self, id: ProcId) -> Option<&P> {
+        let p: &dyn Process = &*self.processes[id.0 as usize];
+        (p as &dyn std::any::Any).downcast_ref::<P>()
+    }
+
+    /// Mutable variant of [`Kernel::process_ref`].
+    pub fn process_mut<P: Process>(&mut self, id: ProcId) -> Option<&mut P> {
+        let p: &mut dyn Process = &mut *self.processes[id.0 as usize];
+        (p as &mut dyn std::any::Any).downcast_mut::<P>()
+    }
+
+    /// Total process activations so far (performance counter).
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Total delta cycles executed so far (performance counter).
+    pub fn delta_cycles(&self) -> u64 {
+        self.delta_cycles
+    }
+
+    /// Sets the delta-cycle limit per time point (default 10 000).
+    pub fn set_max_delta(&mut self, limit: usize) {
+        self.max_delta = limit;
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Runs until the queue is exhausted or simulated time would exceed
+    /// `until`; events exactly at `until` are processed.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::DeltaOverflow`] when a zero-delay loop keeps scheduling
+    /// activations without advancing time.
+    pub fn run_until(&mut self, until: SimTime) -> Result<(), RunError> {
+        if !self.started {
+            self.started = true;
+            // init phase: run every process's init with a context.
+            for i in 0..self.processes.len() {
+                let mut dirty = Vec::new();
+                let mut timed = Vec::new();
+                let mut process = std::mem::replace(
+                    &mut self.processes[i],
+                    Box::new(NopProcess),
+                );
+                {
+                    let mut ctx = ProcCtx {
+                        signals: &mut self.signals,
+                        now: self.now,
+                        self_id: ProcId(i as u32),
+                        dirty: &mut dirty,
+                        timed: &mut timed,
+                    };
+                    process.init(&mut ctx);
+                }
+                self.processes[i] = process;
+                self.commit(dirty, timed);
+            }
+        }
+
+        let mut deltas_here = 0usize;
+        let mut last_time = self.now;
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t > until {
+                break;
+            }
+            if t > last_time {
+                deltas_here = 0;
+                last_time = t;
+            } else {
+                deltas_here += 1;
+                if deltas_here > self.max_delta {
+                    return Err(RunError::DeltaOverflow {
+                        at: t,
+                        limit: self.max_delta,
+                    });
+                }
+            }
+            self.now = t;
+            self.delta_cycles += 1;
+
+            // Evaluate phase: run every process scheduled at exactly t
+            // (dedup multiple wakeups of the same process in this delta).
+            let mut runnable: Vec<u32> = Vec::new();
+            while let Some(&Reverse((qt, _, p))) = self.queue.peek() {
+                if qt != t {
+                    break;
+                }
+                self.queue.pop();
+                if p != u32::MAX && !runnable.contains(&p) {
+                    runnable.push(p);
+                }
+            }
+            let mut dirty = Vec::new();
+            let mut timed = Vec::new();
+            for p in runnable {
+                self.activations += 1;
+                let mut process = std::mem::replace(
+                    &mut self.processes[p as usize],
+                    Box::new(NopProcess),
+                );
+                {
+                    let mut ctx = ProcCtx {
+                        signals: &mut self.signals,
+                        now: self.now,
+                        self_id: ProcId(p),
+                        dirty: &mut dirty,
+                        timed: &mut timed,
+                    };
+                    process.activate(&mut ctx);
+                }
+                self.processes[p as usize] = process;
+            }
+            self.commit(dirty, timed);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        Ok(())
+    }
+
+    /// Update phase: apply writes, wake watchers, queue timed events.
+    fn commit(&mut self, dirty: Vec<u32>, timed: Vec<(SimTime, ProcId)>) {
+        for index in dirty {
+            self.apply_update_for(index);
+        }
+        for (t, p) in timed {
+            let seq = self.next_seq();
+            self.queue.push(Reverse((t, seq, p.0)));
+        }
+    }
+}
+
+struct NopProcess;
+
+impl Process for NopProcess {
+    fn activate(&mut self, _ctx: &mut ProcCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Relay {
+        from: Sig<i64>,
+        to: Sig<i64>,
+    }
+
+    impl Process for Relay {
+        fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+            let v = ctx.read(self.from);
+            ctx.write(self.to, v + 1);
+        }
+    }
+
+    #[test]
+    fn delta_cycle_propagation_chain() {
+        // a → b → c, each stage adds one; poking a ripples through deltas
+        // without time advancing.
+        let mut k = Kernel::new();
+        let a = k.signal(0_i64);
+        let b = k.signal(0_i64);
+        let c = k.signal(0_i64);
+        let p1 = k.register(Relay { from: a, to: b });
+        let p2 = k.register(Relay { from: b, to: c });
+        k.sensitize(p1, a);
+        k.sensitize(p2, b);
+        k.run_until(SimTime::ns(1)).unwrap();
+        k.poke(a, 10);
+        k.run_until(SimTime::ns(2)).unwrap();
+        assert_eq!(k.peek(b), 11);
+        assert_eq!(k.peek(c), 12);
+        assert_eq!(k.now(), SimTime::ns(2));
+    }
+
+    #[test]
+    fn writes_are_not_visible_until_update_phase() {
+        // Two processes swap values through signals; with proper
+        // evaluate/update separation both read the OLD values.
+        struct Swapper {
+            mine: Sig<i64>,
+            theirs: Sig<i64>,
+        }
+        impl Process for Swapper {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                let v = ctx.read(self.theirs);
+                ctx.write(self.mine, v);
+            }
+        }
+        let mut k = Kernel::new();
+        let x = k.signal(1_i64);
+        let y = k.signal(2_i64);
+        let px = k.register(Swapper { mine: x, theirs: y });
+        let py = k.register(Swapper { mine: y, theirs: x });
+        // Activated once at start; both read pre-update values.
+        let _ = (px, py);
+        k.run_until(SimTime::ns(1)).unwrap();
+        assert_eq!(k.peek(x), 2);
+        assert_eq!(k.peek(y), 1);
+    }
+
+    #[test]
+    fn timed_notifications_order() {
+        struct Ticker {
+            out: Sig<i64>,
+            period: SimTime,
+        }
+        impl Process for Ticker {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                let v = ctx.read(self.out);
+                ctx.write(self.out, v + 1);
+                ctx.notify_self_after(self.period);
+            }
+        }
+        let mut k = Kernel::new();
+        let out = k.signal(0_i64);
+        k.register(Ticker {
+            out,
+            period: SimTime::ns(10),
+        });
+        k.run_until(SimTime::ns(35)).unwrap();
+        // Activations at 0, 10, 20, 30.
+        assert_eq!(k.peek(out), 4);
+        assert_eq!(k.activations(), 4);
+        // Continuing resumes where it stopped.
+        k.run_until(SimTime::ns(65)).unwrap();
+        assert_eq!(k.peek(out), 7);
+    }
+
+    #[test]
+    fn identical_value_writes_do_not_wake() {
+        struct Echo {
+            inp: Sig<i64>,
+            count: Sig<i64>,
+        }
+        impl Process for Echo {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                let c = ctx.read(self.count);
+                ctx.write(self.count, c + 1);
+                let _ = ctx.read(self.inp);
+            }
+        }
+        let mut k = Kernel::new();
+        let inp = k.signal(5_i64);
+        let count = k.signal(0_i64);
+        let p = k.register(Echo { inp, count });
+        k.sensitize(p, inp);
+        k.run_until(SimTime::ns(1)).unwrap();
+        let base = k.peek(count);
+        k.poke(inp, 5); // same value — no event
+        k.run_until(SimTime::ns(2)).unwrap();
+        assert_eq!(k.peek(count), base);
+        k.poke(inp, 6);
+        k.run_until(SimTime::ns(3)).unwrap();
+        assert_eq!(k.peek(count), base + 1);
+    }
+
+    #[test]
+    fn zero_delay_oscillation_detected() {
+        struct Osc {
+            sig: Sig<bool>,
+        }
+        impl Process for Osc {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                let v = ctx.read(self.sig);
+                ctx.write(self.sig, !v);
+            }
+        }
+        let mut k = Kernel::new();
+        let sig = k.signal(false);
+        let p = k.register(Osc { sig });
+        k.sensitize(p, sig);
+        k.set_max_delta(100);
+        let err = k.run_until(SimTime::ns(1)).unwrap_err();
+        assert!(matches!(err, RunError::DeltaOverflow { limit: 100, .. }));
+        assert!(err.to_string().contains("delta-cycle overflow"));
+    }
+
+    #[test]
+    fn clock_counts_and_counters() {
+        let mut k = Kernel::new();
+        let clk = k.add_clock(SimTime::ns(10));
+        struct EdgeCounter {
+            clk: Sig<bool>,
+            rising: Sig<i64>,
+        }
+        impl Process for EdgeCounter {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                if ctx.read(self.clk) {
+                    let v = ctx.read(self.rising);
+                    ctx.write(self.rising, v + 1);
+                }
+            }
+        }
+        let rising = k.signal(0_i64);
+        let p = k.register(EdgeCounter { clk, rising });
+        k.sensitize(p, clk);
+        k.run_until(SimTime::ns(95)).unwrap();
+        assert_eq!(k.peek(rising), 10);
+        assert!(k.delta_cycles() > 0);
+    }
+
+    #[test]
+    fn tracing_records_value_changes_as_vcd() {
+        let mut k = Kernel::new();
+        let clk = k.add_clock(SimTime::ns(20));
+        let ramp = k.signal(0.0_f64);
+        struct Ramper {
+            clk: Sig<bool>,
+            out: Sig<f64>,
+        }
+        impl Process for Ramper {
+            fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+                if ctx.read(self.clk) {
+                    let v = ctx.read(self.out);
+                    ctx.write(self.out, v + 0.25);
+                }
+            }
+        }
+        let p = k.register(Ramper { clk, out: ramp });
+        k.sensitize(p, clk);
+        k.trace(ramp, "ramp");
+        k.trace_bit(clk, "clk");
+        k.run_until(SimTime::ns(95)).unwrap();
+
+        let trace = k.waveforms();
+        assert_eq!(trace.channel_names(), &["ramp", "clk"]);
+        // Clock toggles every 10 ns: ~10 events (plus the initial sample).
+        assert!(trace.channel(1).count() >= 10);
+        // Ramp rises by 0.25 on each rising edge.
+        let ramp_values: Vec<f64> = trace
+            .channel(0)
+            .filter_map(|e| match e.value {
+                TraceValue::Real(v) => Some(v),
+                TraceValue::Bit(_) => None,
+            })
+            .collect();
+        assert!(ramp_values.windows(2).all(|w| w[1] > w[0]), "monotone ramp");
+        let vcd = trace.to_vcd();
+        assert!(vcd.contains("$var real 64 ! ramp $end"));
+        assert!(vcd.contains("$var wire 1 \" clk $end"));
+    }
+
+    #[test]
+    fn run_until_advances_time_without_events() {
+        let mut k = Kernel::new();
+        k.run_until(SimTime::us(3)).unwrap();
+        assert_eq!(k.now(), SimTime::us(3));
+    }
+}

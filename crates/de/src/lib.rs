@@ -1,0 +1,54 @@
+//! A discrete-event simulation kernel modeled after the SystemC (IEEE
+//! 1666) scheduler — the "SystemC-DE" substrate of the paper's
+//! experiments.
+//!
+//! The kernel implements the classic evaluate/update cycle:
+//!
+//! 1. all processes activated at the current time run (*evaluate* phase);
+//!    signal writes are buffered, timed notifications are queued;
+//! 2. buffered writes are applied (*update* phase); every signal whose
+//!    value actually changed wakes its statically sensitive processes;
+//! 3. if anything woke up, a new *delta cycle* runs at the same time,
+//!    otherwise simulated time advances to the next queued event.
+//!
+//! Processes are plain structs implementing [`Process`]; they communicate
+//! through typed [`Sig`] handles into kernel-owned signal storage, so user
+//! code never needs interior mutability.
+//!
+//! # Example
+//!
+//! ```
+//! use amsvp_de::{Kernel, Process, ProcCtx, Sig, SimTime};
+//!
+//! struct Counter {
+//!     clk: Sig<bool>,
+//!     count: Sig<i64>,
+//! }
+//!
+//! impl Process for Counter {
+//!     fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
+//!         if ctx.read(self.clk) {
+//!             let c = ctx.read(self.count);
+//!             ctx.write(self.count, c + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut k = Kernel::new();
+//! let clk = k.add_clock(SimTime::ns(10));
+//! let count = k.signal(0_i64);
+//! let p = k.register(Counter { clk, count });
+//! k.sensitize(p, clk);
+//! k.run_until(SimTime::ns(95)).unwrap();
+//! assert_eq!(k.peek(count), 10); // rising edges at 0,10,...,90
+//! ```
+
+mod kernel;
+mod signal;
+mod time;
+pub mod trace;
+
+pub use kernel::{Kernel, ProcCtx, ProcId, Process, RunError};
+pub use signal::Sig;
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent, TraceValue};

@@ -1,0 +1,99 @@
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Typed handle to a kernel-owned signal.
+///
+/// `Sig` is a cheap `Copy` index; all storage lives in the
+/// [`Kernel`](crate::Kernel). Processes keep the handles they need and
+/// read/write through [`ProcCtx`](crate::ProcCtx).
+pub struct Sig<T> {
+    pub(crate) index: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Sig<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Sig<T> {}
+
+impl<T> std::fmt::Debug for Sig<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sig#{}", self.index)
+    }
+}
+
+impl<T> PartialEq for Sig<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl<T> Eq for Sig<T> {}
+
+/// Type-erased signal storage with SystemC update semantics: writes are
+/// buffered and only become visible in the update phase.
+pub(crate) trait AnySignal: Any {
+    /// Applies a buffered write; returns `true` when the visible value
+    /// actually changed (which wakes sensitive processes).
+    fn apply_pending(&mut self) -> bool;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+pub(crate) struct SignalState<T> {
+    pub current: T,
+    pub pending: Option<T>,
+}
+
+impl<T: Clone + PartialEq + 'static> AnySignal for SignalState<T> {
+    fn apply_pending(&mut self) -> bool {
+        match self.pending.take() {
+            Some(v) if v != self.current => {
+                self.current = v;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_is_copy_and_comparable() {
+        let a: Sig<f64> = Sig {
+            index: 3,
+            _marker: PhantomData,
+        };
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "Sig#3");
+    }
+
+    #[test]
+    fn pending_applies_only_on_change() {
+        let mut s = SignalState {
+            current: 1.0_f64,
+            pending: None,
+        };
+        assert!(!s.apply_pending(), "no pending write");
+        s.pending = Some(1.0);
+        assert!(!s.apply_pending(), "same value is not an event");
+        s.pending = Some(2.0);
+        assert!(s.apply_pending());
+        assert_eq!(s.current, 2.0);
+    }
+}

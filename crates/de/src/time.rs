@@ -1,0 +1,192 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulated time with femtosecond resolution.
+///
+/// A `u64` femtosecond counter covers ~5 hours of simulated time, far
+/// beyond the paper's longest run (10 s).
+///
+/// # Example
+///
+/// ```
+/// use amsvp_de::SimTime;
+///
+/// let t = SimTime::ns(50) + SimTime::ps(500);
+/// assert_eq!(t.as_fs(), 50_500_000);
+/// assert_eq!(SimTime::from_seconds(50e-9), SimTime::ns(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs from femtoseconds.
+    pub const fn fs(v: u64) -> SimTime {
+        SimTime(v)
+    }
+
+    /// Constructs from picoseconds.
+    pub const fn ps(v: u64) -> SimTime {
+        SimTime(v * 1_000)
+    }
+
+    /// Constructs from nanoseconds.
+    pub const fn ns(v: u64) -> SimTime {
+        SimTime(v * 1_000_000)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn us(v: u64) -> SimTime {
+        SimTime(v * 1_000_000_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn ms(v: u64) -> SimTime {
+        SimTime(v * 1_000_000_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn sec(v: u64) -> SimTime {
+        SimTime(v * 1_000_000_000_000_000)
+    }
+
+    /// Constructs from a floating-point second count (rounded to the
+    /// nearest femtosecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative, non-finite, or too large to
+    /// represent.
+    pub fn from_seconds(seconds: f64) -> SimTime {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid time {seconds}"
+        );
+        let fs = seconds * 1e15;
+        assert!(fs <= u64::MAX as f64, "time {seconds} s overflows SimTime");
+        SimTime(fs.round() as u64)
+    }
+
+    /// Raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds (lossy for very large times).
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        if fs == 0 {
+            return write!(f, "0 s");
+        }
+        let units = [
+            (1_000_000_000_000_000, "s"),
+            (1_000_000_000_000, "ms"),
+            (1_000_000_000, "us"),
+            (1_000_000, "ns"),
+            (1_000, "ps"),
+            (1, "fs"),
+        ];
+        for (scale, name) in units {
+            if fs.is_multiple_of(scale) {
+                return write!(f, "{} {name}", fs / scale);
+            }
+        }
+        unreachable!("1 fs divides everything")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale() {
+        assert_eq!(SimTime::ps(1).as_fs(), 1_000);
+        assert_eq!(SimTime::ns(1).as_fs(), 1_000_000);
+        assert_eq!(SimTime::us(1).as_fs(), 1_000_000_000);
+        assert_eq!(SimTime::ms(1).as_fs(), 1_000_000_000_000);
+        assert_eq!(SimTime::sec(1).as_fs(), 1_000_000_000_000_000);
+    }
+
+    #[test]
+    fn from_seconds_round_trips() {
+        assert_eq!(SimTime::from_seconds(50e-9), SimTime::ns(50));
+        assert_eq!(SimTime::from_seconds(0.0), SimTime::ZERO);
+        let t = SimTime::from_seconds(1.5e-3);
+        assert!((t.as_seconds() - 1.5e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::ns(10);
+        let b = SimTime::ns(3);
+        assert_eq!(a + b, SimTime::ns(13));
+        assert_eq!(a - b, SimTime::ns(7));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.checked_add(SimTime::fs(1)), None);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::ns(13));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ns(1) < SimTime::us(1));
+        assert!(SimTime::ZERO < SimTime::fs(1));
+    }
+
+    #[test]
+    fn display_picks_coarsest_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0 s");
+        assert_eq!(SimTime::ns(50).to_string(), "50 ns");
+        assert_eq!(SimTime::fs(1_500).to_string(), "1500 fs"); // not whole ps
+        assert_eq!(SimTime::sec(2).to_string(), "2 s");
+    }
+}

@@ -1,0 +1,279 @@
+/// A node of the electrical network. [`ElnNetwork::GROUND`] is the
+/// reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) i32);
+
+/// Identifier of any instantiated component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId(pub(crate) usize);
+
+/// Identifier of a value-settable source (independent V or I source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(pub(crate) usize);
+
+/// Identifier of a digitally controlled switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) enum Component {
+    Resistor {
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    },
+    Inductor {
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    },
+    /// Independent voltage source; value supplied at run time.
+    Vsource {
+        p: NodeId,
+        n: NodeId,
+    },
+    /// Independent current source (flows p → n inside the source).
+    Isource {
+        p: NodeId,
+        n: NodeId,
+    },
+    /// Voltage-controlled voltage source: `V(p,n) = gain · V(cp,cn)`.
+    Vcvs {
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    },
+    /// Voltage-controlled current source: `I(p→n) = gm · V(cp,cn)`.
+    Vccs {
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    },
+    /// Digitally controlled switch: a resistor toggling between `ron`
+    /// (closed) and `roff` (open).
+    Switch {
+        p: NodeId,
+        n: NodeId,
+        ron: f64,
+        roff: f64,
+        initially_closed: bool,
+    },
+}
+
+/// An electrical linear network described with predefined primitives.
+#[derive(Debug, Clone, Default)]
+pub struct ElnNetwork {
+    pub(crate) names: Vec<String>,
+    pub(crate) node_names: Vec<String>,
+    pub(crate) components: Vec<Component>,
+    pub(crate) sources: Vec<ComponentId>,
+    pub(crate) switches: Vec<ComponentId>,
+}
+
+impl ElnNetwork {
+    /// The reference (ground) node.
+    pub const GROUND: NodeId = NodeId(-1);
+
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        ElnNetwork::default()
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Creates a named node.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.node_names.push(name.into());
+        NodeId(self.node_names.len() as i32 - 1)
+    }
+
+    fn push(&mut self, name: impl Into<String>, c: Component) -> ComponentId {
+        self.names.push(name.into());
+        self.components.push(c);
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive.
+    pub fn resistor(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    ) -> ComponentId {
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.push(name, Component::Resistor { p, n, ohms })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive.
+    pub fn capacitor(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    ) -> ComponentId {
+        assert!(farads > 0.0, "capacitance must be positive");
+        self.push(name, Component::Capacitor { p, n, farads })
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not positive.
+    pub fn inductor(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    ) -> ComponentId {
+        assert!(henries > 0.0, "inductance must be positive");
+        self.push(name, Component::Inductor { p, n, henries })
+    }
+
+    /// Adds an independent voltage source whose value is set per step via
+    /// [`ElnSolver::set_source`](crate::ElnSolver::set_source).
+    pub fn vsource(&mut self, name: impl Into<String>, p: NodeId, n: NodeId) -> SourceId {
+        let c = self.push(name, Component::Vsource { p, n });
+        self.sources.push(c);
+        SourceId(self.sources.len() - 1)
+    }
+
+    /// Adds an independent current source (current flows p → n through
+    /// the external circuit).
+    pub fn isource(&mut self, name: impl Into<String>, p: NodeId, n: NodeId) -> SourceId {
+        let c = self.push(name, Component::Isource { p, n });
+        self.sources.push(c);
+        SourceId(self.sources.len() - 1)
+    }
+
+    /// Adds a voltage-controlled voltage source `V(p,n) = gain·V(cp,cn)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vcvs(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> ComponentId {
+        self.push(name, Component::Vcvs { p, n, cp, cn, gain })
+    }
+
+    /// Adds a digitally controlled switch: `ron` ohms when closed, `roff`
+    /// when open (SystemC-AMS `sca_eln::sca_de_rswitch`). Toggle it at run
+    /// time with [`ElnSolver::set_switch`](crate::ElnSolver::set_switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ron < roff`.
+    pub fn switch(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        ron: f64,
+        roff: f64,
+        initially_closed: bool,
+    ) -> SwitchId {
+        assert!(ron > 0.0 && roff > ron, "need 0 < ron < roff");
+        let c = self.push(
+            name,
+            Component::Switch {
+                p,
+                n,
+                ron,
+                roff,
+                initially_closed,
+            },
+        );
+        self.switches.push(c);
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Adds a voltage-controlled current source `I(p→n) = gm·V(cp,cn)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vccs(
+        &mut self,
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> ComponentId {
+        self.push(name, Component::Vccs { p, n, cp, cn, gm })
+    }
+
+    /// Name of a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn component_name(&self, c: ComponentId) -> &str {
+        &self.names[c.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counts() {
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        assert_eq!(net.node_count(), 2);
+        let r = net.resistor("r", a, b, 1e3);
+        net.capacitor("c", b, ElnNetwork::GROUND, 1e-9);
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        assert_eq!(net.component_count(), 3);
+        assert_eq!(net.component_name(r), "r");
+        let _ = v;
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistance_rejected() {
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        net.resistor("r", a, ElnNetwork::GROUND, -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_rejected() {
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        net.capacitor("c", a, ElnNetwork::GROUND, 0.0);
+    }
+}

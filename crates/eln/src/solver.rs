@@ -1,0 +1,597 @@
+use std::error::Error;
+use std::fmt;
+
+use linalg::{LuFactors, Matrix};
+
+use crate::network::{Component, ElnNetwork, NodeId, SourceId, SwitchId};
+use crate::ComponentId;
+
+/// Discretization method for the fixed-step transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// First-order implicit Euler — matches the abstraction pipeline.
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule — more accurate for smooth signals.
+    Trapezoidal,
+}
+
+/// Errors from solver construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElnError {
+    /// The MNA matrix is singular (floating node, source loop, ...).
+    Singular(linalg::SingularMatrixError),
+    /// The time step must be positive and finite.
+    InvalidTimeStep(f64),
+    /// The network has no nodes.
+    Empty,
+}
+
+impl fmt::Display for ElnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElnError::Singular(e) => write!(f, "MNA system is singular: {e}"),
+            ElnError::InvalidTimeStep(dt) => {
+                write!(f, "invalid time step {dt}; must be positive and finite")
+            }
+            ElnError::Empty => write!(f, "network has no nodes"),
+        }
+    }
+}
+
+impl Error for ElnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ElnError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::SingularMatrixError> for ElnError {
+    fn from(e: linalg::SingularMatrixError) -> Self {
+        ElnError::Singular(e)
+    }
+}
+
+/// Fixed-timestep MNA transient solver for an [`ElnNetwork`].
+///
+/// The system matrix is factored once at construction; each [`ElnSolver::step`]
+/// performs a right-hand-side build plus one LU solve, mirroring the cost
+/// profile of the SystemC-AMS ELN solver for linear, fixed-step networks.
+#[derive(Debug)]
+pub struct ElnSolver {
+    dt: f64,
+    method: Method,
+    /// Number of node-voltage unknowns.
+    n_nodes: usize,
+    /// Branch-current unknowns: component index → row offset.
+    branch_of: Vec<Option<usize>>,
+    lu: LuFactors,
+    g: Matrix,
+    c_over_dt: Matrix,
+    /// Current solution vector.
+    x: Vec<f64>,
+    x_prev: Vec<f64>,
+    /// Per-source value (set by [`ElnSolver::set_source`]).
+    source_values: Vec<f64>,
+    prev_source_values: Vec<f64>,
+    /// Source component indices with their row info, for rhs builds.
+    sources: Vec<ComponentId>,
+    components: Vec<Component>,
+    /// Switch component ids and their current state.
+    switches: Vec<ComponentId>,
+    switch_closed: Vec<bool>,
+    dt_for_refactor: f64,
+    method_for_refactor: Method,
+    rhs: Vec<f64>,
+    time: f64,
+    steps: u64,
+    refactorizations: u64,
+}
+
+impl ElnSolver {
+    /// Assembles and factors the MNA system.
+    ///
+    /// # Errors
+    ///
+    /// * [`ElnError::InvalidTimeStep`] for a bad `dt`;
+    /// * [`ElnError::Empty`] for a node-less network;
+    /// * [`ElnError::Singular`] when the topology is ill-posed.
+    pub fn new(net: &ElnNetwork, dt: f64, method: Method) -> Result<Self, ElnError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(ElnError::InvalidTimeStep(dt));
+        }
+        let n_nodes = net.node_count();
+        if n_nodes == 0 {
+            return Err(ElnError::Empty);
+        }
+        // Assign branch-current rows to components that need them.
+        let mut branch_of = vec![None; net.components.len()];
+        let mut next = n_nodes;
+        for (i, c) in net.components.iter().enumerate() {
+            if matches!(
+                c,
+                Component::Vsource { .. } | Component::Vcvs { .. } | Component::Inductor { .. }
+            ) {
+                branch_of[i] = Some(next);
+                next += 1;
+            }
+        }
+        let dim = next;
+        let switch_closed: Vec<bool> = net
+            .switches
+            .iter()
+            .map(|&c| match net.components[c.0] {
+                Component::Switch {
+                    initially_closed, ..
+                } => initially_closed,
+                _ => unreachable!("switch list holds switches"),
+            })
+            .collect();
+        let (g, c_mat) =
+            stamp_matrices(&net.components, &branch_of, dim, &net.switches, &switch_closed);
+
+        let c_over_dt = &c_mat * (1.0 / dt);
+        let a = match method {
+            Method::BackwardEuler => &g + &c_over_dt,
+            Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
+        };
+        let lu = LuFactors::factor(&a)?;
+        Ok(ElnSolver {
+            dt,
+            method,
+            n_nodes,
+            branch_of,
+            lu,
+            g,
+            c_over_dt,
+            x: vec![0.0; dim],
+            x_prev: vec![0.0; dim],
+            source_values: vec![0.0; net.sources.len()],
+            prev_source_values: vec![0.0; net.sources.len()],
+            sources: net.sources.clone(),
+            components: net.components.clone(),
+            switches: net.switches.clone(),
+            switch_closed,
+            dt_for_refactor: dt,
+            method_for_refactor: method,
+            rhs: vec![0.0; dim],
+            time: 0.0,
+            steps: 0,
+            refactorizations: 0,
+        })
+    }
+
+    /// Opens or closes a digitally controlled switch. A state change
+    /// re-stamps and re-factors the system matrix (the cost SystemC-AMS
+    /// pays for `sca_de_rswitch` toggles too); steady states cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ElnError::Singular`] if the new topology is ill-posed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn set_switch(&mut self, sw: SwitchId, closed: bool) -> Result<(), ElnError> {
+        if self.switch_closed[sw.0] == closed {
+            return Ok(());
+        }
+        self.switch_closed[sw.0] = closed;
+        let dim = self.x.len();
+        let (g, c_mat) = stamp_matrices(
+            &self.components,
+            &self.branch_of,
+            dim,
+            &self.switches,
+            &self.switch_closed,
+        );
+        let dt = self.dt_for_refactor;
+        let a = match self.method_for_refactor {
+            Method::BackwardEuler => &g + &(&c_mat * (1.0 / dt)),
+            Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
+        };
+        self.lu = LuFactors::factor(&a)?;
+        self.g = g;
+        self.c_over_dt = &c_mat * (1.0 / dt);
+        self.refactorizations += 1;
+        Ok(())
+    }
+
+    /// Whether a switch is currently closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn switch_closed(&self, sw: SwitchId) -> bool {
+        self.switch_closed[sw.0]
+    }
+
+    /// Matrix refactorizations triggered by switch toggles.
+    pub fn refactorizations(&self) -> u64 {
+        self.refactorizations
+    }
+
+    /// Time step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Current simulated time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Sets the value of an independent source for the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn set_source(&mut self, s: SourceId, value: f64) {
+        self.source_values[s.0] = value;
+    }
+
+    /// Voltage of a node (ground reads 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn node_voltage(&self, n: NodeId) -> f64 {
+        if n.0 < 0 {
+            0.0
+        } else {
+            self.x[n.0 as usize]
+        }
+    }
+
+    /// Branch current of a component that carries a current unknown
+    /// (voltage sources, VCVS, inductors); `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn branch_current(&self, c: ComponentId) -> Option<f64> {
+        self.branch_of[c.0].map(|row| self.x[row])
+    }
+
+    /// Advances the network by one time step.
+    pub fn step(&mut self) {
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+        // Source excitation. The trapezoidal companion form is
+        // (G + 2C/h)·x_k = (2C/h − G)·x_{k−1} + b_k + b_{k−1}:
+        // the *sum* of excitations, uniformly for every row (the −G·x_{k−1}
+        // term cancels b_{k−1} on algebraic source rows).
+        let blend = self.method == Method::Trapezoidal;
+        for (k, &cid) in self.sources.iter().enumerate() {
+            let v = if blend {
+                self.source_values[k] + self.prev_source_values[k]
+            } else {
+                self.source_values[k]
+            };
+            match self.components[cid.0] {
+                Component::Vsource { .. } => {
+                    let b = self.branch_of[cid.0].expect("source branch");
+                    self.rhs[b] += v;
+                }
+                Component::Isource { p, n } => {
+                    if p.0 >= 0 {
+                        self.rhs[p.0 as usize] -= v;
+                    }
+                    if n.0 >= 0 {
+                        self.rhs[n.0 as usize] += v;
+                    }
+                }
+                _ => unreachable!("only independent sources are registered"),
+            }
+        }
+        // History terms.
+        match self.method {
+            Method::BackwardEuler => {
+                // rhs += (C/dt)·x_prev
+                let hist = self.c_over_dt.mul_vec(&self.x_prev);
+                for (r, h) in self.rhs.iter_mut().zip(hist) {
+                    *r += h;
+                }
+            }
+            Method::Trapezoidal => {
+                // rhs += (2C/dt)·x_prev − G·x_prev
+                let hist = self.c_over_dt.mul_vec(&self.x_prev);
+                let gh = self.g.mul_vec(&self.x_prev);
+                for ((r, h), gterm) in self.rhs.iter_mut().zip(hist).zip(gh) {
+                    *r += 2.0 * h - gterm;
+                }
+            }
+        }
+        self.lu.solve_into(&self.rhs, &mut self.x);
+        self.x_prev.copy_from_slice(&self.x);
+        self.prev_source_values.copy_from_slice(&self.source_values);
+        self.time += self.dt;
+        self.steps += 1;
+    }
+
+    /// Number of MNA unknowns (diagnostics).
+    pub fn dim(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of node-voltage unknowns.
+    pub fn node_unknowns(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+/// Stamps the conductance and capacitance matrices for the component set,
+/// with switches contributing `1/ron` or `1/roff` per their state.
+fn stamp_matrices(
+    components: &[Component],
+    branch_of: &[Option<usize>],
+    dim: usize,
+    switches: &[ComponentId],
+    switch_closed: &[bool],
+) -> (Matrix, Matrix) {
+    let mut g = Matrix::zeros(dim, dim);
+    let mut c_mat = Matrix::zeros(dim, dim);
+    let idx = |n: NodeId| -> Option<usize> { (n.0 >= 0).then_some(n.0 as usize) };
+    let stamp = |m: &mut Matrix, r: Option<usize>, col: Option<usize>, v: f64| {
+        if let (Some(r), Some(c)) = (r, col) {
+            m.stamp(r, c, v);
+        }
+    };
+    let stamp_conductance = |g: &mut Matrix, p: NodeId, n: NodeId, gval: f64| {
+        let (p, n) = (idx(p), idx(n));
+        stamp(g, p, p, gval);
+        stamp(g, n, n, gval);
+        stamp(g, p, n, -gval);
+        stamp(g, n, p, -gval);
+    };
+
+    for (i, comp) in components.iter().enumerate() {
+        match *comp {
+            Component::Resistor { p, n, ohms } => {
+                stamp_conductance(&mut g, p, n, 1.0 / ohms);
+            }
+            Component::Switch { p, n, ron, roff, .. } => {
+                let k = switches
+                    .iter()
+                    .position(|c| c.0 == i)
+                    .expect("switch registered");
+                let ohms = if switch_closed[k] { ron } else { roff };
+                stamp_conductance(&mut g, p, n, 1.0 / ohms);
+            }
+            Component::Capacitor { p, n, farads } => {
+                stamp_conductance(&mut c_mat, p, n, farads);
+            }
+            Component::Inductor { p, n, henries } => {
+                let b = branch_of[i].expect("inductors get branch rows");
+                let (p, n) = (idx(p), idx(n));
+                // Node equations: current enters p, leaves n.
+                stamp(&mut g, p, Some(b), 1.0);
+                stamp(&mut g, n, Some(b), -1.0);
+                // Branch equation: V(p) − V(n) − L·dI/dt = 0.
+                stamp(&mut g, Some(b), p, 1.0);
+                stamp(&mut g, Some(b), n, -1.0);
+                c_mat.stamp(b, b, -henries);
+            }
+            Component::Vsource { p, n } => {
+                let b = branch_of[i].expect("sources get branch rows");
+                let (p, n) = (idx(p), idx(n));
+                stamp(&mut g, p, Some(b), 1.0);
+                stamp(&mut g, n, Some(b), -1.0);
+                stamp(&mut g, Some(b), p, 1.0);
+                stamp(&mut g, Some(b), n, -1.0);
+                // rhs row b gets the source value at run time.
+            }
+            Component::Isource { .. } => {
+                // Pure rhs contribution.
+            }
+            Component::Vcvs { p, n, cp, cn, gain } => {
+                let b = branch_of[i].expect("VCVS gets a branch row");
+                let (p, n) = (idx(p), idx(n));
+                let (cp, cn) = (idx(cp), idx(cn));
+                stamp(&mut g, p, Some(b), 1.0);
+                stamp(&mut g, n, Some(b), -1.0);
+                // V(p) − V(n) − gain·(V(cp) − V(cn)) = 0.
+                stamp(&mut g, Some(b), p, 1.0);
+                stamp(&mut g, Some(b), n, -1.0);
+                stamp(&mut g, Some(b), cp, -gain);
+                stamp(&mut g, Some(b), cn, gain);
+            }
+            Component::Vccs { p, n, cp, cn, gm } => {
+                let (p, n) = (idx(p), idx(n));
+                let (cp, cn) = (idx(cp), idx(cn));
+                stamp(&mut g, p, cp, gm);
+                stamp(&mut g, p, cn, -gm);
+                stamp(&mut g, n, cp, -gm);
+                stamp(&mut g, n, cn, gm);
+            }
+        }
+    }
+    (g, c_mat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> (ElnNetwork, SourceId, crate::NodeId) {
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let out = net.node("out");
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        net.resistor("r", a, out, 5e3);
+        net.capacitor("c", out, ElnNetwork::GROUND, 25e-9);
+        (net, v, out)
+    }
+
+    #[test]
+    fn rc_step_response_backward_euler() {
+        let (net, v, out) = rc();
+        let tau = 5e3 * 25e-9;
+        let mut s = ElnSolver::new(&net, tau / 1000.0, Method::BackwardEuler).unwrap();
+        s.set_source(v, 1.0);
+        for _ in 0..1000 {
+            s.step();
+        }
+        let analytic = 1.0 - (-1.0_f64).exp();
+        assert!((s.node_voltage(out) - analytic).abs() < 1e-3);
+        assert_eq!(s.steps(), 1000);
+        assert!((s.time() - tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_on_sine() {
+        let (net, v, out) = rc();
+        let tau = 5e3 * 25e-9;
+        let omega = 2.0 * std::f64::consts::PI / (20.0 * tau);
+        let dt = tau / 50.0;
+        let steps = 4000;
+        // Analytic steady-state response of the low-pass.
+        let gain = 1.0 / (1.0 + (omega * tau).powi(2)).sqrt();
+        let phase = -(omega * tau).atan();
+
+        let run = |method: Method| {
+            let mut s = ElnSolver::new(&net, dt, method).unwrap();
+            let mut err: f64 = 0.0;
+            for k in 0..steps {
+                let t = (k + 1) as f64 * dt;
+                s.set_source(v, (omega * t).sin());
+                s.step();
+                if k > steps / 2 {
+                    let expect = gain * (omega * t + phase).sin();
+                    err = err.max((s.node_voltage(out) - expect).abs());
+                }
+            }
+            err
+        };
+        let be = run(Method::BackwardEuler);
+        let tr = run(Method::Trapezoidal);
+        assert!(
+            tr < be / 5.0,
+            "trapezoidal ({tr:.2e}) must beat backward Euler ({be:.2e})"
+        );
+    }
+
+    #[test]
+    fn resistive_divider_is_exact() {
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let mid = net.node("mid");
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        let rtop = net.resistor("r1", a, mid, 1e3);
+        net.resistor("r2", mid, ElnNetwork::GROUND, 3e3);
+        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        s.set_source(v, 4.0);
+        s.step();
+        assert!((s.node_voltage(mid) - 3.0).abs() < 1e-12);
+        // Source current flows from + through the circuit: 1 mA.
+        let i = s.branch_current(rtop);
+        assert_eq!(i, None, "resistors carry no explicit branch unknown");
+        assert_eq!(s.node_unknowns(), 2);
+    }
+
+    #[test]
+    fn vcvs_inverting_amplifier() {
+        // in —R1— inm —R2— out, out driven by VCVS −1e5·V(inm).
+        let mut net = ElnNetwork::new();
+        let inp = net.node("in");
+        let inm = net.node("inm");
+        let out = net.node("out");
+        let v = net.vsource("vin", inp, ElnNetwork::GROUND);
+        net.resistor("r1", inp, inm, 1e3);
+        net.resistor("r2", inm, out, 4e3);
+        net.vcvs("op", out, ElnNetwork::GROUND, ElnNetwork::GROUND, inm, 1e5);
+        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        s.set_source(v, 1.0);
+        s.step();
+        assert!((s.node_voltage(out) + 4.0).abs() < 1e-3, "gain −R2/R1");
+    }
+
+    #[test]
+    fn vccs_converts_voltage_to_current() {
+        // gm·V(in) into a load resistor: V(out) = −gm·R·V(in).
+        let mut net = ElnNetwork::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        let v = net.vsource("vin", inp, ElnNetwork::GROUND);
+        net.vccs("g", out, ElnNetwork::GROUND, inp, ElnNetwork::GROUND, 1e-3);
+        net.resistor("rl", out, ElnNetwork::GROUND, 2e3);
+        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        s.set_source(v, 1.0);
+        s.step();
+        assert!((s.node_voltage(out) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rl_circuit_current_rises() {
+        // V —R—L— gnd: i(t) = V/R (1 − e^{−tR/L}).
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        net.resistor("r", a, b, 100.0);
+        let l = net.inductor("l", b, ElnNetwork::GROUND, 1e-3);
+        let tau = 1e-3 / 100.0;
+        let mut s = ElnSolver::new(&net, tau / 1000.0, Method::BackwardEuler).unwrap();
+        s.set_source(v, 1.0);
+        for _ in 0..1000 {
+            s.step();
+        }
+        let i = s.branch_current(l).unwrap();
+        let analytic = (1.0 / 100.0) * (1.0 - (-1.0_f64).exp());
+        assert!((i - analytic).abs() < 1e-5, "{i} vs {analytic}");
+    }
+
+    #[test]
+    fn switch_toggles_divider_ratio() {
+        // vin —switch— out —rl— gnd: closed ⇒ divider, open ⇒ out ≈ 0.
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let out = net.node("out");
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        let sw = net.switch("sw", a, out, 1e3, 1e9, true);
+        net.resistor("rl", out, ElnNetwork::GROUND, 1e3);
+        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        s.set_source(v, 2.0);
+        s.step();
+        assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed: half");
+        assert!(s.switch_closed(sw));
+        s.set_switch(sw, false).unwrap();
+        s.step();
+        assert!(s.node_voltage(out).abs() < 1e-5, "open: pulled to ground");
+        assert_eq!(s.refactorizations(), 1);
+        // Toggling to the same state is free.
+        s.set_switch(sw, false).unwrap();
+        assert_eq!(s.refactorizations(), 1);
+        s.set_switch(sw, true).unwrap();
+        s.step();
+        assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed again");
+        assert_eq!(s.refactorizations(), 2);
+    }
+
+    #[test]
+    fn construction_errors() {
+        let (net, _, _) = rc();
+        assert!(matches!(
+            ElnSolver::new(&net, 0.0, Method::BackwardEuler),
+            Err(ElnError::InvalidTimeStep(_))
+        ));
+        assert!(matches!(
+            ElnSolver::new(&ElnNetwork::new(), 1e-9, Method::BackwardEuler),
+            Err(ElnError::Empty)
+        ));
+        // Floating node → singular.
+        let mut bad = ElnNetwork::new();
+        let a = bad.node("a");
+        let b = bad.node("b");
+        bad.resistor("r", a, b, 1e3); // no ground reference at all
+        let err = ElnSolver::new(&bad, 1e-9, Method::BackwardEuler).unwrap_err();
+        assert!(matches!(err, ElnError::Singular(_)));
+        assert!(err.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,219 @@
+use crate::{BinOp, Expr, Func};
+
+impl<V: Clone + Ord> Expr<V> {
+    /// Symbolic partial derivative with respect to `v`.
+    ///
+    /// Delayed values ([`Expr::Prev`]) are treated as constants — in a
+    /// time-stepping solver they belong to the previous step and do not
+    /// depend on the current unknowns. This is exactly what the reference
+    /// conservative simulator needs to build analytic Newton Jacobians
+    /// after discretization.
+    ///
+    /// Returns `None` when the derivative is not expressible in this
+    /// algebra: remaining `ddt`/`idt` operators, `pow` with a
+    /// target-dependent exponent, or relational guards depending on `v`
+    /// (piecewise definitions differentiate branch-wise only when the guard
+    /// is independent of `v`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_expr::Expr;
+    ///
+    /// let e = Expr::var("x") * Expr::var("x"); // x²
+    /// let d = e.derivative(&"x").unwrap();
+    /// let v = d.eval(&mut |_: &&str, _| Some(3.0)).unwrap();
+    /// assert_eq!(v, 6.0); // 2x at x = 3
+    /// ```
+    pub fn derivative(&self, v: &V) -> Option<Expr<V>> {
+        let d = self.derivative_raw(v)?;
+        Some(d.simplified())
+    }
+
+    fn derivative_raw(&self, v: &V) -> Option<Expr<V>> {
+        if !self.contains_var(v) {
+            return Some(Expr::Num(0.0));
+        }
+        Some(match self {
+            Expr::Var(x) if x == v => Expr::Num(1.0),
+            Expr::Neg(a) => -a.derivative_raw(v)?,
+            Expr::Bin(BinOp::Add, a, b) => a.derivative_raw(v)? + b.derivative_raw(v)?,
+            Expr::Bin(BinOp::Sub, a, b) => a.derivative_raw(v)? - b.derivative_raw(v)?,
+            Expr::Bin(BinOp::Mul, a, b) => {
+                a.derivative_raw(v)? * (**b).clone() + (**a).clone() * b.derivative_raw(v)?
+            }
+            Expr::Bin(BinOp::Div, a, b) => {
+                let da = a.derivative_raw(v)?;
+                let db = b.derivative_raw(v)?;
+                (da * (**b).clone() - (**a).clone() * db)
+                    / ((**b).clone() * (**b).clone())
+            }
+            Expr::Call(f, args) => return derive_call(*f, args, v),
+            Expr::Cond(c, t, e) => {
+                if c.contains_var(v) {
+                    return None;
+                }
+                Expr::cond(
+                    (**c).clone(),
+                    t.derivative_raw(v)?,
+                    e.derivative_raw(v)?,
+                )
+            }
+            // Relational/logical results are piecewise-constant in v; their
+            // derivative is zero almost everywhere, but a dependence on v
+            // means the expression is discontinuous in v — reject it so the
+            // Newton solver falls back to numeric differencing.
+            Expr::Bin(_, _, _) => return None,
+            Expr::Ddt(_) | Expr::Idt(_) => return None,
+            // contains_var was true, so plain leaves cannot reach here.
+            Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => unreachable!(),
+        })
+    }
+}
+
+fn derive_call<V: Clone + Ord>(f: Func, args: &[Expr<V>], v: &V) -> Option<Expr<V>> {
+    let a = args[0].clone();
+    let da = args[0].derivative_raw(v)?;
+    let d = match f {
+        Func::Exp => da * Expr::call1(Func::Exp, a),
+        Func::Ln => da / a,
+        Func::Log10 => da / (a * Expr::num(std::f64::consts::LN_10)),
+        Func::Sin => da * Expr::call1(Func::Cos, a),
+        Func::Cos => -(da * Expr::call1(Func::Sin, a)),
+        Func::Tan => {
+            let c = Expr::call1(Func::Cos, a);
+            da / (c.clone() * c)
+        }
+        Func::Sinh => da * Expr::call1(Func::Cosh, a),
+        Func::Cosh => da * Expr::call1(Func::Sinh, a),
+        Func::Tanh => {
+            let t = Expr::call1(Func::Tanh, a);
+            da * (Expr::num(1.0) - t.clone() * t)
+        }
+        Func::Atan => da / (Expr::num(1.0) + a.clone() * a),
+        Func::Sqrt => da / (Expr::num(2.0) * Expr::call1(Func::Sqrt, a)),
+        Func::Abs => {
+            // d|a|/dv = sign(a) * da, expressed piecewise.
+            Expr::cond(
+                Expr::bin(BinOp::Ge, a, Expr::num(0.0)),
+                da.clone(),
+                -da,
+            )
+        }
+        Func::Floor | Func::Ceil => Expr::num(0.0),
+        Func::Min => {
+            let b = args[1].clone();
+            let db = args[1].derivative_raw(v)?;
+            Expr::cond(Expr::bin(BinOp::Le, a, b), da, db)
+        }
+        Func::Max => {
+            let b = args[1].clone();
+            let db = args[1].derivative_raw(v)?;
+            Expr::cond(Expr::bin(BinOp::Ge, a, b), da, db)
+        }
+        Func::Pow => {
+            let b = &args[1];
+            if b.contains_var(v) {
+                return None;
+            }
+            // d(a^b)/dv = b * a^(b-1) * da, for exponent independent of v.
+            b.clone()
+                * Expr::call2(Func::Pow, a, b.clone() - Expr::num(1.0))
+                * da
+        }
+    };
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Expr<&'static str> {
+        Expr::var("x")
+    }
+
+    fn eval_at(e: &Expr<&'static str>, xv: f64) -> f64 {
+        e.eval(&mut |v: &&str, _| (*v == "x").then_some(xv)).unwrap()
+    }
+
+    #[test]
+    fn polynomial_rules() {
+        let e = x() * x() * Expr::num(3.0) + x(); // 3x² + x → 6x + 1
+        let d = e.derivative(&"x").unwrap();
+        assert!((eval_at(&d, 2.0) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        let e = Expr::num(1.0) / x(); // -1/x²
+        let d = e.derivative(&"x").unwrap();
+        assert!((eval_at(&d, 2.0) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_rule_through_functions() {
+        let e = Expr::call1(Func::Exp, Expr::num(2.0) * x());
+        let d = e.derivative(&"x").unwrap();
+        let expect = 2.0 * (2.0_f64 * 1.5).exp();
+        assert!((eval_at(&d, 1.5) - expect).abs() < 1e-9);
+
+        let e = Expr::call1(Func::Sin, x());
+        let d = e.derivative(&"x").unwrap();
+        assert!((eval_at(&d, 0.7) - 0.7_f64.cos()).abs() < 1e-12);
+
+        let e = Expr::call1(Func::Tanh, x());
+        let d = e.derivative(&"x").unwrap();
+        let t = 0.3_f64.tanh();
+        assert!((eval_at(&d, 0.3) - (1.0 - t * t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prev_is_constant() {
+        let e = x() * Expr::prev("x");
+        let d = e.derivative(&"x").unwrap();
+        let v = d
+            .eval(&mut |v: &&str, delay| match (*v, delay) {
+                ("x", 0) => Some(2.0),
+                ("x", 1) => Some(7.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn abs_and_minmax_piecewise() {
+        let e = Expr::call1(Func::Abs, x());
+        let d = e.derivative(&"x").unwrap();
+        assert_eq!(eval_at(&d, 3.0), 1.0);
+        assert_eq!(eval_at(&d, -3.0), -1.0);
+
+        let e = Expr::call2(Func::Max, x() * Expr::num(2.0), Expr::num(1.0));
+        let d = e.derivative(&"x").unwrap();
+        assert_eq!(eval_at(&d, 5.0), 2.0);
+        assert_eq!(eval_at(&d, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pow_constant_exponent() {
+        let e = Expr::call2(Func::Pow, x(), Expr::num(3.0));
+        let d = e.derivative(&"x").unwrap();
+        assert!((eval_at(&d, 2.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_cases_return_none() {
+        assert!(Expr::ddt(x()).derivative(&"x").is_none());
+        let e = Expr::call2(Func::Pow, Expr::num(2.0), x());
+        assert!(e.derivative(&"x").is_none());
+        let guard_dep = Expr::cond(x(), Expr::num(1.0), Expr::num(0.0));
+        assert!(guard_dep.derivative(&"x").is_none());
+    }
+
+    #[test]
+    fn derivative_of_free_expression_is_zero() {
+        let e = Expr::var("y") * Expr::num(5.0);
+        assert_eq!(e.derivative(&"x").unwrap(), Expr::num(0.0));
+    }
+}

@@ -1,0 +1,165 @@
+use std::fmt;
+
+use crate::{BinOp, Expr};
+
+/// Operator precedence for parenthesization (higher binds tighter).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div => 6,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+impl<V: fmt::Display> Expr<V> {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Num(v) => {
+                if *v < 0.0 && parent > 5 {
+                    write!(f, "({v})")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Prev(v, 1) => write!(f, "prev({v})"),
+            Expr::Prev(v, k) => write!(f, "prev({v}, {k})"),
+            Expr::Neg(a) => {
+                write!(f, "-")?;
+                a.fmt_prec(f, 7)
+            }
+            Expr::Bin(op, a, b) => {
+                let p = precedence(*op);
+                let needs_parens = p < parent;
+                if needs_parens {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, p)?;
+                write!(f, " {} ", op_str(*op))?;
+                // Right operand gets p+1 so non-associative `-`/`/` chains
+                // print their grouping.
+                b.fmt_prec(f, p + 1)?;
+                if needs_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Ddt(a) => {
+                write!(f, "ddt(")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, ")")
+            }
+            Expr::Idt(a) => {
+                write!(f, "idt(")?;
+                a.fmt_prec(f, 0)?;
+                write!(f, ")")
+            }
+            Expr::Cond(c, t, e) => {
+                write!(f, "(")?;
+                c.fmt_prec(f, 0)?;
+                write!(f, " ? ")?;
+                t.fmt_prec(f, 0)?;
+                write!(f, " : ")?;
+                e.fmt_prec(f, 0)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Expr<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Func;
+
+    fn x() -> Expr<&'static str> {
+        Expr::var("x")
+    }
+    fn y() -> Expr<&'static str> {
+        Expr::var("y")
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        let e = (x() + y()) * Expr::num(2.0);
+        assert_eq!(e.to_string(), "(x + y) * 2");
+        let e = x() + y() * Expr::num(2.0);
+        assert_eq!(e.to_string(), "x + y * 2");
+    }
+
+    #[test]
+    fn subtraction_grouping_is_explicit() {
+        let e = x() - (y() - Expr::num(1.0));
+        assert_eq!(e.to_string(), "x - (y - 1)");
+        let e = (x() - y()) - Expr::num(1.0);
+        assert_eq!(e.to_string(), "x - y - 1");
+    }
+
+    #[test]
+    fn functions_and_analog_ops() {
+        let e = Expr::call1(Func::Exp, x()) + Expr::ddt(y());
+        assert_eq!(e.to_string(), "exp(x) + ddt(y)");
+        let e = Expr::call2(Func::Max, x(), Expr::num(0.0));
+        assert_eq!(e.to_string(), "max(x, 0)");
+    }
+
+    #[test]
+    fn prev_and_cond() {
+        let e = Expr::cond(
+            Expr::bin(crate::BinOp::Gt, x(), Expr::num(0.0)),
+            Expr::prev("x"),
+            Expr::prev_n("x", 2),
+        );
+        assert_eq!(e.to_string(), "(x > 0 ? prev(x) : prev(x, 2))");
+    }
+
+    #[test]
+    fn negative_literal_in_product() {
+        let e = x() * Expr::num(-3.0);
+        assert_eq!(e.to_string(), "x * (-3)");
+    }
+
+    #[test]
+    fn neg_binds_tightly() {
+        let e = -(x() + y());
+        assert_eq!(e.to_string(), "-(x + y)");
+        let e = -x() + y();
+        assert_eq!(e.to_string(), "-x + y");
+    }
+}

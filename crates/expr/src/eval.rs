@@ -1,0 +1,165 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Expr;
+
+/// Error produced by [`Expr::eval`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable (current or delayed) had no value in the environment.
+    /// Carries the `Display` rendering of the variable.
+    UnknownVariable(String),
+    /// A `ddt`/`idt` analog operator was still present; such expressions
+    /// must be discretized before numeric evaluation.
+    UnresolvedAnalogOp,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable(name) => {
+                write!(f, "unknown variable `{name}` during evaluation")
+            }
+            EvalError::UnresolvedAnalogOp => {
+                write!(f, "ddt/idt operator not resolved before evaluation")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+impl<V: Clone + Ord + fmt::Display> Expr<V> {
+    /// Evaluates the expression against a variable environment.
+    ///
+    /// The environment is a closure `(variable, delay) -> Option<f64>`;
+    /// `delay == 0` requests the current value, `delay == k` the value `k`
+    /// steps ago. Returning `None` aborts evaluation with
+    /// [`EvalError::UnknownVariable`].
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::UnknownVariable`] when the environment cannot resolve
+    ///   a leaf.
+    /// * [`EvalError::UnresolvedAnalogOp`] when the tree still contains
+    ///   `ddt`/`idt` (see [`Expr::has_analog_op`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_expr::Expr;
+    ///
+    /// let e = Expr::var("x") - Expr::prev("x");
+    /// let v = e.eval(&mut |_: &&str, delay| Some(if delay == 0 { 5.0 } else { 3.0 }));
+    /// assert_eq!(v.unwrap(), 2.0);
+    /// ```
+    pub fn eval(
+        &self,
+        env: &mut impl FnMut(&V, u32) -> Option<f64>,
+    ) -> Result<f64, EvalError> {
+        match self {
+            Expr::Num(v) => Ok(*v),
+            Expr::Var(v) => {
+                env(v, 0).ok_or_else(|| EvalError::UnknownVariable(v.to_string()))
+            }
+            Expr::Prev(v, k) => {
+                env(v, *k).ok_or_else(|| EvalError::UnknownVariable(v.to_string()))
+            }
+            Expr::Neg(a) => Ok(-a.eval(env)?),
+            Expr::Bin(op, a, b) => Ok(op.apply(a.eval(env)?, b.eval(env)?)),
+            Expr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env)?);
+                }
+                Ok(f.apply(&vals))
+            }
+            Expr::Ddt(_) | Expr::Idt(_) => Err(EvalError::UnresolvedAnalogOp),
+            Expr::Cond(c, t, e) => {
+                if c.eval(env)? != 0.0 {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+
+    /// Evaluates an expression that contains no variables at all.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::UnknownVariable`] if a variable is present,
+    /// or [`EvalError::UnresolvedAnalogOp`] for `ddt`/`idt`.
+    pub fn eval_const(&self) -> Result<f64, EvalError> {
+        self.eval(&mut |_, _| None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Func};
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = (Expr::var("a") + Expr::num(2.0)) * Expr::var("b");
+        let v = e
+            .eval(&mut |v: &&str, _| match *v {
+                "a" => Some(1.0),
+                "b" => Some(3.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn eval_functions_and_cond() {
+        let e = Expr::cond(
+            Expr::bin(BinOp::Gt, Expr::var("x"), Expr::num(0.0)),
+            Expr::call1(Func::Sqrt, Expr::var("x")),
+            Expr::num(-1.0),
+        );
+        assert_eq!(e.eval(&mut |_, _| Some(4.0)).unwrap(), 2.0);
+        assert_eq!(e.eval(&mut |_, _| Some(-4.0)).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn eval_prev_uses_delay() {
+        let e = Expr::prev_n("x", 2);
+        let v = e
+            .eval(&mut |_: &&str, k| Some(f64::from(k) * 10.0))
+            .unwrap();
+        assert_eq!(v, 20.0);
+    }
+
+    #[test]
+    fn unknown_variable_reports_name() {
+        let e = Expr::var("mystery");
+        let err = e.eval(&mut |_: &&str, _| None).unwrap_err();
+        assert_eq!(err, EvalError::UnknownVariable("mystery".into()));
+        assert!(err.to_string().contains("mystery"));
+    }
+
+    #[test]
+    fn analog_ops_refuse_evaluation() {
+        let e = Expr::ddt(Expr::var("x"));
+        assert_eq!(
+            e.eval(&mut |_: &&str, _| Some(1.0)).unwrap_err(),
+            EvalError::UnresolvedAnalogOp
+        );
+        let e = Expr::idt(Expr::var("x"));
+        assert_eq!(
+            e.eval(&mut |_: &&str, _| Some(1.0)).unwrap_err(),
+            EvalError::UnresolvedAnalogOp
+        );
+    }
+
+    #[test]
+    fn eval_const_works_without_env() {
+        let e: Expr<&str> = Expr::num(2.0) * Expr::num(21.0);
+        assert_eq!(e.eval_const().unwrap(), 42.0);
+        assert!(Expr::var("x").eval_const().is_err());
+    }
+}

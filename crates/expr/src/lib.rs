@@ -1,0 +1,622 @@
+//! Symbolic expression engine for the mixed-signal abstraction pipeline.
+//!
+//! Every stage of the DATE 2016 abstraction methodology manipulates the
+//! right-hand sides of dipole/Kirchhoff equations as expression trees
+//! ("values and variables are leaves of the tree whereas operators are
+//! intermediate nodes", §IV-A of the paper). This crate provides that tree —
+//! [`Expr`] — together with the operations those stages need:
+//!
+//! * arithmetic/relational operators, math functions, conditionals,
+//!   and the analog operators `ddt`/`idt` ([`Expr::Ddt`], [`Expr::Idt`]);
+//! * delayed-value references ([`Expr::Prev`]) that appear once derivatives
+//!   have been discretized (the paper's "output value at −Δt");
+//! * numeric evaluation against a variable environment ([`Expr::eval`]);
+//! * algebraic simplification ([`Expr::simplified`]);
+//! * linear-coefficient extraction and linear-equation solving
+//!   ([`Expr::linear_in`], [`solve_linear`]) — the paper's Step 3 "solution
+//!   of the linear equation";
+//! * symbolic differentiation ([`Expr::derivative`]) used by the reference
+//!   conservative simulator for analytic Jacobians;
+//! * compilation to a compact stack-machine program ([`vm::compile`])
+//!   so generated models evaluate at "plain C++" speed.
+//!
+//! Expressions are generic over the variable (symbol) type `V`; the netlist
+//! layer instantiates `V` with electrical quantities like `V(out,gnd)`.
+//!
+//! # Example
+//!
+//! ```
+//! use amsvp_expr::Expr;
+//!
+//! // (x + 1) * 2, evaluated at x = 3.
+//! let e = (Expr::var("x") + Expr::num(1.0)) * Expr::num(2.0);
+//! let v = e.eval(&mut |var: &&str, _prev| if *var == "x" { Some(3.0) } else { None });
+//! assert_eq!(v.unwrap(), 8.0);
+//! ```
+
+mod derivative;
+mod display;
+mod eval;
+mod linear;
+mod simplify;
+pub mod vm;
+
+pub use eval::EvalError;
+pub use linear::{solve_linear, LinearPart};
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a < b` (1.0 / 0.0)
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// logical and (operands nonzero)
+    And,
+    /// logical or
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to two numbers (relational operators yield
+    /// `1.0`/`0.0`).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Lt => f64::from(a < b),
+            BinOp::Le => f64::from(a <= b),
+            BinOp::Gt => f64::from(a > b),
+            BinOp::Ge => f64::from(a >= b),
+            BinOp::Eq => f64::from(a == b),
+            BinOp::Ne => f64::from(a != b),
+            BinOp::And => f64::from(a != 0.0 && b != 0.0),
+            BinOp::Or => f64::from(a != 0.0 || b != 0.0),
+        }
+    }
+
+    /// Whether this operator produces a boolean (0/1) result.
+    pub fn is_relational(self) -> bool {
+        !matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+}
+
+/// Built-in math functions, mirroring the Verilog-AMS standard functions the
+/// paper lists ("math functions (e.g., exp(x), sin(x))").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Func {
+    /// `exp(x)`
+    Exp,
+    /// natural logarithm `ln(x)`
+    Ln,
+    /// base-10 logarithm
+    Log10,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `sinh(x)`
+    Sinh,
+    /// `cosh(x)`
+    Cosh,
+    /// `tanh(x)`
+    Tanh,
+    /// `atan(x)`
+    Atan,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `abs(x)`
+    Abs,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `pow(a, b)`
+    Pow,
+}
+
+impl Func {
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Min | Func::Max | Func::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// The Verilog-AMS name of the function.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Exp => "exp",
+            Func::Ln => "ln",
+            Func::Log10 => "log",
+            Func::Sin => "sin",
+            Func::Cos => "cos",
+            Func::Tan => "tan",
+            Func::Sinh => "sinh",
+            Func::Cosh => "cosh",
+            Func::Tanh => "tanh",
+            Func::Atan => "atan",
+            Func::Sqrt => "sqrt",
+            Func::Abs => "abs",
+            Func::Floor => "floor",
+            Func::Ceil => "ceil",
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Pow => "pow",
+        }
+    }
+
+    /// Looks a function up by its Verilog-AMS name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "exp" => Func::Exp,
+            "ln" => Func::Ln,
+            "log" | "log10" => Func::Log10,
+            "sin" => Func::Sin,
+            "cos" => Func::Cos,
+            "tan" => Func::Tan,
+            "sinh" => Func::Sinh,
+            "cosh" => Func::Cosh,
+            "tanh" => Func::Tanh,
+            "atan" => Func::Atan,
+            "sqrt" => Func::Sqrt,
+            "abs" => Func::Abs,
+            "floor" => Func::Floor,
+            "ceil" => Func::Ceil,
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "pow" => Func::Pow,
+            _ => return None,
+        })
+    }
+
+    /// Applies the function to its arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.arity()`.
+    pub fn apply(self, args: &[f64]) -> f64 {
+        assert_eq!(args.len(), self.arity(), "{} arity mismatch", self.name());
+        match self {
+            Func::Exp => args[0].exp(),
+            Func::Ln => args[0].ln(),
+            Func::Log10 => args[0].log10(),
+            Func::Sin => args[0].sin(),
+            Func::Cos => args[0].cos(),
+            Func::Tan => args[0].tan(),
+            Func::Sinh => args[0].sinh(),
+            Func::Cosh => args[0].cosh(),
+            Func::Tanh => args[0].tanh(),
+            Func::Atan => args[0].atan(),
+            Func::Sqrt => args[0].sqrt(),
+            Func::Abs => args[0].abs(),
+            Func::Floor => args[0].floor(),
+            Func::Ceil => args[0].ceil(),
+            Func::Min => args[0].min(args[1]),
+            Func::Max => args[0].max(args[1]),
+            Func::Pow => args[0].powf(args[1]),
+        }
+    }
+}
+
+/// A symbolic expression over variables of type `V`.
+///
+/// `V` is any cloneable, ordered, displayable symbol type; the abstraction
+/// pipeline instantiates it with electrical quantities, the parser with
+/// plain identifiers.
+///
+/// The analog operators [`Expr::Ddt`] (time derivative) and [`Expr::Idt`]
+/// (time integral) are *symbolic*: they cannot be numerically evaluated until
+/// a discretization pass replaces them ([`EvalError::UnresolvedAnalogOp`]).
+/// [`Expr::Prev`] refers to the value a variable held `k` time steps ago and
+/// is what discretization produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr<V> {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference (current value).
+    Var(V),
+    /// Value of the variable `k ≥ 1` time steps in the past.
+    Prev(V, u32),
+    /// Arithmetic negation.
+    Neg(Box<Expr<V>>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr<V>>, Box<Expr<V>>),
+    /// Math function call.
+    Call(Func, Vec<Expr<V>>),
+    /// Time derivative (Verilog-AMS `ddt`).
+    Ddt(Box<Expr<V>>),
+    /// Time integral (Verilog-AMS `idt`).
+    Idt(Box<Expr<V>>),
+    /// Conditional: `if cond != 0 { then } else { other }`.
+    Cond(Box<Expr<V>>, Box<Expr<V>>, Box<Expr<V>>),
+}
+
+impl<V> Expr<V> {
+    /// Numeric literal constructor.
+    pub fn num(v: f64) -> Self {
+        Expr::Num(v)
+    }
+
+    /// Variable reference constructor.
+    pub fn var(v: V) -> Self {
+        Expr::Var(v)
+    }
+
+    /// Reference to the value of `v` one time step ago.
+    pub fn prev(v: V) -> Self {
+        Expr::Prev(v, 1)
+    }
+
+    /// Reference to the value of `v`, `k` time steps ago.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; use [`Expr::var`] for the current value.
+    pub fn prev_n(v: V, k: u32) -> Self {
+        assert!(k >= 1, "Prev delay must be at least one step");
+        Expr::Prev(v, k)
+    }
+
+    /// Time derivative `ddt(e)`.
+    pub fn ddt(e: Expr<V>) -> Self {
+        Expr::Ddt(Box::new(e))
+    }
+
+    /// Time integral `idt(e)`.
+    pub fn idt(e: Expr<V>) -> Self {
+        Expr::Idt(Box::new(e))
+    }
+
+    /// Unary function application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not unary.
+    pub fn call1(f: Func, a: Expr<V>) -> Self {
+        assert_eq!(f.arity(), 1, "{} is not unary", f.name());
+        Expr::Call(f, vec![a])
+    }
+
+    /// Binary function application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not binary.
+    pub fn call2(f: Func, a: Expr<V>, b: Expr<V>) -> Self {
+        assert_eq!(f.arity(), 2, "{} is not binary", f.name());
+        Expr::Call(f, vec![a, b])
+    }
+
+    /// Conditional expression `if c != 0 { t } else { e }`.
+    pub fn cond(c: Expr<V>, t: Expr<V>, e: Expr<V>) -> Self {
+        Expr::Cond(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Binary operation constructor.
+    pub fn bin(op: BinOp, a: Expr<V>, b: Expr<V>) -> Self {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Whether the expression is the literal `0.0`.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Num(v) if *v == 0.0)
+    }
+
+    /// Whether the expression is the literal `1.0`.
+    pub fn is_one(&self) -> bool {
+        matches!(self, Expr::Num(v) if *v == 1.0)
+    }
+
+    /// Returns the constant value if the expression is a literal.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Expr::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes in the tree (a size metric used by complexity
+    /// benchmarks).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => 0,
+            Expr::Neg(a) | Expr::Ddt(a) | Expr::Idt(a) => a.node_count(),
+            Expr::Bin(_, a, b) => a.node_count() + b.node_count(),
+            Expr::Call(_, args) => args.iter().map(Expr::node_count).sum(),
+            Expr::Cond(c, t, e) => c.node_count() + t.node_count() + e.node_count(),
+        }
+    }
+
+    /// Whether any `ddt`/`idt` analog operator remains in the tree.
+    pub fn has_analog_op(&self) -> bool {
+        match self {
+            Expr::Ddt(_) | Expr::Idt(_) => true,
+            Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => false,
+            Expr::Neg(a) => a.has_analog_op(),
+            Expr::Bin(_, a, b) => a.has_analog_op() || b.has_analog_op(),
+            Expr::Call(_, args) => args.iter().any(Expr::has_analog_op),
+            Expr::Cond(c, t, e) => {
+                c.has_analog_op() || t.has_analog_op() || e.has_analog_op()
+            }
+        }
+    }
+}
+
+impl<V: Clone + Ord> Expr<V> {
+    /// Collects the set of variables referenced (current *or* delayed).
+    pub fn variables(&self) -> BTreeSet<V> {
+        let mut out = BTreeSet::new();
+        self.visit_vars(&mut |v, _| {
+            out.insert(v.clone());
+        });
+        out
+    }
+
+    /// Collects only the variables referenced at the *current* time step
+    /// (i.e. via [`Expr::Var`], not [`Expr::Prev`]).
+    pub fn current_variables(&self) -> BTreeSet<V> {
+        let mut out = BTreeSet::new();
+        self.visit_vars(&mut |v, delayed| {
+            if !delayed {
+                out.insert(v.clone());
+            }
+        });
+        out
+    }
+
+    /// Visits every variable leaf; `delayed` tells whether the reference is
+    /// a [`Expr::Prev`].
+    pub fn visit_vars(&self, f: &mut impl FnMut(&V, bool)) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(v) => f(v, false),
+            Expr::Prev(v, _) => f(v, true),
+            Expr::Neg(a) | Expr::Ddt(a) | Expr::Idt(a) => a.visit_vars(f),
+            Expr::Bin(_, a, b) => {
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+            Expr::Call(_, args) => args.iter().for_each(|a| a.visit_vars(f)),
+            Expr::Cond(c, t, e) => {
+                c.visit_vars(f);
+                t.visit_vars(f);
+                e.visit_vars(f);
+            }
+        }
+    }
+
+    /// Whether `v` occurs at the current time step anywhere in the tree.
+    pub fn contains_var(&self, v: &V) -> bool {
+        let mut found = false;
+        self.visit_vars(&mut |x, delayed| {
+            if !delayed && x == v {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Replaces every *current* occurrence of `v` with `replacement`.
+    /// Delayed ([`Expr::Prev`]) occurrences are untouched.
+    pub fn substitute(&self, v: &V, replacement: &Expr<V>) -> Expr<V> {
+        match self {
+            Expr::Var(x) if x == v => replacement.clone(),
+            Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => self.clone(),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.substitute(v, replacement))),
+            Expr::Ddt(a) => Expr::Ddt(Box::new(a.substitute(v, replacement))),
+            Expr::Idt(a) => Expr::Idt(Box::new(a.substitute(v, replacement))),
+            Expr::Bin(op, a, b) => Expr::bin(
+                *op,
+                a.substitute(v, replacement),
+                b.substitute(v, replacement),
+            ),
+            Expr::Call(f, args) => Expr::Call(
+                *f,
+                args.iter().map(|a| a.substitute(v, replacement)).collect(),
+            ),
+            Expr::Cond(c, t, e) => Expr::cond(
+                c.substitute(v, replacement),
+                t.substitute(v, replacement),
+                e.substitute(v, replacement),
+            ),
+        }
+    }
+
+    /// Maps the variable type, preserving structure.
+    pub fn map_vars<W, F: FnMut(&V) -> W>(&self, f: &mut F) -> Expr<W> {
+        match self {
+            Expr::Num(v) => Expr::Num(*v),
+            Expr::Var(v) => Expr::Var(f(v)),
+            Expr::Prev(v, k) => Expr::Prev(f(v), *k),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.map_vars(f))),
+            Expr::Ddt(a) => Expr::Ddt(Box::new(a.map_vars(f))),
+            Expr::Idt(a) => Expr::Idt(Box::new(a.map_vars(f))),
+            Expr::Bin(op, a, b) => Expr::bin(*op, a.map_vars(f), b.map_vars(f)),
+            Expr::Call(func, args) => {
+                Expr::Call(*func, args.iter().map(|a| a.map_vars(f)).collect())
+            }
+            Expr::Cond(c, t, e) => {
+                Expr::cond(c.map_vars(f), t.map_vars(f), e.map_vars(f))
+            }
+        }
+    }
+}
+
+// Operator sugar: `a + b`, `a - b`, `a * b`, `a / b`, `-a` on owned
+// expressions build the corresponding tree nodes.
+
+impl<V> std::ops::Add for Expr<V> {
+    type Output = Expr<V>;
+    fn add(self, rhs: Expr<V>) -> Expr<V> {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl<V> std::ops::Sub for Expr<V> {
+    type Output = Expr<V>;
+    fn sub(self, rhs: Expr<V>) -> Expr<V> {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl<V> std::ops::Mul for Expr<V> {
+    type Output = Expr<V>;
+    fn mul(self, rhs: Expr<V>) -> Expr<V> {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl<V> std::ops::Div for Expr<V> {
+    type Output = Expr<V>;
+    fn div(self, rhs: Expr<V>) -> Expr<V> {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl<V> std::ops::Neg for Expr<V> {
+    type Output = Expr<V>;
+    fn neg(self) -> Expr<V> {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let z: Expr<&str> = Expr::num(0.0);
+        assert!(z.is_zero());
+        assert!(!z.is_one());
+        assert_eq!(Expr::<&str>::num(1.5).as_num(), Some(1.5));
+        assert!(Expr::<&str>::num(1.0).is_one());
+        assert_eq!(Expr::var("x").as_num(), None);
+    }
+
+    #[test]
+    fn ops_build_trees() {
+        let e = Expr::var("x") + Expr::num(1.0);
+        assert_eq!(e.node_count(), 3);
+        let e = -(Expr::var("x") * Expr::var("y"));
+        assert_eq!(e.node_count(), 4);
+    }
+
+    #[test]
+    fn variables_collects_all() {
+        let e = Expr::var("a") + Expr::prev("b") * Expr::var("a");
+        let vars = e.variables();
+        assert!(vars.contains("a"));
+        assert!(vars.contains("b"));
+        assert_eq!(vars.len(), 2);
+        let cur = e.current_variables();
+        assert!(cur.contains("a"));
+        assert!(!cur.contains("b"));
+    }
+
+    #[test]
+    fn contains_var_ignores_prev() {
+        let e = Expr::prev("x") + Expr::var("y");
+        assert!(!e.contains_var(&"x"));
+        assert!(e.contains_var(&"y"));
+    }
+
+    #[test]
+    fn substitute_replaces_current_only() {
+        let e = Expr::var("x") + Expr::prev("x");
+        let s = e.substitute(&"x", &Expr::num(5.0));
+        // Var replaced, Prev untouched.
+        assert_eq!(s, Expr::num(5.0) + Expr::prev("x"));
+    }
+
+    #[test]
+    fn map_vars_changes_type() {
+        let e = Expr::var("ab") + Expr::num(1.0);
+        let mapped: Expr<usize> = e.map_vars(&mut |s: &&str| s.len());
+        assert!(mapped.contains_var(&2));
+    }
+
+    #[test]
+    fn analog_op_detection() {
+        let e = Expr::ddt(Expr::var("x")) * Expr::num(2.0);
+        assert!(e.has_analog_op());
+        let e2 = Expr::var("x") + Expr::num(1.0);
+        assert!(!e2.has_analog_op());
+        assert!(Expr::idt(Expr::<&str>::num(1.0)).has_analog_op());
+    }
+
+    #[test]
+    fn func_metadata_roundtrip() {
+        for f in [
+            Func::Exp,
+            Func::Ln,
+            Func::Log10,
+            Func::Sin,
+            Func::Cos,
+            Func::Tan,
+            Func::Sinh,
+            Func::Cosh,
+            Func::Tanh,
+            Func::Atan,
+            Func::Sqrt,
+            Func::Abs,
+            Func::Floor,
+            Func::Ceil,
+            Func::Min,
+            Func::Max,
+            Func::Pow,
+        ] {
+            assert_eq!(Func::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Func::from_name("nope"), None);
+    }
+
+    #[test]
+    fn binop_apply_matrix() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinOp::Lt.apply(1.0, 2.0), 1.0);
+        assert_eq!(BinOp::Ge.apply(1.0, 2.0), 0.0);
+        assert_eq!(BinOp::And.apply(1.0, 0.0), 0.0);
+        assert_eq!(BinOp::Or.apply(1.0, 0.0), 1.0);
+        assert!(BinOp::Lt.is_relational());
+        assert!(!BinOp::Mul.is_relational());
+    }
+
+    #[test]
+    #[should_panic(expected = "Prev delay")]
+    fn prev_zero_rejected() {
+        let _ = Expr::prev_n("x", 0);
+    }
+}

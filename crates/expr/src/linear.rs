@@ -1,0 +1,286 @@
+use crate::{BinOp, Expr};
+
+/// Decomposition of an expression as `coeff * target + rest`, where neither
+/// `coeff` nor `rest` references the target at the current time step.
+///
+/// Produced by [`Expr::linear_in`]. Delayed ([`Expr::Prev`]) references to
+/// the target are allowed inside `rest` — they are the "output value at −Δt"
+/// the paper explicitly keeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearPart<V> {
+    /// Coefficient of the target variable.
+    pub coeff: Expr<V>,
+    /// Everything that does not multiply the target.
+    pub rest: Expr<V>,
+}
+
+impl<V: Clone + Ord> Expr<V> {
+    /// Decomposes `self` as `coeff * Var(target) + rest`.
+    ///
+    /// Returns `None` when the expression is not linear in `target` (for
+    /// example `target * target`, `exp(target)`, or a `ddt(target)` that
+    /// has not been discretized yet).
+    ///
+    /// Conditionals whose guard does not reference the target stay linear:
+    /// both branches are decomposed and the parts recombined under the same
+    /// guard, which is what makes the piecewise-linear extension of the
+    /// paper (§III-C) work.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_expr::Expr;
+    ///
+    /// // 3*x + y  →  coeff 3, rest y
+    /// let e = Expr::num(3.0) * Expr::var("x") + Expr::var("y");
+    /// let lp = e.linear_in(&"x").unwrap();
+    /// assert_eq!(lp.coeff, Expr::num(3.0));
+    /// assert_eq!(lp.rest, Expr::var("y"));
+    /// ```
+    pub fn linear_in(&self, target: &V) -> Option<LinearPart<V>> {
+        let lp = self.linear_in_raw(target)?;
+        Some(LinearPart {
+            coeff: lp.coeff.simplified(),
+            rest: lp.rest.simplified(),
+        })
+    }
+
+    fn linear_in_raw(&self, target: &V) -> Option<LinearPart<V>> {
+        if !self.contains_var(target) {
+            return Some(LinearPart {
+                coeff: Expr::Num(0.0),
+                rest: self.clone(),
+            });
+        }
+        match self {
+            Expr::Var(v) if v == target => Some(LinearPart {
+                coeff: Expr::Num(1.0),
+                rest: Expr::Num(0.0),
+            }),
+            // contains_var returned true, so every other leaf case is
+            // unreachable; handled by the catch-all below.
+            Expr::Neg(a) => {
+                let la = a.linear_in_raw(target)?;
+                Some(LinearPart {
+                    coeff: -la.coeff,
+                    rest: -la.rest,
+                })
+            }
+            Expr::Bin(BinOp::Add, a, b) => {
+                let la = a.linear_in_raw(target)?;
+                let lb = b.linear_in_raw(target)?;
+                Some(LinearPart {
+                    coeff: la.coeff + lb.coeff,
+                    rest: la.rest + lb.rest,
+                })
+            }
+            Expr::Bin(BinOp::Sub, a, b) => {
+                let la = a.linear_in_raw(target)?;
+                let lb = b.linear_in_raw(target)?;
+                Some(LinearPart {
+                    coeff: la.coeff - lb.coeff,
+                    rest: la.rest - lb.rest,
+                })
+            }
+            Expr::Bin(BinOp::Mul, a, b) => {
+                // Exactly one side may reference the target.
+                if !a.contains_var(target) {
+                    let lb = b.linear_in_raw(target)?;
+                    Some(LinearPart {
+                        coeff: (**a).clone() * lb.coeff,
+                        rest: (**a).clone() * lb.rest,
+                    })
+                } else if !b.contains_var(target) {
+                    let la = a.linear_in_raw(target)?;
+                    Some(LinearPart {
+                        coeff: la.coeff * (**b).clone(),
+                        rest: la.rest * (**b).clone(),
+                    })
+                } else {
+                    None
+                }
+            }
+            Expr::Bin(BinOp::Div, a, b) => {
+                if b.contains_var(target) {
+                    return None;
+                }
+                let la = a.linear_in_raw(target)?;
+                Some(LinearPart {
+                    coeff: la.coeff / (**b).clone(),
+                    rest: la.rest / (**b).clone(),
+                })
+            }
+            Expr::Cond(c, t, e) => {
+                if c.contains_var(target) {
+                    return None;
+                }
+                let lt = t.linear_in_raw(target)?;
+                let le = e.linear_in_raw(target)?;
+                Some(LinearPart {
+                    coeff: Expr::cond((**c).clone(), lt.coeff, le.coeff),
+                    rest: Expr::cond((**c).clone(), lt.rest, le.rest),
+                })
+            }
+            // Relational operators, function calls, and analog operators on
+            // the target are not linear.
+            _ => None,
+        }
+    }
+}
+
+/// Solves the linear equation `lhs = rhs` for `target`.
+///
+/// This is the paper's final elaboration before code generation (§IV-C,
+/// Fig. 7): occurrences of the output on the right-hand side of its own
+/// equation are eliminated, leaving only inputs, other quantities, and
+/// explicitly delayed values.
+///
+/// Returns `None` when the equation is not linear in `target` or the
+/// coefficient of `target` is identically zero (the equation does not
+/// constrain the target).
+///
+/// # Example
+///
+/// ```
+/// use amsvp_expr::{solve_linear, Expr};
+///
+/// // x = u - 2*x  →  x = u / 3
+/// let lhs = Expr::var("x");
+/// let rhs = Expr::var("u") - Expr::num(2.0) * Expr::var("x");
+/// let solved = solve_linear(&lhs, &rhs, &"x").unwrap();
+/// let v = solved
+///     .eval(&mut |v: &&str, _| if *v == "u" { Some(9.0) } else { None })
+///     .unwrap();
+/// assert!((v - 3.0).abs() < 1e-12);
+/// ```
+pub fn solve_linear<V: Clone + Ord>(
+    lhs: &Expr<V>,
+    rhs: &Expr<V>,
+    target: &V,
+) -> Option<Expr<V>> {
+    // Bring everything to one side: lhs - rhs = 0 ≡ coeff*t + rest = 0.
+    let combined = lhs.clone() - rhs.clone();
+    let lp = combined.linear_in(target)?;
+    if lp.coeff.as_num() == Some(0.0) {
+        return None;
+    }
+    // t = -rest / coeff
+    Some(((-lp.rest) / lp.coeff).simplified())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Func;
+
+    fn x() -> Expr<&'static str> {
+        Expr::var("x")
+    }
+    fn y() -> Expr<&'static str> {
+        Expr::var("y")
+    }
+
+    #[test]
+    fn simple_decomposition() {
+        let e = Expr::num(2.0) * x() + y() * Expr::num(4.0);
+        let lp = e.linear_in(&"x").unwrap();
+        assert_eq!(lp.coeff, Expr::num(2.0));
+        assert_eq!(lp.rest, y() * Expr::num(4.0));
+    }
+
+    #[test]
+    fn free_expression_has_zero_coeff() {
+        let e = y() + Expr::num(1.0);
+        let lp = e.linear_in(&"x").unwrap();
+        assert_eq!(lp.coeff, Expr::num(0.0));
+        assert_eq!(lp.rest, e);
+    }
+
+    #[test]
+    fn prev_target_counts_as_free() {
+        let e = x() + Expr::prev("x");
+        let lp = e.linear_in(&"x").unwrap();
+        assert_eq!(lp.coeff, Expr::num(1.0));
+        assert_eq!(lp.rest, Expr::prev("x"));
+    }
+
+    #[test]
+    fn nested_linear_combination() {
+        // (x + y) / 2 - (3 - x)  →  coeff 1.5, rest y/2 - 3
+        let e = (x() + y()) / Expr::num(2.0) - (Expr::num(3.0) - x());
+        let lp = e.linear_in(&"x").unwrap();
+        let c = lp.coeff.eval_const().unwrap();
+        assert!((c - 1.5).abs() < 1e-12);
+        let r = lp
+            .rest
+            .eval(&mut |v: &&str, _| (*v == "y").then_some(4.0))
+            .unwrap();
+        assert!((r - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonlinear_cases_rejected() {
+        assert!((x() * x()).linear_in(&"x").is_none());
+        assert!(Expr::call1(Func::Exp, x()).linear_in(&"x").is_none());
+        assert!((y() / x()).linear_in(&"x").is_none());
+        assert!(Expr::ddt(x()).linear_in(&"x").is_none());
+        // Guard referencing the target is rejected too.
+        let c = Expr::cond(x(), y(), Expr::num(0.0));
+        assert!(c.linear_in(&"x").is_none());
+    }
+
+    #[test]
+    fn conditional_stays_linear() {
+        // if y > 0 { 2x } else { 3x + 1 }
+        let e = Expr::cond(
+            Expr::bin(crate::BinOp::Gt, y(), Expr::num(0.0)),
+            Expr::num(2.0) * x(),
+            Expr::num(3.0) * x() + Expr::num(1.0),
+        );
+        let lp = e.linear_in(&"x").unwrap();
+        let mut env_pos = |v: &&str, _: u32| (*v == "y").then_some(1.0);
+        assert_eq!(lp.coeff.eval(&mut env_pos).unwrap(), 2.0);
+        let mut env_neg = |v: &&str, _: u32| (*v == "y").then_some(-1.0);
+        assert_eq!(lp.coeff.eval(&mut env_neg).unwrap(), 3.0);
+        assert_eq!(lp.rest.eval(&mut env_neg).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn solve_backward_euler_shape() {
+        // The RC pattern: v = u - k*(v - prev(v))
+        let k = 2.5;
+        let lhs = x();
+        let rhs = Expr::var("u") - Expr::num(k) * (x() - Expr::prev("x"));
+        let solved = solve_linear(&lhs, &rhs, &"x").unwrap();
+        assert!(!solved.contains_var(&"x"));
+        // v = (u + k*prev) / (1 + k)
+        let u = 1.0;
+        let prev = 0.5;
+        let got = solved
+            .eval(&mut |v: &&str, delay| match (*v, delay) {
+                ("u", 0) => Some(u),
+                ("x", 1) => Some(prev),
+                _ => None,
+            })
+            .unwrap();
+        let expect = (u + k * prev) / (1.0 + k);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_unconstrained() {
+        // y = y + 1 has no x at all → coefficient of x is zero.
+        assert!(solve_linear(&y(), &(y() + Expr::num(1.0)), &"x").is_none());
+        // x = x is degenerate (0*x = 0).
+        assert!(solve_linear(&x(), &x(), &"x").is_none());
+    }
+
+    #[test]
+    fn solve_plain_algebra() {
+        // 3x + 6 = 0 → x = -2
+        let solved =
+            solve_linear(&(Expr::num(3.0) * x() + Expr::num(6.0)), &Expr::num(0.0), &"x")
+                .unwrap();
+        assert_eq!(solved.eval_const().unwrap(), -2.0);
+    }
+}

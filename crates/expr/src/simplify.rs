@@ -1,0 +1,233 @@
+use crate::{BinOp, Expr};
+
+impl<V: Clone + Ord> Expr<V> {
+    /// Returns an algebraically simplified copy of the expression.
+    ///
+    /// Simplification performs constant folding and the usual identities —
+    /// `x + 0`, `x * 1`, `x * 0`, `0 / x`, `--x`, constant conditionals —
+    /// bottom-up. It never changes the value of the expression at any
+    /// environment (the property tests in this crate check exactly that),
+    /// with the standard caveat that `x * 0 → 0` assumes finite `x`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_expr::Expr;
+    ///
+    /// let e = (Expr::var("x") * Expr::num(1.0)) + Expr::num(0.0);
+    /// assert_eq!(e.simplified(), Expr::var("x"));
+    /// ```
+    pub fn simplified(&self) -> Expr<V> {
+        match self {
+            Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => self.clone(),
+            Expr::Neg(a) => {
+                let a = a.simplified();
+                match a {
+                    Expr::Num(v) => Expr::Num(-v),
+                    // --x → x
+                    Expr::Neg(inner) => *inner,
+                    other => Expr::Neg(Box::new(other)),
+                }
+            }
+            Expr::Ddt(a) => {
+                let a = a.simplified();
+                if let Some(v) = a.as_num() {
+                    // d/dt of a constant is zero.
+                    let _ = v;
+                    Expr::Num(0.0)
+                } else {
+                    Expr::Ddt(Box::new(a))
+                }
+            }
+            Expr::Idt(a) => Expr::Idt(Box::new(a.simplified())),
+            Expr::Bin(op, a, b) => simplify_bin(*op, a.simplified(), b.simplified()),
+            Expr::Call(f, args) => {
+                let args: Vec<Expr<V>> =
+                    args.iter().map(Expr::simplified).collect();
+                if let Some(vals) = args
+                    .iter()
+                    .map(Expr::as_num)
+                    .collect::<Option<Vec<f64>>>()
+                {
+                    Expr::Num(f.apply(&vals))
+                } else {
+                    Expr::Call(*f, args)
+                }
+            }
+            Expr::Cond(c, t, e) => {
+                let c = c.simplified();
+                let t = t.simplified();
+                let e = e.simplified();
+                match c.as_num() {
+                    Some(v) if v != 0.0 => t,
+                    Some(_) => e,
+                    None if t == e => t,
+                    None => Expr::cond(c, t, e),
+                }
+            }
+        }
+    }
+}
+
+fn simplify_bin<V: Clone + Ord>(op: BinOp, a: Expr<V>, b: Expr<V>) -> Expr<V> {
+    // Constant folding first.
+    if let (Some(x), Some(y)) = (a.as_num(), b.as_num()) {
+        return Expr::Num(op.apply(x, y));
+    }
+    match op {
+        BinOp::Add => {
+            if a.is_zero() {
+                return b;
+            }
+            if b.is_zero() {
+                return a;
+            }
+            // a + (-b) → a - b
+            if let Expr::Neg(nb) = b {
+                return Expr::bin(BinOp::Sub, a, *nb);
+            }
+        }
+        BinOp::Sub => {
+            if b.is_zero() {
+                return a;
+            }
+            if a.is_zero() {
+                return Expr::Neg(Box::new(b)).simplified();
+            }
+            // a - (-b) → a + b
+            if let Expr::Neg(nb) = b {
+                return Expr::bin(BinOp::Add, a, *nb);
+            }
+            if a == b {
+                return Expr::Num(0.0);
+            }
+        }
+        BinOp::Mul => {
+            if a.is_zero() || b.is_zero() {
+                return Expr::Num(0.0);
+            }
+            if a.is_one() {
+                return b;
+            }
+            if b.is_one() {
+                return a;
+            }
+            if a.as_num() == Some(-1.0) {
+                return Expr::Neg(Box::new(b)).simplified();
+            }
+            if b.as_num() == Some(-1.0) {
+                return Expr::Neg(Box::new(a)).simplified();
+            }
+        }
+        BinOp::Div => {
+            if a.is_zero() {
+                return Expr::Num(0.0);
+            }
+            if b.is_one() {
+                return a;
+            }
+            // x / c → x * (1/c) keeps later passes simpler and matches the
+            // constant-coefficient style of the generated code.
+            if let Some(c) = b.as_num() {
+                if c != 0.0 {
+                    return simplify_bin(BinOp::Mul, a, Expr::Num(1.0 / c));
+                }
+            }
+        }
+        _ => {}
+    }
+    Expr::bin(op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Func;
+
+    fn x() -> Expr<&'static str> {
+        Expr::var("x")
+    }
+
+    #[test]
+    fn additive_identities() {
+        assert_eq!((x() + Expr::num(0.0)).simplified(), x());
+        assert_eq!((Expr::num(0.0) + x()).simplified(), x());
+        assert_eq!((x() - Expr::num(0.0)).simplified(), x());
+        assert_eq!((Expr::num(0.0) - x()).simplified(), -x());
+    }
+
+    #[test]
+    fn multiplicative_identities() {
+        assert_eq!((x() * Expr::num(1.0)).simplified(), x());
+        assert_eq!((x() * Expr::num(0.0)).simplified(), Expr::num(0.0));
+        assert_eq!((Expr::num(0.0) / x()).simplified(), Expr::num(0.0));
+        assert_eq!((x() / Expr::num(1.0)).simplified(), x());
+        assert_eq!((x() * Expr::num(-1.0)).simplified(), -x());
+    }
+
+    #[test]
+    fn division_by_constant_becomes_multiplication() {
+        let e = (x() / Expr::num(4.0)).simplified();
+        assert_eq!(e, x() * Expr::num(0.25));
+    }
+
+    #[test]
+    fn constant_folding_recurses() {
+        let e = (Expr::num(2.0) + Expr::num(3.0)) * (Expr::num(4.0) - Expr::num(1.0));
+        assert_eq!(e.simplified(), Expr::<&str>::num(15.0));
+        let f = Expr::call1(Func::Sqrt, Expr::num(9.0) * Expr::num(1.0));
+        assert_eq!(f.simplified(), Expr::<&str>::num(3.0));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        assert_eq!((-(-x())).simplified(), x());
+        assert_eq!((-Expr::<&str>::num(2.0)).simplified(), Expr::num(-2.0));
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        assert_eq!((x() - x()).simplified(), Expr::num(0.0));
+    }
+
+    #[test]
+    fn add_neg_becomes_sub() {
+        let e = (x() + (-Expr::var("y"))).simplified();
+        assert_eq!(e, x() - Expr::var("y"));
+        let e = (x() - (-Expr::var("y"))).simplified();
+        assert_eq!(e, x() + Expr::var("y"));
+    }
+
+    #[test]
+    fn cond_with_constant_guard() {
+        let c = Expr::cond(Expr::num(1.0), x(), Expr::var("y"));
+        assert_eq!(c.simplified(), x());
+        let c = Expr::cond(Expr::num(0.0), x(), Expr::var("y"));
+        assert_eq!(c.simplified(), Expr::var("y"));
+        let c = Expr::cond(Expr::var("c"), x(), x());
+        assert_eq!(c.simplified(), x());
+    }
+
+    #[test]
+    fn ddt_of_constant_is_zero() {
+        let e = Expr::<&str>::ddt(Expr::num(3.0) * Expr::num(2.0));
+        assert_eq!(e.simplified(), Expr::num(0.0));
+    }
+
+    #[test]
+    fn simplify_preserves_value_spot_check() {
+        let e = ((x() * Expr::num(1.0) + Expr::num(0.0)) / Expr::num(2.0))
+            - (-Expr::var("y"));
+        let s = e.simplified();
+        for (xv, yv) in [(1.0, 2.0), (-3.5, 0.25), (0.0, 0.0)] {
+            let mut env = |v: &&str, _: u32| match *v {
+                "x" => Some(xv),
+                "y" => Some(yv),
+                _ => None,
+            };
+            assert!(
+                (e.eval(&mut env).unwrap() - s.eval(&mut env).unwrap()).abs() < 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the expression engine.
+//!
+//! The central invariant: `simplified()`, `linear_in()`, `solve_linear()`,
+//! and VM compilation must all preserve the *value* of an expression at
+//! every environment.
+
+use amsvp_expr::vm::compile;
+use amsvp_expr::{solve_linear, BinOp, Expr, Func};
+use proptest::prelude::*;
+
+type E = Expr<u8>;
+
+/// Random arithmetic expression over variables 0..4, depth-limited.
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-4.0f64..4.0).prop_map(Expr::num),
+        (0u8..4).prop_map(Expr::var),
+        (0u8..4).prop_map(Expr::prev),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            inner.clone().prop_map(|a| -a),
+            inner.clone().prop_map(|a| Expr::call1(Func::Sin, a)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::cond(
+                    Expr::bin(BinOp::Gt, c, Expr::num(0.0)),
+                    t,
+                    e
+                )),
+        ]
+    })
+}
+
+/// Random *linear-in-variable-0* expression: built only from constructs the
+/// linear analyzer must accept.
+fn arb_linear_expr() -> impl Strategy<Value = E> {
+    let free_leaf = prop_oneof![
+        (-4.0f64..4.0).prop_map(Expr::num),
+        (1u8..4).prop_map(Expr::var),
+        (0u8..4).prop_map(Expr::prev),
+    ];
+    let target_leaf = Just(Expr::var(0u8)).boxed();
+    let leaf = prop_oneof![free_leaf.clone(), target_leaf];
+    leaf.prop_recursive(4, 48, 2, move |inner| {
+        let free = free_leaf.clone();
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            inner.clone().prop_map(|a| -a),
+            // multiply by a target-free factor only
+            (inner.clone(), free.clone()).prop_map(|(a, k)| a * k),
+            (free, inner.clone()).prop_map(|(k, a)| k * a),
+        ]
+    })
+}
+
+fn env_from<'a>(
+    vals: &'a [f64; 4],
+    prevs: &'a [f64; 4],
+) -> impl FnMut(&u8, u32) -> Option<f64> + 'a {
+    move |v: &u8, delay: u32| {
+        let i = *v as usize;
+        Some(if delay == 0 { vals[i] } else { prevs[i] })
+    }
+}
+
+proptest! {
+    /// simplified() never changes the value of an expression.
+    #[test]
+    fn simplify_preserves_value(
+        e in arb_expr(),
+        vals in prop::array::uniform4(-3.0f64..3.0),
+        prevs in prop::array::uniform4(-3.0f64..3.0),
+    ) {
+        let s = e.simplified();
+        let a = e.eval(&mut env_from(&vals, &prevs)).unwrap();
+        let b = s.eval(&mut env_from(&vals, &prevs)).unwrap();
+        // Tolerate tiny reassociation error; identical NaN/inf patterns are
+        // not produced because operands stay finite and no division occurs.
+        prop_assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "simplify changed value: {a} vs {b} for {e}"
+        );
+    }
+
+    /// Compiled VM programs agree with tree evaluation.
+    #[test]
+    fn vm_matches_tree_eval(
+        e in arb_expr(),
+        vals in prop::array::uniform4(-3.0f64..3.0),
+        prevs in prop::array::uniform4(-3.0f64..3.0),
+    ) {
+        // slots: 0..4 current, 4..8 previous
+        let prog = compile(&e, &mut |v, delay| {
+            Some(u32::from(*v) + if delay == 0 { 0 } else { 4 })
+        }).unwrap();
+        let mut slots = [0.0; 8];
+        slots[..4].copy_from_slice(&vals);
+        slots[4..].copy_from_slice(&prevs);
+        let mut stack = Vec::new();
+        let vm = prog.eval(&slots, &mut stack);
+        let tree = e.eval(&mut env_from(&vals, &prevs)).unwrap();
+        prop_assert!(
+            (vm - tree).abs() <= 1e-12 * tree.abs().max(1.0),
+            "vm {vm} != tree {tree} for {e}"
+        );
+    }
+
+    /// linear_in() is a correct decomposition: coeff*x0 + rest == original,
+    /// and neither part references x0 at the current step.
+    #[test]
+    fn linear_decomposition_is_faithful(
+        e in arb_linear_expr(),
+        vals in prop::array::uniform4(-3.0f64..3.0),
+        prevs in prop::array::uniform4(-3.0f64..3.0),
+    ) {
+        let lp = e.linear_in(&0).expect("expression built to be linear");
+        prop_assert!(!lp.coeff.contains_var(&0));
+        prop_assert!(!lp.rest.contains_var(&0));
+        let c = lp.coeff.eval(&mut env_from(&vals, &prevs)).unwrap();
+        let r = lp.rest.eval(&mut env_from(&vals, &prevs)).unwrap();
+        let orig = e.eval(&mut env_from(&vals, &prevs)).unwrap();
+        let recomposed = c * vals[0] + r;
+        prop_assert!(
+            (recomposed - orig).abs() <= 1e-6 * orig.abs().max(1.0),
+            "decomposition mismatch: {recomposed} vs {orig} for {e}"
+        );
+    }
+
+    /// solve_linear() produces a target-free expression that satisfies the
+    /// original equation when substituted back.
+    #[test]
+    fn solved_value_satisfies_equation(
+        rhs in arb_linear_expr(),
+        vals in prop::array::uniform4(-3.0f64..3.0),
+        prevs in prop::array::uniform4(-3.0f64..3.0),
+    ) {
+        // Equation: x0 = rhs. Guarantee solvability: coefficient of x0 on
+        // the RHS must not be 1 (else 0*x0 = rest). Skip those cases.
+        let lhs = Expr::var(0u8);
+        let Some(solved) = solve_linear(&lhs, &rhs, &0) else {
+            return Ok(()); // degenerate coefficient — correctly rejected
+        };
+        prop_assert!(!solved.contains_var(&0));
+        let x0 = solved.eval(&mut env_from(&vals, &prevs)).unwrap();
+        prop_assume!(x0.is_finite());
+        // Substitute back and check lhs == rhs.
+        let mut v2 = vals;
+        v2[0] = x0;
+        let rhs_val = rhs.eval(&mut env_from(&v2, &prevs)).unwrap();
+        prop_assert!(
+            (x0 - rhs_val).abs() <= 1e-5 * x0.abs().max(1.0),
+            "solution {x0} does not satisfy equation (rhs {rhs_val}) for {rhs}"
+        );
+    }
+
+    /// derivative() matches central finite differences on smooth expressions.
+    #[test]
+    fn derivative_matches_finite_difference(
+        e in arb_linear_expr(), // linear → derivative exists and is smooth
+        vals in prop::array::uniform4(-2.0f64..2.0),
+        prevs in prop::array::uniform4(-2.0f64..2.0),
+    ) {
+        let d = e.derivative(&0).expect("linear expressions differentiate");
+        let dv = d.eval(&mut env_from(&vals, &prevs)).unwrap();
+        let h = 1e-5;
+        let mut vp = vals;
+        vp[0] += h;
+        let mut vm_ = vals;
+        vm_[0] -= h;
+        let fp = e.eval(&mut env_from(&vp, &prevs)).unwrap();
+        let fm = e.eval(&mut env_from(&vm_, &prevs)).unwrap();
+        let fd = (fp - fm) / (2.0 * h);
+        prop_assert!(
+            (dv - fd).abs() <= 1e-4 * dv.abs().max(1.0),
+            "derivative {dv} vs finite difference {fd} for {e}"
+        );
+    }
+}

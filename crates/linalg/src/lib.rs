@@ -1,0 +1,67 @@
+//! Small dense linear algebra kernel used by the MNA-based solvers.
+//!
+//! This crate provides exactly the operations the electrical solvers in this
+//! workspace need:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual arithmetic.
+//! * [`LuFactors`] — LU factorization with partial pivoting, reusable for
+//!   repeated solves against the same matrix (the fixed-timestep linear
+//!   transient case of the ELN solver).
+//! * [`Triplets`] — a coordinate-format builder that accumulates MNA stamps
+//!   and converts to a dense matrix (circuit matrices in this workspace are
+//!   small; the paper's circuits peak at 22 nodes / 41 branches).
+//! * Vector helpers ([`norm2`], [`norm_inf`], [`nrmse`]) including the
+//!   normalized root-mean-square error metric the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use amsvp_linalg::{Matrix, LuFactors};
+//!
+//! # fn main() -> Result<(), amsvp_linalg::SingularMatrixError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+//! let lu = LuFactors::factor(&a)?;
+//! let x = lu.solve(&[9.0, 13.0]);
+//! assert!((x[0] - 1.4).abs() < 1e-12);
+//! assert!((x[1] - 3.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod lu;
+mod matrix;
+mod triplet;
+mod vector;
+
+pub use lu::{LuFactors, SingularMatrixError};
+pub use matrix::Matrix;
+pub use triplet::Triplets;
+pub use vector::{axpy, dot, norm2, norm_inf, nrmse, rmse, scale};
+
+/// Solves the dense linear system `a * x = b` in one call.
+///
+/// This is a convenience wrapper around [`LuFactors::factor`] followed by
+/// [`LuFactors::solve`]. Prefer keeping the [`LuFactors`] around when the
+/// same matrix is solved against many right-hand sides.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when `a` is singular to working precision.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), amsvp_linalg::SingularMatrixError> {
+/// let a = amsvp_linalg::Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+/// let x = amsvp_linalg::solve(&a, &[2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    Ok(LuFactors::factor(a)?.solve(b))
+}

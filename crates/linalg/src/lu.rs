@@ -1,0 +1,262 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Matrix;
+
+/// Error returned when a matrix is singular to working precision.
+///
+/// Carries the pivot column at which elimination failed, which for MNA
+/// systems usually identifies a floating node or a loop of ideal sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// The elimination step (column) at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is singular to working precision at column {}",
+            self.column
+        )
+    }
+}
+
+impl Error for SingularMatrixError {}
+
+/// LU factorization with partial pivoting (`P·A = L·U`).
+///
+/// Factor once, then call [`LuFactors::solve`] for each right-hand side.
+/// This is exactly the pattern of a fixed-timestep linear transient solver:
+/// the MNA matrix is constant, only the excitation changes every step.
+///
+/// # Example
+///
+/// ```
+/// use amsvp_linalg::{LuFactors, Matrix};
+///
+/// # fn main() -> Result<(), amsvp_linalg::SingularMatrixError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]); // needs pivoting
+/// let lu = LuFactors::factor(&a)?;
+/// let x = lu.solve(&[4.0, 3.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: solve uses `b[perm[i]]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by [`LuFactors::det`].
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this (relative to the largest element in the column)
+/// are treated as zero.
+const PIVOT_EPS: f64 = 1e-13;
+
+impl LuFactors {
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if no acceptable pivot exists at some
+    /// elimination step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, SingularMatrixError> {
+        assert!(a.is_square(), "LU factorization requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |value| in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= PIVOT_EPS * scale {
+                return Err(SingularMatrixError { column: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(LuFactors {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; b.len()];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A·x = b`, writing the solution into a caller-provided buffer
+    /// to avoid per-step allocation in transient loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()` or `x.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        assert_eq!(x.len(), n, "solution dimension mismatch");
+        // Forward substitution with permutation: L·y = P·b.
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            let row = self.lu.row(i);
+            for (j, xj) in x.iter().enumerate().take(i) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc;
+        }
+        // Back substitution: U·x = y.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc / row[i];
+        }
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal, signed
+    /// by the permutation parity).
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn solve_identity() {
+        let lu = LuFactors::factor(&Matrix::identity(3)).unwrap();
+        assert_close(&lu.solve(&[1.0, 2.0, 3.0]), &[1.0, 2.0, 3.0], 1e-14);
+        assert_eq!(lu.dim(), 3);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the first diagonal position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        assert_close(&lu.solve(&[5.0, 7.0]), &[7.0, 5.0], 1e-14);
+    }
+
+    #[test]
+    fn singular_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = LuFactors::factor(&a).unwrap_err();
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn det_matches_known() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        assert!((lu.det() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_with_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        let mut x = vec![0.0; 2];
+        lu.solve_into(&[5.0, 10.0], &mut x);
+        let back = a.mul_vec(&x);
+        assert_close(&back, &[5.0, 10.0], 1e-12);
+    }
+
+    #[test]
+    fn residual_small_on_moderate_system() {
+        // Deterministic pseudo-random SPD-ish matrix.
+        let n = 24;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 0x12345678_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64; // diagonal dominance
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = LuFactors::factor(&a).unwrap().solve(&b);
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+use crate::Matrix;
+
+/// Coordinate-format (COO) accumulator for building MNA matrices.
+///
+/// Device models "stamp" their contributions with [`Triplets::push`]; the
+/// solver then materializes a dense [`Matrix`] with [`Triplets::to_dense`].
+/// Duplicate coordinates accumulate, which is exactly the MNA stamping rule.
+///
+/// # Example
+///
+/// ```
+/// use amsvp_linalg::Triplets;
+///
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicates accumulate
+/// t.push(1, 1, 4.0);
+/// let m = t.to_dense();
+/// assert_eq!(m[(0, 0)], 3.0);
+/// assert_eq!(m[(1, 1)], 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty accumulator with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows of the target matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the target matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-accumulation) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `v` at `(i, j)`. Duplicates accumulate on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is outside the declared shape.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "triplet out of bounds");
+        self.entries.push((i, j, v));
+    }
+
+    /// Discards all entries, keeping capacity (per-step rebuild pattern).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Materializes the accumulated entries as a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for &(i, j, v) in &self.entries {
+            m.stamp(i, j, v);
+        }
+        m
+    }
+
+    /// Iterates over the raw entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+}
+
+impl Extend<(usize, usize, f64)> for Triplets {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (i, j, v) in iter {
+            self.push(i, j, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_duplicates() {
+        let mut t = Triplets::new(3, 3);
+        t.push(1, 2, 1.0);
+        t.push(1, 2, -0.25);
+        let m = t.to_dense();
+        assert_eq!(m[(1, 2)], 0.75);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.to_dense()[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        let mut t = Triplets::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut t = Triplets::new(2, 2);
+        t.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(t.iter().count(), 2);
+        let m = t.to_dense();
+        assert_eq!(m[(1, 1)], 2.0);
+    }
+}

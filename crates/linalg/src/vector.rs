@@ -1,0 +1,142 @@
+//! Vector helpers, including the NRMSE accuracy metric used by the paper.
+
+/// Euclidean (L2) norm of `v`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(amsvp_linalg::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Maximum-magnitude (L∞) norm of `v`.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `v *= alpha`.
+pub fn scale(alpha: f64, v: &mut [f64]) {
+    for x in v {
+        *x *= alpha;
+    }
+}
+
+/// Root-mean-square error between a signal and its reference.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the slices are empty.
+pub fn rmse(signal: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(signal.len(), reference.len(), "rmse length mismatch");
+    assert!(!signal.is_empty(), "rmse of empty signal");
+    let sum: f64 = signal
+        .iter()
+        .zip(reference)
+        .map(|(s, r)| (s - r) * (s - r))
+        .sum();
+    (sum / signal.len() as f64).sqrt()
+}
+
+/// Normalized root-mean-square error, the accuracy metric of Table I of the
+/// paper: RMSE divided by the peak-to-peak range of the reference.
+///
+/// Returns the plain RMSE when the reference is constant (range 0), so the
+/// metric stays finite.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the slices are empty.
+///
+/// # Example
+///
+/// ```
+/// let reference = [0.0, 1.0, 0.0, 1.0];
+/// let identical = reference;
+/// assert_eq!(amsvp_linalg::nrmse(&identical, &reference), 0.0);
+/// ```
+pub fn nrmse(signal: &[f64], reference: &[f64]) -> f64 {
+    let e = rmse(signal, reference);
+    let max = reference.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = reference.iter().cloned().fold(f64::INFINITY, f64::min);
+    let range = max - min;
+    if range > 0.0 {
+        e / range
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let s = [1.0, 2.0];
+        let r = [0.0, 0.0];
+        assert!((rmse(&s, &r) - (2.5_f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let r = [0.0, 2.0];
+        let s = [0.5, 2.5];
+        // rmse = 0.5, range = 2 → nrmse = 0.25
+        assert!((nrmse(&s, &r) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nrmse_constant_reference_falls_back_to_rmse() {
+        let r = [1.0, 1.0];
+        let s = [1.5, 0.5];
+        assert!((nrmse(&s, &r) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_error_for_identical_signals() {
+        let r = [0.3, -0.7, 0.9];
+        assert_eq!(nrmse(&r, &r), 0.0);
+        assert_eq!(rmse(&r, &r), 0.0);
+    }
+}

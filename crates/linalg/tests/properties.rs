@@ -1,0 +1,96 @@
+//! Property-based tests for the linear-algebra kernel.
+
+use amsvp_linalg::{norm_inf, solve, LuFactors, Matrix, Triplets};
+use proptest::prelude::*;
+
+/// Strategy: a random diagonally-dominant square matrix of dimension 1..=12.
+/// Diagonal dominance guarantees non-singularity so that `solve` must work.
+fn dominant_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=12).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+            let mut m = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    m[(i, j)] = vals[i * n + j];
+                }
+                m[(i, i)] += (n as f64) + 1.0;
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    /// A·x recovered from solve(A, b) must reproduce b.
+    #[test]
+    fn solve_residual_is_small(a in dominant_matrix()) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 0.5 * n as f64).collect();
+        let x = solve(&a, &b).expect("dominant matrix must factor");
+        let r = a.mul_vec(&x);
+        let err: Vec<f64> = r.iter().zip(&b).map(|(u, v)| u - v).collect();
+        prop_assert!(norm_inf(&err) < 1e-8, "residual too large: {err:?}");
+    }
+
+    /// Factoring and solving for columns of the identity yields an inverse:
+    /// A·A⁻¹ ≈ I.
+    #[test]
+    fn inverse_via_lu(a in dominant_matrix()) {
+        let n = a.rows();
+        let lu = LuFactors::factor(&a).unwrap();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = lu.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        let prod = &a * &inv;
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// det(A) from LU must be nonzero for dominant matrices and must flip
+    /// sign when two rows are swapped.
+    #[test]
+    fn det_sign_flips_on_row_swap(a in dominant_matrix()) {
+        prop_assume!(a.rows() >= 2);
+        let d = LuFactors::factor(&a).unwrap().det();
+        prop_assert!(d != 0.0);
+        let mut swapped = a.clone();
+        let n = a.cols();
+        for j in 0..n {
+            let t = swapped[(0, j)];
+            swapped[(0, j)] = swapped[(1, j)];
+            swapped[(1, j)] = t;
+        }
+        let ds = LuFactors::factor(&swapped).unwrap().det();
+        prop_assert!((d + ds).abs() < 1e-6 * d.abs().max(ds.abs()).max(1.0));
+    }
+
+    /// Triplet accumulation must agree with direct dense stamping,
+    /// regardless of insertion order.
+    #[test]
+    fn triplets_match_dense(entries in proptest::collection::vec(
+        (0usize..6, 0usize..6, -10.0f64..10.0), 0..40))
+    {
+        let mut t = Triplets::new(6, 6);
+        let mut d = Matrix::zeros(6, 6);
+        for &(i, j, v) in &entries {
+            t.push(i, j, v);
+            d.stamp(i, j, v);
+        }
+        let m = t.to_dense();
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!((m[(i, j)] - d[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{QExpr, Quantity};
+
+/// Where an equation came from, mirroring the paper's classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// A constitutive dipole equation (contribution statement).
+    Dipole,
+    /// Kirchhoff's current law at a node (NodalAnalysis).
+    Kcl,
+    /// Kirchhoff's voltage law around a fundamental loop (MeshAnalysis).
+    Kvl,
+    /// Branch-voltage definition `V[b] = V(pos) − V(neg)`.
+    VDef,
+    /// A signal-flow assignment from the analog block.
+    SignalFlow,
+    /// An externally imposed input binding.
+    Input,
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Origin::Dipole => "dipole",
+            Origin::Kcl => "KCL",
+            Origin::Kvl => "KVL",
+            Origin::VDef => "vdef",
+            Origin::SignalFlow => "signal-flow",
+            Origin::Input => "input",
+        })
+    }
+}
+
+/// An implicit relation `expr = 0` — the raw form in which dipole equations
+/// and Kirchhoff laws enter the enrichment step before being solved for
+/// each of their terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// The expression constrained to zero.
+    pub zero: QExpr,
+    /// Provenance.
+    pub origin: Origin,
+    /// Human-readable label (node/branch/loop name) for diagnostics.
+    pub label: String,
+}
+
+impl Relation {
+    /// Creates a relation `zero = 0`.
+    pub fn new(zero: QExpr, origin: Origin, label: impl Into<String>) -> Self {
+        Relation {
+            zero,
+            origin,
+            label: label.into(),
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {} = 0", self.origin, self.label, self.zero)
+    }
+}
+
+/// An explicit equation `lhs = rhs`, one *solved variant* of a relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Equation {
+    /// The defined quantity.
+    pub lhs: Quantity,
+    /// Its defining expression.
+    pub rhs: QExpr,
+    /// Provenance of the originating relation.
+    pub origin: Origin,
+}
+
+impl fmt::Display for Equation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}  ({})", self.lhs, self.rhs, self.origin)
+    }
+}
+
+/// Identifier of a dependency class inside an [`EquationTable`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ClassId(pub usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EqClass {
+    members: Vec<Equation>,
+    enabled: bool,
+    origin: Origin,
+    label: String,
+}
+
+/// The enriched equation store of the paper: a hash multimap from defined
+/// quantity to candidate equations, grouped into *dependency classes*.
+///
+/// Each class holds every solved variant of one original relation — the
+/// circular `nextDependent` chain of Algorithm 1 (Figure 5). Because all
+/// members of a class are linearly dependent, using one of them during
+/// assembly *disables the entire class* so that the same physical
+/// constraint is never consumed twice.
+///
+/// # Example
+///
+/// ```
+/// use amsvp_netlist::{Equation, EquationTable, Origin, Quantity};
+/// use expr::Expr;
+///
+/// let mut table = EquationTable::new();
+/// // One relation, two solved variants: x = y and y = x.
+/// let x = Quantity::var("x");
+/// let y = Quantity::var("y");
+/// let class = table.insert_class(
+///     vec![
+///         Equation { lhs: x.clone(), rhs: Expr::var(y.clone()), origin: Origin::Dipole },
+///         Equation { lhs: y.clone(), rhs: Expr::var(x.clone()), origin: Origin::Dipole },
+///     ],
+///     Origin::Dipole,
+///     "demo",
+/// );
+/// let (found, _) = table.fetch(&x).expect("x is defined");
+/// assert_eq!(found.rhs, Expr::var(y.clone()));
+/// table.disable_class(class);
+/// assert!(table.fetch(&y).is_none(), "whole class disabled");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EquationTable {
+    classes: Vec<EqClass>,
+    /// quantity → (class, member index) — the multimap of the paper, with
+    /// average O(1) insertion and O(l) per-key search.
+    index: HashMap<Quantity, Vec<(ClassId, usize)>>,
+}
+
+impl EquationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        EquationTable::default()
+    }
+
+    /// Number of dependency classes (original relations).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of stored equations across all classes.
+    pub fn equation_count(&self) -> usize {
+        self.classes.iter().map(|c| c.members.len()).sum()
+    }
+
+    /// Inserts a dependency class: all solved variants of one relation.
+    ///
+    /// Returns the class id. An empty member list is allowed (a relation
+    /// that could not be solved for any term) and simply never matches.
+    pub fn insert_class(
+        &mut self,
+        members: Vec<Equation>,
+        origin: Origin,
+        label: impl Into<String>,
+    ) -> ClassId {
+        let id = ClassId(self.classes.len());
+        for (i, eq) in members.iter().enumerate() {
+            self.index
+                .entry(eq.lhs.clone())
+                .or_default()
+                .push((id, i));
+        }
+        self.classes.push(EqClass {
+            members,
+            enabled: true,
+            origin,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Finds an enabled equation defining `q`, preferring earlier-inserted
+    /// classes (deterministic fetch order).
+    pub fn fetch(&self, q: &Quantity) -> Option<(&Equation, ClassId)> {
+        let slots = self.index.get(q)?;
+        slots
+            .iter()
+            .filter(|(c, _)| self.classes[c.0].enabled)
+            .map(|&(c, m)| (&self.classes[c.0].members[m], c))
+            .next()
+    }
+
+    /// All enabled candidate equations for `q`, in insertion order.
+    pub fn candidates(&self, q: &Quantity) -> Vec<(&Equation, ClassId)> {
+        self.index
+            .get(q)
+            .map(|slots| {
+                slots
+                    .iter()
+                    .filter(|(c, _)| self.classes[c.0].enabled)
+                    .map(|&(c, m)| (&self.classes[c.0].members[m], c))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Disables a whole dependency class (Algorithm 2's `disable()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    pub fn disable_class(&mut self, id: ClassId) {
+        self.classes[id.0].enabled = false;
+    }
+
+    /// Re-enables a single class (assembly backtracking support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    pub fn enable_class(&mut self, id: ClassId) {
+        self.classes[id.0].enabled = true;
+    }
+
+    /// Whether a class is still enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    pub fn is_enabled(&self, id: ClassId) -> bool {
+        self.classes[id.0].enabled
+    }
+
+    /// Re-enables every class (fresh assembly for another output).
+    pub fn reset(&mut self) {
+        for c in &mut self.classes {
+            c.enabled = true;
+        }
+    }
+
+    /// Members of a class — the dependency chain of Figure 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    pub fn class_members(&self, id: ClassId) -> &[Equation] {
+        &self.classes[id.0].members
+    }
+
+    /// Origin and label of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    pub fn class_info(&self, id: ClassId) -> (Origin, &str) {
+        let c = &self.classes[id.0];
+        (c.origin, &c.label)
+    }
+
+    /// Iterates all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len()).map(ClassId)
+    }
+
+    /// The set of quantities that have at least one defining equation.
+    pub fn defined_quantities(&self) -> impl Iterator<Item = &Quantity> {
+        self.index.keys()
+    }
+}
+
+impl fmt::Display for EquationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.classes.iter().enumerate() {
+            writeln!(
+                f,
+                "class {} [{} {}]{}:",
+                i,
+                c.origin,
+                c.label,
+                if c.enabled { "" } else { " (disabled)" }
+            )?;
+            for eq in &c.members {
+                writeln!(f, "  {eq}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expr::Expr;
+
+    fn q(n: &str) -> Quantity {
+        Quantity::var(n)
+    }
+
+    fn eq(lhs: &str, rhs: &str) -> Equation {
+        Equation {
+            lhs: q(lhs),
+            rhs: Expr::var(q(rhs)),
+            origin: Origin::Dipole,
+        }
+    }
+
+    #[test]
+    fn fetch_prefers_first_class() {
+        let mut t = EquationTable::new();
+        let c1 = t.insert_class(vec![eq("x", "a")], Origin::Dipole, "first");
+        let _c2 = t.insert_class(vec![eq("x", "b")], Origin::Kcl, "second");
+        let (found, cls) = t.fetch(&q("x")).unwrap();
+        assert_eq!(found.rhs, Expr::var(q("a")));
+        assert_eq!(cls, c1);
+        // Disabling the first exposes the second.
+        t.disable_class(c1);
+        let (found, _) = t.fetch(&q("x")).unwrap();
+        assert_eq!(found.rhs, Expr::var(q("b")));
+        assert_eq!(t.candidates(&q("x")).len(), 1);
+    }
+
+    #[test]
+    fn disabling_class_hides_all_members() {
+        let mut t = EquationTable::new();
+        let c = t.insert_class(vec![eq("x", "y"), eq("y", "x")], Origin::Kvl, "loop");
+        assert!(t.fetch(&q("y")).is_some());
+        t.disable_class(c);
+        assert!(t.fetch(&q("x")).is_none());
+        assert!(t.fetch(&q("y")).is_none());
+        assert!(!t.is_enabled(c));
+        t.reset();
+        assert!(t.fetch(&q("y")).is_some());
+    }
+
+    #[test]
+    fn counts_and_chain_access() {
+        let mut t = EquationTable::new();
+        let c = t.insert_class(
+            vec![eq("a", "b"), eq("b", "c"), eq("c", "a")],
+            Origin::Kcl,
+            "n1",
+        );
+        t.insert_class(vec![], Origin::Dipole, "unsolvable");
+        assert_eq!(t.class_count(), 2);
+        assert_eq!(t.equation_count(), 3);
+        assert_eq!(t.class_members(c).len(), 3);
+        let (origin, label) = t.class_info(c);
+        assert_eq!(origin, Origin::Kcl);
+        assert_eq!(label, "n1");
+        assert_eq!(t.class_ids().count(), 2);
+        assert!(t.defined_quantities().count() >= 3);
+    }
+
+    #[test]
+    fn missing_quantity_fetches_none() {
+        let t = EquationTable::new();
+        assert!(t.fetch(&q("nothing")).is_none());
+        assert!(t.candidates(&q("nothing")).is_empty());
+    }
+
+    #[test]
+    fn display_formats_classes() {
+        let mut t = EquationTable::new();
+        let c = t.insert_class(vec![eq("x", "y")], Origin::VDef, "bx");
+        t.disable_class(c);
+        let s = t.to_string();
+        assert!(s.contains("vdef"));
+        assert!(s.contains("(disabled)"));
+        assert!(s.contains("x = y"));
+    }
+
+    #[test]
+    fn relation_display() {
+        let r = Relation::new(
+            Expr::var(q("x")) - Expr::var(q("y")),
+            Origin::Kcl,
+            "node n1",
+        );
+        assert_eq!(r.to_string(), "[KCL node n1] x - y = 0");
+    }
+}

@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or analysing a circuit graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A branch references a node that was never declared.
+    UnknownNode(String),
+    /// A branch name was declared twice.
+    DuplicateBranch(String),
+    /// A node name was declared twice.
+    DuplicateNode(String),
+    /// The graph is not connected, so Kirchhoff analysis is ill-posed.
+    /// Carries one node from the unreachable component.
+    Disconnected(String),
+    /// The circuit declares no ground/reference node.
+    NoGround,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode(n) => write!(f, "branch references unknown node `{n}`"),
+            NetlistError::DuplicateBranch(b) => write!(f, "duplicate branch `{b}`"),
+            NetlistError::DuplicateNode(n) => write!(f, "duplicate node `{n}`"),
+            NetlistError::Disconnected(n) => {
+                write!(f, "circuit graph is disconnected; node `{n}` is unreachable")
+            }
+            NetlistError::NoGround => write!(f, "no ground node declared"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        assert!(NetlistError::UnknownNode("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(NetlistError::Disconnected("n9".into())
+            .to_string()
+            .contains("n9"));
+        assert_eq!(NetlistError::NoGround.to_string(), "no ground node declared");
+    }
+}

@@ -1,0 +1,482 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::NetlistError;
+
+/// Index of a node in a [`Graph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+/// Index of a branch in a [`Graph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BranchId(pub usize);
+
+/// A branch record: a named, oriented edge between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchRef {
+    /// Branch name (unique within the graph).
+    pub name: String,
+    /// Positive terminal.
+    pub pos: NodeId,
+    /// Negative terminal.
+    pub neg: NodeId,
+}
+
+/// The circuit graph `G = (N, B)` built by the acquisition step.
+///
+/// Nodes are named electrical nets; branches are oriented edges carrying a
+/// flow (current) from `pos` to `neg` and a potential difference
+/// `V(pos) − V(neg)`.
+///
+/// # Example
+///
+/// ```
+/// use amsvp_netlist::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node("a")?;
+/// let gnd = g.add_node("gnd")?;
+/// let r = g.add_branch("r1", a, gnd)?;
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.branch(r).name, "r1");
+/// # Ok::<(), amsvp_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<String>,
+    branches: Vec<BranchRef>,
+    node_index: HashMap<String, NodeId>,
+    branch_index: HashMap<String, BranchId>,
+    /// For each node: (branch, node-is-positive-terminal).
+    incidence: Vec<Vec<(BranchId, bool)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of branches `|B|`.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Adds a node, failing on duplicates.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateNode`] if the name already exists.
+    pub fn add_node(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        if self.node_index.contains_key(&name) {
+            return Err(NetlistError::DuplicateNode(name));
+        }
+        let id = NodeId(self.nodes.len());
+        self.node_index.insert(name.clone(), id);
+        self.nodes.push(name);
+        self.incidence.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds a node if absent, returning the existing id otherwise.
+    pub fn ensure_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.node_index.get(&name) {
+            return id;
+        }
+        self.add_node(name).expect("checked for duplicates")
+    }
+
+    /// Adds an oriented branch between existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateBranch`] if the name already exists.
+    pub fn add_branch(
+        &mut self,
+        name: impl Into<String>,
+        pos: NodeId,
+        neg: NodeId,
+    ) -> Result<BranchId, NetlistError> {
+        let name = name.into();
+        if self.branch_index.contains_key(&name) {
+            return Err(NetlistError::DuplicateBranch(name));
+        }
+        let id = BranchId(self.branches.len());
+        self.branch_index.insert(name.clone(), id);
+        self.branches.push(BranchRef { name, pos, neg });
+        self.incidence[pos.0].push((id, true));
+        self.incidence[neg.0].push((id, false));
+        Ok(id)
+    }
+
+    /// Looks a node up by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_index.get(name).copied()
+    }
+
+    /// Looks a branch up by name.
+    pub fn branch_id(&self, name: &str) -> Option<BranchId> {
+        self.branch_index.get(name).copied()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0]
+    }
+
+    /// Branch record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn branch(&self, id: BranchId) -> &BranchRef {
+        &self.branches[id.0]
+    }
+
+    /// Iterates node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates branch ids.
+    pub fn branch_ids(&self) -> impl Iterator<Item = BranchId> {
+        (0..self.branches.len()).map(BranchId)
+    }
+
+    /// Branches incident to a node, with `true` when the node is the
+    /// positive terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn incident(&self, n: NodeId) -> &[(BranchId, bool)] {
+        &self.incidence[n.0]
+    }
+
+    /// Checks that every node touching a branch is reachable from `root`.
+    /// Isolated nodes (no incident branches — e.g. the input terminal of a
+    /// purely signal-flow module) are allowed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Disconnected`] naming an unreachable branch-bearing
+    /// node.
+    pub fn check_connected(&self, root: NodeId) -> Result<(), NetlistError> {
+        let visited = self.reachable_from(root);
+        if let Some(i) = visited
+            .iter()
+            .enumerate()
+            .position(|(i, v)| !v && !self.incidence[i].is_empty())
+        {
+            return Err(NetlistError::Disconnected(self.nodes[i].clone()));
+        }
+        Ok(())
+    }
+
+    fn reachable_from(&self, root: NodeId) -> Vec<bool> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        visited[root.0] = true;
+        while let Some(n) = stack.pop() {
+            for &(b, _) in &self.incidence[n.0] {
+                let br = &self.branches[b.0];
+                for next in [br.pos, br.neg] {
+                    if !visited[next.0] {
+                        visited[next.0] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Computes a BFS spanning tree rooted at `root`.
+    ///
+    /// Returns, for each node, the tree branch connecting it toward the
+    /// root (`None` for the root itself and unreachable nodes), plus the
+    /// set of tree branches.
+    pub fn spanning_tree(&self, root: NodeId) -> SpanningTree {
+        let mut parent_edge: Vec<Option<(BranchId, NodeId)>> = vec![None; self.nodes.len()];
+        let mut in_tree = vec![false; self.branches.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[root.0] = true;
+        queue.push_back(root);
+        while let Some(n) = queue.pop_front() {
+            for &(b, _) in &self.incidence[n.0] {
+                let br = &self.branches[b.0];
+                let other = if br.pos == n { br.neg } else { br.pos };
+                if !visited[other.0] {
+                    visited[other.0] = true;
+                    in_tree[b.0] = true;
+                    parent_edge[other.0] = Some((b, n));
+                    queue.push_back(other);
+                }
+            }
+        }
+        SpanningTree {
+            root,
+            parent_edge,
+            in_tree,
+        }
+    }
+
+    /// Fundamental loops of the graph with respect to a spanning tree:
+    /// one loop per non-tree (chord) branch. Each loop is a list of
+    /// `(branch, same_orientation)` pairs, traversed in the direction of
+    /// the chord (pos → neg).
+    pub fn fundamental_loops(&self, tree: &SpanningTree) -> Vec<Vec<(BranchId, bool)>> {
+        let mut loops = Vec::new();
+        for (i, br) in self.branches.iter().enumerate() {
+            let b = BranchId(i);
+            if tree.in_tree[i] {
+                continue;
+            }
+            // Loop: chord pos→neg, then tree path neg→pos.
+            let mut cycle = vec![(b, true)];
+            let path = tree.path(self, br.neg, br.pos);
+            cycle.extend(path);
+            loops.push(cycle);
+        }
+        loops
+    }
+}
+
+/// A spanning tree produced by [`Graph::spanning_tree`].
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    root: NodeId,
+    /// For each node: the branch and parent node toward the root.
+    parent_edge: Vec<Option<(BranchId, NodeId)>>,
+    in_tree: Vec<bool>,
+}
+
+impl SpanningTree {
+    /// Whether a branch belongs to the tree.
+    pub fn contains(&self, b: BranchId) -> bool {
+        self.in_tree[b.0]
+    }
+
+    /// Tree root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The tree path from `from` to `to`, as `(branch, same_orientation)`
+    /// pairs where `same_orientation` means the traversal direction equals
+    /// the branch's pos→neg direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is unreachable from the root.
+    pub fn path(
+        &self,
+        graph: &Graph,
+        from: NodeId,
+        to: NodeId,
+    ) -> Vec<(BranchId, bool)> {
+        // Walk both nodes up to the root recording their ancestor chains,
+        // then splice at the lowest common ancestor.
+        let chain = |mut n: NodeId| {
+            let mut up = Vec::new();
+            while let Some((b, parent)) = self.parent_edge[n.0] {
+                up.push((n, b, parent));
+                n = parent;
+            }
+            assert_eq!(n, self.root, "node unreachable from spanning-tree root");
+            up
+        };
+        let from_chain = chain(from);
+        let to_chain = chain(to);
+        // Depths to root; find first common node.
+        let mut from_nodes: Vec<NodeId> =
+            std::iter::once(from).chain(from_chain.iter().map(|&(_, _, p)| p)).collect();
+        let to_nodes: Vec<NodeId> =
+            std::iter::once(to).chain(to_chain.iter().map(|&(_, _, p)| p)).collect();
+        let common = *from_nodes
+            .iter()
+            .find(|n| to_nodes.contains(n))
+            .expect("same tree ⇒ common ancestor exists");
+        from_nodes.clear();
+
+        let mut out = Vec::new();
+        // from → common (downward segments in `from_chain` order).
+        for &(child, b, parent) in &from_chain {
+            let br = graph.branch(b);
+            // Traversal child → parent; orientation matches if child is pos.
+            out.push((b, br.pos == child));
+            if parent == common {
+                break;
+            }
+            let _ = child;
+        }
+        if from == common {
+            out.clear();
+        }
+        // common → to: collect to_chain up to common, then reverse.
+        let mut down = Vec::new();
+        for &(_child, b, parent) in &to_chain {
+            let br = graph.branch(b);
+            // Traversal parent → child; orientation matches if parent is pos.
+            down.push((b, br.pos == parent));
+            if parent == common {
+                break;
+            }
+        }
+        if to != common {
+            down.reverse();
+            out.extend(down);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a --r1-- b --r2-- gnd, plus chord c1 from a to gnd.
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let gnd = g.add_node("gnd").unwrap();
+        g.add_branch("r1", a, b).unwrap();
+        g.add_branch("r2", b, gnd).unwrap();
+        g.add_branch("c1", a, gnd).unwrap();
+        (g, a, b, gnd)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (g, a, _, _) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.branch_count(), 3);
+        assert_eq!(g.node_id("a"), Some(a));
+        assert_eq!(g.node_id("zz"), None);
+        let r1 = g.branch_id("r1").unwrap();
+        assert_eq!(g.branch(r1).pos, a);
+        assert_eq!(g.node_name(a), "a");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        assert_eq!(g.add_node("a"), Err(NetlistError::DuplicateNode("a".into())));
+        let b = g.add_node("b").unwrap();
+        g.add_branch("x", a, b).unwrap();
+        assert_eq!(
+            g.add_branch("x", b, a),
+            Err(NetlistError::DuplicateBranch("x".into()))
+        );
+        assert_eq!(g.ensure_node("a"), a);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn incidence_signs() {
+        let (g, a, _, _) = triangle();
+        let inc = g.incident(a);
+        assert_eq!(inc.len(), 2);
+        // `a` is the positive terminal of both r1 and c1.
+        assert!(inc.iter().all(|&(_, pos)| pos));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let (g, _, _, gnd) = triangle();
+        assert!(g.check_connected(gnd).is_ok());
+        // Isolated nodes (no incident branches) are allowed...
+        let mut g2 = g.clone();
+        g2.add_node("island").unwrap();
+        assert!(g2.check_connected(gnd).is_ok());
+        // ...but a branch-bearing disconnected component is not.
+        let mut g3 = g2.clone();
+        let far = g3.add_node("far").unwrap();
+        let island = g3.node_id("island").unwrap();
+        g3.add_branch("floating", island, far).unwrap();
+        assert_eq!(
+            g3.check_connected(gnd),
+            Err(NetlistError::Disconnected("island".into()))
+        );
+    }
+
+    #[test]
+    fn spanning_tree_covers_all_nodes() {
+        let (g, _, _, gnd) = triangle();
+        let t = g.spanning_tree(gnd);
+        let tree_branches = g.branch_ids().filter(|&b| t.contains(b)).count();
+        assert_eq!(tree_branches, g.node_count() - 1);
+        assert_eq!(t.root(), gnd);
+    }
+
+    #[test]
+    fn fundamental_loop_of_triangle() {
+        let (g, _, _, gnd) = triangle();
+        let t = g.spanning_tree(gnd);
+        let loops = g.fundamental_loops(&t);
+        assert_eq!(loops.len(), 1, "3 branches, 2 tree edges ⇒ 1 chord");
+        let cycle = &loops[0];
+        assert_eq!(cycle.len(), 3, "triangle loop visits all branches");
+        // Each branch appears exactly once.
+        let mut ids: Vec<usize> = cycle.iter().map(|&(b, _)| b.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn loop_orientation_sums_to_zero_potential() {
+        // Check that following the loop with the reported orientations
+        // returns to the starting node.
+        let (g, _, _, gnd) = triangle();
+        let t = g.spanning_tree(gnd);
+        for cycle in g.fundamental_loops(&t) {
+            let (b0, forward0) = cycle[0];
+            let start = if forward0 { g.branch(b0).pos } else { g.branch(b0).neg };
+            let mut at = start;
+            for &(b, forward) in &cycle {
+                let br = g.branch(b);
+                let (enter, exit) = if forward { (br.pos, br.neg) } else { (br.neg, br.pos) };
+                assert_eq!(at, enter, "loop must be contiguous");
+                at = exit;
+            }
+            assert_eq!(at, start, "loop must close");
+        }
+    }
+
+    #[test]
+    fn path_between_tree_nodes() {
+        let (g, a, b, gnd) = triangle();
+        let t = g.spanning_tree(gnd);
+        let p = t.path(&g, a, b);
+        // Path a→b must be contiguous from a to b.
+        let mut at = a;
+        for &(bid, forward) in &p {
+            let br = g.branch(bid);
+            let (enter, exit) = if forward { (br.pos, br.neg) } else { (br.neg, br.pos) };
+            assert_eq!(at, enter);
+            at = exit;
+        }
+        assert_eq!(at, b);
+        // Trivial path.
+        assert!(t.path(&g, a, a).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Kirchhoff-law relation generators — the paper's `NodalAnalysis` and
+//! `MeshAnalysis` of Algorithm 1 — plus branch-voltage definitions.
+
+use std::collections::HashSet;
+
+use expr::Expr;
+
+use crate::{Graph, NodeId, Origin, QExpr, Quantity, Relation};
+
+/// Kirchhoff current law: for every node not in `excluded`, the signed sum
+/// of incident branch currents is zero (currents flow pos → neg).
+///
+/// `excluded` normally contains the ground node (its KCL is redundant) and
+/// any node attached to an *input* port, where an unknown external current
+/// enters the analog subsystem. Output ports stay included: in the paper's
+/// smart-system architecture (Figure 1), analog outputs are observed by
+/// high-impedance digital hardware, so no external current flows.
+///
+/// Worst-case complexity is O(|N|²) as every node may touch every branch.
+pub fn kcl_relations(graph: &Graph, excluded: &HashSet<NodeId>) -> Vec<Relation> {
+    let mut out = Vec::new();
+    for n in graph.node_ids() {
+        if excluded.contains(&n) {
+            continue;
+        }
+        let incident = graph.incident(n);
+        if incident.is_empty() {
+            continue;
+        }
+        let mut sum: Option<QExpr> = None;
+        for &(b, node_is_pos) in incident {
+            let name = graph.branch(b).name.clone();
+            let term = Expr::var(Quantity::BranchI(name));
+            // Current leaving the node: +I at the positive terminal.
+            let term = if node_is_pos { term } else { -term };
+            sum = Some(match sum {
+                None => term,
+                Some(acc) => acc + term,
+            });
+        }
+        out.push(Relation::new(
+            sum.expect("nonempty incidence"),
+            Origin::Kcl,
+            format!("node {}", graph.node_name(n)),
+        ));
+    }
+    out
+}
+
+/// Kirchhoff voltage law: one relation per fundamental loop of a spanning
+/// tree rooted at `root`, summing signed branch voltages around the loop.
+///
+/// Worst-case complexity is O(|N|³) (every chord's loop can traverse the
+/// whole tree).
+pub fn kvl_relations(graph: &Graph, root: NodeId) -> Vec<Relation> {
+    let tree = graph.spanning_tree(root);
+    let mut out = Vec::new();
+    for (i, cycle) in graph.fundamental_loops(&tree).into_iter().enumerate() {
+        let mut sum: Option<QExpr> = None;
+        for (b, forward) in cycle {
+            let name = graph.branch(b).name.clone();
+            let term = Expr::var(Quantity::BranchV(name));
+            let term = if forward { term } else { -term };
+            sum = Some(match sum {
+                None => term,
+                Some(acc) => acc + term,
+            });
+        }
+        out.push(Relation::new(
+            sum.expect("loops are nonempty"),
+            Origin::Kvl,
+            format!("loop {i}"),
+        ));
+    }
+    out
+}
+
+/// Branch-voltage definitions: `V[b] − (V(pos) − V(neg)) = 0`, with ground
+/// potentials substituted by zero.
+pub fn vdef_relations(graph: &Graph, grounds: &HashSet<NodeId>) -> Vec<Relation> {
+    let node_v = |n: NodeId| -> QExpr {
+        if grounds.contains(&n) {
+            Expr::num(0.0)
+        } else {
+            Expr::var(Quantity::NodeV(graph.node_name(n).to_string()))
+        }
+    };
+    graph
+        .branch_ids()
+        .map(|b| {
+            let br = graph.branch(b);
+            let zero = Expr::var(Quantity::BranchV(br.name.clone()))
+                - (node_v(br.pos) - node_v(br.neg));
+            Relation::new(zero.simplified(), Origin::VDef, format!("branch {}", br.name))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// in --r-- out --c-- gnd
+    fn rc() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let i = g.add_node("in").unwrap();
+        let o = g.add_node("out").unwrap();
+        let gnd = g.add_node("gnd").unwrap();
+        g.add_branch("r", i, o).unwrap();
+        g.add_branch("c", o, gnd).unwrap();
+        (g, i, o, gnd)
+    }
+
+    #[test]
+    fn kcl_at_internal_node_only() {
+        let (g, i, _, gnd) = rc();
+        let excluded: HashSet<_> = [i, gnd].into_iter().collect();
+        let rels = kcl_relations(&g, &excluded);
+        assert_eq!(rels.len(), 1);
+        let r = &rels[0];
+        assert_eq!(r.origin, Origin::Kcl);
+        assert!(r.label.contains("out"));
+        // At `out`: r enters (out is neg terminal → −I[r]), c leaves (+I[c]).
+        // Evaluate with I[r]=2, I[c]=2 → −2+2 = 0.
+        let v = r
+            .zero
+            .eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchI(n) if n == "r" => Some(2.0),
+                Quantity::BranchI(n) if n == "c" => Some(2.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn kcl_balances_on_star_node() {
+        // Three branches meeting at m with mixed orientations.
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let m = g.add_node("m").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        g.add_branch("b1", a, m).unwrap(); // into m
+        g.add_branch("b2", m, b).unwrap(); // out of m
+        g.add_branch("b3", c, m).unwrap(); // into m
+        let excluded: HashSet<_> = [a, b, c].into_iter().collect();
+        let rels = kcl_relations(&g, &excluded);
+        assert_eq!(rels.len(), 1);
+        // −I1 + I2 − I3 = 0 with I1=1, I3=2 ⇒ I2=3 balances.
+        let v = rels[0]
+            .zero
+            .eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchI(n) if n == "b1" => Some(1.0),
+                Quantity::BranchI(n) if n == "b2" => Some(3.0),
+                Quantity::BranchI(n) if n == "b3" => Some(2.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn kvl_empty_for_tree_circuits() {
+        let (g, _, _, gnd) = rc();
+        assert!(kvl_relations(&g, gnd).is_empty(), "RC line has no loops");
+    }
+
+    #[test]
+    fn kvl_for_triangle_sums_to_zero() {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let gnd = g.add_node("gnd").unwrap();
+        g.add_branch("e1", a, b).unwrap();
+        g.add_branch("e2", b, gnd).unwrap();
+        g.add_branch("e3", a, gnd).unwrap();
+        let rels = kvl_relations(&g, gnd);
+        assert_eq!(rels.len(), 1);
+        // Assign physical potentials: Va=5, Vb=3, Vgnd=0.
+        // V[e1]=2, V[e2]=3, V[e3]=5 — KVL must vanish.
+        let v = rels[0]
+            .zero
+            .eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchV(n) if n == "e1" => Some(2.0),
+                Quantity::BranchV(n) if n == "e2" => Some(3.0),
+                Quantity::BranchV(n) if n == "e3" => Some(5.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn vdef_substitutes_ground() {
+        let (g, _, _, gnd) = rc();
+        let grounds: HashSet<_> = [gnd].into_iter().collect();
+        let rels = vdef_relations(&g, &grounds);
+        assert_eq!(rels.len(), 2);
+        // V[c] − V(out) = 0 (gnd folded to zero).
+        let cap = rels.iter().find(|r| r.label == "branch c").unwrap();
+        let vars = cap.zero.variables();
+        assert!(vars.contains(&Quantity::branch_v("c")));
+        assert!(vars.contains(&Quantity::node_v("out")));
+        assert!(!vars.iter().any(|q| q.name() == "gnd"));
+        let v = cap
+            .zero
+            .eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchV(n) if n == "c" => Some(7.0),
+                Quantity::NodeV(n) if n == "out" => Some(7.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Circuit topology and equation storage for the abstraction pipeline.
+//!
+//! Step 1 of the paper's methodology ("Acquisition", §IV-A) turns a set of
+//! dipole equations into two artifacts:
+//!
+//! 1. a graph `G = (N, B)` of the electrical network — [`Graph`] here — and
+//! 2. an "optimized data structure, i.e., a Multimap" holding the equations
+//!    — [`EquationTable`] here, a hash multimap from defined quantity to the
+//!    equations that can produce it, organized into *dependency classes*
+//!    (the circular `nextDependent` chains of Algorithm 1 / Figure 5).
+//!
+//! Step 2 ("Enrichment", §IV-B) adds Kirchhoff's laws from the topology:
+//! [`kcl_relations`] produces one current law per internal node
+//! (NodalAnalysis) and [`kvl_relations`] one voltage law per fundamental
+//! loop of a spanning tree (MeshAnalysis).
+//!
+//! The variable type threaded through every expression is [`Quantity`]:
+//! node potentials, branch voltages, branch flows, module variables, and
+//! external inputs.
+
+mod equation;
+mod error;
+mod graph;
+mod kirchhoff;
+mod quantity;
+
+pub use equation::{ClassId, Equation, EquationTable, Origin, Relation};
+pub use error::NetlistError;
+pub use graph::{BranchId, BranchRef, Graph, NodeId};
+pub use kirchhoff::{kcl_relations, kvl_relations, vdef_relations};
+pub use quantity::Quantity;
+
+/// Expression over electrical quantities.
+pub type QExpr = expr::Expr<Quantity>;

@@ -1,0 +1,147 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An electrical (or auxiliary) quantity — the variable type of every
+/// expression in the abstraction pipeline.
+///
+/// Node potentials are always referenced to ground, so Kirchhoff's voltage
+/// law around any loop that the `vdef` relations close is satisfied by
+/// construction; explicit KVL mesh equations are *additionally* generated to
+/// enrich the solving chains, exactly as the paper's Algorithm 1 does.
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Quantity {
+    /// Potential of a named node with respect to ground.
+    NodeV(String),
+    /// Voltage across a named branch (pos − neg).
+    BranchV(String),
+    /// Current through a named branch (flowing pos → neg).
+    BranchI(String),
+    /// A module-level `real` variable or named intermediate.
+    Var(String),
+    /// An external input signal (stimulus or digital-to-analog value).
+    Input(String),
+}
+
+impl Quantity {
+    /// Potential of node `n`.
+    pub fn node_v(n: impl Into<String>) -> Self {
+        Quantity::NodeV(n.into())
+    }
+
+    /// Voltage across branch `b`.
+    pub fn branch_v(b: impl Into<String>) -> Self {
+        Quantity::BranchV(b.into())
+    }
+
+    /// Current through branch `b`.
+    pub fn branch_i(b: impl Into<String>) -> Self {
+        Quantity::BranchI(b.into())
+    }
+
+    /// Module variable `name`.
+    pub fn var(name: impl Into<String>) -> Self {
+        Quantity::Var(name.into())
+    }
+
+    /// External input `name`.
+    pub fn input(name: impl Into<String>) -> Self {
+        Quantity::Input(name.into())
+    }
+
+    /// Whether this quantity is an external input (a leaf the abstraction
+    /// never tries to define).
+    pub fn is_input(&self) -> bool {
+        matches!(self, Quantity::Input(_))
+    }
+
+    /// The underlying name, whatever the kind.
+    pub fn name(&self) -> &str {
+        match self {
+            Quantity::NodeV(s)
+            | Quantity::BranchV(s)
+            | Quantity::BranchI(s)
+            | Quantity::Var(s)
+            | Quantity::Input(s) => s,
+        }
+    }
+
+    /// A short, identifier-safe rendering used by code generators
+    /// (`v_node_out`, `i_cap`, ...).
+    pub fn mangle(&self) -> String {
+        match self {
+            Quantity::NodeV(s) => format!("v_node_{s}"),
+            Quantity::BranchV(s) => format!("v_{s}"),
+            Quantity::BranchI(s) => format!("i_{s}"),
+            Quantity::Var(s) => format!("var_{s}"),
+            Quantity::Input(s) => format!("in_{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantity::NodeV(s) => write!(f, "V({s})"),
+            Quantity::BranchV(s) => write!(f, "V[{s}]"),
+            Quantity::BranchI(s) => write!(f, "I[{s}]"),
+            Quantity::Var(s) => write!(f, "{s}"),
+            Quantity::Input(s) => write!(f, "in:{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_kinds() {
+        assert_eq!(Quantity::node_v("out").to_string(), "V(out)");
+        assert_eq!(Quantity::branch_v("res").to_string(), "V[res]");
+        assert_eq!(Quantity::branch_i("res").to_string(), "I[res]");
+        assert_eq!(Quantity::var("x").to_string(), "x");
+        assert_eq!(Quantity::input("vin").to_string(), "in:vin");
+    }
+
+    #[test]
+    fn mangle_is_identifier_safe() {
+        for q in [
+            Quantity::node_v("n1"),
+            Quantity::branch_v("b"),
+            Quantity::branch_i("b"),
+            Quantity::var("y"),
+            Quantity::input("u"),
+        ] {
+            let m = q.mangle();
+            assert!(m
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+        // Different kinds over the same name must not collide.
+        assert_ne!(
+            Quantity::branch_v("b").mangle(),
+            Quantity::branch_i("b").mangle()
+        );
+    }
+
+    #[test]
+    fn input_predicate_and_name() {
+        assert!(Quantity::input("u").is_input());
+        assert!(!Quantity::node_v("u").is_input());
+        assert_eq!(Quantity::branch_i("cap").name(), "cap");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = [Quantity::input("a"),
+            Quantity::node_v("a"),
+            Quantity::branch_i("a"),
+            Quantity::branch_v("a"),
+            Quantity::var("a")];
+        v.sort();
+        assert_eq!(v[0], Quantity::node_v("a"));
+        assert_eq!(v.last(), Some(&Quantity::input("a")));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: Kirchhoff relations generated from random connected
+//! graphs must vanish under physically consistent assignments.
+
+use std::collections::{HashMap, HashSet};
+
+use amsvp_netlist::{kcl_relations, kvl_relations, vdef_relations, Graph, Quantity};
+use proptest::prelude::*;
+
+/// A random connected multigraph: `n` nodes, a random spanning backbone
+/// plus extra chords.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..10).prop_flat_map(|n| {
+        let backbone = proptest::collection::vec((0usize..1000, any::<bool>()), n - 1);
+        let chords = proptest::collection::vec((0usize..1000, 0usize..1000), 0..6);
+        (Just(n), backbone, chords).prop_map(|(n, backbone, chords)| {
+            let mut g = Graph::new();
+            for i in 0..n {
+                g.add_node(format!("n{i}")).unwrap();
+            }
+            let mut bid = 0;
+            // Backbone: connect node i+1 to a random earlier node.
+            for (i, (pick, flip)) in backbone.into_iter().enumerate() {
+                let a = amsvp_netlist::NodeId(pick % (i + 1));
+                let b = amsvp_netlist::NodeId(i + 1);
+                let (p, q) = if flip { (a, b) } else { (b, a) };
+                g.add_branch(format!("b{bid}"), p, q).unwrap();
+                bid += 1;
+            }
+            for (x, y) in chords {
+                let a = amsvp_netlist::NodeId(x % n);
+                let b = amsvp_netlist::NodeId(y % n);
+                if a == b {
+                    continue; // no self-loops
+                }
+                g.add_branch(format!("b{bid}"), a, b).unwrap();
+                bid += 1;
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// KVL relations vanish when branch voltages come from arbitrary node
+    /// potentials (V[b] = V(pos) − V(neg)).
+    #[test]
+    fn kvl_vanishes_for_potential_consistent_voltages(
+        g in arb_graph(),
+        pots in proptest::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let root = amsvp_netlist::NodeId(0);
+        let rels = kvl_relations(&g, root);
+        let mut vb: HashMap<String, f64> = HashMap::new();
+        for b in g.branch_ids() {
+            let br = g.branch(b);
+            vb.insert(br.name.clone(), pots[br.pos.0] - pots[br.neg.0]);
+        }
+        for r in rels {
+            let v = r.zero.eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchV(n) => vb.get(n).copied(),
+                _ => None,
+            }).unwrap();
+            prop_assert!(v.abs() < 1e-9, "KVL violated: {v} for {r}");
+        }
+    }
+
+    /// KCL relations vanish when branch currents are superpositions of
+    /// fundamental loop currents (a divergence-free flow by construction).
+    #[test]
+    fn kcl_vanishes_for_loop_current_superposition(
+        g in arb_graph(),
+        loop_currents in proptest::collection::vec(-5.0f64..5.0, 16),
+    ) {
+        let root = amsvp_netlist::NodeId(0);
+        let tree = g.spanning_tree(root);
+        let loops = g.fundamental_loops(&tree);
+        let mut ib: HashMap<String, f64> = g
+            .branch_ids()
+            .map(|b| (g.branch(b).name.clone(), 0.0))
+            .collect();
+        for (k, cycle) in loops.iter().enumerate() {
+            let ik = loop_currents[k % loop_currents.len()];
+            for &(b, forward) in cycle {
+                let name = &g.branch(b).name;
+                *ib.get_mut(name).unwrap() += if forward { ik } else { -ik };
+            }
+        }
+        // No excluded nodes: a pure loop flow balances everywhere.
+        let rels = kcl_relations(&g, &HashSet::new());
+        for r in rels {
+            let v = r.zero.eval(&mut |q: &Quantity, _| match q {
+                Quantity::BranchI(n) => ib.get(n).copied(),
+                _ => None,
+            }).unwrap();
+            prop_assert!(v.abs() < 1e-9, "KCL violated: {v} for {r}");
+        }
+    }
+
+    /// vdef relations vanish for consistent assignments and never mention
+    /// ground potentials.
+    #[test]
+    fn vdef_consistent_and_groundless(
+        g in arb_graph(),
+        pots in proptest::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let ground = amsvp_netlist::NodeId(0);
+        let grounds: HashSet<_> = [ground].into_iter().collect();
+        let rels = vdef_relations(&g, &grounds);
+        prop_assert_eq!(rels.len(), g.branch_count());
+        let mut pots = pots;
+        pots[0] = 0.0; // ground potential
+        for r in &rels {
+            for q in r.zero.variables() {
+                prop_assert!(q.name() != "n0", "ground must be folded: {r}");
+            }
+            let v = r.zero.eval(&mut |q: &Quantity, _| match q {
+                Quantity::NodeV(n) => {
+                    let idx: usize = n[1..].parse().unwrap();
+                    Some(pots[idx])
+                }
+                Quantity::BranchV(n) => {
+                    let b = g.branch_id(n).unwrap();
+                    let br = g.branch(b);
+                    Some(pots[br.pos.0] - pots[br.neg.0])
+                }
+                _ => None,
+            }).unwrap();
+            prop_assert!(v.abs() < 1e-9, "vdef violated: {v} for {r}");
+        }
+    }
+
+    /// Spanning tree always has |N|−1 edges and fundamental loop count
+    /// equals |B| − (|N|−1).
+    #[test]
+    fn tree_and_loop_counts(g in arb_graph()) {
+        let root = amsvp_netlist::NodeId(0);
+        let tree = g.spanning_tree(root);
+        let tree_edges = g.branch_ids().filter(|&b| tree.contains(b)).count();
+        prop_assert_eq!(tree_edges, g.node_count() - 1);
+        let loops = g.fundamental_loops(&tree);
+        prop_assert_eq!(loops.len(), g.branch_count() - tree_edges);
+    }
+}

@@ -1,0 +1,238 @@
+use de::SimTime;
+use std::collections::VecDeque;
+
+/// Identifier of a TDF module within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId(pub(crate) usize);
+
+/// An input port handle (consumer side of a channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InPort(pub(crate) usize);
+
+/// An output port handle (producer side of a channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutPort(pub(crate) usize);
+
+/// A timed data-flow module: one `processing()` call per firing.
+///
+/// The `Any` supertrait lets testbenches downcast modules back to their
+/// concrete type after the graph is built (see
+/// [`TdfExecutor::module_mut`](crate::TdfExecutor::module_mut)).
+pub trait TdfModule: std::any::Any {
+    /// Computes one firing: read `rate` samples from each input port,
+    /// write `rate` samples to each output port.
+    fn processing(&mut self, io: &mut Io<'_>);
+}
+
+pub(crate) struct InPortInfo {
+    pub rate: usize,
+    pub channel: Option<usize>,
+    pub module: Option<usize>,
+}
+
+pub(crate) struct OutPortInfo {
+    pub rate: usize,
+    pub channels: Vec<usize>,
+    pub module: Option<usize>,
+}
+
+pub(crate) struct Channel {
+    pub buffer: VecDeque<f64>,
+    pub from: usize,
+    pub to: usize,
+    pub delay: usize,
+}
+
+/// A TDF graph under construction: ports, channels and modules.
+///
+/// Build ports first, connect them, then attach them to modules with
+/// [`TdfGraph::add_module`]; finally call [`TdfGraph::build`] to compute
+/// the static schedule.
+#[derive(Default)]
+pub struct TdfGraph {
+    pub(crate) modules: Vec<Box<dyn TdfModule>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) in_ports: Vec<InPortInfo>,
+    pub(crate) out_ports: Vec<OutPortInfo>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) module_inputs: Vec<Vec<usize>>,
+    pub(crate) module_outputs: Vec<Vec<usize>>,
+    pub(crate) timesteps: Vec<Option<SimTime>>,
+}
+
+impl TdfGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TdfGraph::default()
+    }
+
+    /// Allocates an input port consuming `rate` samples per firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn in_port(&mut self, rate: usize) -> InPort {
+        assert!(rate > 0, "port rate must be positive");
+        self.in_ports.push(InPortInfo {
+            rate,
+            channel: None,
+            module: None,
+        });
+        InPort(self.in_ports.len() - 1)
+    }
+
+    /// Allocates an output port producing `rate` samples per firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn out_port(&mut self, rate: usize) -> OutPort {
+        assert!(rate > 0, "port rate must be positive");
+        self.out_ports.push(OutPortInfo {
+            rate,
+            channels: Vec::new(),
+            module: None,
+        });
+        OutPort(self.out_ports.len() - 1)
+    }
+
+    /// Connects a producer to a consumer with `delay` initial zero
+    /// samples (delays break scheduling cycles, as in SystemC-AMS).
+    ///
+    /// An output port may feed several input ports (fan-out); an input
+    /// port accepts exactly one connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input port is already connected.
+    pub fn connect(&mut self, from: OutPort, to: InPort, delay: usize) {
+        assert!(
+            self.in_ports[to.0].channel.is_none(),
+            "input port already connected"
+        );
+        let idx = self.channels.len();
+        let mut buffer = VecDeque::new();
+        buffer.extend(std::iter::repeat_n(0.0, delay));
+        self.channels.push(Channel {
+            buffer,
+            from: from.0,
+            to: to.0,
+            delay,
+        });
+        self.out_ports[from.0].channels.push(idx);
+        self.in_ports[to.0].channel = Some(idx);
+    }
+
+    /// Registers a module together with the ports it owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port is already owned by another module.
+    pub fn add_module(
+        &mut self,
+        module: impl TdfModule + 'static,
+        inputs: &[InPort],
+        outputs: &[OutPort],
+    ) -> ModuleId {
+        self.add_module_named("tdf", module, inputs, outputs)
+    }
+
+    /// [`TdfGraph::add_module`] with an explicit name for diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port is already owned by another module.
+    pub fn add_module_named(
+        &mut self,
+        name: &str,
+        module: impl TdfModule + 'static,
+        inputs: &[InPort],
+        outputs: &[OutPort],
+    ) -> ModuleId {
+        let id = self.modules.len();
+        self.modules.push(Box::new(module));
+        self.names.push(name.to_string());
+        self.timesteps.push(None);
+        let mut ins = Vec::new();
+        for p in inputs {
+            assert!(
+                self.in_ports[p.0].module.is_none(),
+                "input port already owned"
+            );
+            self.in_ports[p.0].module = Some(id);
+            ins.push(p.0);
+        }
+        let mut outs = Vec::new();
+        for p in outputs {
+            assert!(
+                self.out_ports[p.0].module.is_none(),
+                "output port already owned"
+            );
+            self.out_ports[p.0].module = Some(id);
+            outs.push(p.0);
+        }
+        self.module_inputs.push(ins);
+        self.module_outputs.push(outs);
+        ModuleId(id)
+    }
+
+    /// Declares the firing period of a module (SystemC-AMS
+    /// `set_timestep`). At least one module per graph must declare one.
+    pub fn set_timestep(&mut self, module: ModuleId, ts: SimTime) {
+        self.timesteps[module.0] = Some(ts);
+    }
+}
+
+/// Port access during one firing: `k` indexes the samples of the firing
+/// (`0..rate`).
+pub struct Io<'g> {
+    pub(crate) in_ports: &'g [InPortInfo],
+    pub(crate) out_ports: &'g [OutPortInfo],
+    pub(crate) channels: &'g mut [Channel],
+    /// Per-channel base index where this firing's output samples live
+    /// (the executor pre-extends buffers by the port rate).
+    pub(crate) bases: &'g [usize],
+    pub(crate) time: SimTime,
+    pub(crate) module: usize,
+}
+
+impl Io<'_> {
+    /// Simulated time of the first sample of this firing.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Reads sample `k` of this firing from an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not owned by the running module, is not
+    /// connected, or `k` exceeds the port rate.
+    pub fn read(&self, port: InPort, k: usize) -> f64 {
+        let info = &self.in_ports[port.0];
+        assert_eq!(info.module, Some(self.module), "foreign input port");
+        assert!(k < info.rate, "sample index beyond port rate");
+        let ch = info.channel.expect("unconnected input port");
+        *self.channels[ch]
+            .buffer
+            .get(k)
+            .expect("schedule guarantees availability")
+    }
+
+    /// Writes sample `k` of this firing to an output port (delivered to
+    /// every connected channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not owned by the running module or `k`
+    /// exceeds the port rate.
+    pub fn write(&mut self, port: OutPort, k: usize, value: f64) {
+        let info = &self.out_ports[port.0];
+        assert_eq!(info.module, Some(self.module), "foreign output port");
+        assert!(k < info.rate, "sample index beyond port rate");
+        for &ch in &info.channels {
+            let idx = self.bases[ch] + k;
+            self.channels[ch].buffer[idx] = value;
+        }
+    }
+}

@@ -1,0 +1,651 @@
+use std::error::Error;
+use std::fmt;
+
+use de::SimTime;
+
+use crate::graph::{Io, TdfGraph, TdfModule};
+use crate::ModuleId;
+
+/// Errors detected during schedule elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdfError {
+    /// An input port has no producer.
+    UnconnectedInput {
+        /// Owning module name.
+        module: String,
+    },
+    /// No module declared a timestep.
+    NoTimestep,
+    /// Two timestep declarations disagree with the repetition vector.
+    InconsistentTimestep {
+        /// Module whose declaration conflicts.
+        module: String,
+    },
+    /// The rate balance equations have no consistent solution.
+    InconsistentRates {
+        /// Module where the conflict was detected.
+        module: String,
+    },
+    /// A cycle without enough delay samples cannot be scheduled.
+    Deadlock,
+    /// The graph has no modules.
+    Empty,
+}
+
+impl fmt::Display for TdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdfError::UnconnectedInput { module } => {
+                write!(f, "module `{module}` has an unconnected input port")
+            }
+            TdfError::NoTimestep => {
+                write!(f, "no module declares a timestep; call set_timestep")
+            }
+            TdfError::InconsistentTimestep { module } => write!(
+                f,
+                "timestep declared by `{module}` conflicts with the repetition vector"
+            ),
+            TdfError::InconsistentRates { module } => write!(
+                f,
+                "rate balance equations are inconsistent at module `{module}`"
+            ),
+            TdfError::Deadlock => write!(
+                f,
+                "static schedule deadlocked: a feedback loop lacks delay samples"
+            ),
+            TdfError::Empty => write!(f, "TDF graph has no modules"),
+        }
+    }
+}
+
+impl Error for TdfError {}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// An elaborated TDF cluster: static firing order plus channel buffers.
+pub struct TdfExecutor {
+    graph: TdfGraph,
+    /// Firing order for one cluster period (module indices).
+    schedule: Vec<usize>,
+    /// Repetition count per module.
+    repetitions: Vec<u64>,
+    /// Firing period per module (cluster period / repetitions).
+    module_ts: Vec<SimTime>,
+    /// One cluster period.
+    period: SimTime,
+    now: SimTime,
+    firings: u64,
+    /// Scratch: per-channel base index for the current firing.
+    bases: Vec<usize>,
+}
+
+impl TdfGraph {
+    /// Elaborates the graph: checks connectivity, solves the balance
+    /// equations, derives the cluster period, and computes the static
+    /// firing order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TdfError`] diagnosed during elaboration.
+    pub fn build(self) -> Result<TdfExecutor, TdfError> {
+        let n = self.modules.len();
+        if n == 0 {
+            return Err(TdfError::Empty);
+        }
+        for (i, ins) in self.module_inputs.iter().enumerate() {
+            for &p in ins {
+                if self.in_ports[p].channel.is_none() {
+                    return Err(TdfError::UnconnectedInput {
+                        module: self.names[i].clone(),
+                    });
+                }
+            }
+        }
+
+        // Balance equations: q[from]·rate_out = q[to]·rate_in per channel.
+        // Propagate rational repetition counts (num/den) over the channel
+        // graph, then scale to the smallest integer vector.
+        let mut num = vec![0u64; n];
+        let mut den = vec![1u64; n];
+        for start in 0..n {
+            if num[start] != 0 {
+                continue;
+            }
+            num[start] = 1;
+            den[start] = 1;
+            let mut stack = vec![start];
+            while let Some(m) = stack.pop() {
+                let mut neighbors: Vec<(usize, u64, u64)> = Vec::new();
+                for &p in &self.module_outputs[m] {
+                    let rate_out = self.out_ports[p].rate as u64;
+                    for &c in &self.out_ports[p].channels {
+                        let to_port = self.channels[c].to;
+                        if let Some(to_mod) = self.in_ports[to_port].module {
+                            let rate_in = self.in_ports[to_port].rate as u64;
+                            neighbors.push((to_mod, rate_out, rate_in));
+                        }
+                    }
+                }
+                for &p in &self.module_inputs[m] {
+                    let rate_in = self.in_ports[p].rate as u64;
+                    let c = self.in_ports[p].channel.expect("checked above");
+                    let from_port = self.channels[c].from;
+                    if let Some(from_mod) = self.out_ports[from_port].module {
+                        let rate_out = self.out_ports[from_port].rate as u64;
+                        // q[from]·rate_out = q[m]·rate_in ⇒ from gets
+                        // (rate_in/rate_out) relative to m.
+                        neighbors.push((from_mod, rate_in, rate_out));
+                    }
+                }
+                for (other, mul, div) in neighbors {
+                    // q[other] = q[m] · mul / div
+                    let on = num[m] * mul;
+                    let od = den[m] * div;
+                    let g = gcd(on, od).max(1);
+                    let (on, od) = (on / g, od / g);
+                    if num[other] == 0 {
+                        num[other] = on;
+                        den[other] = od;
+                        stack.push(other);
+                    } else if num[other] * od != on * den[other] {
+                        return Err(TdfError::InconsistentRates {
+                            module: self.names[other].clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Scale to integers: multiply by lcm of denominators.
+        let mut l = 1u64;
+        for &d in &den {
+            l = l / gcd(l, d) * d;
+        }
+        let repetitions: Vec<u64> = num
+            .iter()
+            .zip(&den)
+            .map(|(&nu, &de)| nu * (l / de))
+            .collect();
+
+        // Cluster period from declared timesteps.
+        let mut period: Option<SimTime> = None;
+        for (i, ts) in self.timesteps.iter().enumerate() {
+            if let Some(ts) = ts {
+                let candidate = SimTime::fs(ts.as_fs() * repetitions[i]);
+                match period {
+                    None => period = Some(candidate),
+                    Some(p) if p != candidate => {
+                        return Err(TdfError::InconsistentTimestep {
+                            module: self.names[i].clone(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let period = period.ok_or(TdfError::NoTimestep)?;
+        let module_ts: Vec<SimTime> = repetitions
+            .iter()
+            .map(|&r| SimTime::fs(period.as_fs() / r.max(1)))
+            .collect();
+
+        // Static firing order by token simulation.
+        let mut tokens: Vec<usize> =
+            self.channels.iter().map(|c| c.delay).collect();
+        let mut remaining = repetitions.clone();
+        let total: u64 = repetitions.iter().sum();
+        let mut schedule = Vec::with_capacity(total as usize);
+        while schedule.len() < total as usize {
+            let mut fired = false;
+            #[allow(clippy::needless_range_loop)] // m indexes four arrays
+            for m in 0..n {
+                if remaining[m] == 0 {
+                    continue;
+                }
+                let ready = self.module_inputs[m].iter().all(|&p| {
+                    let c = self.in_ports[p].channel.expect("checked");
+                    tokens[c] >= self.in_ports[p].rate
+                });
+                if !ready {
+                    continue;
+                }
+                for &p in &self.module_inputs[m] {
+                    let c = self.in_ports[p].channel.expect("checked");
+                    tokens[c] -= self.in_ports[p].rate;
+                }
+                for &p in &self.module_outputs[m] {
+                    for &c in &self.out_ports[p].channels {
+                        tokens[c] += self.out_ports[p].rate;
+                    }
+                }
+                remaining[m] -= 1;
+                schedule.push(m);
+                fired = true;
+            }
+            if !fired {
+                return Err(TdfError::Deadlock);
+            }
+        }
+
+        let bases = vec![0usize; self.channels.len()];
+        Ok(TdfExecutor {
+            graph: self,
+            schedule,
+            repetitions,
+            module_ts,
+            period,
+            now: SimTime::ZERO,
+            firings: 0,
+            bases,
+        })
+    }
+}
+
+impl fmt::Debug for TdfExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TdfExecutor")
+            .field("modules", &self.graph.names)
+            .field("schedule", &self.schedule)
+            .field("repetitions", &self.repetitions)
+            .field("period", &self.period)
+            .field("now", &self.now)
+            .field("firings", &self.firings)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TdfExecutor {
+    /// One cluster period (time covered by one schedule pass).
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// The static firing order for one period, as module ids.
+    pub fn schedule(&self) -> Vec<ModuleId> {
+        self.schedule.iter().map(|&m| ModuleId(m)).collect()
+    }
+
+    /// Repetition count of a module per period.
+    pub fn repetitions(&self, m: ModuleId) -> u64 {
+        self.repetitions[m.0]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total firings executed (performance counter).
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// Downcasts a module back to its concrete type.
+    pub fn module_mut<M: TdfModule>(&mut self, id: ModuleId) -> Option<&mut M> {
+        let m: &mut dyn TdfModule = &mut *self.graph.modules[id.0];
+        (m as &mut dyn std::any::Any).downcast_mut::<M>()
+    }
+
+    /// Shared-reference variant of [`TdfExecutor::module_mut`].
+    pub fn module<M: TdfModule>(&self, id: ModuleId) -> Option<&M> {
+        let m: &dyn TdfModule = &*self.graph.modules[id.0];
+        (m as &dyn std::any::Any).downcast_ref::<M>()
+    }
+
+    /// Executes one cluster period.
+    pub fn run_iteration(&mut self) {
+        let mut fire_count = vec![0u64; self.graph.modules.len()];
+        for idx in 0..self.schedule.len() {
+            let m = self.schedule[idx];
+            // Pre-extend output channels and record bases.
+            for &p in &self.graph.module_outputs[m] {
+                let rate = self.graph.out_ports[p].rate;
+                for &c in &self.graph.out_ports[p].channels {
+                    let buf = &mut self.graph.channels[c].buffer;
+                    self.bases[c] = buf.len();
+                    buf.extend(std::iter::repeat_n(0.0, rate));
+                }
+            }
+            let time = self.now
+                + SimTime::fs(self.module_ts[m].as_fs() * fire_count[m]);
+            {
+                let mut module = std::mem::replace(
+                    &mut self.graph.modules[m],
+                    Box::new(NopTdf),
+                );
+                let mut io = Io {
+                    in_ports: &self.graph.in_ports,
+                    out_ports: &self.graph.out_ports,
+                    channels: &mut self.graph.channels,
+                    bases: &self.bases,
+                    time,
+                    module: m,
+                };
+                module.processing(&mut io);
+                self.graph.modules[m] = module;
+            }
+            // Consume input samples.
+            for &p in &self.graph.module_inputs[m] {
+                let rate = self.graph.in_ports[p].rate;
+                let c = self.graph.in_ports[p].channel.expect("checked");
+                let buf = &mut self.graph.channels[c].buffer;
+                for _ in 0..rate {
+                    buf.pop_front();
+                }
+            }
+            fire_count[m] += 1;
+            self.firings += 1;
+        }
+        self.now += self.period;
+    }
+
+    /// Runs whole cluster periods until simulated time reaches (at least)
+    /// `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.now < until {
+            self.run_iteration();
+        }
+    }
+}
+
+struct NopTdf;
+
+impl TdfModule for NopTdf {
+    fn processing(&mut self, _io: &mut Io<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InPort, OutPort};
+
+    struct Const {
+        out: OutPort,
+        value: f64,
+    }
+    impl TdfModule for Const {
+        fn processing(&mut self, io: &mut Io<'_>) {
+            let rate = 1; // tests use rate-1 sources
+            for k in 0..rate {
+                io.write(self.out, k, self.value);
+            }
+        }
+    }
+
+    struct Sum {
+        a: InPort,
+        b: InPort,
+        out: OutPort,
+    }
+    impl TdfModule for Sum {
+        fn processing(&mut self, io: &mut Io<'_>) {
+            let v = io.read(self.a, 0) + io.read(self.b, 0);
+            io.write(self.out, 0, v);
+        }
+    }
+
+    struct Probe {
+        inp: InPort,
+        seen: Vec<f64>,
+    }
+    impl TdfModule for Probe {
+        fn processing(&mut self, io: &mut Io<'_>) {
+            self.seen.push(io.read(self.inp, 0));
+        }
+    }
+
+    /// Downsampler: consumes 2, produces 1 (their average).
+    struct Decimate {
+        inp: InPort,
+        out: OutPort,
+    }
+    impl TdfModule for Decimate {
+        fn processing(&mut self, io: &mut Io<'_>) {
+            let v = 0.5 * (io.read(self.inp, 0) + io.read(self.inp, 1));
+            io.write(self.out, 0, v);
+        }
+    }
+
+    #[test]
+    fn single_rate_pipeline() {
+        let mut g = TdfGraph::new();
+        let c_out = g.out_port(1);
+        let (s_a, s_b, s_out) = (g.in_port(1), g.in_port(1), g.out_port(1));
+        let p_in = g.in_port(1);
+        let c2_out = g.out_port(1);
+        g.connect(c_out, s_a, 0);
+        g.connect(c2_out, s_b, 0);
+        g.connect(s_out, p_in, 0);
+        let m_const = g.add_module_named("one", Const { out: c_out, value: 1.0 }, &[], &[c_out]);
+        g.add_module_named("two", Const { out: c2_out, value: 2.0 }, &[], &[c2_out]);
+        g.add_module_named(
+            "sum",
+            Sum {
+                a: s_a,
+                b: s_b,
+                out: s_out,
+            },
+            &[s_a, s_b],
+            &[s_out],
+        );
+        let probe = g.add_module_named(
+            "probe",
+            Probe {
+                inp: p_in,
+                seen: Vec::new(),
+            },
+            &[p_in],
+            &[],
+        );
+        g.set_timestep(m_const, SimTime::us(1));
+        let mut exec = g.build().unwrap();
+        assert_eq!(exec.period(), SimTime::us(1));
+        exec.run_until(SimTime::us(5));
+        assert_eq!(exec.now(), SimTime::us(5));
+        let p: &Probe = exec.module(probe).unwrap();
+        assert_eq!(p.seen, vec![3.0; 5]);
+        assert_eq!(exec.firings(), 4 * 5);
+    }
+
+    #[test]
+    fn multirate_repetition_vector() {
+        // source (rate 1) → decimate (in rate 2, out rate 1) → probe.
+        let mut g = TdfGraph::new();
+        let src_out = g.out_port(1);
+        let d_in = g.in_port(2);
+        let d_out = g.out_port(1);
+        let p_in = g.in_port(1);
+        g.connect(src_out, d_in, 0);
+        g.connect(d_out, p_in, 0);
+        struct Counter {
+            out: OutPort,
+            next: f64,
+        }
+        impl TdfModule for Counter {
+            fn processing(&mut self, io: &mut Io<'_>) {
+                io.write(self.out, 0, self.next);
+                self.next += 1.0;
+            }
+        }
+        let src = g.add_module_named("src", Counter { out: src_out, next: 0.0 }, &[], &[src_out]);
+        let dec = g.add_module_named(
+            "dec",
+            Decimate {
+                inp: d_in,
+                out: d_out,
+            },
+            &[d_in],
+            &[d_out],
+        );
+        let probe = g.add_module_named(
+            "probe",
+            Probe {
+                inp: p_in,
+                seen: Vec::new(),
+            },
+            &[p_in],
+            &[],
+        );
+        g.set_timestep(src, SimTime::ns(10));
+        let mut exec = g.build().unwrap();
+        // Source fires twice per period, decimator and probe once.
+        assert_eq!(exec.repetitions(src), 2);
+        assert_eq!(exec.repetitions(dec), 1);
+        assert_eq!(exec.repetitions(probe), 1);
+        assert_eq!(exec.period(), SimTime::ns(20));
+        exec.run_until(SimTime::ns(60));
+        let p: &Probe = exec.module(probe).unwrap();
+        assert_eq!(p.seen, vec![0.5, 2.5, 4.5]);
+    }
+
+    #[test]
+    fn feedback_needs_delay() {
+        // accumulator: out = in + feedback(out) — schedulable only with a
+        // delay sample on the feedback channel.
+        struct Acc {
+            inp: InPort,
+            fb_in: InPort,
+            out: OutPort,
+            fb_out: OutPort,
+        }
+        impl TdfModule for Acc {
+            fn processing(&mut self, io: &mut Io<'_>) {
+                let v = io.read(self.inp, 0) + io.read(self.fb_in, 0);
+                io.write(self.out, 0, v);
+                io.write(self.fb_out, 0, v);
+            }
+        }
+        let build = |delay: usize| {
+            let mut g = TdfGraph::new();
+            let src_out = g.out_port(1);
+            let a_in = g.in_port(1);
+            let fb_in = g.in_port(1);
+            let a_out = g.out_port(1);
+            let fb_out = g.out_port(1);
+            let p_in = g.in_port(1);
+            g.connect(src_out, a_in, 0);
+            g.connect(fb_out, fb_in, delay);
+            g.connect(a_out, p_in, 0);
+            let src = g.add_module_named("one", Const { out: src_out, value: 1.0 }, &[], &[src_out]);
+            g.add_module_named(
+                "acc",
+                Acc {
+                    inp: a_in,
+                    fb_in,
+                    out: a_out,
+                    fb_out,
+                },
+                &[a_in, fb_in],
+                &[a_out, fb_out],
+            );
+            let probe = g.add_module_named(
+                "probe",
+                Probe {
+                    inp: p_in,
+                    seen: Vec::new(),
+                },
+                &[p_in],
+                &[],
+            );
+            g.set_timestep(src, SimTime::ns(1));
+            (g, probe)
+        };
+        let (g, _) = build(0);
+        assert_eq!(g.build().unwrap_err(), TdfError::Deadlock);
+        let (g, probe) = build(1);
+        let mut exec = g.build().unwrap();
+        exec.run_until(SimTime::ns(4));
+        let p: &Probe = exec.module(probe).unwrap();
+        assert_eq!(p.seen, vec![1.0, 2.0, 3.0, 4.0], "running sum");
+    }
+
+    #[test]
+    fn elaboration_errors() {
+        // Unconnected input.
+        let mut g = TdfGraph::new();
+        let i = g.in_port(1);
+        g.add_module_named(
+            "probe",
+            Probe {
+                inp: i,
+                seen: Vec::new(),
+            },
+            &[i],
+            &[],
+        );
+        assert!(matches!(
+            g.build().unwrap_err(),
+            TdfError::UnconnectedInput { .. }
+        ));
+
+        // Missing timestep.
+        let mut g = TdfGraph::new();
+        let o = g.out_port(1);
+        g.add_module_named("c", Const { out: o, value: 0.0 }, &[], &[o]);
+        assert_eq!(g.build().unwrap_err(), TdfError::NoTimestep);
+
+        // Empty graph.
+        assert_eq!(TdfGraph::new().build().unwrap_err(), TdfError::Empty);
+
+        // Conflicting timesteps.
+        let mut g = TdfGraph::new();
+        let o = g.out_port(1);
+        let i = g.in_port(1);
+        g.connect(o, i, 0);
+        let a = g.add_module_named("a", Const { out: o, value: 0.0 }, &[], &[o]);
+        let b = g.add_module_named(
+            "b",
+            Probe {
+                inp: i,
+                seen: Vec::new(),
+            },
+            &[i],
+            &[],
+        );
+        g.set_timestep(a, SimTime::ns(10));
+        g.set_timestep(b, SimTime::ns(20));
+        assert!(matches!(
+            g.build().unwrap_err(),
+            TdfError::InconsistentTimestep { .. }
+        ));
+    }
+
+    #[test]
+    fn fanout_duplicates_samples() {
+        let mut g = TdfGraph::new();
+        let o = g.out_port(1);
+        let i1 = g.in_port(1);
+        let i2 = g.in_port(1);
+        g.connect(o, i1, 0);
+        g.connect(o, i2, 0);
+        let c = g.add_module_named("c", Const { out: o, value: 7.0 }, &[], &[o]);
+        let p1 = g.add_module_named(
+            "p1",
+            Probe {
+                inp: i1,
+                seen: Vec::new(),
+            },
+            &[i1],
+            &[],
+        );
+        let p2 = g.add_module_named(
+            "p2",
+            Probe {
+                inp: i2,
+                seen: Vec::new(),
+            },
+            &[i2],
+            &[],
+        );
+        g.set_timestep(c, SimTime::ns(5));
+        let mut exec = g.build().unwrap();
+        exec.run_iteration();
+        assert_eq!(exec.module::<Probe>(p1).unwrap().seen, vec![7.0]);
+        assert_eq!(exec.module::<Probe>(p2).unwrap().seen, vec![7.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Pretty-printing of the AST back to syntactically valid Verilog-AMS.
+//!
+//! The printer is the inverse of the parser on the supported subset; the
+//! parser crate's property tests exercise `parse ∘ print = id`.
+
+use std::fmt;
+
+use crate::{Module, SourceFile, Stmt, StmtKind, VamsRef};
+
+impl fmt::Display for VamsRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VamsRef::Ident(name) => f.write_str(name),
+            VamsRef::Potential(a, None) => write!(f, "V({a})"),
+            VamsRef::Potential(a, Some(b)) => write!(f, "V({a},{b})"),
+            VamsRef::Flow(a, None) => write!(f, "I({a})"),
+            VamsRef::Flow(a, Some(b)) => write!(f, "I({a},{b})"),
+        }
+    }
+}
+
+fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    for s in stmts {
+        write_stmt(f, s, indent)?;
+    }
+    Ok(())
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match &s.kind {
+        StmtKind::Contribution { target, value } => {
+            writeln!(f, "{pad}{target} <+ {value};")
+        }
+        StmtKind::Assign { name, value } => writeln!(f, "{pad}{name} = {value};"),
+        StmtKind::If {
+            cond,
+            then_stmts,
+            else_stmts,
+        } => {
+            writeln!(f, "{pad}if ({cond}) begin")?;
+            write_stmts(f, then_stmts, indent + 1)?;
+            if else_stmts.is_empty() {
+                writeln!(f, "{pad}end")
+            } else {
+                writeln!(f, "{pad}end else begin")?;
+                write_stmts(f, else_stmts, indent + 1)?;
+                writeln!(f, "{pad}end")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "module {}(", self.name)?;
+        for (i, p) in self.ports.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            f.write_str(&p.name)?;
+        }
+        writeln!(f, ");")?;
+        for p in &self.ports {
+            writeln!(f, "  {} {};", p.dir, p.name)?;
+        }
+        for p in &self.parameters {
+            writeln!(f, "  parameter real {} = {};", p.name, p.default)?;
+        }
+        for n in &self.nets {
+            writeln!(f, "  {} {};", n.discipline, n.names.join(", "))?;
+        }
+        for b in &self.branches {
+            writeln!(f, "  branch ({}, {}) {};", b.pos, b.neg, b.name)?;
+        }
+        if !self.reals.is_empty() {
+            writeln!(f, "  real {};", self.reals.join(", "))?;
+        }
+        for g in &self.grounds {
+            writeln!(f, "  ground {g};")?;
+        }
+        if !self.analog.is_empty() {
+            writeln!(f, "  analog begin")?;
+            write_stmts(f, &self.analog, 2)?;
+            writeln!(f, "  end")?;
+        }
+        writeln!(f, "endmodule")
+    }
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.modules.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchDecl, Expr, NetDecl, Parameter, Port, PortDir, Span};
+
+    #[test]
+    fn vamsref_rendering() {
+        assert_eq!(VamsRef::ident("R").to_string(), "R");
+        assert_eq!(VamsRef::potential1("out").to_string(), "V(out)");
+        assert_eq!(VamsRef::potential2("a", "b").to_string(), "V(a,b)");
+        assert_eq!(VamsRef::flow1("res").to_string(), "I(res)");
+        assert_eq!(VamsRef::flow2("a", "b").to_string(), "I(a,b)");
+    }
+
+    #[test]
+    fn module_prints_all_sections() {
+        let mut m = Module::new("rc_filter");
+        m.ports.push(Port {
+            name: "in".into(),
+            dir: PortDir::Input,
+            span: Span::default(),
+        });
+        m.ports.push(Port {
+            name: "out".into(),
+            dir: PortDir::Output,
+            span: Span::default(),
+        });
+        m.parameters.push(Parameter {
+            name: "R".into(),
+            default: Expr::num(5000.0),
+            span: Span::default(),
+        });
+        m.nets.push(NetDecl {
+            discipline: "electrical".into(),
+            names: vec!["in".into(), "out".into(), "gnd".into()],
+            span: Span::default(),
+        });
+        m.branches.push(BranchDecl {
+            name: "res".into(),
+            pos: "in".into(),
+            neg: "out".into(),
+            span: Span::default(),
+        });
+        m.grounds.push("gnd".into());
+        m.reals.push("tmp".into());
+        m.analog.push(Stmt {
+            kind: StmtKind::Contribution {
+                target: VamsRef::potential2("in", "out"),
+                value: Expr::var(VamsRef::ident("R"))
+                    * Expr::var(VamsRef::flow1("res")),
+            },
+            span: Span::default(),
+        });
+        let text = m.to_string();
+        assert!(text.starts_with("module rc_filter(in, out);"));
+        assert!(text.contains("input in;"));
+        assert!(text.contains("parameter real R = 5000;"));
+        assert!(text.contains("electrical in, out, gnd;"));
+        assert!(text.contains("branch (in, out) res;"));
+        assert!(text.contains("real tmp;"));
+        assert!(text.contains("ground gnd;"));
+        assert!(text.contains("V(in,out) <+ R * I(res);"));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn if_else_renders_blocks() {
+        let s = Stmt {
+            kind: StmtKind::If {
+                cond: Expr::var(VamsRef::ident("x")),
+                then_stmts: vec![Stmt {
+                    kind: StmtKind::Assign {
+                        name: "y".into(),
+                        value: Expr::num(1.0),
+                    },
+                    span: Span::default(),
+                }],
+                else_stmts: vec![Stmt {
+                    kind: StmtKind::Assign {
+                        name: "y".into(),
+                        value: Expr::num(0.0),
+                    },
+                    span: Span::default(),
+                }],
+            },
+            span: Span::default(),
+        };
+        let mut m = Module::new("m");
+        m.analog.push(s);
+        let text = m.to_string();
+        assert!(text.contains("if (x) begin"));
+        assert!(text.contains("end else begin"));
+    }
+}

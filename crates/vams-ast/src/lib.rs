@@ -1,0 +1,387 @@
+//! Abstract syntax tree for the Verilog-AMS subset supported by the
+//! abstraction toolchain.
+//!
+//! The subset mirrors what the paper's Figure 2 exercises: module headers
+//! with directional ports, `electrical` (and other discipline) net
+//! declarations, named branches, parameters, real variables, `ground`
+//! statements, and an `analog` block containing assignments, conditionals,
+//! and *contribution statements* (`V(a,b) <+ expr`, `I(br) <+ expr`) whose
+//! right-hand sides may use arithmetic, math functions and the analog
+//! operators `ddt`/`idt`.
+//!
+//! Expression trees are shared with the rest of the workspace: the AST
+//! reuses [`Expr`] from the `expr` crate instantiated with [`VamsRef`] leaves, so the
+//! acquisition step of the abstraction pipeline consumes parser output
+//! without a conversion layer.
+//!
+//! The AST prints back to syntactically valid Verilog-AMS via [`Display`],
+//! which the parser's round-trip property tests rely on.
+//!
+//! [`Display`]: std::fmt::Display
+
+mod display;
+
+use serde::{Deserialize, Serialize};
+
+/// Re-exported operators and expression type shared across the workspace.
+pub use expr::{BinOp, Expr, Func};
+
+/// A source position (1-based line and column).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A leaf reference inside a Verilog-AMS expression: a plain identifier
+/// (parameter or `real` variable), a potential access `V(a[,b])`, or a flow
+/// access `I(branch)` / `I(a,b)`.
+///
+/// Implements `Ord`/`Display` so it can serve directly as the variable type
+/// of [`Expr`].
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum VamsRef {
+    /// A parameter or variable name.
+    Ident(String),
+    /// Potential access: `V(a)` (w.r.t. ground) or `V(a,b)`.
+    Potential(String, Option<String>),
+    /// Flow access: `I(br)` for a named branch or `I(a,b)` for a node pair.
+    Flow(String, Option<String>),
+}
+
+impl VamsRef {
+    /// Convenience constructor for an identifier reference.
+    pub fn ident(name: impl Into<String>) -> Self {
+        VamsRef::Ident(name.into())
+    }
+
+    /// Convenience constructor for `V(a)`.
+    pub fn potential1(a: impl Into<String>) -> Self {
+        VamsRef::Potential(a.into(), None)
+    }
+
+    /// Convenience constructor for `V(a,b)`.
+    pub fn potential2(a: impl Into<String>, b: impl Into<String>) -> Self {
+        VamsRef::Potential(a.into(), Some(b.into()))
+    }
+
+    /// Convenience constructor for `I(br)`.
+    pub fn flow1(a: impl Into<String>) -> Self {
+        VamsRef::Flow(a.into(), None)
+    }
+
+    /// Convenience constructor for `I(a,b)`.
+    pub fn flow2(a: impl Into<String>, b: impl Into<String>) -> Self {
+        VamsRef::Flow(a.into(), Some(b.into()))
+    }
+
+    /// Whether this is a branch-quantity access (potential or flow) rather
+    /// than a plain identifier.
+    pub fn is_access(&self) -> bool {
+        !matches!(self, VamsRef::Ident(_))
+    }
+}
+
+/// An expression appearing in the AST.
+pub type VamsExpr = Expr<VamsRef>;
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl std::fmt::Display for PortDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        })
+    }
+}
+
+/// A module port with its direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction as declared (`input`/`output`/`inout`).
+    pub dir: PortDir,
+    /// Declaration position.
+    pub span: Span,
+}
+
+/// A `parameter real name = default;` declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression (may reference earlier parameters).
+    pub default: VamsExpr,
+    /// Declaration position.
+    pub span: Span,
+}
+
+/// A discipline net declaration such as `electrical in, out;`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetDecl {
+    /// Discipline name (`electrical`, `rotational`, ...).
+    pub discipline: String,
+    /// Declared net names.
+    pub names: Vec<String>,
+    /// Declaration position.
+    pub span: Span,
+}
+
+/// A named branch declaration: `branch (a, b) name;`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchDecl {
+    /// Branch name.
+    pub name: String,
+    /// Positive node.
+    pub pos: String,
+    /// Negative node.
+    pub neg: String,
+    /// Declaration position.
+    pub span: Span,
+}
+
+/// One statement of the `analog` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Statement position.
+    pub span: Span,
+}
+
+/// Statement kinds of the `analog` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// Contribution statement: `target <+ expr;`. The target is always a
+    /// potential or flow access.
+    Contribution {
+        /// The contributed quantity (`V(..)` or `I(..)`).
+        target: VamsRef,
+        /// Contributed expression.
+        value: VamsExpr,
+    },
+    /// Procedural assignment to a `real` variable: `name = expr;`.
+    Assign {
+        /// Assigned variable name.
+        name: String,
+        /// Assigned expression.
+        value: VamsExpr,
+    },
+    /// `if (cond) ... [else ...]`, with each arm already flattened to a
+    /// statement list (`begin`/`end` blocks dissolve into the `Vec`).
+    If {
+        /// Condition (nonzero = true).
+        cond: VamsExpr,
+        /// Then-arm statements.
+        then_stmts: Vec<Stmt>,
+        /// Else-arm statements (empty when absent).
+        else_stmts: Vec<Stmt>,
+    },
+}
+
+/// A Verilog-AMS module.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in header order.
+    pub ports: Vec<Port>,
+    /// Parameters in declaration order.
+    pub parameters: Vec<Parameter>,
+    /// Net declarations in order.
+    pub nets: Vec<NetDecl>,
+    /// Named branch declarations.
+    pub branches: Vec<BranchDecl>,
+    /// `real` variable declarations.
+    pub reals: Vec<String>,
+    /// Nets tied to the reference node via `ground n;`.
+    pub grounds: Vec<String>,
+    /// Statements of the `analog` block, in source order (empty when the
+    /// module has no analog block).
+    pub analog: Vec<Stmt>,
+    /// Position of the `module` keyword.
+    pub span: Span,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// Looks up a declared parameter by name.
+    pub fn parameter(&self, name: &str) -> Option<&Parameter> {
+        self.parameters.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a named branch by name.
+    pub fn branch(&self, name: &str) -> Option<&BranchDecl> {
+        self.branches.iter().find(|b| b.name == name)
+    }
+
+    /// Iterates over all declared net names (across disciplines).
+    pub fn net_names(&self) -> impl Iterator<Item = &str> {
+        self.nets.iter().flat_map(|d| d.names.iter().map(String::as_str))
+    }
+
+    /// Whether `name` is a declared net.
+    pub fn has_net(&self, name: &str) -> bool {
+        self.net_names().any(|n| n == name)
+    }
+
+    /// Counts statements recursively (both arms of conditionals included).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match &s.kind {
+                    StmtKind::If {
+                        then_stmts,
+                        else_stmts,
+                        ..
+                    } => 1 + count(then_stmts) + count(else_stmts),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.analog)
+    }
+}
+
+/// A parsed source file: a sequence of modules.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Modules in source order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Looks a module up by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vamsref_constructors() {
+        assert_eq!(VamsRef::ident("x"), VamsRef::Ident("x".into()));
+        assert_eq!(
+            VamsRef::potential2("a", "b"),
+            VamsRef::Potential("a".into(), Some("b".into()))
+        );
+        assert!(VamsRef::flow1("br").is_access());
+        assert!(!VamsRef::ident("r").is_access());
+    }
+
+    #[test]
+    fn vamsref_orders_deterministically() {
+        let mut v = [VamsRef::flow1("b"),
+            VamsRef::ident("a"),
+            VamsRef::potential1("n")];
+        v.sort();
+        // Ident < Potential < Flow by enum declaration order.
+        assert_eq!(v[0], VamsRef::ident("a"));
+        assert_eq!(v[1], VamsRef::potential1("n"));
+        assert_eq!(v[2], VamsRef::flow1("b"));
+    }
+
+    #[test]
+    fn module_lookup_helpers() {
+        let mut m = Module::new("rc");
+        m.parameters.push(Parameter {
+            name: "R".into(),
+            default: Expr::num(5000.0),
+            span: Span::new(2, 1),
+        });
+        m.nets.push(NetDecl {
+            discipline: "electrical".into(),
+            names: vec!["a".into(), "out".into()],
+            span: Span::new(3, 1),
+        });
+        m.branches.push(BranchDecl {
+            name: "res".into(),
+            pos: "a".into(),
+            neg: "out".into(),
+            span: Span::new(4, 1),
+        });
+        assert!(m.parameter("R").is_some());
+        assert!(m.parameter("C").is_none());
+        assert!(m.branch("res").is_some());
+        assert!(m.has_net("out"));
+        assert!(!m.has_net("ghost"));
+        assert_eq!(m.net_names().count(), 2);
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let assign = |n: &str| Stmt {
+            kind: StmtKind::Assign {
+                name: n.into(),
+                value: Expr::num(0.0),
+            },
+            span: Span::default(),
+        };
+        let mut m = Module::new("m");
+        m.analog.push(assign("a"));
+        m.analog.push(Stmt {
+            kind: StmtKind::If {
+                cond: Expr::num(1.0),
+                then_stmts: vec![assign("b"), assign("c")],
+                else_stmts: vec![assign("d")],
+            },
+            span: Span::default(),
+        });
+        assert_eq!(m.stmt_count(), 5);
+    }
+
+    #[test]
+    fn expr_reuse_with_vamsref_leaves() {
+        // The shared Expr type accepts VamsRef directly.
+        let e: VamsExpr = Expr::var(VamsRef::potential2("out", "gnd"))
+            + Expr::var(VamsRef::ident("R")) * Expr::var(VamsRef::flow1("res"));
+        assert_eq!(e.variables().len(), 3);
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(4, 7).to_string(), "4:7");
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use vams_ast::Span;
+
+/// A lexical or syntactic error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at the given position.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Human-readable description (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Source position of the error.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected token", Span::new(3, 14));
+        assert_eq!(e.to_string(), "3:14: unexpected token");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.span(), Span::new(3, 14));
+    }
+}

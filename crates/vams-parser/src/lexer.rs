@@ -1,0 +1,570 @@
+use crate::ParseError;
+use vams_ast::Span;
+
+/// What a token is, with payloads for identifiers and numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword-like name that is not reserved.
+    Ident(String),
+    /// Numeric literal, already scaled (`5k` lexes as `5000.0`).
+    Number(f64),
+    /// `module`
+    Module,
+    /// `endmodule`
+    Endmodule,
+    /// `analog`
+    Analog,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `parameter`
+    Parameter,
+    /// `real`
+    Real,
+    /// `branch`
+    Branch,
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+    /// `ground`
+    Ground,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `<+` (contribution operator)
+    Contrib,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(v) => format!("number `{v}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.literal()),
+        }
+    }
+
+    fn literal(&self) -> &'static str {
+        match self {
+            TokenKind::Module => "module",
+            TokenKind::Endmodule => "endmodule",
+            TokenKind::Analog => "analog",
+            TokenKind::Begin => "begin",
+            TokenKind::End => "end",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Parameter => "parameter",
+            TokenKind::Real => "real",
+            TokenKind::Branch => "branch",
+            TokenKind::Input => "input",
+            TokenKind::Output => "output",
+            TokenKind::Inout => "inout",
+            TokenKind::Ground => "ground",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Assign => "=",
+            TokenKind::Contrib => "<+",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Not => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Question => "?",
+            TokenKind::Colon => ":",
+            TokenKind::Ident(_) | TokenKind::Number(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub span: Span,
+}
+
+/// Verilog-AMS scale factor suffixes (IEEE 1364 §2.5 / Verilog-AMS LRM),
+/// as decimal exponents so `25n` parses exactly like `25e-9`.
+fn scale_factor(c: char) -> Option<i32> {
+    Some(match c {
+        'T' => 12,
+        'G' => 9,
+        'M' => 6,
+        'K' | 'k' => 3,
+        'm' => -3,
+        'u' => -6,
+        'n' => -9,
+        'p' => -12,
+        'f' => -15,
+        'a' => -18,
+        _ => return None,
+    })
+}
+
+fn keyword(s: &str) -> Option<TokenKind> {
+    Some(match s {
+        "module" => TokenKind::Module,
+        "endmodule" => TokenKind::Endmodule,
+        "analog" => TokenKind::Analog,
+        "begin" => TokenKind::Begin,
+        "end" => TokenKind::End,
+        "if" => TokenKind::If,
+        "else" => TokenKind::Else,
+        "parameter" => TokenKind::Parameter,
+        "real" => TokenKind::Real,
+        "branch" => TokenKind::Branch,
+        "input" => TokenKind::Input,
+        "output" => TokenKind::Output,
+        "inout" => TokenKind::Inout,
+        "ground" => TokenKind::Ground,
+        _ => return None,
+    })
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.src.get(self.pos + 1).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+}
+
+/// Tokenizes Verilog-AMS source. `//` and `/* */` comments and compiler
+/// directives (`` ` ``-prefixed lines, e.g. `` `include ``) are skipped.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed numbers, unterminated block
+/// comments, non-ASCII input, or unexpected characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    if !src.is_ascii() {
+        // Find the first offending line for a useful message.
+        for (i, line) in src.lines().enumerate() {
+            if !line.is_ascii() {
+                return Err(ParseError::new(
+                    "non-ASCII character in source",
+                    Span::new(i as u32 + 1, 1),
+                ));
+            }
+        }
+    }
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace, comments, directives.
+        match cur.peek() {
+            None => break,
+            Some(c) if c.is_ascii_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            Some('/') if cur.peek2() == Some('/') => {
+                while let Some(c) = cur.bump() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            Some('/') if cur.peek2() == Some('*') => {
+                let start = cur.span();
+                cur.bump();
+                cur.bump();
+                let mut closed = false;
+                while let Some(c) = cur.bump() {
+                    if c == '*' && cur.peek() == Some('/') {
+                        cur.bump();
+                        closed = true;
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated block comment", start));
+                }
+                continue;
+            }
+            Some('`') => {
+                // Compiler directive: skip to end of line.
+                while let Some(c) = cur.bump() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        let span = cur.span();
+        let c = cur.peek().expect("peeked above");
+
+        let kind = if c.is_ascii_digit()
+            || (c == '.' && cur.peek2().is_some_and(|d| d.is_ascii_digit()))
+        {
+            lex_number(&mut cur, span)?
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                    name.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            keyword(&name).unwrap_or(TokenKind::Ident(name))
+        } else {
+            cur.bump();
+            match c {
+                '(' => TokenKind::LParen,
+                ')' => TokenKind::RParen,
+                ',' => TokenKind::Comma,
+                ';' => TokenKind::Semi,
+                '+' => TokenKind::Plus,
+                '-' => TokenKind::Minus,
+                '*' => TokenKind::Star,
+                '/' => TokenKind::Slash,
+                '?' => TokenKind::Question,
+                ':' => TokenKind::Colon,
+                '=' if cur.peek() == Some('=') => {
+                    cur.bump();
+                    TokenKind::EqEq
+                }
+                '=' => TokenKind::Assign,
+                '<' if cur.peek() == Some('+') => {
+                    cur.bump();
+                    TokenKind::Contrib
+                }
+                '<' if cur.peek() == Some('=') => {
+                    cur.bump();
+                    TokenKind::Le
+                }
+                '<' => TokenKind::Lt,
+                '>' if cur.peek() == Some('=') => {
+                    cur.bump();
+                    TokenKind::Ge
+                }
+                '>' => TokenKind::Gt,
+                '!' if cur.peek() == Some('=') => {
+                    cur.bump();
+                    TokenKind::Ne
+                }
+                '!' => TokenKind::Not,
+                '&' if cur.peek() == Some('&') => {
+                    cur.bump();
+                    TokenKind::AndAnd
+                }
+                '|' if cur.peek() == Some('|') => {
+                    cur.bump();
+                    TokenKind::OrOr
+                }
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character `{other}`"),
+                        span,
+                    ))
+                }
+            }
+        };
+        out.push(Token { kind, span });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: cur.span(),
+    });
+    Ok(out)
+}
+
+fn lex_number(cur: &mut Cursor<'_>, span: Span) -> Result<TokenKind, ParseError> {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '.' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Exponent (`e`/`E`) — only when followed by a digit or sign+digit,
+    // otherwise the letter is a scale factor or the start of an identifier.
+    let mut had_exponent = false;
+    if let Some(e) = cur.peek() {
+        if e == 'e' || e == 'E' {
+            let next = cur.peek2();
+            let digit_follows = next.is_some_and(|c| c.is_ascii_digit());
+            let signed_digit = (next == Some('+') || next == Some('-'))
+                && cur
+                    .src
+                    .get(cur.pos + 2)
+                    .is_some_and(|&b| (b as char).is_ascii_digit());
+            if digit_follows || signed_digit {
+                had_exponent = true;
+                text.push('e');
+                cur.bump();
+                if let Some(sign) = cur.peek() {
+                    if sign == '+' || sign == '-' {
+                        text.push(sign);
+                        cur.bump();
+                    }
+                }
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Optional scale factor, folded into the literal text so `25n` parses
+    // with exactly the same rounding as `25e-9`.
+    if let Some(c) = cur.peek() {
+        if let Some(exp) = scale_factor(c) {
+            if had_exponent {
+                return Err(ParseError::new(
+                    format!("scale factor `{c}` cannot follow an exponent"),
+                    span,
+                ));
+            }
+            // A scale factor must not be followed by more identifier
+            // characters (`5kx` is malformed).
+            let after = cur.peek2();
+            if after.is_none_or(|a| !(a.is_ascii_alphanumeric() || a == '_')) {
+                cur.bump();
+                text.push('e');
+                text.push_str(&exp.to_string());
+            } else {
+                return Err(ParseError::new(
+                    format!("malformed number suffix after `{text}{c}`"),
+                    span,
+                ));
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            return Err(ParseError::new(
+                format!("unexpected character `{c}` after number `{text}`"),
+                span,
+            ));
+        }
+    }
+    let value: f64 = text
+        .parse()
+        .map_err(|_| ParseError::new(format!("malformed number `{text}`"), span))?;
+    Ok(TokenKind::Number(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("module m ( a , b ) ; endmodule");
+        assert_eq!(k[0], TokenKind::Module);
+        assert_eq!(k[1], TokenKind::Ident("m".into()));
+        assert_eq!(k[2], TokenKind::LParen);
+        assert_eq!(k[6], TokenKind::RParen);
+        assert_eq!(k[7], TokenKind::Semi);
+        assert_eq!(k[8], TokenKind::Endmodule);
+        assert_eq!(k.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn contribution_vs_relational() {
+        assert_eq!(
+            kinds("a <+ b")[1],
+            TokenKind::Contrib,
+            "<+ must lex as contribution"
+        );
+        assert_eq!(kinds("a <= b")[1], TokenKind::Le);
+        assert_eq!(kinds("a < b")[1], TokenKind::Lt);
+        assert_eq!(kinds("a < +b")[1], TokenKind::Lt); // space breaks <+
+    }
+
+    #[test]
+    fn numbers_with_scale_factors() {
+        assert_eq!(kinds("5k")[0], TokenKind::Number(5000.0));
+        assert_eq!(kinds("25n")[0], TokenKind::Number(25e-9));
+        assert_eq!(kinds("1.6K")[0], TokenKind::Number(1600.0));
+        assert_eq!(kinds("40n")[0], TokenKind::Number(40e-9));
+        assert_eq!(kinds("1M")[0], TokenKind::Number(1e6));
+        assert_eq!(kinds("2.5")[0], TokenKind::Number(2.5));
+        assert_eq!(kinds(".5")[0], TokenKind::Number(0.5));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1e3")[0], TokenKind::Number(1000.0));
+        assert_eq!(kinds("2.5e-6")[0], TokenKind::Number(2.5e-6));
+        assert_eq!(kinds("1E+2")[0], TokenKind::Number(100.0));
+    }
+
+    #[test]
+    fn exponent_vs_identifier_boundary() {
+        // `5 exp(x)`: the `e` belongs to the identifier, not the number.
+        let k = kinds("5 exp(1)");
+        assert_eq!(k[0], TokenKind::Number(5.0));
+        assert_eq!(k[1], TokenKind::Ident("exp".into()));
+    }
+
+    #[test]
+    fn malformed_number_suffix_rejected() {
+        assert!(tokenize("5kx").is_err());
+        assert!(tokenize("5q").is_err());
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let k = kinds("a // line comment\n b /* block\ncomment */ c\n`include \"disciplines.vams\"\nd");
+        let names: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = tokenize("/* oops").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn logical_operators() {
+        let k = kinds("a && b || !c != d == e");
+        assert!(k.contains(&TokenKind::AndAnd));
+        assert!(k.contains(&TokenKind::OrOr));
+        assert!(k.contains(&TokenKind::Not));
+        assert!(k.contains(&TokenKind::Ne));
+        assert!(k.contains(&TokenKind::EqEq));
+    }
+
+    #[test]
+    fn unexpected_character_reported_with_position() {
+        let err = tokenize("a\n  #").unwrap_err();
+        assert_eq!(err.span(), Span::new(2, 3));
+        assert!(err.message().contains('#'));
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        assert!(tokenize("a\nµ").is_err());
+    }
+
+    #[test]
+    fn describe_is_useful() {
+        assert_eq!(TokenKind::Contrib.describe(), "`<+`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

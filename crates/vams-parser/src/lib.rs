@@ -1,0 +1,82 @@
+//! Lexer and recursive-descent parser for the Verilog-AMS subset used by
+//! the abstraction toolchain.
+//!
+//! The supported grammar covers the three block kinds the paper identifies
+//! in §III (declarations, signal-flow statements, conservative contribution
+//! statements): module headers, port directions, `parameter real`,
+//! discipline net declarations, named branches, `real` variables, `ground`,
+//! and an `analog` block with assignments, `if`/`else`, and contribution
+//! statements (`<+`) over expressions with arithmetic, relational and
+//! logical operators, math functions, and the analog operators
+//! `ddt`/`idt`.
+//!
+//! Numbers accept Verilog-AMS scale factors (`5k`, `25n`, `1.6K`, ...).
+//!
+//! # Example
+//!
+//! ```
+//! let src = "
+//! module rc(in, out);
+//!   input in; output out;
+//!   parameter real R = 5k;
+//!   parameter real C = 25n;
+//!   electrical in, out, gnd;
+//!   ground gnd;
+//!   branch (in, out) res;
+//!   branch (out, gnd) cap;
+//!   analog begin
+//!     V(res) <+ R * I(res);
+//!     I(cap) <+ C * ddt(V(cap));
+//!   end
+//! endmodule";
+//! let file = vams_parser::parse(src)?;
+//! let m = file.module("rc").unwrap();
+//! assert_eq!(m.branches.len(), 2);
+//! assert_eq!(m.stmt_count(), 2);
+//! # Ok::<(), vams_parser::ParseError>(())
+//! ```
+
+mod error;
+mod lexer;
+mod parser;
+
+pub use error::ParseError;
+pub use lexer::{tokenize, Token, TokenKind};
+
+use vams_ast::{Module, SourceFile, VamsExpr};
+
+/// Parses a complete source file (one or more modules).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the source position of the first
+/// lexical or syntactic problem.
+pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
+    parser::Parser::new(src)?.parse_file()
+}
+
+/// Parses a source that must contain exactly one module and returns it.
+///
+/// # Errors
+///
+/// Fails on lexical/syntactic errors and when the file does not contain
+/// exactly one module.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let file = parse(src)?;
+    match file.modules.len() {
+        1 => Ok(file.modules.into_iter().next().expect("checked length")),
+        n => Err(ParseError::new(
+            format!("expected exactly one module, found {n}"),
+            vams_ast::Span::new(1, 1),
+        )),
+    }
+}
+
+/// Parses a standalone expression (used by tests and interactive tooling).
+///
+/// # Errors
+///
+/// Fails if the text is not a single well-formed expression.
+pub fn parse_expr(src: &str) -> Result<VamsExpr, ParseError> {
+    parser::Parser::new(src)?.parse_standalone_expr()
+}

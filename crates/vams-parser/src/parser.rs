@@ -1,0 +1,717 @@
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::ParseError;
+use vams_ast::{
+    BinOp, BranchDecl, Expr, Func, Module, NetDecl, Parameter, Port, PortDir,
+    SourceFile, Span, Stmt, StmtKind, VamsExpr, VamsRef,
+};
+
+/// Recursive-descent parser over the token stream.
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError::new(
+            format!("{what}, found {}", self.peek().describe()),
+            self.peek_span(),
+        )
+    }
+
+    // ---------------------------------------------------------------- file
+
+    pub(crate) fn parse_file(&mut self) -> Result<SourceFile, ParseError> {
+        let mut modules = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            modules.push(self.parse_module()?);
+        }
+        if modules.is_empty() {
+            return Err(ParseError::new("empty source: no modules", Span::new(1, 1)));
+        }
+        Ok(SourceFile { modules })
+    }
+
+    pub(crate) fn parse_standalone_expr(&mut self) -> Result<VamsExpr, ParseError> {
+        let e = self.parse_expr()?;
+        if !self.at(&TokenKind::Eof) {
+            return Err(self.unexpected("expected end of expression"));
+        }
+        Ok(e)
+    }
+
+    // -------------------------------------------------------------- module
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Module)?;
+        let (name, _) = self.expect_ident()?;
+        let mut module = Module::new(name);
+        module.span = span;
+
+        // Header port list (names only; directions come from item decls).
+        let mut header_ports: Vec<(String, Span)> = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    header_ports.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.expect(TokenKind::Semi)?;
+
+        let mut dirs: Vec<(String, PortDir, Span)> = Vec::new();
+        while !self.at(&TokenKind::Endmodule) {
+            self.parse_item(&mut module, &mut dirs)?;
+        }
+        self.expect(TokenKind::Endmodule)?;
+
+        // Attach directions to header ports; default to inout when a port
+        // has no direction declaration (legal in the subset).
+        for (pname, pspan) in header_ports {
+            let dir = dirs
+                .iter()
+                .find(|(n, _, _)| *n == pname)
+                .map(|(_, d, _)| *d)
+                .unwrap_or(PortDir::Inout);
+            module.ports.push(Port {
+                name: pname,
+                dir,
+                span: pspan,
+            });
+        }
+        // Direction declarations for names missing from the header are
+        // errors — catches typos early.
+        for (n, _, s) in &dirs {
+            if !module.ports.iter().any(|p| p.name == *n) {
+                return Err(ParseError::new(
+                    format!("direction declared for `{n}` which is not a header port"),
+                    *s,
+                ));
+            }
+        }
+        Ok(module)
+    }
+
+    fn parse_item(
+        &mut self,
+        module: &mut Module,
+        dirs: &mut Vec<(String, PortDir, Span)>,
+    ) -> Result<(), ParseError> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Input | TokenKind::Output | TokenKind::Inout => {
+                let dir = match self.bump().kind {
+                    TokenKind::Input => PortDir::Input,
+                    TokenKind::Output => PortDir::Output,
+                    _ => PortDir::Inout,
+                };
+                loop {
+                    let (name, nspan) = self.expect_ident()?;
+                    dirs.push((name, dir, nspan));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+            TokenKind::Parameter => {
+                self.bump();
+                self.eat(&TokenKind::Real); // `parameter real` or `parameter`
+                loop {
+                    let (name, pspan) = self.expect_ident()?;
+                    self.expect(TokenKind::Assign)?;
+                    let default = self.parse_expr()?;
+                    module.parameters.push(Parameter {
+                        name,
+                        default,
+                        span: pspan,
+                    });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+            TokenKind::Real => {
+                self.bump();
+                loop {
+                    let (name, _) = self.expect_ident()?;
+                    module.reals.push(name);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+            TokenKind::Branch => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (pos, _) = self.expect_ident()?;
+                self.expect(TokenKind::Comma)?;
+                let (neg, _) = self.expect_ident()?;
+                self.expect(TokenKind::RParen)?;
+                loop {
+                    let (name, bspan) = self.expect_ident()?;
+                    module.branches.push(BranchDecl {
+                        name,
+                        pos: pos.clone(),
+                        neg: neg.clone(),
+                        span: bspan,
+                    });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+            TokenKind::Ground => {
+                self.bump();
+                loop {
+                    let (name, _) = self.expect_ident()?;
+                    module.grounds.push(name);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+            TokenKind::Analog => {
+                self.bump();
+                if !module.analog.is_empty() {
+                    return Err(ParseError::new(
+                        "multiple analog blocks in one module",
+                        span,
+                    ));
+                }
+                module.analog = self.parse_stmt_or_block()?;
+            }
+            TokenKind::Ident(discipline) => {
+                // Discipline net declaration: `electrical a, b;`
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    let (name, _) = self.expect_ident()?;
+                    names.push(name);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+                module.nets.push(NetDecl {
+                    discipline,
+                    names,
+                    span,
+                });
+            }
+            _ => return Err(self.unexpected("expected a module item")),
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- statements
+
+    /// Parses either a single statement or a `begin .. end` block, always
+    /// returning a flat list.
+    fn parse_stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat(&TokenKind::Begin) {
+            let mut stmts = Vec::new();
+            while !self.at(&TokenKind::End) {
+                if self.at(&TokenKind::Eof) {
+                    return Err(self.unexpected("expected `end`"));
+                }
+                stmts.push(self.parse_stmt()?);
+            }
+            self.expect(TokenKind::End)?;
+            Ok(stmts)
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek_span();
+        if self.eat(&TokenKind::If) {
+            self.expect(TokenKind::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect(TokenKind::RParen)?;
+            let then_stmts = self.parse_stmt_or_block()?;
+            let else_stmts = if self.eat(&TokenKind::Else) {
+                self.parse_stmt_or_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt {
+                kind: StmtKind::If {
+                    cond,
+                    then_stmts,
+                    else_stmts,
+                },
+                span,
+            });
+        }
+
+        // Contribution or assignment; both start with an identifier.
+        let (name, _) = self.expect_ident()?;
+        if (name == "V" || name == "I") && self.at(&TokenKind::LParen) {
+            let target = self.parse_access(&name)?;
+            self.expect(TokenKind::Contrib)?;
+            let value = self.parse_expr()?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt {
+                kind: StmtKind::Contribution { target, value },
+                span,
+            });
+        }
+        self.expect(TokenKind::Assign)?;
+        let value = self.parse_expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt {
+            kind: StmtKind::Assign { name, value },
+            span,
+        })
+    }
+
+    /// Parses the argument list of a `V(..)`/`I(..)` access, the leading
+    /// identifier having already been consumed.
+    fn parse_access(&mut self, which: &str) -> Result<VamsRef, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let (a, _) = self.expect_ident()?;
+        let b = if self.eat(&TokenKind::Comma) {
+            Some(self.expect_ident()?.0)
+        } else {
+            None
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(if which == "V" {
+            VamsRef::Potential(a, b)
+        } else {
+            VamsRef::Flow(a, b)
+        })
+    }
+
+    // --------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> Result<VamsExpr, ParseError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<VamsExpr, ParseError> {
+        let cond = self.parse_or()?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.parse_expr()?;
+            self.expect(TokenKind::Colon)?;
+            let e = self.parse_expr()?;
+            Ok(Expr::cond(cond, t, e))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<VamsExpr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<VamsExpr, ParseError> {
+        let mut lhs = self.parse_equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.parse_equality()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<VamsExpr, ParseError> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_relational()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> Result<VamsExpr, ParseError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_additive()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<VamsExpr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<VamsExpr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<VamsExpr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(-self.parse_unary()?)
+        } else if self.eat(&TokenKind::Plus) {
+            self.parse_unary()
+        } else if self.eat(&TokenKind::Not) {
+            // !x ≡ (x == 0)
+            Ok(Expr::bin(BinOp::Eq, self.parse_unary()?, Expr::num(0.0)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<VamsExpr, ParseError> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Expr::num(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if (name == "V" || name == "I") && self.at(&TokenKind::LParen) {
+                    return Ok(Expr::var(self.parse_access(&name)?));
+                }
+                if self.at(&TokenKind::LParen) {
+                    return self.parse_call(&name, span);
+                }
+                Ok(Expr::var(VamsRef::Ident(name)))
+            }
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+
+    fn parse_call(&mut self, name: &str, span: Span) -> Result<VamsExpr, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+
+        match name {
+            "ddt" => {
+                if args.len() != 1 {
+                    return Err(ParseError::new("ddt takes exactly one argument", span));
+                }
+                Ok(Expr::ddt(args.into_iter().next().expect("checked length")))
+            }
+            "idt" => {
+                if args.len() != 1 {
+                    return Err(ParseError::new(
+                        "idt with initial conditions is not supported; \
+                         idt takes exactly one argument",
+                        span,
+                    ));
+                }
+                Ok(Expr::idt(args.into_iter().next().expect("checked length")))
+            }
+            _ => {
+                let func = Func::from_name(name).ok_or_else(|| {
+                    ParseError::new(format!("unknown function `{name}`"), span)
+                })?;
+                if args.len() != func.arity() {
+                    return Err(ParseError::new(
+                        format!(
+                            "{name} takes {} argument(s), found {}",
+                            func.arity(),
+                            args.len()
+                        ),
+                        span,
+                    ));
+                }
+                Ok(Expr::Call(func, args))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, parse_expr, parse_module};
+
+    #[test]
+    fn parses_rc_module() {
+        let src = "
+module rc(in, out);
+  input in; output out;
+  parameter real R = 5k;
+  parameter real C = 25n;
+  electrical in, out, gnd;
+  ground gnd;
+  branch (in, out) res;
+  branch (out, gnd) cap;
+  analog begin
+    V(res) <+ R * I(res);
+    I(cap) <+ C * ddt(V(cap));
+  end
+endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.name, "rc");
+        assert_eq!(m.ports.len(), 2);
+        assert_eq!(m.ports[0].dir, PortDir::Input);
+        assert_eq!(m.ports[1].dir, PortDir::Output);
+        assert_eq!(m.parameter("R").unwrap().default, Expr::num(5000.0));
+        assert_eq!(m.branches.len(), 2);
+        assert_eq!(m.grounds, vec!["gnd"]);
+        assert_eq!(m.analog.len(), 2);
+        match &m.analog[1].kind {
+            StmtKind::Contribution { target, value } => {
+                assert_eq!(*target, VamsRef::flow1("cap"));
+                assert!(value.has_analog_op());
+            }
+            other => panic!("expected contribution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.eval_const().unwrap(), 7.0);
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval_const().unwrap(), 9.0);
+        let e = parse_expr("2 - 3 - 4").unwrap();
+        assert_eq!(e.eval_const().unwrap(), -5.0);
+        let e = parse_expr("12 / 2 / 3").unwrap();
+        assert_eq!(e.eval_const().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        let e = parse_expr("1 > 2 ? 10 : 2 < 3 && 1 ? 20 : 30").unwrap();
+        assert_eq!(e.eval_const().unwrap(), 20.0);
+        let e = parse_expr("!0 || 0").unwrap();
+        assert_eq!(e.eval_const().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(parse_expr("-3 + 5").unwrap().eval_const().unwrap(), 2.0);
+        assert_eq!(parse_expr("+4").unwrap().eval_const().unwrap(), 4.0);
+        assert_eq!(parse_expr("--4").unwrap().eval_const().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn functions_parse_with_arity_checks() {
+        assert!(parse_expr("exp(1)").is_ok());
+        assert!(parse_expr("max(1, 2)").is_ok());
+        assert!(parse_expr("exp(1, 2)").is_err());
+        assert!(parse_expr("max(1)").is_err());
+        assert!(parse_expr("frobnicate(1)").is_err());
+        assert!(parse_expr("ddt(V(a))").is_ok());
+        assert!(parse_expr("idt(I(a,b))").is_ok());
+        assert!(parse_expr("idt(x, 0)").is_err());
+    }
+
+    #[test]
+    fn accesses_in_expressions() {
+        let e = parse_expr("V(a, b) + I(br) * R").unwrap();
+        let vars = e.variables();
+        assert!(vars.contains(&VamsRef::potential2("a", "b")));
+        assert!(vars.contains(&VamsRef::flow1("br")));
+        assert!(vars.contains(&VamsRef::ident("R")));
+    }
+
+    #[test]
+    fn if_else_statement() {
+        let src = "
+module sat(in, out);
+  input in; output out;
+  electrical in, out;
+  real y;
+  analog begin
+    if (V(in) > 2.5) y = 2.5;
+    else if (V(in) < -2.5) begin
+      y = -2.5;
+    end else y = V(in);
+    V(out) <+ y;
+  end
+endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.analog.len(), 2);
+        match &m.analog[0].kind {
+            StmtKind::If {
+                else_stmts, ..
+            } => {
+                // else-arm contains the nested if
+                assert_eq!(else_stmts.len(), 1);
+                assert!(matches!(else_stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_modules() {
+        let src = "module a(x); inout x; electrical x; endmodule
+                   module b(y); inout y; electrical y; endmodule";
+        let f = parse(src).unwrap();
+        assert_eq!(f.modules.len(), 2);
+        assert!(f.module("a").is_some());
+        assert!(f.module("b").is_some());
+        assert!(parse_module(src).is_err(), "two modules rejected");
+    }
+
+    #[test]
+    fn undeclared_port_direction_rejected() {
+        let src = "module m(a); input a, ghost; electrical a; endmodule";
+        let err = parse(src).unwrap_err();
+        assert!(err.message().contains("ghost"));
+    }
+
+    #[test]
+    fn port_without_direction_defaults_to_inout() {
+        let src = "module m(a); electrical a; endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.ports[0].dir, PortDir::Inout);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("module m(a);\n  input b$;\n").unwrap_err();
+        assert!(err.span().line >= 1);
+        let err = parse_expr("1 +").unwrap_err();
+        assert!(err.message().contains("expected an expression"));
+    }
+
+    #[test]
+    fn multiple_analog_blocks_rejected() {
+        let src = "module m(a); inout a; electrical a;
+                   analog V(a) <+ 0;
+                   analog V(a) <+ 1;
+                   endmodule";
+        let err = parse(src).unwrap_err();
+        assert!(err.message().contains("multiple analog blocks"));
+    }
+
+    #[test]
+    fn comma_separated_parameters() {
+        let src = "module m(a); inout a; electrical a;
+                   parameter real R1 = 3k, R2 = 14k, R3 = 10k;
+                   endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.parameters.len(), 3);
+        assert_eq!(m.parameter("R2").unwrap().default, Expr::num(14000.0));
+    }
+
+    #[test]
+    fn single_statement_analog_block() {
+        let src = "module m(a); inout a; electrical a, gnd; ground gnd;
+                   analog V(a, gnd) <+ 1.0;
+                   endmodule";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.analog.len(), 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! A MIPS-I-subset instruction-set CPU model.
+//!
+//! The paper's virtual platform runs software on "a MIPS-based CPU
+//! executing assembly instructions contained in the memory" (§V-B). This
+//! core executes one instruction per [`CpuCore::step`], fetching and
+//! accessing data through a caller-supplied [`Bus32`], so the same core
+//! drives both the discrete-event platform and the fast single-loop
+//! platform.
+//!
+//! Supported subset: the common MIPS-I ALU, shift, load/store, branch and
+//! jump instructions (no FPU, no TLB, no branch delay slots — delay slots
+//! are an ISA artifact irrelevant to platform-level simulation and are
+//! intentionally not modeled). `break` halts the core.
+
+/// Word-addressable memory/peripheral interface the core executes against.
+pub trait Bus32 {
+    /// Reads a 32-bit word (address must be 4-aligned).
+    fn read32(&mut self, addr: u32) -> u32;
+    /// Writes a 32-bit word (address must be 4-aligned).
+    fn write32(&mut self, addr: u32, value: u32);
+
+    /// Reads a byte; default goes through `read32`.
+    fn read8(&mut self, addr: u32) -> u8 {
+        let word = self.read32(addr & !3);
+        (word >> ((addr & 3) * 8)) as u8
+    }
+
+    /// Writes a byte; default read-modify-writes through the word access.
+    fn write8(&mut self, addr: u32, value: u8) {
+        let aligned = addr & !3;
+        let shift = (addr & 3) * 8;
+        let old = self.read32(aligned);
+        let mask = !(0xFFu32 << shift);
+        self.write32(aligned, (old & mask) | (u32::from(value) << shift));
+    }
+
+    /// Reads a halfword (address must be 2-aligned).
+    fn read16(&mut self, addr: u32) -> u16 {
+        let word = self.read32(addr & !3);
+        (word >> ((addr & 2) * 8)) as u16
+    }
+
+    /// Writes a halfword (address must be 2-aligned).
+    fn write16(&mut self, addr: u32, value: u16) {
+        let aligned = addr & !3;
+        let shift = (addr & 2) * 8;
+        let old = self.read32(aligned);
+        let mask = !(0xFFFFu32 << shift);
+        self.write32(aligned, (old & mask) | (u32::from(value) << shift));
+    }
+}
+
+/// The architectural state of the core.
+#[derive(Debug, Clone)]
+pub struct CpuCore {
+    /// General-purpose registers; `r[0]` reads as zero.
+    regs: [u32; 32],
+    /// Program counter (byte address of the next instruction).
+    pub pc: u32,
+    hi: u32,
+    lo: u32,
+    halted: bool,
+    retired: u64,
+}
+
+impl Default for CpuCore {
+    fn default() -> Self {
+        CpuCore::new()
+    }
+}
+
+impl CpuCore {
+    /// Creates a core with zeroed registers and `pc = 0`.
+    pub fn new() -> Self {
+        CpuCore {
+            regs: [0; 32],
+            pc: 0,
+            hi: 0,
+            lo: 0,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Reads a register (`$0` is hardwired to zero).
+    pub fn reg(&self, i: usize) -> u32 {
+        if i == 0 {
+            0
+        } else {
+            self.regs[i]
+        }
+    }
+
+    /// Writes a register (writes to `$0` are discarded).
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        if i != 0 {
+            self.regs[i] = v;
+        }
+    }
+
+    /// Whether the core has executed `break`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Executes a single instruction. Does nothing once halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a reserved/unsupported encoding, identifying the opcode
+    /// and address — in a virtual platform that is always a firmware or
+    /// toolchain bug worth failing loudly on.
+    pub fn step(&mut self, bus: &mut impl Bus32) {
+        if self.halted {
+            return;
+        }
+        let instr = bus.read32(self.pc);
+        let next_pc = self.pc.wrapping_add(4);
+        let op = instr >> 26;
+        let rs = ((instr >> 21) & 31) as usize;
+        let rt = ((instr >> 16) & 31) as usize;
+        let rd = ((instr >> 11) & 31) as usize;
+        let shamt = (instr >> 6) & 31;
+        let funct = instr & 63;
+        let imm = instr & 0xFFFF;
+        let simm = imm as u16 as i16 as i32;
+        let branch_target = |pc: u32| pc.wrapping_add(4).wrapping_add((simm << 2) as u32);
+
+        let mut new_pc = next_pc;
+        match op {
+            0 => match funct {
+                0x00 => self.set_reg(rd, self.reg(rt) << shamt), // sll
+                0x02 => self.set_reg(rd, self.reg(rt) >> shamt), // srl
+                0x03 => self.set_reg(rd, ((self.reg(rt) as i32) >> shamt) as u32), // sra
+                0x04 => self.set_reg(rd, self.reg(rt) << (self.reg(rs) & 31)), // sllv
+                0x06 => self.set_reg(rd, self.reg(rt) >> (self.reg(rs) & 31)), // srlv
+                0x07 => {
+                    // srav
+                    self.set_reg(rd, ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32)
+                }
+                0x08 => new_pc = self.reg(rs), // jr
+                0x09 => {
+                    // jalr
+                    self.set_reg(rd, next_pc);
+                    new_pc = self.reg(rs);
+                }
+                0x0D => self.halted = true, // break
+                0x10 => self.set_reg(rd, self.hi), // mfhi
+                0x12 => self.set_reg(rd, self.lo), // mflo
+                0x18 => {
+                    // mult
+                    let p = i64::from(self.reg(rs) as i32) * i64::from(self.reg(rt) as i32);
+                    self.lo = p as u32;
+                    self.hi = (p >> 32) as u32;
+                }
+                0x19 => {
+                    // multu
+                    let p = u64::from(self.reg(rs)) * u64::from(self.reg(rt));
+                    self.lo = p as u32;
+                    self.hi = (p >> 32) as u32;
+                }
+                0x1A => {
+                    // div (division by zero leaves hi/lo unchanged, as on
+                    // real MIPS the result is unpredictable)
+                    let (a, b) = (self.reg(rs) as i32, self.reg(rt) as i32);
+                    if b != 0 {
+                        self.lo = (a.wrapping_div(b)) as u32;
+                        self.hi = (a.wrapping_rem(b)) as u32;
+                    }
+                }
+                0x1B => {
+                    // divu
+                    let (a, b) = (self.reg(rs), self.reg(rt));
+                    if let (Some(q), Some(r)) = (a.checked_div(b), a.checked_rem(b)) {
+                        self.lo = q;
+                        self.hi = r;
+                    }
+                }
+                0x20 | 0x21 => {
+                    // add/addu (no overflow trap modeled)
+                    self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)))
+                }
+                0x22 | 0x23 => {
+                    // sub/subu
+                    self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)))
+                }
+                0x24 => self.set_reg(rd, self.reg(rs) & self.reg(rt)), // and
+                0x25 => self.set_reg(rd, self.reg(rs) | self.reg(rt)), // or
+                0x26 => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)), // xor
+                0x27 => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))), // nor
+                0x2A => {
+                    // slt
+                    self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)))
+                }
+                0x2B => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))), // sltu
+                other => panic!(
+                    "unsupported R-type funct {other:#x} at pc {:#010x}",
+                    self.pc
+                ),
+            },
+            0x01 => {
+                // REGIMM: bltz (rt=0) / bgez (rt=1)
+                let taken = match rt {
+                    0 => (self.reg(rs) as i32) < 0,
+                    1 => (self.reg(rs) as i32) >= 0,
+                    other => panic!(
+                        "unsupported REGIMM rt {other} at pc {:#010x}",
+                        self.pc
+                    ),
+                };
+                if taken {
+                    new_pc = branch_target(self.pc);
+                }
+            }
+            0x02 => new_pc = (next_pc & 0xF000_0000) | ((instr & 0x03FF_FFFF) << 2), // j
+            0x03 => {
+                // jal
+                self.set_reg(31, next_pc);
+                new_pc = (next_pc & 0xF000_0000) | ((instr & 0x03FF_FFFF) << 2);
+            }
+            0x04 => {
+                // beq
+                if self.reg(rs) == self.reg(rt) {
+                    new_pc = branch_target(self.pc);
+                }
+            }
+            0x05 => {
+                // bne
+                if self.reg(rs) != self.reg(rt) {
+                    new_pc = branch_target(self.pc);
+                }
+            }
+            0x06 => {
+                // blez
+                if (self.reg(rs) as i32) <= 0 {
+                    new_pc = branch_target(self.pc);
+                }
+            }
+            0x07 => {
+                // bgtz
+                if (self.reg(rs) as i32) > 0 {
+                    new_pc = branch_target(self.pc);
+                }
+            }
+            0x08 | 0x09 => {
+                // addi/addiu
+                self.set_reg(rt, self.reg(rs).wrapping_add(simm as u32))
+            }
+            0x0A => self.set_reg(rt, u32::from((self.reg(rs) as i32) < simm)), // slti
+            0x0B => self.set_reg(rt, u32::from(self.reg(rs) < simm as u32)),   // sltiu
+            0x0C => self.set_reg(rt, self.reg(rs) & imm),                      // andi
+            0x0D => self.set_reg(rt, self.reg(rs) | imm),                      // ori
+            0x0E => self.set_reg(rt, self.reg(rs) ^ imm),                      // xori
+            0x0F => self.set_reg(rt, imm << 16),                               // lui
+            0x20 => {
+                // lb
+                let v = bus.read8(self.reg(rs).wrapping_add(simm as u32));
+                self.set_reg(rt, v as i8 as i32 as u32);
+            }
+            0x21 => {
+                // lh
+                let v = bus.read16(self.reg(rs).wrapping_add(simm as u32));
+                self.set_reg(rt, v as i16 as i32 as u32);
+            }
+            0x23 => {
+                // lw
+                let v = bus.read32(self.reg(rs).wrapping_add(simm as u32));
+                self.set_reg(rt, v);
+            }
+            0x24 => {
+                // lbu
+                let v = bus.read8(self.reg(rs).wrapping_add(simm as u32));
+                self.set_reg(rt, u32::from(v));
+            }
+            0x25 => {
+                // lhu
+                let v = bus.read16(self.reg(rs).wrapping_add(simm as u32));
+                self.set_reg(rt, u32::from(v));
+            }
+            0x28 => {
+                // sb
+                bus.write8(self.reg(rs).wrapping_add(simm as u32), self.reg(rt) as u8)
+            }
+            0x29 => {
+                // sh
+                bus.write16(self.reg(rs).wrapping_add(simm as u32), self.reg(rt) as u16)
+            }
+            0x2B => {
+                // sw
+                bus.write32(self.reg(rs).wrapping_add(simm as u32), self.reg(rt))
+            }
+            other => panic!("unsupported opcode {other:#x} at pc {:#010x}", self.pc),
+        }
+        self.pc = new_pc;
+        self.retired += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    struct RamBus(Vec<u8>);
+
+    impl Bus32 for RamBus {
+        fn read32(&mut self, addr: u32) -> u32 {
+            let a = addr as usize;
+            u32::from_le_bytes(self.0[a..a + 4].try_into().expect("aligned"))
+        }
+        fn write32(&mut self, addr: u32, value: u32) {
+            let a = addr as usize;
+            self.0[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        }
+    }
+
+    fn run(src: &str, max_steps: usize) -> (CpuCore, RamBus) {
+        let words = assemble(src).expect("assembles");
+        let mut mem = vec![0u8; 64 * 1024];
+        for (i, w) in words.iter().enumerate() {
+            mem[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let mut bus = RamBus(mem);
+        let mut cpu = CpuCore::new();
+        for _ in 0..max_steps {
+            cpu.step(&mut bus);
+            if cpu.halted() {
+                break;
+            }
+        }
+        (cpu, bus)
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let (cpu, _) = run(
+            "li $t0, 7
+             li $t1, 5
+             addu $t2, $t0, $t1
+             subu $t3, $t0, $t1
+             and  $t4, $t0, $t1
+             or   $t5, $t0, $t1
+             xor  $t6, $t0, $t1
+             slt  $t7, $t1, $t0
+             break",
+            64,
+        );
+        assert_eq!(cpu.reg(10), 12); // $t2
+        assert_eq!(cpu.reg(11), 2); // $t3
+        assert_eq!(cpu.reg(12), 5); // $t4
+        assert_eq!(cpu.reg(13), 7); // $t5
+        assert_eq!(cpu.reg(14), 2); // $t6
+        assert_eq!(cpu.reg(15), 1); // $t7
+        assert!(cpu.halted());
+    }
+
+    #[test]
+    fn shifts_and_immediates() {
+        let (cpu, _) = run(
+            "li $t0, 0x00F0
+             sll $t1, $t0, 4
+             srl $t2, $t1, 8
+             li $t3, -16
+             sra $t4, $t3, 2
+             lui $t5, 0x1234
+             ori $t5, $t5, 0x5678
+             break",
+            64,
+        );
+        assert_eq!(cpu.reg(9), 0xF00);
+        assert_eq!(cpu.reg(10), 0xF);
+        assert_eq!(cpu.reg(12) as i32, -4);
+        assert_eq!(cpu.reg(13), 0x1234_5678);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (cpu, bus) = run(
+            "li $t0, 0x1000
+             li $t1, 0xDEADBEEF
+             sw $t1, 0($t0)
+             lw $t2, 0($t0)
+             lbu $t3, 0($t0)
+             lb  $t4, 3($t0)
+             li $t5, 0x42
+             sb $t5, 1($t0)
+             lw $t6, 0($t0)
+             break",
+            64,
+        );
+        assert_eq!(cpu.reg(10), 0xDEAD_BEEF);
+        assert_eq!(cpu.reg(11), 0xEF);
+        assert_eq!(cpu.reg(12) as i32, 0xDEu8 as i8 as i32);
+        assert_eq!(cpu.reg(14), 0xDEAD_42EF);
+        let mut b = bus;
+        assert_eq!(b.read32(0x1000), 0xDEAD_42EF);
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        let (cpu, _) = run(
+            "li $t0, 0      # sum
+             li $t1, 1      # i
+             li $t2, 10
+          loop:
+             addu $t0, $t0, $t1
+             addiu $t1, $t1, 1
+             slt $t3, $t2, $t1   # 10 < i ?
+             beq $t3, $zero, loop
+             break",
+            256,
+        );
+        assert_eq!(cpu.reg(8), 55);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let (cpu, _) = run(
+            "li $a0, 21
+             jal double
+             move $s0, $v0
+             break
+          double:
+             addu $v0, $a0, $a0
+             jr $ra",
+            64,
+        );
+        assert_eq!(cpu.reg(16), 42);
+    }
+
+    #[test]
+    fn mult_div_and_hilo() {
+        let (cpu, _) = run(
+            "li $t0, 6
+             li $t1, 7
+             mult $t0, $t1
+             mflo $t2
+             li $t3, 45
+             li $t4, 7
+             divu $t3, $t4
+             mflo $t5
+             mfhi $t6
+             break",
+            64,
+        );
+        assert_eq!(cpu.reg(10), 42);
+        assert_eq!(cpu.reg(13), 6);
+        assert_eq!(cpu.reg(14), 3);
+    }
+
+    #[test]
+    fn branches_cover_signs() {
+        let (cpu, _) = run(
+            "li $t0, -5
+             li $t1, 0
+             bltz $t0, neg
+             li $t2, 111
+          neg:
+             bgez $t1, nonneg
+             li $t3, 222
+          nonneg:
+             blez $t1, le
+             li $t4, 333
+          le:
+             li $t5, 1
+             bgtz $t5, done
+             li $t6, 444
+          done:
+             break",
+            64,
+        );
+        assert_eq!(cpu.reg(10), 0, "skipped by bltz");
+        assert_eq!(cpu.reg(11), 0, "skipped by bgez");
+        assert_eq!(cpu.reg(12), 0, "skipped by blez");
+        assert_eq!(cpu.reg(14), 0, "skipped by bgtz");
+    }
+
+    #[test]
+    fn halted_core_stays_halted() {
+        let (mut cpu, mut bus) = run("break", 4);
+        let retired = cpu.retired();
+        cpu.step(&mut bus);
+        assert_eq!(cpu.retired(), retired);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported opcode")]
+    fn unsupported_opcode_panics() {
+        let mut bus = RamBus(vec![0xFF; 64]);
+        let mut cpu = CpuCore::new();
+        cpu.step(&mut bus);
+    }
+}

@@ -1,0 +1,52 @@
+//! Reference firmware for the platform experiments.
+
+use crate::asm::assemble;
+
+/// The monitoring firmware of the Table III experiments: polls the ADC,
+/// detects crossings of a 0.5 V threshold on the *magnitude* of the
+/// analog output (the amplifier circuits invert), keeps a crossing count
+/// in `$s3`, and transmits `'1'`/`'0'` over the UART on every state
+/// change.
+pub const MONITOR_FIRMWARE: &str = "
+    # $s0 = analog bridge base, $s1 = uart base
+    # $s2 = previous comparator state, $s3 = crossing count
+    li $s0, 0x20000000
+    li $s1, 0x10000000
+    li $s2, 0
+    li $s3, 0
+loop:
+    lw   $t0, 0($s0)        # ADC sample in microvolts (signed)
+    bgez $t0, positive
+    subu $t0, $zero, $t0    # |sample|
+positive:
+    li   $t1, 500000        # 0.5 V threshold
+    slt  $t2, $t0, $t1      # t2 = |sample| < threshold
+    xori $t2, $t2, 1        # t2 = |sample| >= threshold
+    beq  $t2, $s2, loop     # no change: keep polling
+    move $s2, $t2
+    addiu $s3, $s3, 1
+    addiu $t3, $t2, 0x30    # ASCII '0' or '1'
+    sw   $t3, 0($s1)        # transmit
+    b    loop
+";
+
+/// Assembles [`MONITOR_FIRMWARE`].
+///
+/// # Panics
+///
+/// Never panics in practice: the source is a compile-time constant
+/// validated by this crate's tests.
+pub fn monitor_firmware() -> Vec<u32> {
+    assemble(MONITOR_FIRMWARE).expect("reference firmware must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_firmware_assembles() {
+        let words = monitor_firmware();
+        assert!(words.len() > 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Walkthrough of the four-step abstraction methodology (§IV, Figures
+//! 4–7 of the paper) on the active filter of Figure 2.
+//!
+//! Prints the intermediate artifacts of every stage: the circuit graph,
+//! the dipole relations, the enriched hash table with its dependency
+//! chains, the assembled/solved update equations, and the generated code.
+//!
+//! ```sh
+//! cargo run --release --example abstraction_walkthrough
+//! ```
+
+use amsvp_core::acquire::acquire;
+use amsvp_core::assemble::assemble;
+use amsvp_core::enrich::enrich;
+use amsvp_core::{codegen, conservative_relations, Quantity, SignalFlowModel};
+
+const ACTIVE_FILTER: &str = include_str!("../crates/vams-parser/tests/fixtures/active_filter.va");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = vams_parser::parse_module(ACTIVE_FILTER)?;
+    println!("================================================================");
+    println!(" Input: Verilog-AMS active filter (Figure 2)");
+    println!("================================================================");
+    println!("{module}");
+
+    // ---------------------------------------------------- Step 1
+    let model = acquire(&module)?;
+    println!("================================================================");
+    println!(" Step 1 — Acquisition (§IV-A)");
+    println!("================================================================");
+    println!(
+        "Graph G = (N, B): {} nodes, {} branches",
+        model.graph.node_count(),
+        model.graph.branch_count()
+    );
+    println!("\nDipole relations (one per contribution statement):");
+    for r in &model.relations {
+        println!("  {r}");
+    }
+    println!("\nSignal-flow variable definitions (folded):");
+    for (name, def) in &model.folded_vars {
+        println!("  {name} = {def}");
+    }
+
+    // ---------------------------------------------------- Step 2
+    println!("\n================================================================");
+    println!(" Step 2 — Enrichment (§IV-B, Algorithm 1 / Figure 5)");
+    println!("================================================================");
+    let all_relations = conservative_relations(&model)?;
+    println!(
+        "Relation set: {} (dipole + vdef + KCL at internal nodes)",
+        all_relations.len()
+    );
+    let table = enrich(&model)?;
+    println!(
+        "Enriched table: {} dependency classes, {} solved equations\n",
+        table.class_count(),
+        table.equation_count()
+    );
+    println!("{table}");
+
+    // ---------------------------------------------------- Step 3
+    println!("================================================================");
+    println!(" Step 3 — Assemble & solve (§IV-C, Algorithm 2 / Figures 6, 7)");
+    println!("================================================================");
+    let dt = 50e-9;
+    let mut table = enrich(&model)?;
+    let assembly = assemble(&mut table, &[Quantity::node_v("out")], dt)?;
+    println!("Output of interest: V(out); Δt = {dt:e} s\n");
+    println!("Solved update sequence (delayed values only on the right):");
+    for (q, e) in &assembly.assignments {
+        println!("  {q} := {e}");
+    }
+    println!(
+        "\nExpression size: {} nodes across {} assignments",
+        assembly.expression_size(),
+        assembly.assignments.len()
+    );
+
+    // ---------------------------------------------------- Step 4
+    println!("\n================================================================");
+    println!(" Step 4 — Code generation (§IV-D, Figure 7b)");
+    println!("================================================================");
+    let sfm = SignalFlowModel::from_assembly(&module.name, &assembly, &model.inputs)?;
+    println!("{}", codegen::cpp::generate(&sfm));
+
+    // Behaviour check: the clamp engages for large inputs.
+    let mut m = sfm;
+    for _ in 0..200_000 {
+        m.step(&[1.0]);
+    }
+    println!("// steady state at 1 V input: V(out) = {:+.4} V (clamped)", m.output(0));
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table II of the paper: the abstracted models in isolation
+//! over a longer simulated time, compared to SystemC-AMS/ELN (the
+//! Verilog-AMS reference is dropped, exactly as in the paper).
+//!
+//! ```sh
+//! cargo run --release --example table2 [sim_time_seconds]
+//! ```
+//!
+//! The paper simulated 10 s; the default here is 0.1 s. Speed-ups are
+//! duration-independent (fixed 50 ns step everywhere).
+
+fn main() {
+    let sim_time: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    eprintln!("Running Table II at {sim_time} s simulated time (paper: 10 s)...");
+    let rows = amsvp_bench::table2_rows(sim_time);
+    println!(
+        "{}",
+        amsvp_bench::format_rows(
+            &format!(
+                "TABLE II — abstracted models in isolation ({sim_time} s simulated); \
+                 speed-up vs SC-AMS/ELN"
+            ),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,74 @@
+//! Umbrella crate for the `amsvp` workspace — a from-scratch Rust
+//! reproduction of *"Integration of mixed-signal components into virtual
+//! platforms for holistic simulation of smart systems"* (Fraccaroli,
+//! Lora, Vinco, Quaglia, Fummi — DATE 2016).
+//!
+//! This crate re-exports the whole stack so downstream users can depend
+//! on a single package:
+//!
+//! * [`core`] — the paper's contribution: conversion and abstraction of
+//!   Verilog-AMS models to executable signal-flow models and generated
+//!   C++/SystemC source;
+//! * [`parser`] / [`ast`] — the Verilog-AMS front end;
+//! * [`de`], [`tdf`], [`eln`] — the single-kernel simulation substrates
+//!   (discrete-event, timed data-flow, electrical linear network);
+//! * [`amsim`] — the conservative reference simulator and its threaded
+//!   co-simulation bridge;
+//! * [`vp`] — the smart-system virtual platform (MIPS CPU, bus, UART,
+//!   analog bridge) with every analog integration level of the paper's
+//!   Table III;
+//! * [`mod@bench`] — harnesses that regenerate every table of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use amsvp::core::Abstraction;
+//!
+//! let module = amsvp::parser::parse_module(
+//!     &amsvp::core::circuits::rc_ladder(1),
+//! )?;
+//! let mut model = Abstraction::new(&module).dt(50e-9).build()?;
+//! model.step(&[1.0]);
+//! assert!(model.output(0) > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the repository README for the architecture overview, DESIGN.md for
+//! the system inventory, and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+/// The abstraction pipeline and code generators (the paper's §IV).
+pub use amsvp_core as core;
+
+/// Verilog-AMS abstract syntax tree.
+pub use vams_ast as ast;
+
+/// Verilog-AMS lexer and parser.
+pub use vams_parser as parser;
+
+/// Symbolic expression engine.
+pub use expr;
+
+/// Circuit topology and equation storage.
+pub use netlist;
+
+/// Dense linear algebra (MNA kernel).
+pub use linalg;
+
+/// Discrete-event simulation kernel (SystemC-DE analogue).
+pub use de;
+
+/// Timed data-flow scheduler (SystemC-AMS/TDF analogue).
+pub use tdf;
+
+/// Electrical linear network solver (SystemC-AMS/ELN analogue).
+pub use eln;
+
+/// Conservative Verilog-AMS reference simulator + co-simulation bridge.
+pub use amsim;
+
+/// The smart-system virtual platform.
+pub use vp;
+
+/// Table-regeneration harnesses.
+pub use amsvp_bench as bench;

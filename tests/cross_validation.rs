@@ -1,0 +1,185 @@
+//! Cross-validation between independent implementations: the abstracted
+//! signal-flow models, the hand-built ELN solver, and the interpreted
+//! conservative reference must agree on every paper circuit — they share
+//! only the discretization scheme, not a single line of solver code.
+
+use amsvp_core::circuits::{paper_benchmarks, SquareWave};
+use amsvp_core::Abstraction;
+use amsim::AmsSimulator;
+use eln::{ElnSolver, Method};
+
+const DT: f64 = 50e-9;
+const STEPS: usize = 4000;
+
+#[test]
+fn abstracted_models_match_conservative_reference_step_by_step() {
+    let stim = SquareWave {
+        period: 100e-6,
+        high: 1.0,
+        low: -0.5,
+    };
+    for (label, source, inputs) in paper_benchmarks() {
+        let module = vams_parser::parse_module(&source).unwrap();
+        let mut reference = AmsSimulator::new(&module, DT, &["V(out)"]).unwrap();
+        let mut abstracted = Abstraction::new(&module)
+            .dt(DT)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        let mut buf = vec![0.0; inputs];
+        let mut worst: f64 = 0.0;
+        for k in 0..STEPS {
+            let u = stim.value(k as f64 * DT);
+            buf.iter_mut().for_each(|v| *v = u);
+            reference.step(&buf);
+            abstracted.step(&buf);
+            worst = worst.max((reference.output(0) - abstracted.output(0)).abs());
+        }
+        assert!(
+            worst < 1e-6,
+            "{label}: worst per-step deviation {worst:.2e} (same discretization \
+             must agree to solver tolerance)"
+        );
+    }
+}
+
+#[test]
+fn eln_models_match_conservative_reference() {
+    let stim = SquareWave {
+        period: 100e-6,
+        high: 1.0,
+        low: 0.0,
+    };
+    type Fixture = (eln::ElnNetwork, Vec<eln::SourceId>, eln::NodeId);
+    let eln_fixtures: Vec<(&str, Fixture)> = {
+        let (n2, s2, o2) = vp::two_inputs_eln();
+        let (nr1, sr1, or1) = vp::rc_ladder_eln(1);
+        let (nr20, sr20, or20) = vp::rc_ladder_eln(20);
+        let (noa, soa, ooa) = vp::opamp_eln();
+        vec![
+            ("2IN", (n2, s2, o2)),
+            ("RC1", (nr1, vec![sr1], or1)),
+            ("RC20", (nr20, vec![sr20], or20)),
+            ("OA", (noa, vec![soa], ooa)),
+        ]
+    };
+    for ((label, source, inputs), (elabel, (net, sources, out))) in
+        paper_benchmarks().into_iter().zip(eln_fixtures)
+    {
+        assert_eq!(label, elabel);
+        let module = vams_parser::parse_module(&source).unwrap();
+        let mut reference = AmsSimulator::new(&module, DT, &["V(out)"]).unwrap();
+        let mut solver = ElnSolver::new(&net, DT, Method::BackwardEuler).unwrap();
+        let mut buf = vec![0.0; inputs];
+        let mut worst: f64 = 0.0;
+        for k in 0..STEPS {
+            let u = stim.value(k as f64 * DT);
+            buf.iter_mut().for_each(|v| *v = u);
+            reference.step(&buf);
+            for &s in &sources {
+                solver.set_source(s, u);
+            }
+            solver.step();
+            worst = worst.max((reference.output(0) - solver.node_voltage(out)).abs());
+        }
+        assert!(
+            worst < 1e-6,
+            "{label}: ELN deviates from reference by {worst:.2e}"
+        );
+    }
+}
+
+#[test]
+fn integrator_with_idt_cross_validates() {
+    // Pure signal-flow integrator: V(out) = idt(V(in)). Both the
+    // abstraction pipeline and the reference simulator discretize the
+    // integral with backward Euler, so a constant input yields a ramp.
+    let src = "module intg(i, o); input i; output o;
+        electrical i, o, gnd; ground gnd;
+        analog V(o, gnd) <+ idt(V(i, gnd));
+        endmodule";
+    let module = vams_parser::parse_module(src).unwrap();
+    let dt = 1e-6;
+    let mut reference = AmsSimulator::new(&module, dt, &["V(o)"]).unwrap();
+    let mut abstracted = Abstraction::new(&module)
+        .dt(dt)
+        .output("V(o)")
+        .build()
+        .unwrap();
+    for k in 1..=1000 {
+        reference.step(&[2.0]);
+        abstracted.step(&[2.0]);
+        let expect = 2.0 * k as f64 * dt;
+        assert!(
+            (reference.output(0) - expect).abs() < 1e-12,
+            "reference ramp at step {k}"
+        );
+        assert!(
+            (abstracted.output(0) - expect).abs() < 1e-12,
+            "abstracted ramp at step {k}: {} vs {expect}",
+            abstracted.output(0)
+        );
+    }
+}
+
+#[test]
+fn trapezoidal_eln_converges_to_same_steady_state() {
+    // Different discretizations agree asymptotically even though their
+    // transients differ.
+    let (net, src, out) = vp::rc_ladder_eln(3);
+    let mut be = ElnSolver::new(&net, DT, Method::BackwardEuler).unwrap();
+    let mut tr = ElnSolver::new(&net, DT, Method::Trapezoidal).unwrap();
+    for _ in 0..200_000 {
+        be.set_source(src, 0.7);
+        be.step();
+        tr.set_source(src, 0.7);
+        tr.step();
+    }
+    assert!((be.node_voltage(out) - 0.7).abs() < 1e-6);
+    assert!((tr.node_voltage(out) - 0.7).abs() < 1e-6);
+}
+
+#[test]
+fn generated_tdf_and_de_wrappers_share_numerics_with_bare_model() {
+    // The MoC wrappers must not change a single bit of the trajectory.
+    use amsvp_core::circuits::rc_ladder;
+    use de::{Kernel, SimTime};
+    use vp::{build_tdf_cluster, new_bridge, CompiledAnalog};
+
+    let module = vams_parser::parse_module(&rc_ladder(2)).unwrap();
+    let build = || {
+        Abstraction::new(&module)
+            .dt(DT)
+            .output("V(out)")
+            .build()
+            .unwrap()
+    };
+    let stim = SquareWave {
+        period: 20e-6,
+        high: 1.0,
+        low: 0.0,
+    };
+    let steps = 1000usize;
+
+    let mut bare = build();
+    for k in 0..steps {
+        bare.step(&[stim.value(k as f64 * DT)]);
+    }
+
+    let bridge_tdf = new_bridge();
+    let mut exec = build_tdf_cluster(build(), bridge_tdf.clone(), stim).unwrap();
+    exec.run_until(SimTime::from_seconds(steps as f64 * DT));
+
+    let bridge_de = new_bridge();
+    let mut kernel = Kernel::new();
+    kernel.register(CompiledAnalog::new(build(), bridge_de.clone(), stim));
+    kernel
+        .run_until(SimTime::from_seconds((steps as f64 - 0.5) * DT))
+        .unwrap();
+
+    let b = bare.output(0);
+    let t = bridge_tdf.borrow().aout;
+    let d = bridge_de.borrow().aout;
+    assert_eq!(b, t, "TDF wrapper must be bit-identical");
+    assert_eq!(b, d, "DE wrapper must be bit-identical");
+}

@@ -1,0 +1,130 @@
+//! Property-based cross-validation: on *randomly generated* RC ladders
+//! (random depth, per-stage element values and stimulus), the abstraction
+//! pipeline and the independent conservative reference simulator must
+//! produce the same trajectory.
+
+use proptest::prelude::*;
+
+use amsvp_core::Abstraction;
+use amsim::AmsSimulator;
+
+/// Builds a Verilog-AMS RC ladder with per-stage values.
+fn ladder_source(stages: &[(f64, f64)]) -> String {
+    use std::fmt::Write as _;
+    let n = stages.len();
+    let mut src = String::new();
+    let _ = writeln!(src, "module lad(in, out);");
+    let _ = writeln!(src, "  input in; output out;");
+    let mut nets = vec!["in".to_string()];
+    for i in 1..n {
+        nets.push(format!("n{i}"));
+    }
+    nets.push("out".into());
+    nets.push("gnd".into());
+    let _ = writeln!(src, "  electrical {};", nets.join(", "));
+    let _ = writeln!(src, "  ground gnd;");
+    for i in 0..n {
+        let _ = writeln!(src, "  branch ({}, {}) r{i};", nets[i], nets[i + 1]);
+        let _ = writeln!(src, "  branch ({}, gnd) c{i};", nets[i + 1]);
+    }
+    let _ = writeln!(src, "  analog begin");
+    for (i, (r, c)) in stages.iter().enumerate() {
+        let _ = writeln!(src, "    V(r{i}) <+ {r} * I(r{i});");
+        let _ = writeln!(src, "    I(c{i}) <+ {c} * ddt(V(c{i}));");
+    }
+    let _ = writeln!(src, "  end");
+    let _ = writeln!(src, "endmodule");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_ladders_cross_validate(
+        stages in proptest::collection::vec(
+            ((1e2f64..1e5), (1e-9f64..1e-6)),
+            1..5
+        ),
+        drive in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let source = ladder_source(&stages);
+        let module = vams_parser::parse_module(&source).unwrap();
+        // Step at a hundredth of the fastest time constant to stay in a
+        // well-conditioned regime for both solvers.
+        let tau_min = stages
+            .iter()
+            .map(|&(r, c)| r * c)
+            .fold(f64::INFINITY, f64::min);
+        let dt = tau_min / 100.0;
+
+        let mut reference = AmsSimulator::new(&module, dt, &["V(out)"]).unwrap();
+        let mut abstracted = Abstraction::new(&module)
+            .dt(dt)
+            .output("V(out)")
+            .build()
+            .unwrap();
+
+        let mut worst: f64 = 0.0;
+        for (k, &u) in drive.iter().cycle().take(200).enumerate() {
+            // Piecewise-constant pseudo-random stimulus.
+            let _ = k;
+            reference.step(&[u]);
+            abstracted.step(&[u]);
+            worst = worst.max((reference.output(0) - abstracted.output(0)).abs());
+        }
+        prop_assert!(
+            worst < 1e-6,
+            "random ladder deviated by {worst:.2e}:\n{source}"
+        );
+    }
+
+    #[test]
+    fn random_divider_chains_cross_validate(
+        resistors in proptest::collection::vec(1e2f64..1e6, 2..6),
+        u in 0.1f64..10.0,
+    ) {
+        // Pure resistive chain to ground: static, exactly solvable.
+        use std::fmt::Write as _;
+        let n = resistors.len();
+        let mut src = String::new();
+        let _ = writeln!(src, "module div(in, out);");
+        let _ = writeln!(src, "  input in; output out;");
+        let mut nets = vec!["in".to_string()];
+        for i in 1..n {
+            nets.push(format!("n{i}"));
+        }
+        nets.push("out".into());
+        nets.push("gnd".into());
+        let _ = writeln!(src, "  electrical {};", nets.join(", "));
+        let _ = writeln!(src, "  ground gnd;");
+        for i in 0..n {
+            let _ = writeln!(src, "  branch ({}, {}) r{i};", nets[i], nets[i + 1]);
+        }
+        // Load to ground so the divider is well-posed.
+        let _ = writeln!(src, "  branch (out, gnd) rl;");
+        let _ = writeln!(src, "  analog begin");
+        for (i, r) in resistors.iter().enumerate() {
+            let _ = writeln!(src, "    V(r{i}) <+ {r} * I(r{i});");
+        }
+        let _ = writeln!(src, "    V(rl) <+ 10k * I(rl);");
+        let _ = writeln!(src, "  end");
+        let _ = writeln!(src, "endmodule");
+
+        let module = vams_parser::parse_module(&src).unwrap();
+        let mut model = Abstraction::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        model.step(&[u]);
+        // Analytic divider: out = u · Rl / (ΣR + Rl).
+        let total: f64 = resistors.iter().sum::<f64>() + 10e3;
+        let expect = u * 10e3 / total;
+        prop_assert!(
+            (model.output(0) - expect).abs() < 1e-9 * expect.abs().max(1.0),
+            "divider: {} vs {expect}",
+            model.output(0)
+        );
+    }
+}
