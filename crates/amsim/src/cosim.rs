@@ -9,9 +9,10 @@
 //! bounded rendezvous channel per direction — the measured overhead per
 //! step is genuine inter-thread communication, not a modeled constant.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use obs::{CounterTracker, Obs};
 
 use crate::{AmsError, AmsSimulator};
 
@@ -34,7 +35,7 @@ enum Response {
 /// # Example
 ///
 /// ```
-/// use amsim::{cosim::CosimHandle, AmsSimulator};
+/// use amsim::{cosim::CosimHandle, Simulation};
 ///
 /// let src = "
 /// module r2(i, o); input i; output o;
@@ -47,18 +48,20 @@ enum Response {
 ///   end
 /// endmodule";
 /// let module = vams_parser::parse_module(src)?;
-/// let sim = AmsSimulator::new(&module, 1e-6, &["V(o)"])?;
+/// let sim = Simulation::new(&module).dt(1e-6).output("V(o)").build()?;
 /// let mut cosim = CosimHandle::spawn(sim, 1);
 /// let out = cosim.step(&[4.0])?;
 /// assert!((out[0] - 3.0).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct CosimHandle {
-    tx: Sender<Request>,
+    tx: SyncSender<Request>,
     rx: Receiver<Response>,
     worker: Option<JoinHandle<()>>,
     outputs: usize,
     steps: u64,
+    obs: Obs,
+    obs_handshakes: CounterTracker,
 }
 
 impl CosimHandle {
@@ -67,17 +70,17 @@ impl CosimHandle {
     pub fn spawn(mut sim: AmsSimulator, outputs: usize) -> CosimHandle {
         // Rendezvous channels: capacity 0 would deadlock the simple
         // protocol, capacity 1 keeps the round trip strict.
-        let (req_tx, req_rx) = bounded::<Request>(1);
-        let (resp_tx, resp_rx) = bounded::<Response>(1);
+        let (req_tx, req_rx) = sync_channel::<Request>(1);
+        let (resp_tx, resp_rx) = sync_channel::<Response>(1);
         let worker = std::thread::spawn(move || {
             while let Ok(msg) = req_rx.recv() {
                 match msg {
                     Request::Stop => break,
                     Request::Step(inputs) => {
                         let resp = match sim.try_step(&inputs) {
-                            Ok(()) => Response::Outputs(
-                                (0..outputs).map(|i| sim.output(i)).collect(),
-                            ),
+                            Ok(()) => {
+                                Response::Outputs((0..outputs).map(|i| sim.output(i)).collect())
+                            }
                             Err(e) => Response::Failed(e),
                         };
                         if resp_tx.send(resp).is_err() {
@@ -93,7 +96,17 @@ impl CosimHandle {
             worker: Some(worker),
             outputs,
             steps: 0,
+            obs: Obs::none(),
+            obs_handshakes: CounterTracker::default(),
         }
+    }
+
+    /// Attaches an instrumentation collector; the handle reports
+    /// `cosim.handshakes` (one per step round trip) through it.
+    #[must_use]
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Number of outputs returned per step.
@@ -115,18 +128,29 @@ impl CosimHandle {
     pub fn step(&mut self, inputs: &[f64]) -> Result<Vec<f64>, AmsError> {
         self.tx
             .send(Request::Step(inputs.to_vec()))
-            .map_err(|_| AmsError::NoConvergence { time: f64::NAN })?;
+            .map_err(|_| AmsError::CosimDisconnected)?;
         self.steps += 1;
         match self.rx.recv() {
             Ok(Response::Outputs(o)) => Ok(o),
             Ok(Response::Failed(e)) => Err(e),
-            Err(_) => Err(AmsError::NoConvergence { time: f64::NAN }),
+            Err(_) => Err(AmsError::CosimDisconnected),
+        }
+    }
+
+    /// Reports the `cosim.handshakes` counter delta to the attached
+    /// collector. Called automatically on drop.
+    pub fn flush_counters(&mut self) {
+        if self.obs.enabled() {
+            let steps = self.steps;
+            self.obs_handshakes
+                .flush(&self.obs, "cosim.handshakes", steps);
         }
     }
 }
 
 impl Drop for CosimHandle {
     fn drop(&mut self) {
+        self.flush_counters();
         let _ = self.tx.send(Request::Stop);
         if let Some(w) = self.worker.take() {
             let _ = w.join();
@@ -137,6 +161,7 @@ impl Drop for CosimHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Simulation;
     use vams_parser::parse_module;
 
     #[test]
@@ -155,8 +180,8 @@ mod tests {
         let m = parse_module(src).unwrap();
         let tau = 5e3 * 25e-9;
         let dt = tau / 50.0;
-        let mut local = AmsSimulator::new(&m, dt, &["V(out)"]).unwrap();
-        let remote_sim = AmsSimulator::new(&m, dt, &["V(out)"]).unwrap();
+        let mut local = Simulation::new(&m).dt(dt).output("V(out)").build().unwrap();
+        let remote_sim = Simulation::new(&m).dt(dt).output("V(out)").build().unwrap();
         let mut remote = CosimHandle::spawn(remote_sim, 1);
         for k in 0..100 {
             let u = if k < 50 { 1.0 } else { 0.0 };
@@ -183,7 +208,7 @@ mod tests {
             end
           endmodule";
         let m = parse_module(src).unwrap();
-        let sim = AmsSimulator::new(&m, 1e-6, &["V(o)"]).unwrap();
+        let sim = Simulation::new(&m).dt(1e-6).output("V(o)").build().unwrap();
         let mut h = CosimHandle::spawn(sim, 1);
         let out = h.step(&[2.0]).unwrap();
         assert!((out[0] - 1.0).abs() < 1e-9);

@@ -26,7 +26,7 @@
 //! # Example
 //!
 //! ```
-//! use amsim::AmsSimulator;
+//! use amsim::Simulation;
 //!
 //! let src = "
 //! module rc(in, out);
@@ -44,7 +44,7 @@
 //! endmodule";
 //! let module = vams_parser::parse_module(src)?;
 //! let tau = 5e3 * 25e-9;
-//! let mut sim = AmsSimulator::new(&module, tau / 100.0, &["V(out)"])?;
+//! let mut sim = Simulation::new(&module).dt(tau / 100.0).output("V(out)").build()?;
 //! for _ in 0..100 {
 //!     sim.step(&[1.0]);
 //! }
@@ -56,4 +56,4 @@
 pub mod cosim;
 mod sim;
 
-pub use sim::{AmsError, AmsSimulator};
+pub use sim::{AmsError, AmsSimulator, Simulation};

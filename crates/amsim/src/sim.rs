@@ -3,10 +3,11 @@ use std::error::Error;
 use std::fmt;
 
 use amsvp_core::acquire::acquire;
-use amsvp_core::{conservative_relations, AbstractError};
+use amsvp_core::{conservative_relations, AbstractError, OutputSpec};
 use expr::Expr;
 use linalg::{LuFactors, Matrix};
 use netlist::{QExpr, Quantity};
+use obs::{CounterTracker, Obs};
 use vams_ast::Module;
 
 /// Errors from the reference simulator.
@@ -28,11 +29,24 @@ pub enum AmsError {
     NoConvergence {
         /// Simulated time at which convergence failed.
         time: f64,
+        /// Newton iterations spent before giving up.
+        iterations: u32,
     },
-    /// An output spec does not name a node or branch of the module.
-    UnknownOutput(String),
+    /// An output spec does not name a quantity of the module.
+    UnknownOutput {
+        /// The requested spec, as written (`"V(ghost)"`).
+        spec: String,
+        /// Name of the module that defines no such quantity.
+        module: String,
+    },
     /// The time step must be positive and finite.
-    InvalidTimeStep(f64),
+    InvalidTimeStep {
+        /// The offending step, in seconds.
+        dt: f64,
+    },
+    /// The co-simulation worker thread terminated (panicked or was shut
+    /// down) while a step was outstanding.
+    CosimDisconnected,
 }
 
 impl fmt::Display for AmsError {
@@ -47,12 +61,19 @@ impl fmt::Display for AmsError {
                 "DAE system is not square: {equations} equations, {unknowns} unknowns"
             ),
             AmsError::Singular => write!(f, "newton jacobian is singular"),
-            AmsError::NoConvergence { time } => {
-                write!(f, "newton iteration did not converge at t = {time} s")
-            }
-            AmsError::UnknownOutput(s) => write!(f, "unknown output spec `{s}`"),
-            AmsError::InvalidTimeStep(dt) => {
+            AmsError::NoConvergence { time, iterations } => write!(
+                f,
+                "newton iteration did not converge at t = {time} s after {iterations} iterations"
+            ),
+            AmsError::UnknownOutput { spec, module } => write!(
+                f,
+                "module `{module}` defines no quantity matching output spec `{spec}`"
+            ),
+            AmsError::InvalidTimeStep { dt } => {
                 write!(f, "invalid time step {dt}; must be positive and finite")
+            }
+            AmsError::CosimDisconnected => {
+                write!(f, "co-simulation worker thread disconnected")
             }
         }
     }
@@ -109,6 +130,94 @@ pub struct AmsSimulator {
     steps: u64,
     newton_iters: u64,
     jacobian_builds: u64,
+    obs: Obs,
+    obs_steps: CounterTracker,
+    obs_newton: CounterTracker,
+    obs_jacobian: CounterTracker,
+}
+
+/// Builder for an [`AmsSimulator`] reference transient.
+///
+/// Mirrors the workspace builder idiom (`new(...)` → chained setters →
+/// `build()`):
+///
+/// ```
+/// use amsim::Simulation;
+///
+/// let src = "
+/// module rc(in, out);
+///   input in; output out;
+///   electrical in, out, gnd; ground gnd;
+///   branch (in, out) res;
+///   branch (out, gnd) cap;
+///   analog begin
+///     V(res) <+ 5k * I(res);
+///     I(cap) <+ 25n * ddt(V(cap));
+///   end
+/// endmodule";
+/// let module = vams_parser::parse_module(src)?;
+/// let mut sim = Simulation::new(&module)
+///     .dt(1e-6)
+///     .output("V(out)")
+///     .build()?;
+/// sim.step(&[1.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use = "call build() to construct the simulator"]
+#[derive(Debug)]
+pub struct Simulation<'m> {
+    module: &'m Module,
+    dt: f64,
+    outputs: Vec<OutputSpec>,
+    obs: Obs,
+}
+
+impl<'m> Simulation<'m> {
+    /// Starts a reference simulation of `module` with a 1 µs step;
+    /// override with the chained setters.
+    pub fn new(module: &'m Module) -> Self {
+        Simulation {
+            module,
+            dt: 1e-6,
+            outputs: Vec::new(),
+            obs: Obs::none(),
+        }
+    }
+
+    /// Sets the fixed time step in seconds.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Adds an observed output (`"V(out)"`, `"I(cap)"`, or a variable
+    /// name). May be called repeatedly; without any call, the module's
+    /// first `output` port is observed.
+    pub fn output(mut self, spec: impl Into<OutputSpec>) -> Self {
+        self.outputs.push(spec.into());
+        self
+    }
+
+    /// Attaches an instrumentation collector; the simulator reports
+    /// `amsim.steps`, `amsim.newton_iterations` and
+    /// `amsim.jacobian_builds` through it.
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Lowers the module into its full DAE system and prepares the
+    /// Newton solver.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmsError::Acquire`] when the module cannot be lowered;
+    /// * [`AmsError::NotSquare`] for ill-posed descriptions;
+    /// * [`AmsError::UnknownOutput`] for bad output specs;
+    /// * [`AmsError::InvalidTimeStep`] for a bad `dt`.
+    pub fn build(self) -> Result<AmsSimulator, AmsError> {
+        AmsSimulator::construct(self.module, self.dt, self.outputs, self.obs)
+    }
 }
 
 impl AmsSimulator {
@@ -122,9 +231,23 @@ impl AmsSimulator {
     /// * [`AmsError::NotSquare`] for ill-posed descriptions;
     /// * [`AmsError::UnknownOutput`] for bad output specs;
     /// * [`AmsError::InvalidTimeStep`] for a bad `dt`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use amsim::Simulation::new(module).dt(..).output(..).build()"
+    )]
     pub fn new(module: &Module, dt: f64, outputs: &[&str]) -> Result<Self, AmsError> {
+        let specs = outputs.iter().map(|s| OutputSpec::parse(s)).collect();
+        AmsSimulator::construct(module, dt, specs, Obs::none())
+    }
+
+    fn construct(
+        module: &Module,
+        dt: f64,
+        output_specs: Vec<OutputSpec>,
+        obs: Obs,
+    ) -> Result<Self, AmsError> {
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(AmsError::InvalidTimeStep(dt));
+            return Err(AmsError::InvalidTimeStep { dt });
         }
         let model = acquire(module)?;
         let mut zeros: Vec<QExpr> = conservative_relations(&model)?
@@ -163,14 +286,7 @@ impl AmsSimulator {
         let equations: Vec<QExpr> = zeros
             .iter()
             .map(|z| {
-                discretize(
-                    z,
-                    dt,
-                    &mut placeholders,
-                    &mut ddt_inner,
-                    &mut idt_inner,
-                )
-                .simplified()
+                discretize(z, dt, &mut placeholders, &mut ddt_inner, &mut idt_inner).simplified()
             })
             .collect();
 
@@ -213,37 +329,56 @@ impl AmsSimulator {
             steps: 0,
             newton_iters: 0,
             jacobian_builds: 0,
+            obs,
+            obs_steps: CounterTracker::default(),
+            obs_newton: CounterTracker::default(),
+            obs_jacobian: CounterTracker::default(),
         };
-        for spec in outputs {
-            sim.output_indices.push(sim.resolve_output(spec, &model)?);
+        let mut specs = output_specs;
+        if specs.is_empty() {
+            let first = model
+                .outputs
+                .first()
+                .cloned()
+                .ok_or_else(|| AmsError::UnknownOutput {
+                    spec: "<no output port>".to_string(),
+                    module: module.name.clone(),
+                })?;
+            specs.push(OutputSpec::Potential(first));
+        }
+        for spec in &specs {
+            sim.output_indices
+                .push(sim.resolve_output(spec, &model, &module.name)?);
         }
         Ok(sim)
     }
 
     fn resolve_output(
         &self,
-        spec: &str,
+        spec: &OutputSpec,
         model: &amsvp_core::AcquiredModel,
+        module: &str,
     ) -> Result<usize, AmsError> {
-        let s = spec.trim();
-        let q = if let Some(inner) = s.strip_prefix("V(").and_then(|r| r.strip_suffix(')'))
-        {
-            let inner = inner.trim();
-            if model.graph.branch_id(inner).is_some() {
-                Quantity::branch_v(inner)
-            } else {
-                Quantity::node_v(inner)
-            }
-        } else if let Some(inner) = s.strip_prefix("I(").and_then(|r| r.strip_suffix(')'))
-        {
-            Quantity::branch_i(inner.trim())
-        } else {
-            Quantity::var(s)
+        let unknown = || AmsError::UnknownOutput {
+            spec: spec.to_string(),
+            module: module.to_string(),
         };
-        self.index
-            .get(&q)
-            .copied()
-            .ok_or_else(|| AmsError::UnknownOutput(spec.to_string()))
+        let q = spec.resolve(model).map_err(|_| unknown())?;
+        self.index.get(&q).copied().ok_or_else(unknown)
+    }
+
+    /// Reports counter deltas (`amsim.steps`, `amsim.newton_iterations`,
+    /// `amsim.jacobian_builds`) to the attached collector. Called
+    /// automatically on drop; call explicitly to snapshot mid-run.
+    pub fn flush_counters(&mut self) {
+        if self.obs.enabled() {
+            let (steps, newton, jacobian) = (self.steps, self.newton_iters, self.jacobian_builds);
+            self.obs_steps.flush(&self.obs, "amsim.steps", steps);
+            self.obs_newton
+                .flush(&self.obs, "amsim.newton_iterations", newton);
+            self.obs_jacobian
+                .flush(&self.obs, "amsim.jacobian_builds", jacobian);
+        }
     }
 
     /// Time step in seconds.
@@ -391,7 +526,10 @@ impl AmsSimulator {
             }
         }
         if !converged {
-            return Err(AmsError::NoConvergence { time: self.time });
+            return Err(AmsError::NoConvergence {
+                time: self.time,
+                iterations: 25,
+            });
         }
         // Accept the step: update history placeholders.
         for (k, inner) in self.ddt_inner.iter().enumerate() {
@@ -416,6 +554,12 @@ impl AmsSimulator {
     pub fn step(&mut self, inputs: &[f64]) {
         self.try_step(inputs)
             .unwrap_or_else(|e| panic!("amsim step failed: {e}"));
+    }
+}
+
+impl Drop for AmsSimulator {
+    fn drop(&mut self) {
+        self.flush_counters();
     }
 }
 
@@ -489,7 +633,11 @@ mod tests {
     fn rc_step_response() {
         let m = parse_module(RC1).unwrap();
         let tau = 5e3 * 25e-9;
-        let mut sim = AmsSimulator::new(&m, tau / 200.0, &["V(out)"]).unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(tau / 200.0)
+            .output("V(out)")
+            .build()
+            .unwrap();
         for _ in 0..200 {
             sim.step(&[1.0]);
         }
@@ -504,7 +652,11 @@ mod tests {
     #[test]
     fn system_dimensions_are_square() {
         let m = parse_module(RC1).unwrap();
-        let sim = AmsSimulator::new(&m, 1e-6, &["V(out)"]).unwrap();
+        let sim = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
         // RC1: unknowns = V[res], I[res], V[cap], I[cap], V(out) = 5.
         assert_eq!(sim.dim(), 5);
         assert_eq!(sim.input_names(), &["in".to_string()]);
@@ -513,7 +665,12 @@ mod tests {
     #[test]
     fn branch_quantities_observable() {
         let m = parse_module(RC1).unwrap();
-        let mut sim = AmsSimulator::new(&m, 1e-6, &["V(out)", "I(cap)"]).unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .output("I(cap)")
+            .build()
+            .unwrap();
         sim.step(&[1.0]);
         let out = sim.output(0);
         let icap = sim.output(1);
@@ -539,7 +696,11 @@ mod tests {
              endmodule",
         )
         .unwrap();
-        let mut sim = AmsSimulator::new(&m, 1e-6, &["V(out)"]).unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
         sim.step(&[0.7]);
         let vd = sim.output(0);
         // Diode drop in a sane region; the current balances through R.
@@ -553,12 +714,12 @@ mod tests {
     fn output_specs_validated() {
         let m = parse_module(RC1).unwrap();
         assert!(matches!(
-            AmsSimulator::new(&m, 1e-6, &["V(ghost)"]),
-            Err(AmsError::UnknownOutput(_))
+            Simulation::new(&m).dt(1e-6).output("V(ghost)").build(),
+            Err(AmsError::UnknownOutput { .. })
         ));
         assert!(matches!(
-            AmsSimulator::new(&m, -1.0, &["V(out)"]),
-            Err(AmsError::InvalidTimeStep(_))
+            Simulation::new(&m).dt(-1.0).output("V(out)").build(),
+            Err(AmsError::InvalidTimeStep { .. })
         ));
     }
 
@@ -575,7 +736,7 @@ mod tests {
              endmodule",
         )
         .unwrap();
-        let mut sim = AmsSimulator::new(&m, 1e-6, &["V(o)"]).unwrap();
+        let mut sim = Simulation::new(&m).dt(1e-6).output("V(o)").build().unwrap();
         sim.step(&[0.5]);
         assert!((sim.output(0) - 1.5).abs() < 1e-9);
     }
@@ -586,7 +747,7 @@ mod tests {
         let m = parse_module(RC1).unwrap();
         let tau = 5e3 * 25e-9;
         let dt = tau / 100.0;
-        let mut reference = AmsSimulator::new(&m, dt, &["V(out)"]).unwrap();
+        let mut reference = Simulation::new(&m).dt(dt).output("V(out)").build().unwrap();
         let mut abstracted = Abstraction::new(&m).dt(dt).build().unwrap();
         // Same discretization (backward Euler at the same step) ⇒ the two
         // must agree to solver tolerance, step by step.

@@ -8,137 +8,138 @@
 //!   circuit where both are stable;
 //! * co-simulation synchronization: in-process stepping vs a full thread
 //!   round trip per step;
-//! * raw DE-kernel event throughput.
+//! * raw DE-kernel event throughput, with the default no-op collector and
+//!   with a recording collector attached (the instrumentation ablation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use amsvp_bench::{abstracted_model, paper_circuits, Workload};
+use amsim::cosim::CosimHandle;
+use amsim::Simulation;
+use amsvp_bench::{abstracted_model, microbench, paper_circuits, Workload};
 use amsvp_core::circuits::{rc_ladder, SquareWave};
 use amsvp_core::{Abstraction, SolveMode};
-use amsim::cosim::CosimHandle;
-use amsim::AmsSimulator;
 use de::{Kernel, ProcCtx, Process, SimTime};
-use eln::{ElnSolver, Method};
+use eln::{Method, Transient};
+use obs::Obs;
 use vp::{build_tdf_cluster, new_bridge, CompiledAnalog};
 
-fn moc_wrapper_overhead(c: &mut Criterion) {
+fn moc_wrapper_overhead() {
     let wl = Workload::table1(1e-3);
     let spec = &paper_circuits()[1]; // RC1
     let stim = SquareWave::paper();
-    let mut group = c.benchmark_group("ablation_moc_overhead");
-    group.sample_size(20);
 
-    group.bench_function("bare_model_step", |b| {
+    {
         let mut model = abstracted_model(spec, &wl);
         let mut k = 0u64;
-        b.iter(|| {
+        microbench("ablation_moc_overhead", "bare_model_step", || {
             model.step(&[stim.value(k as f64 * wl.dt)]);
             k += 1;
         });
-    });
+    }
 
-    group.bench_function("tdf_cluster_step", |b| {
+    {
         let bridge = new_bridge();
-        let mut exec =
-            build_tdf_cluster(abstracted_model(spec, &wl), bridge, stim).unwrap();
-        b.iter(|| exec.run_iteration());
-    });
+        let mut exec = build_tdf_cluster(abstracted_model(spec, &wl), bridge, stim).unwrap();
+        microbench("ablation_moc_overhead", "tdf_cluster_step", || {
+            exec.run_iteration()
+        });
+    }
 
-    group.bench_function("de_kernel_step", |b| {
+    {
         let bridge = new_bridge();
         let mut k = Kernel::new();
-        k.register(CompiledAnalog::new(abstracted_model(spec, &wl), bridge, stim));
+        k.register(CompiledAnalog::new(
+            abstracted_model(spec, &wl),
+            bridge,
+            stim,
+        ));
         let step = SimTime::from_seconds(wl.dt);
         let mut t = SimTime::ZERO;
-        b.iter(|| {
+        microbench("ablation_moc_overhead", "de_kernel_step", || {
             t += step;
             k.run_until(t).unwrap();
         });
-    });
-    group.finish();
+    }
 }
 
-fn eln_method(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_eln_method");
-    group.sample_size(20);
+fn eln_method() {
     let spec = &paper_circuits()[2]; // RC20 — biggest MNA system
     let stim = SquareWave::paper();
     for (name, method) in [
         ("backward_euler", Method::BackwardEuler),
         ("trapezoidal", Method::Trapezoidal),
     ] {
-        group.bench_function(name, |b| {
-            let (net, sources, out) = &spec.eln;
-            let mut solver = ElnSolver::new(net, 50e-9, method).unwrap();
-            let mut k = 0u64;
-            b.iter(|| {
-                let u = stim.value(k as f64 * 50e-9);
-                for &s in sources {
-                    solver.set_source(s, u);
-                }
-                solver.step();
-                k += 1;
-                solver.node_voltage(*out)
-            });
+        let (net, sources, out) = &spec.eln;
+        let mut solver = Transient::new(net)
+            .dt(50e-9)
+            .method(method)
+            .build()
+            .unwrap();
+        let mut k = 0u64;
+        microbench("ablation_eln_method", name, || {
+            let u = stim.value(k as f64 * 50e-9);
+            for &s in sources {
+                solver.set_source(s, u);
+            }
+            solver.step();
+            k += 1;
+            solver.node_voltage(*out)
         });
     }
-    group.finish();
 }
 
-fn solve_mode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_solve_mode");
-    group.sample_size(20);
+fn solve_mode() {
     let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
     for (name, mode) in [
         ("implicit", SolveMode::Implicit),
         ("sequential", SolveMode::Sequential),
     ] {
-        group.bench_function(format!("elaborate_{name}"), |b| {
-            b.iter(|| {
-                Abstraction::new(&module)
-                    .dt(50e-9)
-                    .mode(mode)
-                    .output("V(out)")
-                    .assembly()
-                    .unwrap()
-            });
-        });
-        group.bench_function(format!("step_{name}"), |b| {
-            let mut model = Abstraction::new(&module)
+        microbench("ablation_solve_mode", &format!("elaborate_{name}"), || {
+            Abstraction::new(&module)
                 .dt(50e-9)
                 .mode(mode)
                 .output("V(out)")
-                .build()
-                .unwrap();
-            b.iter(|| {
-                model.step(&[1.0]);
-                model.output(0)
-            });
+                .assembly()
+                .unwrap()
+        });
+        let mut model = Abstraction::new(&module)
+            .dt(50e-9)
+            .mode(mode)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        microbench("ablation_solve_mode", &format!("step_{name}"), || {
+            model.step(&[1.0]);
+            model.output(0)
         });
     }
-    group.finish();
 }
 
-fn cosim_sync(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_cosim_sync");
-    group.sample_size(20);
+fn cosim_sync() {
     let spec = &paper_circuits()[1]; // RC1
-    group.bench_function("in_process_step", |b| {
-        let mut sim = AmsSimulator::new(&spec.module, 50e-9, &["V(out)"]).unwrap();
-        b.iter(|| {
+    {
+        let mut sim = Simulation::new(&spec.module)
+            .dt(50e-9)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        microbench("ablation_cosim_sync", "in_process_step", || {
             sim.step(&[1.0]);
             sim.output(0)
         });
-    });
-    group.bench_function("cosim_round_trip_step", |b| {
-        let sim = AmsSimulator::new(&spec.module, 50e-9, &["V(out)"]).unwrap();
+    }
+    {
+        let sim = Simulation::new(&spec.module)
+            .dt(50e-9)
+            .output("V(out)")
+            .build()
+            .unwrap();
         let mut handle = CosimHandle::spawn(sim, 1);
-        b.iter(|| handle.step(&[1.0]).unwrap());
-    });
-    group.finish();
+        microbench("ablation_cosim_sync", "cosim_round_trip_step", || {
+            handle.step(&[1.0]).unwrap()
+        });
+    }
 }
 
-fn kernel_throughput(c: &mut Criterion) {
+fn kernel_throughput() {
     struct Ticker {
         period: SimTime,
     }
@@ -147,28 +148,29 @@ fn kernel_throughput(c: &mut Criterion) {
             ctx.notify_self_after(self.period);
         }
     }
-    let mut group = c.benchmark_group("ablation_kernel");
-    group.sample_size(20);
-    group.bench_function("event_dispatch", |b| {
+    // The no-op collector is the default; the recording variant bounds the
+    // instrumentation cost when a collector is actually attached.
+    for (name, obs) in [
+        ("event_dispatch", Obs::none()),
+        ("event_dispatch_recording", Obs::recording()),
+    ] {
         let mut k = Kernel::new();
+        k.set_collector(obs);
         k.register(Ticker {
             period: SimTime::ns(10),
         });
         let mut t = SimTime::ZERO;
-        b.iter(|| {
+        microbench("ablation_kernel", name, || {
             t += SimTime::ns(10);
             k.run_until(t).unwrap();
         });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(
-    benches,
-    moc_wrapper_overhead,
-    eln_method,
-    solve_mode,
-    cosim_sync,
-    kernel_throughput
-);
-criterion_main!(benches);
+fn main() {
+    moc_wrapper_overhead();
+    eln_method();
+    solve_mode();
+    cosim_sync();
+    kernel_throughput();
+}

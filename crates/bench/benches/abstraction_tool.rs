@@ -4,37 +4,33 @@
 //! Benchmarks the complete pipeline — parse, acquire, enrich, assemble,
 //! compile — per benchmark circuit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use amsvp_bench::paper_circuits;
+use amsvp_bench::{microbench, paper_circuits};
 use amsvp_core::Abstraction;
 
-fn tool_runtime(c: &mut Criterion) {
-    let mut group = c.benchmark_group("abstraction_tool");
-    group.sample_size(20);
+fn main() {
     for spec in paper_circuits() {
-        group.bench_function(BenchmarkId::new("full_pipeline", spec.label), |b| {
-            b.iter(|| {
+        microbench(
+            "abstraction_tool",
+            &format!("full_pipeline/{}", spec.label),
+            || {
                 let module = vams_parser::parse_module(&spec.source).unwrap();
                 Abstraction::new(&module)
                     .dt(50e-9)
                     .output("V(out)")
                     .build()
                     .unwrap()
-            });
-        });
-        group.bench_function(BenchmarkId::new("assembly_only", spec.label), |b| {
-            b.iter(|| {
+            },
+        );
+        microbench(
+            "abstraction_tool",
+            &format!("assembly_only/{}", spec.label),
+            || {
                 Abstraction::new(&spec.module)
                     .dt(50e-9)
                     .output("V(out)")
                     .assembly()
                     .unwrap()
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, tool_runtime);
-criterion_main!(benches);

@@ -2,8 +2,7 @@
 //! enrichment O(|N|²)+O(|N|³)+O(|B|²), assemble/solve O(|N|³)) and of the
 //! generated models, over RC ladders of growing depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use amsvp_bench::microbench;
 use amsvp_core::acquire::acquire;
 use amsvp_core::assemble::assemble;
 use amsvp_core::circuits::rc_ladder;
@@ -12,44 +11,30 @@ use amsvp_core::{Abstraction, Quantity};
 
 const SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
-fn pipeline_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_pipeline");
-    group.sample_size(10);
+fn main() {
     for n in SIZES {
         let source = rc_ladder(n);
         let module = vams_parser::parse_module(&source).unwrap();
-        group.bench_function(BenchmarkId::new("acquire", n), |b| {
-            b.iter(|| acquire(&module).unwrap());
+        microbench("scaling_pipeline", &format!("acquire/{n}"), || {
+            acquire(&module).unwrap()
         });
         let model = acquire(&module).unwrap();
-        group.bench_function(BenchmarkId::new("enrich", n), |b| {
-            b.iter(|| enrich(&model).unwrap());
+        microbench("scaling_pipeline", &format!("enrich/{n}"), || {
+            enrich(&model).unwrap()
         });
-        group.bench_function(BenchmarkId::new("assemble", n), |b| {
-            b.iter(|| {
-                let mut table = enrich(&model).unwrap();
-                assemble(&mut table, &[Quantity::node_v("out")], 50e-9).unwrap()
-            });
+        microbench("scaling_pipeline", &format!("assemble/{n}"), || {
+            let mut table = enrich(&model).unwrap();
+            assemble(&mut table, &[Quantity::node_v("out")], 50e-9).unwrap()
         });
     }
-    group.finish();
-}
 
-fn generated_model_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_generated_step");
     for n in SIZES {
         let source = rc_ladder(n);
         let module = vams_parser::parse_module(&source).unwrap();
         let mut model = Abstraction::new(&module).dt(50e-9).build().unwrap();
-        group.bench_function(BenchmarkId::new("step", n), |b| {
-            b.iter(|| {
-                model.step(&[1.0]);
-                model.output(0)
-            });
+        microbench("scaling_generated_step", &format!("step/{n}"), || {
+            model.step(&[1.0]);
+            model.output(0)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, pipeline_steps, generated_model_step);
-criterion_main!(benches);

@@ -7,40 +7,48 @@
 //! (including NRMSE columns) are printed by `examples/table1.rs` and
 //! `examples/table2.rs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use amsvp_bench::{abstracted_model, paper_circuits, Workload};
+use amsim::Simulation;
+use amsvp_bench::{abstracted_model, microbench, paper_circuits, Workload};
 use amsvp_core::circuits::SquareWave;
-use amsim::AmsSimulator;
-use eln::{ElnSolver, Method};
+use eln::{Method, Transient};
 
-fn per_step(c: &mut Criterion) {
+fn main() {
     let wl = Workload::table1(1e-3);
     let stim = SquareWave::paper();
-    let mut group = c.benchmark_group("table1_per_step");
-    group.sample_size(20);
 
     for spec in paper_circuits() {
         // Verilog-AMS reference (interpreted Newton + LU per step).
-        group.bench_function(BenchmarkId::new("verilog_ams", spec.label), |b| {
-            let mut sim = AmsSimulator::new(&spec.module, wl.dt, &["V(out)"]).unwrap();
+        {
+            let mut sim = Simulation::new(&spec.module)
+                .dt(wl.dt)
+                .output("V(out)")
+                .build()
+                .unwrap();
             let mut buf = vec![0.0; spec.inputs];
             let mut k = 0u64;
-            b.iter(|| {
-                let u = stim.value(k as f64 * wl.dt);
-                buf.iter_mut().for_each(|v| *v = u);
-                sim.step(&buf);
-                k += 1;
-                sim.output(0)
-            });
-        });
+            microbench(
+                "table1_per_step",
+                &format!("verilog_ams/{}", spec.label),
+                || {
+                    let u = stim.value(k as f64 * wl.dt);
+                    buf.iter_mut().for_each(|v| *v = u);
+                    sim.step(&buf);
+                    k += 1;
+                    sim.output(0)
+                },
+            );
+        }
 
         // SystemC-AMS/ELN analogue: back-substitution solve per step.
-        group.bench_function(BenchmarkId::new("eln", spec.label), |b| {
+        {
             let (net, sources, out) = &spec.eln;
-            let mut solver = ElnSolver::new(net, wl.dt, Method::BackwardEuler).unwrap();
+            let mut solver = Transient::new(net)
+                .dt(wl.dt)
+                .method(Method::BackwardEuler)
+                .build()
+                .unwrap();
             let mut k = 0u64;
-            b.iter(|| {
+            microbench("table1_per_step", &format!("eln/{}", spec.label), || {
                 let u = stim.value(k as f64 * wl.dt);
                 for &s in sources {
                     solver.set_source(s, u);
@@ -49,25 +57,21 @@ fn per_step(c: &mut Criterion) {
                 k += 1;
                 solver.node_voltage(*out)
             });
-        });
+        }
 
         // Abstracted model (the numerics behind the TDF/DE/C++ rows); the
         // kernel overheads of TDF and DE are measured in `ablation.rs`.
-        group.bench_function(BenchmarkId::new("cpp", spec.label), |b| {
+        {
             let mut model = abstracted_model(&spec, &wl);
             let mut buf = vec![0.0; spec.inputs];
             let mut k = 0u64;
-            b.iter(|| {
+            microbench("table1_per_step", &format!("cpp/{}", spec.label), || {
                 let u = stim.value(k as f64 * wl.dt);
                 buf.iter_mut().for_each(|v| *v = u);
                 model.step(&buf);
                 k += 1;
                 model.output(0)
             });
-        });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, per_step);
-criterion_main!(benches);

@@ -6,33 +6,32 @@
 //! rows reproduce the shape of the paper's Table III. The printable
 //! complete table lives in `examples/table3.rs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use amsvp_bench::{abstracted_model, paper_circuits, Workload};
 use amsim::cosim::CosimHandle;
-use amsim::AmsSimulator;
+use amsim::Simulation;
+use amsvp_bench::{abstracted_model, microbench, paper_circuits, Workload};
 use de::SimTime;
-use eln::{ElnSolver, Method};
-use vp::{
-    monitor_firmware, run_de_platform, run_fast_platform, AnalogIntegration,
-    PlatformConfig,
-};
+use eln::{Method, Transient};
+use vp::{monitor_firmware, run_de_platform, run_fast_platform, AnalogIntegration, PlatformConfig};
 
 /// Simulated window per iteration (50 ns analog step ⇒ 2 000 analog
 /// steps and 5 000 CPU cycles).
 const SIM: f64 = 100e-6;
 
-fn platform(c: &mut Criterion) {
+fn main() {
     let wl = Workload::table1(SIM);
-    let mut group = c.benchmark_group("table3_platform");
-    group.sample_size(10);
 
     for spec in paper_circuits() {
         let config = PlatformConfig::new(monitor_firmware());
 
-        group.bench_function(BenchmarkId::new("cosim_vams", spec.label), |b| {
-            b.iter(|| {
-                let sim = AmsSimulator::new(&spec.module, wl.dt, &["V(out)"]).unwrap();
+        microbench(
+            "table3_platform",
+            &format!("cosim_vams/{}", spec.label),
+            || {
+                let sim = Simulation::new(&spec.module)
+                    .dt(wl.dt)
+                    .output("V(out)")
+                    .build()
+                    .unwrap();
                 let handle = CosimHandle::spawn(sim, 1);
                 run_de_platform(
                     AnalogIntegration::Cosim {
@@ -43,52 +42,45 @@ fn platform(c: &mut Criterion) {
                     &config,
                     SimTime::from_seconds(SIM),
                 )
-            });
+            },
+        );
+
+        microbench("table3_platform", &format!("eln/{}", spec.label), || {
+            let (net, sources, out) = &spec.eln;
+            let solver = Transient::new(net)
+                .dt(wl.dt)
+                .method(Method::BackwardEuler)
+                .build()
+                .unwrap();
+            run_de_platform(
+                AnalogIntegration::Eln {
+                    solver,
+                    sources: sources.clone(),
+                    output: *out,
+                },
+                &config,
+                SimTime::from_seconds(SIM),
+            )
         });
 
-        group.bench_function(BenchmarkId::new("eln", spec.label), |b| {
-            b.iter(|| {
-                let (net, sources, out) = &spec.eln;
-                let solver =
-                    ElnSolver::new(net, wl.dt, Method::BackwardEuler).unwrap();
-                run_de_platform(
-                    AnalogIntegration::Eln {
-                        solver,
-                        sources: sources.clone(),
-                        output: *out,
-                    },
-                    &config,
-                    SimTime::from_seconds(SIM),
-                )
-            });
+        microbench("table3_platform", &format!("tdf/{}", spec.label), || {
+            run_de_platform(
+                AnalogIntegration::Tdf(abstracted_model(&spec, &wl)),
+                &config,
+                SimTime::from_seconds(SIM),
+            )
         });
 
-        group.bench_function(BenchmarkId::new("tdf", spec.label), |b| {
-            b.iter(|| {
-                run_de_platform(
-                    AnalogIntegration::Tdf(abstracted_model(&spec, &wl)),
-                    &config,
-                    SimTime::from_seconds(SIM),
-                )
-            });
+        microbench("table3_platform", &format!("de/{}", spec.label), || {
+            run_de_platform(
+                AnalogIntegration::CompiledDe(abstracted_model(&spec, &wl)),
+                &config,
+                SimTime::from_seconds(SIM),
+            )
         });
 
-        group.bench_function(BenchmarkId::new("de", spec.label), |b| {
-            b.iter(|| {
-                run_de_platform(
-                    AnalogIntegration::CompiledDe(abstracted_model(&spec, &wl)),
-                    &config,
-                    SimTime::from_seconds(SIM),
-                )
-            });
-        });
-
-        group.bench_function(BenchmarkId::new("cpp", spec.label), |b| {
-            b.iter(|| run_fast_platform(abstracted_model(&spec, &wl), &config, SIM));
+        microbench("table3_platform", &format!("cpp/{}", spec.label), || {
+            run_fast_platform(abstracted_model(&spec, &wl), &config, SIM)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, platform);
-criterion_main!(benches);

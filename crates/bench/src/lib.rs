@@ -8,11 +8,12 @@
 
 use std::time::{Duration, Instant};
 
+use amsim::Simulation;
 use amsvp_core::circuits::{self, SquareWave};
 use amsvp_core::{Abstraction, SignalFlowModel};
-use amsim::AmsSimulator;
 use de::{Kernel, SimTime};
-use eln::{ElnNetwork, ElnSolver, Method, NodeId, SourceId};
+use eln::{ElnNetwork, Method, NodeId, SourceId, Transient};
+use obs::Obs;
 use vams_ast::Module;
 use vp::{build_tdf_cluster, new_bridge, CompiledAnalog, ElnAnalog};
 
@@ -88,9 +89,16 @@ impl Workload {
 
 /// Builds the abstracted model of a circuit at the workload's Δt.
 pub fn abstracted_model(spec: &CircuitSpec, wl: &Workload) -> SignalFlowModel {
+    abstracted_model_with(spec, wl, &Obs::none())
+}
+
+/// [`abstracted_model`] with an instrumentation collector attached, so
+/// the pipeline reports per-phase timings (`pipeline/acquire`, ...).
+pub fn abstracted_model_with(spec: &CircuitSpec, wl: &Workload, obs: &Obs) -> SignalFlowModel {
     Abstraction::new(&spec.module)
         .dt(wl.dt)
         .output("V(out)")
+        .collector(obs.clone())
         .build()
         .expect("paper circuits abstract cleanly")
 }
@@ -137,11 +145,26 @@ impl Level {
 ///
 /// Panics if a solver fails mid-run (paper circuits never do).
 pub fn run_isolated(spec: &CircuitSpec, level: Level, wl: &Workload) -> Duration {
+    run_isolated_with(spec, level, wl, &Obs::none())
+}
+
+/// [`run_isolated`] with an instrumentation collector: every substrate
+/// reports its kernel counters (`de.*`, `tdf.*`, `eln.*`, `amsim.*`) and
+/// the pipeline its per-phase timings.
+///
+/// # Panics
+///
+/// Panics if a solver fails mid-run (paper circuits never do).
+pub fn run_isolated_with(spec: &CircuitSpec, level: Level, wl: &Workload, obs: &Obs) -> Duration {
     let steps = wl.steps();
     match level {
         Level::VamsRef => {
-            let mut sim =
-                AmsSimulator::new(&spec.module, wl.dt, &["V(out)"]).expect("lowers");
+            let mut sim = Simulation::new(&spec.module)
+                .dt(wl.dt)
+                .output("V(out)")
+                .collector(obs.clone())
+                .build()
+                .expect("lowers");
             let inputs = vec![0.0; spec.inputs];
             let start = Instant::now();
             let mut t = 0.0;
@@ -152,14 +175,20 @@ pub fn run_isolated(spec: &CircuitSpec, level: Level, wl: &Workload) -> Duration
                 sim.step(&buf);
                 t += wl.dt;
             }
+            sim.flush_counters();
             start.elapsed()
         }
         Level::Eln => {
             let (net, sources, out) = &spec.eln;
-            let solver =
-                ElnSolver::new(net, wl.dt, Method::BackwardEuler).expect("assembles");
+            let solver = Transient::new(net)
+                .dt(wl.dt)
+                .method(Method::BackwardEuler)
+                .collector(obs.clone())
+                .build()
+                .expect("assembles");
             let bridge = new_bridge();
             let mut k = Kernel::new();
+            k.set_collector(obs.clone());
             k.register(ElnAnalog::new(
                 solver,
                 sources.clone(),
@@ -173,18 +202,19 @@ pub fn run_isolated(spec: &CircuitSpec, level: Level, wl: &Workload) -> Duration
             start.elapsed()
         }
         Level::Tdf => {
-            let model = abstracted_model(spec, wl);
+            let model = abstracted_model_with(spec, wl, obs);
             let bridge = new_bridge();
-            let mut exec =
-                build_tdf_cluster(model, bridge, wl.stim).expect("fixed pipeline");
+            let mut exec = build_tdf_cluster(model, bridge, wl.stim).expect("fixed pipeline");
+            exec.set_collector(obs.clone());
             let start = Instant::now();
             exec.run_until(SimTime::from_seconds(wl.sim_time));
             start.elapsed()
         }
         Level::De => {
-            let model = abstracted_model(spec, wl);
+            let model = abstracted_model_with(spec, wl, obs);
             let bridge = new_bridge();
             let mut k = Kernel::new();
+            k.set_collector(obs.clone());
             k.register(CompiledAnalog::new(model, bridge, wl.stim));
             let start = Instant::now();
             k.run_until(SimTime::from_seconds(wl.sim_time - wl.dt / 2.0))
@@ -192,7 +222,7 @@ pub fn run_isolated(spec: &CircuitSpec, level: Level, wl: &Workload) -> Duration
             start.elapsed()
         }
         Level::Cpp => {
-            let mut model = abstracted_model(spec, wl);
+            let mut model = abstracted_model_with(spec, wl, obs);
             let mut buf = vec![0.0; spec.inputs];
             let start = Instant::now();
             let mut t = 0.0;
@@ -202,14 +232,20 @@ pub fn run_isolated(spec: &CircuitSpec, level: Level, wl: &Workload) -> Duration
                 model.step(&buf);
                 t += wl.dt;
             }
-            start.elapsed()
+            let elapsed = start.elapsed();
+            obs.time("bench.cpp_loop", elapsed.as_secs_f64());
+            elapsed
         }
     }
 }
 
 /// Waveform of the conservative reference, sampled every step.
 pub fn reference_waveform(spec: &CircuitSpec, wl: &Workload, steps: usize) -> Vec<f64> {
-    let mut sim = AmsSimulator::new(&spec.module, wl.dt, &["V(out)"]).expect("lowers");
+    let mut sim = Simulation::new(&spec.module)
+        .dt(wl.dt)
+        .output("V(out)")
+        .build()
+        .expect("lowers");
     let mut buf = vec![0.0; spec.inputs];
     let mut out = Vec::with_capacity(steps);
     let mut t = 0.0;
@@ -242,7 +278,11 @@ pub fn abstracted_waveform(spec: &CircuitSpec, wl: &Workload, steps: usize) -> V
 /// Waveform of the hand-built ELN model.
 pub fn eln_waveform(spec: &CircuitSpec, wl: &Workload, steps: usize) -> Vec<f64> {
     let (net, sources, node) = &spec.eln;
-    let mut solver = ElnSolver::new(net, wl.dt, Method::BackwardEuler).expect("assembles");
+    let mut solver = Transient::new(net)
+        .dt(wl.dt)
+        .method(Method::BackwardEuler)
+        .build()
+        .expect("assembles");
     let mut out = Vec::with_capacity(steps);
     let mut t = 0.0;
     for _ in 0..steps {
@@ -275,6 +315,13 @@ pub struct Row {
 /// Computes the full Table I (all circuits × all levels) at a scaled
 /// simulated time, including NRMSE over `accuracy_steps` samples.
 pub fn table1_rows(sim_time: f64, accuracy_steps: usize) -> Vec<Row> {
+    table1_rows_with(sim_time, accuracy_steps, &Obs::none())
+}
+
+/// [`table1_rows`] with an instrumentation collector threaded through
+/// every level run; pair with [`obs::Obs::recording`] and
+/// [`obs::Report::write_json`] to emit `BENCH_obs.json`.
+pub fn table1_rows_with(sim_time: f64, accuracy_steps: usize, obs: &Obs) -> Vec<Row> {
     let wl = Workload::table1(sim_time);
     let mut rows = Vec::new();
     for spec in paper_circuits() {
@@ -294,12 +341,18 @@ pub fn table1_rows(sim_time: f64, accuracy_steps: usize) -> Vec<Row> {
         let nrmse_abs = linalg::nrmse(&abstracted, &reference);
         let nrmse_eln = linalg::nrmse(&eln, &reference);
 
-        let baseline = run_isolated(&spec, Level::VamsRef, &wl);
-        for level in [Level::VamsRef, Level::Eln, Level::Tdf, Level::De, Level::Cpp] {
+        let baseline = run_isolated_with(&spec, Level::VamsRef, &wl, obs);
+        for level in [
+            Level::VamsRef,
+            Level::Eln,
+            Level::Tdf,
+            Level::De,
+            Level::Cpp,
+        ] {
             let wall = if level == Level::VamsRef {
                 baseline
             } else {
-                run_isolated(&spec, level, &wl)
+                run_isolated_with(&spec, level, &wl, obs)
             };
             let nrmse = match level {
                 Level::VamsRef => None,
@@ -364,8 +417,7 @@ pub struct PlatformRow {
 pub fn table3_rows(sim_time: f64) -> Vec<PlatformRow> {
     use amsim::cosim::CosimHandle;
     use vp::{
-        monitor_firmware, run_de_platform, run_fast_platform, AnalogIntegration,
-        PlatformConfig,
+        monitor_firmware, run_de_platform, run_fast_platform, AnalogIntegration, PlatformConfig,
     };
     let wl = Workload::table1(sim_time);
     let config = PlatformConfig::new(monitor_firmware());
@@ -377,7 +429,10 @@ pub fn table3_rows(sim_time: f64) -> Vec<PlatformRow> {
             (
                 "Verilog-AMS cosim",
                 Box::new(|| {
-                    let sim = AmsSimulator::new(&spec.module, wl.dt, &["V(out)"])
+                    let sim = Simulation::new(&spec.module)
+                        .dt(wl.dt)
+                        .output("V(out)")
+                        .build()
                         .expect("lowers");
                     let handle = CosimHandle::spawn(sim, 1);
                     let start = Instant::now();
@@ -397,7 +452,10 @@ pub fn table3_rows(sim_time: f64) -> Vec<PlatformRow> {
                 "SC-AMS/ELN",
                 Box::new(|| {
                     let (net, sources, out) = &spec.eln;
-                    let solver = ElnSolver::new(net, wl.dt, Method::BackwardEuler)
+                    let solver = Transient::new(net)
+                        .dt(wl.dt)
+                        .method(Method::BackwardEuler)
+                        .build()
                         .expect("assembles");
                     let start = Instant::now();
                     let report = run_de_platform(
@@ -520,6 +578,35 @@ pub fn format_rows(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Minimal stand-in for a statistical benchmark harness (criterion is
+/// not vendored): warms `f` up briefly, then times batches until ~50 ms
+/// of samples accumulate and prints the mean per-iteration cost.
+///
+/// Used by the plain-`main` programs under `benches/`.
+pub fn microbench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    let warm = Instant::now();
+    let mut batch = 0u64;
+    while batch < 5 || warm.elapsed() < Duration::from_millis(10) {
+        std::hint::black_box(f());
+        batch += 1;
+    }
+    let mut total = Duration::ZERO;
+    let mut count = 0u64;
+    while total < Duration::from_millis(50) {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        total += start.elapsed();
+        count += batch;
+    }
+    let per = total.as_secs_f64() / count as f64;
+    println!(
+        "{group}/{name:<34} {:>12.0} ns/iter ({count} iters)",
+        per * 1e9
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,8 +615,13 @@ mod tests {
     fn paper_circuits_build_at_every_level() {
         let wl = Workload::table1(20e-6); // 400 steps — smoke test
         for spec in paper_circuits() {
-            for level in [Level::VamsRef, Level::Eln, Level::Tdf, Level::De, Level::Cpp]
-            {
+            for level in [
+                Level::VamsRef,
+                Level::Eln,
+                Level::Tdf,
+                Level::De,
+                Level::Cpp,
+            ] {
                 let wall = run_isolated(&spec, level, &wl);
                 assert!(wall.as_nanos() > 0, "{} {:?}", spec.label, level);
             }

@@ -100,7 +100,9 @@ impl Ctx {
         } else if self.node_names.contains(node) {
             Ok(Expr::var(Quantity::node_v(node)))
         } else {
-            Err(AbstractError::UnknownIdentifier(node.to_string()))
+            Err(AbstractError::UnknownIdentifier {
+                name: node.to_string(),
+            })
         }
     }
 
@@ -112,7 +114,7 @@ impl Ctx {
                 } else if self.reals.contains(name) {
                     Ok(Expr::var(Quantity::var(name)))
                 } else {
-                    Err(AbstractError::UnknownIdentifier(name.clone()))
+                    Err(AbstractError::UnknownIdentifier { name: name.clone() })
                 }
             }
             VamsRef::Potential(a, None) => {
@@ -129,7 +131,10 @@ impl Ctx {
                 if self.branch_names.contains(a) {
                     Ok(Expr::var(Quantity::branch_i(a)))
                 } else {
-                    Err(AbstractError::NoSuchBranch(a.clone(), String::new()))
+                    Err(AbstractError::NoSuchBranch {
+                        from: a.clone(),
+                        to: None,
+                    })
                 }
             }
             VamsRef::Flow(a, Some(b)) => {
@@ -138,7 +143,10 @@ impl Ctx {
                 } else if let Some(name) = self.pair_branch.get(&(b.clone(), a.clone())) {
                     Ok(-Expr::var(Quantity::branch_i(name)))
                 } else {
-                    Err(AbstractError::NoSuchBranch(a.clone(), b.clone()))
+                    Err(AbstractError::NoSuchBranch {
+                        from: a.clone(),
+                        to: Some(b.clone()),
+                    })
                 }
             }
         }
@@ -150,9 +158,7 @@ impl Ctx {
             Expr::Var(r) => self.lower_ref(r)?,
             Expr::Prev(..) => unreachable!("parser never produces Prev"),
             Expr::Neg(a) => -self.lower_expr(a)?,
-            Expr::Bin(op, a, b) => {
-                Expr::bin(*op, self.lower_expr(a)?, self.lower_expr(b)?)
-            }
+            Expr::Bin(op, a, b) => Expr::bin(*op, self.lower_expr(a)?, self.lower_expr(b)?),
             Expr::Call(f, args) => Expr::Call(
                 *f,
                 args.iter()
@@ -188,7 +194,9 @@ pub fn acquire(module: &Module) -> Result<AcquiredModel, AbstractError> {
                 VamsRef::Ident(n) => params.get(n).copied(),
                 _ => None,
             })
-            .map_err(|_| AbstractError::UnresolvedParameter(p.name.clone()))?;
+            .map_err(|_| AbstractError::UnresolvedParameter {
+                name: p.name.clone(),
+            })?;
         params.insert(p.name.clone(), value);
     }
 
@@ -202,10 +210,14 @@ pub fn acquire(module: &Module) -> Result<AcquiredModel, AbstractError> {
     for b in &module.branches {
         let pos = graph
             .node_id(&b.pos)
-            .ok_or_else(|| AbstractError::UnknownIdentifier(b.pos.clone()))?;
+            .ok_or_else(|| AbstractError::UnknownIdentifier {
+                name: b.pos.clone(),
+            })?;
         let neg = graph
             .node_id(&b.neg)
-            .ok_or_else(|| AbstractError::UnknownIdentifier(b.neg.clone()))?;
+            .ok_or_else(|| AbstractError::UnknownIdentifier {
+                name: b.neg.clone(),
+            })?;
         graph.add_branch(&b.name, pos, neg)?;
         pair_branch
             .entry((b.pos.clone(), b.neg.clone()))
@@ -231,19 +243,17 @@ pub fn acquire(module: &Module) -> Result<AcquiredModel, AbstractError> {
             for s in stmts {
                 match &s.kind {
                     StmtKind::Contribution { target, .. } => {
-                        if let VamsRef::Potential(a, Some(b)) | VamsRef::Flow(a, Some(b)) =
-                            target
-                        {
+                        if let VamsRef::Potential(a, Some(b)) | VamsRef::Flow(a, Some(b)) = target {
                             if !pair_branch.contains_key(&(a.clone(), b.clone()))
                                 && !pair_branch.contains_key(&(b.clone(), a.clone()))
                             {
                                 let name = format!("src{counter}_{a}_{b}");
                                 *counter += 1;
                                 let pos = graph.node_id(a).ok_or_else(|| {
-                                    AbstractError::UnknownIdentifier(a.clone())
+                                    AbstractError::UnknownIdentifier { name: a.clone() }
                                 })?;
                                 let neg = graph.node_id(b).ok_or_else(|| {
-                                    AbstractError::UnknownIdentifier(b.clone())
+                                    AbstractError::UnknownIdentifier { name: b.clone() }
                                 })?;
                                 graph.add_branch(&name, pos, neg)?;
                                 pair_branch.insert((a.clone(), b.clone()), name.clone());
@@ -321,10 +331,7 @@ pub fn acquire(module: &Module) -> Result<AcquiredModel, AbstractError> {
         .iter()
         .filter_map(|g| graph.node_id(g))
         .collect();
-    let input_nodes: HashSet<NodeId> = inputs
-        .iter()
-        .filter_map(|p| graph.node_id(p))
-        .collect();
+    let input_nodes: HashSet<NodeId> = inputs.iter().filter_map(|p| graph.node_id(p)).collect();
 
     Ok(AcquiredModel {
         name: module.name.clone(),
@@ -351,9 +358,9 @@ fn lower_stmts(
         match &s.kind {
             StmtKind::Contribution { target, value } => {
                 if inside_if {
-                    return Err(AbstractError::ConditionalContribution(
-                        target.to_string(),
-                    ));
+                    return Err(AbstractError::ConditionalContribution {
+                        target: target.to_string(),
+                    });
                 }
                 let (target_q, target_expr) = lower_target(target, ctx)?;
                 let rhs = ctx.lower_expr(value)?;
@@ -369,7 +376,7 @@ fn lower_stmts(
             }
             StmtKind::Assign { name, value } => {
                 if !ctx.reals.contains(name) {
-                    return Err(AbstractError::UnknownIdentifier(name.clone()));
+                    return Err(AbstractError::UnknownIdentifier { name: name.clone() });
                 }
                 sf.push(SfStmt::Assign {
                     var: name.clone(),
@@ -400,9 +407,7 @@ fn lower_stmts(
 /// form used on the relation's left side.
 fn lower_target(target: &VamsRef, ctx: &Ctx) -> Result<(Quantity, QExpr), AbstractError> {
     let q = match target {
-        VamsRef::Potential(a, None) if ctx.branch_names.contains(a) => {
-            Quantity::branch_v(a)
-        }
+        VamsRef::Potential(a, None) if ctx.branch_names.contains(a) => Quantity::branch_v(a),
         VamsRef::Flow(a, None) if ctx.branch_names.contains(a) => Quantity::branch_i(a),
         VamsRef::Potential(a, Some(b)) => {
             let name = branch_for_pair(ctx, a, b)?;
@@ -413,7 +418,9 @@ fn lower_target(target: &VamsRef, ctx: &Ctx) -> Result<(Quantity, QExpr), Abstra
             Quantity::branch_i(name)
         }
         other => {
-            return Err(AbstractError::UnknownIdentifier(other.to_string()));
+            return Err(AbstractError::UnknownIdentifier {
+                name: other.to_string(),
+            });
         }
     };
     Ok((q.clone(), Expr::var(q)))
@@ -424,7 +431,10 @@ fn branch_for_pair(ctx: &Ctx, a: &str, b: &str) -> Result<String, AbstractError>
         .get(&(a.to_string(), b.to_string()))
         .or_else(|| ctx.pair_branch.get(&(b.to_string(), a.to_string())))
         .cloned()
-        .ok_or_else(|| AbstractError::NoSuchBranch(a.to_string(), b.to_string()))
+        .ok_or_else(|| AbstractError::NoSuchBranch {
+            from: a.to_string(),
+            to: Some(b.to_string()),
+        })
 }
 
 /// Folds sequential signal-flow assignments into one final definition per
@@ -479,8 +489,8 @@ fn fold_into(
                     }
                 }
                 for v in defs.keys() {
-                    let changed = then_defs.get(v) != defs.get(v)
-                        || else_defs.get(v) != defs.get(v);
+                    let changed =
+                        then_defs.get(v) != defs.get(v) || else_defs.get(v) != defs.get(v);
                     if changed && !touched.contains(v) {
                         touched.push(v.clone());
                     }
@@ -491,12 +501,12 @@ fn fold_into(
                         .get(&v)
                         .cloned()
                         .or_else(|| before.clone())
-                        .ok_or_else(|| AbstractError::UnknownIdentifier(v.clone()))?;
+                        .ok_or_else(|| AbstractError::UnknownIdentifier { name: v.clone() })?;
                     let ev = else_defs
                         .get(&v)
                         .cloned()
                         .or_else(|| before.clone())
-                        .ok_or_else(|| AbstractError::UnknownIdentifier(v.clone()))?;
+                        .ok_or_else(|| AbstractError::UnknownIdentifier { name: v.clone() })?;
                     if !defs.contains_key(&v) {
                         order.push(v.clone());
                     }
@@ -518,20 +528,15 @@ fn fold_into(
 
 /// Replaces every `Var` leaf with its current definition; references to
 /// variables never assigned are an error.
-fn subst_vars(
-    e: &QExpr,
-    defs: &HashMap<String, QExpr>,
-) -> Result<QExpr, AbstractError> {
+fn subst_vars(e: &QExpr, defs: &HashMap<String, QExpr>) -> Result<QExpr, AbstractError> {
     Ok(match e {
         Expr::Var(Quantity::Var(name)) => defs
             .get(name)
             .cloned()
-            .ok_or_else(|| AbstractError::UnknownIdentifier(name.clone()))?,
+            .ok_or_else(|| AbstractError::UnknownIdentifier { name: name.clone() })?,
         Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => e.clone(),
         Expr::Neg(a) => -subst_vars(a, defs)?,
-        Expr::Bin(op, a, b) => {
-            Expr::bin(*op, subst_vars(a, defs)?, subst_vars(b, defs)?)
-        }
+        Expr::Bin(op, a, b) => Expr::bin(*op, subst_vars(a, defs)?, subst_vars(b, defs)?),
         Expr::Call(f, args) => Expr::Call(
             *f,
             args.iter()
@@ -710,7 +715,10 @@ mod tests {
         )
         .unwrap();
         let err = acquire(&m).unwrap_err();
-        assert!(matches!(err, AbstractError::ConditionalContribution(_)));
+        assert!(matches!(
+            err,
+            AbstractError::ConditionalContribution { target: _ }
+        ));
     }
 
     #[test]
@@ -723,7 +731,9 @@ mod tests {
         .unwrap();
         assert_eq!(
             acquire(&m).unwrap_err(),
-            AbstractError::UnknownIdentifier("mystery".into())
+            AbstractError::UnknownIdentifier {
+                name: "mystery".into()
+            }
         );
     }
 
@@ -737,7 +747,7 @@ mod tests {
         .unwrap();
         assert!(matches!(
             acquire(&m).unwrap_err(),
-            AbstractError::NoSuchBranch(_, _)
+            AbstractError::NoSuchBranch { from: _, to: _ }
         ));
     }
 
@@ -755,7 +765,7 @@ mod tests {
         .unwrap();
         assert!(matches!(
             acquire(&m).unwrap_err(),
-            AbstractError::UnknownIdentifier(_)
+            AbstractError::UnknownIdentifier { name: _ }
         ));
     }
 }

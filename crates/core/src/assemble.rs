@@ -234,7 +234,7 @@ pub fn assemble_with(
     mode: SolveMode,
 ) -> Result<Assembly, AbstractError> {
     if !(dt.is_finite() && dt > 0.0) {
-        return Err(AbstractError::InvalidTimeStep(dt));
+        return Err(AbstractError::InvalidTimeStep { dt });
     }
     let matching = compute_matching(table);
     let mut asm = Assembler {
@@ -251,14 +251,18 @@ pub fn assemble_with(
     };
     for q in outputs {
         if q.is_input() {
-            return Err(AbstractError::UndefinedOutput(q.clone()));
+            return Err(AbstractError::UndefinedOutput {
+                quantity: q.clone(),
+            });
         }
         match asm.define(q) {
             Ok(()) => {}
-            Err(Fail::Soft(AbstractError::NoEquationFor(e)))
+            Err(Fail::Soft(AbstractError::NoEquationFor { quantity: e }))
                 if e == *q && asm.table.candidates(q).is_empty() =>
             {
-                return Err(AbstractError::UndefinedOutput(q.clone()))
+                return Err(AbstractError::UndefinedOutput {
+                    quantity: q.clone(),
+                })
             }
             Err(Fail::Soft(e)) | Err(Fail::Hard(e)) => return Err(e),
         }
@@ -287,10 +291,14 @@ impl Assembler<'_> {
             candidates.sort_by_key(|&(_, c)| usize::from(c != preferred));
         }
         if candidates.is_empty() {
-            return Err(Fail::Soft(AbstractError::NoEquationFor(q.clone())));
+            return Err(Fail::Soft(AbstractError::NoEquationFor {
+                quantity: q.clone(),
+            }));
         }
         self.stack.push(q.clone());
-        let mut last = AbstractError::NoEquationFor(q.clone());
+        let mut last = AbstractError::NoEquationFor {
+            quantity: q.clone(),
+        };
         for (eq, cls) in candidates {
             self.attempts += 1;
             if self.attempts > SEARCH_BUDGET {
@@ -304,7 +312,10 @@ impl Assembler<'_> {
                 Ok(rhs) => {
                     self.stack.pop();
                     if std::env::var("AMSVP_DEBUG").is_ok() {
-                        eprintln!("DEFINE {q} := {rhs}  [stack: {:?}]", self.stack.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+                        eprintln!(
+                            "DEFINE {q} := {rhs}  [stack: {:?}]",
+                            self.stack.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+                        );
                     }
                     let refs_ancestor = {
                         let mut found = false;
@@ -363,8 +374,11 @@ impl Assembler<'_> {
         // can surface current references to quantities that completed as
         // inline definitions since; a second splice resolves them.
         let disc = self.splice(&disc)?;
-        let solved = solve_self(q, &disc)
-            .ok_or_else(|| Fail::Soft(AbstractError::NonlinearLoop(q.clone())))?;
+        let solved = solve_self(q, &disc).ok_or_else(|| {
+            Fail::Soft(AbstractError::NonlinearLoop {
+                quantity: q.clone(),
+            })
+        })?;
         Ok(solved.simplified())
     }
 
@@ -416,9 +430,7 @@ impl Assembler<'_> {
             ),
             Expr::Ddt(a) => Expr::ddt(self.splice(a)?),
             Expr::Idt(a) => Expr::idt(self.splice(a)?),
-            Expr::Cond(c, t, el) => {
-                Expr::cond(self.splice(c)?, self.splice(t)?, self.splice(el)?)
-            }
+            Expr::Cond(c, t, el) => Expr::cond(self.splice(c)?, self.splice(t)?, self.splice(el)?),
         })
     }
 
@@ -446,9 +458,7 @@ impl Assembler<'_> {
             },
             Expr::Num(_) | Expr::Prev(..) => e.clone(),
             Expr::Neg(a) => -self.resolve_inline(a),
-            Expr::Bin(op, a, b) => {
-                Expr::bin(*op, self.resolve_inline(a), self.resolve_inline(b))
-            }
+            Expr::Bin(op, a, b) => Expr::bin(*op, self.resolve_inline(a), self.resolve_inline(b)),
             Expr::Call(f, args) => {
                 Expr::Call(*f, args.iter().map(|a| self.resolve_inline(a)).collect())
             }
@@ -507,7 +517,7 @@ impl Assembler<'_> {
                     _ => {
                         // A delayed reference to a quantity that was never
                         // defined cannot be satisfied.
-                        return Err(AbstractError::NoEquationFor(q));
+                        return Err(AbstractError::NoEquationFor { quantity: q });
                     }
                 }
             }
@@ -567,19 +577,11 @@ mod tests {
                     .eval(&mut |v: &Quantity, delay| {
                         if delay == 0 {
                             if let Quantity::Input(n) = v {
-                                return inputs
-                                    .iter()
-                                    .find(|(k, _)| k == n)
-                                    .map(|&(_, x)| x);
+                                return inputs.iter().find(|(k, _)| k == n).map(|&(_, x)| x);
                             }
                             state.get(&(v.clone(), 0)).copied()
                         } else {
-                            Some(
-                                state
-                                    .get(&(v.clone(), delay))
-                                    .copied()
-                                    .unwrap_or(0.0),
-                            )
+                            Some(state.get(&(v.clone(), delay)).copied().unwrap_or(0.0))
                         }
                     })
                     .unwrap();
@@ -587,10 +589,8 @@ mod tests {
             }
             result = state[&(out.clone(), 0)];
             // Shift delays (support up to 2).
-            let snapshot: Vec<((Quantity, u32), f64)> = state
-                .iter()
-                .map(|(k, &v)| (k.clone(), v))
-                .collect();
+            let snapshot: Vec<((Quantity, u32), f64)> =
+                state.iter().map(|(k, &v)| (k.clone(), v)).collect();
             for ((q, d), v) in snapshot {
                 if d == 0 {
                     state.insert((q.clone(), 1), v);
@@ -668,7 +668,10 @@ mod tests {
         assert!(
             asm.assignments.len() >= 2,
             "internal state n1 must be materialized: {:?}",
-            asm.assignments.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()
+            asm.assignments
+                .iter()
+                .map(|(q, _)| q.clone())
+                .collect::<Vec<_>>()
         );
         // Long-run step response settles to 1 (no leakage paths).
         let v = run(&asm, &[("in", 1.0)], 4000);
@@ -691,7 +694,10 @@ mod tests {
           endmodule";
         let asm = assemble_src(src, &[Quantity::node_v("out")], 1e-6);
         let v = run(&asm, &[("in", 4.0)], 3);
-        assert!((v - 3.0).abs() < 1e-9, "4 V over 1k/3k divides to 3 V, got {v}");
+        assert!(
+            (v - 3.0).abs() < 1e-9,
+            "4 V over 1k/3k divides to 3 V, got {v}"
+        );
     }
 
     #[test]
@@ -718,7 +724,10 @@ mod tests {
         // Crucially the value is already correct at the FIRST step — no
         // delayed relaxation through the loop.
         let v1 = run(&asm, &[("in", 1.0)], 1);
-        assert!((v1 + 4.0).abs() < 1e-3, "implicit solve at step 1, got {v1}");
+        assert!(
+            (v1 + 4.0).abs() < 1e-3,
+            "implicit solve at step 1, got {v1}"
+        );
     }
 
     #[test]
@@ -746,9 +755,9 @@ mod tests {
         for (q, e) in &asm.assignments {
             assert!(q.name() != "o2", "o2 must not be defined");
             assert!(
-                !e.variables().iter().any(|v| v.name() == "o2"
-                    || v.name() == "rb"
-                    || v.name() == "cb"),
+                !e.variables()
+                    .iter()
+                    .any(|v| v.name() == "o2" || v.name() == "rb" || v.name() == "cb"),
                 "cone for o1 must not touch the o2 branch: {q} = {e}"
             );
         }
@@ -817,11 +826,11 @@ mod tests {
         let mut table = enrich(&model).unwrap();
         assert!(matches!(
             assemble(&mut table, &[Quantity::node_v("out")], 0.0),
-            Err(AbstractError::InvalidTimeStep(_))
+            Err(AbstractError::InvalidTimeStep { dt: _ })
         ));
         assert!(matches!(
             assemble(&mut table, &[Quantity::node_v("out")], f64::NAN),
-            Err(AbstractError::InvalidTimeStep(_))
+            Err(AbstractError::InvalidTimeStep { dt: _ })
         ));
     }
 
@@ -832,12 +841,12 @@ mod tests {
         let mut table = enrich(&model).unwrap();
         assert!(matches!(
             assemble(&mut table, &[Quantity::node_v("ghost")], 1e-6),
-            Err(AbstractError::UndefinedOutput(_))
+            Err(AbstractError::UndefinedOutput { quantity: _ })
         ));
         let mut table2 = enrich(&model).unwrap();
         assert!(matches!(
             assemble(&mut table2, &[Quantity::input("in")], 1e-6),
-            Err(AbstractError::UndefinedOutput(_))
+            Err(AbstractError::UndefinedOutput { quantity: _ })
         ));
     }
 }

@@ -237,9 +237,10 @@ mod tests {
         assert_eq!(labels, vec!["2IN", "RC1", "RC20", "OA"]);
         for (label, src, inputs) in benches {
             let m = parse_module(&src).unwrap();
-            let model = Abstraction::new(&m).dt(50e-9).build().unwrap_or_else(|e| {
-                panic!("{label} must abstract cleanly: {e}")
-            });
+            let model = Abstraction::new(&m)
+                .dt(50e-9)
+                .build()
+                .unwrap_or_else(|e| panic!("{label} must abstract cleanly: {e}"));
             assert_eq!(model.input_names().len(), inputs, "{label} input count");
         }
     }

@@ -200,11 +200,8 @@ mod tests {
 
     #[test]
     fn operators_and_functions_render() {
-        let e: QExpr = Expr::call2(
-            Func::Max,
-            Expr::var(Quantity::var("x")),
-            Expr::num(0.0),
-        ) + Expr::call1(Func::Exp, Expr::prev(Quantity::var("x")));
+        let e: QExpr = Expr::call2(Func::Max, Expr::var(Quantity::var("x")), Expr::num(0.0))
+            + Expr::call1(Func::Exp, Expr::prev(Quantity::var("x")));
         let s = cpp_expr(&e);
         assert_eq!(s, "(std::fmax(var_x, 0.0) + std::exp(var_x_p1))");
     }
@@ -212,11 +209,7 @@ mod tests {
     #[test]
     fn conditionals_guard_against_nonbool() {
         let e: QExpr = Expr::cond(
-            Expr::bin(
-                BinOp::Gt,
-                Expr::var(Quantity::var("a")),
-                Expr::num(1.0),
-            ),
+            Expr::bin(BinOp::Gt, Expr::var(Quantity::var("a")), Expr::num(1.0)),
             Expr::num(2.0),
             Expr::num(3.0),
         );

@@ -69,10 +69,7 @@ impl Affine {
         // cannot influence a double-precision sum; dropping them keeps the
         // eliminated updates of chain circuits O(bandwidth) instead of
         // O(n²) without any representable change in the result.
-        let max_coeff = self
-            .terms
-            .values()
-            .fold(0.0_f64, |m, c| m.max(c.abs()));
+        let max_coeff = self.terms.values().fold(0.0_f64, |m, c| m.max(c.abs()));
         let floor = max_coeff * 1e-16;
         let mut e: Option<QExpr> = None;
         for (l, c) in self.terms {
@@ -83,11 +80,7 @@ impl Affine {
                 (q, 0) => Expr::var(q),
                 (q, k) => Expr::prev_n(q, k),
             };
-            let term = if c == 1.0 {
-                leaf
-            } else {
-                Expr::num(c) * leaf
-            };
+            let term = if c == 1.0 { leaf } else { Expr::num(c) * leaf };
             e = Some(match e {
                 None => term,
                 Some(acc) => acc + term,
@@ -115,7 +108,9 @@ fn as_affine(e: &QExpr) -> Option<Affine> {
             let fb = as_affine(b)?;
             if let Some(k) = fa.as_pure_constant() {
                 Some(fb.scale(k))
-            } else { fb.as_pure_constant().map(|k| fa.scale(k)) }
+            } else {
+                fb.as_pure_constant().map(|k| fa.scale(k))
+            }
         }
         Expr::Bin(BinOp::Div, a, b) => {
             let fb = as_affine(b)?;
@@ -148,10 +143,7 @@ pub fn compact(e: &QExpr) -> QExpr {
 /// updates as native dot products instead of interpreted bytecode.
 pub fn affine_terms(e: &QExpr) -> Option<AffineTerms> {
     let affine = as_affine(e)?;
-    let max_coeff = affine
-        .terms
-        .values()
-        .fold(0.0_f64, |m, c| m.max(c.abs()));
+    let max_coeff = affine.terms.values().fold(0.0_f64, |m, c| m.max(c.abs()));
     let floor = max_coeff * 1e-16;
     let terms = affine
         .terms
@@ -187,8 +179,7 @@ mod tests {
     #[test]
     fn flattens_nested_linear_tree() {
         // ((x + y)·2 − (x − 3)/4)·0.5 → flat affine
-        let e = ((v("x") + v("y")) * Expr::num(2.0)
-            - (v("x") - Expr::num(3.0)) / Expr::num(4.0))
+        let e = ((v("x") + v("y")) * Expr::num(2.0) - (v("x") - Expr::num(3.0)) / Expr::num(4.0))
             * Expr::num(0.5);
         let c = compact(&e);
         assert!(c.node_count() < e.node_count());

@@ -71,13 +71,10 @@ pub fn discretize(e: &QExpr, dt: f64, aux: &mut AuxAllocator) -> QExpr {
     match e {
         Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => e.clone(),
         Expr::Neg(a) => -discretize(a, dt, aux),
-        Expr::Bin(op, a, b) => {
-            Expr::bin(*op, discretize(a, dt, aux), discretize(b, dt, aux))
+        Expr::Bin(op, a, b) => Expr::bin(*op, discretize(a, dt, aux), discretize(b, dt, aux)),
+        Expr::Call(f, args) => {
+            Expr::Call(*f, args.iter().map(|a| discretize(a, dt, aux)).collect())
         }
-        Expr::Call(f, args) => Expr::Call(
-            *f,
-            args.iter().map(|a| discretize(a, dt, aux)).collect(),
-        ),
         Expr::Cond(c, t, el) => Expr::cond(
             discretize(c, dt, aux),
             discretize(t, dt, aux),
@@ -102,13 +99,10 @@ fn ddt_of(e: &QExpr, dt: f64, aux: &mut AuxAllocator) -> QExpr {
     let inv_dt = Expr::num(1.0 / dt);
     match e {
         Expr::Num(_) => Expr::num(0.0),
-        Expr::Var(x) => {
-            ((Expr::var(x.clone()) - Expr::prev(x.clone())) * inv_dt).simplified()
+        Expr::Var(x) => ((Expr::var(x.clone()) - Expr::prev(x.clone())) * inv_dt).simplified(),
+        Expr::Prev(x, k) => {
+            ((Expr::prev_n(x.clone(), *k) - Expr::prev_n(x.clone(), *k + 1)) * inv_dt).simplified()
         }
-        Expr::Prev(x, k) => ((Expr::prev_n(x.clone(), *k)
-            - Expr::prev_n(x.clone(), *k + 1))
-            * inv_dt)
-            .simplified(),
         Expr::Neg(a) => -ddt_of(a, dt, aux),
         Expr::Bin(expr::BinOp::Add, a, b) => ddt_of(a, dt, aux) + ddt_of(b, dt, aux),
         Expr::Bin(expr::BinOp::Sub, a, b) => ddt_of(a, dt, aux) - ddt_of(b, dt, aux),

@@ -16,8 +16,8 @@
 
 use expr::{solve_linear, Expr};
 use netlist::{
-    kcl_relations, kvl_relations, vdef_relations, Equation, EquationTable, NodeId,
-    Origin, Quantity, Relation,
+    kcl_relations, kvl_relations, vdef_relations, Equation, EquationTable, NodeId, Origin,
+    Quantity, Relation,
 };
 
 use crate::{AbstractError, AcquiredModel};
@@ -100,9 +100,7 @@ pub fn enrich_with(
 ///
 /// * [`AbstractError::Netlist`] when the circuit has no ground or is
 ///   disconnected.
-pub fn conservative_relations(
-    model: &AcquiredModel,
-) -> Result<Vec<Relation>, AbstractError> {
+pub fn conservative_relations(model: &AcquiredModel) -> Result<Vec<Relation>, AbstractError> {
     let graph = &model.graph;
     let root = model
         .grounds
@@ -116,9 +114,7 @@ pub fn conservative_relations(
     let input_names: Vec<&str> = model.inputs.iter().map(String::as_str).collect();
     let map_inputs = |r: Relation| -> Relation {
         let zero = r.zero.map_vars(&mut |q: &Quantity| match q {
-            Quantity::NodeV(n) if input_names.contains(&n.as_str()) => {
-                Quantity::input(n.clone())
-            }
+            Quantity::NodeV(n) if input_names.contains(&n.as_str()) => Quantity::input(n.clone()),
             other => other.clone(),
         });
         Relation::new(zero, r.origin, r.label)

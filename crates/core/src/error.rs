@@ -4,80 +4,156 @@ use std::fmt;
 use netlist::Quantity;
 
 /// Errors raised by the abstraction pipeline.
+///
+/// Every variant carries complete, structured fields — no placeholder
+/// payloads — and the [`Abstraction`](crate::Abstraction) builder wraps
+/// stage errors in [`AbstractError::InModule`] so messages name the
+/// module they originate from. Use [`AbstractError::root`] to match on
+/// the underlying cause regardless of wrapping.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AbstractError {
     /// An identifier in the analog block is neither a parameter, a declared
     /// `real`, a net, nor a branch.
-    UnknownIdentifier(String),
-    /// A flow access `I(a,b)` does not correspond to any declared branch.
-    NoSuchBranch(String, String),
+    UnknownIdentifier {
+        /// The unresolved identifier.
+        name: String,
+    },
+    /// A flow access `I(a)` / `I(a,b)` does not correspond to any declared
+    /// branch.
+    NoSuchBranch {
+        /// Branch name, or the positive net of a net-pair access.
+        from: String,
+        /// Negative net of a net-pair access; `None` for a named-branch
+        /// access `I(name)`.
+        to: Option<String>,
+    },
     /// A parameter default could not be evaluated to a constant.
-    UnresolvedParameter(String),
+    UnresolvedParameter {
+        /// The parameter's declared name.
+        name: String,
+    },
     /// Contribution statements inside conditionals are outside the
     /// supported conservative subset (the paper's conditionals appear in
     /// signal-flow blocks only).
-    ConditionalContribution(String),
+    ConditionalContribution {
+        /// Textual form of the contribution target.
+        target: String,
+    },
     /// The requested output quantity is not defined by any equation chain.
-    UndefinedOutput(Quantity),
+    UndefinedOutput {
+        /// The quantity that has no defining equation.
+        quantity: Quantity,
+    },
     /// Assembly could not find an independent equation for a quantity even
     /// after exhausting all dependency-class choices.
-    NoEquationFor(Quantity),
+    NoEquationFor {
+        /// The over-constrained quantity.
+        quantity: Quantity,
+    },
     /// The final equation for a quantity is not linear in that quantity, so
     /// the Step-3 linear solve cannot eliminate its self-reference.
-    NonlinearLoop(Quantity),
+    NonlinearLoop {
+        /// The quantity whose equation is self-referentially nonlinear.
+        quantity: Quantity,
+    },
     /// Simultaneous elaboration requires a linear discretized system; a
     /// nonlinear coupling was found involving this quantity.
-    NonlinearSystem(Quantity),
+    NonlinearSystem {
+        /// The quantity appearing nonlinearly.
+        quantity: Quantity,
+    },
     /// The discretized linear system is singular (e.g. floating subcircuit).
     SingularSystem,
     /// The module's circuit topology is invalid.
     Netlist(netlist::NetlistError),
     /// The time step must be strictly positive and finite.
-    InvalidTimeStep(f64),
+    InvalidTimeStep {
+        /// The offending step, in seconds.
+        dt: f64,
+    },
     /// Backtracking exceeded the safety bound (pathological topology).
     SearchBudgetExhausted,
+    /// A pipeline stage failed while abstracting a named module; wraps the
+    /// underlying cause with the module context.
+    InModule {
+        /// Name of the Verilog-AMS module being abstracted.
+        module: String,
+        /// The underlying stage error.
+        source: Box<AbstractError>,
+    },
+}
+
+impl AbstractError {
+    /// Wraps `self` with the name of the module being abstracted (no-op
+    /// re-wrapping is avoided: an existing [`AbstractError::InModule`]
+    /// layer is returned unchanged).
+    #[must_use]
+    pub fn in_module(self, module: impl Into<String>) -> AbstractError {
+        match self {
+            AbstractError::InModule { .. } => self,
+            other => AbstractError::InModule {
+                module: module.into(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The innermost error, unwrapping any [`AbstractError::InModule`]
+    /// context layers. Useful for matching on the underlying cause.
+    pub fn root(&self) -> &AbstractError {
+        match self {
+            AbstractError::InModule { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for AbstractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AbstractError::UnknownIdentifier(s) => {
-                write!(f, "unknown identifier `{s}` in analog block")
+            AbstractError::UnknownIdentifier { name } => {
+                write!(f, "unknown identifier `{name}` in analog block")
             }
-            AbstractError::NoSuchBranch(a, b) => {
-                write!(f, "flow access I({a},{b}) matches no declared branch")
+            AbstractError::NoSuchBranch { from, to: None } => {
+                write!(f, "flow access I({from}) matches no declared branch")
             }
-            AbstractError::UnresolvedParameter(p) => {
-                write!(f, "parameter `{p}` does not evaluate to a constant")
+            AbstractError::NoSuchBranch { from, to: Some(to) } => {
+                write!(f, "flow access I({from},{to}) matches no declared branch")
             }
-            AbstractError::ConditionalContribution(t) => write!(
+            AbstractError::UnresolvedParameter { name } => {
+                write!(f, "parameter `{name}` does not evaluate to a constant")
+            }
+            AbstractError::ConditionalContribution { target } => write!(
                 f,
-                "contribution to {t} inside a conditional is not supported"
+                "contribution to {target} inside a conditional is not supported"
             ),
-            AbstractError::UndefinedOutput(q) => {
-                write!(f, "output {q} is not defined by the model")
+            AbstractError::UndefinedOutput { quantity } => {
+                write!(f, "output {quantity} is not defined by the model")
             }
-            AbstractError::NoEquationFor(q) => write!(
+            AbstractError::NoEquationFor { quantity } => write!(
                 f,
-                "no independent equation available for {q} (over-constrained chain)"
+                "no independent equation available for {quantity} (over-constrained chain)"
             ),
-            AbstractError::NonlinearLoop(q) => write!(
+            AbstractError::NonlinearLoop { quantity } => write!(
                 f,
-                "equation for {q} is nonlinear in {q}; cannot solve the loop"
+                "equation for {quantity} is nonlinear in {quantity}; cannot solve the loop"
             ),
-            AbstractError::NonlinearSystem(q) => write!(
+            AbstractError::NonlinearSystem { quantity } => write!(
                 f,
-                "simultaneous elaboration requires linear equations; {q} appears nonlinearly"
+                "simultaneous elaboration requires linear equations; {quantity} appears nonlinearly"
             ),
             AbstractError::SingularSystem => {
                 write!(f, "discretized system is singular")
             }
             AbstractError::Netlist(e) => write!(f, "netlist error: {e}"),
-            AbstractError::InvalidTimeStep(dt) => {
+            AbstractError::InvalidTimeStep { dt } => {
                 write!(f, "invalid time step {dt}; must be positive and finite")
             }
             AbstractError::SearchBudgetExhausted => {
                 write!(f, "assembly backtracking budget exhausted")
+            }
+            AbstractError::InModule { module, source } => {
+                write!(f, "in module `{module}`: {source}")
             }
         }
     }
@@ -87,6 +163,7 @@ impl Error for AbstractError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AbstractError::Netlist(e) => Some(e),
+            AbstractError::InModule { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -104,16 +181,46 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        assert!(AbstractError::UnknownIdentifier("zz".into())
+        assert!(AbstractError::UnknownIdentifier { name: "zz".into() }
             .to_string()
             .contains("zz"));
-        assert!(AbstractError::NoSuchBranch("a".into(), "b".into())
-            .to_string()
-            .contains("I(a,b)"));
-        assert!(AbstractError::NonlinearLoop(Quantity::var("x"))
-            .to_string()
-            .contains('x'));
+        assert!(AbstractError::NoSuchBranch {
+            from: "a".into(),
+            to: Some("b".into()),
+        }
+        .to_string()
+        .contains("I(a,b)"));
+        assert!(AbstractError::NoSuchBranch {
+            from: "cap".into(),
+            to: None,
+        }
+        .to_string()
+        .contains("I(cap)"));
+        assert!(AbstractError::NonlinearLoop {
+            quantity: Quantity::var("x"),
+        }
+        .to_string()
+        .contains('x'));
         let e: AbstractError = netlist::NetlistError::NoGround.into();
         assert!(e.to_string().contains("no ground"));
+    }
+
+    #[test]
+    fn module_context_wraps_and_unwraps() {
+        let inner = AbstractError::UnknownIdentifier {
+            name: "ghost".into(),
+        };
+        let wrapped = inner.clone().in_module("rc_ladder");
+        assert_eq!(
+            wrapped.to_string(),
+            "in module `rc_ladder`: unknown identifier `ghost` in analog block"
+        );
+        assert_eq!(wrapped.root(), &inner);
+        // Re-wrapping keeps the original module context.
+        let rewrapped = wrapped.clone().in_module("other");
+        assert_eq!(rewrapped, wrapped);
+        // std::error::Error::source exposes the inner layer.
+        use std::error::Error as _;
+        assert!(wrapped.source().is_some());
     }
 }

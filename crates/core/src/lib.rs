@@ -63,9 +63,9 @@ mod pipeline;
 
 pub use acquire::{AcquiredModel, SfStmt};
 pub use assemble::{Assembly, SolveMode};
+pub use enrich::{conservative_relations, enrich, enrich_with, EnrichOptions};
 pub use error::AbstractError;
 pub use model::SignalFlowModel;
-pub use enrich::{conservative_relations, enrich, enrich_with, EnrichOptions};
 pub use pipeline::{Abstraction, OutputSpec};
 
 pub use netlist::Quantity;

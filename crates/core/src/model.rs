@@ -88,7 +88,7 @@ impl SignalFlowModel {
         for q in max_delay.keys() {
             if let Quantity::Input(n) = q {
                 if !inputs.iter().any(|i| i == n) {
-                    return Err(AbstractError::UnknownIdentifier(n.clone()));
+                    return Err(AbstractError::UnknownIdentifier { name: n.clone() });
                 }
             }
         }
@@ -116,9 +116,10 @@ impl SignalFlowModel {
                 Some((constant, terms)) => {
                     let mut resolved = Vec::with_capacity(terms.len());
                     for ((v, d), c) in terms {
-                        let slot = resolve(&v, d).ok_or_else(|| {
-                            AbstractError::UnknownIdentifier(v.to_string())
-                        })?;
+                        let slot =
+                            resolve(&v, d).ok_or_else(|| AbstractError::UnknownIdentifier {
+                                name: v.to_string(),
+                            })?;
                         resolved.push((slot, c));
                     }
                     Exec::Affine {
@@ -130,12 +131,14 @@ impl SignalFlowModel {
                     let prog = compile(e, &mut |v, d| resolve(v, d)).map_err(|err| {
                         match err {
                             expr::vm::CompileError::UnresolvedVariable(v) => {
-                                AbstractError::UnknownIdentifier(v)
+                                AbstractError::UnknownIdentifier { name: v }
                             }
                             expr::vm::CompileError::UnresolvedAnalogOp => {
                                 // Assemblies are discretized; reaching this
                                 // is a pipeline bug, surfaced as an error.
-                                AbstractError::NonlinearLoop(q.clone())
+                                AbstractError::NonlinearLoop {
+                                    quantity: q.clone(),
+                                }
                             }
                         }
                     })?;
@@ -152,8 +155,8 @@ impl SignalFlowModel {
             .collect();
         let mut output_slots = Vec::with_capacity(assembly.outputs.len());
         for q in &assembly.outputs {
-            let slot = resolve(q, 0).ok_or_else(|| {
-                AbstractError::UndefinedOutput(q.clone())
+            let slot = resolve(q, 0).ok_or_else(|| AbstractError::UndefinedOutput {
+                quantity: q.clone(),
             })?;
             output_slots.push(slot);
         }
@@ -207,11 +210,7 @@ impl SignalFlowModel {
     /// Panics if `inputs.len()` differs from the declared input count.
     #[inline]
     pub fn step(&mut self, inputs: &[f64]) {
-        assert_eq!(
-            inputs.len(),
-            self.input_slots.len(),
-            "input arity mismatch"
-        );
+        assert_eq!(inputs.len(), self.input_slots.len(), "input arity mismatch");
         for (slot, &v) in self.input_slots.iter().zip(inputs) {
             self.slots[*slot as usize] = v;
         }
@@ -309,9 +308,7 @@ fn collect_delays(e: &QExpr, max_delay: &mut BTreeMap<Quantity, u32>) {
             collect_delays(a, max_delay);
             collect_delays(b, max_delay);
         }
-        expr::Expr::Call(_, args) => {
-            args.iter().for_each(|a| collect_delays(a, max_delay))
-        }
+        expr::Expr::Call(_, args) => args.iter().for_each(|a| collect_delays(a, max_delay)),
         expr::Expr::Cond(c, t, el) => {
             collect_delays(c, max_delay);
             collect_delays(t, max_delay);
@@ -329,8 +326,7 @@ mod tests {
     fn rc_assembly(k: f64, dt: f64) -> Assembly {
         let out = Quantity::node_v("out");
         let u = Quantity::input("in");
-        let rhs = (Expr::var(u) + Expr::num(k) * Expr::prev(out.clone()))
-            / Expr::num(1.0 + k);
+        let rhs = (Expr::var(u) + Expr::num(k) * Expr::prev(out.clone())) / Expr::num(1.0 + k);
         Assembly {
             assignments: vec![(out.clone(), rhs)],
             outputs: vec![out],
@@ -342,8 +338,7 @@ mod tests {
     fn step_matches_recurrence() {
         let k = 4.0;
         let mut m =
-            SignalFlowModel::from_assembly("rc", &rc_assembly(k, 1e-6), &["in".into()])
-                .unwrap();
+            SignalFlowModel::from_assembly("rc", &rc_assembly(k, 1e-6), &["in".into()]).unwrap();
         let mut expect = 0.0;
         for _ in 0..50 {
             m.step(&[1.0]);
@@ -358,8 +353,7 @@ mod tests {
     #[test]
     fn reset_and_initial_conditions() {
         let mut m =
-            SignalFlowModel::from_assembly("rc", &rc_assembly(4.0, 1e-6), &["in".into()])
-                .unwrap();
+            SignalFlowModel::from_assembly("rc", &rc_assembly(4.0, 1e-6), &["in".into()]).unwrap();
         let out = Quantity::node_v("out");
         assert!(m.set_value(&out, 0.5));
         assert_eq!(m.value(&out), Some(0.5));
@@ -400,9 +394,8 @@ mod tests {
 
     #[test]
     fn missing_input_is_reported() {
-        let err =
-            SignalFlowModel::from_assembly("rc", &rc_assembly(1.0, 1e-6), &[]).unwrap_err();
-        assert!(matches!(err, AbstractError::UnknownIdentifier(n) if n == "in"));
+        let err = SignalFlowModel::from_assembly("rc", &rc_assembly(1.0, 1e-6), &[]).unwrap_err();
+        assert!(matches!(err, AbstractError::UnknownIdentifier { name: n } if n == "in"));
     }
 
     #[test]
@@ -413,14 +406,16 @@ mod tests {
             dt: 1.0,
         };
         let err = SignalFlowModel::from_assembly("m", &asm, &[]).unwrap_err();
-        assert!(matches!(err, AbstractError::UndefinedOutput(_)));
+        assert!(matches!(
+            err,
+            AbstractError::UndefinedOutput { quantity: _ }
+        ));
     }
 
     #[test]
     fn run_collect_gathers_samples() {
         let mut m =
-            SignalFlowModel::from_assembly("rc", &rc_assembly(0.0, 1e-6), &["in".into()])
-                .unwrap();
+            SignalFlowModel::from_assembly("rc", &rc_assembly(0.0, 1e-6), &["in".into()]).unwrap();
         // k = 0 ⇒ out = u instantly.
         let samples = m.run_collect(vec![vec![1.0], vec![2.0], vec![3.0]]);
         assert_eq!(samples, vec![1.0, 2.0, 3.0]);

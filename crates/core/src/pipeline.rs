@@ -7,6 +7,7 @@
 //! as the paper describes.
 
 use netlist::Quantity;
+use obs::Obs;
 use vams_ast::Module;
 
 use crate::acquire::{acquire, AcquiredModel};
@@ -35,15 +36,23 @@ impl OutputSpec {
         let s = spec.trim();
         if let Some(inner) = s.strip_prefix("V(").and_then(|r| r.strip_suffix(')')) {
             OutputSpec::Potential(inner.trim().to_string())
-        } else if let Some(inner) = s.strip_prefix("I(").and_then(|r| r.strip_suffix(')'))
-        {
+        } else if let Some(inner) = s.strip_prefix("I(").and_then(|r| r.strip_suffix(')')) {
             OutputSpec::Flow(inner.trim().to_string())
         } else {
             OutputSpec::Name(s.to_string())
         }
     }
 
-    fn resolve(&self, model: &AcquiredModel) -> Result<Quantity, AbstractError> {
+    /// Resolves the spec against an acquired module: decides between node
+    /// potentials, branch voltages, branch currents and folded variables
+    /// using the module's declarations.
+    ///
+    /// # Errors
+    ///
+    /// * [`AbstractError::UnknownIdentifier`] when the name matches no
+    ///   declaration of the right kind;
+    /// * [`AbstractError::NoSuchBranch`] when `I(name)` names no branch.
+    pub fn resolve(&self, model: &AcquiredModel) -> Result<Quantity, AbstractError> {
         let is_branch = |n: &str| model.graph.branch_id(n).is_some();
         let is_node = |n: &str| model.graph.node_id(n).is_some();
         match self {
@@ -53,14 +62,17 @@ impl OutputSpec {
                 } else if is_node(n) {
                     Ok(Quantity::node_v(n.clone()))
                 } else {
-                    Err(AbstractError::UnknownIdentifier(n.clone()))
+                    Err(AbstractError::UnknownIdentifier { name: n.clone() })
                 }
             }
             OutputSpec::Flow(n) => {
                 if is_branch(n) {
                     Ok(Quantity::branch_i(n.clone()))
                 } else {
-                    Err(AbstractError::NoSuchBranch(n.clone(), String::new()))
+                    Err(AbstractError::NoSuchBranch {
+                        from: n.clone(),
+                        to: None,
+                    })
                 }
             }
             OutputSpec::Name(n) => {
@@ -69,15 +81,37 @@ impl OutputSpec {
                 } else if is_node(n) {
                     Ok(Quantity::node_v(n.clone()))
                 } else {
-                    Err(AbstractError::UnknownIdentifier(n.clone()))
+                    Err(AbstractError::UnknownIdentifier { name: n.clone() })
                 }
             }
         }
     }
 }
 
+impl std::fmt::Display for OutputSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutputSpec::Potential(n) => write!(f, "V({n})"),
+            OutputSpec::Flow(n) => write!(f, "I({n})"),
+            OutputSpec::Name(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 impl From<&str> for OutputSpec {
     fn from(s: &str) -> Self {
+        OutputSpec::parse(s)
+    }
+}
+
+impl From<String> for OutputSpec {
+    fn from(s: String) -> Self {
+        OutputSpec::parse(&s)
+    }
+}
+
+impl From<&String> for OutputSpec {
+    fn from(s: &String) -> Self {
         OutputSpec::parse(s)
     }
 }
@@ -93,6 +127,7 @@ pub struct Abstraction<'m> {
     dt: f64,
     outputs: Vec<OutputSpec>,
     mode: SolveMode,
+    obs: Obs,
 }
 
 impl<'m> Abstraction<'m> {
@@ -104,7 +139,17 @@ impl<'m> Abstraction<'m> {
             dt: 50e-9,
             outputs: Vec::new(),
             mode: SolveMode::default(),
+            obs: Obs::none(),
         }
+    }
+
+    /// Attaches an instrumentation collector; the pipeline reports
+    /// per-phase timings (`pipeline/acquire`, `pipeline/enrich`,
+    /// `pipeline/assemble`, `pipeline/codegen`) through it.
+    #[must_use]
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the discretization time step in seconds.
@@ -140,11 +185,22 @@ impl<'m> Abstraction<'m> {
     ///
     /// Any [`AbstractError`] from the pipeline stages.
     pub fn assembly(&self) -> Result<(Assembly, Vec<String>), AbstractError> {
-        let acquired = acquire(self.module)?;
+        let _pipeline = self.obs.span("pipeline");
+        self.assembly_stages()
+            .map_err(|e| e.in_module(&self.module.name))
+    }
+
+    fn assembly_stages(&self) -> Result<(Assembly, Vec<String>), AbstractError> {
+        let acquired = {
+            let _s = self.obs.span("acquire");
+            acquire(self.module)?
+        };
         let mut specs = self.outputs.clone();
         if specs.is_empty() {
             let first = acquired.outputs.first().cloned().ok_or_else(|| {
-                AbstractError::UndefinedOutput(Quantity::var("<no output port>"))
+                AbstractError::UndefinedOutput {
+                    quantity: Quantity::var("<no output port>"),
+                }
             })?;
             specs.push(OutputSpec::Potential(first));
         }
@@ -152,8 +208,14 @@ impl<'m> Abstraction<'m> {
             .iter()
             .map(|s| s.resolve(&acquired))
             .collect::<Result<_, _>>()?;
-        let mut table = enrich(&acquired)?;
-        let assembly = assemble_with(&mut table, &outputs, self.dt, self.mode)?;
+        let mut table = {
+            let _s = self.obs.span("enrich");
+            enrich(&acquired)?
+        };
+        let assembly = {
+            let _s = self.obs.span("assemble");
+            assemble_with(&mut table, &outputs, self.dt, self.mode)?
+        };
         Ok((assembly, acquired.inputs))
     }
 
@@ -164,7 +226,10 @@ impl<'m> Abstraction<'m> {
     /// Any [`AbstractError`] from the pipeline stages.
     pub fn build(&self) -> Result<SignalFlowModel, AbstractError> {
         let (assembly, inputs) = self.assembly()?;
+        let _pipeline = self.obs.span("pipeline");
+        let _s = self.obs.span("codegen");
         SignalFlowModel::from_assembly(&self.module.name, &assembly, &inputs)
+            .map_err(|e| e.in_module(&self.module.name))
     }
 }
 
@@ -189,9 +254,87 @@ mod tests {
 
     #[test]
     fn spec_parsing() {
-        assert_eq!(OutputSpec::parse("V(out)"), OutputSpec::Potential("out".into()));
-        assert_eq!(OutputSpec::parse(" I( cap ) "), OutputSpec::Flow("cap".into()));
+        assert_eq!(
+            OutputSpec::parse("V(out)"),
+            OutputSpec::Potential("out".into())
+        );
+        assert_eq!(
+            OutputSpec::parse(" I( cap ) "),
+            OutputSpec::Flow("cap".into())
+        );
         assert_eq!(OutputSpec::parse("vlim"), OutputSpec::Name("vlim".into()));
+    }
+
+    #[test]
+    fn spec_parsing_edge_cases() {
+        // Interior and surrounding whitespace are both tolerated.
+        assert_eq!(
+            OutputSpec::parse("  V( out )  "),
+            OutputSpec::Potential("out".into())
+        );
+        assert_eq!(
+            OutputSpec::parse("\tI(cap)\n"),
+            OutputSpec::Flow("cap".into())
+        );
+        // A name with whitespace around it parses as a bare name.
+        assert_eq!(OutputSpec::parse("  y  "), OutputSpec::Name("y".into()));
+        // Unbalanced or prefix-only forms fall back to bare names rather
+        // than silently losing characters.
+        assert_eq!(OutputSpec::parse("V(out"), OutputSpec::Name("V(out".into()));
+        assert_eq!(OutputSpec::parse("Vout)"), OutputSpec::Name("Vout)".into()));
+        // From impls route through parse for all string flavors.
+        assert_eq!(OutputSpec::from("V(a)"), OutputSpec::Potential("a".into()));
+        assert_eq!(
+            OutputSpec::from(String::from("I(b)")),
+            OutputSpec::Flow("b".into())
+        );
+        assert_eq!(
+            OutputSpec::from(&String::from("c")),
+            OutputSpec::Name("c".into())
+        );
+    }
+
+    #[test]
+    fn bare_name_resolution_prefers_variable_over_node() {
+        use crate::acquire::acquire;
+        // `out` is a node; `y` is a folded real variable in this module.
+        let m = parse_module(
+            "module amb(i, out); input i; output out;
+             electrical i, out, gnd; ground gnd;
+             real y;
+             analog begin
+               y = 2 * V(i, gnd);
+               V(out, gnd) <+ y;
+             end
+             endmodule",
+        )
+        .unwrap();
+        let acq = acquire(&m).unwrap();
+        assert_eq!(
+            OutputSpec::parse("y").resolve(&acq).unwrap(),
+            Quantity::var("y"),
+            "bare variable wins when declared as real"
+        );
+        assert_eq!(
+            OutputSpec::parse("out").resolve(&acq).unwrap(),
+            Quantity::node_v("out"),
+            "bare node name falls back to the node potential"
+        );
+        // V(...) resolution: named branch beats node of the same name.
+        assert!(matches!(
+            OutputSpec::parse("V(ghost)").resolve(&acq),
+            Err(AbstractError::UnknownIdentifier { .. })
+        ));
+        // I(...) of a non-branch reports the branch name without placeholders.
+        let err = OutputSpec::parse("I(out)").resolve(&acq).unwrap_err();
+        assert_eq!(
+            err,
+            AbstractError::NoSuchBranch {
+                from: "out".into(),
+                to: None
+            }
+        );
+        assert!(err.to_string().contains("I(out)"));
     }
 
     #[test]
@@ -248,9 +391,12 @@ mod tests {
     fn unknown_output_spec_is_reported() {
         let m = parse_module(RC1).unwrap();
         let err = Abstraction::new(&m).output("V(ghost)").build().unwrap_err();
-        assert!(matches!(err, AbstractError::UnknownIdentifier(_)));
+        assert!(matches!(err.root(), AbstractError::UnknownIdentifier { name } if name == "ghost"));
+        assert!(err.to_string().contains("in module `rc`"), "{err}");
         let err = Abstraction::new(&m).output("I(ghost)").build().unwrap_err();
-        assert!(matches!(err, AbstractError::NoSuchBranch(_, _)));
+        assert!(
+            matches!(err.root(), AbstractError::NoSuchBranch { from, to: None } if from == "ghost")
+        );
     }
 
     #[test]
@@ -274,8 +420,7 @@ mod tests {
         );
         // The implicit elaboration settles to the step input.
         let mut model =
-            SignalFlowModel::from_assembly("rc6", &implicit, &["in".to_string()])
-                .unwrap();
+            SignalFlowModel::from_assembly("rc6", &implicit, &["in".to_string()]).unwrap();
         for _ in 0..40_000 {
             model.step(&[1.0]);
         }
@@ -285,8 +430,7 @@ mod tests {
         // diverges on stiff multi-state chains — the documented reason the
         // implicit mode is the default.
         let mut seq =
-            SignalFlowModel::from_assembly("rc6", &sequential, &["in".to_string()])
-                .unwrap();
+            SignalFlowModel::from_assembly("rc6", &sequential, &["in".to_string()]).unwrap();
         let mut diverged = false;
         for _ in 0..40_000 {
             seq.step(&[1.0]);

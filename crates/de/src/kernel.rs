@@ -3,6 +3,9 @@ use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 use std::marker::PhantomData;
+use std::time::Instant;
+
+use obs::{CounterTracker, Obs};
 
 use crate::signal::{AnySignal, SignalState};
 use crate::trace::{Trace, TraceEvent, TraceValue};
@@ -138,6 +141,9 @@ pub struct Kernel {
     /// (signal index, trace channel, kind) for traced signals.
     traced: Vec<(u32, usize, TracedKind)>,
     trace: Trace,
+    obs: Obs,
+    obs_activations: CounterTracker,
+    obs_delta_cycles: CounterTracker,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -168,7 +174,25 @@ impl Kernel {
             delta_cycles: 0,
             traced: Vec::new(),
             trace: Trace::default(),
+            obs: Obs::none(),
+            obs_activations: CounterTracker::default(),
+            obs_delta_cycles: CounterTracker::default(),
         }
+    }
+
+    /// Attaches an instrumentation collector (chainable). The kernel
+    /// reports `de.activations` / `de.delta_cycles` counters and times
+    /// each [`Kernel::run_until`] call under `de.run_until`; with a
+    /// disabled handle (the default) the event loop is untouched.
+    #[must_use]
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Non-chaining variant of [`Kernel::collector`].
+    pub fn set_collector(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Creates a typed signal with an initial value.
@@ -388,16 +412,29 @@ impl Kernel {
     /// [`RunError::DeltaOverflow`] when a zero-delay loop keeps scheduling
     /// activations without advancing time.
     pub fn run_until(&mut self, until: SimTime) -> Result<(), RunError> {
+        // All instrumentation happens at this boundary: the dispatch loop
+        // below runs exactly as if no collector existed.
+        let timer = self.obs.enabled().then(Instant::now);
+        let result = self.run_events(until);
+        if let Some(start) = timer {
+            self.obs.time("de.run_until", start.elapsed().as_secs_f64());
+            let (activations, delta_cycles) = (self.activations, self.delta_cycles);
+            self.obs_activations
+                .flush(&self.obs, "de.activations", activations);
+            self.obs_delta_cycles
+                .flush(&self.obs, "de.delta_cycles", delta_cycles);
+        }
+        result
+    }
+
+    fn run_events(&mut self, until: SimTime) -> Result<(), RunError> {
         if !self.started {
             self.started = true;
             // init phase: run every process's init with a context.
             for i in 0..self.processes.len() {
                 let mut dirty = Vec::new();
                 let mut timed = Vec::new();
-                let mut process = std::mem::replace(
-                    &mut self.processes[i],
-                    Box::new(NopProcess),
-                );
+                let mut process = std::mem::replace(&mut self.processes[i], Box::new(NopProcess));
                 {
                     let mut ctx = ProcCtx {
                         signals: &mut self.signals,
@@ -450,10 +487,8 @@ impl Kernel {
             let mut timed = Vec::new();
             for p in runnable {
                 self.activations += 1;
-                let mut process = std::mem::replace(
-                    &mut self.processes[p as usize],
-                    Box::new(NopProcess),
-                );
+                let mut process =
+                    std::mem::replace(&mut self.processes[p as usize], Box::new(NopProcess));
                 {
                     let mut ctx = ProcCtx {
                         signals: &mut self.signals,

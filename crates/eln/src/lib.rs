@@ -17,7 +17,7 @@
 //! # Example
 //!
 //! ```
-//! use amsvp_eln::{ElnNetwork, ElnSolver, Method};
+//! use amsvp_eln::{ElnNetwork, Method, Transient};
 //!
 //! // A 5 kΩ / 25 nF low-pass driven by a 1 V source.
 //! let mut net = ElnNetwork::new();
@@ -28,7 +28,7 @@
 //! net.capacitor("c", out, ElnNetwork::GROUND, 25e-9);
 //!
 //! let tau = 5e3 * 25e-9;
-//! let mut solver = ElnSolver::new(&net, tau / 100.0, Method::BackwardEuler)?;
+//! let mut solver = Transient::new(&net).dt(tau / 100.0).build()?;
 //! solver.set_source(vin, 1.0);
 //! for _ in 0..100 {
 //!     solver.step();
@@ -44,4 +44,4 @@ mod solver;
 
 pub use network::{ComponentId, ElnNetwork, NodeId, SourceId, SwitchId};
 pub use process::ElnProcess;
-pub use solver::{ElnError, ElnSolver, Method};
+pub use solver::{ElnError, ElnSolver, Method, Transient};

@@ -60,7 +60,7 @@ impl Process for ElnProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ElnNetwork, Method};
+    use crate::{ElnNetwork, Method, Transient};
     use de::Kernel;
 
     #[test]
@@ -74,7 +74,11 @@ mod tests {
         net.capacitor("c", out, ElnNetwork::GROUND, 25e-9);
         let tau = 5e3 * 25e-9; // 125 µs
         let dt = 1.25e-6; // τ/100
-        let solver = ElnSolver::new(&net, dt, Method::BackwardEuler).unwrap();
+        let solver = Transient::new(&net)
+            .dt(dt)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
 
         let mut k = Kernel::new();
         let drive = k.signal(1.0_f64);
@@ -99,7 +103,11 @@ mod tests {
         let a = net.node("a");
         let vin = net.vsource("vin", a, ElnNetwork::GROUND);
         net.resistor("r", a, ElnNetwork::GROUND, 1e3);
-        let solver = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        let solver = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
 
         let mut k = Kernel::new();
         let drive = k.signal(0.25_f64);

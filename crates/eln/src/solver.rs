@@ -1,7 +1,9 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use linalg::{LuFactors, Matrix};
+use obs::{CounterTracker, Obs};
 
 use crate::network::{Component, ElnNetwork, NodeId, SourceId, SwitchId};
 use crate::ComponentId;
@@ -88,6 +90,82 @@ pub struct ElnSolver {
     time: f64,
     steps: u64,
     refactorizations: u64,
+    obs: Obs,
+    obs_steps: CounterTracker,
+    obs_refactorizations: CounterTracker,
+}
+
+/// Builder for an [`ElnSolver`] fixed-step transient analysis.
+///
+/// Mirrors the workspace builder idiom (`new(...)` → chained setters →
+/// `build()`):
+///
+/// ```
+/// use amsvp_eln::{ElnNetwork, Method, Transient};
+///
+/// let mut net = ElnNetwork::new();
+/// let a = net.node("a");
+/// let vin = net.vsource("vin", a, ElnNetwork::GROUND);
+/// net.resistor("r", a, ElnNetwork::GROUND, 1e3);
+///
+/// let mut solver = Transient::new(&net)
+///     .dt(1e-6)
+///     .method(Method::BackwardEuler)
+///     .build()?;
+/// solver.set_source(vin, 1.0);
+/// solver.step();
+/// # Ok::<(), amsvp_eln::ElnError>(())
+/// ```
+#[must_use = "call build() to construct the solver"]
+#[derive(Debug)]
+pub struct Transient<'n> {
+    net: &'n ElnNetwork,
+    dt: f64,
+    method: Method,
+    obs: Obs,
+}
+
+impl<'n> Transient<'n> {
+    /// Starts a transient analysis over `net` with a 1 µs step and
+    /// backward Euler; override with the chained setters.
+    pub fn new(net: &'n ElnNetwork) -> Self {
+        Transient {
+            net,
+            dt: 1e-6,
+            method: Method::default(),
+            obs: Obs::none(),
+        }
+    }
+
+    /// Sets the fixed time step in seconds.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the discretization method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Attaches an instrumentation collector; the solver reports
+    /// `eln.steps`, `eln.refactorizations` and `eln.factor` through it.
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Assembles and factors the MNA system.
+    ///
+    /// # Errors
+    ///
+    /// * [`ElnError::InvalidTimeStep`] for a bad `dt`;
+    /// * [`ElnError::Empty`] for a node-less network;
+    /// * [`ElnError::Singular`] when the topology is ill-posed.
+    pub fn build(self) -> Result<ElnSolver, ElnError> {
+        ElnSolver::construct(self.net, self.dt, self.method, self.obs)
+    }
 }
 
 impl ElnSolver {
@@ -98,7 +176,15 @@ impl ElnSolver {
     /// * [`ElnError::InvalidTimeStep`] for a bad `dt`;
     /// * [`ElnError::Empty`] for a node-less network;
     /// * [`ElnError::Singular`] when the topology is ill-posed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use eln::Transient::new(net).dt(..).method(..).build()"
+    )]
     pub fn new(net: &ElnNetwork, dt: f64, method: Method) -> Result<Self, ElnError> {
+        ElnSolver::construct(net, dt, method, Obs::none())
+    }
+
+    fn construct(net: &ElnNetwork, dt: f64, method: Method, obs: Obs) -> Result<Self, ElnError> {
         if !(dt.is_finite() && dt > 0.0) {
             return Err(ElnError::InvalidTimeStep(dt));
         }
@@ -129,15 +215,24 @@ impl ElnSolver {
                 _ => unreachable!("switch list holds switches"),
             })
             .collect();
-        let (g, c_mat) =
-            stamp_matrices(&net.components, &branch_of, dim, &net.switches, &switch_closed);
+        let (g, c_mat) = stamp_matrices(
+            &net.components,
+            &branch_of,
+            dim,
+            &net.switches,
+            &switch_closed,
+        );
 
         let c_over_dt = &c_mat * (1.0 / dt);
         let a = match method {
             Method::BackwardEuler => &g + &c_over_dt,
             Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
         };
+        let timer = obs.enabled().then(Instant::now);
         let lu = LuFactors::factor(&a)?;
+        if let Some(start) = timer {
+            obs.time("eln.factor", start.elapsed().as_secs_f64());
+        }
         Ok(ElnSolver {
             dt,
             method,
@@ -160,7 +255,22 @@ impl ElnSolver {
             time: 0.0,
             steps: 0,
             refactorizations: 0,
+            obs,
+            obs_steps: CounterTracker::default(),
+            obs_refactorizations: CounterTracker::default(),
         })
+    }
+
+    /// Reports counter deltas (`eln.steps`, `eln.refactorizations`) to the
+    /// attached collector. Called automatically on drop; call explicitly
+    /// to snapshot counters mid-run.
+    pub fn flush_counters(&mut self) {
+        if self.obs.enabled() {
+            let (steps, refactorizations) = (self.steps, self.refactorizations);
+            self.obs_steps.flush(&self.obs, "eln.steps", steps);
+            self.obs_refactorizations
+                .flush(&self.obs, "eln.refactorizations", refactorizations);
+        }
     }
 
     /// Opens or closes a digitally controlled switch. A state change
@@ -192,7 +302,11 @@ impl ElnSolver {
             Method::BackwardEuler => &g + &(&c_mat * (1.0 / dt)),
             Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
         };
+        let timer = self.obs.enabled().then(Instant::now);
         self.lu = LuFactors::factor(&a)?;
+        if let Some(start) = timer {
+            self.obs.time("eln.factor", start.elapsed().as_secs_f64());
+        }
         self.g = g;
         self.c_over_dt = &c_mat * (1.0 / dt);
         self.refactorizations += 1;
@@ -326,6 +440,12 @@ impl ElnSolver {
     }
 }
 
+impl Drop for ElnSolver {
+    fn drop(&mut self) {
+        self.flush_counters();
+    }
+}
+
 /// Stamps the conductance and capacitance matrices for the component set,
 /// with switches contributing `1/ron` or `1/roff` per their state.
 fn stamp_matrices(
@@ -356,7 +476,9 @@ fn stamp_matrices(
             Component::Resistor { p, n, ohms } => {
                 stamp_conductance(&mut g, p, n, 1.0 / ohms);
             }
-            Component::Switch { p, n, ron, roff, .. } => {
+            Component::Switch {
+                p, n, ron, roff, ..
+            } => {
                 let k = switches
                     .iter()
                     .position(|c| c.0 == i)
@@ -433,7 +555,11 @@ mod tests {
     fn rc_step_response_backward_euler() {
         let (net, v, out) = rc();
         let tau = 5e3 * 25e-9;
-        let mut s = ElnSolver::new(&net, tau / 1000.0, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(tau / 1000.0)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(v, 1.0);
         for _ in 0..1000 {
             s.step();
@@ -456,7 +582,7 @@ mod tests {
         let phase = -(omega * tau).atan();
 
         let run = |method: Method| {
-            let mut s = ElnSolver::new(&net, dt, method).unwrap();
+            let mut s = Transient::new(&net).dt(dt).method(method).build().unwrap();
             let mut err: f64 = 0.0;
             for k in 0..steps {
                 let t = (k + 1) as f64 * dt;
@@ -485,7 +611,11 @@ mod tests {
         let v = net.vsource("vin", a, ElnNetwork::GROUND);
         let rtop = net.resistor("r1", a, mid, 1e3);
         net.resistor("r2", mid, ElnNetwork::GROUND, 3e3);
-        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(v, 4.0);
         s.step();
         assert!((s.node_voltage(mid) - 3.0).abs() < 1e-12);
@@ -506,7 +636,11 @@ mod tests {
         net.resistor("r1", inp, inm, 1e3);
         net.resistor("r2", inm, out, 4e3);
         net.vcvs("op", out, ElnNetwork::GROUND, ElnNetwork::GROUND, inm, 1e5);
-        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(v, 1.0);
         s.step();
         assert!((s.node_voltage(out) + 4.0).abs() < 1e-3, "gain −R2/R1");
@@ -521,7 +655,11 @@ mod tests {
         let v = net.vsource("vin", inp, ElnNetwork::GROUND);
         net.vccs("g", out, ElnNetwork::GROUND, inp, ElnNetwork::GROUND, 1e-3);
         net.resistor("rl", out, ElnNetwork::GROUND, 2e3);
-        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(v, 1.0);
         s.step();
         assert!((s.node_voltage(out) + 2.0).abs() < 1e-12);
@@ -537,7 +675,11 @@ mod tests {
         net.resistor("r", a, b, 100.0);
         let l = net.inductor("l", b, ElnNetwork::GROUND, 1e-3);
         let tau = 1e-3 / 100.0;
-        let mut s = ElnSolver::new(&net, tau / 1000.0, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(tau / 1000.0)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(v, 1.0);
         for _ in 0..1000 {
             s.step();
@@ -556,7 +698,11 @@ mod tests {
         let v = net.vsource("vin", a, ElnNetwork::GROUND);
         let sw = net.switch("sw", a, out, 1e3, 1e9, true);
         net.resistor("rl", out, ElnNetwork::GROUND, 1e3);
-        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(v, 2.0);
         s.step();
         assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed: half");
@@ -578,11 +724,14 @@ mod tests {
     fn construction_errors() {
         let (net, _, _) = rc();
         assert!(matches!(
-            ElnSolver::new(&net, 0.0, Method::BackwardEuler),
+            Transient::new(&net)
+                .dt(0.0)
+                .method(Method::BackwardEuler)
+                .build(),
             Err(ElnError::InvalidTimeStep(_))
         ));
         assert!(matches!(
-            ElnSolver::new(&ElnNetwork::new(), 1e-9, Method::BackwardEuler),
+            Transient::new(&ElnNetwork::new()).dt(1e-9).build(),
             Err(ElnError::Empty)
         ));
         // Floating node → singular.
@@ -590,7 +739,11 @@ mod tests {
         let a = bad.node("a");
         let b = bad.node("b");
         bad.resistor("r", a, b, 1e3); // no ground reference at all
-        let err = ElnSolver::new(&bad, 1e-9, Method::BackwardEuler).unwrap_err();
+        let err = Transient::new(&bad)
+            .dt(1e-9)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ElnError::Singular(_)));
         assert!(err.to_string().contains("singular"));
     }

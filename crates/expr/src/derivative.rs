@@ -45,19 +45,14 @@ impl<V: Clone + Ord> Expr<V> {
             Expr::Bin(BinOp::Div, a, b) => {
                 let da = a.derivative_raw(v)?;
                 let db = b.derivative_raw(v)?;
-                (da * (**b).clone() - (**a).clone() * db)
-                    / ((**b).clone() * (**b).clone())
+                (da * (**b).clone() - (**a).clone() * db) / ((**b).clone() * (**b).clone())
             }
             Expr::Call(f, args) => return derive_call(*f, args, v),
             Expr::Cond(c, t, e) => {
                 if c.contains_var(v) {
                     return None;
                 }
-                Expr::cond(
-                    (**c).clone(),
-                    t.derivative_raw(v)?,
-                    e.derivative_raw(v)?,
-                )
+                Expr::cond((**c).clone(), t.derivative_raw(v)?, e.derivative_raw(v)?)
             }
             // Relational/logical results are piecewise-constant in v; their
             // derivative is zero almost everywhere, but a dependence on v
@@ -94,11 +89,7 @@ fn derive_call<V: Clone + Ord>(f: Func, args: &[Expr<V>], v: &V) -> Option<Expr<
         Func::Sqrt => da / (Expr::num(2.0) * Expr::call1(Func::Sqrt, a)),
         Func::Abs => {
             // d|a|/dv = sign(a) * da, expressed piecewise.
-            Expr::cond(
-                Expr::bin(BinOp::Ge, a, Expr::num(0.0)),
-                da.clone(),
-                -da,
-            )
+            Expr::cond(Expr::bin(BinOp::Ge, a, Expr::num(0.0)), da.clone(), -da)
         }
         Func::Floor | Func::Ceil => Expr::num(0.0),
         Func::Min => {
@@ -117,9 +108,7 @@ fn derive_call<V: Clone + Ord>(f: Func, args: &[Expr<V>], v: &V) -> Option<Expr<
                 return None;
             }
             // d(a^b)/dv = b * a^(b-1) * da, for exponent independent of v.
-            b.clone()
-                * Expr::call2(Func::Pow, a, b.clone() - Expr::num(1.0))
-                * da
+            b.clone() * Expr::call2(Func::Pow, a, b.clone() - Expr::num(1.0)) * da
         }
     };
     Some(d)
@@ -134,7 +123,8 @@ mod tests {
     }
 
     fn eval_at(e: &Expr<&'static str>, xv: f64) -> f64 {
-        e.eval(&mut |v: &&str, _| (*v == "x").then_some(xv)).unwrap()
+        e.eval(&mut |v: &&str, _| (*v == "x").then_some(xv))
+            .unwrap()
     }
 
     #[test]

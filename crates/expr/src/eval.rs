@@ -53,18 +53,11 @@ impl<V: Clone + Ord + fmt::Display> Expr<V> {
     /// let v = e.eval(&mut |_: &&str, delay| Some(if delay == 0 { 5.0 } else { 3.0 }));
     /// assert_eq!(v.unwrap(), 2.0);
     /// ```
-    pub fn eval(
-        &self,
-        env: &mut impl FnMut(&V, u32) -> Option<f64>,
-    ) -> Result<f64, EvalError> {
+    pub fn eval(&self, env: &mut impl FnMut(&V, u32) -> Option<f64>) -> Result<f64, EvalError> {
         match self {
             Expr::Num(v) => Ok(*v),
-            Expr::Var(v) => {
-                env(v, 0).ok_or_else(|| EvalError::UnknownVariable(v.to_string()))
-            }
-            Expr::Prev(v, k) => {
-                env(v, *k).ok_or_else(|| EvalError::UnknownVariable(v.to_string()))
-            }
+            Expr::Var(v) => env(v, 0).ok_or_else(|| EvalError::UnknownVariable(v.to_string())),
+            Expr::Prev(v, k) => env(v, *k).ok_or_else(|| EvalError::UnknownVariable(v.to_string())),
             Expr::Neg(a) => Ok(-a.eval(env)?),
             Expr::Bin(op, a, b) => Ok(op.apply(a.eval(env)?, b.eval(env)?)),
             Expr::Call(f, args) => {

@@ -44,11 +44,10 @@ pub mod vm;
 pub use eval::EvalError;
 pub use linear::{solve_linear, LinearPart};
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `a + b`
     Add,
@@ -104,7 +103,7 @@ impl BinOp {
 
 /// Built-in math functions, mirroring the Verilog-AMS standard functions the
 /// paper lists ("math functions (e.g., exp(x), sin(x))").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Func {
     /// `exp(x)`
     Exp,
@@ -238,7 +237,7 @@ impl Func {
 /// a discretization pass replaces them ([`EvalError::UnresolvedAnalogOp`]).
 /// [`Expr::Prev`] refers to the value a variable held `k` time steps ago and
 /// is what discretization produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr<V> {
     /// Numeric literal.
     Num(f64),
@@ -364,9 +363,7 @@ impl<V> Expr<V> {
             Expr::Neg(a) => a.has_analog_op(),
             Expr::Bin(_, a, b) => a.has_analog_op() || b.has_analog_op(),
             Expr::Call(_, args) => args.iter().any(Expr::has_analog_op),
-            Expr::Cond(c, t, e) => {
-                c.has_analog_op() || t.has_analog_op() || e.has_analog_op()
-            }
+            Expr::Cond(c, t, e) => c.has_analog_op() || t.has_analog_op() || e.has_analog_op(),
         }
     }
 }
@@ -464,9 +461,7 @@ impl<V: Clone + Ord> Expr<V> {
             Expr::Call(func, args) => {
                 Expr::Call(*func, args.iter().map(|a| a.map_vars(f)).collect())
             }
-            Expr::Cond(c, t, e) => {
-                Expr::cond(c.map_vars(f), t.map_vars(f), e.map_vars(f))
-            }
+            Expr::Cond(c, t, e) => Expr::cond(c.map_vars(f), t.map_vars(f), e.map_vars(f)),
         }
     }
 }

@@ -153,11 +153,7 @@ impl<V: Clone + Ord> Expr<V> {
 ///     .unwrap();
 /// assert!((v - 3.0).abs() < 1e-12);
 /// ```
-pub fn solve_linear<V: Clone + Ord>(
-    lhs: &Expr<V>,
-    rhs: &Expr<V>,
-    target: &V,
-) -> Option<Expr<V>> {
+pub fn solve_linear<V: Clone + Ord>(lhs: &Expr<V>, rhs: &Expr<V>, target: &V) -> Option<Expr<V>> {
     // Bring everything to one side: lhs - rhs = 0 ≡ coeff*t + rest = 0.
     let combined = lhs.clone() - rhs.clone();
     let lp = combined.linear_in(target)?;
@@ -278,9 +274,12 @@ mod tests {
     #[test]
     fn solve_plain_algebra() {
         // 3x + 6 = 0 → x = -2
-        let solved =
-            solve_linear(&(Expr::num(3.0) * x() + Expr::num(6.0)), &Expr::num(0.0), &"x")
-                .unwrap();
+        let solved = solve_linear(
+            &(Expr::num(3.0) * x() + Expr::num(6.0)),
+            &Expr::num(0.0),
+            &"x",
+        )
+        .unwrap();
         assert_eq!(solved.eval_const().unwrap(), -2.0);
     }
 }

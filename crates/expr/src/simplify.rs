@@ -42,13 +42,8 @@ impl<V: Clone + Ord> Expr<V> {
             Expr::Idt(a) => Expr::Idt(Box::new(a.simplified())),
             Expr::Bin(op, a, b) => simplify_bin(*op, a.simplified(), b.simplified()),
             Expr::Call(f, args) => {
-                let args: Vec<Expr<V>> =
-                    args.iter().map(Expr::simplified).collect();
-                if let Some(vals) = args
-                    .iter()
-                    .map(Expr::as_num)
-                    .collect::<Option<Vec<f64>>>()
-                {
+                let args: Vec<Expr<V>> = args.iter().map(Expr::simplified).collect();
+                if let Some(vals) = args.iter().map(Expr::as_num).collect::<Option<Vec<f64>>>() {
                     Expr::Num(f.apply(&vals))
                 } else {
                     Expr::Call(*f, args)
@@ -216,8 +211,7 @@ mod tests {
 
     #[test]
     fn simplify_preserves_value_spot_check() {
-        let e = ((x() * Expr::num(1.0) + Expr::num(0.0)) / Expr::num(2.0))
-            - (-Expr::var("y"));
+        let e = ((x() * Expr::num(1.0) + Expr::num(0.0)) / Expr::num(2.0)) - (-Expr::var("y"));
         let s = e.simplified();
         for (xv, yv) in [(1.0, 2.0), (-3.5, 0.25), (0.0, 0.0)] {
             let mut env = |v: &&str, _: u32| match *v {
@@ -225,9 +219,7 @@ mod tests {
                 "y" => Some(yv),
                 _ => None,
             };
-            assert!(
-                (e.eval(&mut env).unwrap() - s.eval(&mut env).unwrap()).abs() < 1e-12
-            );
+            assert!((e.eval(&mut env).unwrap() - s.eval(&mut env).unwrap()).abs() < 1e-12);
         }
     }
 }

@@ -167,13 +167,13 @@ fn emit<V: Clone + Ord + fmt::Display>(
     match expr {
         Expr::Num(v) => code.push(Instr::Const(*v)),
         Expr::Var(v) => {
-            let slot = resolve(v, 0)
-                .ok_or_else(|| CompileError::UnresolvedVariable(v.to_string()))?;
+            let slot =
+                resolve(v, 0).ok_or_else(|| CompileError::UnresolvedVariable(v.to_string()))?;
             code.push(Instr::Load(slot));
         }
         Expr::Prev(v, k) => {
-            let slot = resolve(v, *k)
-                .ok_or_else(|| CompileError::UnresolvedVariable(v.to_string()))?;
+            let slot =
+                resolve(v, *k).ok_or_else(|| CompileError::UnresolvedVariable(v.to_string()))?;
             code.push(Instr::Load(slot));
         }
         Expr::Neg(a) => {

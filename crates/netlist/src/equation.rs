@@ -1,11 +1,10 @@
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::{QExpr, Quantity};
 
 /// Where an equation came from, mirroring the paper's classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Origin {
     /// A constitutive dipole equation (contribution statement).
     Dipole,
@@ -37,7 +36,7 @@ impl fmt::Display for Origin {
 /// An implicit relation `expr = 0` — the raw form in which dipole equations
 /// and Kirchhoff laws enter the enrichment step before being solved for
 /// each of their terms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     /// The expression constrained to zero.
     pub zero: QExpr,
@@ -65,7 +64,7 @@ impl fmt::Display for Relation {
 }
 
 /// An explicit equation `lhs = rhs`, one *solved variant* of a relation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Equation {
     /// The defined quantity.
     pub lhs: Quantity,
@@ -82,12 +81,10 @@ impl fmt::Display for Equation {
 }
 
 /// Identifier of a dependency class inside an [`EquationTable`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub usize);
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct EqClass {
     members: Vec<Equation>,
     enabled: bool,
@@ -127,7 +124,7 @@ struct EqClass {
 /// table.disable_class(class);
 /// assert!(table.fetch(&y).is_none(), "whole class disabled");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EquationTable {
     classes: Vec<EqClass>,
     /// quantity → (class, member index) — the multimap of the paper, with
@@ -163,10 +160,7 @@ impl EquationTable {
     ) -> ClassId {
         let id = ClassId(self.classes.len());
         for (i, eq) in members.iter().enumerate() {
-            self.index
-                .entry(eq.lhs.clone())
-                .or_default()
-                .push((id, i));
+            self.index.entry(eq.lhs.clone()).or_default().push((id, i));
         }
         self.classes.push(EqClass {
             members,

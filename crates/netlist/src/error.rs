@@ -24,7 +24,10 @@ impl fmt::Display for NetlistError {
             NetlistError::DuplicateBranch(b) => write!(f, "duplicate branch `{b}`"),
             NetlistError::DuplicateNode(n) => write!(f, "duplicate node `{n}`"),
             NetlistError::Disconnected(n) => {
-                write!(f, "circuit graph is disconnected; node `{n}` is unreachable")
+                write!(
+                    f,
+                    "circuit graph is disconnected; node `{n}` is unreachable"
+                )
             }
             NetlistError::NoGround => write!(f, "no ground node declared"),
         }
@@ -45,6 +48,9 @@ mod tests {
         assert!(NetlistError::Disconnected("n9".into())
             .to_string()
             .contains("n9"));
-        assert_eq!(NetlistError::NoGround.to_string(), "no ground node declared");
+        assert_eq!(
+            NetlistError::NoGround.to_string(),
+            "no ground node declared"
+        );
     }
 }

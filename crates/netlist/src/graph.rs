@@ -1,22 +1,17 @@
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::NetlistError;
 
 /// Index of a node in a [`Graph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 /// Index of a branch in a [`Graph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BranchId(pub usize);
 
 /// A branch record: a named, oriented edge between two nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchRef {
     /// Branch name (unique within the graph).
     pub name: String,
@@ -45,7 +40,7 @@ pub struct BranchRef {
 /// assert_eq!(g.branch(r).name, "r1");
 /// # Ok::<(), amsvp_netlist::NetlistError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Graph {
     nodes: Vec<String>,
     branches: Vec<BranchRef>,
@@ -285,12 +280,7 @@ impl SpanningTree {
     /// # Panics
     ///
     /// Panics if either node is unreachable from the root.
-    pub fn path(
-        &self,
-        graph: &Graph,
-        from: NodeId,
-        to: NodeId,
-    ) -> Vec<(BranchId, bool)> {
+    pub fn path(&self, graph: &Graph, from: NodeId, to: NodeId) -> Vec<(BranchId, bool)> {
         // Walk both nodes up to the root recording their ancestor chains,
         // then splice at the lowest common ancestor.
         let chain = |mut n: NodeId| {
@@ -305,10 +295,12 @@ impl SpanningTree {
         let from_chain = chain(from);
         let to_chain = chain(to);
         // Depths to root; find first common node.
-        let mut from_nodes: Vec<NodeId> =
-            std::iter::once(from).chain(from_chain.iter().map(|&(_, _, p)| p)).collect();
-        let to_nodes: Vec<NodeId> =
-            std::iter::once(to).chain(to_chain.iter().map(|&(_, _, p)| p)).collect();
+        let mut from_nodes: Vec<NodeId> = std::iter::once(from)
+            .chain(from_chain.iter().map(|&(_, _, p)| p))
+            .collect();
+        let to_nodes: Vec<NodeId> = std::iter::once(to)
+            .chain(to_chain.iter().map(|&(_, _, p)| p))
+            .collect();
         let common = *from_nodes
             .iter()
             .find(|n| to_nodes.contains(n))
@@ -379,7 +371,10 @@ mod tests {
     fn duplicates_rejected() {
         let mut g = Graph::new();
         let a = g.add_node("a").unwrap();
-        assert_eq!(g.add_node("a"), Err(NetlistError::DuplicateNode("a".into())));
+        assert_eq!(
+            g.add_node("a"),
+            Err(NetlistError::DuplicateNode("a".into()))
+        );
         let b = g.add_node("b").unwrap();
         g.add_branch("x", a, b).unwrap();
         assert_eq!(
@@ -450,11 +445,19 @@ mod tests {
         let t = g.spanning_tree(gnd);
         for cycle in g.fundamental_loops(&t) {
             let (b0, forward0) = cycle[0];
-            let start = if forward0 { g.branch(b0).pos } else { g.branch(b0).neg };
+            let start = if forward0 {
+                g.branch(b0).pos
+            } else {
+                g.branch(b0).neg
+            };
             let mut at = start;
             for &(b, forward) in &cycle {
                 let br = g.branch(b);
-                let (enter, exit) = if forward { (br.pos, br.neg) } else { (br.neg, br.pos) };
+                let (enter, exit) = if forward {
+                    (br.pos, br.neg)
+                } else {
+                    (br.neg, br.pos)
+                };
                 assert_eq!(at, enter, "loop must be contiguous");
                 at = exit;
             }
@@ -471,7 +474,11 @@ mod tests {
         let mut at = a;
         for &(bid, forward) in &p {
             let br = g.branch(bid);
-            let (enter, exit) = if forward { (br.pos, br.neg) } else { (br.neg, br.pos) };
+            let (enter, exit) = if forward {
+                (br.pos, br.neg)
+            } else {
+                (br.neg, br.pos)
+            };
             assert_eq!(at, enter);
             at = exit;
         }

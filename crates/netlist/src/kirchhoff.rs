@@ -89,9 +89,13 @@ pub fn vdef_relations(graph: &Graph, grounds: &HashSet<NodeId>) -> Vec<Relation>
         .branch_ids()
         .map(|b| {
             let br = graph.branch(b);
-            let zero = Expr::var(Quantity::BranchV(br.name.clone()))
-                - (node_v(br.pos) - node_v(br.neg));
-            Relation::new(zero.simplified(), Origin::VDef, format!("branch {}", br.name))
+            let zero =
+                Expr::var(Quantity::BranchV(br.name.clone())) - (node_v(br.pos) - node_v(br.neg));
+            Relation::new(
+                zero.simplified(),
+                Origin::VDef,
+                format!("branch {}", br.name),
+            )
         })
         .collect()
 }

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An electrical (or auxiliary) quantity — the variable type of every
@@ -8,9 +7,7 @@ use std::fmt;
 /// law around any loop that the `vdef` relations close is satisfied by
 /// construction; explicit KVL mesh equations are *additionally* generated to
 /// enrich the solving chains, exactly as the paper's Algorithm 1 does.
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Quantity {
     /// Potential of a named node with respect to ground.
     NodeV(String),
@@ -115,9 +112,7 @@ mod tests {
             Quantity::input("u"),
         ] {
             let m = q.mangle();
-            assert!(m
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(m.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
         }
         // Different kinds over the same name must not collide.
         assert_ne!(
@@ -135,11 +130,13 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = [Quantity::input("a"),
+        let mut v = [
+            Quantity::input("a"),
             Quantity::node_v("a"),
             Quantity::branch_i("a"),
             Quantity::branch_v("a"),
-            Quantity::var("a")];
+            Quantity::var("a"),
+        ];
         v.sort();
         assert_eq!(v[0], Quantity::node_v("a"));
         assert_eq!(v.last(), Some(&Quantity::input("a")));

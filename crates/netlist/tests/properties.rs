@@ -1,53 +1,90 @@
 //! Property tests: Kirchhoff relations generated from random connected
 //! graphs must vanish under physically consistent assignments.
+//!
+//! Random graphs come from a seeded xorshift generator, so every run
+//! checks the same reproducible topologies.
 
 use std::collections::{HashMap, HashSet};
 
 use amsvp_netlist::{kcl_relations, kvl_relations, vdef_relations, Graph, Quantity};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// A random connected multigraph: `n` nodes, a random spanning backbone
 /// plus extra chords.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..10).prop_flat_map(|n| {
-        let backbone = proptest::collection::vec((0usize..1000, any::<bool>()), n - 1);
-        let chords = proptest::collection::vec((0usize..1000, 0usize..1000), 0..6);
-        (Just(n), backbone, chords).prop_map(|(n, backbone, chords)| {
-            let mut g = Graph::new();
-            for i in 0..n {
-                g.add_node(format!("n{i}")).unwrap();
-            }
-            let mut bid = 0;
-            // Backbone: connect node i+1 to a random earlier node.
-            for (i, (pick, flip)) in backbone.into_iter().enumerate() {
-                let a = amsvp_netlist::NodeId(pick % (i + 1));
-                let b = amsvp_netlist::NodeId(i + 1);
-                let (p, q) = if flip { (a, b) } else { (b, a) };
-                g.add_branch(format!("b{bid}"), p, q).unwrap();
-                bid += 1;
-            }
-            for (x, y) in chords {
-                let a = amsvp_netlist::NodeId(x % n);
-                let b = amsvp_netlist::NodeId(y % n);
-                if a == b {
-                    continue; // no self-loops
-                }
-                g.add_branch(format!("b{bid}"), a, b).unwrap();
-                bid += 1;
-            }
-            g
-        })
-    })
+fn random_graph(rng: &mut Rng) -> Graph {
+    let n = rng.usize_in(2, 10);
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add_node(format!("n{i}")).unwrap();
+    }
+    let mut bid = 0;
+    // Backbone: connect node i+1 to a random earlier node.
+    for i in 0..n - 1 {
+        let a = amsvp_netlist::NodeId(rng.usize_in(0, i + 1));
+        let b = amsvp_netlist::NodeId(i + 1);
+        let (p, q) = if rng.bool() { (a, b) } else { (b, a) };
+        g.add_branch(format!("b{bid}"), p, q).unwrap();
+        bid += 1;
+    }
+    for _ in 0..rng.usize_in(0, 6) {
+        let a = amsvp_netlist::NodeId(rng.usize_in(0, n));
+        let b = amsvp_netlist::NodeId(rng.usize_in(0, n));
+        if a == b {
+            continue; // no self-loops
+        }
+        g.add_branch(format!("b{bid}"), a, b).unwrap();
+        bid += 1;
+    }
+    g
 }
 
-proptest! {
-    /// KVL relations vanish when branch voltages come from arbitrary node
-    /// potentials (V[b] = V(pos) − V(neg)).
-    #[test]
-    fn kvl_vanishes_for_potential_consistent_voltages(
-        g in arb_graph(),
-        pots in proptest::collection::vec(-10.0f64..10.0, 10),
-    ) {
+fn random_pots(rng: &mut Rng) -> Vec<f64> {
+    (0..10).map(|_| rng.range(-10.0, 10.0)).collect()
+}
+
+const CASES: usize = 128;
+
+/// KVL relations vanish when branch voltages come from arbitrary node
+/// potentials (V[b] = V(pos) − V(neg)).
+#[test]
+fn kvl_vanishes_for_potential_consistent_voltages() {
+    let mut rng = Rng::new(0x0b51_de01);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
+        let pots = random_pots(&mut rng);
         let root = amsvp_netlist::NodeId(0);
         let rels = kvl_relations(&g, root);
         let mut vb: HashMap<String, f64> = HashMap::new();
@@ -56,21 +93,26 @@ proptest! {
             vb.insert(br.name.clone(), pots[br.pos.0] - pots[br.neg.0]);
         }
         for r in rels {
-            let v = r.zero.eval(&mut |q: &Quantity, _| match q {
-                Quantity::BranchV(n) => vb.get(n).copied(),
-                _ => None,
-            }).unwrap();
-            prop_assert!(v.abs() < 1e-9, "KVL violated: {v} for {r}");
+            let v = r
+                .zero
+                .eval(&mut |q: &Quantity, _| match q {
+                    Quantity::BranchV(n) => vb.get(n).copied(),
+                    _ => None,
+                })
+                .unwrap();
+            assert!(v.abs() < 1e-9, "KVL violated: {v} for {r}");
         }
     }
+}
 
-    /// KCL relations vanish when branch currents are superpositions of
-    /// fundamental loop currents (a divergence-free flow by construction).
-    #[test]
-    fn kcl_vanishes_for_loop_current_superposition(
-        g in arb_graph(),
-        loop_currents in proptest::collection::vec(-5.0f64..5.0, 16),
-    ) {
+/// KCL relations vanish when branch currents are superpositions of
+/// fundamental loop currents (a divergence-free flow by construction).
+#[test]
+fn kcl_vanishes_for_loop_current_superposition() {
+    let mut rng = Rng::new(0x0c51_de02);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
+        let loop_currents: Vec<f64> = (0..16).map(|_| rng.range(-5.0, 5.0)).collect();
         let root = amsvp_netlist::NodeId(0);
         let tree = g.spanning_tree(root);
         let loops = g.fundamental_loops(&tree);
@@ -88,56 +130,67 @@ proptest! {
         // No excluded nodes: a pure loop flow balances everywhere.
         let rels = kcl_relations(&g, &HashSet::new());
         for r in rels {
-            let v = r.zero.eval(&mut |q: &Quantity, _| match q {
-                Quantity::BranchI(n) => ib.get(n).copied(),
-                _ => None,
-            }).unwrap();
-            prop_assert!(v.abs() < 1e-9, "KCL violated: {v} for {r}");
+            let v = r
+                .zero
+                .eval(&mut |q: &Quantity, _| match q {
+                    Quantity::BranchI(n) => ib.get(n).copied(),
+                    _ => None,
+                })
+                .unwrap();
+            assert!(v.abs() < 1e-9, "KCL violated: {v} for {r}");
         }
     }
+}
 
-    /// vdef relations vanish for consistent assignments and never mention
-    /// ground potentials.
-    #[test]
-    fn vdef_consistent_and_groundless(
-        g in arb_graph(),
-        pots in proptest::collection::vec(-10.0f64..10.0, 10),
-    ) {
+/// vdef relations vanish for consistent assignments and never mention
+/// ground potentials.
+#[test]
+fn vdef_consistent_and_groundless() {
+    let mut rng = Rng::new(0x0d51_de03);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
+        let mut pots = random_pots(&mut rng);
         let ground = amsvp_netlist::NodeId(0);
         let grounds: HashSet<_> = [ground].into_iter().collect();
         let rels = vdef_relations(&g, &grounds);
-        prop_assert_eq!(rels.len(), g.branch_count());
-        let mut pots = pots;
+        assert_eq!(rels.len(), g.branch_count());
         pots[0] = 0.0; // ground potential
         for r in &rels {
             for q in r.zero.variables() {
-                prop_assert!(q.name() != "n0", "ground must be folded: {r}");
+                assert!(q.name() != "n0", "ground must be folded: {r}");
             }
-            let v = r.zero.eval(&mut |q: &Quantity, _| match q {
-                Quantity::NodeV(n) => {
-                    let idx: usize = n[1..].parse().unwrap();
-                    Some(pots[idx])
-                }
-                Quantity::BranchV(n) => {
-                    let b = g.branch_id(n).unwrap();
-                    let br = g.branch(b);
-                    Some(pots[br.pos.0] - pots[br.neg.0])
-                }
-                _ => None,
-            }).unwrap();
-            prop_assert!(v.abs() < 1e-9, "vdef violated: {v} for {r}");
+            let v = r
+                .zero
+                .eval(&mut |q: &Quantity, _| match q {
+                    Quantity::NodeV(n) => {
+                        let idx: usize = n[1..].parse().unwrap();
+                        Some(pots[idx])
+                    }
+                    Quantity::BranchV(n) => {
+                        let b = g.branch_id(n).unwrap();
+                        let br = g.branch(b);
+                        Some(pots[br.pos.0] - pots[br.neg.0])
+                    }
+                    _ => None,
+                })
+                .unwrap();
+            assert!(v.abs() < 1e-9, "vdef violated: {v} for {r}");
         }
     }
+}
 
-    /// Spanning tree always has |N|−1 edges and fundamental loop count
-    /// equals |B| − (|N|−1).
-    #[test]
-    fn tree_and_loop_counts(g in arb_graph()) {
+/// Spanning tree always has |N|−1 edges and fundamental loop count
+/// equals |B| − (|N|−1).
+#[test]
+fn tree_and_loop_counts() {
+    let mut rng = Rng::new(0x0e51_de04);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
         let root = amsvp_netlist::NodeId(0);
         let tree = g.spanning_tree(root);
         let tree_edges = g.branch_ids().filter(|&b| tree.contains(b)).count();
-        prop_assert_eq!(tree_edges, g.node_count() - 1);
+        assert_eq!(tree_edges, g.node_count() - 1);
         let loops = g.fundamental_loops(&tree);
-        prop_assert_eq!(loops.len(), g.branch_count() - tree_edges);
+        assert_eq!(loops.len(), g.branch_count() - tree_edges);
     }
 }

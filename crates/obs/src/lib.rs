@@ -1,0 +1,625 @@
+//! Lightweight, zero-cost-when-disabled instrumentation for the amsvp
+//! simulation substrates.
+//!
+//! The paper's argument is quantitative — Tables I–III compare simulation
+//! cost across abstraction levels — so every solver and kernel in this
+//! workspace reports *where* its time goes through this crate:
+//!
+//! * **Counters** — monotonic event counts (kernel activations, delta
+//!   cycles, TDF firings, Newton iterations, LU solves, co-simulation
+//!   handshakes).
+//! * **Spans** — hierarchical wall-time regions (`span!(obs, "assemble")`);
+//!   nested spans record under slash-joined paths such as
+//!   `pipeline/assemble`.
+//! * **Timers/histograms** — every span exit feeds a per-path timer with
+//!   count/total/min/max plus a log₂-nanosecond histogram.
+//!
+//! All instrumentation goes through the cloneable [`Obs`] handle, which
+//! wraps a [`Collector`]. The default collector is a no-op: every hot-path
+//! call sites checks [`Obs::enabled`] first (one predictable branch), so a
+//! disabled handle costs nothing measurable. [`RecordingCollector`]
+//! aggregates into a [`Report`] that serializes to JSON without any
+//! external dependency — `crates/bench` writes it as `BENCH_obs.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use amsvp_obs::Obs;
+//!
+//! let obs = Obs::recording();
+//! {
+//!     let _outer = obs.span("pipeline");
+//!     let _inner = obs.span("assemble");
+//!     obs.add("equations", 12);
+//! }
+//! let report = obs.report().unwrap();
+//! assert_eq!(report.counters["equations"], 12);
+//! assert!(report.timers.contains_key("pipeline/assemble"));
+//! let json = report.to_json();
+//! assert!(json.contains("\"equations\": 12"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sink for instrumentation events.
+///
+/// Every method has a no-op default, so a unit struct implementing
+/// `Collector` with an empty body *is* the disabled collector. Collectors
+/// must be thread-safe: the co-simulation bridge reports handshakes from
+/// its worker thread.
+pub trait Collector: Send + Sync + 'static {
+    /// Whether events are being recorded. Hot paths gate every other call
+    /// (and their own `Instant::now()` reads) on this, so a `false` here
+    /// keeps instrumentation overhead to one predictable branch.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one wall-time observation, in seconds, under `name`.
+    fn record(&self, name: &str, seconds: f64) {
+        let _ = (name, seconds);
+    }
+
+    /// Marks the start of a span. Collectors that track hierarchy push
+    /// `name` onto their span stack.
+    fn span_enter(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Marks the end of the innermost span named `name`, with its
+    /// measured duration in seconds.
+    fn span_exit(&self, name: &'static str, seconds: f64) {
+        let _ = (name, seconds);
+    }
+
+    /// Snapshot of everything recorded so far; `None` for collectors that
+    /// keep nothing.
+    fn report(&self) -> Option<Report> {
+        None
+    }
+}
+
+/// The do-nothing collector behind [`Obs::none`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {}
+
+/// Cloneable instrumentation handle shared by every simulator and kernel.
+///
+/// Cloning is an `Arc` bump; all clones feed the same collector. The
+/// `Default` handle is disabled.
+#[derive(Clone)]
+pub struct Obs(Arc<dyn Collector>);
+
+impl Obs {
+    /// A disabled handle (the default everywhere).
+    pub fn none() -> Obs {
+        Obs(Arc::new(NoopCollector))
+    }
+
+    /// A handle backed by a fresh [`RecordingCollector`].
+    pub fn recording() -> Obs {
+        Obs(Arc::new(RecordingCollector::default()))
+    }
+
+    /// Wraps a custom collector.
+    pub fn with_collector(collector: Arc<dyn Collector>) -> Obs {
+        Obs(collector)
+    }
+
+    /// Whether the underlying collector records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    /// Adds `delta` to counter `name` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, name: &str, delta: u64) {
+        if self.0.enabled() {
+            self.0.add(name, delta);
+        }
+    }
+
+    /// Records a wall-time observation in seconds under `name`.
+    #[inline]
+    pub fn time(&self, name: &str, seconds: f64) {
+        if self.0.enabled() {
+            self.0.record(name, seconds);
+        }
+    }
+
+    /// Opens a hierarchical span; the returned guard closes it on drop.
+    /// When disabled this takes no clock reading at all.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let start = if self.0.enabled() {
+            self.0.span_enter(name);
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanGuard {
+            obs: self,
+            name,
+            start,
+        }
+    }
+
+    /// Snapshot of the collector's aggregates (`None` when disabled).
+    pub fn report(&self) -> Option<Report> {
+        self.0.report()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::none()
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// Opens a span for the rest of the enclosing scope:
+/// `span!(obs, "assemble");`.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr) => {
+        let _span_guard = $obs.span($name);
+    };
+}
+
+/// RAII guard returned by [`Obs::span`]; records the elapsed time when
+/// dropped.
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.obs
+                .0
+                .span_exit(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Tracks how much of a locally-maintained monotonic counter has already
+/// been flushed to a collector.
+///
+/// The simulators keep their performance counters as plain `u64` fields
+/// (zero overhead per event) and push the *delta* to [`Obs`] at natural
+/// boundaries — the end of a `run_until`, an explicit flush, or `Drop`.
+/// `CounterTracker` remembers the last flushed value so repeated flushes
+/// never double-count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterTracker(u64);
+
+impl CounterTracker {
+    /// Pushes `current - last_flushed` to counter `name` and remembers
+    /// `current`. No-op when the handle is disabled or nothing changed.
+    pub fn flush(&mut self, obs: &Obs, name: &str, current: u64) {
+        if current > self.0 {
+            obs.add(name, current - self.0);
+            self.0 = current;
+        }
+    }
+}
+
+/// Number of log₂-nanosecond histogram buckets (bucket *k* holds
+/// observations in `[2^k, 2^{k+1})` ns; ~35 minutes saturates the last).
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// Aggregated wall-time statistics for one timer / span path.
+#[derive(Clone, PartialEq)]
+pub struct TimerStat {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations in seconds.
+    pub total: f64,
+    /// Smallest observation in seconds.
+    pub min: f64,
+    /// Largest observation in seconds.
+    pub max: f64,
+    /// Log₂-nanosecond histogram; bucket `k` counts observations whose
+    /// duration in nanoseconds satisfies `2^k ≤ ns < 2^{k+1}`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for TimerStat {
+    fn default() -> Self {
+        TimerStat {
+            count: 0,
+            total: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl TimerStat {
+    fn observe(&mut self, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds >= 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        self.count += 1;
+        self.total += seconds;
+        self.min = self.min.min(seconds);
+        self.max = self.max.max(seconds);
+        let ns = (seconds * 1e9).max(1.0);
+        let bucket = (ns.log2() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+
+    fn merge(&mut self, other: &TimerStat) {
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Debug for TimerStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimerStat")
+            .field("count", &self.count)
+            .field("total", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Immutable snapshot of a [`RecordingCollector`]: counters plus timers.
+///
+/// Serializes to self-describing JSON via [`Report::to_json`]; the bench
+/// harness writes it as `BENCH_obs.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Wall-time statistics by timer name / span path.
+    pub timers: BTreeMap<String, TimerStat>,
+}
+
+impl Report {
+    /// Folds another report into this one (counters add, timers merge).
+    pub fn merge(&mut self, other: &Report) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.timers {
+            self.timers.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Pretty-printed JSON (two-space indent, sorted keys).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_string(&mut s, k);
+            s.push_str(&format!(": {v}"));
+        }
+        if !self.counters.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("},\n  \"timers\": {");
+        for (i, (k, t)) in self.timers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_string(&mut s, k);
+            s.push_str(": { \"count\": ");
+            s.push_str(&t.count.to_string());
+            s.push_str(", \"total_s\": ");
+            push_json_f64(&mut s, t.total);
+            s.push_str(", \"mean_s\": ");
+            push_json_f64(&mut s, t.mean());
+            s.push_str(", \"min_s\": ");
+            push_json_f64(&mut s, if t.count == 0 { 0.0 } else { t.min });
+            s.push_str(", \"max_s\": ");
+            push_json_f64(&mut s, t.max);
+            s.push_str(", \"histogram_log2_ns\": [");
+            let mut first = true;
+            for (bucket, &n) in t.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                s.push_str(&format!("[{bucket}, {n}]"));
+            }
+            s.push_str("] }");
+        }
+        if !self.timers.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Writes [`Report::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn push_json_string(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+fn push_json_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        let formatted = format!("{v}");
+        // `{}` prints integral floats without a decimal point; keep the
+        // output unambiguously a JSON number with fractional part.
+        if formatted.contains('.') || formatted.contains('e') {
+            s.push_str(&formatted);
+        } else {
+            s.push_str(&formatted);
+            s.push_str(".0");
+        }
+    } else {
+        s.push_str("null");
+    }
+}
+
+/// Thread-safe aggregating collector behind [`Obs::recording`].
+///
+/// Spans nest per collector (one logical span stack): entering `a` then
+/// `b` records the inner exit under `a/b`. The co-simulation worker
+/// thread only uses counters, so the shared stack stays coherent.
+#[derive(Default)]
+pub struct RecordingCollector {
+    inner: Mutex<RecState>,
+}
+
+#[derive(Default)]
+struct RecState {
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, TimerStat>,
+    stack: Vec<&'static str>,
+}
+
+impl RecState {
+    fn path_of(&self, name: &'static str) -> String {
+        // The stack includes `name` itself (pushed by span_enter).
+        let depth = self
+            .stack
+            .iter()
+            .rposition(|&n| std::ptr::eq(n.as_ptr(), name.as_ptr()) || n == name)
+            .map(|i| i + 1)
+            .unwrap_or(self.stack.len());
+        let mut path = String::new();
+        for n in &self.stack[..depth] {
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(n);
+        }
+        if path.is_empty() {
+            path.push_str(name);
+        }
+        path
+    }
+}
+
+impl Collector for RecordingCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut st = self.inner.lock().expect("obs lock");
+        match st.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                st.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn record(&self, name: &str, seconds: f64) {
+        let mut st = self.inner.lock().expect("obs lock");
+        match st.timers.get_mut(name) {
+            Some(t) => t.observe(seconds),
+            None => {
+                let mut t = TimerStat::default();
+                t.observe(seconds);
+                st.timers.insert(name.to_string(), t);
+            }
+        }
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        self.inner.lock().expect("obs lock").stack.push(name);
+    }
+
+    fn span_exit(&self, name: &'static str, seconds: f64) {
+        let mut st = self.inner.lock().expect("obs lock");
+        let path = st.path_of(name);
+        // Pop through the matching entry (robust to a mismatched exit).
+        while let Some(top) = st.stack.pop() {
+            if top == name {
+                break;
+            }
+        }
+        st.timers.entry(path).or_default().observe(seconds);
+    }
+
+    fn report(&self) -> Option<Report> {
+        let st = self.inner.lock().expect("obs lock");
+        Some(Report {
+            counters: st.counters.clone(),
+            timers: st.timers.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_calls_and_clones() {
+        let obs = Obs::recording();
+        let clone = obs.clone();
+        obs.add("events", 3);
+        clone.add("events", 4);
+        obs.add("other", 1);
+        let report = obs.report().unwrap();
+        assert_eq!(report.counters["events"], 7);
+        assert_eq!(report.counters["other"], 1);
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let obs = Obs::recording();
+        {
+            let _a = obs.span("pipeline");
+            {
+                span!(obs, "acquire");
+            }
+            {
+                span!(obs, "assemble");
+            }
+        }
+        let report = obs.report().unwrap();
+        let keys: Vec<&str> = report.timers.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["pipeline", "pipeline/acquire", "pipeline/assemble"]);
+        assert_eq!(report.timers["pipeline"].count, 1);
+        // The outer span covers both inner ones.
+        assert!(report.timers["pipeline"].total >= report.timers["pipeline/acquire"].total);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let obs = Obs::none();
+        assert!(!obs.enabled());
+        obs.add("events", 5);
+        obs.time("t", 1.0);
+        {
+            span!(obs, "phase");
+        }
+        assert!(obs.report().is_none());
+    }
+
+    #[test]
+    fn timer_statistics_aggregate() {
+        let obs = Obs::recording();
+        obs.time("step", 1e-6);
+        obs.time("step", 3e-6);
+        let report = obs.report().unwrap();
+        let t = &report.timers["step"];
+        assert_eq!(t.count, 2);
+        assert!((t.total - 4e-6).abs() < 1e-12);
+        assert!((t.mean() - 2e-6).abs() < 1e-12);
+        assert!((t.min - 1e-6).abs() < 1e-12);
+        assert!((t.max - 3e-6).abs() < 1e-12);
+        // 1 µs = 1000 ns → bucket 9 ([512, 1024) ns); 3 µs → bucket 11.
+        assert_eq!(t.buckets[9], 1);
+        assert_eq!(t.buckets[11], 1);
+    }
+
+    #[test]
+    fn report_merges() {
+        let a_obs = Obs::recording();
+        a_obs.add("n", 1);
+        a_obs.time("t", 1.0);
+        let b_obs = Obs::recording();
+        b_obs.add("n", 2);
+        b_obs.time("t", 3.0);
+        let mut a = a_obs.report().unwrap();
+        a.merge(&b_obs.report().unwrap());
+        assert_eq!(a.counters["n"], 3);
+        assert_eq!(a.timers["t"].count, 2);
+        assert!((a.timers["t"].max - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let obs = Obs::recording();
+        obs.add("a\"b", 1);
+        obs.time("t", 0.5);
+        let json = obs.report().unwrap().to_json();
+        assert!(json.contains("\"a\\\"b\": 1"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"total_s\": 0.5"));
+        assert!(json.contains("\"histogram_log2_ns\""));
+        // Balanced braces/brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction() {
+        let mut s = String::new();
+        push_json_f64(&mut s, 2.0);
+        assert_eq!(s, "2.0");
+        let mut s = String::new();
+        push_json_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,4 +1,5 @@
 use de::SimTime;
+use obs::Obs;
 use std::collections::VecDeque;
 
 /// Identifier of a TDF module within its graph.
@@ -58,12 +59,26 @@ pub struct TdfGraph {
     pub(crate) module_inputs: Vec<Vec<usize>>,
     pub(crate) module_outputs: Vec<Vec<usize>>,
     pub(crate) timesteps: Vec<Option<SimTime>>,
+    pub(crate) obs: Obs,
 }
 
 impl TdfGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         TdfGraph::default()
+    }
+
+    /// Attaches an instrumentation collector; the executor built from this
+    /// graph reports `tdf.firings` and `tdf.run_until` timings through it.
+    #[must_use]
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// In-place variant of [`TdfGraph::collector`].
+    pub fn set_collector(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Allocates an input port consuming `rate` samples per firing.

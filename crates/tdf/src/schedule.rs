@@ -1,7 +1,9 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use de::SimTime;
+use obs::{CounterTracker, Obs};
 
 use crate::graph::{Io, TdfGraph, TdfModule};
 use crate::ModuleId;
@@ -83,6 +85,8 @@ pub struct TdfExecutor {
     firings: u64,
     /// Scratch: per-channel base index for the current firing.
     bases: Vec<usize>,
+    obs: Obs,
+    obs_firings: CounterTracker,
 }
 
 impl TdfGraph {
@@ -195,8 +199,7 @@ impl TdfGraph {
             .collect();
 
         // Static firing order by token simulation.
-        let mut tokens: Vec<usize> =
-            self.channels.iter().map(|c| c.delay).collect();
+        let mut tokens: Vec<usize> = self.channels.iter().map(|c| c.delay).collect();
         let mut remaining = repetitions.clone();
         let total: u64 = repetitions.iter().sum();
         let mut schedule = Vec::with_capacity(total as usize);
@@ -233,6 +236,7 @@ impl TdfGraph {
         }
 
         let bases = vec![0usize; self.channels.len()];
+        let obs = self.obs.clone();
         Ok(TdfExecutor {
             graph: self,
             schedule,
@@ -242,6 +246,8 @@ impl TdfGraph {
             now: SimTime::ZERO,
             firings: 0,
             bases,
+            obs,
+            obs_firings: CounterTracker::default(),
         })
     }
 }
@@ -285,6 +291,12 @@ impl TdfExecutor {
         self.firings
     }
 
+    /// Attaches an instrumentation collector after elaboration
+    /// (equivalent to [`TdfGraph::collector`] before `build`).
+    pub fn set_collector(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     /// Downcasts a module back to its concrete type.
     pub fn module_mut<M: TdfModule>(&mut self, id: ModuleId) -> Option<&mut M> {
         let m: &mut dyn TdfModule = &mut *self.graph.modules[id.0];
@@ -311,13 +323,9 @@ impl TdfExecutor {
                     buf.extend(std::iter::repeat_n(0.0, rate));
                 }
             }
-            let time = self.now
-                + SimTime::fs(self.module_ts[m].as_fs() * fire_count[m]);
+            let time = self.now + SimTime::fs(self.module_ts[m].as_fs() * fire_count[m]);
             {
-                let mut module = std::mem::replace(
-                    &mut self.graph.modules[m],
-                    Box::new(NopTdf),
-                );
+                let mut module = std::mem::replace(&mut self.graph.modules[m], Box::new(NopTdf));
                 let mut io = Io {
                     in_ports: &self.graph.in_ports,
                     out_ports: &self.graph.out_ports,
@@ -347,8 +355,15 @@ impl TdfExecutor {
     /// Runs whole cluster periods until simulated time reaches (at least)
     /// `until`.
     pub fn run_until(&mut self, until: SimTime) {
+        let timer = self.obs.enabled().then(Instant::now);
         while self.now < until {
             self.run_iteration();
+        }
+        if let Some(start) = timer {
+            self.obs
+                .time("tdf.run_until", start.elapsed().as_secs_f64());
+            let firings = self.firings;
+            self.obs_firings.flush(&self.obs, "tdf.firings", firings);
         }
     }
 }
@@ -421,8 +436,24 @@ mod tests {
         g.connect(c_out, s_a, 0);
         g.connect(c2_out, s_b, 0);
         g.connect(s_out, p_in, 0);
-        let m_const = g.add_module_named("one", Const { out: c_out, value: 1.0 }, &[], &[c_out]);
-        g.add_module_named("two", Const { out: c2_out, value: 2.0 }, &[], &[c2_out]);
+        let m_const = g.add_module_named(
+            "one",
+            Const {
+                out: c_out,
+                value: 1.0,
+            },
+            &[],
+            &[c_out],
+        );
+        g.add_module_named(
+            "two",
+            Const {
+                out: c2_out,
+                value: 2.0,
+            },
+            &[],
+            &[c2_out],
+        );
         g.add_module_named(
             "sum",
             Sum {
@@ -472,7 +503,15 @@ mod tests {
                 self.next += 1.0;
             }
         }
-        let src = g.add_module_named("src", Counter { out: src_out, next: 0.0 }, &[], &[src_out]);
+        let src = g.add_module_named(
+            "src",
+            Counter {
+                out: src_out,
+                next: 0.0,
+            },
+            &[],
+            &[src_out],
+        );
         let dec = g.add_module_named(
             "dec",
             Decimate {
@@ -531,7 +570,15 @@ mod tests {
             g.connect(src_out, a_in, 0);
             g.connect(fb_out, fb_in, delay);
             g.connect(a_out, p_in, 0);
-            let src = g.add_module_named("one", Const { out: src_out, value: 1.0 }, &[], &[src_out]);
+            let src = g.add_module_named(
+                "one",
+                Const {
+                    out: src_out,
+                    value: 1.0,
+                },
+                &[],
+                &[src_out],
+            );
             g.add_module_named(
                 "acc",
                 Acc {

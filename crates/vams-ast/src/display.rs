@@ -148,8 +148,7 @@ mod tests {
         m.analog.push(Stmt {
             kind: StmtKind::Contribution {
                 target: VamsRef::potential2("in", "out"),
-                value: Expr::var(VamsRef::ident("R"))
-                    * Expr::var(VamsRef::flow1("res")),
+                value: Expr::var(VamsRef::ident("R")) * Expr::var(VamsRef::flow1("res")),
             },
             span: Span::default(),
         });

@@ -21,15 +21,11 @@
 
 mod display;
 
-use serde::{Deserialize, Serialize};
-
 /// Re-exported operators and expression type shared across the workspace.
 pub use expr::{BinOp, Expr, Func};
 
 /// A source position (1-based line and column).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Span {
     /// 1-based line number.
     pub line: u32,
@@ -56,9 +52,7 @@ impl std::fmt::Display for Span {
 ///
 /// Implements `Ord`/`Display` so it can serve directly as the variable type
 /// of [`Expr`].
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum VamsRef {
     /// A parameter or variable name.
     Ident(String),
@@ -105,7 +99,7 @@ impl VamsRef {
 pub type VamsExpr = Expr<VamsRef>;
 
 /// Port direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDir {
     /// `input`
     Input,
@@ -126,7 +120,7 @@ impl std::fmt::Display for PortDir {
 }
 
 /// A module port with its direction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Port {
     /// Port name.
     pub name: String,
@@ -137,7 +131,7 @@ pub struct Port {
 }
 
 /// A `parameter real name = default;` declaration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Parameter {
     /// Parameter name.
     pub name: String,
@@ -148,7 +142,7 @@ pub struct Parameter {
 }
 
 /// A discipline net declaration such as `electrical in, out;`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetDecl {
     /// Discipline name (`electrical`, `rotational`, ...).
     pub discipline: String,
@@ -159,7 +153,7 @@ pub struct NetDecl {
 }
 
 /// A named branch declaration: `branch (a, b) name;`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchDecl {
     /// Branch name.
     pub name: String,
@@ -172,7 +166,7 @@ pub struct BranchDecl {
 }
 
 /// One statement of the `analog` block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     /// What the statement does.
     pub kind: StmtKind,
@@ -181,7 +175,7 @@ pub struct Stmt {
 }
 
 /// Statement kinds of the `analog` block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// Contribution statement: `target <+ expr;`. The target is always a
     /// potential or flow access.
@@ -211,7 +205,7 @@ pub enum StmtKind {
 }
 
 /// A Verilog-AMS module.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Module {
     /// Module name.
     pub name: String,
@@ -255,7 +249,9 @@ impl Module {
 
     /// Iterates over all declared net names (across disciplines).
     pub fn net_names(&self) -> impl Iterator<Item = &str> {
-        self.nets.iter().flat_map(|d| d.names.iter().map(String::as_str))
+        self.nets
+            .iter()
+            .flat_map(|d| d.names.iter().map(String::as_str))
     }
 
     /// Whether `name` is a declared net.
@@ -283,7 +279,7 @@ impl Module {
 }
 
 /// A parsed source file: a sequence of modules.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SourceFile {
     /// Modules in source order.
     pub modules: Vec<Module>,
@@ -313,9 +309,11 @@ mod tests {
 
     #[test]
     fn vamsref_orders_deterministically() {
-        let mut v = [VamsRef::flow1("b"),
+        let mut v = [
+            VamsRef::flow1("b"),
             VamsRef::ident("a"),
-            VamsRef::potential1("n")];
+            VamsRef::potential1("n"),
+        ];
         v.sort();
         // Ident < Potential < Flow by enum declaration order.
         assert_eq!(v[0], VamsRef::ident("a"));

@@ -450,11 +450,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -515,7 +511,8 @@ mod tests {
 
     #[test]
     fn comments_and_directives_skipped() {
-        let k = kinds("a // line comment\n b /* block\ncomment */ c\n`include \"disciplines.vams\"\nd");
+        let k =
+            kinds("a // line comment\n b /* block\ncomment */ c\n`include \"disciplines.vams\"\nd");
         let names: Vec<_> = k
             .iter()
             .filter_map(|t| match t {

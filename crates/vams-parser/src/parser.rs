@@ -1,8 +1,8 @@
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::ParseError;
 use vams_ast::{
-    BinOp, BranchDecl, Expr, Func, Module, NetDecl, Parameter, Port, PortDir,
-    SourceFile, Span, Stmt, StmtKind, VamsExpr, VamsRef,
+    BinOp, BranchDecl, Expr, Func, Module, NetDecl, Parameter, Port, PortDir, SourceFile, Span,
+    Stmt, StmtKind, VamsExpr, VamsRef,
 };
 
 /// Recursive-descent parser over the token stream.
@@ -518,9 +518,8 @@ impl Parser {
                 Ok(Expr::idt(args.into_iter().next().expect("checked length")))
             }
             _ => {
-                let func = Func::from_name(name).ok_or_else(|| {
-                    ParseError::new(format!("unknown function `{name}`"), span)
-                })?;
+                let func = Func::from_name(name)
+                    .ok_or_else(|| ParseError::new(format!("unknown function `{name}`"), span))?;
                 if args.len() != func.arity() {
                     return Err(ParseError::new(
                         format!(
@@ -642,9 +641,7 @@ endmodule";
         let m = parse_module(src).unwrap();
         assert_eq!(m.analog.len(), 2);
         match &m.analog[0].kind {
-            StmtKind::If {
-                else_stmts, ..
-            } => {
+            StmtKind::If { else_stmts, .. } => {
                 // else-arm contains the nested if
                 assert_eq!(else_stmts.len(), 1);
                 assert!(matches!(else_stmts[0].kind, StmtKind::If { .. }));

@@ -1,179 +1,279 @@
 //! Property tests: printing an AST and reparsing it must be lossless.
+//!
+//! Random ASTs come from a seeded xorshift generator, so every run
+//! exercises the same reproducible modules and expressions.
 
-use proptest::prelude::*;
 use vams_ast::{
-    BinOp, BranchDecl, Expr, Func, Module, NetDecl, Parameter, Port, PortDir, Span,
-    Stmt, StmtKind, VamsExpr, VamsRef,
+    BinOp, BranchDecl, Expr, Func, Module, NetDecl, Parameter, Port, PortDir, Span, Stmt, StmtKind,
+    VamsExpr, VamsRef,
 };
 use vams_parser::{parse_expr, parse_module};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        ![
-            "module", "endmodule", "analog", "begin", "end", "if", "else",
-            "parameter", "real", "branch", "input", "output", "inout", "ground",
-            "exp", "ln", "log", "sin", "cos", "tan", "sinh", "cosh", "tanh",
-            "atan", "sqrt", "abs", "floor", "ceil", "min", "max", "pow", "ddt",
-            "idt",
-        ]
-        .contains(&s.as_str())
-    })
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() as usize) % n
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
 }
 
-fn arb_ref() -> impl Strategy<Value = VamsRef> {
-    prop_oneof![
-        ident().prop_map(VamsRef::Ident),
-        (ident(), proptest::option::of(ident()))
-            .prop_map(|(a, b)| VamsRef::Potential(a, b)),
-        (ident(), proptest::option::of(ident()))
-            .prop_map(|(a, b)| VamsRef::Flow(a, b)),
-    ]
+const KEYWORDS: &[&str] = &[
+    "module",
+    "endmodule",
+    "analog",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "parameter",
+    "real",
+    "branch",
+    "input",
+    "output",
+    "inout",
+    "ground",
+    "exp",
+    "ln",
+    "log",
+    "sin",
+    "cos",
+    "tan",
+    "sinh",
+    "cosh",
+    "tanh",
+    "atan",
+    "sqrt",
+    "abs",
+    "floor",
+    "ceil",
+    "min",
+    "max",
+    "pow",
+    "ddt",
+    "idt",
+];
+
+/// Random identifier `[a-z][a-z0-9_]{0,6}`, never a keyword.
+fn ident(rng: &mut Rng) -> String {
+    loop {
+        let len = rng.usize_in(1, 8);
+        let mut s = String::new();
+        s.push((b'a' + rng.pick(26) as u8) as char);
+        for _ in 1..len {
+            let tail = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+            s.push(tail[rng.pick(tail.len())] as char);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
+}
+
+fn opt_ident(rng: &mut Rng) -> Option<String> {
+    if rng.pick(2) == 0 {
+        Some(ident(rng))
+    } else {
+        None
+    }
+}
+
+fn gen_ref(rng: &mut Rng) -> VamsRef {
+    match rng.pick(3) {
+        0 => VamsRef::Ident(ident(rng)),
+        1 => VamsRef::Potential(ident(rng), opt_ident(rng)),
+        _ => VamsRef::Flow(ident(rng), opt_ident(rng)),
+    }
 }
 
 /// Random expression using only printable/parseable constructs (no `Prev`).
-fn arb_expr() -> impl Strategy<Value = VamsExpr> {
-    let leaf = prop_oneof![
-        (0.001f64..1000.0).prop_map(Expr::num),
-        arb_ref().prop_map(Expr::var),
-    ];
-    leaf.prop_recursive(3, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
-            inner.clone().prop_map(|a| -a),
-            inner.clone().prop_map(|a| Expr::call1(Func::Exp, a)),
-            inner.clone().prop_map(|a| Expr::call1(Func::Sin, a)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::call2(Func::Max, a, b)),
-            inner.clone().prop_map(Expr::ddt),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::bin(BinOp::Lt, a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::cond(c, t, e)),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: usize) -> VamsExpr {
+    if depth == 0 || rng.pick(4) == 0 {
+        return if rng.pick(2) == 0 {
+            Expr::num(rng.range(0.001, 1000.0))
+        } else {
+            Expr::var(gen_ref(rng))
+        };
+    }
+    match rng.pick(11) {
+        0 => gen_expr(rng, depth - 1) + gen_expr(rng, depth - 1),
+        1 => gen_expr(rng, depth - 1) - gen_expr(rng, depth - 1),
+        2 => gen_expr(rng, depth - 1) * gen_expr(rng, depth - 1),
+        3 => gen_expr(rng, depth - 1) / gen_expr(rng, depth - 1),
+        4 => -gen_expr(rng, depth - 1),
+        5 => Expr::call1(Func::Exp, gen_expr(rng, depth - 1)),
+        6 => Expr::call1(Func::Sin, gen_expr(rng, depth - 1)),
+        7 => Expr::call2(
+            Func::Max,
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        8 => Expr::ddt(gen_expr(rng, depth - 1)),
+        9 => Expr::bin(
+            BinOp::Lt,
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        _ => Expr::cond(
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+    }
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let simple = prop_oneof![
-        (arb_ref().prop_filter("access target", VamsRef::is_access), arb_expr())
-            .prop_map(|(target, value)| StmtKind::Contribution { target, value }),
-        (ident(), arb_expr()).prop_map(|(name, value)| StmtKind::Assign { name, value }),
-    ];
-    let kind = simple.prop_recursive(2, 8, 3, |inner| {
-        (
-            arb_expr(),
-            proptest::collection::vec(
-                inner.clone().prop_map(|kind| Stmt {
-                    kind,
-                    span: Span::default(),
-                }),
-                1..3,
-            ),
-            proptest::collection::vec(
-                inner.prop_map(|kind| Stmt {
-                    kind,
-                    span: Span::default(),
-                }),
-                0..3,
-            ),
-        )
-            .prop_map(|(cond, then_stmts, else_stmts)| StmtKind::If {
-                cond,
-                then_stmts,
-                else_stmts,
-            })
-    });
-    kind.prop_map(|kind| Stmt {
+fn gen_simple_stmt(rng: &mut Rng) -> StmtKind {
+    if rng.pick(2) == 0 {
+        // Contribution target must be an access (potential or flow).
+        let target = loop {
+            let r = gen_ref(rng);
+            if r.is_access() {
+                break r;
+            }
+        };
+        StmtKind::Contribution {
+            target,
+            value: gen_expr(rng, 3),
+        }
+    } else {
+        StmtKind::Assign {
+            name: ident(rng),
+            value: gen_expr(rng, 3),
+        }
+    }
+}
+
+fn gen_stmt(rng: &mut Rng, depth: usize) -> Stmt {
+    let kind = if depth == 0 || rng.pick(3) > 0 {
+        gen_simple_stmt(rng)
+    } else {
+        let cond = gen_expr(rng, 3);
+        let then_stmts = (0..rng.usize_in(1, 3))
+            .map(|_| gen_stmt(rng, depth - 1))
+            .collect();
+        let else_stmts = (0..rng.usize_in(0, 3))
+            .map(|_| gen_stmt(rng, depth - 1))
+            .collect();
+        StmtKind::If {
+            cond,
+            then_stmts,
+            else_stmts,
+        }
+    };
+    Stmt {
         kind,
         span: Span::default(),
-    })
+    }
 }
 
-fn arb_module() -> impl Strategy<Value = Module> {
-    (
-        ident(),
-        proptest::collection::vec((ident(), prop_oneof![
-            Just(PortDir::Input),
-            Just(PortDir::Output),
-            Just(PortDir::Inout)
-        ]), 1..4),
-        proptest::collection::vec((ident(), 0.001f64..1e6), 0..4),
-        proptest::collection::vec(ident(), 1..5),
-        proptest::collection::vec((ident(), ident(), ident()), 0..3),
-        proptest::collection::vec(arb_stmt(), 0..5),
-    )
-        .prop_map(|(name, mut ports, params, nets, branches, analog)| {
-            // Deduplicate port names to keep the module well-formed.
-            ports.sort_by(|a, b| a.0.cmp(&b.0));
-            ports.dedup_by(|a, b| a.0 == b.0);
-            let mut m = Module::new(name);
-            for (pname, dir) in ports {
-                m.ports.push(Port {
-                    name: pname,
-                    dir,
-                    span: Span::default(),
-                });
-            }
-            for (pname, v) in params {
-                m.parameters.push(Parameter {
-                    name: pname,
-                    default: Expr::num(v),
-                    span: Span::default(),
-                });
-            }
-            m.nets.push(NetDecl {
-                discipline: "electrical".into(),
-                names: nets,
-                span: Span::default(),
-            });
-            for (p, n, b) in branches {
-                m.branches.push(BranchDecl {
-                    name: b,
-                    pos: p,
-                    neg: n,
-                    span: Span::default(),
-                });
-            }
-            m.analog = analog;
-            m
+fn gen_module(rng: &mut Rng) -> Module {
+    let mut ports: Vec<(String, PortDir)> = (0..rng.usize_in(1, 4))
+        .map(|_| {
+            let dir = match rng.pick(3) {
+                0 => PortDir::Input,
+                1 => PortDir::Output,
+                _ => PortDir::Inout,
+            };
+            (ident(rng), dir)
         })
+        .collect();
+    // Deduplicate port names to keep the module well-formed.
+    ports.sort_by(|a, b| a.0.cmp(&b.0));
+    ports.dedup_by(|a, b| a.0 == b.0);
+
+    let mut m = Module::new(ident(rng));
+    for (pname, dir) in ports {
+        m.ports.push(Port {
+            name: pname,
+            dir,
+            span: Span::default(),
+        });
+    }
+    for _ in 0..rng.usize_in(0, 4) {
+        m.parameters.push(Parameter {
+            name: ident(rng),
+            default: Expr::num(rng.range(0.001, 1e6)),
+            span: Span::default(),
+        });
+    }
+    m.nets.push(NetDecl {
+        discipline: "electrical".into(),
+        names: (0..rng.usize_in(1, 5)).map(|_| ident(rng)).collect(),
+        span: Span::default(),
+    });
+    for _ in 0..rng.usize_in(0, 3) {
+        m.branches.push(BranchDecl {
+            name: ident(rng),
+            pos: ident(rng),
+            neg: ident(rng),
+            span: Span::default(),
+        });
+    }
+    m.analog = (0..rng.usize_in(0, 5)).map(|_| gen_stmt(rng, 2)).collect();
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// print → parse → print is the identity on printed text.
-    #[test]
-    fn module_print_parse_print_fixpoint(m in arb_module()) {
+/// print → parse → print is the identity on printed text.
+#[test]
+fn module_print_parse_print_fixpoint() {
+    let mut rng = Rng::new(0xf1f1_0000);
+    for _ in 0..64 {
+        let m = gen_module(&mut rng);
         let printed = m.to_string();
         let reparsed = parse_module(&printed)
             .unwrap_or_else(|e| panic!("printer emitted invalid VAMS: {e}\n{printed}"));
-        prop_assert_eq!(reparsed.to_string(), printed);
+        assert_eq!(reparsed.to_string(), printed);
     }
+}
 
-    /// Expression print → parse preserves value at random points.
-    #[test]
-    fn expr_roundtrip_preserves_value(
-        e in arb_expr(),
-        seed in 0u64..1000,
-    ) {
+/// Expression print → parse preserves value at random points.
+#[test]
+fn expr_roundtrip_preserves_value() {
+    let mut rng = Rng::new(0x2071_4d71);
+    for case in 0..128u64 {
+        let e = gen_expr(&mut rng, 3);
+        let seed = case * 37 % 1000;
         let printed = e.to_string();
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("unparseable `{printed}`: {err}"));
+        let reparsed =
+            parse_expr(&printed).unwrap_or_else(|err| panic!("unparseable `{printed}`: {err}"));
         // Evaluate both at a deterministic pseudo-random environment; ddt
         // leaves cannot be evaluated, so compare a discretized stand-in by
         // checking structural variables instead when analog ops exist.
         if e.has_analog_op() {
-            prop_assert_eq!(e.variables(), reparsed.variables());
-            return Ok(());
+            assert_eq!(e.variables(), reparsed.variables());
+            continue;
         }
         let mut env = |v: &VamsRef, _delay: u32| {
             // Hash-ish deterministic value per name.
             let s = format!("{v}");
-            let h = s.bytes().fold(seed, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b)));
+            let h = s
+                .bytes()
+                .fold(seed, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b)));
             Some(((h % 1000) as f64) / 500.0 - 1.0)
         };
         let a = e.eval(&mut env).unwrap();
@@ -181,11 +281,11 @@ proptest! {
         // NaN from domain errors and matching infinities (overflow in
         // exp etc.) count as equal.
         if (a.is_nan() && b.is_nan()) || a == b {
-            return Ok(());
+            continue;
         }
-        prop_assert!(
+        assert!(
             (a - b).abs() <= 1e-9 * a.abs().max(1.0),
-            "value changed across roundtrip: {} vs {} for `{}`", a, b, printed
+            "value changed across roundtrip: {a} vs {b} for `{printed}`"
         );
     }
 }

@@ -17,9 +17,9 @@
 //!   own thread, synchronized every analog step (the "Verilog-AMS
 //!   co-simulation" rows).
 
+use amsim::cosim::CosimHandle;
 use amsvp_core::circuits::SquareWave;
 use amsvp_core::SignalFlowModel;
-use amsim::cosim::CosimHandle;
 use de::{ProcCtx, Process, SimTime};
 use eln::{ElnNetwork, ElnSolver, NodeId, SourceId};
 use tdf::{InPort, Io, OutPort, TdfExecutor, TdfGraph, TdfModule};
@@ -381,7 +381,7 @@ mod tests {
     use super::*;
     use crate::bus::new_bridge;
     use de::Kernel;
-    use eln::Method;
+    use eln::{Method, Transient};
     use vams_parser::parse_module;
 
     fn rc1_model(dt: f64) -> SignalFlowModel {
@@ -439,17 +439,15 @@ mod tests {
         let tau = 5e3 * 25e-9;
         let dt = tau / 100.0;
         let (net, src, out) = rc_ladder_eln(1);
-        let solver = ElnSolver::new(&net, dt, Method::BackwardEuler).unwrap();
+        let solver = Transient::new(&net)
+            .dt(dt)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         let bridge = new_bridge();
         let stim = SquareWave::paper();
         let mut k = Kernel::new();
-        k.register(ElnAnalog::new(
-            solver,
-            vec![src],
-            out,
-            bridge.clone(),
-            stim,
-        ));
+        k.register(ElnAnalog::new(solver, vec![src], out, bridge.clone(), stim));
         // Stop half a step early: events at the end time are inclusive.
         k.run_until(SimTime::from_seconds(299.5 * dt)).unwrap();
         let eln_v = bridge.borrow().aout;
@@ -469,7 +467,11 @@ mod tests {
     fn eln_fixtures_have_expected_gains() {
         // 2IN at DC: out = −(10/3 + 10/14) when both inputs are 1 V.
         let (net, sources, out) = two_inputs_eln();
-        let mut s = ElnSolver::new(&net, 1e-6, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         for &src in &sources {
             s.set_source(src, 1.0);
         }
@@ -479,7 +481,11 @@ mod tests {
 
         // OA settles to −4×input.
         let (net, src, out) = opamp_eln();
-        let mut s = ElnSolver::new(&net, 50e-9, Method::BackwardEuler).unwrap();
+        let mut s = Transient::new(&net)
+            .dt(50e-9)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         s.set_source(src, 0.5);
         for _ in 0..100_000 {
             s.step();
@@ -492,7 +498,11 @@ mod tests {
         let m = parse_module(&amsvp_core::circuits::rc_ladder(1)).unwrap();
         let tau = 5e3 * 25e-9;
         let dt = tau / 50.0;
-        let sim = amsim::AmsSimulator::new(&m, dt, &["V(out)"]).unwrap();
+        let sim = amsim::Simulation::new(&m)
+            .dt(dt)
+            .output("V(out)")
+            .build()
+            .unwrap();
         let handle = CosimHandle::spawn(sim, 1);
         let bridge = new_bridge();
         let mut k = Kernel::new();

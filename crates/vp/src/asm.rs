@@ -54,9 +54,9 @@ fn register(name: &str, line: usize) -> Result<u32, AsmError> {
         return Err(err(line, format!("register ${n} out of range")));
     }
     const NAMES: [&str; 32] = [
-        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4",
-        "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9",
-        "k0", "k1", "gp", "sp", "fp", "ra",
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+        "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+        "fp", "ra",
     ];
     NAMES
         .iter()
@@ -100,8 +100,7 @@ fn tokenize(source: &str) -> Result<Vec<Item>, AsmError> {
         let mut text = text.trim();
         while let Some(colon) = text.find(':') {
             let label = text[..colon].trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 return Err(err(line, format!("bad label `{label}`")));
             }
             if pending_label.is_some() {
@@ -192,11 +191,7 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
     Ok(words)
 }
 
-fn lookup(
-    labels: &HashMap<String, u32>,
-    name: &str,
-    line: usize,
-) -> Result<u32, AsmError> {
+fn lookup(labels: &HashMap<String, u32>, name: &str, line: usize) -> Result<u32, AsmError> {
     labels
         .get(name)
         .copied()
@@ -216,7 +211,11 @@ fn encode(
         } else {
             Err(err(
                 line,
-                format!("{} expects {n} operand(s), found {}", item.mnemonic, ops.len()),
+                format!(
+                    "{} expects {n} operand(s), found {}",
+                    item.mnemonic,
+                    ops.len()
+                ),
             ))
         }
     };
@@ -330,8 +329,7 @@ fn encode(
             need(3)?;
             words.push(i_type(0x0E, reg(1)?, reg(0)?, imm16(2)?));
         }
-        "addu" | "add" | "subu" | "sub" | "and" | "or" | "xor" | "nor" | "slt"
-        | "sltu" => {
+        "addu" | "add" | "subu" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" => {
             need(3)?;
             let funct = match item.mnemonic.as_str() {
                 "add" => 0x20,

@@ -149,7 +149,7 @@ impl CpuCore {
                     self.set_reg(rd, next_pc);
                     new_pc = self.reg(rs);
                 }
-                0x0D => self.halted = true, // break
+                0x0D => self.halted = true,        // break
                 0x10 => self.set_reg(rd, self.hi), // mfhi
                 0x12 => self.set_reg(rd, self.lo), // mflo
                 0x18 => {
@@ -208,10 +208,7 @@ impl CpuCore {
                 let taken = match rt {
                     0 => (self.reg(rs) as i32) < 0,
                     1 => (self.reg(rs) as i32) >= 0,
-                    other => panic!(
-                        "unsupported REGIMM rt {other} at pc {:#010x}",
-                        self.pc
-                    ),
+                    other => panic!("unsupported REGIMM rt {other} at pc {:#010x}", self.pc),
                 };
                 if taken {
                     new_pc = branch_target(self.pc);

@@ -37,18 +37,17 @@ mod firmware;
 mod platform;
 
 pub use analog::{
-    build_tdf_cluster, opamp_eln, rc_ladder_eln, two_inputs_eln, CompiledAnalog,
-    CosimAnalog, ElnAnalog, TdfClusterProcess,
+    build_tdf_cluster, opamp_eln, rc_ladder_eln, two_inputs_eln, CompiledAnalog, CosimAnalog,
+    ElnAnalog, TdfClusterProcess,
 };
 pub use asm::{assemble, AsmError};
 pub use bus::{
-    new_bridge, reg_to_volts, volts_to_reg, AnalogBridgeState, PlatformBus,
-    SharedBridge, SharedUart, ADC_COUNT, ADC_DATA, ANALOG_BASE, DAC_DATA, RAM_BASE,
-    RAM_SIZE, UART_BASE, UART_STATUS, UART_TX,
+    new_bridge, reg_to_volts, volts_to_reg, AnalogBridgeState, PlatformBus, SharedBridge,
+    SharedUart, ADC_COUNT, ADC_DATA, ANALOG_BASE, DAC_DATA, RAM_BASE, RAM_SIZE, UART_BASE,
+    UART_STATUS, UART_TX,
 };
 pub use cpu::{Bus32, CpuCore};
 pub use firmware::{monitor_firmware, MONITOR_FIRMWARE};
 pub use platform::{
-    run_de_platform, run_fast_platform, AnalogIntegration, PlatformConfig,
-    PlatformReport,
+    run_de_platform, run_fast_platform, AnalogIntegration, PlatformConfig, PlatformReport,
 };

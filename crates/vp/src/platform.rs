@@ -3,15 +3,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use amsim::cosim::CosimHandle;
 use amsvp_core::circuits::SquareWave;
 use amsvp_core::SignalFlowModel;
-use amsim::cosim::CosimHandle;
 use de::{Kernel, ProcCtx, Process, SimTime};
 use eln::{ElnSolver, NodeId, SourceId};
 
-use crate::analog::{
-    build_tdf_cluster, CompiledAnalog, CosimAnalog, ElnAnalog, TdfClusterProcess,
-};
+use crate::analog::{build_tdf_cluster, CompiledAnalog, CosimAnalog, ElnAnalog, TdfClusterProcess};
 use crate::bus::{new_bridge, PlatformBus, SharedUart};
 use crate::cpu::CpuCore;
 
@@ -39,6 +37,9 @@ impl PlatformConfig {
 }
 
 /// How the analog component is integrated (one row of Table III).
+// Constructed once per platform run, so the size spread between the ELN
+// variant (solver + factors) and the others is irrelevant.
+#[allow(clippy::large_enum_variant)]
 pub enum AnalogIntegration {
     /// Abstracted model as a plain DE process ("SC-DE").
     CompiledDe(SignalFlowModel),
@@ -153,7 +154,9 @@ pub fn run_de_platform(
         }
     }
 
-    kernel.run_until(sim_time).expect("platform has no delta loops");
+    kernel
+        .run_until(sim_time)
+        .expect("platform has no delta loops");
 
     let instructions = kernel
         .process_ref::<CpuProcess>(cpu_id)
@@ -233,7 +236,7 @@ mod tests {
     use crate::analog::rc_ladder_eln;
     use crate::firmware::monitor_firmware;
     use amsvp_core::{circuits, Abstraction};
-    use eln::Method;
+    use eln::{Method, Transient};
     use vams_parser::parse_module;
 
     const DT: f64 = 50e-9;
@@ -310,7 +313,11 @@ mod tests {
     #[test]
     fn de_platform_with_eln() {
         let (net, src, out) = rc_ladder_eln(1);
-        let solver = ElnSolver::new(&net, DT, Method::BackwardEuler).unwrap();
+        let solver = Transient::new(&net)
+            .dt(DT)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         let config = PlatformConfig::new(monitor_firmware());
         let report = run_de_platform(
             AnalogIntegration::Eln {
@@ -329,7 +336,11 @@ mod tests {
         // Coarser analog step keeps the reference solver affordable here.
         let dt = 1e-6;
         let m = parse_module(&circuits::rc_ladder(1)).unwrap();
-        let sim = amsim::AmsSimulator::new(&m, dt, &["V(out)"]).unwrap();
+        let sim = amsim::Simulation::new(&m)
+            .dt(dt)
+            .output("V(out)")
+            .build()
+            .unwrap();
         let handle = CosimHandle::spawn(sim, 1);
         let config = PlatformConfig::new(monitor_firmware());
         let report = run_de_platform(

@@ -89,6 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..200_000 {
         m.step(&[1.0]);
     }
-    println!("// steady state at 1 V input: V(out) = {:+.4} V (clamped)", m.output(0));
+    println!(
+        "// steady state at 1 V input: V(out) = {:+.4} V (clamped)",
+        m.output(0)
+    );
     Ok(())
 }

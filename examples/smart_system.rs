@@ -9,14 +9,14 @@
 
 use std::time::Instant;
 
-use amsvp_core::{circuits, Abstraction};
 use amsim::cosim::CosimHandle;
-use amsim::AmsSimulator;
+use amsim::Simulation;
+use amsvp_core::{circuits, Abstraction};
 use de::SimTime;
-use eln::{ElnSolver, Method};
+use eln::{Method, Transient};
 use vp::{
-    monitor_firmware, rc_ladder_eln, run_de_platform, run_fast_platform,
-    AnalogIntegration, PlatformConfig,
+    monitor_firmware, rc_ladder_eln, run_de_platform, run_fast_platform, AnalogIntegration,
+    PlatformConfig,
 };
 
 const DT: f64 = 50e-9;
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let start = Instant::now();
     let report = {
-        let sim = AmsSimulator::new(&module, DT, &["V(out)"])?;
+        let sim = Simulation::new(&module).dt(DT).output("V(out)").build()?;
         run_de_platform(
             AnalogIntegration::Cosim {
                 handle: CosimHandle::spawn(sim, 1),
@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (net, src, out) = rc_ladder_eln(1);
         run_de_platform(
             AnalogIntegration::Eln {
-                solver: ElnSolver::new(&net, DT, Method::BackwardEuler)?,
+                solver: Transient::new(&net)
+                    .dt(DT)
+                    .method(Method::BackwardEuler)
+                    .build()?,
                 sources: vec![src],
                 output: out,
             },

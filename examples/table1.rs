@@ -11,6 +11,13 @@
 //! `0.1` for the full paper workload) as the first argument. Reported
 //! speed-ups are duration-independent because every level uses the same
 //! fixed 50 ns step.
+//!
+//! A recording [`obs`] collector is threaded through every run; the
+//! captured counters and per-phase pipeline timings are written to
+//! `BENCH_obs.json` next to the working directory (see README for the
+//! format).
+
+use obs::Obs;
 
 fn main() {
     let sim_time: f64 = std::env::args()
@@ -23,7 +30,8 @@ fn main() {
         "Running Table I at {sim_time} s simulated time (paper: 0.1 s); \
          NRMSE over {accuracy_steps} samples..."
     );
-    let rows = amsvp_bench::table1_rows(sim_time, accuracy_steps);
+    let obs = Obs::recording();
+    let rows = amsvp_bench::table1_rows_with(sim_time, accuracy_steps, &obs);
     println!(
         "{}",
         amsvp_bench::format_rows(
@@ -34,4 +42,11 @@ fn main() {
             &rows
         )
     );
+    match obs.report() {
+        Some(report) => match report.write_json("BENCH_obs.json") {
+            Ok(()) => eprintln!("Instrumentation report written to BENCH_obs.json"),
+            Err(e) => eprintln!("Could not write BENCH_obs.json: {e}"),
+        },
+        None => eprintln!("Collector produced no report"),
+    }
 }

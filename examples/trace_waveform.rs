@@ -7,7 +7,7 @@
 //! ```
 
 use de::{Kernel, ProcCtx, Process, Sig, SimTime};
-use eln::{ElnNetwork, ElnProcess, ElnSolver, Method};
+use eln::{ElnNetwork, ElnProcess, Method, Transient};
 
 /// Drives a square wave onto a DE signal.
 struct SquareDriver {
@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vin = net.vsource("vin", a, ElnNetwork::GROUND);
     net.resistor("r", a, out, 5e3);
     net.capacitor("c", out, ElnNetwork::GROUND, 25e-9);
-    let solver = ElnSolver::new(&net, 1e-6, Method::BackwardEuler)?;
+    let solver = Transient::new(&net)
+        .dt(1e-6)
+        .method(Method::BackwardEuler)
+        .build()?;
 
     let mut k = Kernel::new();
     let drive = k.signal(0.0_f64);

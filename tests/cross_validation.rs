@@ -3,10 +3,10 @@
 //! conservative reference must agree on every paper circuit — they share
 //! only the discretization scheme, not a single line of solver code.
 
+use amsim::Simulation;
 use amsvp_core::circuits::{paper_benchmarks, SquareWave};
 use amsvp_core::Abstraction;
-use amsim::AmsSimulator;
-use eln::{ElnSolver, Method};
+use eln::{Method, Transient};
 
 const DT: f64 = 50e-9;
 const STEPS: usize = 4000;
@@ -20,7 +20,11 @@ fn abstracted_models_match_conservative_reference_step_by_step() {
     };
     for (label, source, inputs) in paper_benchmarks() {
         let module = vams_parser::parse_module(&source).unwrap();
-        let mut reference = AmsSimulator::new(&module, DT, &["V(out)"]).unwrap();
+        let mut reference = Simulation::new(&module)
+            .dt(DT)
+            .output("V(out)")
+            .build()
+            .unwrap();
         let mut abstracted = Abstraction::new(&module)
             .dt(DT)
             .output("V(out)")
@@ -68,8 +72,16 @@ fn eln_models_match_conservative_reference() {
     {
         assert_eq!(label, elabel);
         let module = vams_parser::parse_module(&source).unwrap();
-        let mut reference = AmsSimulator::new(&module, DT, &["V(out)"]).unwrap();
-        let mut solver = ElnSolver::new(&net, DT, Method::BackwardEuler).unwrap();
+        let mut reference = Simulation::new(&module)
+            .dt(DT)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        let mut solver = Transient::new(&net)
+            .dt(DT)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
         let mut buf = vec![0.0; inputs];
         let mut worst: f64 = 0.0;
         for k in 0..STEPS {
@@ -100,7 +112,11 @@ fn integrator_with_idt_cross_validates() {
         endmodule";
     let module = vams_parser::parse_module(src).unwrap();
     let dt = 1e-6;
-    let mut reference = AmsSimulator::new(&module, dt, &["V(o)"]).unwrap();
+    let mut reference = Simulation::new(&module)
+        .dt(dt)
+        .output("V(o)")
+        .build()
+        .unwrap();
     let mut abstracted = Abstraction::new(&module)
         .dt(dt)
         .output("V(o)")
@@ -127,8 +143,16 @@ fn trapezoidal_eln_converges_to_same_steady_state() {
     // Different discretizations agree asymptotically even though their
     // transients differ.
     let (net, src, out) = vp::rc_ladder_eln(3);
-    let mut be = ElnSolver::new(&net, DT, Method::BackwardEuler).unwrap();
-    let mut tr = ElnSolver::new(&net, DT, Method::Trapezoidal).unwrap();
+    let mut be = Transient::new(&net)
+        .dt(DT)
+        .method(Method::BackwardEuler)
+        .build()
+        .unwrap();
+    let mut tr = Transient::new(&net)
+        .dt(DT)
+        .method(Method::Trapezoidal)
+        .build()
+        .unwrap();
     for _ in 0..200_000 {
         be.set_source(src, 0.7);
         be.step();

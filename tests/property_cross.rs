@@ -2,11 +2,49 @@
 //! (random depth, per-stage element values and stimulus), the abstraction
 //! pipeline and the independent conservative reference simulator must
 //! produce the same trajectory.
+//!
+//! Uses a seeded xorshift generator instead of a property-testing crate,
+//! so the cases are random-looking but fully reproducible offline.
 
-use proptest::prelude::*;
-
+use amsim::Simulation;
 use amsvp_core::Abstraction;
-use amsim::AmsSimulator;
+
+/// Deterministic xorshift64* generator for reproducible "random" cases.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Log-uniform in `[lo, hi)` — matches how component values spread.
+    fn log_range(&mut self, lo: f64, hi: f64) -> f64 {
+        (lo.ln() + (hi.ln() - lo.ln()) * self.unit()).exp()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
 
 /// Builds a Verilog-AMS RC ladder with per-stage values.
 fn ladder_source(stages: &[(f64, f64)]) -> String {
@@ -37,17 +75,16 @@ fn ladder_source(stages: &[(f64, f64)]) -> String {
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn random_ladders_cross_validate() {
+    let mut rng = Rng::new(0x1acc_01ad);
+    for _case in 0..16 {
+        let depth = rng.usize_in(1, 5);
+        let stages: Vec<(f64, f64)> = (0..depth)
+            .map(|_| (rng.log_range(1e2, 1e5), rng.log_range(1e-9, 1e-6)))
+            .collect();
+        let drive: Vec<f64> = (0..8).map(|_| rng.range(-2.0, 2.0)).collect();
 
-    #[test]
-    fn random_ladders_cross_validate(
-        stages in proptest::collection::vec(
-            ((1e2f64..1e5), (1e-9f64..1e-6)),
-            1..5
-        ),
-        drive in proptest::collection::vec(-2.0f64..2.0, 8),
-    ) {
         let source = ladder_source(&stages);
         let module = vams_parser::parse_module(&source).unwrap();
         // Step at a hundredth of the fastest time constant to stay in a
@@ -58,7 +95,11 @@ proptest! {
             .fold(f64::INFINITY, f64::min);
         let dt = tau_min / 100.0;
 
-        let mut reference = AmsSimulator::new(&module, dt, &["V(out)"]).unwrap();
+        let mut reference = Simulation::new(&module)
+            .dt(dt)
+            .output("V(out)")
+            .build()
+            .unwrap();
         let mut abstracted = Abstraction::new(&module)
             .dt(dt)
             .output("V(out)")
@@ -66,27 +107,29 @@ proptest! {
             .unwrap();
 
         let mut worst: f64 = 0.0;
-        for (k, &u) in drive.iter().cycle().take(200).enumerate() {
+        for &u in drive.iter().cycle().take(200) {
             // Piecewise-constant pseudo-random stimulus.
-            let _ = k;
             reference.step(&[u]);
             abstracted.step(&[u]);
             worst = worst.max((reference.output(0) - abstracted.output(0)).abs());
         }
-        prop_assert!(
+        assert!(
             worst < 1e-6,
             "random ladder deviated by {worst:.2e}:\n{source}"
         );
     }
+}
 
-    #[test]
-    fn random_divider_chains_cross_validate(
-        resistors in proptest::collection::vec(1e2f64..1e6, 2..6),
-        u in 0.1f64..10.0,
-    ) {
+#[test]
+fn random_divider_chains_cross_validate() {
+    let mut rng = Rng::new(0xd1f1_d3e5);
+    for _case in 0..16 {
+        let n = rng.usize_in(2, 6);
+        let resistors: Vec<f64> = (0..n).map(|_| rng.log_range(1e2, 1e6)).collect();
+        let u = rng.range(0.1, 10.0);
+
         // Pure resistive chain to ground: static, exactly solvable.
         use std::fmt::Write as _;
-        let n = resistors.len();
         let mut src = String::new();
         let _ = writeln!(src, "module div(in, out);");
         let _ = writeln!(src, "  input in; output out;");
@@ -121,7 +164,7 @@ proptest! {
         // Analytic divider: out = u · Rl / (ΣR + Rl).
         let total: f64 = resistors.iter().sum::<f64>() + 10e3;
         let expect = u * 10e3 / total;
-        prop_assert!(
+        assert!(
             (model.output(0) - expect).abs() < 1e-9 * expect.abs().max(1.0),
             "divider: {} vs {expect}",
             model.output(0)

@@ -3,7 +3,7 @@
 //! dynamics, and waveform tracing.
 
 use de::{Kernel, ProcCtx, Process, Sig, SimTime, TraceValue};
-use eln::{ElnNetwork, ElnSolver, Method};
+use eln::{ElnNetwork, Method, Transient};
 
 #[test]
 fn cross_process_notification_chains() {
@@ -54,7 +54,11 @@ fn eln_switched_capacitor_discharges() {
     let discharge = net.switch("discharge", top, ElnNetwork::GROUND, 1e3, 1e9, false);
     net.capacitor("c", top, ElnNetwork::GROUND, 1e-6);
     let dt = 1e-6;
-    let mut s = ElnSolver::new(&net, dt, Method::BackwardEuler).unwrap();
+    let mut s = Transient::new(&net)
+        .dt(dt)
+        .method(Method::BackwardEuler)
+        .build()
+        .unwrap();
     s.set_source(v, 1.0);
     // Charge phase: τ = 100 µs, run 1 ms.
     for _ in 0..1000 {
@@ -88,7 +92,11 @@ fn traced_analog_waveform_follows_exponential() {
     net.capacitor("c", out, ElnNetwork::GROUND, 25e-9);
     let tau = 5e3 * 25e-9;
     let dt = tau / 100.0;
-    let solver = ElnSolver::new(&net, dt, Method::BackwardEuler).unwrap();
+    let solver = Transient::new(&net)
+        .dt(dt)
+        .method(Method::BackwardEuler)
+        .build()
+        .unwrap();
 
     let mut k = Kernel::new();
     let drive = k.signal(1.0_f64);
