@@ -11,13 +11,15 @@
 //! F(x(t), ẋ(t), u(t)) = 0
 //! ```
 //!
-//! and resolves it at every time step with a Newton iteration over an
-//! *interpreted* equation set: expressions are evaluated by walking their
-//! ASTs, the Jacobian is assembled from symbolically differentiated
-//! equations and LU-factored every step. "The sparse linear solver and
-//! device evaluation are two most serious bottlenecks in this kind of
-//! simulators" — this crate reproduces exactly that cost structure, which
-//! is what the generated models are benchmarked against.
+//! and resolves it at every time step with a Newton iteration. Residuals
+//! and symbolically differentiated Jacobian entries are compiled to
+//! [`expr::vm`] bytecode over a flat slot array at build time, and the LU
+//! factorization is reused across iterations and steps until the
+//! convergence rate stalls (modified Newton). "The sparse linear solver
+//! and device evaluation are two most serious bottlenecks in this kind of
+//! simulators" — this crate keeps exactly that cost structure (a full
+//! conservative DAE solve per step), made as fast as the structure
+//! allows, which is what the generated models are benchmarked against.
 //!
 //! [`cosim`] runs a simulator instance on its own thread in lockstep with
 //! a digital kernel, reproducing the synchronization cost of commercial

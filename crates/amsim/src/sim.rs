@@ -4,6 +4,7 @@ use std::fmt;
 
 use amsvp_core::acquire::acquire;
 use amsvp_core::{conservative_relations, AbstractError, OutputSpec};
+use expr::vm::{self, Program};
 use expr::Expr;
 use linalg::{LuFactors, Matrix};
 use netlist::{QExpr, Quantity};
@@ -102,8 +103,45 @@ enum Placeholder {
     Idt(usize),
 }
 
-/// Interpreted Newton/backward-Euler transient simulator over the full
-/// conservative equation system of one Verilog-AMS module.
+/// One compiled Jacobian entry `dF_i/dx_col`.
+#[derive(Debug, Clone)]
+enum JacEntry {
+    /// Symbolic derivative compiled to VM bytecode.
+    Symbolic(Program),
+    /// No closed form in the operator set: central differencing of the
+    /// residual program at evaluation time (perturbs the unknown's slot
+    /// in place — no buffer cloning).
+    Numeric,
+}
+
+/// Preallocated Newton scratch state: every buffer the inner loop touches
+/// lives here, so [`AmsSimulator::try_step`] performs no heap allocation.
+#[derive(Debug)]
+struct Workspace {
+    /// Operand stack shared by every VM program evaluation.
+    stack: Vec<f64>,
+    /// Residual vector `F(x)` (negated in place into the Newton rhs).
+    residual: Vec<f64>,
+    /// Newton update `δ` solved from `J·δ = −F`.
+    delta: Vec<f64>,
+    /// Dense Jacobian storage, re-stamped on each (re)build.
+    jm: Matrix,
+    /// LU factors, refreshed in place via [`LuFactors::factor_into`].
+    lu: LuFactors,
+    /// Whether `lu` still describes a usable linearization. Survives
+    /// across iterations *and* accepted steps (modified Newton).
+    lu_valid: bool,
+}
+
+/// Compiled-bytecode Newton/backward-Euler transient simulator over the
+/// full conservative equation system of one Verilog-AMS module.
+///
+/// At [`Simulation::build`] time every residual equation and every
+/// symbolic Jacobian entry is compiled to a flat [`expr::vm`] program over
+/// a single slot array (`[unknowns | inputs | ddt history | idt state]`);
+/// stepping evaluates bytecode only. The original tree-walk interpreter is
+/// retained as a debug-assertable oracle
+/// ([`AmsSimulator::residuals_tree`]).
 ///
 /// See the [crate-level documentation](crate) for the role this plays in
 /// the reproduction and an example.
@@ -111,29 +149,43 @@ pub struct AmsSimulator {
     dt: f64,
     unknowns: Vec<Quantity>,
     index: BTreeMap<Quantity, usize>,
-    /// Discretized residual equations `F_i = 0`.
+    /// Discretized residual equations `F_i = 0` (tree form — the oracle).
     equations: Vec<QExpr>,
-    /// Symbolic Jacobian entries: per equation, `(column, dF_i/dx_j)`;
-    /// `None` expression ⇒ numeric differencing at evaluation time.
-    jacobian: Vec<Vec<(usize, Option<QExpr>)>>,
+    /// Compiled residual programs, one per equation.
+    programs: Vec<Program>,
+    /// Compiled Jacobian: per equation, `(column, entry)`.
+    jacobian: Vec<Vec<(usize, JacEntry)>>,
     placeholders: BTreeMap<Quantity, Placeholder>,
-    ddt_inner: Vec<QExpr>,
-    idt_inner: Vec<QExpr>,
-    ddt_prev: Vec<f64>,
-    idt_state: Vec<f64>,
+    /// Compiled `ddt`/`idt` operand programs (history refresh on accept).
+    ddt_progs: Vec<Program>,
+    idt_progs: Vec<Program>,
+    /// Flat evaluation state: `[unknowns | inputs | ddt prev | idt state]`.
+    slots: Vec<f64>,
+    /// Offset of the input segment in `slots` (= number of unknowns).
+    input_off: usize,
+    /// Offset of the `ddt` history segment in `slots`.
+    ddt_off: usize,
+    /// Offset of the `idt` accumulator segment in `slots`.
+    idt_off: usize,
     input_names: Vec<String>,
-    input_values: Vec<f64>,
     output_indices: Vec<usize>,
     x: Vec<f64>,
     x_prev: Vec<f64>,
+    ws: Workspace,
     time: f64,
     steps: u64,
     newton_iters: u64,
     jacobian_builds: u64,
+    lu_factorizations: u64,
+    jacobian_reuse_hits: u64,
+    jacobian_refactors: u64,
     obs: Obs,
     obs_steps: CounterTracker,
     obs_newton: CounterTracker,
     obs_jacobian: CounterTracker,
+    obs_factorizations: CounterTracker,
+    obs_reuse_hits: CounterTracker,
+    obs_refactors: CounterTracker,
 }
 
 /// Builder for an [`AmsSimulator`] reference transient.
@@ -199,8 +251,9 @@ impl<'m> Simulation<'m> {
     }
 
     /// Attaches an instrumentation collector; the simulator reports
-    /// `amsim.steps`, `amsim.newton_iterations` and
-    /// `amsim.jacobian_builds` through it.
+    /// `amsim.steps`, `amsim.newton_iterations`, `amsim.jacobian.builds`,
+    /// `amsim.lu.factorizations`, `amsim.jacobian.reuse_hits` and
+    /// `amsim.jacobian.refactor` through it.
     pub fn collector(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
@@ -290,8 +343,48 @@ impl AmsSimulator {
             })
             .collect();
 
-        // Symbolic Jacobian.
-        let jacobian = equations
+        // Slot layout: [unknowns | inputs | ddt history | idt state].
+        let n = unknowns.len();
+        let input_names = model.inputs.clone();
+        let input_off = n;
+        let ddt_off = input_off + input_names.len();
+        let idt_off = ddt_off + ddt_inner.len();
+        let slot_count = idt_off + idt_inner.len();
+
+        // Bytecode compiler over the slot layout. Discretization removed
+        // every `ddt`/`idt`, and every variable is an unknown, an input,
+        // or a history placeholder, so compilation cannot fail on
+        // well-formed systems.
+        let compile = |e: &QExpr| -> Program {
+            vm::compile(e, &mut |q: &Quantity, delay: u32| {
+                if delay != 0 {
+                    return None;
+                }
+                if let Some(ph) = placeholders.get(q) {
+                    return Some(match ph {
+                        Placeholder::Ddt(k) => (ddt_off + k) as u32,
+                        Placeholder::Idt(k) => (idt_off + k) as u32,
+                    });
+                }
+                match q {
+                    Quantity::Input(name) => input_names
+                        .iter()
+                        .position(|i| i == name)
+                        .map(|i| (input_off + i) as u32),
+                    other => index.get(other).map(|&i| i as u32),
+                }
+            })
+            .expect("discretized equations compile by construction")
+        };
+
+        let programs: Vec<Program> = equations.iter().map(&compile).collect();
+        let ddt_progs: Vec<Program> = ddt_inner.iter().map(&compile).collect();
+        let idt_progs: Vec<Program> = idt_inner.iter().map(&compile).collect();
+
+        // Compiled symbolic Jacobian; entries the derivative algebra
+        // cannot express fall back to in-place central differencing of the
+        // residual program.
+        let jacobian: Vec<Vec<(usize, JacEntry)>> = equations
             .iter()
             .map(|eq| {
                 eq.current_variables()
@@ -301,38 +394,71 @@ impl AmsSimulator {
                             return None;
                         }
                         let col = index[&q];
-                        Some((col, eq.derivative(&q)))
+                        let entry = match eq.derivative(&q) {
+                            Some(d) => JacEntry::Symbolic(compile(&d)),
+                            None => JacEntry::Numeric,
+                        };
+                        Some((col, entry))
                     })
                     .collect()
             })
             .collect();
 
-        let n = unknowns.len();
-        let input_names = model.inputs.clone();
+        let max_stack = programs
+            .iter()
+            .chain(&ddt_progs)
+            .chain(&idt_progs)
+            .map(Program::max_stack)
+            .chain(jacobian.iter().flatten().filter_map(|(_, e)| match e {
+                JacEntry::Symbolic(p) => Some(p.max_stack()),
+                JacEntry::Numeric => None,
+            }))
+            .max()
+            .unwrap_or(0);
+
         let mut sim = AmsSimulator {
             dt,
             unknowns,
             index,
             equations,
+            programs,
             jacobian,
             placeholders,
-            ddt_prev: vec![0.0; ddt_inner.len()],
-            idt_state: vec![0.0; idt_inner.len()],
-            ddt_inner,
-            idt_inner,
-            input_values: vec![0.0; input_names.len()],
+            ddt_progs,
+            idt_progs,
+            slots: vec![0.0; slot_count],
+            input_off,
+            ddt_off,
+            idt_off,
             input_names,
             output_indices: Vec::new(),
             x: vec![0.0; n],
             x_prev: vec![0.0; n],
+            ws: Workspace {
+                stack: Vec::with_capacity(max_stack),
+                residual: vec![0.0; n],
+                delta: vec![0.0; n],
+                jm: Matrix::zeros(n, n),
+                // Seed factors so refreshes can reuse the storage; marked
+                // invalid until the first real Jacobian is factored.
+                lu: LuFactors::factor(&Matrix::identity(n.max(1)))
+                    .expect("identity is never singular"),
+                lu_valid: false,
+            },
             time: 0.0,
             steps: 0,
             newton_iters: 0,
             jacobian_builds: 0,
+            lu_factorizations: 0,
+            jacobian_reuse_hits: 0,
+            jacobian_refactors: 0,
             obs,
             obs_steps: CounterTracker::default(),
             obs_newton: CounterTracker::default(),
             obs_jacobian: CounterTracker::default(),
+            obs_factorizations: CounterTracker::default(),
+            obs_reuse_hits: CounterTracker::default(),
+            obs_refactors: CounterTracker::default(),
         };
         let mut specs = output_specs;
         if specs.is_empty() {
@@ -368,16 +494,29 @@ impl AmsSimulator {
     }
 
     /// Reports counter deltas (`amsim.steps`, `amsim.newton_iterations`,
-    /// `amsim.jacobian_builds`) to the attached collector. Called
-    /// automatically on drop; call explicitly to snapshot mid-run.
+    /// `amsim.jacobian.builds`, `amsim.lu.factorizations`,
+    /// `amsim.jacobian.reuse_hits`, `amsim.jacobian.refactor`) to the
+    /// attached collector. Called automatically on drop; call explicitly
+    /// to snapshot mid-run.
     pub fn flush_counters(&mut self) {
         if self.obs.enabled() {
             let (steps, newton, jacobian) = (self.steps, self.newton_iters, self.jacobian_builds);
+            let (factorizations, reuse_hits, refactors) = (
+                self.lu_factorizations,
+                self.jacobian_reuse_hits,
+                self.jacobian_refactors,
+            );
             self.obs_steps.flush(&self.obs, "amsim.steps", steps);
             self.obs_newton
                 .flush(&self.obs, "amsim.newton_iterations", newton);
             self.obs_jacobian
-                .flush(&self.obs, "amsim.jacobian_builds", jacobian);
+                .flush(&self.obs, "amsim.jacobian.builds", jacobian);
+            self.obs_factorizations
+                .flush(&self.obs, "amsim.lu.factorizations", factorizations);
+            self.obs_reuse_hits
+                .flush(&self.obs, "amsim.jacobian.reuse_hits", reuse_hits);
+            self.obs_refactors
+                .flush(&self.obs, "amsim.jacobian.refactor", refactors);
         }
     }
 
@@ -401,9 +540,31 @@ impl AmsSimulator {
         self.newton_iters
     }
 
-    /// Jacobian assemblies/factorizations so far (performance counter).
+    /// Jacobian assemblies so far (performance counter). With the
+    /// modified-Newton strategy this counts actual rebuilds, not
+    /// iterations; see [`AmsSimulator::jacobian_reuse_hits`].
     pub fn jacobian_builds(&self) -> u64 {
         self.jacobian_builds
+    }
+
+    /// LU factorizations so far. Factorization follows every Jacobian
+    /// build, so this currently tracks [`AmsSimulator::jacobian_builds`];
+    /// it is counted separately because the obs report distinguishes
+    /// assembly cost from factorization cost.
+    pub fn lu_factorizations(&self) -> u64 {
+        self.lu_factorizations
+    }
+
+    /// Newton iterations that reused an existing LU factorization instead
+    /// of rebuilding the Jacobian (performance counter).
+    pub fn jacobian_reuse_hits(&self) -> u64 {
+        self.jacobian_reuse_hits
+    }
+
+    /// Factorization refreshes forced by the convergence-stall test
+    /// (performance counter).
+    pub fn jacobian_refactors(&self) -> u64 {
+        self.jacobian_refactors
     }
 
     /// Number of unknowns in the DAE system.
@@ -425,51 +586,127 @@ impl AmsSimulator {
         self.index.get(q).map(|&i| self.x[i])
     }
 
-    // An associated function (not a method) so `eval` can borrow `self`
-    // fields disjointly inside the environment closure.
-    #[allow(clippy::too_many_arguments)]
-    fn eval_env(
-        x: &[f64],
-        index: &BTreeMap<Quantity, usize>,
-        placeholders: &BTreeMap<Quantity, Placeholder>,
-        ddt_prev: &[f64],
-        idt_state: &[f64],
-        input_names: &[String],
-        input_values: &[f64],
-        q: &Quantity,
-    ) -> Option<f64> {
-        if let Some(ph) = placeholders.get(q) {
-            return Some(match ph {
-                Placeholder::Ddt(k) => ddt_prev[*k],
-                Placeholder::Idt(k) => idt_state[*k],
-            });
-        }
-        match q {
-            Quantity::Input(n) => input_names
-                .iter()
-                .position(|i| i == n)
-                .map(|i| input_values[i]),
-            other => index.get(other).map(|&i| x[i]),
-        }
-    }
-
-    fn eval(&self, e: &QExpr, x: &[f64]) -> f64 {
+    /// Tree-walk evaluation of `e` at the current slot state — the oracle
+    /// the compiled hot path is checked against.
+    fn eval_tree(&self, e: &QExpr) -> f64 {
         e.eval(&mut |q: &Quantity, _| {
-            Self::eval_env(
-                x,
-                &self.index,
-                &self.placeholders,
-                &self.ddt_prev,
-                &self.idt_state,
-                &self.input_names,
-                &self.input_values,
-                q,
-            )
+            if let Some(ph) = self.placeholders.get(q) {
+                return Some(match ph {
+                    Placeholder::Ddt(k) => self.slots[self.ddt_off + k],
+                    Placeholder::Idt(k) => self.slots[self.idt_off + k],
+                });
+            }
+            match q {
+                Quantity::Input(n) => self
+                    .input_names
+                    .iter()
+                    .position(|i| i == n)
+                    .map(|i| self.slots[self.input_off + i]),
+                other => self.index.get(other).map(|&i| self.slots[i]),
+            }
         })
         .expect("all leaves resolvable by construction")
     }
 
+    /// Evaluates every residual at the current internal state through the
+    /// compiled VM programs (the production hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn residuals_vm(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.programs.len(), "residual dimension");
+        for (o, prog) in out.iter_mut().zip(&self.programs) {
+            *o = prog.eval(&self.slots, &mut self.ws.stack);
+        }
+    }
+
+    /// Evaluates every residual at the current internal state by walking
+    /// the expression trees (the debug oracle the VM path is validated
+    /// against; not used for stepping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn residuals_tree(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.equations.len(), "residual dimension");
+        for (o, eq) in out.iter_mut().zip(&self.equations) {
+            *o = self.eval_tree(eq);
+        }
+    }
+
+    /// Asserts (debug builds only) that the compiled residuals agree with
+    /// the tree-walk oracle at the current state.
+    #[cfg(debug_assertions)]
+    fn debug_check_residual_oracle(&self) {
+        for (i, eq) in self.equations.iter().enumerate() {
+            let tree = self.eval_tree(eq);
+            let vm_val = self.ws.residual[i];
+            let scale = 1.0 + tree.abs().max(vm_val.abs());
+            debug_assert!(
+                (tree - vm_val).abs() <= 1e-9 * scale || (tree.is_nan() && vm_val.is_nan()),
+                "VM residual {i} diverged from tree oracle: {vm_val} vs {tree}"
+            );
+        }
+    }
+
+    /// Builds the Jacobian at the current slot state into the workspace
+    /// matrix and refreshes the LU factors in place.
+    fn build_and_factor(&mut self) -> Result<(), AmsError> {
+        self.jacobian_builds += 1;
+        self.ws.jm.clear();
+        for (i, row) in self.jacobian.iter().enumerate() {
+            for (col, entry) in row {
+                let v = match entry {
+                    JacEntry::Symbolic(prog) => prog.eval(&self.slots, &mut self.ws.stack),
+                    JacEntry::Numeric => {
+                        // Central difference of the residual program,
+                        // perturbing the unknown's slot in place.
+                        let saved = self.slots[*col];
+                        let h = 1e-7 * (1.0 + saved.abs());
+                        self.slots[*col] = saved + h;
+                        let fp = self.programs[i].eval(&self.slots, &mut self.ws.stack);
+                        self.slots[*col] = saved - h;
+                        let fm = self.programs[i].eval(&self.slots, &mut self.ws.stack);
+                        self.slots[*col] = saved;
+                        (fp - fm) / (2.0 * h)
+                    }
+                };
+                self.ws.jm.stamp(i, *col, v);
+            }
+        }
+        self.lu_factorizations += 1;
+        match self.ws.lu.factor_into(&self.ws.jm) {
+            Ok(()) => {
+                self.ws.lu_valid = true;
+                Ok(())
+            }
+            Err(_) => {
+                self.ws.lu_valid = false;
+                Err(AmsError::Singular)
+            }
+        }
+    }
+
+    /// Maximum Newton iterations per step. Higher than the classic fresh-
+    /// Jacobian budget because modified Newton trades extra (cheap)
+    /// iterations for skipped factorizations.
+    const MAX_NEWTON_ITERS: u32 = 50;
+
+    /// Iterations a factorization may serve without converging before a
+    /// refresh is forced regardless of the contraction rate.
+    const MAX_STALE_ITERS: u32 = 8;
+
     /// Advances the simulation by one step.
+    ///
+    /// The Newton loop is allocation-free: residuals and Jacobian entries
+    /// evaluate through compiled VM programs into preallocated workspace
+    /// buffers, and the LU factorization is *reused* across iterations and
+    /// accepted steps (modified Newton). The factorization refreshes only
+    /// when the iteration stalls — when the update norm stops contracting
+    /// — or after [`AmsSimulator::MAX_STALE_ITERS`] reuses without
+    /// convergence. Linear systems therefore factor exactly once for an
+    /// entire transient.
     ///
     /// # Errors
     ///
@@ -480,43 +717,37 @@ impl AmsSimulator {
     ///
     /// Panics if `inputs.len()` differs from the declared input count.
     pub fn try_step(&mut self, inputs: &[f64]) -> Result<(), AmsError> {
-        assert_eq!(inputs.len(), self.input_values.len(), "input arity");
-        self.input_values.copy_from_slice(inputs);
+        assert_eq!(inputs.len(), self.input_names.len(), "input arity");
         let n = self.dim();
+        self.slots[self.input_off..self.input_off + inputs.len()].copy_from_slice(inputs);
         // Warm start from the previous solution.
-        let mut x = self.x_prev.clone();
+        self.slots[..n].copy_from_slice(&self.x_prev);
         let mut converged = false;
-        for _ in 0..25 {
+        let mut prev_max_rel = f64::INFINITY;
+        let mut stale_iters = 0u32;
+        for _ in 0..Self::MAX_NEWTON_ITERS {
             self.newton_iters += 1;
-            // Residual.
-            let f: Vec<f64> = self.equations.iter().map(|e| self.eval(e, &x)).collect();
-            // Jacobian: interpreted symbolic entries, numeric fallback.
-            self.jacobian_builds += 1;
-            let mut jm = Matrix::zeros(n, n);
-            for (i, row) in self.jacobian.iter().enumerate() {
-                for (col, d) in row {
-                    let v = match d {
-                        Some(expr) => self.eval(expr, &x),
-                        None => {
-                            // Central difference on the residual.
-                            let h = 1e-7 * (1.0 + x[*col].abs());
-                            let mut xp = x.clone();
-                            xp[*col] += h;
-                            let mut xm = x.clone();
-                            xm[*col] -= h;
-                            (self.eval(&self.equations[i], &xp)
-                                - self.eval(&self.equations[i], &xm))
-                                / (2.0 * h)
-                        }
-                    };
-                    jm.stamp(i, *col, v);
-                }
+            // Residual through the compiled programs.
+            for (i, prog) in self.programs.iter().enumerate() {
+                self.ws.residual[i] = prog.eval(&self.slots, &mut self.ws.stack);
             }
-            let lu = LuFactors::factor(&jm).map_err(|_| AmsError::Singular)?;
-            let minus_f: Vec<f64> = f.iter().map(|v| -v).collect();
-            let delta = lu.solve(&minus_f);
+            #[cfg(debug_assertions)]
+            self.debug_check_residual_oracle();
+            // Modified Newton: factor only when no usable linearization
+            // exists; otherwise reuse the previous LU factors.
+            let fresh = !self.ws.lu_valid;
+            if fresh {
+                self.build_and_factor()?;
+                stale_iters = 0;
+            } else {
+                self.jacobian_reuse_hits += 1;
+                stale_iters += 1;
+            }
+            // Solve J·δ = −F (negate the residual in place as the rhs).
+            self.ws.residual.iter_mut().for_each(|v| *v = -*v);
+            self.ws.lu.solve_into(&self.ws.residual, &mut self.ws.delta);
             let mut max_rel: f64 = 0.0;
-            for (xi, di) in x.iter_mut().zip(&delta) {
+            for (xi, di) in self.slots[..n].iter_mut().zip(&self.ws.delta) {
                 *xi += di;
                 max_rel = max_rel.max(di.abs() / (1.0 + xi.abs()));
             }
@@ -524,22 +755,39 @@ impl AmsSimulator {
                 converged = true;
                 break;
             }
+            // Convergence-rate test: a reused factorization must keep the
+            // update norm contracting; otherwise refresh at the current
+            // iterate on the next pass.
+            // `!contracting` (rather than `>=`) so a NaN update norm also
+            // forces a refresh.
+            let contracting = max_rel < 0.5 * prev_max_rel;
+            let stalled = !contracting || stale_iters >= Self::MAX_STALE_ITERS;
+            if !fresh && stalled {
+                self.ws.lu_valid = false;
+                self.jacobian_refactors += 1;
+            }
+            prev_max_rel = max_rel;
         }
         if !converged {
+            // The stale linearization is suspect after a failure.
+            self.ws.lu_valid = false;
             return Err(AmsError::NoConvergence {
                 time: self.time,
-                iterations: 25,
+                iterations: Self::MAX_NEWTON_ITERS,
             });
         }
-        // Accept the step: update history placeholders.
-        for (k, inner) in self.ddt_inner.iter().enumerate() {
-            self.ddt_prev[k] = self.eval(inner, &x);
+        // Accept the step: refresh history slots sequentially (later
+        // `ddt`/`idt` operands may reference earlier placeholders).
+        for k in 0..self.ddt_progs.len() {
+            let v = self.ddt_progs[k].eval(&self.slots, &mut self.ws.stack);
+            self.slots[self.ddt_off + k] = v;
         }
-        for (k, inner) in self.idt_inner.iter().enumerate() {
-            self.idt_state[k] += self.dt * self.eval(inner, &x);
+        for k in 0..self.idt_progs.len() {
+            let v = self.idt_progs[k].eval(&self.slots, &mut self.ws.stack);
+            self.slots[self.idt_off + k] += self.dt * v;
         }
-        self.x.copy_from_slice(&x);
-        self.x_prev.copy_from_slice(&x);
+        self.x.copy_from_slice(&self.slots[..n]);
+        self.x_prev.copy_from_slice(&self.slots[..n]);
         self.time += self.dt;
         self.steps += 1;
         Ok(())
@@ -706,6 +954,136 @@ mod tests {
         // Diode drop in a sane region; the current balances through R.
         assert!(vd > 0.3 && vd < 0.7, "diode voltage {vd}");
         let ir = (0.7 - vd) / 1e3;
+        let id = 1e-12 * ((vd / 0.02585).exp() - 1.0);
+        assert!((ir - id).abs() < 1e-9 * ir.abs().max(1e-12));
+    }
+
+    #[test]
+    fn vm_residuals_match_tree_oracle() {
+        // Nonlinear (exp) plus piecewise clipping: exercises Call, Select
+        // and the ddt history slots through both evaluation paths.
+        let m = parse_module(
+            "module clipamp(in, out);
+               input in; output out;
+               electrical in, out, mid, gnd;
+               ground gnd;
+               branch (in, mid) r;
+               branch (mid, gnd) d;
+               branch (mid, gnd) c;
+               real v;
+               analog begin
+                 v = 10 * V(mid, gnd);
+                 if (v > 1.0) v = 1.0;
+                 else if (v < -1.0) v = -1.0;
+                 V(r) <+ 1k * I(r);
+                 I(d) <+ 1e-9 * (exp(V(d) / 0.1) - 1);
+                 I(c) <+ 10n * ddt(V(c));
+                 V(out, gnd) <+ v;
+               end
+             endmodule",
+        )
+        .unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-7)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        let n = sim.dim();
+        let mut vm_out = vec![0.0; n];
+        let mut tree_out = vec![0.0; n];
+        for k in 0..50 {
+            sim.step(&[0.02 * k as f64]);
+            sim.residuals_vm(&mut vm_out);
+            sim.residuals_tree(&mut tree_out);
+            for (i, (a, b)) in vm_out.iter().zip(&tree_out).enumerate() {
+                let scale = 1.0 + a.abs().max(b.abs());
+                assert!(
+                    (a - b).abs() <= 1e-12 * scale,
+                    "step {k} residual {i}: vm {a} vs tree {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_circuit_factors_once() {
+        let m = parse_module(RC1).unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        for k in 0..100 {
+            sim.step(&[if k < 50 { 1.0 } else { 0.0 }]);
+        }
+        // Modified Newton on a linear system: the Jacobian is constant, so
+        // exactly one build/factorization serves the whole transient and
+        // every further iteration is a reuse.
+        assert_eq!(sim.jacobian_builds(), 1);
+        assert_eq!(sim.lu_factorizations(), 1);
+        assert_eq!(sim.jacobian_refactors(), 0);
+        assert_eq!(sim.jacobian_reuse_hits(), sim.newton_iterations() - 1);
+    }
+
+    #[test]
+    fn counters_report_under_split_names() {
+        let obs = Obs::recording();
+        let m = parse_module(RC1).unwrap();
+        {
+            let mut sim = Simulation::new(&m)
+                .dt(1e-6)
+                .output("V(out)")
+                .collector(obs.clone())
+                .build()
+                .unwrap();
+            for _ in 0..10 {
+                sim.step(&[1.0]);
+            }
+        } // drop flushes
+        let report = obs.report().unwrap();
+        assert_eq!(report.counter("amsim.steps"), 10);
+        assert!(report.counter("amsim.newton_iterations") > 0);
+        assert_eq!(report.counter("amsim.jacobian.builds"), 1);
+        assert_eq!(report.counter("amsim.lu.factorizations"), 1);
+        assert!(report.counter("amsim.jacobian.reuse_hits") > 0);
+        assert_eq!(report.counter("amsim.jacobian.refactor"), 0);
+    }
+
+    #[test]
+    fn nonlinear_stall_triggers_refactor() {
+        // Strongly nonlinear diode with a large input swing: the first
+        // step's factorization cannot serve the later bias points, so the
+        // stall detector must refresh at least once.
+        let m = parse_module(
+            "module dio(in, out);
+               input in; output out;
+               electrical in, out, gnd;
+               ground gnd;
+               branch (in, out) r;
+               branch (out, gnd) d;
+               analog begin
+                 V(r) <+ 1k * I(r);
+                 I(d) <+ 1e-12 * (exp(V(d) / 0.02585) - 1);
+               end
+             endmodule",
+        )
+        .unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        for k in 0..20 {
+            sim.step(&[0.05 * k as f64]);
+        }
+        assert!(sim.jacobian_refactors() > 0, "stall test never fired");
+        assert!(
+            sim.lu_factorizations() < sim.newton_iterations(),
+            "factorization reuse must skip some iterations"
+        );
+        // The final operating point still balances currents.
+        let vd = sim.output(0);
+        let ir = (0.95 - vd) / 1e3;
         let id = 1e-12 * ((vd / 0.02585).exp() - 1.0);
         assert!((ir - id).abs() < 1e-9 * ir.abs().max(1e-12));
     }

@@ -1,0 +1,42 @@
+//! Tree-walk vs. compiled-VM residual evaluation on the paper's Figure 2
+//! circuit (the active filter with op-amp clipping).
+//!
+//! The reference simulator's Newton loop evaluates every residual once per
+//! iteration; this bench isolates that cost for both evaluation paths to
+//! show what compiling the `QExpr` trees to bytecode buys. The full
+//! per-step cost (residuals + Jacobian reuse + LU solve) is printed
+//! alongside for context.
+
+use amsim::Simulation;
+use amsvp_bench::microbench;
+
+const FIG2: &str = include_str!("../../vams-parser/tests/fixtures/active_filter.va");
+
+fn main() {
+    let module = vams_parser::parse_module(FIG2).expect("Figure 2 fixture parses");
+    let mut sim = Simulation::new(&module)
+        .dt(50e-9)
+        .output("V(out)")
+        .build()
+        .expect("active filter lowers");
+    // Step to a representative operating point so the residuals see
+    // non-trivial slot values (history, clipping region).
+    for _ in 0..100 {
+        sim.step(&[1.0]);
+    }
+    let n = sim.dim();
+    let mut out = vec![0.0; n];
+
+    microbench("residual_eval", "tree_walk/active_filter", || {
+        sim.residuals_tree(&mut out);
+        out[0]
+    });
+    microbench("residual_eval", "vm/active_filter", || {
+        sim.residuals_vm(&mut out);
+        out[0]
+    });
+    microbench("residual_eval", "full_step/active_filter", || {
+        sim.step(&[1.0]);
+        sim.output(0)
+    });
+}

@@ -17,7 +17,7 @@ fn main() {
     let stim = SquareWave::paper();
 
     for spec in paper_circuits() {
-        // Verilog-AMS reference (interpreted Newton + LU per step).
+        // Verilog-AMS reference (compiled-VM Newton, LU reuse).
         {
             let mut sim = Simulation::new(&spec.module)
                 .dt(wl.dt)

@@ -1,0 +1,59 @@
+//! CI smoke check for the perf instrumentation pipeline.
+//!
+//! Runs a miniature Table I workload with a recording collector, writes
+//! `BENCH_obs.json` exactly like `examples/table1.rs`, and asserts the
+//! counters the benchmarks are graded on are actually present — so the
+//! instrumentation cannot silently rot. Exits nonzero on any violation.
+
+use obs::Obs;
+
+fn main() {
+    // 20 µs at Δt = 50 ns → 400 steps per circuit/level: a few seconds
+    // even for the reference simulator in CI.
+    let sim_time = 20e-6;
+    let accuracy_steps = (sim_time / 50e-9) as usize;
+    let obs = Obs::recording();
+    let rows = amsvp_bench::table1_rows_with(sim_time, accuracy_steps, &obs);
+    assert!(!rows.is_empty(), "table1 produced no rows");
+
+    let report = obs.report().expect("recording collector reports");
+    report
+        .write_json("BENCH_obs.json")
+        .expect("BENCH_obs.json is writable");
+    assert!(
+        std::path::Path::new("BENCH_obs.json").exists(),
+        "BENCH_obs.json missing after write"
+    );
+
+    let mut failures = Vec::new();
+    let mut require = |name: &str| {
+        let v = report.counter(name);
+        if v == 0 {
+            failures.push(format!("counter `{name}` missing or zero"));
+        }
+        v
+    };
+    let newton = require("amsim.newton_iterations");
+    require("amsim.steps");
+    require("amsim.jacobian.builds");
+    require("amsim.lu.factorizations");
+    require("amsim.jacobian.reuse_hits");
+    require("eln.steps");
+    if report.counter("amsim.lu.factorizations") > newton {
+        failures.push("more factorizations than Newton iterations".into());
+    }
+    if !failures.is_empty() {
+        eprintln!("table1_smoke FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "table1_smoke OK: {} rows, {newton} Newton iterations, \
+         {} LU factorizations, {} reuse hits",
+        rows.len(),
+        report.counter("amsim.lu.factorizations"),
+        report.counter("amsim.jacobian.reuse_hits")
+    );
+}

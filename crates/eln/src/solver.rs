@@ -87,6 +87,10 @@ pub struct ElnSolver {
     dt_for_refactor: f64,
     method_for_refactor: Method,
     rhs: Vec<f64>,
+    /// Scratch for the `(C/dt)·x_prev` history product.
+    hist: Vec<f64>,
+    /// Scratch for the trapezoidal `G·x_prev` history product.
+    gh: Vec<f64>,
     time: f64,
     steps: u64,
     refactorizations: u64,
@@ -252,6 +256,8 @@ impl ElnSolver {
             dt_for_refactor: dt,
             method_for_refactor: method,
             rhs: vec![0.0; dim],
+            hist: vec![0.0; dim],
+            gh: vec![0.0; dim],
             time: 0.0,
             steps: 0,
             refactorizations: 0,
@@ -303,7 +309,7 @@ impl ElnSolver {
             Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
         };
         let timer = self.obs.enabled().then(Instant::now);
-        self.lu = LuFactors::factor(&a)?;
+        self.lu.factor_into(&a)?;
         if let Some(start) = timer {
             self.obs.time("eln.factor", start.elapsed().as_secs_f64());
         }
@@ -408,16 +414,16 @@ impl ElnSolver {
         match self.method {
             Method::BackwardEuler => {
                 // rhs += (C/dt)·x_prev
-                let hist = self.c_over_dt.mul_vec(&self.x_prev);
-                for (r, h) in self.rhs.iter_mut().zip(hist) {
+                self.c_over_dt.mul_vec_into(&self.x_prev, &mut self.hist);
+                for (r, h) in self.rhs.iter_mut().zip(&self.hist) {
                     *r += h;
                 }
             }
             Method::Trapezoidal => {
                 // rhs += (2C/dt)·x_prev − G·x_prev
-                let hist = self.c_over_dt.mul_vec(&self.x_prev);
-                let gh = self.g.mul_vec(&self.x_prev);
-                for ((r, h), gterm) in self.rhs.iter_mut().zip(hist).zip(gh) {
+                self.c_over_dt.mul_vec_into(&self.x_prev, &mut self.hist);
+                self.g.mul_vec_into(&self.x_prev, &mut self.gh);
+                for ((r, h), gterm) in self.rhs.iter_mut().zip(&self.hist).zip(&self.gh) {
                     *r += 2.0 * h - gterm;
                 }
             }

@@ -9,11 +9,18 @@ impl<V: Clone + Ord> Expr<V> {
     /// conservative simulator needs to build analytic Newton Jacobians
     /// after discretization.
     ///
+    /// Piecewise definitions differentiate *branch-wise*: a conditional
+    /// keeps its guard and differentiates both arms, which yields the
+    /// almost-everywhere derivative even when the guard depends on `v`
+    /// (the standard piecewise-linearization a Newton solver wants).
+    /// `pow(a, b)` with a target-dependent exponent uses the general rule
+    /// `a^b · (b′·ln a + b·a′/a)`, valid on the `a > 0` domain where a
+    /// real-valued variable exponent is defined.
+    ///
     /// Returns `None` when the derivative is not expressible in this
-    /// algebra: remaining `ddt`/`idt` operators, `pow` with a
-    /// target-dependent exponent, or relational guards depending on `v`
-    /// (piecewise definitions differentiate branch-wise only when the guard
-    /// is independent of `v`).
+    /// algebra: remaining `ddt`/`idt` operators, or relational/logical
+    /// operators whose operands depend on `v` (the result is a 0/1 step
+    /// in `v`, i.e. discontinuous).
     ///
     /// # Example
     ///
@@ -48,10 +55,12 @@ impl<V: Clone + Ord> Expr<V> {
                 (da * (**b).clone() - (**a).clone() * db) / ((**b).clone() * (**b).clone())
             }
             Expr::Call(f, args) => return derive_call(*f, args, v),
+            // Branch-wise (almost-everywhere) derivative: the guard is kept
+            // verbatim and both arms differentiate, even when the guard
+            // itself depends on `v`. At the switching surface the result is
+            // one-sided, which is exactly what piecewise device models
+            // (clipping, limiting) need from a Newton linearization.
             Expr::Cond(c, t, e) => {
-                if c.contains_var(v) {
-                    return None;
-                }
                 Expr::cond((**c).clone(), t.derivative_raw(v)?, e.derivative_raw(v)?)
             }
             // Relational/logical results are piecewise-constant in v; their
@@ -105,10 +114,16 @@ fn derive_call<V: Clone + Ord>(f: Func, args: &[Expr<V>], v: &V) -> Option<Expr<
         Func::Pow => {
             let b = &args[1];
             if b.contains_var(v) {
-                return None;
+                // General rule via a^b = exp(b·ln a):
+                // d(a^b)/dv = a^b · (db·ln a + b·da/a), defined for a > 0 —
+                // the domain on which a real variable exponent makes sense.
+                let db = b.derivative_raw(v)?;
+                Expr::call2(Func::Pow, a.clone(), b.clone())
+                    * (db * Expr::call1(Func::Ln, a.clone()) + b.clone() * da / a)
+            } else {
+                // d(a^b)/dv = b * a^(b-1) * da, for exponent independent of v.
+                b.clone() * Expr::call2(Func::Pow, a, b.clone() - Expr::num(1.0)) * da
             }
-            // d(a^b)/dv = b * a^(b-1) * da, for exponent independent of v.
-            b.clone() * Expr::call2(Func::Pow, a, b.clone() - Expr::num(1.0)) * da
         }
     };
     Some(d)
@@ -195,10 +210,37 @@ mod tests {
     #[test]
     fn unsupported_cases_return_none() {
         assert!(Expr::ddt(x()).derivative(&"x").is_none());
+        assert!(Expr::idt(x()).derivative(&"x").is_none());
+        // A bare relational result is a 0/1 step in x — discontinuous.
+        let rel = Expr::bin(BinOp::Lt, x(), Expr::num(0.0));
+        assert!(rel.derivative(&"x").is_none());
+    }
+
+    #[test]
+    fn pow_variable_exponent_uses_general_rule() {
+        // d(2^x)/dx = 2^x · ln 2.
         let e = Expr::call2(Func::Pow, Expr::num(2.0), x());
-        assert!(e.derivative(&"x").is_none());
-        let guard_dep = Expr::cond(x(), Expr::num(1.0), Expr::num(0.0));
-        assert!(guard_dep.derivative(&"x").is_none());
+        let d = e.derivative(&"x").unwrap();
+        let expect = 2.0_f64.powf(1.5) * 2.0_f64.ln();
+        assert!((eval_at(&d, 1.5) - expect).abs() < 1e-12);
+        // d(x^x)/dx = x^x · (ln x + 1).
+        let e = Expr::call2(Func::Pow, x(), x());
+        let d = e.derivative(&"x").unwrap();
+        let expect = 3.0_f64.powf(3.0) * (3.0_f64.ln() + 1.0);
+        assert!((eval_at(&d, 3.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cond_with_dependent_guard_differentiates_branch_wise() {
+        // Clipping: if x > 1 { 1 } else { 2x } → derivative 0 / 2.
+        let e = Expr::cond(
+            Expr::bin(BinOp::Gt, x(), Expr::num(1.0)),
+            Expr::num(1.0),
+            x() * Expr::num(2.0),
+        );
+        let d = e.derivative(&"x").unwrap();
+        assert_eq!(eval_at(&d, 5.0), 0.0);
+        assert_eq!(eval_at(&d, 0.2), 2.0);
     }
 
     #[test]

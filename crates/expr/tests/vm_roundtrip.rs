@@ -1,0 +1,155 @@
+//! Exhaustive compile-vs-tree agreement for the expression VM.
+//!
+//! The VM is the production evaluation path of the reference simulator's
+//! Newton loop, so every [`Func`] variant, every [`BinOp`], negation and
+//! `Cond` must round-trip through [`vm::compile`] bit-for-bit against the
+//! tree-walk `eval` on a spread of seeded pseudo-random inputs.
+
+use amsvp_expr::vm::{self, CompileError};
+use amsvp_expr::{BinOp, Expr, Func};
+
+const ALL_FUNCS: [Func; 17] = [
+    Func::Exp,
+    Func::Ln,
+    Func::Log10,
+    Func::Sin,
+    Func::Cos,
+    Func::Tan,
+    Func::Sinh,
+    Func::Cosh,
+    Func::Tanh,
+    Func::Atan,
+    Func::Sqrt,
+    Func::Abs,
+    Func::Floor,
+    Func::Ceil,
+    Func::Min,
+    Func::Max,
+    Func::Pow,
+];
+
+const ALL_BINOPS: [BinOp; 12] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::And,
+    BinOp::Or,
+];
+
+/// Deterministic xorshift64* stream mapped into `(-3, 3)`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let u = self.0.wrapping_mul(0x2545F4914F6CDD1D);
+        ((u >> 11) as f64 / (1u64 << 53) as f64) * 6.0 - 3.0
+    }
+}
+
+fn x() -> Expr<&'static str> {
+    Expr::var("x")
+}
+
+fn y() -> Expr<&'static str> {
+    Expr::var("y")
+}
+
+fn assert_agree(e: &Expr<&'static str>, xv: f64, yv: f64, ctx: &str) {
+    let prog = vm::compile(e, &mut |v: &&str, delay| match (*v, delay) {
+        ("x", 0) => Some(0),
+        ("y", 0) => Some(1),
+        _ => None,
+    })
+    .unwrap_or_else(|err| panic!("{ctx}: compile failed: {err}"));
+    let mut stack = Vec::new();
+    let vm_val = prog.eval(&[xv, yv], &mut stack);
+    let tree = e
+        .eval(&mut |v: &&str, _| match *v {
+            "x" => Some(xv),
+            "y" => Some(yv),
+            _ => None,
+        })
+        .unwrap();
+    let agree = (tree - vm_val).abs() <= 1e-12 * (1.0 + tree.abs())
+        || (tree.is_nan() && vm_val.is_nan())
+        || (tree.is_infinite() && vm_val == tree);
+    assert!(agree, "{ctx} at ({xv}, {yv}): vm {vm_val} vs tree {tree}");
+}
+
+#[test]
+fn every_func_variant_round_trips() {
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    for f in ALL_FUNCS {
+        let e = match f.arity() {
+            1 => Expr::call1(f, x() + y() * Expr::num(0.5)),
+            _ => Expr::call2(f, x(), y()),
+        };
+        for _ in 0..64 {
+            let (xv, yv) = (rng.next(), rng.next());
+            assert_agree(&e, xv, yv, f.name());
+        }
+        // Domain-edge probes (negative logs, zero denominators, exact
+        // ties) must agree in their handling of NaN/∞ as well.
+        for (xv, yv) in [(0.0, 0.0), (-1.0, -1.0), (1.0, 1.0), (-2.5, 0.0)] {
+            assert_agree(&e, xv, yv, f.name());
+        }
+    }
+}
+
+#[test]
+fn every_binop_round_trips() {
+    let mut rng = Rng(0xD1B54A32D192ED03);
+    for op in ALL_BINOPS {
+        let e = Expr::bin(op, x(), y());
+        for _ in 0..64 {
+            let (xv, yv) = (rng.next(), rng.next());
+            assert_agree(&e, xv, yv, &format!("{op:?}"));
+        }
+        for (xv, yv) in [(1.0, 1.0), (0.0, 0.0), (-1.0, 1.0), (2.0, 0.0)] {
+            assert_agree(&e, xv, yv, &format!("{op:?}"));
+        }
+    }
+}
+
+#[test]
+fn nested_composite_round_trips() {
+    // Negation, Cond with a computed guard, Prev-free nesting across every
+    // precedence level — the kind of tree the simulator actually compiles.
+    let e = Expr::cond(
+        Expr::bin(BinOp::Gt, x() * y(), Expr::num(0.25)),
+        -(Expr::call1(Func::Tanh, x()) / (y() + Expr::num(2.0))),
+        Expr::call2(Func::Pow, Expr::call1(Func::Abs, x()), Expr::num(1.5))
+            + Expr::call2(Func::Min, x(), y()),
+    );
+    let mut rng = Rng(0xA076_1D64_78BD_642F);
+    for _ in 0..256 {
+        let (xv, yv) = (rng.next(), rng.next());
+        assert_agree(&e, xv, yv, "composite");
+    }
+}
+
+#[test]
+fn unresolved_ddt_fails_compilation() {
+    let e = Expr::num(2.0) * Expr::ddt(x());
+    let err = vm::compile(&e, &mut |_: &&str, _| Some(0)).unwrap_err();
+    assert_eq!(err, CompileError::UnresolvedAnalogOp);
+}
+
+#[test]
+fn unresolved_idt_fails_compilation() {
+    let e = Expr::idt(x() + Expr::num(1.0));
+    let err = vm::compile(&e, &mut |_: &&str, _| Some(0)).unwrap_err();
+    assert_eq!(err, CompileError::UnresolvedAnalogOp);
+    // The error is descriptive — build()-time panics surface it verbatim.
+    assert!(err.to_string().contains("ddt/idt"));
+}

@@ -72,53 +72,37 @@ impl LuFactors {
     /// Panics if `a` is not square.
     pub fn factor(a: &Matrix) -> Result<Self, SingularMatrixError> {
         assert!(a.is_square(), "LU factorization requires a square matrix");
-        let n = a.rows();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-        let scale = lu.max_abs().max(1.0);
-
-        for k in 0..n {
-            // Partial pivoting: pick the largest |value| in column k at or
-            // below the diagonal.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
-                }
-            }
-            if pivot_val <= PIVOT_EPS * scale {
-                return Err(SingularMatrixError { column: k });
-            }
-            if pivot_row != k {
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                if factor != 0.0 {
-                    for j in (k + 1)..n {
-                        let ukj = lu[(k, j)];
-                        lu[(i, j)] -= factor * ukj;
-                    }
-                }
-            }
-        }
+        let mut perm: Vec<usize> = (0..a.rows()).collect();
+        let perm_sign = eliminate(&mut lu, &mut perm)?;
         Ok(LuFactors {
             lu,
             perm,
             perm_sign,
         })
+    }
+
+    /// Re-factors `a` into this value's existing storage, so Newton loops
+    /// can refresh their factorization without allocating. The dimension
+    /// may differ from the previous factorization (buffers grow as
+    /// needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] as [`LuFactors::factor`] does; on
+    /// error the stored factors are invalid and must not be used for
+    /// [`LuFactors::solve`] until a subsequent factorization succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor_into(&mut self, a: &Matrix) -> Result<(), SingularMatrixError> {
+        assert!(a.is_square(), "LU factorization requires a square matrix");
+        self.lu.copy_from(a);
+        self.perm.clear();
+        self.perm.extend(0..a.rows());
+        self.perm_sign = eliminate(&mut self.lu, &mut self.perm)?;
+        Ok(())
     }
 
     /// Dimension of the factored system.
@@ -178,6 +162,53 @@ impl LuFactors {
     }
 }
 
+/// Gaussian elimination with partial pivoting, in place over `lu` (which
+/// holds the matrix on entry and the combined factors on exit) and `perm`.
+/// Returns the permutation sign.
+fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, SingularMatrixError> {
+    let n = lu.rows();
+    let mut perm_sign = 1.0;
+    let scale = lu.max_abs().max(1.0);
+
+    for k in 0..n {
+        // Partial pivoting: pick the largest |value| in column k at or
+        // below the diagonal.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
+            }
+        }
+        if pivot_val <= PIVOT_EPS * scale {
+            return Err(SingularMatrixError { column: k });
+        }
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            perm_sign = -perm_sign;
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            if factor != 0.0 {
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+    }
+    Ok(perm_sign)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +265,30 @@ mod tests {
         lu.solve_into(&[5.0, 10.0], &mut x);
         let back = a.mul_vec(&x);
         assert_close(&back, &[5.0, 10.0], 1e-12);
+    }
+
+    #[test]
+    fn factor_into_reuses_storage_and_matches_factor() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]);
+        let mut lu = LuFactors::factor(&a).unwrap();
+        lu.factor_into(&b).unwrap();
+        let fresh = LuFactors::factor(&b).unwrap();
+        assert_close(&lu.solve(&[5.0, 10.0]), &fresh.solve(&[5.0, 10.0]), 1e-14);
+        assert!((lu.det() - fresh.det()).abs() < 1e-12);
+        // Dimension changes are allowed: buffers grow to fit.
+        lu.factor_into(&Matrix::identity(3)).unwrap();
+        assert_eq!(lu.dim(), 3);
+        assert_close(&lu.solve(&[1.0, 2.0, 3.0]), &[1.0, 2.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn factor_into_reports_singular() {
+        let good = Matrix::identity(2);
+        let bad = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut lu = LuFactors::factor(&good).unwrap();
+        let err = lu.factor_into(&bad).unwrap_err();
+        assert_eq!(err.column, 1);
     }
 
     #[test]

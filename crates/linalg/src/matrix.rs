@@ -119,6 +119,17 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Copies `other` into `self`, reusing the existing allocation when
+    /// the capacity suffices. The shape is taken from `other`, so this
+    /// works for the first copy into a `Matrix::zeros(0, 0)` placeholder
+    /// as well as for repeated copies in a solver loop.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Adds `v` to element `(i, j)` (the MNA "stamp" operation).
     ///
     /// # Panics
@@ -146,8 +157,20 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Computes `self * v` into a caller-provided buffer, so fixed-step
+    /// transient loops can run without per-step allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        assert_eq!(out.len(), self.rows, "output dimension mismatch");
         for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
@@ -156,7 +179,6 @@ impl Matrix {
             }
             *o = acc;
         }
-        out
     }
 
     /// Maximum absolute element, useful for scaling/conditioning checks.

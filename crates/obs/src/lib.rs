@@ -380,6 +380,12 @@ impl Report {
         s
     }
 
+    /// Value of counter `name`, or 0 when it was never incremented —
+    /// convenient for smoke checks asserting on reported counters.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Writes [`Report::to_json`] to `path`.
     ///
     /// # Errors
@@ -577,6 +583,15 @@ mod tests {
         // 1 µs = 1000 ns → bucket 9 ([512, 1024) ns); 3 µs → bucket 11.
         assert_eq!(t.buckets[9], 1);
         assert_eq!(t.buckets[11], 1);
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let obs = Obs::recording();
+        obs.add("present", 2);
+        let report = obs.report().unwrap();
+        assert_eq!(report.counter("present"), 2);
+        assert_eq!(report.counter("absent"), 0);
     }
 
     #[test]
