@@ -58,4 +58,4 @@
 pub mod cosim;
 mod sim;
 
-pub use sim::{AmsError, AmsSimulator, Simulation};
+pub use sim::{AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation};

@@ -1,6 +1,7 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use amsvp_core::acquire::acquire;
 use amsvp_core::{conservative_relations, AbstractError, OutputSpec};
@@ -45,6 +46,11 @@ pub enum AmsError {
         /// The offending step, in seconds.
         dt: f64,
     },
+    /// The Newton convergence tolerance must be positive and finite.
+    InvalidTolerance {
+        /// The offending tolerance.
+        tol: f64,
+    },
     /// The co-simulation worker thread terminated (panicked or was shut
     /// down) while a step was outstanding.
     CosimDisconnected,
@@ -72,6 +78,12 @@ impl fmt::Display for AmsError {
             ),
             AmsError::InvalidTimeStep { dt } => {
                 write!(f, "invalid time step {dt}; must be positive and finite")
+            }
+            AmsError::InvalidTolerance { tol } => {
+                write!(
+                    f,
+                    "invalid newton tolerance {tol}; must be positive and finite"
+                )
             }
             AmsError::CosimDisconnected => {
                 write!(f, "co-simulation worker thread disconnected")
@@ -133,20 +145,21 @@ struct Workspace {
     lu_valid: bool,
 }
 
-/// Compiled-bytecode Newton/backward-Euler transient simulator over the
-/// full conservative equation system of one Verilog-AMS module.
+/// Immutable compiled artifact of one Verilog-AMS module: the discretized
+/// equation system, its VM bytecode programs, the symbolic Jacobian, the
+/// slot layout, and an LU factorization of the Jacobian evaluated at the
+/// all-zero initial state.
 ///
-/// At [`Simulation::build`] time every residual equation and every
-/// symbolic Jacobian entry is compiled to a flat [`expr::vm`] program over
-/// a single slot array (`[unknowns | inputs | ddt history | idt state]`);
-/// stepping evaluates bytecode only. The original tree-walk interpreter is
-/// retained as a debug-assertable oracle
-/// ([`AmsSimulator::residuals_tree`]).
-///
-/// See the [crate-level documentation](crate) for the role this plays in
-/// the reproduction and an example.
-pub struct AmsSimulator {
+/// A `CompiledModel` is plain data (`Send + Sync`) and is shared between
+/// any number of per-run [`Instance`]s via [`Arc`], so lowering,
+/// discretization, symbolic differentiation and bytecode compilation are
+/// paid **once per sweep** instead of once per run. Build one with
+/// [`Simulation::compile`], then spawn runs with
+/// [`CompiledModel::instance`] / [`CompiledModel::instance_builder`].
+pub struct CompiledModel {
     dt: f64,
+    /// Default Newton convergence tolerance for instances of this model.
+    newton_tol: f64,
     unknowns: Vec<Quantity>,
     index: BTreeMap<Quantity, usize>,
     /// Discretized residual equations `F_i = 0` (tree form — the oracle).
@@ -159,16 +172,45 @@ pub struct AmsSimulator {
     /// Compiled `ddt`/`idt` operand programs (history refresh on accept).
     ddt_progs: Vec<Program>,
     idt_progs: Vec<Program>,
-    /// Flat evaluation state: `[unknowns | inputs | ddt prev | idt state]`.
-    slots: Vec<f64>,
-    /// Offset of the input segment in `slots` (= number of unknowns).
+    /// Offset of the input segment in the slot array (= unknown count).
     input_off: usize,
-    /// Offset of the `ddt` history segment in `slots`.
+    /// Offset of the `ddt` history segment in the slot array.
     ddt_off: usize,
-    /// Offset of the `idt` accumulator segment in `slots`.
+    /// Offset of the `idt` accumulator segment in the slot array.
     idt_off: usize,
+    /// Total slot count: `[unknowns | inputs | ddt prev | idt state]`.
+    slot_count: usize,
     input_names: Vec<String>,
     output_indices: Vec<usize>,
+    /// Deepest operand stack any compiled program needs.
+    max_stack: usize,
+    /// LU factors of the Jacobian at the all-zero slot state, computed at
+    /// compile time so every instance starts from the same deterministic
+    /// linearization (modified Newton refreshes it only on a stall).
+    /// `None` when the zero-state Jacobian is singular — instances then
+    /// factor lazily at their first step, as builds always did.
+    init_lu: Option<LuFactors>,
+}
+
+/// Compiled-bytecode Newton/backward-Euler transient simulator over the
+/// full conservative equation system of one Verilog-AMS module: the
+/// mutable per-run half of a [`CompiledModel`].
+///
+/// An `Instance` holds only run state — the unknown vector, input/history
+/// slots, the Newton workspace (LU factors included) and performance
+/// counters — and borrows everything immutable from its `Arc`'d model, so
+/// creating one is allocation-cheap and many can step concurrently on
+/// different threads. The original tree-walk interpreter is retained as a
+/// debug-assertable oracle ([`Instance::residuals_tree`]).
+///
+/// See the [crate-level documentation](crate) for the role this plays in
+/// the reproduction and an example.
+pub struct Instance {
+    model: Arc<CompiledModel>,
+    /// Newton convergence tolerance (`max_rel` threshold) for this run.
+    newton_tol: f64,
+    /// Flat evaluation state: `[unknowns | inputs | ddt prev | idt state]`.
+    slots: Vec<f64>,
     x: Vec<f64>,
     x_prev: Vec<f64>,
     ws: Workspace,
@@ -187,6 +229,10 @@ pub struct AmsSimulator {
     obs_reuse_hits: CounterTracker,
     obs_refactors: CounterTracker,
 }
+
+/// Historical name of [`Instance`], kept so existing call sites (and the
+/// co-simulation plumbing) keep compiling unchanged.
+pub type AmsSimulator = Instance;
 
 /// Builder for an [`AmsSimulator`] reference transient.
 ///
@@ -220,6 +266,7 @@ pub struct AmsSimulator {
 pub struct Simulation<'m> {
     module: &'m Module,
     dt: f64,
+    newton_tol: f64,
     outputs: Vec<OutputSpec>,
     obs: Obs,
 }
@@ -231,6 +278,7 @@ impl<'m> Simulation<'m> {
         Simulation {
             module,
             dt: 1e-6,
+            newton_tol: DEFAULT_NEWTON_TOL,
             outputs: Vec::new(),
             obs: Obs::none(),
         }
@@ -239,6 +287,14 @@ impl<'m> Simulation<'m> {
     /// Sets the fixed time step in seconds.
     pub fn dt(mut self, dt: f64) -> Self {
         self.dt = dt;
+        self
+    }
+
+    /// Sets the Newton convergence tolerance (relative update norm at
+    /// which an iteration is accepted; default `1e-10`). Individual runs
+    /// can override it again via [`InstanceBuilder::newton_tol`].
+    pub fn newton_tol(mut self, tol: f64) -> Self {
+        self.newton_tol = tol;
         self
     }
 
@@ -259,18 +315,355 @@ impl<'m> Simulation<'m> {
         self
     }
 
-    /// Lowers the module into its full DAE system and prepares the
-    /// Newton solver.
+    /// Lowers the module into its full DAE system and prepares a
+    /// single-run Newton solver.
+    ///
+    /// Equivalent to [`Simulation::compile`] followed by spawning one
+    /// [`Instance`]; the compile-time Jacobian build/factorization is
+    /// accounted on the returned instance's counters, so single-run
+    /// callers observe exactly the counter totals they always did.
     ///
     /// # Errors
     ///
     /// * [`AmsError::Acquire`] when the module cannot be lowered;
     /// * [`AmsError::NotSquare`] for ill-posed descriptions;
     /// * [`AmsError::UnknownOutput`] for bad output specs;
-    /// * [`AmsError::InvalidTimeStep`] for a bad `dt`.
+    /// * [`AmsError::InvalidTimeStep`] for a bad `dt`;
+    /// * [`AmsError::InvalidTolerance`] for a bad `newton_tol`.
     pub fn build(self) -> Result<AmsSimulator, AmsError> {
-        AmsSimulator::construct(self.module, self.dt, self.outputs, self.obs)
+        let model = Arc::new(compile_model(
+            self.module,
+            self.dt,
+            self.newton_tol,
+            self.outputs,
+        )?);
+        let tol = model.newton_tol;
+        Ok(Instance::with_model(model, self.obs, tol, true))
     }
+
+    /// Lowers and compiles the module into an immutable, thread-shareable
+    /// [`CompiledModel`] without creating any run state.
+    ///
+    /// The one-off compile cost (a Jacobian assembly plus LU factorization
+    /// at the zero state) is reported to the attached collector as
+    /// `amsim.jacobian.builds` / `amsim.lu.factorizations`, so a sweep of
+    /// N instances over one model reports the same compile counters as a
+    /// single run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulation::build`].
+    pub fn compile(self) -> Result<Arc<CompiledModel>, AmsError> {
+        let model = compile_model(self.module, self.dt, self.newton_tol, self.outputs)?;
+        if self.obs.enabled() && model.init_lu.is_some() {
+            self.obs.add("amsim.jacobian.builds", 1);
+            self.obs.add("amsim.lu.factorizations", 1);
+        }
+        Ok(Arc::new(model))
+    }
+}
+
+/// Default Newton convergence tolerance (relative update norm).
+const DEFAULT_NEWTON_TOL: f64 = 1e-10;
+
+/// Builder for additional [`Instance`]s of a [`CompiledModel`], obtained
+/// from [`CompiledModel::instance_builder`]. Lets per-run settings (the
+/// collector, the Newton tolerance) differ between runs of one compiled
+/// artifact — the shape of a scenario sweep.
+#[must_use = "call build() to construct the instance"]
+pub struct InstanceBuilder {
+    model: Arc<CompiledModel>,
+    obs: Obs,
+    newton_tol: f64,
+}
+
+impl InstanceBuilder {
+    /// Attaches an instrumentation collector (see
+    /// [`Simulation::collector`] for the reported names).
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides the Newton convergence tolerance for this run only.
+    pub fn newton_tol(mut self, tol: f64) -> Self {
+        self.newton_tol = tol;
+        self
+    }
+
+    /// Creates the run instance.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::InvalidTolerance`] when the tolerance override is not
+    /// positive and finite.
+    pub fn build(self) -> Result<Instance, AmsError> {
+        if !(self.newton_tol.is_finite() && self.newton_tol > 0.0) {
+            return Err(AmsError::InvalidTolerance {
+                tol: self.newton_tol,
+            });
+        }
+        Ok(Instance::with_model(
+            self.model,
+            self.obs,
+            self.newton_tol,
+            false,
+        ))
+    }
+}
+
+impl CompiledModel {
+    /// Time step the model was discretized at, in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of unknowns in the DAE system.
+    pub fn dim(&self) -> usize {
+        self.unknowns.len()
+    }
+
+    /// Input names in `step` order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Number of observed outputs.
+    pub fn output_count(&self) -> usize {
+        self.output_indices.len()
+    }
+
+    /// Default Newton convergence tolerance for instances of this model.
+    pub fn newton_tol(&self) -> f64 {
+        self.newton_tol
+    }
+
+    /// Spawns a run instance with the model's default tolerance and no
+    /// collector — the cheap path for sweep workers.
+    pub fn instance(self: &Arc<Self>) -> Instance {
+        Instance::with_model(Arc::clone(self), Obs::none(), self.newton_tol, false)
+    }
+
+    /// Starts an [`InstanceBuilder`] for a run with per-run settings.
+    pub fn instance_builder(self: &Arc<Self>) -> InstanceBuilder {
+        InstanceBuilder {
+            model: Arc::clone(self),
+            obs: Obs::none(),
+            newton_tol: self.newton_tol,
+        }
+    }
+}
+
+/// Stamps the Jacobian at the current slot state into `jm`. Symbolic
+/// entries evaluate their compiled program; numeric fallbacks centrally
+/// difference the residual program, perturbing the unknown's slot in
+/// place (no buffer cloning).
+fn stamp_jacobian(
+    jacobian: &[Vec<(usize, JacEntry)>],
+    programs: &[Program],
+    slots: &mut [f64],
+    stack: &mut Vec<f64>,
+    jm: &mut Matrix,
+) {
+    jm.clear();
+    for (i, row) in jacobian.iter().enumerate() {
+        for (col, entry) in row {
+            let v = match entry {
+                JacEntry::Symbolic(prog) => prog.eval(slots, stack),
+                JacEntry::Numeric => {
+                    let saved = slots[*col];
+                    let h = 1e-7 * (1.0 + saved.abs());
+                    slots[*col] = saved + h;
+                    let fp = programs[i].eval(slots, stack);
+                    slots[*col] = saved - h;
+                    let fm = programs[i].eval(slots, stack);
+                    slots[*col] = saved;
+                    (fp - fm) / (2.0 * h)
+                }
+            };
+            jm.stamp(i, *col, v);
+        }
+    }
+}
+
+/// Lowers, discretizes and compiles `module` into a [`CompiledModel`] —
+/// the immutable half shared by every run.
+fn compile_model(
+    module: &Module,
+    dt: f64,
+    newton_tol: f64,
+    output_specs: Vec<OutputSpec>,
+) -> Result<CompiledModel, AmsError> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(AmsError::InvalidTimeStep { dt });
+    }
+    if !(newton_tol.is_finite() && newton_tol > 0.0) {
+        return Err(AmsError::InvalidTolerance { tol: newton_tol });
+    }
+    let model = acquire(module)?;
+    let mut zeros: Vec<QExpr> = conservative_relations(&model)?
+        .into_iter()
+        .map(|r| r.zero)
+        .collect();
+    // Signal-flow variables join the system as explicit equations.
+    for (name, def) in &model.folded_vars {
+        zeros.push(Expr::var(Quantity::var(name.clone())) - def.clone());
+    }
+
+    // Unknowns: every non-input quantity referenced anywhere.
+    let mut index: BTreeMap<Quantity, usize> = BTreeMap::new();
+    for z in &zeros {
+        for q in z.variables() {
+            if !q.is_input() && !index.contains_key(&q) {
+                index.insert(q, 0);
+            }
+        }
+    }
+    let unknowns: Vec<Quantity> = index.keys().cloned().collect();
+    for (i, q) in unknowns.iter().enumerate() {
+        *index.get_mut(q).expect("just built") = i;
+    }
+    if zeros.len() != unknowns.len() {
+        return Err(AmsError::NotSquare {
+            equations: zeros.len(),
+            unknowns: unknowns.len(),
+        });
+    }
+
+    // Discretize: replace analog operators with history placeholders.
+    let mut placeholders = BTreeMap::new();
+    let mut ddt_inner = Vec::new();
+    let mut idt_inner = Vec::new();
+    let equations: Vec<QExpr> = zeros
+        .iter()
+        .map(|z| discretize(z, dt, &mut placeholders, &mut ddt_inner, &mut idt_inner).simplified())
+        .collect();
+
+    // Slot layout: [unknowns | inputs | ddt history | idt state].
+    let n = unknowns.len();
+    let input_names = model.inputs.clone();
+    let input_off = n;
+    let ddt_off = input_off + input_names.len();
+    let idt_off = ddt_off + ddt_inner.len();
+    let slot_count = idt_off + idt_inner.len();
+
+    // Bytecode compiler over the slot layout. Discretization removed
+    // every `ddt`/`idt`, and every variable is an unknown, an input,
+    // or a history placeholder, so compilation cannot fail on
+    // well-formed systems.
+    let compile = |e: &QExpr| -> Program {
+        vm::compile(e, &mut |q: &Quantity, delay: u32| {
+            if delay != 0 {
+                return None;
+            }
+            if let Some(ph) = placeholders.get(q) {
+                return Some(match ph {
+                    Placeholder::Ddt(k) => (ddt_off + k) as u32,
+                    Placeholder::Idt(k) => (idt_off + k) as u32,
+                });
+            }
+            match q {
+                Quantity::Input(name) => input_names
+                    .iter()
+                    .position(|i| i == name)
+                    .map(|i| (input_off + i) as u32),
+                other => index.get(other).map(|&i| i as u32),
+            }
+        })
+        .expect("discretized equations compile by construction")
+    };
+
+    let programs: Vec<Program> = equations.iter().map(&compile).collect();
+    let ddt_progs: Vec<Program> = ddt_inner.iter().map(&compile).collect();
+    let idt_progs: Vec<Program> = idt_inner.iter().map(&compile).collect();
+
+    // Compiled symbolic Jacobian; entries the derivative algebra
+    // cannot express fall back to in-place central differencing of the
+    // residual program.
+    let jacobian: Vec<Vec<(usize, JacEntry)>> = equations
+        .iter()
+        .map(|eq| {
+            eq.current_variables()
+                .into_iter()
+                .filter_map(|q| {
+                    if q.is_input() || placeholders.contains_key(&q) {
+                        return None;
+                    }
+                    let col = index[&q];
+                    let entry = match eq.derivative(&q) {
+                        Some(d) => JacEntry::Symbolic(compile(&d)),
+                        None => JacEntry::Numeric,
+                    };
+                    Some((col, entry))
+                })
+                .collect()
+        })
+        .collect();
+
+    let max_stack = programs
+        .iter()
+        .chain(&ddt_progs)
+        .chain(&idt_progs)
+        .map(Program::max_stack)
+        .chain(jacobian.iter().flatten().filter_map(|(_, e)| match e {
+            JacEntry::Symbolic(p) => Some(p.max_stack()),
+            JacEntry::Numeric => None,
+        }))
+        .max()
+        .unwrap_or(0);
+
+    // Resolve the observed outputs against the unknown index.
+    let mut specs = output_specs;
+    if specs.is_empty() {
+        let first = model
+            .outputs
+            .first()
+            .cloned()
+            .ok_or_else(|| AmsError::UnknownOutput {
+                spec: "<no output port>".to_string(),
+                module: module.name.clone(),
+            })?;
+        specs.push(OutputSpec::Potential(first));
+    }
+    let mut output_indices = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let unknown = || AmsError::UnknownOutput {
+            spec: spec.to_string(),
+            module: module.name.clone(),
+        };
+        let q = spec.resolve(&model).map_err(|_| unknown())?;
+        output_indices.push(index.get(&q).copied().ok_or_else(unknown)?);
+    }
+
+    // Factor the Jacobian once at the all-zero state, so every instance
+    // starts from the same linearization no matter which worker spawns
+    // it first (scheduling-independent, hence bit-reproducible sweeps).
+    let mut slots = vec![0.0; slot_count];
+    let mut stack = Vec::with_capacity(max_stack);
+    let mut jm = Matrix::zeros(n, n);
+    stamp_jacobian(&jacobian, &programs, &mut slots, &mut stack, &mut jm);
+    let init_lu = LuFactors::factor(&jm).ok();
+
+    Ok(CompiledModel {
+        dt,
+        newton_tol,
+        unknowns,
+        index,
+        equations,
+        programs,
+        jacobian,
+        placeholders,
+        ddt_progs,
+        idt_progs,
+        input_off,
+        ddt_off,
+        idt_off,
+        slot_count,
+        input_names,
+        output_indices,
+        max_stack,
+        init_lu,
+    })
 }
 
 impl AmsSimulator {
@@ -290,166 +683,50 @@ impl AmsSimulator {
     )]
     pub fn new(module: &Module, dt: f64, outputs: &[&str]) -> Result<Self, AmsError> {
         let specs = outputs.iter().map(|s| OutputSpec::parse(s)).collect();
-        AmsSimulator::construct(module, dt, specs, Obs::none())
+        let model = Arc::new(compile_model(module, dt, DEFAULT_NEWTON_TOL, specs)?);
+        let tol = model.newton_tol;
+        Ok(Instance::with_model(model, Obs::none(), tol, true))
     }
 
-    fn construct(
-        module: &Module,
-        dt: f64,
-        output_specs: Vec<OutputSpec>,
-        obs: Obs,
-    ) -> Result<Self, AmsError> {
-        if !(dt.is_finite() && dt > 0.0) {
-            return Err(AmsError::InvalidTimeStep { dt });
-        }
-        let model = acquire(module)?;
-        let mut zeros: Vec<QExpr> = conservative_relations(&model)?
-            .into_iter()
-            .map(|r| r.zero)
-            .collect();
-        // Signal-flow variables join the system as explicit equations.
-        for (name, def) in &model.folded_vars {
-            zeros.push(Expr::var(Quantity::var(name.clone())) - def.clone());
-        }
-
-        // Unknowns: every non-input quantity referenced anywhere.
-        let mut index: BTreeMap<Quantity, usize> = BTreeMap::new();
-        for z in &zeros {
-            for q in z.variables() {
-                if !q.is_input() && !index.contains_key(&q) {
-                    index.insert(q, 0);
-                }
-            }
-        }
-        let unknowns: Vec<Quantity> = index.keys().cloned().collect();
-        for (i, q) in unknowns.iter().enumerate() {
-            *index.get_mut(q).expect("just built") = i;
-        }
-        if zeros.len() != unknowns.len() {
-            return Err(AmsError::NotSquare {
-                equations: zeros.len(),
-                unknowns: unknowns.len(),
-            });
-        }
-
-        // Discretize: replace analog operators with history placeholders.
-        let mut placeholders = BTreeMap::new();
-        let mut ddt_inner = Vec::new();
-        let mut idt_inner = Vec::new();
-        let equations: Vec<QExpr> = zeros
-            .iter()
-            .map(|z| {
-                discretize(z, dt, &mut placeholders, &mut ddt_inner, &mut idt_inner).simplified()
-            })
-            .collect();
-
-        // Slot layout: [unknowns | inputs | ddt history | idt state].
-        let n = unknowns.len();
-        let input_names = model.inputs.clone();
-        let input_off = n;
-        let ddt_off = input_off + input_names.len();
-        let idt_off = ddt_off + ddt_inner.len();
-        let slot_count = idt_off + idt_inner.len();
-
-        // Bytecode compiler over the slot layout. Discretization removed
-        // every `ddt`/`idt`, and every variable is an unknown, an input,
-        // or a history placeholder, so compilation cannot fail on
-        // well-formed systems.
-        let compile = |e: &QExpr| -> Program {
-            vm::compile(e, &mut |q: &Quantity, delay: u32| {
-                if delay != 0 {
-                    return None;
-                }
-                if let Some(ph) = placeholders.get(q) {
-                    return Some(match ph {
-                        Placeholder::Ddt(k) => (ddt_off + k) as u32,
-                        Placeholder::Idt(k) => (idt_off + k) as u32,
-                    });
-                }
-                match q {
-                    Quantity::Input(name) => input_names
-                        .iter()
-                        .position(|i| i == name)
-                        .map(|i| (input_off + i) as u32),
-                    other => index.get(other).map(|&i| i as u32),
-                }
-            })
-            .expect("discretized equations compile by construction")
+    /// Builds the per-run state over a compiled model. When
+    /// `seed_compile_counters` is set the compile-time Jacobian
+    /// build/factorization is accounted on this instance's local counters
+    /// (the single-run [`Simulation::build`] path); sweep instances leave
+    /// it unset because [`Simulation::compile`] already reported it.
+    fn with_model(model: Arc<CompiledModel>, obs: Obs, newton_tol: f64, seed: bool) -> Instance {
+        let n = model.unknowns.len();
+        let (lu, lu_valid) = match &model.init_lu {
+            Some(lu) => (lu.clone(), true),
+            // Seed factors so refreshes can reuse the storage; marked
+            // invalid until the first real Jacobian is factored.
+            None => (
+                LuFactors::factor(&Matrix::identity(n.max(1))).expect("identity is never singular"),
+                false,
+            ),
         };
-
-        let programs: Vec<Program> = equations.iter().map(&compile).collect();
-        let ddt_progs: Vec<Program> = ddt_inner.iter().map(&compile).collect();
-        let idt_progs: Vec<Program> = idt_inner.iter().map(&compile).collect();
-
-        // Compiled symbolic Jacobian; entries the derivative algebra
-        // cannot express fall back to in-place central differencing of the
-        // residual program.
-        let jacobian: Vec<Vec<(usize, JacEntry)>> = equations
-            .iter()
-            .map(|eq| {
-                eq.current_variables()
-                    .into_iter()
-                    .filter_map(|q| {
-                        if q.is_input() || placeholders.contains_key(&q) {
-                            return None;
-                        }
-                        let col = index[&q];
-                        let entry = match eq.derivative(&q) {
-                            Some(d) => JacEntry::Symbolic(compile(&d)),
-                            None => JacEntry::Numeric,
-                        };
-                        Some((col, entry))
-                    })
-                    .collect()
-            })
-            .collect();
-
-        let max_stack = programs
-            .iter()
-            .chain(&ddt_progs)
-            .chain(&idt_progs)
-            .map(Program::max_stack)
-            .chain(jacobian.iter().flatten().filter_map(|(_, e)| match e {
-                JacEntry::Symbolic(p) => Some(p.max_stack()),
-                JacEntry::Numeric => None,
-            }))
-            .max()
-            .unwrap_or(0);
-
-        let mut sim = AmsSimulator {
-            dt,
-            unknowns,
-            index,
-            equations,
-            programs,
-            jacobian,
-            placeholders,
-            ddt_progs,
-            idt_progs,
-            slots: vec![0.0; slot_count],
-            input_off,
-            ddt_off,
-            idt_off,
-            input_names,
-            output_indices: Vec::new(),
+        let compile_cost = if seed && model.init_lu.is_some() {
+            1
+        } else {
+            0
+        };
+        Instance {
+            newton_tol,
+            slots: vec![0.0; model.slot_count],
             x: vec![0.0; n],
             x_prev: vec![0.0; n],
             ws: Workspace {
-                stack: Vec::with_capacity(max_stack),
+                stack: Vec::with_capacity(model.max_stack),
                 residual: vec![0.0; n],
                 delta: vec![0.0; n],
                 jm: Matrix::zeros(n, n),
-                // Seed factors so refreshes can reuse the storage; marked
-                // invalid until the first real Jacobian is factored.
-                lu: LuFactors::factor(&Matrix::identity(n.max(1)))
-                    .expect("identity is never singular"),
-                lu_valid: false,
+                lu,
+                lu_valid,
             },
             time: 0.0,
             steps: 0,
             newton_iters: 0,
-            jacobian_builds: 0,
-            lu_factorizations: 0,
+            jacobian_builds: compile_cost,
+            lu_factorizations: compile_cost,
             jacobian_reuse_hits: 0,
             jacobian_refactors: 0,
             obs,
@@ -459,40 +736,9 @@ impl AmsSimulator {
             obs_factorizations: CounterTracker::default(),
             obs_reuse_hits: CounterTracker::default(),
             obs_refactors: CounterTracker::default(),
-        };
-        let mut specs = output_specs;
-        if specs.is_empty() {
-            let first = model
-                .outputs
-                .first()
-                .cloned()
-                .ok_or_else(|| AmsError::UnknownOutput {
-                    spec: "<no output port>".to_string(),
-                    module: module.name.clone(),
-                })?;
-            specs.push(OutputSpec::Potential(first));
+            model,
         }
-        for spec in &specs {
-            sim.output_indices
-                .push(sim.resolve_output(spec, &model, &module.name)?);
-        }
-        Ok(sim)
     }
-
-    fn resolve_output(
-        &self,
-        spec: &OutputSpec,
-        model: &amsvp_core::AcquiredModel,
-        module: &str,
-    ) -> Result<usize, AmsError> {
-        let unknown = || AmsError::UnknownOutput {
-            spec: spec.to_string(),
-            module: module.to_string(),
-        };
-        let q = spec.resolve(model).map_err(|_| unknown())?;
-        self.index.get(&q).copied().ok_or_else(unknown)
-    }
-
     /// Reports counter deltas (`amsim.steps`, `amsim.newton_iterations`,
     /// `amsim.jacobian.builds`, `amsim.lu.factorizations`,
     /// `amsim.jacobian.reuse_hits`, `amsim.jacobian.refactor`) to the
@@ -522,7 +768,17 @@ impl AmsSimulator {
 
     /// Time step in seconds.
     pub fn dt(&self) -> f64 {
-        self.dt
+        self.model.dt
+    }
+
+    /// The shared compiled artifact this run steps over.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// Newton convergence tolerance for this run.
+    pub fn newton_tol(&self) -> f64 {
+        self.newton_tol
     }
 
     /// Current simulated time in seconds.
@@ -532,7 +788,7 @@ impl AmsSimulator {
 
     /// Input names in `step` order.
     pub fn input_names(&self) -> &[String] {
-        &self.input_names
+        &self.model.input_names
     }
 
     /// Newton iterations performed so far (performance counter).
@@ -569,7 +825,7 @@ impl AmsSimulator {
 
     /// Number of unknowns in the DAE system.
     pub fn dim(&self) -> usize {
-        self.unknowns.len()
+        self.model.unknowns.len()
     }
 
     /// Value of output `i` after the last step.
@@ -578,31 +834,32 @@ impl AmsSimulator {
     ///
     /// Panics if `i` is out of range.
     pub fn output(&self, i: usize) -> f64 {
-        self.x[self.output_indices[i]]
+        self.x[self.model.output_indices[i]]
     }
 
     /// Value of an arbitrary quantity.
     pub fn value(&self, q: &Quantity) -> Option<f64> {
-        self.index.get(q).map(|&i| self.x[i])
+        self.model.index.get(q).map(|&i| self.x[i])
     }
 
     /// Tree-walk evaluation of `e` at the current slot state — the oracle
     /// the compiled hot path is checked against.
     fn eval_tree(&self, e: &QExpr) -> f64 {
+        let m = &self.model;
         e.eval(&mut |q: &Quantity, _| {
-            if let Some(ph) = self.placeholders.get(q) {
+            if let Some(ph) = m.placeholders.get(q) {
                 return Some(match ph {
-                    Placeholder::Ddt(k) => self.slots[self.ddt_off + k],
-                    Placeholder::Idt(k) => self.slots[self.idt_off + k],
+                    Placeholder::Ddt(k) => self.slots[m.ddt_off + k],
+                    Placeholder::Idt(k) => self.slots[m.idt_off + k],
                 });
             }
             match q {
-                Quantity::Input(n) => self
+                Quantity::Input(n) => m
                     .input_names
                     .iter()
                     .position(|i| i == n)
-                    .map(|i| self.slots[self.input_off + i]),
-                other => self.index.get(other).map(|&i| self.slots[i]),
+                    .map(|i| self.slots[m.input_off + i]),
+                other => m.index.get(other).map(|&i| self.slots[i]),
             }
         })
         .expect("all leaves resolvable by construction")
@@ -615,8 +872,8 @@ impl AmsSimulator {
     ///
     /// Panics if `out.len() != self.dim()`.
     pub fn residuals_vm(&mut self, out: &mut [f64]) {
-        assert_eq!(out.len(), self.programs.len(), "residual dimension");
-        for (o, prog) in out.iter_mut().zip(&self.programs) {
+        assert_eq!(out.len(), self.model.programs.len(), "residual dimension");
+        for (o, prog) in out.iter_mut().zip(&self.model.programs) {
             *o = prog.eval(&self.slots, &mut self.ws.stack);
         }
     }
@@ -629,8 +886,8 @@ impl AmsSimulator {
     ///
     /// Panics if `out.len() != self.dim()`.
     pub fn residuals_tree(&self, out: &mut [f64]) {
-        assert_eq!(out.len(), self.equations.len(), "residual dimension");
-        for (o, eq) in out.iter_mut().zip(&self.equations) {
+        assert_eq!(out.len(), self.model.equations.len(), "residual dimension");
+        for (o, eq) in out.iter_mut().zip(&self.model.equations) {
             *o = self.eval_tree(eq);
         }
     }
@@ -639,7 +896,7 @@ impl AmsSimulator {
     /// the tree-walk oracle at the current state.
     #[cfg(debug_assertions)]
     fn debug_check_residual_oracle(&self) {
-        for (i, eq) in self.equations.iter().enumerate() {
+        for (i, eq) in self.model.equations.iter().enumerate() {
             let tree = self.eval_tree(eq);
             let vm_val = self.ws.residual[i];
             let scale = 1.0 + tree.abs().max(vm_val.abs());
@@ -654,27 +911,13 @@ impl AmsSimulator {
     /// matrix and refreshes the LU factors in place.
     fn build_and_factor(&mut self) -> Result<(), AmsError> {
         self.jacobian_builds += 1;
-        self.ws.jm.clear();
-        for (i, row) in self.jacobian.iter().enumerate() {
-            for (col, entry) in row {
-                let v = match entry {
-                    JacEntry::Symbolic(prog) => prog.eval(&self.slots, &mut self.ws.stack),
-                    JacEntry::Numeric => {
-                        // Central difference of the residual program,
-                        // perturbing the unknown's slot in place.
-                        let saved = self.slots[*col];
-                        let h = 1e-7 * (1.0 + saved.abs());
-                        self.slots[*col] = saved + h;
-                        let fp = self.programs[i].eval(&self.slots, &mut self.ws.stack);
-                        self.slots[*col] = saved - h;
-                        let fm = self.programs[i].eval(&self.slots, &mut self.ws.stack);
-                        self.slots[*col] = saved;
-                        (fp - fm) / (2.0 * h)
-                    }
-                };
-                self.ws.jm.stamp(i, *col, v);
-            }
-        }
+        stamp_jacobian(
+            &self.model.jacobian,
+            &self.model.programs,
+            &mut self.slots,
+            &mut self.ws.stack,
+            &mut self.ws.jm,
+        );
         self.lu_factorizations += 1;
         match self.ws.lu.factor_into(&self.ws.jm) {
             Ok(()) => {
@@ -717,9 +960,10 @@ impl AmsSimulator {
     ///
     /// Panics if `inputs.len()` differs from the declared input count.
     pub fn try_step(&mut self, inputs: &[f64]) -> Result<(), AmsError> {
-        assert_eq!(inputs.len(), self.input_names.len(), "input arity");
+        assert_eq!(inputs.len(), self.model.input_names.len(), "input arity");
         let n = self.dim();
-        self.slots[self.input_off..self.input_off + inputs.len()].copy_from_slice(inputs);
+        let input_off = self.model.input_off;
+        self.slots[input_off..input_off + inputs.len()].copy_from_slice(inputs);
         // Warm start from the previous solution.
         self.slots[..n].copy_from_slice(&self.x_prev);
         let mut converged = false;
@@ -728,7 +972,7 @@ impl AmsSimulator {
         for _ in 0..Self::MAX_NEWTON_ITERS {
             self.newton_iters += 1;
             // Residual through the compiled programs.
-            for (i, prog) in self.programs.iter().enumerate() {
+            for (i, prog) in self.model.programs.iter().enumerate() {
                 self.ws.residual[i] = prog.eval(&self.slots, &mut self.ws.stack);
             }
             #[cfg(debug_assertions)]
@@ -751,7 +995,7 @@ impl AmsSimulator {
                 *xi += di;
                 max_rel = max_rel.max(di.abs() / (1.0 + xi.abs()));
             }
-            if max_rel < 1e-10 {
+            if max_rel < self.newton_tol {
                 converged = true;
                 break;
             }
@@ -778,17 +1022,17 @@ impl AmsSimulator {
         }
         // Accept the step: refresh history slots sequentially (later
         // `ddt`/`idt` operands may reference earlier placeholders).
-        for k in 0..self.ddt_progs.len() {
-            let v = self.ddt_progs[k].eval(&self.slots, &mut self.ws.stack);
-            self.slots[self.ddt_off + k] = v;
+        for k in 0..self.model.ddt_progs.len() {
+            let v = self.model.ddt_progs[k].eval(&self.slots, &mut self.ws.stack);
+            self.slots[self.model.ddt_off + k] = v;
         }
-        for k in 0..self.idt_progs.len() {
-            let v = self.idt_progs[k].eval(&self.slots, &mut self.ws.stack);
-            self.slots[self.idt_off + k] += self.dt * v;
+        for k in 0..self.model.idt_progs.len() {
+            let v = self.model.idt_progs[k].eval(&self.slots, &mut self.ws.stack);
+            self.slots[self.model.idt_off + k] += self.model.dt * v;
         }
         self.x.copy_from_slice(&self.slots[..n]);
         self.x_prev.copy_from_slice(&self.slots[..n]);
-        self.time += self.dt;
+        self.time += self.model.dt;
         self.steps += 1;
         Ok(())
     }
@@ -1017,12 +1261,12 @@ mod tests {
             sim.step(&[if k < 50 { 1.0 } else { 0.0 }]);
         }
         // Modified Newton on a linear system: the Jacobian is constant, so
-        // exactly one build/factorization serves the whole transient and
-        // every further iteration is a reuse.
+        // the single compile-time build/factorization serves the whole
+        // transient and every iteration is a reuse.
         assert_eq!(sim.jacobian_builds(), 1);
         assert_eq!(sim.lu_factorizations(), 1);
         assert_eq!(sim.jacobian_refactors(), 0);
-        assert_eq!(sim.jacobian_reuse_hits(), sim.newton_iterations() - 1);
+        assert_eq!(sim.jacobian_reuse_hits(), sim.newton_iterations());
     }
 
     #[test]
@@ -1098,6 +1342,149 @@ mod tests {
         assert!(matches!(
             Simulation::new(&m).dt(-1.0).output("V(out)").build(),
             Err(AmsError::InvalidTimeStep { .. })
+        ));
+        assert!(matches!(
+            Simulation::new(&m).newton_tol(0.0).output("V(out)").build(),
+            Err(AmsError::InvalidTolerance { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_model_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledModel>();
+        assert_send_sync::<Arc<CompiledModel>>();
+        // Instances migrate between threads (cosim already relies on it).
+        fn assert_send<T: Send>() {}
+        assert_send::<Instance>();
+    }
+
+    #[test]
+    fn instance_matches_monolithic_build() {
+        // compile() + instance() must reproduce build() bit for bit.
+        let m = parse_module(RC1).unwrap();
+        let mut whole = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let mut inst = model.instance();
+        for k in 0..100 {
+            let u = if k < 50 { 1.0 } else { 0.25 };
+            whole.step(&[u]);
+            inst.step(&[u]);
+            assert_eq!(whole.output(0).to_bits(), inst.output(0).to_bits());
+        }
+        // The instance never rebuilt: the compile-time LU served it all.
+        assert_eq!(inst.jacobian_builds(), 0);
+        assert_eq!(inst.jacobian_reuse_hits(), inst.newton_iterations());
+    }
+
+    #[test]
+    fn one_model_shared_across_threads() {
+        let m = parse_module(RC1).unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let mut reference = model.instance();
+        for _ in 0..50 {
+            reference.step(&[1.0]);
+        }
+        let expected = reference.output(0);
+        let results: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let model = &model;
+                    s.spawn(move || {
+                        let mut inst = model.instance();
+                        for _ in 0..50 {
+                            inst.step(&[1.0]);
+                        }
+                        inst.output(0)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r.to_bits(), expected.to_bits());
+        }
+    }
+
+    #[test]
+    fn compile_reports_one_build_for_many_instances() {
+        let obs = Obs::recording();
+        let m = parse_module(RC1).unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .collector(obs.clone())
+            .compile()
+            .unwrap();
+        for _ in 0..8 {
+            let mut inst = model
+                .instance_builder()
+                .collector(obs.clone())
+                .build()
+                .unwrap();
+            for _ in 0..10 {
+                inst.step(&[1.0]);
+            }
+        }
+        let report = obs.report().unwrap();
+        // Linear circuit: the compile-time build is the only one, no
+        // matter how many instances ran.
+        assert_eq!(report.counter("amsim.jacobian.builds"), 1);
+        assert_eq!(report.counter("amsim.lu.factorizations"), 1);
+        assert_eq!(report.counter("amsim.steps"), 80);
+    }
+
+    #[test]
+    fn loose_tolerance_spends_fewer_iterations() {
+        let m = parse_module(
+            "module dio(in, out);
+               input in; output out;
+               electrical in, out, gnd;
+               ground gnd;
+               branch (in, out) r;
+               branch (out, gnd) d;
+               analog begin
+                 V(r) <+ 1k * I(r);
+                 I(d) <+ 1e-12 * (exp(V(d) / 0.02585) - 1);
+               end
+             endmodule",
+        )
+        .unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let run = |tol: f64| {
+            let mut inst = model.instance_builder().newton_tol(tol).build().unwrap();
+            for k in 0..10 {
+                inst.step(&[0.07 * k as f64]);
+            }
+            (inst.newton_iterations(), inst.output(0))
+        };
+        let (tight_iters, tight_v) = run(1e-10);
+        let (loose_iters, loose_v) = run(1e-4);
+        assert!(
+            loose_iters < tight_iters,
+            "loose {loose_iters} vs tight {tight_iters}"
+        );
+        // Both land on the same operating point to the loose tolerance.
+        assert!((tight_v - loose_v).abs() < 1e-3, "{tight_v} vs {loose_v}");
+        assert!(matches!(
+            model.instance_builder().newton_tol(f64::NAN).build(),
+            Err(AmsError::InvalidTolerance { .. })
         ));
     }
 

@@ -1,0 +1,105 @@
+//! CI smoke check for the parallel sweep engine.
+//!
+//! Runs a small RC1 tolerance sweep on a 4-worker pool over one shared
+//! compiled model, writes the merged report as `BENCH_obs.json`, and
+//! asserts the sweep-level counters plus the compile-once guarantee —
+//! so a regression that silently recompiles per scenario (or loses
+//! scenarios) fails CI. Exits nonzero on any violation.
+
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+use obs::Obs;
+use sweep::{run_ams_sweep, AmsScenario, SweepEngine};
+
+const SCENARIOS: usize = 16;
+const WORKERS: usize = 4;
+const STEPS: usize = 500;
+
+fn main() {
+    let module = vams_parser::parse_module(&rc_ladder(1)).expect("RC1 parses");
+    let compile_obs = Obs::recording();
+    let model = amsim::Simulation::new(&module)
+        .dt(1e-6)
+        .output("V(out)")
+        .collector(compile_obs.clone())
+        .compile()
+        .expect("RC1 compiles");
+
+    let scenarios: Vec<AmsScenario> = (0..SCENARIOS)
+        .map(|i| AmsScenario {
+            name: format!("rc1/{i}"),
+            stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 5, 5e-5, 0.0, 1.0)),
+            steps: STEPS,
+            newton_tol: Some(if i % 2 == 0 { 1e-10 } else { 1e-7 }),
+        })
+        .collect();
+    let outcome = run_ams_sweep(&SweepEngine::new().workers(WORKERS), &model, &scenarios)
+        .expect("sweep runs");
+
+    let mut report = compile_obs.report().expect("recording collector reports");
+    report.merge(&outcome.report);
+    report
+        .write_json("BENCH_obs.json")
+        .expect("BENCH_obs.json is writable");
+
+    let mut failures = Vec::new();
+    if outcome.results.len() != SCENARIOS {
+        failures.push(format!(
+            "expected {SCENARIOS} results, got {}",
+            outcome.results.len()
+        ));
+    }
+    if report.counter("sweep.scenarios") != SCENARIOS as u64 {
+        failures.push(format!(
+            "counter `sweep.scenarios` is {}, want {SCENARIOS}",
+            report.counter("sweep.scenarios")
+        ));
+    }
+    if report.counter("sweep.workers") != WORKERS as u64 {
+        failures.push(format!(
+            "counter `sweep.workers` is {}, want {WORKERS}",
+            report.counter("sweep.workers")
+        ));
+    }
+    for w in 0..WORKERS {
+        // Worker w is seeded with scenario w, so with 16 ≥ 4 every
+        // worker must have executed at least one scenario.
+        if report.counter(&format!("sweep.worker.{w}.scenarios")) == 0 {
+            failures.push(format!("worker {w} executed no scenarios"));
+        }
+    }
+    if report.counter("amsim.jacobian.builds") != 1 {
+        failures.push(format!(
+            "counter `amsim.jacobian.builds` is {}, want 1 (compile-once violated)",
+            report.counter("amsim.jacobian.builds")
+        ));
+    }
+    if report.counter("amsim.steps") != (SCENARIOS * STEPS) as u64 {
+        failures.push(format!(
+            "counter `amsim.steps` is {}, want {}",
+            report.counter("amsim.steps"),
+            SCENARIOS * STEPS
+        ));
+    }
+    match report.timers.get("sweep.scenario") {
+        Some(t) if t.count == SCENARIOS as u64 => {}
+        Some(t) => failures.push(format!(
+            "timer `sweep.scenario` has {} observations, want {SCENARIOS}",
+            t.count
+        )),
+        None => failures.push("timer `sweep.scenario` missing".into()),
+    }
+
+    if !failures.is_empty() {
+        eprintln!("sweep_smoke FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "sweep_smoke OK: {SCENARIOS} scenarios on {WORKERS} workers in {:.3} s, \
+         {} Newton iterations, 1 Jacobian build",
+        outcome.wall,
+        report.counter("amsim.newton_iterations"),
+    );
+}

@@ -63,6 +63,105 @@ impl SquareWave {
     }
 }
 
+/// A deterministic input waveform sampled at absolute time.
+///
+/// Implemented by [`SquareWave`] (the paper's stimulus) and
+/// [`PiecewiseConstant`] (seeded-random levels for differential testing);
+/// the virtual-platform TDF sources and the sweep engine are generic over
+/// it so the same cluster wiring drives any input shape.
+pub trait Stimulus {
+    /// Sample the waveform at time `t` (seconds).
+    fn value(&self, t: f64) -> f64;
+}
+
+impl Stimulus for SquareWave {
+    fn value(&self, t: f64) -> f64 {
+        SquareWave::value(self, t)
+    }
+}
+
+impl<T: Stimulus + ?Sized> Stimulus for &T {
+    fn value(&self, t: f64) -> f64 {
+        (**self).value(t)
+    }
+}
+
+/// Piecewise-constant waveform: level `k` holds over
+/// `[k·hold, (k+1)·hold)`, repeating from the start after the last
+/// segment. Built from a seeded PRNG ([`PiecewiseConstant::seeded`]) it
+/// gives reproducible random stimuli that exercise input shapes the fixed
+/// square wave never does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseConstant {
+    /// Duration of each segment in seconds.
+    pub hold: f64,
+    /// Segment levels, cycled over.
+    pub levels: Vec<f64>,
+}
+
+impl PiecewiseConstant {
+    /// Builds `segments` uniform random levels in `[lo, hi)` from an
+    /// [`XorShift64`] stream seeded with `seed` — same seed, same wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or `hold` is not positive and finite.
+    pub fn seeded(seed: u64, segments: usize, hold: f64, lo: f64, hi: f64) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        assert!(hold.is_finite() && hold > 0.0, "hold must be positive");
+        let mut rng = XorShift64::new(seed);
+        let levels = (0..segments)
+            .map(|_| lo + (hi - lo) * rng.next_f64())
+            .collect();
+        PiecewiseConstant { hold, levels }
+    }
+
+    /// Sample the waveform at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        let k = (t / self.hold).rem_euclid(self.levels.len() as f64) as usize;
+        self.levels[k.min(self.levels.len() - 1)]
+    }
+}
+
+impl Stimulus for PiecewiseConstant {
+    fn value(&self, t: f64) -> f64 {
+        PiecewiseConstant::value(self, t)
+    }
+}
+
+/// The xorshift64* PRNG — the same tiny deterministic generator the
+/// workspace property tests use, exposed here so stimulus construction and
+/// scenario sampling share one implementation.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the stream (a zero seed is remapped to a fixed nonzero one,
+    /// since xorshift has no zero state).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next draw mapped uniformly to `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// Verilog-AMS source of an `n`-stage RC ladder (the paper's RCn).
 ///
 /// # Panics
@@ -187,6 +286,51 @@ mod tests {
         assert_eq!(sq.value(1.0e-3), 1.0);
         let samples: Vec<f64> = sq.samples(0.25e-3, 5).collect();
         assert_eq!(samples, vec![1.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn piecewise_constant_is_seed_deterministic() {
+        let a = PiecewiseConstant::seeded(42, 8, 1e-4, -1.0, 1.0);
+        let b = PiecewiseConstant::seeded(42, 8, 1e-4, -1.0, 1.0);
+        let c = PiecewiseConstant::seeded(43, 8, 1e-4, -1.0, 1.0);
+        assert_eq!(a, b, "same seed, same wave");
+        assert_ne!(a, c, "different seed, different wave");
+        for level in &a.levels {
+            assert!((-1.0..1.0).contains(level), "level {level} out of range");
+        }
+        // Holds each level for `hold`, then cycles.
+        assert_eq!(a.value(0.0), a.levels[0]);
+        assert_eq!(a.value(0.99e-4), a.levels[0]);
+        assert_eq!(a.value(1.01e-4), a.levels[1]);
+        assert_eq!(a.value(8.5e-4), a.levels[0], "wraps after the last");
+        // Trait and inherent sampling agree.
+        fn through_trait<S: Stimulus>(s: &S, t: f64) -> f64 {
+            s.value(t)
+        }
+        assert_eq!(through_trait(&a, 3.3e-4), a.value(3.3e-4));
+        assert_eq!(
+            through_trait(&SquareWave::paper(), 0.6e-3),
+            SquareWave::paper().value(0.6e-3)
+        );
+    }
+
+    #[test]
+    fn xorshift_stream_is_reproducible_and_spread() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        let draws: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        for d in &draws {
+            assert_eq!(*d, b.next_u64());
+        }
+        // Zero seed is remapped, not a stuck all-zero stream.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+        // f64 draws live in [0, 1) and are not constant.
+        let mut r = XorShift64::new(123);
+        let fs: Vec<f64> = (0..64).map(|_| r.next_f64()).collect();
+        assert!(fs.iter().all(|f| (0.0..1.0).contains(f)));
+        let mean = fs.iter().sum::<f64>() / fs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.2, "mean {mean} suspicious");
     }
 
     #[test]

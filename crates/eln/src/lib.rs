@@ -44,4 +44,4 @@ mod solver;
 
 pub use network::{ComponentId, ElnNetwork, NodeId, SourceId, SwitchId};
 pub use process::ElnProcess;
-pub use solver::{ElnError, ElnSolver, Method, Transient};
+pub use solver::{CompiledNet, ElnError, ElnSolver, Method, Transient};

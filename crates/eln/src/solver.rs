@@ -1,5 +1,6 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use linalg::{LuFactors, Matrix};
@@ -56,36 +57,80 @@ impl From<linalg::SingularMatrixError> for ElnError {
     }
 }
 
-/// Fixed-timestep MNA transient solver for an [`ElnNetwork`].
+impl From<linalg::FactorError> for ElnError {
+    fn from(e: linalg::FactorError) -> Self {
+        match e {
+            linalg::FactorError::Singular(s) => ElnError::Singular(s),
+            linalg::FactorError::NotSquare { .. } => {
+                unreachable!("MNA matrices are square by construction")
+            }
+        }
+    }
+}
+
+/// Immutable compiled artifact of one [`ElnNetwork`]: the stamped MNA
+/// matrices discretized at a fixed step/method, LU-factored at the
+/// network's initial switch state.
 ///
-/// The system matrix is factored once at construction; each [`ElnSolver::step`]
-/// performs a right-hand-side build plus one LU solve, mirroring the cost
-/// profile of the SystemC-AMS ELN solver for linear, fixed-step networks.
+/// A `CompiledNet` is plain data (`Send + Sync`) shared between any number
+/// of per-run [`ElnSolver`] instances via [`Arc`]; assembly and the
+/// factorization are paid once per sweep instead of once per run. Build
+/// one with [`Transient::compile`], then spawn runs with
+/// [`CompiledNet::instance`] / [`CompiledNet::instance_with`].
 #[derive(Debug)]
-pub struct ElnSolver {
+pub struct CompiledNet {
     dt: f64,
     method: Method,
     /// Number of node-voltage unknowns.
     n_nodes: usize,
+    /// Total MNA dimension (nodes + branch-current rows).
+    dim: usize,
     /// Branch-current unknowns: component index → row offset.
     branch_of: Vec<Option<usize>>,
+    /// Factors of `G + C/dt` (or the trapezoidal companion) at the
+    /// initial switch state.
     lu: LuFactors,
     g: Matrix,
     c_over_dt: Matrix,
+    /// Source component indices with their row info, for rhs builds.
+    sources: Vec<ComponentId>,
+    components: Vec<Component>,
+    /// Switch component ids and their compile-time state.
+    switches: Vec<ComponentId>,
+    initial_switch_closed: Vec<bool>,
+}
+
+/// Per-instance copy of the system matrices, materialized the first time a
+/// run diverges from the compiled switch state (copy-on-toggle). Runs that
+/// never toggle a switch solve against the shared compiled factors and
+/// allocate no matrix storage of their own.
+#[derive(Debug)]
+struct OwnedSystem {
+    lu: LuFactors,
+    g: Matrix,
+    c_over_dt: Matrix,
+}
+
+/// Fixed-timestep MNA transient solver for an [`ElnNetwork`]: the mutable
+/// per-run half of a [`CompiledNet`].
+///
+/// The system matrix is factored once at compile time; each
+/// [`ElnSolver::step`] performs a right-hand-side build plus one LU solve,
+/// mirroring the cost profile of the SystemC-AMS ELN solver for linear,
+/// fixed-step networks.
+#[derive(Debug)]
+pub struct ElnSolver {
+    net: Arc<CompiledNet>,
+    /// Copy-on-toggle matrices; `None` while this run is still at the
+    /// compiled switch state.
+    owned: Option<Box<OwnedSystem>>,
     /// Current solution vector.
     x: Vec<f64>,
     x_prev: Vec<f64>,
     /// Per-source value (set by [`ElnSolver::set_source`]).
     source_values: Vec<f64>,
     prev_source_values: Vec<f64>,
-    /// Source component indices with their row info, for rhs builds.
-    sources: Vec<ComponentId>,
-    components: Vec<Component>,
-    /// Switch component ids and their current state.
-    switches: Vec<ComponentId>,
     switch_closed: Vec<bool>,
-    dt_for_refactor: f64,
-    method_for_refactor: Method,
     rhs: Vec<f64>,
     /// Scratch for the `(C/dt)·x_prev` history product.
     hist: Vec<f64>,
@@ -160,7 +205,10 @@ impl<'n> Transient<'n> {
         self
     }
 
-    /// Assembles and factors the MNA system.
+    /// Assembles and factors the MNA system for a single run.
+    ///
+    /// Equivalent to [`Transient::compile`] followed by
+    /// [`CompiledNet::instance_with`].
     ///
     /// # Errors
     ///
@@ -168,7 +216,148 @@ impl<'n> Transient<'n> {
     /// * [`ElnError::Empty`] for a node-less network;
     /// * [`ElnError::Singular`] when the topology is ill-posed.
     pub fn build(self) -> Result<ElnSolver, ElnError> {
-        ElnSolver::construct(self.net, self.dt, self.method, self.obs)
+        let obs = self.obs.clone();
+        Ok(self.compile()?.instance_with(obs))
+    }
+
+    /// Assembles and factors the MNA system into an immutable,
+    /// thread-shareable [`CompiledNet`] without creating any run state.
+    /// The one-off factorization cost is reported to the attached
+    /// collector as the `eln.factor` timer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transient::build`].
+    pub fn compile(self) -> Result<Arc<CompiledNet>, ElnError> {
+        Ok(Arc::new(compile_net(
+            self.net,
+            self.dt,
+            self.method,
+            &self.obs,
+        )?))
+    }
+}
+
+/// Assembles, discretizes and factors `net` into a [`CompiledNet`].
+fn compile_net(
+    net: &ElnNetwork,
+    dt: f64,
+    method: Method,
+    obs: &Obs,
+) -> Result<CompiledNet, ElnError> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(ElnError::InvalidTimeStep(dt));
+    }
+    let n_nodes = net.node_count();
+    if n_nodes == 0 {
+        return Err(ElnError::Empty);
+    }
+    // Assign branch-current rows to components that need them.
+    let mut branch_of = vec![None; net.components.len()];
+    let mut next = n_nodes;
+    for (i, c) in net.components.iter().enumerate() {
+        if matches!(
+            c,
+            Component::Vsource { .. } | Component::Vcvs { .. } | Component::Inductor { .. }
+        ) {
+            branch_of[i] = Some(next);
+            next += 1;
+        }
+    }
+    let dim = next;
+    let initial_switch_closed: Vec<bool> = net
+        .switches
+        .iter()
+        .map(|&c| match net.components[c.0] {
+            Component::Switch {
+                initially_closed, ..
+            } => initially_closed,
+            _ => unreachable!("switch list holds switches"),
+        })
+        .collect();
+    let (g, c_mat) = stamp_matrices(
+        &net.components,
+        &branch_of,
+        dim,
+        &net.switches,
+        &initial_switch_closed,
+    );
+
+    let c_over_dt = &c_mat * (1.0 / dt);
+    let a = match method {
+        Method::BackwardEuler => &g + &c_over_dt,
+        Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
+    };
+    let timer = obs.enabled().then(Instant::now);
+    let lu = LuFactors::factor(&a)?;
+    if let Some(start) = timer {
+        obs.time("eln.factor", start.elapsed().as_secs_f64());
+    }
+    Ok(CompiledNet {
+        dt,
+        method,
+        n_nodes,
+        dim,
+        branch_of,
+        lu,
+        g,
+        c_over_dt,
+        sources: net.sources.clone(),
+        components: net.components.clone(),
+        switches: net.switches.clone(),
+        initial_switch_closed,
+    })
+}
+
+impl CompiledNet {
+    /// Time step the network was discretized at, in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Discretization method the network was compiled with.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Number of MNA unknowns (diagnostics).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of node-voltage unknowns.
+    pub fn node_unknowns(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Spawns a run instance with no collector — the cheap path for
+    /// sweep workers.
+    pub fn instance(self: &Arc<Self>) -> ElnSolver {
+        self.instance_with(Obs::none())
+    }
+
+    /// Spawns a run instance reporting `eln.steps`,
+    /// `eln.refactorizations` and `eln.factor` through `obs`.
+    pub fn instance_with(self: &Arc<Self>, obs: Obs) -> ElnSolver {
+        let dim = self.dim;
+        ElnSolver {
+            owned: None,
+            x: vec![0.0; dim],
+            x_prev: vec![0.0; dim],
+            source_values: vec![0.0; self.sources.len()],
+            prev_source_values: vec![0.0; self.sources.len()],
+            switch_closed: self.initial_switch_closed.clone(),
+            rhs: vec![0.0; dim],
+            hist: vec![0.0; dim],
+            gh: vec![0.0; dim],
+            time: 0.0,
+            steps: 0,
+            refactorizations: 0,
+            obs,
+            obs_steps: CounterTracker::default(),
+            obs_refactorizations: CounterTracker::default(),
+            net: Arc::clone(self),
+        }
     }
 }
 
@@ -185,86 +374,12 @@ impl ElnSolver {
         note = "use eln::Transient::new(net).dt(..).method(..).build()"
     )]
     pub fn new(net: &ElnNetwork, dt: f64, method: Method) -> Result<Self, ElnError> {
-        ElnSolver::construct(net, dt, method, Obs::none())
+        Transient::new(net).dt(dt).method(method).build()
     }
 
-    fn construct(net: &ElnNetwork, dt: f64, method: Method, obs: Obs) -> Result<Self, ElnError> {
-        if !(dt.is_finite() && dt > 0.0) {
-            return Err(ElnError::InvalidTimeStep(dt));
-        }
-        let n_nodes = net.node_count();
-        if n_nodes == 0 {
-            return Err(ElnError::Empty);
-        }
-        // Assign branch-current rows to components that need them.
-        let mut branch_of = vec![None; net.components.len()];
-        let mut next = n_nodes;
-        for (i, c) in net.components.iter().enumerate() {
-            if matches!(
-                c,
-                Component::Vsource { .. } | Component::Vcvs { .. } | Component::Inductor { .. }
-            ) {
-                branch_of[i] = Some(next);
-                next += 1;
-            }
-        }
-        let dim = next;
-        let switch_closed: Vec<bool> = net
-            .switches
-            .iter()
-            .map(|&c| match net.components[c.0] {
-                Component::Switch {
-                    initially_closed, ..
-                } => initially_closed,
-                _ => unreachable!("switch list holds switches"),
-            })
-            .collect();
-        let (g, c_mat) = stamp_matrices(
-            &net.components,
-            &branch_of,
-            dim,
-            &net.switches,
-            &switch_closed,
-        );
-
-        let c_over_dt = &c_mat * (1.0 / dt);
-        let a = match method {
-            Method::BackwardEuler => &g + &c_over_dt,
-            Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
-        };
-        let timer = obs.enabled().then(Instant::now);
-        let lu = LuFactors::factor(&a)?;
-        if let Some(start) = timer {
-            obs.time("eln.factor", start.elapsed().as_secs_f64());
-        }
-        Ok(ElnSolver {
-            dt,
-            method,
-            n_nodes,
-            branch_of,
-            lu,
-            g,
-            c_over_dt,
-            x: vec![0.0; dim],
-            x_prev: vec![0.0; dim],
-            source_values: vec![0.0; net.sources.len()],
-            prev_source_values: vec![0.0; net.sources.len()],
-            sources: net.sources.clone(),
-            components: net.components.clone(),
-            switches: net.switches.clone(),
-            switch_closed,
-            dt_for_refactor: dt,
-            method_for_refactor: method,
-            rhs: vec![0.0; dim],
-            hist: vec![0.0; dim],
-            gh: vec![0.0; dim],
-            time: 0.0,
-            steps: 0,
-            refactorizations: 0,
-            obs,
-            obs_steps: CounterTracker::default(),
-            obs_refactorizations: CounterTracker::default(),
-        })
+    /// The shared compiled artifact this run steps over.
+    pub fn compiled(&self) -> &Arc<CompiledNet> {
+        &self.net
     }
 
     /// Reports counter deltas (`eln.steps`, `eln.refactorizations`) to the
@@ -297,24 +412,58 @@ impl ElnSolver {
         self.switch_closed[sw.0] = closed;
         let dim = self.x.len();
         let (g, c_mat) = stamp_matrices(
-            &self.components,
-            &self.branch_of,
+            &self.net.components,
+            &self.net.branch_of,
             dim,
-            &self.switches,
+            &self.net.switches,
             &self.switch_closed,
         );
-        let dt = self.dt_for_refactor;
-        let a = match self.method_for_refactor {
+        let dt = self.net.dt;
+        let a = match self.net.method {
             Method::BackwardEuler => &g + &(&c_mat * (1.0 / dt)),
             Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
         };
         let timer = self.obs.enabled().then(Instant::now);
-        self.lu.factor_into(&a)?;
+        // Copy-on-toggle: materialize per-run matrices the first time this
+        // run leaves the compiled switch state; siblings sharing the
+        // CompiledNet are unaffected.
+        let net = &self.net;
+        let owned = self.owned.get_or_insert_with(|| {
+            Box::new(OwnedSystem {
+                lu: net.lu.clone(),
+                g: net.g.clone(),
+                c_over_dt: net.c_over_dt.clone(),
+            })
+        });
+        if let Err(e) = owned.lu.factor_into(&a) {
+            // Leave the solver usable: revert the toggle and restore the
+            // factors of the previous (known-good) topology.
+            self.switch_closed[sw.0] = !closed;
+            let (g0, c0) = stamp_matrices(
+                &self.net.components,
+                &self.net.branch_of,
+                dim,
+                &self.net.switches,
+                &self.switch_closed,
+            );
+            let a0 = match self.net.method {
+                Method::BackwardEuler => &g0 + &(&c0 * (1.0 / dt)),
+                Method::Trapezoidal => &g0 + &(&c0 * (2.0 / dt)),
+            };
+            let owned = self.owned.as_mut().expect("materialized above");
+            owned
+                .lu
+                .factor_into(&a0)
+                .expect("previous topology factored before");
+            owned.g = g0;
+            owned.c_over_dt = &c0 * (1.0 / dt);
+            return Err(e.into());
+        }
         if let Some(start) = timer {
             self.obs.time("eln.factor", start.elapsed().as_secs_f64());
         }
-        self.g = g;
-        self.c_over_dt = &c_mat * (1.0 / dt);
+        owned.g = g;
+        owned.c_over_dt = &c_mat * (1.0 / dt);
         self.refactorizations += 1;
         Ok(())
     }
@@ -335,7 +484,7 @@ impl ElnSolver {
 
     /// Time step in seconds.
     pub fn dt(&self) -> f64 {
-        self.dt
+        self.net.dt
     }
 
     /// Current simulated time in seconds.
@@ -377,7 +526,7 @@ impl ElnSolver {
     ///
     /// Panics if the id does not belong to this network.
     pub fn branch_current(&self, c: ComponentId) -> Option<f64> {
-        self.branch_of[c.0].map(|row| self.x[row])
+        self.net.branch_of[c.0].map(|row| self.x[row])
     }
 
     /// Advances the network by one time step.
@@ -387,16 +536,16 @@ impl ElnSolver {
         // (G + 2C/h)·x_k = (2C/h − G)·x_{k−1} + b_k + b_{k−1}:
         // the *sum* of excitations, uniformly for every row (the −G·x_{k−1}
         // term cancels b_{k−1} on algebraic source rows).
-        let blend = self.method == Method::Trapezoidal;
-        for (k, &cid) in self.sources.iter().enumerate() {
+        let blend = self.net.method == Method::Trapezoidal;
+        for (k, &cid) in self.net.sources.iter().enumerate() {
             let v = if blend {
                 self.source_values[k] + self.prev_source_values[k]
             } else {
                 self.source_values[k]
             };
-            match self.components[cid.0] {
+            match self.net.components[cid.0] {
                 Component::Vsource { .. } => {
-                    let b = self.branch_of[cid.0].expect("source branch");
+                    let b = self.net.branch_of[cid.0].expect("source branch");
                     self.rhs[b] += v;
                 }
                 Component::Isource { p, n } => {
@@ -410,28 +559,34 @@ impl ElnSolver {
                 _ => unreachable!("only independent sources are registered"),
             }
         }
+        // Resolve the system against this run's matrices: the shared
+        // compiled ones, or the copy-on-toggle set after a switch event.
+        let (lu, g, c_over_dt) = match &self.owned {
+            Some(o) => (&o.lu, &o.g, &o.c_over_dt),
+            None => (&self.net.lu, &self.net.g, &self.net.c_over_dt),
+        };
         // History terms.
-        match self.method {
+        match self.net.method {
             Method::BackwardEuler => {
                 // rhs += (C/dt)·x_prev
-                self.c_over_dt.mul_vec_into(&self.x_prev, &mut self.hist);
+                c_over_dt.mul_vec_into(&self.x_prev, &mut self.hist);
                 for (r, h) in self.rhs.iter_mut().zip(&self.hist) {
                     *r += h;
                 }
             }
             Method::Trapezoidal => {
                 // rhs += (2C/dt)·x_prev − G·x_prev
-                self.c_over_dt.mul_vec_into(&self.x_prev, &mut self.hist);
-                self.g.mul_vec_into(&self.x_prev, &mut self.gh);
+                c_over_dt.mul_vec_into(&self.x_prev, &mut self.hist);
+                g.mul_vec_into(&self.x_prev, &mut self.gh);
                 for ((r, h), gterm) in self.rhs.iter_mut().zip(&self.hist).zip(&self.gh) {
                     *r += 2.0 * h - gterm;
                 }
             }
         }
-        self.lu.solve_into(&self.rhs, &mut self.x);
+        lu.solve_into(&self.rhs, &mut self.x);
         self.x_prev.copy_from_slice(&self.x);
         self.prev_source_values.copy_from_slice(&self.source_values);
-        self.time += self.dt;
+        self.time += self.net.dt;
         self.steps += 1;
     }
 
@@ -442,7 +597,7 @@ impl ElnSolver {
 
     /// Number of node-voltage unknowns.
     pub fn node_unknowns(&self) -> usize {
-        self.n_nodes
+        self.net.n_nodes
     }
 }
 
@@ -724,6 +879,77 @@ mod tests {
         s.step();
         assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed again");
         assert_eq!(s.refactorizations(), 2);
+    }
+
+    #[test]
+    fn compiled_net_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledNet>();
+        assert_send_sync::<Arc<CompiledNet>>();
+        fn assert_send<T: Send>() {}
+        assert_send::<ElnSolver>();
+    }
+
+    #[test]
+    fn instances_match_monolithic_build() {
+        // compile() + instance() must reproduce build() bit for bit.
+        let (net, v, out) = rc();
+        let mut whole = Transient::new(&net)
+            .dt(1e-7)
+            .method(Method::Trapezoidal)
+            .build()
+            .unwrap();
+        let compiled = Transient::new(&net)
+            .dt(1e-7)
+            .method(Method::Trapezoidal)
+            .compile()
+            .unwrap();
+        let mut inst = compiled.instance();
+        for k in 0..200 {
+            let u = if (k / 40) % 2 == 0 { 1.0 } else { -0.5 };
+            whole.set_source(v, u);
+            inst.set_source(v, u);
+            whole.step();
+            inst.step();
+            assert_eq!(
+                whole.node_voltage(out).to_bits(),
+                inst.node_voltage(out).to_bits()
+            );
+        }
+        assert_eq!(compiled.dim(), whole.dim());
+        assert_eq!(compiled.node_unknowns(), whole.node_unknowns());
+    }
+
+    #[test]
+    fn switch_toggle_is_per_instance() {
+        // A toggle in one run must not leak into siblings sharing the
+        // compiled net (copy-on-toggle).
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let out = net.node("out");
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        let sw = net.switch("sw", a, out, 1e3, 1e9, true);
+        net.resistor("rl", out, ElnNetwork::GROUND, 1e3);
+        let compiled = Transient::new(&net).dt(1e-6).compile().unwrap();
+        let mut toggled = compiled.instance();
+        let mut untouched = compiled.instance();
+        toggled.set_source(v, 2.0);
+        untouched.set_source(v, 2.0);
+        toggled.set_switch(sw, false).unwrap();
+        toggled.step();
+        untouched.step();
+        assert!(toggled.node_voltage(out).abs() < 1e-5, "open: pulled down");
+        assert!(
+            (untouched.node_voltage(out) - 1.0).abs() < 1e-9,
+            "sibling still sees the closed switch"
+        );
+        assert_eq!(toggled.refactorizations(), 1);
+        assert_eq!(untouched.refactorizations(), 0);
+        // And a fresh instance still starts from the compiled state.
+        let mut fresh = compiled.instance();
+        fresh.set_source(v, 2.0);
+        fresh.step();
+        assert!((fresh.node_voltage(out) - 1.0).abs() < 1e-9);
     }
 
     #[test]

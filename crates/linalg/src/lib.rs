@@ -18,7 +18,7 @@
 //! ```
 //! use amsvp_linalg::{Matrix, LuFactors};
 //!
-//! # fn main() -> Result<(), amsvp_linalg::SingularMatrixError> {
+//! # fn main() -> Result<(), amsvp_linalg::FactorError> {
 //! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
 //! let lu = LuFactors::factor(&a)?;
 //! let x = lu.solve(&[9.0, 13.0]);
@@ -33,7 +33,7 @@ mod matrix;
 mod triplet;
 mod vector;
 
-pub use lu::{LuFactors, SingularMatrixError};
+pub use lu::{FactorError, LuFactors, SingularMatrixError};
 pub use matrix::Matrix;
 pub use triplet::Triplets;
 pub use vector::{axpy, dot, norm2, norm_inf, nrmse, rmse, scale};
@@ -46,22 +46,23 @@ pub use vector::{axpy, dot, norm2, norm_inf, nrmse, rmse, scale};
 ///
 /// # Errors
 ///
-/// Returns [`SingularMatrixError`] when `a` is singular to working precision.
+/// Returns [`FactorError::NotSquare`] when `a` is not square and
+/// [`FactorError::Singular`] when it is singular to working precision.
 ///
 /// # Panics
 ///
-/// Panics if `a` is not square or `b.len() != a.rows()`.
+/// Panics if `b.len() != a.rows()`.
 ///
 /// # Example
 ///
 /// ```
-/// # fn main() -> Result<(), amsvp_linalg::SingularMatrixError> {
+/// # fn main() -> Result<(), amsvp_linalg::FactorError> {
 /// let a = amsvp_linalg::Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
 /// let x = amsvp_linalg::solve(&a, &[2.0, 8.0])?;
 /// assert_eq!(x, vec![1.0, 2.0]);
 /// # Ok(())
 /// # }
 /// ```
-pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, FactorError> {
     Ok(LuFactors::factor(a)?.solve(b))
 }

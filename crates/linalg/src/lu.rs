@@ -25,6 +25,53 @@ impl fmt::Display for SingularMatrixError {
 
 impl Error for SingularMatrixError {}
 
+/// Error returned by [`LuFactors::factor`] / [`LuFactors::factor_into`].
+///
+/// Factorization can fail for two reasons: the input is not even square
+/// (a structural error — the assembled system is over- or
+/// under-determined), or elimination hit a zero pivot (a numerical error —
+/// the matrix is singular to working precision). Both are data-dependent
+/// conditions for callers assembling matrices from user netlists, so they
+/// surface as `Err` rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorError {
+    /// The matrix is not square, so no LU factorization exists.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular to working precision.
+    Singular(SingularMatrixError),
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::NotSquare { rows, cols } => {
+                write!(f, "cannot factor a non-square {rows}x{cols} matrix")
+            }
+            FactorError::Singular(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for FactorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FactorError::Singular(e) => Some(e),
+            FactorError::NotSquare { .. } => None,
+        }
+    }
+}
+
+impl From<SingularMatrixError> for FactorError {
+    fn from(e: SingularMatrixError) -> Self {
+        FactorError::Singular(e)
+    }
+}
+
 /// LU factorization with partial pivoting (`P·A = L·U`).
 ///
 /// Factor once, then call [`LuFactors::solve`] for each right-hand side.
@@ -36,7 +83,7 @@ impl Error for SingularMatrixError {}
 /// ```
 /// use amsvp_linalg::{LuFactors, Matrix};
 ///
-/// # fn main() -> Result<(), amsvp_linalg::SingularMatrixError> {
+/// # fn main() -> Result<(), amsvp_linalg::FactorError> {
 /// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]); // needs pivoting
 /// let lu = LuFactors::factor(&a)?;
 /// let x = lu.solve(&[4.0, 3.0]);
@@ -64,14 +111,16 @@ impl LuFactors {
     ///
     /// # Errors
     ///
-    /// Returns [`SingularMatrixError`] if no acceptable pivot exists at some
-    /// elimination step.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a` is not square.
-    pub fn factor(a: &Matrix) -> Result<Self, SingularMatrixError> {
-        assert!(a.is_square(), "LU factorization requires a square matrix");
+    /// * [`FactorError::NotSquare`] when `a` is not square;
+    /// * [`FactorError::Singular`] if no acceptable pivot exists at some
+    ///   elimination step.
+    pub fn factor(a: &Matrix) -> Result<Self, FactorError> {
+        if !a.is_square() {
+            return Err(FactorError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..a.rows()).collect();
         let perm_sign = eliminate(&mut lu, &mut perm)?;
@@ -89,15 +138,18 @@ impl LuFactors {
     ///
     /// # Errors
     ///
-    /// Returns [`SingularMatrixError`] as [`LuFactors::factor`] does; on
-    /// error the stored factors are invalid and must not be used for
-    /// [`LuFactors::solve`] until a subsequent factorization succeeds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a` is not square.
-    pub fn factor_into(&mut self, a: &Matrix) -> Result<(), SingularMatrixError> {
-        assert!(a.is_square(), "LU factorization requires a square matrix");
+    /// Returns [`FactorError`] as [`LuFactors::factor`] does; on a
+    /// [`FactorError::NotSquare`] input the stored factors are untouched,
+    /// while after [`FactorError::Singular`] they are invalid and must not
+    /// be used for [`LuFactors::solve`] until a subsequent factorization
+    /// succeeds.
+    pub fn factor_into(&mut self, a: &Matrix) -> Result<(), FactorError> {
+        if !a.is_square() {
+            return Err(FactorError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
         self.lu.copy_from(a);
         self.perm.clear();
         self.perm.extend(0..a.rows());
@@ -239,8 +291,29 @@ mod tests {
     fn singular_is_reported() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         let err = LuFactors::factor(&a).unwrap_err();
-        assert_eq!(err.column, 1);
+        assert_eq!(
+            err,
+            FactorError::Singular(SingularMatrixError { column: 1 })
+        );
         assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn non_square_factor_is_an_error_not_a_panic() {
+        let rect = Matrix::zeros(2, 3);
+        assert_eq!(
+            LuFactors::factor(&rect).unwrap_err(),
+            FactorError::NotSquare { rows: 2, cols: 3 }
+        );
+        // factor_into on a non-square input leaves the old factors usable.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let mut lu = LuFactors::factor(&a).unwrap();
+        let err = lu.factor_into(&rect).unwrap_err();
+        assert_eq!(err, FactorError::NotSquare { rows: 2, cols: 3 });
+        assert!(err.to_string().contains("non-square"));
+        let x = lu.solve(&[5.0, 10.0]);
+        let back = a.mul_vec(&x);
+        assert_close(&back, &[5.0, 10.0], 1e-12);
     }
 
     #[test]
@@ -288,7 +361,10 @@ mod tests {
         let bad = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         let mut lu = LuFactors::factor(&good).unwrap();
         let err = lu.factor_into(&bad).unwrap_err();
-        assert_eq!(err.column, 1);
+        assert_eq!(
+            err,
+            FactorError::Singular(SingularMatrixError { column: 1 })
+        );
     }
 
     #[test]

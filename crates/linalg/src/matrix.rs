@@ -353,6 +353,22 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "dimension mismatch in mul_vec")]
+    fn mul_vec_into_rejects_short_input() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut out = vec![0.0; 2];
+        m.mul_vec_into(&[1.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output dimension mismatch")]
+    fn mul_vec_into_rejects_short_output() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut out = vec![0.0; 1];
+        m.mul_vec_into(&[1.0, 1.0], &mut out);
+    }
+
+    #[test]
     fn matrix_mul_identity() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let i = Matrix::identity(2);

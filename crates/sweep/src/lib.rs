@@ -1,0 +1,463 @@
+//! Work-stealing parallel scenario sweeps over shared compiled models.
+//!
+//! The paper's experiments (Tables I–III) are *sweeps*: the same circuit
+//! simulated many times under varying stimuli, time steps, and solver
+//! settings. Compiling a Verilog-AMS module — parsing, conservative-law
+//! extraction, discretization, bytecode generation, symbolic Jacobian —
+//! costs far more than any single transient run, so repeating it per run
+//! would dominate a sweep. This crate exploits the model/instance split
+//! introduced in [`amsim`] and [`eln`]: one immutable, `Send + Sync`
+//! compiled model ([`amsim::CompiledModel`], [`eln::CompiledNet`]) is
+//! compiled **once**, wrapped in an [`Arc`], and shared by every worker;
+//! each scenario then pays only for a cheap per-run instance.
+//!
+//! [`SweepEngine`] shards scenarios across a pool of `std::thread` workers
+//! with a work-stealing index counter: worker *w* is seeded with scenario
+//! *w* and then claims the next unclaimed index with an atomic
+//! `fetch_add`, so fast workers drain the queue while slow scenarios
+//! never stall the pool. Every scenario records into its own
+//! [`obs::Obs`] collector (no contention on a shared lock in the hot
+//! loop); the engine merges the per-scenario reports **in scenario index
+//! order** — together with sweep-level counters and wall-time histograms
+//! — so the merged [`Report`] is identical regardless of worker count or
+//! scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use amsvp_sweep::SweepEngine;
+//!
+//! let engine = SweepEngine::new().workers(4);
+//! let scenarios: Vec<u64> = (0..32).collect();
+//! let outcome = engine.run(&scenarios, |ctx, s| {
+//!     ctx.obs.add("work.items", 1);
+//!     s * s
+//! });
+//! assert_eq!(outcome.results[5], 25);
+//! assert_eq!(outcome.report.counter("work.items"), 32);
+//! assert_eq!(outcome.report.counter("sweep.scenarios"), 32);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use amsim::{AmsError, CompiledModel};
+use amsvp_core::circuits::Stimulus;
+use eln::{CompiledNet, NodeId, SourceId};
+use obs::{Obs, Report};
+
+/// Per-scenario context handed to the sweep closure.
+///
+/// `obs` is a fresh recording collector owned by this scenario alone —
+/// attach it to the instances the scenario builds; the engine folds it
+/// into the merged sweep report afterwards.
+pub struct ScenarioCtx {
+    /// Index of the scenario in the input slice.
+    pub index: usize,
+    /// Worker that executes this scenario (0-based).
+    pub worker: usize,
+    /// Recording collector private to this scenario.
+    pub obs: Obs,
+}
+
+/// Everything a finished sweep produces.
+pub struct SweepOutcome<R> {
+    /// One result per scenario, in input order.
+    pub results: Vec<R>,
+    /// The per-scenario instrumentation reports, in input order.
+    pub scenario_reports: Vec<Report>,
+    /// All scenario reports merged in index order, plus the sweep-level
+    /// `sweep.*` counters and timers (see [`SweepEngine::run`]).
+    pub report: Report,
+    /// Wall-clock duration of the whole sweep in seconds.
+    pub wall: f64,
+    /// Number of workers the sweep actually used.
+    pub workers: usize,
+}
+
+/// A work-stealing scenario-sweep engine over a fixed worker pool.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    workers: usize,
+}
+
+impl SweepEngine {
+    /// An engine sized to the machine's available parallelism.
+    pub fn new() -> SweepEngine {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepEngine { workers }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> SweepEngine {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` once per scenario across the worker pool and merges the
+    /// per-scenario reports.
+    ///
+    /// Scheduling: worker *w* starts on scenario *w*, then repeatedly
+    /// claims the lowest unclaimed index (atomic `fetch_add`) until the
+    /// queue is empty — so with at least as many scenarios as workers,
+    /// every worker executes at least one scenario.
+    ///
+    /// The merged [`SweepOutcome::report`] contains, beyond the summed
+    /// scenario counters and timers:
+    ///
+    /// * `sweep.scenarios` — number of scenarios executed;
+    /// * `sweep.workers` — pool size;
+    /// * `sweep.worker.{w}.scenarios` — scenarios executed by worker *w*
+    ///   (scheduling-dependent; everything else is not);
+    /// * `sweep.scenario` — wall-time histogram over individual
+    ///   scenarios, observed in index order;
+    /// * `sweep.wall` — one observation: the whole sweep's wall time.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` once all workers have stopped.
+    pub fn run<S, R, F>(&self, scenarios: &[S], f: F) -> SweepOutcome<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&ScenarioCtx, &S) -> R + Sync,
+    {
+        let workers = self.workers;
+        let n = scenarios.len();
+        let start = Instant::now();
+
+        // Next index to steal. Workers 0..min(workers, n) are seeded with
+        // their own index, so stealing starts past the seeds.
+        let next = AtomicUsize::new(workers.min(n));
+        let (tx, rx) = mpsc::channel::<(usize, usize, R, Report, f64)>();
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut scenario_reports = vec![Report::default(); n];
+        let mut scenario_secs = vec![0.0_f64; n];
+        let mut per_worker = vec![0u64; workers];
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut idx = if w < n { w } else { usize::MAX };
+                    while idx < n {
+                        let ctx = ScenarioCtx {
+                            index: idx,
+                            worker: w,
+                            obs: Obs::recording(),
+                        };
+                        let t0 = Instant::now();
+                        let result = f(&ctx, &scenarios[idx]);
+                        let secs = t0.elapsed().as_secs_f64();
+                        let report = ctx.obs.report().unwrap_or_default();
+                        if tx.send((idx, w, result, report, secs)).is_err() {
+                            return;
+                        }
+                        idx = next.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(tx);
+            // Drain completions on the caller's thread while workers run.
+            for (idx, w, result, report, secs) in rx {
+                debug_assert!(results[idx].is_none(), "scenario {idx} ran twice");
+                results[idx] = Some(result);
+                scenario_reports[idx] = report;
+                scenario_secs[idx] = secs;
+                per_worker[w] += 1;
+            }
+        });
+
+        let wall = start.elapsed().as_secs_f64();
+
+        // Merge in index order so the merged report is bit-identical
+        // regardless of which worker ran which scenario.
+        let mut report = Report::default();
+        for r in &scenario_reports {
+            report.merge(r);
+        }
+        let sweep_obs = Obs::recording();
+        sweep_obs.add("sweep.scenarios", n as u64);
+        sweep_obs.add("sweep.workers", workers as u64);
+        for (w, count) in per_worker.iter().enumerate() {
+            sweep_obs.add(&format!("sweep.worker.{w}.scenarios"), *count);
+        }
+        for secs in &scenario_secs {
+            sweep_obs.time("sweep.scenario", *secs);
+        }
+        sweep_obs.time("sweep.wall", wall);
+        report.merge(&sweep_obs.report().unwrap_or_default());
+
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every scenario index is claimed exactly once"))
+            .collect();
+        SweepOutcome {
+            results,
+            scenario_reports,
+            report,
+            wall,
+            workers,
+        }
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+// ------------------------------------------------------- amsim scenarios
+
+/// One conservative-simulator run: a stimulus, a step count, and an
+/// optional Newton-tolerance override.
+pub struct AmsScenario {
+    /// Scenario label, carried through to [`AmsRun::name`].
+    pub name: String,
+    /// Stimulus driving every model input.
+    pub stim: Box<dyn Stimulus + Send + Sync>,
+    /// Number of fixed-dt transient steps.
+    pub steps: usize,
+    /// Newton tolerance override; `None` keeps the model's tolerance.
+    pub newton_tol: Option<f64>,
+}
+
+/// Result of one [`AmsScenario`].
+pub struct AmsRun {
+    /// The scenario label.
+    pub name: String,
+    /// `output(0)` after every step.
+    pub waveform: Vec<f64>,
+    /// Newton iterations the run spent.
+    pub newton_iters: u64,
+}
+
+/// Sweeps `scenarios` over one shared compiled Verilog-AMS model.
+///
+/// The model is compiled once by the caller ([`amsim::Simulation::compile`])
+/// and only cheap [`amsim::Instance`]s are created per scenario — the
+/// merged report's `amsim.jacobian.builds` therefore stays at the
+/// compile-time value no matter how many scenarios run.
+///
+/// # Errors
+///
+/// [`AmsError::InvalidTolerance`] if any scenario's override is not a
+/// positive finite number (checked up front, before any worker starts).
+pub fn run_ams_sweep(
+    engine: &SweepEngine,
+    model: &Arc<CompiledModel>,
+    scenarios: &[AmsScenario],
+) -> Result<SweepOutcome<AmsRun>, AmsError> {
+    for sc in scenarios {
+        if let Some(tol) = sc.newton_tol {
+            if !(tol.is_finite() && tol > 0.0) {
+                return Err(AmsError::InvalidTolerance { tol });
+            }
+        }
+    }
+    let dt = model.dt();
+    let n_inputs = model.input_names().len();
+    Ok(engine.run(scenarios, move |ctx, sc| {
+        let mut builder = model.instance_builder().collector(ctx.obs.clone());
+        if let Some(tol) = sc.newton_tol {
+            builder = builder.newton_tol(tol);
+        }
+        let mut inst = builder.build().expect("tolerances validated up front");
+        let mut inputs = vec![0.0; n_inputs];
+        let mut waveform = Vec::with_capacity(sc.steps);
+        for k in 0..sc.steps {
+            let u = sc.stim.value(k as f64 * dt);
+            inputs.iter_mut().for_each(|v| *v = u);
+            inst.step(&inputs);
+            waveform.push(inst.output(0));
+        }
+        let newton_iters = inst.newton_iterations();
+        inst.flush_counters();
+        AmsRun {
+            name: sc.name.clone(),
+            waveform,
+            newton_iters,
+        }
+    }))
+}
+
+// --------------------------------------------------------- eln scenarios
+
+/// One ELN transient run: a stimulus on a chosen source, probed at one
+/// node.
+pub struct ElnScenario {
+    /// Scenario label, carried through to [`ElnRun::name`].
+    pub name: String,
+    /// Stimulus driving [`ElnSweepSpec::source`].
+    pub stim: Box<dyn Stimulus + Send + Sync>,
+    /// Number of fixed-dt transient steps.
+    pub steps: usize,
+}
+
+/// Which source an ELN sweep drives and which node it probes.
+#[derive(Debug, Clone, Copy)]
+pub struct ElnSweepSpec {
+    /// Source every scenario's stimulus is applied to.
+    pub source: SourceId,
+    /// Node whose voltage is sampled after every step.
+    pub probe: NodeId,
+}
+
+/// Result of one [`ElnScenario`].
+pub struct ElnRun {
+    /// The scenario label.
+    pub name: String,
+    /// Probe-node voltage after every step.
+    pub waveform: Vec<f64>,
+}
+
+/// Sweeps `scenarios` over one shared compiled ELN network.
+///
+/// The MNA system is assembled and LU-factored once by the caller
+/// ([`eln::Transient::compile`]); each scenario only clones per-run state.
+pub fn run_eln_sweep(
+    engine: &SweepEngine,
+    net: &Arc<CompiledNet>,
+    spec: ElnSweepSpec,
+    scenarios: &[ElnScenario],
+) -> SweepOutcome<ElnRun> {
+    let dt = net.dt();
+    engine.run(scenarios, move |ctx, sc| {
+        let mut solver = net.instance_with(ctx.obs.clone());
+        let mut waveform = Vec::with_capacity(sc.steps);
+        for k in 0..sc.steps {
+            solver.set_source(spec.source, sc.stim.value(k as f64 * dt));
+            solver.step();
+            waveform.push(solver.node_voltage(spec.probe));
+        }
+        solver.flush_counters();
+        ElnRun {
+            name: sc.name.clone(),
+            waveform,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+
+    #[test]
+    fn runs_every_scenario_exactly_once_in_order() {
+        let engine = SweepEngine::new().workers(3);
+        let scenarios: Vec<u64> = (0..17).collect();
+        let out = engine.run(&scenarios, |ctx, s| {
+            ctx.obs.add("touched", 1);
+            (ctx.index as u64, s * 2)
+        });
+        assert_eq!(out.workers, 3);
+        assert_eq!(out.results.len(), 17);
+        for (i, (idx, doubled)) in out.results.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*doubled, 2 * i as u64);
+        }
+        assert_eq!(out.report.counter("touched"), 17);
+        assert_eq!(out.report.counter("sweep.scenarios"), 17);
+        assert_eq!(out.report.counter("sweep.workers"), 3);
+        let per_worker: u64 = (0..3)
+            .map(|w| out.report.counter(&format!("sweep.worker.{w}.scenarios")))
+            .sum();
+        assert_eq!(per_worker, 17);
+        assert_eq!(out.report.timers["sweep.scenario"].count, 17);
+        assert_eq!(out.report.timers["sweep.wall"].count, 1);
+    }
+
+    #[test]
+    fn tolerates_more_workers_than_scenarios() {
+        let engine = SweepEngine::new().workers(8);
+        let scenarios = [10usize, 20];
+        let out = engine.run(&scenarios, |_, s| s + 1);
+        assert_eq!(out.results, vec![11, 21]);
+        assert_eq!(out.report.counter("sweep.scenarios"), 2);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let engine = SweepEngine::new().workers(2);
+        let scenarios: [u8; 0] = [];
+        let out = engine.run(&scenarios, |_, s| *s);
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.counter("sweep.scenarios"), 0);
+    }
+
+    #[test]
+    fn scenario_reports_stay_separate_and_merge() {
+        let engine = SweepEngine::new().workers(2);
+        let scenarios: Vec<u64> = vec![1, 2, 3];
+        let out = engine.run(&scenarios, |ctx, s| ctx.obs.add("n", *s));
+        assert_eq!(out.scenario_reports[0].counter("n"), 1);
+        assert_eq!(out.scenario_reports[1].counter("n"), 2);
+        assert_eq!(out.scenario_reports[2].counter("n"), 3);
+        assert_eq!(out.report.counter("n"), 6);
+    }
+
+    #[test]
+    fn ams_sweep_shares_one_compiled_model() {
+        let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+        let obs = Obs::recording();
+        let model = amsim::Simulation::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .collector(obs.clone())
+            .compile()
+            .unwrap();
+        let scenarios: Vec<AmsScenario> = (0..6)
+            .map(|i| AmsScenario {
+                name: format!("s{i}"),
+                stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 4, 2e-5, 0.0, 1.0)),
+                steps: 50,
+                newton_tol: None,
+            })
+            .collect();
+        let out = run_ams_sweep(&SweepEngine::new().workers(3), &model, &scenarios).unwrap();
+        assert_eq!(out.results.len(), 6);
+        for run in &out.results {
+            assert_eq!(run.waveform.len(), 50);
+            assert!(run.newton_iters > 0);
+        }
+        // The compile itself reported exactly one Jacobian build; none of
+        // the six scenario instances added another.
+        let mut merged = obs.report().unwrap();
+        merged.merge(&out.report);
+        assert_eq!(merged.counter("amsim.jacobian.builds"), 1);
+    }
+
+    #[test]
+    fn ams_sweep_rejects_bad_tolerance_up_front() {
+        let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+        let model = amsim::Simulation::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let scenarios = vec![AmsScenario {
+            name: "bad".into(),
+            stim: Box::new(PiecewiseConstant::seeded(1, 2, 1e-5, 0.0, 1.0)),
+            steps: 10,
+            newton_tol: Some(0.0),
+        }];
+        let err = run_ams_sweep(&SweepEngine::new().workers(1), &model, &scenarios);
+        assert!(matches!(err, Err(AmsError::InvalidTolerance { .. })));
+    }
+}

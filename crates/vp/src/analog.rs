@@ -18,7 +18,7 @@
 //!   co-simulation" rows).
 
 use amsim::cosim::CosimHandle;
-use amsvp_core::circuits::SquareWave;
+use amsvp_core::circuits::{SquareWave, Stimulus};
 use amsvp_core::SignalFlowModel;
 use de::{ProcCtx, Process, SimTime};
 use eln::{ElnNetwork, ElnSolver, NodeId, SourceId};
@@ -27,7 +27,7 @@ use tdf::{InPort, Io, OutPort, TdfExecutor, TdfGraph, TdfModule};
 use crate::bus::SharedBridge;
 
 /// Computes the analog input sample: stimulus plus CPU DAC contribution.
-fn input_sample(stim: &SquareWave, t: f64, bridge: &SharedBridge) -> f64 {
+fn input_sample<S: Stimulus>(stim: &S, t: f64, bridge: &SharedBridge) -> f64 {
     stim.value(t) + bridge.borrow().dac
 }
 
@@ -41,20 +41,20 @@ fn publish(bridge: &SharedBridge, aout: f64) {
 
 /// The abstracted model as a plain DE process (the paper's SystemC-DE
 /// integration).
-pub struct CompiledAnalog {
+pub struct CompiledAnalog<S: Stimulus = SquareWave> {
     model: SignalFlowModel,
     bridge: SharedBridge,
-    stim: SquareWave,
+    stim: S,
     dt: f64,
     step: SimTime,
     k: u64,
     inputs: Vec<f64>,
 }
 
-impl CompiledAnalog {
+impl<S: Stimulus> CompiledAnalog<S> {
     /// Wraps a compiled model; all model inputs are driven with the same
     /// stimulus sample.
-    pub fn new(model: SignalFlowModel, bridge: SharedBridge, stim: SquareWave) -> Self {
+    pub fn new(model: SignalFlowModel, bridge: SharedBridge, stim: S) -> Self {
         let dt = model.dt();
         let inputs = vec![0.0; model.input_names().len()];
         CompiledAnalog {
@@ -69,7 +69,7 @@ impl CompiledAnalog {
     }
 }
 
-impl Process for CompiledAnalog {
+impl<S: Stimulus + 'static> Process for CompiledAnalog<S> {
     fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
         // t = k·dt (not accumulated) so every integration level samples
         // the stimulus at bit-identical times.
@@ -85,16 +85,16 @@ impl Process for CompiledAnalog {
 
 // ----------------------------------------------------------------- TDF
 
-/// TDF stimulus source: square wave plus DAC contribution.
-pub struct TdfStimulus {
+/// TDF stimulus source: a [`Stimulus`] waveform plus DAC contribution.
+pub struct TdfStimulus<S: Stimulus = SquareWave> {
     out: OutPort,
-    stim: SquareWave,
+    stim: S,
     bridge: SharedBridge,
     dt: f64,
     k: u64,
 }
 
-impl TdfModule for TdfStimulus {
+impl<S: Stimulus + 'static> TdfModule for TdfStimulus<S> {
     fn processing(&mut self, io: &mut Io<'_>) {
         // t = k·dt for bit-identical sampling across integration levels.
         let t = self.k as f64 * self.dt;
@@ -141,10 +141,10 @@ impl TdfModule for TdfBridgeSink {
 ///
 /// Propagates TDF elaboration errors (none expected for this fixed
 /// pipeline).
-pub fn build_tdf_cluster(
+pub fn build_tdf_cluster<S: Stimulus + 'static>(
     model: SignalFlowModel,
     bridge: SharedBridge,
-    stim: SquareWave,
+    stim: S,
 ) -> Result<TdfExecutor, tdf::TdfError> {
     let dt = SimTime::from_seconds(model.dt());
     let mut g = TdfGraph::new();
@@ -217,17 +217,17 @@ impl Process for TdfClusterProcess {
 
 /// A hand-built ELN model advanced in lockstep with the kernel (the
 /// paper's manually written SystemC-AMS/ELN integration).
-pub struct ElnAnalog {
+pub struct ElnAnalog<S: Stimulus = SquareWave> {
     solver: ElnSolver,
     sources: Vec<SourceId>,
     out: NodeId,
     bridge: SharedBridge,
-    stim: SquareWave,
+    stim: S,
     step: SimTime,
     k: u64,
 }
 
-impl ElnAnalog {
+impl<S: Stimulus> ElnAnalog<S> {
     /// Wraps an ELN solver; every listed source is driven with the same
     /// stimulus sample.
     pub fn new(
@@ -235,7 +235,7 @@ impl ElnAnalog {
         sources: Vec<SourceId>,
         out: NodeId,
         bridge: SharedBridge,
-        stim: SquareWave,
+        stim: S,
     ) -> Self {
         let step = SimTime::from_seconds(solver.dt());
         ElnAnalog {
@@ -250,7 +250,7 @@ impl ElnAnalog {
     }
 }
 
-impl Process for ElnAnalog {
+impl<S: Stimulus + 'static> Process for ElnAnalog<S> {
     fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
         let t = self.k as f64 * self.solver.dt();
         let u = input_sample(&self.stim, t, &self.bridge);
@@ -268,24 +268,24 @@ impl Process for ElnAnalog {
 
 /// Lockstep co-simulation with the conservative Verilog-AMS solver on its
 /// own thread — one full synchronization round trip per analog step.
-pub struct CosimAnalog {
+pub struct CosimAnalog<S: Stimulus = SquareWave> {
     handle: CosimHandle,
     n_inputs: usize,
     bridge: SharedBridge,
-    stim: SquareWave,
+    stim: S,
     dt: f64,
     step: SimTime,
     k: u64,
 }
 
-impl CosimAnalog {
+impl<S: Stimulus> CosimAnalog<S> {
     /// Wraps a running co-simulation handle stepping at `dt` seconds.
     pub fn new(
         handle: CosimHandle,
         n_inputs: usize,
         dt: f64,
         bridge: SharedBridge,
-        stim: SquareWave,
+        stim: S,
     ) -> Self {
         CosimAnalog {
             handle,
@@ -299,7 +299,7 @@ impl CosimAnalog {
     }
 }
 
-impl Process for CosimAnalog {
+impl<S: Stimulus + 'static> Process for CosimAnalog<S> {
     fn activate(&mut self, ctx: &mut ProcCtx<'_>) {
         let t = self.k as f64 * self.dt;
         let u = input_sample(&self.stim, t, &self.bridge);

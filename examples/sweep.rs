@@ -1,0 +1,129 @@
+//! Parallel tolerance sweep over the RC20 ladder.
+//!
+//! Compiles the 20-stage RC ladder **once**, then runs 64 scenarios — a
+//! Newton-tolerance ladder crossed with seeded-random piecewise-constant
+//! stimuli — first sequentially, then on a 4-worker pool sharing the one
+//! compiled model. Verifies the parallel run is a pure speedup
+//! (bit-identical waveforms) and prints the merged instrumentation
+//! report.
+//!
+//! ```text
+//! cargo run --release --example sweep
+//! ```
+
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+use obs::Obs;
+use sweep::{run_ams_sweep, AmsScenario, SweepEngine, SweepOutcome};
+
+const DT: f64 = 50e-9;
+const STEPS: usize = 4000;
+const SCENARIOS: usize = 64;
+const WORKERS: usize = 4;
+
+fn scenarios() -> Vec<AmsScenario> {
+    let tolerances = [1e-12, 1e-10, 1e-8, 1e-6];
+    (0..SCENARIOS)
+        .map(|i| AmsScenario {
+            name: format!(
+                "rc20/tol{}/seed{}",
+                i % tolerances.len(),
+                i / tolerances.len()
+            ),
+            stim: Box::new(PiecewiseConstant::seeded(
+                1 + (i / tolerances.len()) as u64,
+                8,
+                500.0 * DT,
+                -0.5,
+                1.0,
+            )),
+            steps: STEPS,
+            newton_tol: Some(tolerances[i % tolerances.len()]),
+        })
+        .collect()
+}
+
+fn waveform_bits(outcome: &SweepOutcome<sweep::AmsRun>) -> Vec<Vec<u64>> {
+    outcome
+        .results
+        .iter()
+        .map(|r| r.waveform.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn main() {
+    let module = vams_parser::parse_module(&rc_ladder(20)).expect("RC20 parses");
+    let compile_obs = Obs::recording();
+    let model = amsim::Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .collector(compile_obs.clone())
+        .compile()
+        .expect("RC20 compiles");
+    println!(
+        "compiled RC20 once: {} unknowns, dt = {} s",
+        model.dim(),
+        model.dt()
+    );
+
+    let sequential =
+        run_ams_sweep(&SweepEngine::new().workers(1), &model, &scenarios()).expect("sweep runs");
+    let parallel = run_ams_sweep(&SweepEngine::new().workers(WORKERS), &model, &scenarios())
+        .expect("sweep runs");
+
+    assert_eq!(
+        waveform_bits(&sequential),
+        waveform_bits(&parallel),
+        "parallel sweep must be bit-identical to the sequential one"
+    );
+
+    let mut merged = compile_obs.report().expect("recording collector");
+    merged.merge(&parallel.report);
+    assert_eq!(
+        merged.counter("amsim.jacobian.builds"),
+        1,
+        "64 scenarios share one compiled model: exactly one Jacobian build"
+    );
+
+    let speedup = sequential.wall / parallel.wall;
+    println!(
+        "{SCENARIOS} scenarios × {STEPS} steps: sequential {:.2} s, \
+         {WORKERS} workers {:.2} s ({speedup:.2}× speedup)",
+        sequential.wall, parallel.wall
+    );
+    let scenario_times = &parallel.report.timers["sweep.scenario"];
+    println!(
+        "per-scenario wall time: mean {:.1} ms, min {:.1} ms, max {:.1} ms",
+        scenario_times.mean() * 1e3,
+        scenario_times.min * 1e3,
+        scenario_times.max * 1e3
+    );
+    println!(
+        "merged counters: {} steps, {} Newton iterations, {} Jacobian builds, \
+         {} LU factorizations",
+        merged.counter("amsim.steps"),
+        merged.counter("amsim.newton_iterations"),
+        merged.counter("amsim.jacobian.builds"),
+        merged.counter("amsim.lu.factorizations"),
+    );
+    for w in 0..WORKERS {
+        println!(
+            "worker {w}: {} scenarios",
+            parallel
+                .report
+                .counter(&format!("sweep.worker.{w}.scenarios"))
+        );
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= WORKERS {
+        assert!(
+            speedup >= 3.0,
+            "with {cores} cores a {WORKERS}-worker sweep should be ≥3× faster \
+             (got {speedup:.2}×)"
+        );
+    } else {
+        println!("(speedup assertion skipped: only {cores} core(s) available)");
+    }
+}

@@ -1,0 +1,230 @@
+//! Differential battery across simulation substrates.
+//!
+//! Every Table 1 circuit is driven with the *same* seeded-random
+//! piecewise-constant stimulus on five substrates:
+//!
+//! * `sfm` — the abstracted [`amsvp_core::SignalFlowModel`] stepped in a
+//!   plain loop (the exact semantics of the generated C++ class, which
+//!   `tests/generated_cpp_compiles.rs` proves sample-identical);
+//! * `de`  — the same model wrapped in a DE process inside the kernel;
+//! * `tdf` — the same model inside a statically scheduled TDF cluster;
+//! * `eln` — the hand-built electrical-linear-network MNA solver;
+//! * `ams` — the conservative Verilog-AMS reference simulator.
+//!
+//! The first three share the model recurrence and must agree to rounding
+//! (NRMSE ≤ 1e-12: only scheduling differs, not arithmetic). The last two
+//! are independent implementations sharing only the backward-Euler
+//! discretization, so they must agree to solver tolerance (NRMSE ≤ 1e-5).
+
+use amsim::Simulation;
+use amsvp_core::circuits::{paper_benchmarks, PiecewiseConstant};
+use amsvp_core::Abstraction;
+use de::{Kernel, SimTime};
+use eln::{ElnNetwork, Method, NodeId, SourceId, Transient};
+use vp::{new_bridge, opamp_eln, rc_ladder_eln, two_inputs_eln, CompiledAnalog};
+
+const STEPS: usize = 2500;
+
+/// Per-circuit time step: the paper's 50 ns for the fast circuits, and a
+/// coarser step for RC20 (τ/6 per stage; every substrate shares it), whose
+/// 20-stage delay line barely responds within 2500 × 50 ns.
+fn dt_for(label: &str) -> f64 {
+    if label == "RC20" {
+        20e-6
+    } else {
+        50e-9
+    }
+}
+
+/// Root-mean-square error normalized by the value range of both
+/// waveforms (falls back to absolute RMSE for all-flat signals).
+fn nrmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "waveform lengths differ");
+    assert!(!a.is_empty());
+    let mut sum_sq = 0.0;
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (&x, &y) in a.iter().zip(b) {
+        sum_sq += (x - y) * (x - y);
+        lo = lo.min(x.min(y));
+        hi = hi.max(x.max(y));
+    }
+    let rmse = (sum_sq / a.len() as f64).sqrt();
+    let range = hi - lo;
+    if range > 1e-12 {
+        rmse / range
+    } else {
+        rmse
+    }
+}
+
+fn stim_for(circuit_index: usize, dt: f64) -> PiecewiseConstant {
+    // 160 steps per level: long enough for the stiff opamp to settle,
+    // short enough to exercise many transitions per run.
+    PiecewiseConstant::seeded(0xC0FFEE + circuit_index as u64, 12, 160.0 * dt, -0.5, 1.0)
+}
+
+fn sfm_waveform(source: &str, n_inputs: usize, dt: f64, stim: &PiecewiseConstant) -> Vec<f64> {
+    let module = vams_parser::parse_module(source).unwrap();
+    let mut model = Abstraction::new(&module)
+        .dt(dt)
+        .output("V(out)")
+        .build()
+        .unwrap();
+    let mut buf = vec![0.0; n_inputs];
+    (0..STEPS)
+        .map(|k| {
+            let u = stim.value(k as f64 * dt);
+            buf.iter_mut().for_each(|v| *v = u);
+            model.step(&buf);
+            model.output(0)
+        })
+        .collect()
+}
+
+fn de_waveform(source: &str, dt: f64, stim: &PiecewiseConstant) -> Vec<f64> {
+    let module = vams_parser::parse_module(source).unwrap();
+    let model = Abstraction::new(&module)
+        .dt(dt)
+        .output("V(out)")
+        .build()
+        .unwrap();
+    let bridge = new_bridge();
+    let mut kernel = Kernel::new();
+    kernel.register(CompiledAnalog::new(model, bridge.clone(), stim.clone()));
+    (0..STEPS)
+        .map(|k| {
+            // Half a step past activation k: the event at k·dt has fired,
+            // the one at (k+1)·dt has not.
+            kernel
+                .run_until(SimTime::from_seconds((k as f64 + 0.5) * dt))
+                .unwrap();
+            bridge.borrow().aout
+        })
+        .collect()
+}
+
+fn tdf_waveform(source: &str, dt: f64, stim: &PiecewiseConstant) -> Vec<f64> {
+    let module = vams_parser::parse_module(source).unwrap();
+    let model = Abstraction::new(&module)
+        .dt(dt)
+        .output("V(out)")
+        .build()
+        .unwrap();
+    let bridge = new_bridge();
+    let mut exec = vp::build_tdf_cluster(model, bridge.clone(), stim.clone()).unwrap();
+    (0..STEPS)
+        .map(|_| {
+            exec.run_iteration();
+            bridge.borrow().aout
+        })
+        .collect()
+}
+
+fn eln_waveform(
+    net: &ElnNetwork,
+    sources: &[SourceId],
+    out: NodeId,
+    dt: f64,
+    stim: &PiecewiseConstant,
+) -> Vec<f64> {
+    let mut solver = Transient::new(net)
+        .dt(dt)
+        .method(Method::BackwardEuler)
+        .build()
+        .unwrap();
+    (0..STEPS)
+        .map(|k| {
+            let u = stim.value(k as f64 * dt);
+            for &s in sources {
+                solver.set_source(s, u);
+            }
+            solver.step();
+            solver.node_voltage(out)
+        })
+        .collect()
+}
+
+fn ams_waveform(source: &str, n_inputs: usize, dt: f64, stim: &PiecewiseConstant) -> Vec<f64> {
+    let module = vams_parser::parse_module(source).unwrap();
+    let mut sim = Simulation::new(&module)
+        .dt(dt)
+        .output("V(out)")
+        .build()
+        .unwrap();
+    let mut buf = vec![0.0; n_inputs];
+    (0..STEPS)
+        .map(|k| {
+            let u = stim.value(k as f64 * dt);
+            buf.iter_mut().for_each(|v| *v = u);
+            sim.step(&buf);
+            sim.output(0)
+        })
+        .collect()
+}
+
+#[test]
+fn substrates_agree_pairwise_on_table1_circuits() {
+    type Fixture = (ElnNetwork, Vec<SourceId>, NodeId);
+    let eln_fixtures: Vec<(&str, Fixture)> = {
+        let (n2, s2, o2) = two_inputs_eln();
+        let (nr1, sr1, or1) = rc_ladder_eln(1);
+        let (nr20, sr20, or20) = rc_ladder_eln(20);
+        let (noa, soa, ooa) = opamp_eln();
+        vec![
+            ("2IN", (n2, s2, o2)),
+            ("RC1", (nr1, vec![sr1], or1)),
+            ("RC20", (nr20, vec![sr20], or20)),
+            ("OA", (noa, vec![soa], ooa)),
+        ]
+    };
+
+    for (i, ((label, source, n_inputs), (elabel, (net, srcs, out)))) in
+        paper_benchmarks().into_iter().zip(eln_fixtures).enumerate()
+    {
+        assert_eq!(label, elabel, "fixture order must match Table 1");
+        let dt = dt_for(label);
+        let stim = stim_for(i, dt);
+
+        let waves = [
+            ("sfm", sfm_waveform(&source, n_inputs, dt, &stim)),
+            ("de", de_waveform(&source, dt, &stim)),
+            ("tdf", tdf_waveform(&source, dt, &stim)),
+            ("eln", eln_waveform(&net, &srcs, out, dt, &stim)),
+            ("ams", ams_waveform(&source, n_inputs, dt, &stim)),
+        ];
+
+        // The model-sharing substrates differ only in scheduling.
+        const EXACT: f64 = 1e-12;
+        // Independent solvers share only the discretization scheme.
+        const CROSS: f64 = 1e-5;
+        let family = |name: &str| matches!(name, "sfm" | "de" | "tdf");
+
+        for (ai, (an, aw)) in waves.iter().enumerate() {
+            for (bn, bw) in waves.iter().skip(ai + 1) {
+                let tol = if family(an) && family(bn) {
+                    EXACT
+                } else {
+                    CROSS
+                };
+                let err = nrmse(aw, bw);
+                assert!(
+                    err <= tol,
+                    "{label}: {an} vs {bn} NRMSE {err:.3e} exceeds {tol:.0e}"
+                );
+            }
+        }
+
+        // Sanity: the random stimulus actually moved the circuit.
+        let (lo, hi) = waves[0]
+            .1
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        assert!(
+            hi - lo > 0.1,
+            "{label}: stimulus produced a nearly flat response ({lo}..{hi})"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The sweep engine must be a pure parallelization: worker count and
+//! scheduling may change *who* runs a scenario, but never its result.
+//!
+//! Bit-identical waveforms across 1/2/8 workers hold because every
+//! scenario gets its own instance of one shared compiled model — the
+//! initial LU factors are computed once at compile time, so no run's
+//! numerical path depends on which worker (or how many) executed it.
+
+use std::sync::Arc;
+
+use amsim::{CompiledModel, Simulation};
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+use obs::{Obs, Report};
+use sweep::{run_ams_sweep, AmsScenario, SweepEngine, SweepOutcome};
+
+const DIODE: &str = "module dio(in, out);
+   input in; output out;
+   electrical in, out, gnd;
+   ground gnd;
+   branch (in, out) r;
+   branch (out, gnd) d;
+   analog begin
+     V(r) <+ 1k * I(r);
+     I(d) <+ 1e-9 * (exp(V(d) / 0.1) - 1);
+   end
+ endmodule";
+
+fn compile(source: &str, dt: f64) -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(source).unwrap();
+    Simulation::new(&module)
+        .dt(dt)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+/// A mixed bag of scenarios: random stimuli, several tolerance choices.
+/// `hi` bounds the drive. The diode uses the soft-exponential variant
+/// (VT = 0.1 V): plain Newton on the stiff 25.85 mV diode can exceed the
+/// iteration cap on arbitrary level jumps, which is a solver property,
+/// not a scheduling one.
+fn scenarios(n: usize, steps: usize, hold: f64, hi: f64) -> Vec<AmsScenario> {
+    (0..n)
+        .map(|i| AmsScenario {
+            name: format!("s{i}"),
+            stim: Box::new(PiecewiseConstant::seeded(
+                1 + i as u64,
+                6,
+                hold,
+                0.0,
+                if i % 2 == 0 { hi } else { 0.8 * hi },
+            )),
+            steps,
+            newton_tol: match i % 3 {
+                0 => None,
+                1 => Some(1e-9),
+                _ => Some(1e-6),
+            },
+        })
+        .collect()
+}
+
+/// Merged counters with the scheduling-dependent `sweep.*` family
+/// stripped: everything left must not depend on the worker count.
+fn solver_counters(report: &Report) -> Vec<(String, u64)> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.starts_with("sweep."))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+fn waveform_bits(outcome: &SweepOutcome<sweep::AmsRun>) -> Vec<Vec<u64>> {
+    outcome
+        .results
+        .iter()
+        .map(|r| r.waveform.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    for (label, source, dt, steps, hi) in [
+        ("RC1", rc_ladder(1), 1e-6, 300, 1.0),
+        ("diode", DIODE.to_string(), 1e-6, 200, 0.75),
+    ] {
+        let model = compile(&source, dt);
+        let runs: Vec<SweepOutcome<sweep::AmsRun>> = [1usize, 2, 8]
+            .into_iter()
+            .map(|w| {
+                let engine = SweepEngine::new().workers(w);
+                run_ams_sweep(&engine, &model, &scenarios(12, steps, 40.0 * dt, hi)).unwrap()
+            })
+            .collect();
+
+        let reference_waves = waveform_bits(&runs[0]);
+        let reference_counters = solver_counters(&runs[0].report);
+        for run in &runs[1..] {
+            assert_eq!(
+                waveform_bits(run),
+                reference_waves,
+                "{label}: waveforms must be bit-identical for any worker count"
+            );
+            assert_eq!(
+                solver_counters(&run.report),
+                reference_counters,
+                "{label}: merged solver counters must not depend on scheduling"
+            );
+        }
+        // The scenarios genuinely differ from each other (the sweep is
+        // not comparing twelve copies of one run).
+        assert_ne!(reference_waves[0], reference_waves[1]);
+    }
+}
+
+#[test]
+fn model_is_compiled_once_no_matter_the_sweep_size() {
+    let source = rc_ladder(1);
+    let builds_for = |n_scenarios: usize| {
+        let obs = Obs::recording();
+        let module = vams_parser::parse_module(&source).unwrap();
+        let model = Simulation::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .collector(obs.clone())
+            .compile()
+            .unwrap();
+        let engine = SweepEngine::new().workers(4);
+        let out = run_ams_sweep(&engine, &model, &scenarios(n_scenarios, 50, 2e-5, 1.0)).unwrap();
+        let mut merged = obs.report().unwrap();
+        merged.merge(&out.report);
+        merged.counter("amsim.jacobian.builds")
+    };
+    let one = builds_for(1);
+    let many = builds_for(64);
+    assert_eq!(one, 1, "a single-scenario sweep compiles the model once");
+    assert_eq!(
+        many, one,
+        "64 scenarios must not trigger any additional Jacobian builds"
+    );
+}
