@@ -58,4 +58,6 @@
 pub mod cosim;
 mod sim;
 
-pub use sim::{AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation};
+pub use sim::{
+    AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation, StepControl,
+};

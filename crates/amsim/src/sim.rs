@@ -7,7 +7,7 @@ use amsvp_core::acquire::acquire;
 use amsvp_core::{conservative_relations, AbstractError, OutputSpec};
 use expr::vm::{self, Program};
 use expr::Expr;
-use linalg::{LuFactors, Matrix};
+use linalg::{FactorError, LuFactors, Matrix};
 use netlist::{QExpr, Quantity};
 use obs::{CounterTracker, Obs};
 use vams_ast::Module;
@@ -33,6 +33,22 @@ pub enum AmsError {
         time: f64,
         /// Newton iterations spent before giving up.
         iterations: u32,
+        /// Best residual infinity-norm seen across the iterations.
+        residual_norm: f64,
+        /// Time step the failing solve was attempted at (the nominal
+        /// step, or the backed-off sub-step under adaptive stepping).
+        dt: f64,
+    },
+    /// A Newton iterate produced a NaN/Inf residual or Jacobian entry —
+    /// silent numerical corruption converted into a typed error.
+    NonFinite {
+        /// Simulated time at which the corruption was detected.
+        time: f64,
+        /// Newton iteration (1-based) that produced the non-finite value.
+        iteration: u32,
+        /// Best *finite* residual infinity-norm seen before corruption
+        /// (infinity when the very first evaluation was already bad).
+        residual_norm: f64,
     },
     /// An output spec does not name a quantity of the module.
     UnknownOutput {
@@ -51,6 +67,14 @@ pub enum AmsError {
         /// The offending tolerance.
         tol: f64,
     },
+    /// An adaptive step-control configuration is inconsistent: `min_dt`
+    /// must be positive, finite, and no larger than the nominal step.
+    InvalidStepControl {
+        /// The offending floor, in seconds.
+        min_dt: f64,
+        /// The nominal step it must not exceed, in seconds.
+        dt: f64,
+    },
     /// The co-simulation worker thread terminated (panicked or was shut
     /// down) while a step was outstanding.
     CosimDisconnected,
@@ -68,9 +92,24 @@ impl fmt::Display for AmsError {
                 "DAE system is not square: {equations} equations, {unknowns} unknowns"
             ),
             AmsError::Singular => write!(f, "newton jacobian is singular"),
-            AmsError::NoConvergence { time, iterations } => write!(
+            AmsError::NoConvergence {
+                time,
+                iterations,
+                residual_norm,
+                dt,
+            } => write!(
                 f,
-                "newton iteration did not converge at t = {time} s after {iterations} iterations"
+                "newton iteration did not converge at t = {time} s after {iterations} \
+                 iterations (dt = {dt} s, best residual norm {residual_norm:e})"
+            ),
+            AmsError::NonFinite {
+                time,
+                iteration,
+                residual_norm,
+            } => write!(
+                f,
+                "non-finite value in newton iteration {iteration} at t = {time} s \
+                 (best residual norm {residual_norm:e})"
             ),
             AmsError::UnknownOutput { spec, module } => write!(
                 f,
@@ -83,6 +122,13 @@ impl fmt::Display for AmsError {
                 write!(
                     f,
                     "invalid newton tolerance {tol}; must be positive and finite"
+                )
+            }
+            AmsError::InvalidStepControl { min_dt, dt } => {
+                write!(
+                    f,
+                    "invalid step control: min_dt {min_dt} must be positive, finite \
+                     and no larger than the nominal step {dt}"
                 )
             }
             AmsError::CosimDisconnected => {
@@ -107,12 +153,88 @@ impl From<AbstractError> for AmsError {
     }
 }
 
+/// Adaptive time-stepping policy: retry a rejected step with a halved
+/// `dt` (geometric backoff), then regrow toward the nominal step after a
+/// streak of accepted first-try steps.
+///
+/// Attach one with [`Simulation::step_control`] (model default) or
+/// [`InstanceBuilder::step_control`] (per-run override). Without one,
+/// stepping is strictly fixed-`dt` and a Newton failure surfaces
+/// immediately — the pre-existing behavior.
+///
+/// `ddt`/`idt` history is only committed on *accepted* sub-steps, so a
+/// rejection resamples the discretized operators consistently: the retry
+/// at `dt/2` sees exactly the history of the last accepted state, never a
+/// half-updated one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepControl {
+    /// Backoff floor: a retry below this step gives up, surfacing the
+    /// last solver error.
+    pub min_dt: f64,
+    /// Consecutive rejections tolerated within one nominal step before
+    /// giving up (each rejection halves the sub-step).
+    pub max_retries: u32,
+    /// Accepted first-try sub-steps required before the sub-step doubles
+    /// back toward the nominal `dt`.
+    pub grow_streak: u32,
+}
+
+impl StepControl {
+    /// A policy with the given backoff floor and the default budget:
+    /// 16 retries, regrow after 4 clean accepts.
+    pub fn new(min_dt: f64) -> StepControl {
+        StepControl {
+            min_dt,
+            max_retries: 16,
+            grow_streak: 4,
+        }
+    }
+
+    /// Overrides the consecutive-rejection budget (clamped to at least 1).
+    #[must_use]
+    pub fn max_retries(mut self, n: u32) -> StepControl {
+        self.max_retries = n.max(1);
+        self
+    }
+
+    /// Overrides the accepted-streak length that triggers regrowth
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn grow_streak(mut self, n: u32) -> StepControl {
+        self.grow_streak = n.max(1);
+        self
+    }
+
+    /// Checks the policy against a nominal step.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::InvalidStepControl`] when `min_dt` is not positive and
+    /// finite, or exceeds `dt`.
+    pub fn validate(&self, dt: f64) -> Result<(), AmsError> {
+        if !(self.min_dt.is_finite() && self.min_dt > 0.0 && self.min_dt <= dt) {
+            return Err(AmsError::InvalidStepControl {
+                min_dt: self.min_dt,
+                dt,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Placeholder {
     /// `ddt` history: value of the operand at the previous step.
     Ddt(usize),
     /// `idt` accumulator state.
     Idt(usize),
+    /// The current integration step `h` — a slot, not a compile-time
+    /// constant, so adaptive stepping can rescale the discretization
+    /// without recompiling.
+    Dt,
+    /// `1/h`, kept as its own slot so residual evaluation performs no
+    /// division the fixed-dt bytecode did not.
+    InvDt,
 }
 
 /// One compiled Jacobian entry `dF_i/dx_col`.
@@ -178,8 +300,14 @@ pub struct CompiledModel {
     ddt_off: usize,
     /// Offset of the `idt` accumulator segment in the slot array.
     idt_off: usize,
-    /// Total slot count: `[unknowns | inputs | ddt prev | idt state]`.
+    /// Slot of the current step `h`; `dt_slot + 1` holds `1/h`.
+    dt_slot: usize,
+    /// Total slot count:
+    /// `[unknowns | inputs | ddt prev | idt state | h | 1/h]`.
     slot_count: usize,
+    /// Default adaptive-stepping policy for instances; `None` means
+    /// fixed-`dt` stepping.
+    step_control: Option<StepControl>,
     input_names: Vec<String>,
     output_indices: Vec<usize>,
     /// Deepest operand stack any compiled program needs.
@@ -209,7 +337,15 @@ pub struct Instance {
     model: Arc<CompiledModel>,
     /// Newton convergence tolerance (`max_rel` threshold) for this run.
     newton_tol: f64,
-    /// Flat evaluation state: `[unknowns | inputs | ddt prev | idt state]`.
+    /// Adaptive-stepping policy; `None` keeps strict fixed-`dt` stepping.
+    step_control: Option<StepControl>,
+    /// Current adaptive sub-step `h ≤ dt`; persists across nominal steps
+    /// so a stiff region stays backed off until the regrow streak fires.
+    cur_dt: f64,
+    /// Consecutive first-try accepted sub-steps (drives regrowth).
+    accept_streak: u32,
+    /// Flat evaluation state:
+    /// `[unknowns | inputs | ddt prev | idt state | h | 1/h]`.
     slots: Vec<f64>,
     x: Vec<f64>,
     x_prev: Vec<f64>,
@@ -221,6 +357,10 @@ pub struct Instance {
     lu_factorizations: u64,
     jacobian_reuse_hits: u64,
     jacobian_refactors: u64,
+    steps_rejected: u64,
+    step_retries: u64,
+    dt_shrinks: u64,
+    dt_grows: u64,
     obs: Obs,
     obs_steps: CounterTracker,
     obs_newton: CounterTracker,
@@ -228,6 +368,10 @@ pub struct Instance {
     obs_factorizations: CounterTracker,
     obs_reuse_hits: CounterTracker,
     obs_refactors: CounterTracker,
+    obs_rejected: CounterTracker,
+    obs_retries: CounterTracker,
+    obs_shrinks: CounterTracker,
+    obs_grows: CounterTracker,
 }
 
 /// Historical name of [`Instance`], kept so existing call sites (and the
@@ -267,6 +411,7 @@ pub struct Simulation<'m> {
     module: &'m Module,
     dt: f64,
     newton_tol: f64,
+    step_control: Option<StepControl>,
     outputs: Vec<OutputSpec>,
     obs: Obs,
 }
@@ -279,6 +424,7 @@ impl<'m> Simulation<'m> {
             module,
             dt: 1e-6,
             newton_tol: DEFAULT_NEWTON_TOL,
+            step_control: None,
             outputs: Vec::new(),
             obs: Obs::none(),
         }
@@ -295,6 +441,15 @@ impl<'m> Simulation<'m> {
     /// can override it again via [`InstanceBuilder::newton_tol`].
     pub fn newton_tol(mut self, tol: f64) -> Self {
         self.newton_tol = tol;
+        self
+    }
+
+    /// Enables adaptive time stepping with the given retry/backoff policy
+    /// as the default for every instance of the compiled model (override
+    /// per run via [`InstanceBuilder::step_control`]). Without this,
+    /// stepping stays strictly fixed-`dt`.
+    pub fn step_control(mut self, sc: impl Into<Option<StepControl>>) -> Self {
+        self.step_control = sc.into();
         self
     }
 
@@ -335,10 +490,12 @@ impl<'m> Simulation<'m> {
             self.module,
             self.dt,
             self.newton_tol,
+            self.step_control,
             self.outputs,
         )?);
         let tol = model.newton_tol;
-        Ok(Instance::with_model(model, self.obs, tol, true))
+        let sc = model.step_control;
+        Ok(Instance::with_model(model, self.obs, tol, sc, true))
     }
 
     /// Lowers and compiles the module into an immutable, thread-shareable
@@ -354,7 +511,13 @@ impl<'m> Simulation<'m> {
     ///
     /// As for [`Simulation::build`].
     pub fn compile(self) -> Result<Arc<CompiledModel>, AmsError> {
-        let model = compile_model(self.module, self.dt, self.newton_tol, self.outputs)?;
+        let model = compile_model(
+            self.module,
+            self.dt,
+            self.newton_tol,
+            self.step_control,
+            self.outputs,
+        )?;
         if self.obs.enabled() && model.init_lu.is_some() {
             self.obs.add("amsim.jacobian.builds", 1);
             self.obs.add("amsim.lu.factorizations", 1);
@@ -375,6 +538,7 @@ pub struct InstanceBuilder {
     model: Arc<CompiledModel>,
     obs: Obs,
     newton_tol: f64,
+    step_control: Option<StepControl>,
 }
 
 impl InstanceBuilder {
@@ -391,22 +555,36 @@ impl InstanceBuilder {
         self
     }
 
+    /// Overrides the adaptive-stepping policy for this run only — pass a
+    /// [`StepControl`] to enable retry/backoff, or `None` to force
+    /// fixed-`dt` stepping even when the model carries a default.
+    pub fn step_control(mut self, sc: impl Into<Option<StepControl>>) -> Self {
+        self.step_control = sc.into();
+        self
+    }
+
     /// Creates the run instance.
     ///
     /// # Errors
     ///
-    /// [`AmsError::InvalidTolerance`] when the tolerance override is not
-    /// positive and finite.
+    /// * [`AmsError::InvalidTolerance`] when the tolerance override is
+    ///   not positive and finite;
+    /// * [`AmsError::InvalidStepControl`] when the step-control override
+    ///   is inconsistent with the model's nominal step.
     pub fn build(self) -> Result<Instance, AmsError> {
         if !(self.newton_tol.is_finite() && self.newton_tol > 0.0) {
             return Err(AmsError::InvalidTolerance {
                 tol: self.newton_tol,
             });
         }
+        if let Some(sc) = &self.step_control {
+            sc.validate(self.model.dt)?;
+        }
         Ok(Instance::with_model(
             self.model,
             self.obs,
             self.newton_tol,
+            self.step_control,
             false,
         ))
     }
@@ -438,10 +616,23 @@ impl CompiledModel {
         self.newton_tol
     }
 
-    /// Spawns a run instance with the model's default tolerance and no
-    /// collector — the cheap path for sweep workers.
+    /// Default adaptive-stepping policy for instances of this model
+    /// (`None` means fixed-`dt`).
+    pub fn step_control(&self) -> Option<StepControl> {
+        self.step_control
+    }
+
+    /// Spawns a run instance with the model's default tolerance,
+    /// step-control policy and no collector — the cheap path for sweep
+    /// workers.
     pub fn instance(self: &Arc<Self>) -> Instance {
-        Instance::with_model(Arc::clone(self), Obs::none(), self.newton_tol, false)
+        Instance::with_model(
+            Arc::clone(self),
+            Obs::none(),
+            self.newton_tol,
+            self.step_control,
+            false,
+        )
     }
 
     /// Starts an [`InstanceBuilder`] for a run with per-run settings.
@@ -450,6 +641,7 @@ impl CompiledModel {
             model: Arc::clone(self),
             obs: Obs::none(),
             newton_tol: self.newton_tol,
+            step_control: self.step_control,
         }
     }
 }
@@ -492,6 +684,7 @@ fn compile_model(
     module: &Module,
     dt: f64,
     newton_tol: f64,
+    step_control: Option<StepControl>,
     output_specs: Vec<OutputSpec>,
 ) -> Result<CompiledModel, AmsError> {
     if !(dt.is_finite() && dt > 0.0) {
@@ -499,6 +692,9 @@ fn compile_model(
     }
     if !(newton_tol.is_finite() && newton_tol > 0.0) {
         return Err(AmsError::InvalidTolerance { tol: newton_tol });
+    }
+    if let Some(sc) = &step_control {
+        sc.validate(dt)?;
     }
     let model = acquire(module)?;
     let mut zeros: Vec<QExpr> = conservative_relations(&model)?
@@ -536,16 +732,19 @@ fn compile_model(
     let mut idt_inner = Vec::new();
     let equations: Vec<QExpr> = zeros
         .iter()
-        .map(|z| discretize(z, dt, &mut placeholders, &mut ddt_inner, &mut idt_inner).simplified())
+        .map(|z| discretize(z, &mut placeholders, &mut ddt_inner, &mut idt_inner).simplified())
         .collect();
 
-    // Slot layout: [unknowns | inputs | ddt history | idt state].
+    // Slot layout: [unknowns | inputs | ddt history | idt state | h | 1/h].
+    // The step slots exist even for purely algebraic systems so every
+    // instance can treat them uniformly.
     let n = unknowns.len();
     let input_names = model.inputs.clone();
     let input_off = n;
     let ddt_off = input_off + input_names.len();
     let idt_off = ddt_off + ddt_inner.len();
-    let slot_count = idt_off + idt_inner.len();
+    let dt_slot = idt_off + idt_inner.len();
+    let slot_count = dt_slot + 2;
 
     // Bytecode compiler over the slot layout. Discretization removed
     // every `ddt`/`idt`, and every variable is an unknown, an input,
@@ -560,6 +759,8 @@ fn compile_model(
                 return Some(match ph {
                     Placeholder::Ddt(k) => (ddt_off + k) as u32,
                     Placeholder::Idt(k) => (idt_off + k) as u32,
+                    Placeholder::Dt => dt_slot as u32,
+                    Placeholder::InvDt => (dt_slot + 1) as u32,
                 });
             }
             match q {
@@ -639,6 +840,8 @@ fn compile_model(
     // starts from the same linearization no matter which worker spawns
     // it first (scheduling-independent, hence bit-reproducible sweeps).
     let mut slots = vec![0.0; slot_count];
+    slots[dt_slot] = dt;
+    slots[dt_slot + 1] = 1.0 / dt;
     let mut stack = Vec::with_capacity(max_stack);
     let mut jm = Matrix::zeros(n, n);
     stamp_jacobian(&jacobian, &programs, &mut slots, &mut stack, &mut jm);
@@ -658,7 +861,9 @@ fn compile_model(
         input_off,
         ddt_off,
         idt_off,
+        dt_slot,
         slot_count,
+        step_control,
         input_names,
         output_indices,
         max_stack,
@@ -683,9 +888,9 @@ impl AmsSimulator {
     )]
     pub fn new(module: &Module, dt: f64, outputs: &[&str]) -> Result<Self, AmsError> {
         let specs = outputs.iter().map(|s| OutputSpec::parse(s)).collect();
-        let model = Arc::new(compile_model(module, dt, DEFAULT_NEWTON_TOL, specs)?);
+        let model = Arc::new(compile_model(module, dt, DEFAULT_NEWTON_TOL, None, specs)?);
         let tol = model.newton_tol;
-        Ok(Instance::with_model(model, Obs::none(), tol, true))
+        Ok(Instance::with_model(model, Obs::none(), tol, None, true))
     }
 
     /// Builds the per-run state over a compiled model. When
@@ -693,7 +898,13 @@ impl AmsSimulator {
     /// build/factorization is accounted on this instance's local counters
     /// (the single-run [`Simulation::build`] path); sweep instances leave
     /// it unset because [`Simulation::compile`] already reported it.
-    fn with_model(model: Arc<CompiledModel>, obs: Obs, newton_tol: f64, seed: bool) -> Instance {
+    fn with_model(
+        model: Arc<CompiledModel>,
+        obs: Obs,
+        newton_tol: f64,
+        step_control: Option<StepControl>,
+        seed: bool,
+    ) -> Instance {
         let n = model.unknowns.len();
         let (lu, lu_valid) = match &model.init_lu {
             Some(lu) => (lu.clone(), true),
@@ -709,9 +920,15 @@ impl AmsSimulator {
         } else {
             0
         };
+        let mut slots = vec![0.0; model.slot_count];
+        slots[model.dt_slot] = model.dt;
+        slots[model.dt_slot + 1] = 1.0 / model.dt;
         Instance {
             newton_tol,
-            slots: vec![0.0; model.slot_count],
+            step_control,
+            cur_dt: model.dt,
+            accept_streak: 0,
+            slots,
             x: vec![0.0; n],
             x_prev: vec![0.0; n],
             ws: Workspace {
@@ -729,6 +946,10 @@ impl AmsSimulator {
             lu_factorizations: compile_cost,
             jacobian_reuse_hits: 0,
             jacobian_refactors: 0,
+            steps_rejected: 0,
+            step_retries: 0,
+            dt_shrinks: 0,
+            dt_grows: 0,
             obs,
             obs_steps: CounterTracker::default(),
             obs_newton: CounterTracker::default(),
@@ -736,6 +957,10 @@ impl AmsSimulator {
             obs_factorizations: CounterTracker::default(),
             obs_reuse_hits: CounterTracker::default(),
             obs_refactors: CounterTracker::default(),
+            obs_rejected: CounterTracker::default(),
+            obs_retries: CounterTracker::default(),
+            obs_shrinks: CounterTracker::default(),
+            obs_grows: CounterTracker::default(),
             model,
         }
     }
@@ -763,6 +988,19 @@ impl AmsSimulator {
                 .flush(&self.obs, "amsim.jacobian.reuse_hits", reuse_hits);
             self.obs_refactors
                 .flush(&self.obs, "amsim.jacobian.refactor", refactors);
+            let (rejected, retries, shrinks, grows) = (
+                self.steps_rejected,
+                self.step_retries,
+                self.dt_shrinks,
+                self.dt_grows,
+            );
+            self.obs_rejected
+                .flush(&self.obs, "amsim.step.rejected", rejected);
+            self.obs_retries
+                .flush(&self.obs, "amsim.step.retries", retries);
+            self.obs_shrinks
+                .flush(&self.obs, "amsim.step.dt_shrink", shrinks);
+            self.obs_grows.flush(&self.obs, "amsim.step.dt_grow", grows);
         }
     }
 
@@ -823,6 +1061,40 @@ impl AmsSimulator {
         self.jacobian_refactors
     }
 
+    /// Sub-steps rejected by the adaptive controller (robustness counter).
+    pub fn steps_rejected(&self) -> u64 {
+        self.steps_rejected
+    }
+
+    /// Backoff retries spent (robustness counter). Equal to
+    /// [`AmsSimulator::steps_rejected`] minus the rejections that
+    /// exhausted their budget.
+    pub fn step_retries(&self) -> u64 {
+        self.step_retries
+    }
+
+    /// Times the sub-step was halved (robustness counter).
+    pub fn dt_shrinks(&self) -> u64 {
+        self.dt_shrinks
+    }
+
+    /// Times the sub-step was doubled back toward nominal (robustness
+    /// counter).
+    pub fn dt_grows(&self) -> u64 {
+        self.dt_grows
+    }
+
+    /// Adaptive-stepping policy for this run (`None` means fixed-`dt`).
+    pub fn step_control(&self) -> Option<StepControl> {
+        self.step_control
+    }
+
+    /// Current adaptive sub-step in seconds (the nominal `dt` unless the
+    /// controller has backed off).
+    pub fn current_dt(&self) -> f64 {
+        self.cur_dt
+    }
+
     /// Number of unknowns in the DAE system.
     pub fn dim(&self) -> usize {
         self.model.unknowns.len()
@@ -851,6 +1123,8 @@ impl AmsSimulator {
                 return Some(match ph {
                     Placeholder::Ddt(k) => self.slots[m.ddt_off + k],
                     Placeholder::Idt(k) => self.slots[m.idt_off + k],
+                    Placeholder::Dt => self.slots[m.dt_slot],
+                    Placeholder::InvDt => self.slots[m.dt_slot + 1],
                 });
             }
             match q {
@@ -900,16 +1174,22 @@ impl AmsSimulator {
             let tree = self.eval_tree(eq);
             let vm_val = self.ws.residual[i];
             let scale = 1.0 + tree.abs().max(vm_val.abs());
+            // A diverged iterate legitimately produces non-finite
+            // residuals (the solver's guard rejects them right after this
+            // check); the oracle only demands both paths agree on them.
             debug_assert!(
-                (tree - vm_val).abs() <= 1e-9 * scale || (tree.is_nan() && vm_val.is_nan()),
+                (tree - vm_val).abs() <= 1e-9 * scale
+                    || (tree.is_nan() && vm_val.is_nan())
+                    || tree == vm_val,
                 "VM residual {i} diverged from tree oracle: {vm_val} vs {tree}"
             );
         }
     }
 
     /// Builds the Jacobian at the current slot state into the workspace
-    /// matrix and refreshes the LU factors in place.
-    fn build_and_factor(&mut self) -> Result<(), AmsError> {
+    /// matrix and refreshes the LU factors in place. `iteration` and
+    /// `best_residual` only label the error on a NaN/Inf Jacobian.
+    fn build_and_factor(&mut self, iteration: u32, best_residual: f64) -> Result<(), AmsError> {
         self.jacobian_builds += 1;
         stamp_jacobian(
             &self.model.jacobian,
@@ -924,9 +1204,16 @@ impl AmsSimulator {
                 self.ws.lu_valid = true;
                 Ok(())
             }
-            Err(_) => {
+            Err(e) => {
                 self.ws.lu_valid = false;
-                Err(AmsError::Singular)
+                Err(match e {
+                    FactorError::NonFinite { .. } => AmsError::NonFinite {
+                        time: self.time,
+                        iteration,
+                        residual_norm: best_residual,
+                    },
+                    _ => AmsError::Singular,
+                })
             }
         }
     }
@@ -940,7 +1227,204 @@ impl AmsSimulator {
     /// refresh is forced regardless of the contraction rate.
     const MAX_STALE_ITERS: u32 = 8;
 
-    /// Advances the simulation by one step.
+    /// Runs the Newton iteration at the current slot state — inputs and
+    /// step slots already written, iterate warm-started by the caller.
+    ///
+    /// On success the converged solution is left in `slots[..dim]`. On
+    /// failure the slots hold the diverged iterate but **no** history,
+    /// accepted state or time has been touched, so an adaptive caller can
+    /// rewind by re-copying `x_prev` and retry at a smaller step.
+    fn newton_solve(&mut self) -> Result<(), AmsError> {
+        let n = self.dim();
+        let h = self.slots[self.model.dt_slot];
+        let mut best_residual = f64::INFINITY;
+        let mut prev_max_rel = f64::INFINITY;
+        let mut stale_iters = 0u32;
+        for iter in 1..=Self::MAX_NEWTON_ITERS {
+            self.newton_iters += 1;
+            // Residual through the compiled programs, tracking its
+            // infinity norm for the divergence guard and error payloads.
+            // Finiteness is tracked separately: `f64::max` ignores NaN,
+            // so folding alone would let a NaN residual masquerade as
+            // converged.
+            let mut res_norm: f64 = 0.0;
+            let mut finite = true;
+            for (i, prog) in self.model.programs.iter().enumerate() {
+                let v = prog.eval(&self.slots, &mut self.ws.stack);
+                finite &= v.is_finite();
+                res_norm = res_norm.max(v.abs());
+                self.ws.residual[i] = v;
+            }
+            #[cfg(debug_assertions)]
+            self.debug_check_residual_oracle();
+            if !finite {
+                self.ws.lu_valid = false;
+                return Err(AmsError::NonFinite {
+                    time: self.time,
+                    iteration: iter,
+                    residual_norm: best_residual,
+                });
+            }
+            best_residual = best_residual.min(res_norm);
+            // Modified Newton: factor only when no usable linearization
+            // exists; otherwise reuse the previous LU factors.
+            let fresh = !self.ws.lu_valid;
+            if fresh {
+                self.build_and_factor(iter, best_residual)?;
+                stale_iters = 0;
+            } else {
+                self.jacobian_reuse_hits += 1;
+                stale_iters += 1;
+            }
+            // Solve J·δ = −F (negate the residual in place as the rhs).
+            self.ws.residual.iter_mut().for_each(|v| *v = -*v);
+            self.ws.lu.solve_into(&self.ws.residual, &mut self.ws.delta);
+            let mut max_rel: f64 = 0.0;
+            let mut update_finite = true;
+            for (xi, di) in self.slots[..n].iter_mut().zip(&self.ws.delta) {
+                *xi += di;
+                update_finite &= xi.is_finite();
+                max_rel = max_rel.max(di.abs() / (1.0 + xi.abs()));
+            }
+            if !update_finite {
+                self.ws.lu_valid = false;
+                return Err(AmsError::NonFinite {
+                    time: self.time,
+                    iteration: iter,
+                    residual_norm: best_residual,
+                });
+            }
+            if max_rel < self.newton_tol {
+                return Ok(());
+            }
+            // Convergence-rate test: a reused factorization must keep the
+            // update norm contracting; otherwise refresh at the current
+            // iterate on the next pass.
+            let contracting = max_rel < 0.5 * prev_max_rel;
+            let stalled = !contracting || stale_iters >= Self::MAX_STALE_ITERS;
+            if !fresh && stalled {
+                self.ws.lu_valid = false;
+                self.jacobian_refactors += 1;
+            }
+            prev_max_rel = max_rel;
+        }
+        // The stale linearization is suspect after a failure.
+        self.ws.lu_valid = false;
+        Err(AmsError::NoConvergence {
+            time: self.time,
+            iterations: Self::MAX_NEWTON_ITERS,
+            residual_norm: best_residual,
+            dt: h,
+        })
+    }
+
+    /// Commits the converged iterate in `slots[..dim]` after a solve at
+    /// step `h`: refreshes the `ddt`/`idt` history sequentially (later
+    /// operands may reference earlier placeholders), publishes the
+    /// solution and advances time by `h`.
+    ///
+    /// History refresh happens **only** here — a rejected sub-step leaves
+    /// the discretized operators exactly at the last accepted state, so
+    /// retries at a halved step resample `ddt`/`idt` consistently instead
+    /// of integrating a half-updated history.
+    fn accept_substep(&mut self, h: f64) {
+        let n = self.dim();
+        for k in 0..self.model.ddt_progs.len() {
+            let v = self.model.ddt_progs[k].eval(&self.slots, &mut self.ws.stack);
+            self.slots[self.model.ddt_off + k] = v;
+        }
+        for k in 0..self.model.idt_progs.len() {
+            let v = self.model.idt_progs[k].eval(&self.slots, &mut self.ws.stack);
+            self.slots[self.model.idt_off + k] += h * v;
+        }
+        self.x.copy_from_slice(&self.slots[..n]);
+        self.x_prev.copy_from_slice(&self.slots[..n]);
+        self.time += h;
+    }
+
+    /// Writes the step slots. A changed step invalidates the cached LU
+    /// factors: the discretized Jacobian depends on `h`.
+    fn set_dt_slots(&mut self, h: f64) {
+        let slot = self.model.dt_slot;
+        if self.slots[slot] != h {
+            self.slots[slot] = h;
+            self.slots[slot + 1] = 1.0 / h;
+            self.ws.lu_valid = false;
+        }
+    }
+
+    /// One fixed-`dt` step: a single Newton solve at the nominal step,
+    /// surfacing any failure immediately.
+    fn step_fixed(&mut self) -> Result<(), AmsError> {
+        let n = self.dim();
+        // Warm start from the previous solution.
+        self.slots[..n].copy_from_slice(&self.x_prev);
+        self.newton_solve()?;
+        self.accept_substep(self.model.dt);
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// One nominal step under adaptive control: cover `[t, t + dt]` with
+    /// sub-steps, halving on rejection (geometric backoff) and regrowing
+    /// toward nominal after `grow_streak` clean accepts. Every sub-step
+    /// size is `dt / 2^k`, so the interval closes exactly.
+    fn step_adaptive(&mut self, sc: StepControl) -> Result<(), AmsError> {
+        let n = self.dim();
+        let nominal = self.model.dt;
+        let t_start = self.time;
+        let mut remaining = nominal;
+        let mut consecutive_rejects = 0u32;
+        // Guard against float dust; with power-of-two sub-steps the
+        // remainder actually reaches 0.0 exactly.
+        while remaining > nominal * 1e-12 {
+            let h = self.cur_dt.min(remaining);
+            self.set_dt_slots(h);
+            // Warm start (or rewind, after a rejection) from the last
+            // accepted solution.
+            self.slots[..n].copy_from_slice(&self.x_prev);
+            match self.newton_solve() {
+                Ok(()) => {
+                    self.accept_substep(h);
+                    remaining -= h;
+                    consecutive_rejects = 0;
+                    if self.obs.enabled() {
+                        self.obs.time("amsim.dt", h);
+                    }
+                    if self.cur_dt < nominal {
+                        self.accept_streak += 1;
+                        if self.accept_streak >= sc.grow_streak {
+                            self.cur_dt = (2.0 * self.cur_dt).min(nominal);
+                            self.dt_grows += 1;
+                            self.accept_streak = 0;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.steps_rejected += 1;
+                    self.accept_streak = 0;
+                    consecutive_rejects += 1;
+                    let half = 0.5 * h;
+                    if consecutive_rejects > sc.max_retries || half < sc.min_dt {
+                        // Budget exhausted: give up with the last solver
+                        // error. State and time reflect the last
+                        // *accepted* sub-step, not the nominal boundary.
+                        return Err(e);
+                    }
+                    self.step_retries += 1;
+                    self.cur_dt = half;
+                    self.dt_shrinks += 1;
+                }
+            }
+        }
+        // Snap to the exact nominal boundary: observable time stays a
+        // multiple of `dt` regardless of the sub-step history.
+        self.time = t_start + nominal;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Advances the simulation by one nominal step.
     ///
     /// The Newton loop is allocation-free: residuals and Jacobian entries
     /// evaluate through compiled VM programs into preallocated workspace
@@ -951,90 +1435,34 @@ impl AmsSimulator {
     /// convergence. Linear systems therefore factor exactly once for an
     /// entire transient.
     ///
+    /// With a [`StepControl`] attached, a failed solve is retried with a
+    /// geometrically halved sub-step (inputs held at their step values —
+    /// zero-order hold) until the interval `[t, t + dt]` closes, the
+    /// retry budget is exhausted, or the backoff floor is hit; the
+    /// sub-step then regrows toward nominal after a streak of clean
+    /// accepts. Rejections and step rescaling are reported as
+    /// `amsim.step.{rejected,retries,dt_shrink,dt_grow}` counters plus an
+    /// `amsim.dt` histogram of accepted sub-steps.
+    ///
     /// # Errors
     ///
-    /// [`AmsError::NoConvergence`] / [`AmsError::Singular`] on Newton
-    /// failure.
+    /// [`AmsError::NoConvergence`] / [`AmsError::Singular`] /
+    /// [`AmsError::NonFinite`] on solver failure (after exhausting the
+    /// backoff budget, if adaptive). On error the instance remains at its
+    /// last accepted state — under adaptive control that can lie strictly
+    /// inside the nominal interval (inspect [`AmsSimulator::time`]).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the declared input count.
     pub fn try_step(&mut self, inputs: &[f64]) -> Result<(), AmsError> {
         assert_eq!(inputs.len(), self.model.input_names.len(), "input arity");
-        let n = self.dim();
         let input_off = self.model.input_off;
         self.slots[input_off..input_off + inputs.len()].copy_from_slice(inputs);
-        // Warm start from the previous solution.
-        self.slots[..n].copy_from_slice(&self.x_prev);
-        let mut converged = false;
-        let mut prev_max_rel = f64::INFINITY;
-        let mut stale_iters = 0u32;
-        for _ in 0..Self::MAX_NEWTON_ITERS {
-            self.newton_iters += 1;
-            // Residual through the compiled programs.
-            for (i, prog) in self.model.programs.iter().enumerate() {
-                self.ws.residual[i] = prog.eval(&self.slots, &mut self.ws.stack);
-            }
-            #[cfg(debug_assertions)]
-            self.debug_check_residual_oracle();
-            // Modified Newton: factor only when no usable linearization
-            // exists; otherwise reuse the previous LU factors.
-            let fresh = !self.ws.lu_valid;
-            if fresh {
-                self.build_and_factor()?;
-                stale_iters = 0;
-            } else {
-                self.jacobian_reuse_hits += 1;
-                stale_iters += 1;
-            }
-            // Solve J·δ = −F (negate the residual in place as the rhs).
-            self.ws.residual.iter_mut().for_each(|v| *v = -*v);
-            self.ws.lu.solve_into(&self.ws.residual, &mut self.ws.delta);
-            let mut max_rel: f64 = 0.0;
-            for (xi, di) in self.slots[..n].iter_mut().zip(&self.ws.delta) {
-                *xi += di;
-                max_rel = max_rel.max(di.abs() / (1.0 + xi.abs()));
-            }
-            if max_rel < self.newton_tol {
-                converged = true;
-                break;
-            }
-            // Convergence-rate test: a reused factorization must keep the
-            // update norm contracting; otherwise refresh at the current
-            // iterate on the next pass.
-            // `!contracting` (rather than `>=`) so a NaN update norm also
-            // forces a refresh.
-            let contracting = max_rel < 0.5 * prev_max_rel;
-            let stalled = !contracting || stale_iters >= Self::MAX_STALE_ITERS;
-            if !fresh && stalled {
-                self.ws.lu_valid = false;
-                self.jacobian_refactors += 1;
-            }
-            prev_max_rel = max_rel;
+        match self.step_control {
+            None => self.step_fixed(),
+            Some(sc) => self.step_adaptive(sc),
         }
-        if !converged {
-            // The stale linearization is suspect after a failure.
-            self.ws.lu_valid = false;
-            return Err(AmsError::NoConvergence {
-                time: self.time,
-                iterations: Self::MAX_NEWTON_ITERS,
-            });
-        }
-        // Accept the step: refresh history slots sequentially (later
-        // `ddt`/`idt` operands may reference earlier placeholders).
-        for k in 0..self.model.ddt_progs.len() {
-            let v = self.model.ddt_progs[k].eval(&self.slots, &mut self.ws.stack);
-            self.slots[self.model.ddt_off + k] = v;
-        }
-        for k in 0..self.model.idt_progs.len() {
-            let v = self.model.idt_progs[k].eval(&self.slots, &mut self.ws.stack);
-            self.slots[self.model.idt_off + k] += self.model.dt * v;
-        }
-        self.x.copy_from_slice(&self.slots[..n]);
-        self.x_prev.copy_from_slice(&self.slots[..n]);
-        self.time += self.model.dt;
-        self.steps += 1;
-        Ok(())
     }
 
     /// Advances the simulation by one step.
@@ -1056,51 +1484,64 @@ impl Drop for AmsSimulator {
 }
 
 /// Replaces `ddt`/`idt` with backward-Euler forms over history
-/// placeholders (`__amsim_ddt{k}` / `__amsim_idt{k}` variables).
+/// placeholders (`__amsim_ddt{k}` / `__amsim_idt{k}` variables). The step
+/// itself enters as the placeholder variables `__amsim_dt` / `__amsim_invdt`
+/// — slots, not constants — so an adaptive controller can rescale the
+/// discretization at run time without recompiling. The symbolic Jacobian
+/// is unaffected: placeholders are held constant by the derivative
+/// algebra, exactly as the history terms always were.
 fn discretize(
     e: &QExpr,
-    dt: f64,
     placeholders: &mut BTreeMap<Quantity, Placeholder>,
     ddt_inner: &mut Vec<QExpr>,
     idt_inner: &mut Vec<QExpr>,
 ) -> QExpr {
     match e {
         Expr::Num(_) | Expr::Var(_) | Expr::Prev(..) => e.clone(),
-        Expr::Neg(a) => -discretize(a, dt, placeholders, ddt_inner, idt_inner),
+        Expr::Neg(a) => -discretize(a, placeholders, ddt_inner, idt_inner),
         Expr::Bin(op, a, b) => Expr::bin(
             *op,
-            discretize(a, dt, placeholders, ddt_inner, idt_inner),
-            discretize(b, dt, placeholders, ddt_inner, idt_inner),
+            discretize(a, placeholders, ddt_inner, idt_inner),
+            discretize(b, placeholders, ddt_inner, idt_inner),
         ),
         Expr::Call(f, args) => Expr::Call(
             *f,
             args.iter()
-                .map(|a| discretize(a, dt, placeholders, ddt_inner, idt_inner))
+                .map(|a| discretize(a, placeholders, ddt_inner, idt_inner))
                 .collect(),
         ),
         Expr::Cond(c, t, el) => Expr::cond(
-            discretize(c, dt, placeholders, ddt_inner, idt_inner),
-            discretize(t, dt, placeholders, ddt_inner, idt_inner),
-            discretize(el, dt, placeholders, ddt_inner, idt_inner),
+            discretize(c, placeholders, ddt_inner, idt_inner),
+            discretize(t, placeholders, ddt_inner, idt_inner),
+            discretize(el, placeholders, ddt_inner, idt_inner),
         ),
         Expr::Ddt(inner) => {
-            let inner = discretize(inner, dt, placeholders, ddt_inner, idt_inner);
+            let inner = discretize(inner, placeholders, ddt_inner, idt_inner);
             let k = ddt_inner.len();
             let q = Quantity::var(format!("__amsim_ddt{k}"));
             placeholders.insert(q.clone(), Placeholder::Ddt(k));
             ddt_inner.push(inner.clone());
-            (inner - Expr::var(q)) * Expr::num(1.0 / dt)
+            let inv_dt = Quantity::var(DT_INV_NAME);
+            placeholders.insert(inv_dt.clone(), Placeholder::InvDt);
+            (inner - Expr::var(q)) * Expr::var(inv_dt)
         }
         Expr::Idt(inner) => {
-            let inner = discretize(inner, dt, placeholders, ddt_inner, idt_inner);
+            let inner = discretize(inner, placeholders, ddt_inner, idt_inner);
             let k = idt_inner.len();
             let q = Quantity::var(format!("__amsim_idt{k}"));
             placeholders.insert(q.clone(), Placeholder::Idt(k));
             idt_inner.push(inner.clone());
-            Expr::var(q) + Expr::num(dt) * inner
+            let dt_q = Quantity::var(DT_NAME);
+            placeholders.insert(dt_q.clone(), Placeholder::Dt);
+            Expr::var(q) + Expr::var(dt_q) * inner
         }
     }
 }
+
+/// Reserved variable name backed by the `h` slot.
+const DT_NAME: &str = "__amsim_dt";
+/// Reserved variable name backed by the `1/h` slot.
+const DT_INV_NAME: &str = "__amsim_invdt";
 
 #[cfg(test)]
 mod tests {
@@ -1504,6 +1945,222 @@ mod tests {
         let mut sim = Simulation::new(&m).dt(1e-6).output("V(o)").build().unwrap();
         sim.step(&[0.5]);
         assert!((sim.output(0) - 1.5).abs() < 1e-9);
+    }
+
+    /// Purely algebraic stiff divider: no state, so no step size can
+    /// soften the input jump — Newton fails at any `dt`.
+    const STIFF_DIODE: &str = "module dio(in, out);
+        input in; output out;
+        electrical in, out, gnd;
+        ground gnd;
+        branch (in, out) r;
+        branch (out, gnd) d;
+        analog begin
+          V(r) <+ 1k * I(r);
+          I(d) <+ 1p * (exp(V(d) / 5m) - 1);
+        end
+      endmodule";
+
+    /// Stiff diode clamp *with* a capacitor: backward Euler at a small
+    /// sub-step stiffens the cap conductance `C/h`, which limits how far
+    /// the output can move per solve — adaptive backoff rescues it.
+    const STIFF_CLAMP: &str = "module clamp(in, out);
+        input in; output out;
+        electrical in, out, gnd;
+        ground gnd;
+        branch (in, out) r;
+        branch (out, gnd) d;
+        branch (out, gnd) c;
+        analog begin
+          V(r) <+ 1k * I(r);
+          I(d) <+ 1p * (exp(V(d) / 5m) - 1);
+          I(c) <+ 1n * ddt(V(c));
+        end
+      endmodule";
+
+    #[test]
+    fn adaptive_control_is_bit_transparent_on_benign_circuits() {
+        // A linear circuit never rejects, so an adaptive instance must
+        // reproduce the fixed-dt trajectory bit for bit with zero
+        // rejection/backoff activity.
+        let m = parse_module(RC1).unwrap();
+        let mut fixed = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        let mut adaptive = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .step_control(StepControl::new(1e-12))
+            .build()
+            .unwrap();
+        for k in 0..200 {
+            let u = if (k / 40) % 2 == 0 { 1.0 } else { 0.0 };
+            fixed.step(&[u]);
+            adaptive.step(&[u]);
+            assert_eq!(fixed.output(0).to_bits(), adaptive.output(0).to_bits());
+        }
+        assert_eq!(fixed.time().to_bits(), adaptive.time().to_bits());
+        assert_eq!(adaptive.steps_rejected(), 0);
+        assert_eq!(adaptive.step_retries(), 0);
+        assert_eq!(adaptive.dt_shrinks(), 0);
+        assert_eq!(adaptive.dt_grows(), 0);
+        assert_eq!(adaptive.current_dt(), 1e-6);
+    }
+
+    #[test]
+    fn non_finite_input_is_a_typed_error() {
+        let m = parse_module(RC1).unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        sim.step(&[1.0]);
+        let before = sim.output(0);
+        let err = sim.try_step(&[f64::NAN]).unwrap_err();
+        assert!(
+            matches!(err, AmsError::NonFinite { iteration: 1, .. }),
+            "want NonFinite at iteration 1, got {err}"
+        );
+        // The failure neither advanced time nor corrupted accepted state.
+        assert_eq!(sim.output(0).to_bits(), before.to_bits());
+        assert!((sim.time() - 1e-6).abs() < 1e-18);
+        assert!(sim.try_step(&[1.0]).is_ok(), "solver must recover");
+    }
+
+    #[test]
+    fn no_convergence_carries_residual_and_dt() {
+        // Sharp diode (thermal voltage 5 mV) hit with a full-scale step:
+        // damped-free Newton descends ~5 mV per iteration from the
+        // overshoot and cannot close within the iteration cap.
+        let m = parse_module(STIFF_DIODE).unwrap();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-4)
+            .output("V(out)")
+            .build()
+            .unwrap();
+        match sim.try_step(&[1.0]) {
+            Err(AmsError::NoConvergence {
+                iterations,
+                residual_norm,
+                dt,
+                ..
+            }) => {
+                assert_eq!(iterations, Instance::MAX_NEWTON_ITERS);
+                assert!(
+                    residual_norm.is_finite() && residual_norm > 0.0,
+                    "best residual {residual_norm}"
+                );
+                assert_eq!(dt, 1e-4);
+            }
+            other => panic!("want NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_stepping_rescues_the_stiff_diode() {
+        let m = parse_module(STIFF_CLAMP).unwrap();
+        let obs = Obs::recording();
+        let mut sim = Simulation::new(&m)
+            .dt(1e-4)
+            .output("V(out)")
+            .step_control(StepControl::new(1e-9))
+            .collector(obs.clone())
+            .build()
+            .unwrap();
+        for _ in 0..5 {
+            sim.try_step(&[1.0]).expect("adaptive run must complete");
+        }
+        assert!(sim.steps_rejected() > 0, "stiff edge must reject");
+        assert!(sim.dt_shrinks() > 0);
+        assert!(sim.dt_grows() > 0, "dt must regrow after the edge");
+        assert!((sim.time() - 5e-4).abs() < 1e-15, "time {}", sim.time());
+        // Operating point: diode clamps out at IS·(exp(v/VT)−1) = (1−v)/R.
+        let vd = sim.output(0);
+        let id = 1e-12 * ((vd / 5e-3).exp() - 1.0);
+        assert!(((1.0 - vd) / 1e3 - id).abs() < 1e-8, "clamp at {vd}");
+        drop(sim);
+        let report = obs.report().unwrap();
+        assert!(report.counter("amsim.step.rejected") > 0);
+        assert!(report.counter("amsim.step.retries") > 0);
+        assert!(report.counter("amsim.step.dt_shrink") > 0);
+        assert!(report.counter("amsim.step.dt_grow") > 0);
+        let hist = &report.timers["amsim.dt"];
+        assert!(
+            hist.count > 5,
+            "sub-step histogram must see more accepts than nominal steps"
+        );
+    }
+
+    #[test]
+    fn step_control_is_validated() {
+        let m = parse_module(RC1).unwrap();
+        for bad in [0.0, -1e-9, f64::NAN, 1e-3] {
+            let err = Simulation::new(&m)
+                .dt(1e-6)
+                .output("V(out)")
+                .step_control(StepControl::new(bad))
+                .build()
+                .err()
+                .expect("invalid step control must be rejected");
+            assert!(
+                matches!(err, AmsError::InvalidStepControl { .. }),
+                "min_dt {bad}: got {err}"
+            );
+        }
+        // Instance builders re-validate their override.
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        assert!(matches!(
+            model
+                .instance_builder()
+                .step_control(StepControl::new(1e-2))
+                .build(),
+            Err(AmsError::InvalidStepControl { .. })
+        ));
+    }
+
+    #[test]
+    fn instance_builder_can_disable_model_step_control() {
+        let m = parse_module(STIFF_CLAMP).unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-4)
+            .output("V(out)")
+            .step_control(StepControl::new(1e-9))
+            .compile()
+            .unwrap();
+        assert!(model.step_control().is_some());
+        // Default instances inherit the model's control and survive.
+        let mut inherits = model.instance();
+        assert!(inherits.try_step(&[1.0]).is_ok());
+        // An explicit `None` forces fixed-dt semantics back on.
+        let mut fixed = model.instance_builder().step_control(None).build().unwrap();
+        assert!(matches!(
+            fixed.try_step(&[1.0]),
+            Err(AmsError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn backoff_budget_exhaustion_surfaces_the_solver_error() {
+        let m = parse_module(STIFF_DIODE).unwrap();
+        // min_dt only one halving away: the stiff edge cannot be rescued.
+        let mut sim = Simulation::new(&m)
+            .dt(1e-4)
+            .output("V(out)")
+            .step_control(StepControl::new(0.9e-4).max_retries(3))
+            .build()
+            .unwrap();
+        let err = sim.try_step(&[1.0]).unwrap_err();
+        assert!(matches!(err, AmsError::NoConvergence { .. }), "{err}");
+        assert!(sim.steps_rejected() > 0);
+        // Time stays at the last accepted boundary (here: the start).
+        assert_eq!(sim.time(), 0.0);
     }
 
     #[test]

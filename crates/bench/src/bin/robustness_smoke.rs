@@ -1,0 +1,165 @@
+//! CI smoke check for fault-isolated sweeps.
+//!
+//! Runs 16 diode-clamp scenarios on a 4-worker pool with two injected
+//! faults — a panicking stimulus and a fixed-dt non-convergent run —
+//! and asserts the healthy 14 complete, the faults come back as typed
+//! records in their slots, the fault counters tally, and no scenario is
+//! lost or duplicated. Writes the merged report as `BENCH_obs.json` and
+//! exits nonzero on any violation.
+
+use amsim::StepControl;
+use amsvp_core::circuits::{diode_clamp, PiecewiseConstant, SquareWave, Stimulus};
+use sweep::{run_ams_sweep, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine};
+
+const SCENARIOS: usize = 16;
+const WORKERS: usize = 4;
+const STEPS: usize = 20;
+const DT: f64 = 1e-4;
+const PANIC_AT: usize = 5;
+const DIVERGE_AT: usize = 11;
+
+/// Stimulus that panics once `t` reaches its deadline — an injected
+/// user-code fault the pool must contain.
+struct PanicAt(f64);
+
+impl Stimulus for PanicAt {
+    fn value(&self, t: f64) -> f64 {
+        assert!(t < self.0, "injected stimulus failure at t = {t}");
+        0.8
+    }
+}
+
+fn scenarios() -> Vec<AmsScenario> {
+    (0..SCENARIOS)
+        .map(|i| {
+            if i == PANIC_AT {
+                AmsScenario {
+                    name: format!("clamp/{i}-panic"),
+                    stim: Box::new(PanicAt(5.0 * DT)),
+                    steps: STEPS,
+                    newton_tol: None,
+                    step_control: Some(StepControl::new(1e-9).max_retries(20)),
+                }
+            } else if i == DIVERGE_AT {
+                AmsScenario {
+                    name: format!("clamp/{i}-diverge"),
+                    stim: Box::new(SquareWave {
+                        period: 10.0 * DT,
+                        high: 1.0,
+                        low: 0.8,
+                    }),
+                    steps: STEPS,
+                    newton_tol: None,
+                    step_control: None,
+                }
+            } else {
+                AmsScenario {
+                    name: format!("clamp/{i}"),
+                    stim: Box::new(PiecewiseConstant::seeded(
+                        i as u64 + 1,
+                        4,
+                        5.0 * DT,
+                        0.0,
+                        0.8,
+                    )),
+                    steps: STEPS,
+                    newton_tol: None,
+                    step_control: Some(StepControl::new(1e-9).max_retries(20)),
+                }
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let module = vams_parser::parse_module(&diode_clamp()).expect("clamp parses");
+    let model = amsim::Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .expect("clamp compiles");
+
+    // The injected panic is expected; keep its default-hook backtrace
+    // out of the CI log. Workers catch it either way.
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = run_ams_sweep(
+        &SweepEngine::new().workers(WORKERS),
+        &model,
+        &scenarios(),
+        &ScenarioBudget::unlimited(),
+    )
+    .expect("sweep runs");
+    drop(std::panic::take_hook());
+
+    let report = &outcome.report;
+    report
+        .write_json("BENCH_obs.json")
+        .expect("BENCH_obs.json is writable");
+
+    let mut failures = Vec::new();
+    if outcome.results.len() != SCENARIOS {
+        failures.push(format!(
+            "expected {SCENARIOS} results, got {}",
+            outcome.results.len()
+        ));
+    }
+    match &outcome.results[PANIC_AT] {
+        ScenarioOutcome::Panicked(msg) if msg.contains("injected") => {}
+        other => failures.push(format!(
+            "slot {PANIC_AT}: want Panicked with payload, got {other:?}"
+        )),
+    }
+    match &outcome.results[DIVERGE_AT] {
+        ScenarioOutcome::Failed(amsim::AmsError::NoConvergence { dt, .. }) if *dt == DT => {}
+        other => failures.push(format!(
+            "slot {DIVERGE_AT}: want Failed(NoConvergence) at dt = {DT}, got {other:?}"
+        )),
+    }
+    let healthy = outcome.results.iter().filter(|r| r.is_ok()).count();
+    if healthy != SCENARIOS - 2 {
+        failures.push(format!(
+            "expected {} healthy outcomes, got {healthy}",
+            SCENARIOS - 2
+        ));
+    }
+    for (key, want) in [
+        ("sweep.scenarios.ok", (SCENARIOS - 2) as u64),
+        ("sweep.scenarios.failed", 1),
+        ("sweep.scenarios.panicked", 1),
+        ("sweep.scenarios.budget", 0),
+        ("sweep.scenarios", SCENARIOS as u64),
+    ] {
+        if report.counter(key) != want {
+            failures.push(format!(
+                "counter `{key}` is {}, want {want}",
+                report.counter(key)
+            ));
+        }
+    }
+    let per_worker: u64 = (0..WORKERS)
+        .map(|w| report.counter(&format!("sweep.worker.{w}.scenarios")))
+        .sum();
+    if per_worker != SCENARIOS as u64 {
+        failures.push(format!(
+            "per-worker scenario counts sum to {per_worker}, want {SCENARIOS} \
+             (scenarios lost or duplicated)"
+        ));
+    }
+    if report.counter("amsim.step.rejected") == 0 {
+        failures.push("adaptive scenarios never exercised retry/backoff".into());
+    }
+
+    if !failures.is_empty() {
+        eprintln!("robustness_smoke FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "robustness_smoke OK: {healthy}/{SCENARIOS} healthy on {WORKERS} workers \
+         in {:.3} s, 1 panic contained, 1 typed solver failure, {} step rejections",
+        outcome.wall,
+        report.counter("amsim.step.rejected"),
+    );
+}

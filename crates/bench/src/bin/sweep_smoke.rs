@@ -8,7 +8,7 @@
 
 use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
 use obs::Obs;
-use sweep::{run_ams_sweep, AmsScenario, SweepEngine};
+use sweep::{run_ams_sweep, AmsScenario, ScenarioBudget, SweepEngine};
 
 const SCENARIOS: usize = 16;
 const WORKERS: usize = 4;
@@ -30,10 +30,16 @@ fn main() {
             stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 5, 5e-5, 0.0, 1.0)),
             steps: STEPS,
             newton_tol: Some(if i % 2 == 0 { 1e-10 } else { 1e-7 }),
+            step_control: None,
         })
         .collect();
-    let outcome = run_ams_sweep(&SweepEngine::new().workers(WORKERS), &model, &scenarios)
-        .expect("sweep runs");
+    let outcome = run_ams_sweep(
+        &SweepEngine::new().workers(WORKERS),
+        &model,
+        &scenarios,
+        &ScenarioBudget::unlimited(),
+    )
+    .expect("sweep runs");
 
     let mut report = compile_obs.report().expect("recording collector reports");
     report.merge(&outcome.report);
@@ -46,6 +52,12 @@ fn main() {
         failures.push(format!(
             "expected {SCENARIOS} results, got {}",
             outcome.results.len()
+        ));
+    }
+    let healthy = outcome.results.iter().filter(|r| r.is_ok()).count();
+    if healthy != SCENARIOS {
+        failures.push(format!(
+            "expected {SCENARIOS} healthy outcomes, got {healthy}"
         ));
     }
     if report.counter("sweep.scenarios") != SCENARIOS as u64 {

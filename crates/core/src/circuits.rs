@@ -261,6 +261,40 @@ endmodule
     .to_string()
 }
 
+/// Verilog-AMS source of a stiff diode clamp: `in —R— out`, with an
+/// exponential diode (sharp thermal voltage `VT = 5 mV`) and a small
+/// capacitor from `out` to ground.
+///
+/// The fixture is deliberately hostile to fixed-step Newton: a full-scale
+/// input edge at `dt = 1e-4` puts the first iterate far up the diode
+/// exponential, and the undamped iteration walks back only ~`VT` per
+/// iteration — well past any sane iteration cap. Backward Euler at a
+/// *small* step stiffens the capacitor companion conductance `C/dt`,
+/// which bounds how far `out` can move per solve, so adaptive
+/// retry/backoff rescues exactly this circuit while plain fixed-`dt`
+/// stepping fails with `NoConvergence`.
+pub fn diode_clamp() -> String {
+    "module diode_clamp(in, out);
+  input in; output out;
+  parameter real R = 1k;
+  parameter real C = 1n;
+  parameter real IS = 1p;
+  parameter real VT = 5m;
+  electrical in, out, gnd;
+  ground gnd;
+  branch (in, out) br;
+  branch (out, gnd) bd;
+  branch (out, gnd) bc;
+  analog begin
+    V(br) <+ R * I(br);
+    I(bd) <+ IS * (exp(V(bd) / VT) - 1);
+    I(bc) <+ C * ddt(V(bc));
+  end
+endmodule
+"
+    .to_string()
+}
+
 /// The four benchmark circuits of Table I as `(label, source, inputs)`.
 pub fn paper_benchmarks() -> Vec<(&'static str, String, usize)> {
     vec![
@@ -372,6 +406,14 @@ mod tests {
         }
         let v = model.output(0);
         assert!((v + 2.0).abs() < 5e-3, "−4 × 0.5 = −2, got {v}");
+    }
+
+    #[test]
+    fn diode_clamp_parses_with_expected_topology() {
+        let m = parse_module(&diode_clamp()).unwrap();
+        // in, out, gnd / resistor + diode + capacitor branches.
+        assert_eq!(m.net_names().count(), 3);
+        assert_eq!(m.branches.len(), 3);
     }
 
     #[test]

@@ -24,6 +24,20 @@ pub enum Method {
 pub enum ElnError {
     /// The MNA matrix is singular (floating node, source loop, ...).
     Singular(linalg::SingularMatrixError),
+    /// The stamped MNA matrix held a NaN/Inf entry when factoring.
+    NonFinitePivot {
+        /// Matrix row of the offending entry.
+        row: usize,
+        /// Matrix column of the offending entry.
+        col: usize,
+    },
+    /// A transient solve produced a non-finite unknown.
+    NonFiniteSolution {
+        /// Simulation time at which the solve was attempted.
+        time: f64,
+        /// Index of the first non-finite unknown.
+        index: usize,
+    },
     /// The time step must be positive and finite.
     InvalidTimeStep(f64),
     /// The network has no nodes.
@@ -34,6 +48,15 @@ impl fmt::Display for ElnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ElnError::Singular(e) => write!(f, "MNA system is singular: {e}"),
+            ElnError::NonFinitePivot { row, col } => {
+                write!(f, "MNA matrix holds a non-finite entry at ({row}, {col})")
+            }
+            ElnError::NonFiniteSolution { time, index } => {
+                write!(
+                    f,
+                    "solve at t = {time} produced a non-finite unknown {index}"
+                )
+            }
             ElnError::InvalidTimeStep(dt) => {
                 write!(f, "invalid time step {dt}; must be positive and finite")
             }
@@ -61,6 +84,7 @@ impl From<linalg::FactorError> for ElnError {
     fn from(e: linalg::FactorError) -> Self {
         match e {
             linalg::FactorError::Singular(s) => ElnError::Singular(s),
+            linalg::FactorError::NonFinite { row, col } => ElnError::NonFinitePivot { row, col },
             linalg::FactorError::NotSquare { .. } => {
                 unreachable!("MNA matrices are square by construction")
             }
@@ -530,7 +554,29 @@ impl ElnSolver {
     }
 
     /// Advances the network by one time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solve produces a non-finite unknown (a NaN/Inf
+    /// source value, or a degenerate topology slipping past the
+    /// factorization). Use [`ElnSolver::try_step`] to handle that as a
+    /// typed error instead.
     pub fn step(&mut self) {
+        if let Err(e) = self.try_step() {
+            panic!("ElnSolver::step failed: {e}");
+        }
+    }
+
+    /// Advances the network by one time step, surfacing divergence as a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`ElnError::NonFiniteSolution`] when any unknown comes back
+    /// NaN/Inf. The solver then stays at the last accepted state — the
+    /// solution vector, source history, time and step count are all
+    /// untouched — so the caller can fix the inputs and retry.
+    pub fn try_step(&mut self) -> Result<(), ElnError> {
         self.rhs.iter_mut().for_each(|v| *v = 0.0);
         // Source excitation. The trapezoidal companion form is
         // (G + 2C/h)·x_k = (2C/h − G)·x_{k−1} + b_k + b_{k−1}:
@@ -584,10 +630,20 @@ impl ElnSolver {
             }
         }
         lu.solve_into(&self.rhs, &mut self.x);
+        if let Some(index) = self.x.iter().position(|v| !v.is_finite()) {
+            // Divergence guard: rewind the scratch solution so observers
+            // keep reading the last accepted state.
+            self.x.copy_from_slice(&self.x_prev);
+            return Err(ElnError::NonFiniteSolution {
+                time: self.time,
+                index,
+            });
+        }
         self.x_prev.copy_from_slice(&self.x);
         self.prev_source_values.copy_from_slice(&self.source_values);
         self.time += self.net.dt;
         self.steps += 1;
+        Ok(())
     }
 
     /// Number of MNA unknowns (diagnostics).
@@ -879,6 +935,87 @@ mod tests {
         s.step();
         assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed again");
         assert_eq!(s.refactorizations(), 2);
+    }
+
+    #[test]
+    fn failed_switch_toggle_recovers_and_matches_untoggled_run() {
+        // vin —sw(closed)— out, with `out` reachable only through the
+        // switch: an ideal open (roff = ∞) leaves `out` floating, so the
+        // toggle must fail — and must not poison the solver. Regression
+        // for the copy-on-toggle revert path: after the failure the run
+        // must stay bit-identical to a sibling that never toggled.
+        let mut net = ElnNetwork::new();
+        let a = net.node("a");
+        let out = net.node("out");
+        let v = net.vsource("vin", a, ElnNetwork::GROUND);
+        let sw = net.switch("sw", a, out, 1e3, f64::INFINITY, true);
+        let compiled = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .compile()
+            .unwrap();
+        let mut toggled = compiled.instance();
+        let mut pristine = compiled.instance();
+        for k in 0..5 {
+            let u = 0.25 * k as f64;
+            toggled.set_source(v, u);
+            pristine.set_source(v, u);
+            toggled.step();
+            pristine.step();
+        }
+        let err = toggled
+            .set_switch(sw, false)
+            .expect_err("ideal open on a floating node must be singular");
+        assert!(matches!(err, ElnError::Singular(_)), "{err}");
+        assert!(
+            toggled.switch_closed(sw),
+            "failed toggle must restore the previous switch state"
+        );
+        assert_eq!(
+            toggled.refactorizations(),
+            0,
+            "a reverted toggle is not a refactorization"
+        );
+        for k in 0..20 {
+            let u = if k % 2 == 0 { 1.5 } else { -0.5 };
+            toggled.set_source(v, u);
+            pristine.set_source(v, u);
+            toggled.step();
+            pristine.step();
+            assert_eq!(
+                toggled.node_voltage(out).to_bits(),
+                pristine.node_voltage(out).to_bits(),
+                "step {k}: recovered run diverged from the untoggled sibling"
+            );
+        }
+        assert_eq!(toggled.steps(), pristine.steps());
+    }
+
+    #[test]
+    fn non_finite_source_is_a_typed_error_and_state_survives() {
+        let (net, v, out) = rc();
+        let mut s = Transient::new(&net)
+            .dt(1e-6)
+            .method(Method::BackwardEuler)
+            .build()
+            .unwrap();
+        s.set_source(v, 1.0);
+        for _ in 0..10 {
+            s.step();
+        }
+        let v_before = s.node_voltage(out);
+        let (t_before, n_before) = (s.time(), s.steps());
+        s.set_source(v, f64::NAN);
+        let err = s.try_step().expect_err("NaN excitation must fail");
+        assert!(matches!(err, ElnError::NonFiniteSolution { .. }), "{err}");
+        // The failed solve neither advanced time nor touched the state.
+        assert_eq!(s.node_voltage(out).to_bits(), v_before.to_bits());
+        assert_eq!(s.time(), t_before);
+        assert_eq!(s.steps(), n_before);
+        // The solver recovers once the excitation is sane again.
+        s.set_source(v, 1.0);
+        s.try_step().expect("solver must recover after the rewind");
+        assert_eq!(s.steps(), n_before + 1);
     }
 
     #[test]

@@ -27,12 +27,15 @@ impl Error for SingularMatrixError {}
 
 /// Error returned by [`LuFactors::factor`] / [`LuFactors::factor_into`].
 ///
-/// Factorization can fail for two reasons: the input is not even square
+/// Factorization can fail for three reasons: the input is not even square
 /// (a structural error — the assembled system is over- or
-/// under-determined), or elimination hit a zero pivot (a numerical error —
-/// the matrix is singular to working precision). Both are data-dependent
-/// conditions for callers assembling matrices from user netlists, so they
-/// surface as `Err` rather than panicking.
+/// under-determined), elimination hit a zero pivot (a numerical error —
+/// the matrix is singular to working precision), or the input carries a
+/// NaN/Inf entry (upstream corruption — typically an overflowed device
+/// evaluation). All are data-dependent conditions for callers assembling
+/// matrices from user netlists, so they surface as `Err` rather than
+/// panicking, and NaNs are caught here instead of propagating silently
+/// through [`LuFactors::solve`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FactorError {
     /// The matrix is not square, so no LU factorization exists.
@@ -44,6 +47,14 @@ pub enum FactorError {
     },
     /// The matrix is singular to working precision.
     Singular(SingularMatrixError),
+    /// The matrix holds a NaN or infinite entry, so elimination would
+    /// only spread the corruption.
+    NonFinite {
+        /// Row of the first non-finite entry encountered.
+        row: usize,
+        /// Column of the first non-finite entry encountered.
+        col: usize,
+    },
 }
 
 impl fmt::Display for FactorError {
@@ -53,6 +64,9 @@ impl fmt::Display for FactorError {
                 write!(f, "cannot factor a non-square {rows}x{cols} matrix")
             }
             FactorError::Singular(e) => e.fmt(f),
+            FactorError::NonFinite { row, col } => {
+                write!(f, "matrix holds a non-finite entry at ({row}, {col})")
+            }
         }
     }
 }
@@ -61,7 +75,7 @@ impl Error for FactorError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FactorError::Singular(e) => Some(e),
-            FactorError::NotSquare { .. } => None,
+            FactorError::NotSquare { .. } | FactorError::NonFinite { .. } => None,
         }
     }
 }
@@ -112,6 +126,7 @@ impl LuFactors {
     /// # Errors
     ///
     /// * [`FactorError::NotSquare`] when `a` is not square;
+    /// * [`FactorError::NonFinite`] when `a` holds a NaN/Inf entry;
     /// * [`FactorError::Singular`] if no acceptable pivot exists at some
     ///   elimination step.
     pub fn factor(a: &Matrix) -> Result<Self, FactorError> {
@@ -120,6 +135,9 @@ impl LuFactors {
                 rows: a.rows(),
                 cols: a.cols(),
             });
+        }
+        if let Some((row, col)) = first_non_finite(a) {
+            return Err(FactorError::NonFinite { row, col });
         }
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..a.rows()).collect();
@@ -139,9 +157,10 @@ impl LuFactors {
     /// # Errors
     ///
     /// Returns [`FactorError`] as [`LuFactors::factor`] does; on a
-    /// [`FactorError::NotSquare`] input the stored factors are untouched,
-    /// while after [`FactorError::Singular`] they are invalid and must not
-    /// be used for [`LuFactors::solve`] until a subsequent factorization
+    /// [`FactorError::NotSquare`] or [`FactorError::NonFinite`] input the
+    /// stored factors are untouched, while after
+    /// [`FactorError::Singular`] they are invalid and must not be used
+    /// for [`LuFactors::solve`] until a subsequent factorization
     /// succeeds.
     pub fn factor_into(&mut self, a: &Matrix) -> Result<(), FactorError> {
         if !a.is_square() {
@@ -149,6 +168,9 @@ impl LuFactors {
                 rows: a.rows(),
                 cols: a.cols(),
             });
+        }
+        if let Some((row, col)) = first_non_finite(a) {
+            return Err(FactorError::NonFinite { row, col });
         }
         self.lu.copy_from(a);
         self.perm.clear();
@@ -214,10 +236,23 @@ impl LuFactors {
     }
 }
 
+/// Returns the position of the first NaN/Inf entry of `a`, if any.
+fn first_non_finite(a: &Matrix) -> Option<(usize, usize)> {
+    for i in 0..a.rows() {
+        if let Some(j) = a.row(i).iter().position(|v| !v.is_finite()) {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
 /// Gaussian elimination with partial pivoting, in place over `lu` (which
 /// holds the matrix on entry and the combined factors on exit) and `perm`.
-/// Returns the permutation sign.
-fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, SingularMatrixError> {
+/// Returns the permutation sign. The input was scanned for NaN/Inf before
+/// this runs, but elimination itself can overflow to infinity; the pivot
+/// scan re-checks the active column so such corruption still surfaces as
+/// [`FactorError::NonFinite`] instead of poisoning the factors.
+fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, FactorError> {
     let n = lu.rows();
     let mut perm_sign = 1.0;
     let scale = lu.max_abs().max(1.0);
@@ -227,15 +262,18 @@ fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, SingularMatrixE
         // below the diagonal.
         let mut pivot_row = k;
         let mut pivot_val = lu[(k, k)].abs();
-        for i in (k + 1)..n {
+        for i in k..n {
             let v = lu[(i, k)].abs();
+            if !v.is_finite() {
+                return Err(FactorError::NonFinite { row: i, col: k });
+            }
             if v > pivot_val {
                 pivot_val = v;
                 pivot_row = i;
             }
         }
         if pivot_val <= PIVOT_EPS * scale {
-            return Err(SingularMatrixError { column: k });
+            return Err(FactorError::Singular(SingularMatrixError { column: k }));
         }
         if pivot_row != k {
             perm.swap(k, pivot_row);
@@ -314,6 +352,35 @@ mod tests {
         let x = lu.solve(&[5.0, 10.0]);
         let back = a.mul_vec(&x);
         assert_close(&back, &[5.0, 10.0], 1e-12);
+    }
+
+    #[test]
+    fn non_finite_entry_is_reported_not_propagated() {
+        let mut a = Matrix::identity(3);
+        a[(1, 2)] = f64::NAN;
+        assert_eq!(
+            LuFactors::factor(&a).unwrap_err(),
+            FactorError::NonFinite { row: 1, col: 2 }
+        );
+        a[(1, 2)] = f64::INFINITY;
+        let err = LuFactors::factor(&a).unwrap_err();
+        assert_eq!(err, FactorError::NonFinite { row: 1, col: 2 });
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn factor_into_keeps_old_factors_on_non_finite_input() {
+        let good = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let mut bad = Matrix::identity(2);
+        bad[(0, 0)] = f64::NAN;
+        let mut lu = LuFactors::factor(&good).unwrap();
+        assert_eq!(
+            lu.factor_into(&bad).unwrap_err(),
+            FactorError::NonFinite { row: 0, col: 0 }
+        );
+        // The stored factors still describe `good`.
+        let x = lu.solve(&[5.0, 10.0]);
+        assert_close(&good.mul_vec(&x), &[5.0, 10.0], 1e-12);
     }
 
     #[test]

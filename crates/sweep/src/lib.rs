@@ -38,6 +38,10 @@
 //! assert_eq!(outcome.report.counter("sweep.scenarios"), 32);
 //! ```
 
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -45,8 +49,126 @@ use std::time::Instant;
 
 use amsim::{AmsError, CompiledModel};
 use amsvp_core::circuits::Stimulus;
-use eln::{CompiledNet, NodeId, SourceId};
+use eln::{CompiledNet, ElnError, NodeId, SourceId};
 use obs::{Obs, Report};
+
+/// Per-scenario step/wall-clock budget for fault-isolated sweeps.
+///
+/// A runaway scenario — an adaptive run grinding at `min_dt`, an
+/// accidental infinite stimulus — must not starve its siblings of a
+/// worker forever. The scenario body charges its progress through
+/// [`ScenarioCtx::tick`]; once either cap is exceeded the scenario is cut
+/// short with a [`BudgetExceeded`] record instead of an `Ok` result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioBudget {
+    max_steps: Option<u64>,
+    max_wall: Option<f64>,
+}
+
+impl ScenarioBudget {
+    /// No caps: [`ScenarioCtx::tick`] never fails.
+    pub fn unlimited() -> ScenarioBudget {
+        ScenarioBudget::default()
+    }
+
+    /// Caps the number of steps a scenario may charge via `tick`.
+    #[must_use]
+    pub fn max_steps(mut self, n: u64) -> ScenarioBudget {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Caps a scenario's wall-clock time in seconds (checked at each
+    /// `tick`, so a scenario that never ticks is not interrupted).
+    #[must_use]
+    pub fn max_wall(mut self, secs: f64) -> ScenarioBudget {
+        self.max_wall = Some(secs);
+        self
+    }
+}
+
+/// A scenario exceeded its [`ScenarioBudget`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// Steps charged when the budget tripped (first value past the cap).
+    pub steps: u64,
+    /// Wall-clock seconds elapsed when the budget tripped.
+    pub wall: f64,
+    /// The step cap in force, if any.
+    pub max_steps: Option<u64>,
+    /// The wall-clock cap in force (seconds), if any.
+    pub max_wall: Option<f64>,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario budget exceeded: {} steps / {:.3} s against caps {:?} steps / {:?} s",
+            self.steps, self.wall, self.max_steps, self.max_wall
+        )
+    }
+}
+
+impl Error for BudgetExceeded {}
+
+/// Why a fault-isolated scenario body stopped early.
+///
+/// Scenario closures under [`SweepEngine::run_isolated`] return
+/// `Result<R, SweepFault<E>>`; the `From<BudgetExceeded>` impl lets
+/// [`ScenarioCtx::tick`]'s error propagate with `?`.
+#[derive(Debug)]
+pub enum SweepFault<E> {
+    /// The domain solver failed (typed error from `amsim`/`eln`/...).
+    Error(E),
+    /// The per-scenario budget ran out.
+    Budget(BudgetExceeded),
+}
+
+impl<E> From<BudgetExceeded> for SweepFault<E> {
+    fn from(b: BudgetExceeded) -> Self {
+        SweepFault::Budget(b)
+    }
+}
+
+/// Per-scenario verdict of a fault-isolated sweep: exactly one of these
+/// lands in [`SweepOutcome::results`] for every input index — faults are
+/// *recorded*, never propagated, so one bad scenario cannot discard its
+/// siblings' finished waveforms.
+#[derive(Debug)]
+pub enum ScenarioOutcome<R, E> {
+    /// The scenario completed; its result.
+    Ok(R),
+    /// The scenario returned a typed error.
+    Failed(E),
+    /// The scenario body panicked; the stringified payload.
+    Panicked(String),
+    /// The scenario exceeded its [`ScenarioBudget`].
+    Budget(BudgetExceeded),
+}
+
+impl<R, E> ScenarioOutcome<R, E> {
+    /// Whether the scenario completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ScenarioOutcome::Ok(_))
+    }
+
+    /// The result, if the scenario completed.
+    pub fn ok(&self) -> Option<&R> {
+        match self {
+            ScenarioOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into the result, if the scenario completed.
+    pub fn into_ok(self) -> Option<R> {
+        match self {
+            ScenarioOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
 
 /// Per-scenario context handed to the sweep closure.
 ///
@@ -60,6 +182,42 @@ pub struct ScenarioCtx {
     pub worker: usize,
     /// Recording collector private to this scenario.
     pub obs: Obs,
+    limits: ScenarioBudget,
+    charged: Cell<u64>,
+    started: Instant,
+}
+
+impl ScenarioCtx {
+    /// Charges `steps` units of work against the scenario budget and
+    /// checks both caps.
+    ///
+    /// Call once per solver step (or batch); under
+    /// [`SweepEngine::run`] the budget is unlimited and this never fails.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] once the charged steps pass `max_steps` or the
+    /// scenario's wall clock passes `max_wall`.
+    pub fn tick(&self, steps: u64) -> Result<(), BudgetExceeded> {
+        let charged = self.charged.get() + steps;
+        self.charged.set(charged);
+        let over_steps = self.limits.max_steps.is_some_and(|cap| charged > cap);
+        let wall = if self.limits.max_wall.is_some() {
+            self.started.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
+        let over_wall = self.limits.max_wall.is_some_and(|cap| wall > cap);
+        if over_steps || over_wall {
+            return Err(BudgetExceeded {
+                steps: charged,
+                wall,
+                max_steps: self.limits.max_steps,
+                max_wall: self.limits.max_wall,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Everything a finished sweep produces.
@@ -132,6 +290,71 @@ impl SweepEngine {
         R: Send,
         F: Fn(&ScenarioCtx, &S) -> R + Sync,
     {
+        self.run_with_budget(scenarios, ScenarioBudget::unlimited(), f)
+    }
+
+    /// Runs `f` once per scenario with full fault isolation: the body is
+    /// wrapped in [`std::panic::catch_unwind`] and charged against a
+    /// per-scenario [`ScenarioBudget`] (via [`ScenarioCtx::tick`]), so a
+    /// panicking, diverging, or runaway scenario yields a typed
+    /// [`ScenarioOutcome`] in its slot instead of tearing down the pool.
+    ///
+    /// On top of [`SweepEngine::run`]'s counters, the merged report tallies
+    /// `sweep.scenarios.{ok,failed,panicked,budget}` — all four keys are
+    /// always present, so downstream dashboards see stable schemas.
+    ///
+    /// Surviving scenarios keep the bit-identical-for-any-worker-count
+    /// guarantee: faults are per-index records merged in input order, not
+    /// scheduling-dependent state.
+    pub fn run_isolated<S, R, E, F>(
+        &self,
+        scenarios: &[S],
+        budget: &ScenarioBudget,
+        f: F,
+    ) -> SweepOutcome<ScenarioOutcome<R, E>>
+    where
+        S: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&ScenarioCtx, &S) -> Result<R, SweepFault<E>> + Sync,
+    {
+        let mut out = self.run_with_budget(scenarios, *budget, |ctx, s| {
+            match catch_unwind(AssertUnwindSafe(|| f(ctx, s))) {
+                Ok(Ok(r)) => ScenarioOutcome::Ok(r),
+                Ok(Err(SweepFault::Error(e))) => ScenarioOutcome::Failed(e),
+                Ok(Err(SweepFault::Budget(b))) => ScenarioOutcome::Budget(b),
+                Err(payload) => ScenarioOutcome::Panicked(panic_message(payload)),
+            }
+        });
+        let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
+        for r in &out.results {
+            match r {
+                ScenarioOutcome::Ok(_) => ok += 1,
+                ScenarioOutcome::Failed(_) => failed += 1,
+                ScenarioOutcome::Panicked(_) => panicked += 1,
+                ScenarioOutcome::Budget(_) => over_budget += 1,
+            }
+        }
+        let fault_obs = Obs::recording();
+        fault_obs.add("sweep.scenarios.ok", ok);
+        fault_obs.add("sweep.scenarios.failed", failed);
+        fault_obs.add("sweep.scenarios.panicked", panicked);
+        fault_obs.add("sweep.scenarios.budget", over_budget);
+        out.report.merge(&fault_obs.report().unwrap_or_default());
+        out
+    }
+
+    fn run_with_budget<S, R, F>(
+        &self,
+        scenarios: &[S],
+        budget: ScenarioBudget,
+        f: F,
+    ) -> SweepOutcome<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&ScenarioCtx, &S) -> R + Sync,
+    {
         let workers = self.workers;
         let n = scenarios.len();
         let start = Instant::now();
@@ -159,6 +382,9 @@ impl SweepEngine {
                             index: idx,
                             worker: w,
                             obs: Obs::recording(),
+                            limits: budget,
+                            charged: Cell::new(0),
+                            started: Instant::now(),
                         };
                         let t0 = Instant::now();
                         let result = f(&ctx, &scenarios[idx]);
@@ -222,22 +448,38 @@ impl Default for SweepEngine {
     }
 }
 
+/// Stringifies a panic payload: `panic!("...")` payloads are `String` or
+/// `&'static str`; anything else gets a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
 // ------------------------------------------------------- amsim scenarios
 
-/// One conservative-simulator run: a stimulus, a step count, and an
-/// optional Newton-tolerance override.
+/// One conservative-simulator run: a stimulus, a step count, and
+/// optional per-scenario solver overrides.
 pub struct AmsScenario {
     /// Scenario label, carried through to [`AmsRun::name`].
     pub name: String,
     /// Stimulus driving every model input.
     pub stim: Box<dyn Stimulus + Send + Sync>,
-    /// Number of fixed-dt transient steps.
+    /// Number of nominal-dt transient steps.
     pub steps: usize,
     /// Newton tolerance override; `None` keeps the model's tolerance.
     pub newton_tol: Option<f64>,
+    /// Adaptive step-control override; `None` keeps the model's control
+    /// (which may itself be fixed-dt).
+    pub step_control: Option<amsim::StepControl>,
 }
 
 /// Result of one [`AmsScenario`].
+#[derive(Debug)]
 pub struct AmsRun {
     /// The scenario label.
     pub name: String,
@@ -247,52 +489,67 @@ pub struct AmsRun {
     pub newton_iters: u64,
 }
 
-/// Sweeps `scenarios` over one shared compiled Verilog-AMS model.
+/// Sweeps `scenarios` over one shared compiled Verilog-AMS model, fault
+/// isolated: the result slot of a scenario that fails Newton, exceeds
+/// `budget`, or panics holds a typed [`ScenarioOutcome`] record while its
+/// siblings' waveforms survive untouched.
 ///
 /// The model is compiled once by the caller ([`amsim::Simulation::compile`])
 /// and only cheap [`amsim::Instance`]s are created per scenario — the
 /// merged report's `amsim.jacobian.builds` therefore stays at the
-/// compile-time value no matter how many scenarios run.
+/// compile-time value no matter how many scenarios run. Instances flush
+/// their counters on drop, so even a faulted scenario's partial solver
+/// counters reach the merged report.
 ///
 /// # Errors
 ///
-/// [`AmsError::InvalidTolerance`] if any scenario's override is not a
-/// positive finite number (checked up front, before any worker starts).
+/// [`AmsError::InvalidTolerance`] / [`AmsError::InvalidStepControl`] if
+/// any scenario's override is ill-formed (checked up front, before any
+/// worker starts — configuration mistakes are the caller's bug and fail
+/// the sweep; only *runtime* faults are isolated).
 pub fn run_ams_sweep(
     engine: &SweepEngine,
     model: &Arc<CompiledModel>,
     scenarios: &[AmsScenario],
-) -> Result<SweepOutcome<AmsRun>, AmsError> {
+    budget: &ScenarioBudget,
+) -> Result<SweepOutcome<ScenarioOutcome<AmsRun, AmsError>>, AmsError> {
     for sc in scenarios {
         if let Some(tol) = sc.newton_tol {
             if !(tol.is_finite() && tol > 0.0) {
                 return Err(AmsError::InvalidTolerance { tol });
             }
         }
+        if let Some(ctrl) = sc.step_control {
+            ctrl.validate(model.dt())?;
+        }
     }
     let dt = model.dt();
     let n_inputs = model.input_names().len();
-    Ok(engine.run(scenarios, move |ctx, sc| {
+    Ok(engine.run_isolated(scenarios, budget, move |ctx, sc| {
         let mut builder = model.instance_builder().collector(ctx.obs.clone());
         if let Some(tol) = sc.newton_tol {
             builder = builder.newton_tol(tol);
         }
-        let mut inst = builder.build().expect("tolerances validated up front");
+        if let Some(ctrl) = sc.step_control {
+            builder = builder.step_control(ctrl);
+        }
+        let mut inst = builder.build().expect("overrides validated up front");
         let mut inputs = vec![0.0; n_inputs];
         let mut waveform = Vec::with_capacity(sc.steps);
         for k in 0..sc.steps {
+            ctx.tick(1)?;
             let u = sc.stim.value(k as f64 * dt);
             inputs.iter_mut().for_each(|v| *v = u);
-            inst.step(&inputs);
+            inst.try_step(&inputs).map_err(SweepFault::Error)?;
             waveform.push(inst.output(0));
         }
         let newton_iters = inst.newton_iterations();
         inst.flush_counters();
-        AmsRun {
+        Ok(AmsRun {
             name: sc.name.clone(),
             waveform,
             newton_iters,
-        }
+        })
     }))
 }
 
@@ -319,6 +576,7 @@ pub struct ElnSweepSpec {
 }
 
 /// Result of one [`ElnScenario`].
+#[derive(Debug)]
 pub struct ElnRun {
     /// The scenario label.
     pub name: String,
@@ -326,7 +584,9 @@ pub struct ElnRun {
     pub waveform: Vec<f64>,
 }
 
-/// Sweeps `scenarios` over one shared compiled ELN network.
+/// Sweeps `scenarios` over one shared compiled ELN network, fault
+/// isolated like [`run_ams_sweep`]: a diverging, over-budget, or
+/// panicking scenario becomes a [`ScenarioOutcome`] record in its slot.
 ///
 /// The MNA system is assembled and LU-factored once by the caller
 /// ([`eln::Transient::compile`]); each scenario only clones per-run state.
@@ -335,21 +595,23 @@ pub fn run_eln_sweep(
     net: &Arc<CompiledNet>,
     spec: ElnSweepSpec,
     scenarios: &[ElnScenario],
-) -> SweepOutcome<ElnRun> {
+    budget: &ScenarioBudget,
+) -> SweepOutcome<ScenarioOutcome<ElnRun, ElnError>> {
     let dt = net.dt();
-    engine.run(scenarios, move |ctx, sc| {
+    engine.run_isolated(scenarios, budget, move |ctx, sc| {
         let mut solver = net.instance_with(ctx.obs.clone());
         let mut waveform = Vec::with_capacity(sc.steps);
         for k in 0..sc.steps {
+            ctx.tick(1)?;
             solver.set_source(spec.source, sc.stim.value(k as f64 * dt));
-            solver.step();
+            solver.try_step().map_err(SweepFault::Error)?;
             waveform.push(solver.node_voltage(spec.probe));
         }
         solver.flush_counters();
-        ElnRun {
+        Ok(ElnRun {
             name: sc.name.clone(),
             waveform,
-        }
+        })
     })
 }
 
@@ -428,11 +690,20 @@ mod tests {
                 stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 4, 2e-5, 0.0, 1.0)),
                 steps: 50,
                 newton_tol: None,
+                step_control: None,
             })
             .collect();
-        let out = run_ams_sweep(&SweepEngine::new().workers(3), &model, &scenarios).unwrap();
+        let out = run_ams_sweep(
+            &SweepEngine::new().workers(3),
+            &model,
+            &scenarios,
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap();
         assert_eq!(out.results.len(), 6);
-        for run in &out.results {
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 6);
+        for outcome in &out.results {
+            let run = outcome.ok().expect("healthy scenarios complete");
             assert_eq!(run.waveform.len(), 50);
             assert!(run.newton_iters > 0);
         }
@@ -456,8 +727,169 @@ mod tests {
             stim: Box::new(PiecewiseConstant::seeded(1, 2, 1e-5, 0.0, 1.0)),
             steps: 10,
             newton_tol: Some(0.0),
+            step_control: None,
         }];
-        let err = run_ams_sweep(&SweepEngine::new().workers(1), &model, &scenarios);
+        let err = run_ams_sweep(
+            &SweepEngine::new().workers(1),
+            &model,
+            &scenarios,
+            &ScenarioBudget::unlimited(),
+        );
         assert!(matches!(err, Err(AmsError::InvalidTolerance { .. })));
+
+        let scenarios = vec![AmsScenario {
+            name: "bad-control".into(),
+            stim: Box::new(PiecewiseConstant::seeded(1, 2, 1e-5, 0.0, 1.0)),
+            steps: 10,
+            newton_tol: None,
+            step_control: Some(amsim::StepControl::new(1.0)),
+        }];
+        let err = run_ams_sweep(
+            &SweepEngine::new().workers(1),
+            &model,
+            &scenarios,
+            &ScenarioBudget::unlimited(),
+        );
+        assert!(matches!(err, Err(AmsError::InvalidStepControl { .. })));
+    }
+
+    #[test]
+    fn panicking_scenario_is_contained() {
+        let engine = SweepEngine::new().workers(4);
+        let scenarios: Vec<u64> = (0..16).collect();
+        let out = engine.run_isolated::<_, _, (), _>(
+            &scenarios,
+            &ScenarioBudget::unlimited(),
+            |ctx, s| {
+                ctx.obs.add("body.entered", 1);
+                if *s == 7 {
+                    panic!("injected failure in scenario {s}");
+                }
+                Ok(s * s)
+            },
+        );
+        assert_eq!(out.results.len(), 16);
+        for (i, r) in out.results.iter().enumerate() {
+            if i == 7 {
+                match r {
+                    ScenarioOutcome::Panicked(msg) => {
+                        assert!(msg.contains("injected failure"), "payload lost: {msg}")
+                    }
+                    other => panic!("slot 7: want Panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.ok().expect("healthy slot"), (i * i) as u64);
+            }
+        }
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 15);
+        assert_eq!(out.report.counter("sweep.scenarios.panicked"), 1);
+        assert_eq!(out.report.counter("sweep.scenarios.failed"), 0);
+        assert_eq!(out.report.counter("sweep.scenarios.budget"), 0);
+        // The panicking body still entered and its obs merged.
+        assert_eq!(out.report.counter("body.entered"), 16);
+    }
+
+    #[test]
+    fn typed_failures_land_in_their_slot() {
+        let engine = SweepEngine::new().workers(2);
+        let scenarios: Vec<u64> = (0..8).collect();
+        let out = engine.run_isolated(&scenarios, &ScenarioBudget::unlimited(), |_, s| {
+            if s % 3 == 0 {
+                Err(SweepFault::Error(format!("no solution for {s}")))
+            } else {
+                Ok(*s)
+            }
+        });
+        let failed: Vec<usize> = out
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, ScenarioOutcome::Failed(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![0, 3, 6]);
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 5);
+        assert_eq!(out.report.counter("sweep.scenarios.failed"), 3);
+    }
+
+    #[test]
+    fn step_budget_cuts_runaway_scenarios() {
+        let engine = SweepEngine::new().workers(2);
+        let scenarios: Vec<u64> = (0..4).collect();
+        let budget = ScenarioBudget::unlimited().max_steps(10);
+        let out = engine.run_isolated::<_, _, (), _>(&scenarios, &budget, |ctx, s| {
+            // Scenario 2 never stops on its own.
+            let steps = if *s == 2 { u64::MAX } else { 5 };
+            let mut done = 0u64;
+            while done < steps {
+                ctx.tick(1)?;
+                done += 1;
+            }
+            Ok(done)
+        });
+        for (i, r) in out.results.iter().enumerate() {
+            if i == 2 {
+                match r {
+                    ScenarioOutcome::Budget(b) => {
+                        assert_eq!(b.steps, 11, "tripped on the first step past the cap");
+                        assert_eq!(b.max_steps, Some(10));
+                    }
+                    other => panic!("slot 2: want Budget, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.ok().expect("within budget"), 5);
+            }
+        }
+        assert_eq!(out.report.counter("sweep.scenarios.budget"), 1);
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 3);
+    }
+
+    #[test]
+    fn eln_sweep_isolates_divergence() {
+        let mut net = eln::ElnNetwork::new();
+        let a = net.node("a");
+        let out_node = net.node("out");
+        let v = net.vsource("vin", a, eln::ElnNetwork::GROUND);
+        net.resistor("r", a, out_node, 5e3);
+        net.capacitor("c", out_node, eln::ElnNetwork::GROUND, 25e-9);
+        let compiled = eln::Transient::new(&net).dt(1e-6).compile().unwrap();
+        struct NanAt(usize, usize);
+        impl Stimulus for NanAt {
+            fn value(&self, t: f64) -> f64 {
+                let k = (t / 1e-6).round() as usize;
+                if self.0 == 1 && k >= self.1 {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            }
+        }
+        let scenarios: Vec<ElnScenario> = (0..4)
+            .map(|i| ElnScenario {
+                name: format!("e{i}"),
+                stim: Box::new(NanAt(i, 3)),
+                steps: 8,
+            })
+            .collect();
+        let spec = ElnSweepSpec {
+            source: v,
+            probe: out_node,
+        };
+        let out = run_eln_sweep(
+            &SweepEngine::new().workers(2),
+            &compiled,
+            spec,
+            &scenarios,
+            &ScenarioBudget::unlimited(),
+        );
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 3);
+        assert_eq!(out.report.counter("sweep.scenarios.failed"), 1);
+        match &out.results[1] {
+            ScenarioOutcome::Failed(ElnError::NonFiniteSolution { .. }) => {}
+            other => panic!("slot 1: want NonFiniteSolution, got {other:?}"),
+        }
+        for i in [0usize, 2, 3] {
+            assert_eq!(out.results[i].ok().expect("healthy").waveform.len(), 8);
+        }
     }
 }

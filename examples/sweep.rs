@@ -13,7 +13,9 @@
 
 use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
 use obs::Obs;
-use sweep::{run_ams_sweep, AmsScenario, SweepEngine, SweepOutcome};
+use sweep::{
+    run_ams_sweep, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine, SweepOutcome,
+};
 
 const DT: f64 = 50e-9;
 const STEPS: usize = 4000;
@@ -38,15 +40,21 @@ fn scenarios() -> Vec<AmsScenario> {
             )),
             steps: STEPS,
             newton_tol: Some(tolerances[i % tolerances.len()]),
+            step_control: None,
         })
         .collect()
 }
 
-fn waveform_bits(outcome: &SweepOutcome<sweep::AmsRun>) -> Vec<Vec<u64>> {
+fn waveform_bits(
+    outcome: &SweepOutcome<ScenarioOutcome<sweep::AmsRun, amsim::AmsError>>,
+) -> Vec<Vec<u64>> {
     outcome
         .results
         .iter()
-        .map(|r| r.waveform.iter().map(|v| v.to_bits()).collect())
+        .map(|r| {
+            let run = r.ok().expect("healthy scenarios complete");
+            run.waveform.iter().map(|v| v.to_bits()).collect()
+        })
         .collect()
 }
 
@@ -65,10 +73,21 @@ fn main() {
         model.dt()
     );
 
-    let sequential =
-        run_ams_sweep(&SweepEngine::new().workers(1), &model, &scenarios()).expect("sweep runs");
-    let parallel = run_ams_sweep(&SweepEngine::new().workers(WORKERS), &model, &scenarios())
-        .expect("sweep runs");
+    let budget = ScenarioBudget::unlimited();
+    let sequential = run_ams_sweep(
+        &SweepEngine::new().workers(1),
+        &model,
+        &scenarios(),
+        &budget,
+    )
+    .expect("sweep runs");
+    let parallel = run_ams_sweep(
+        &SweepEngine::new().workers(WORKERS),
+        &model,
+        &scenarios(),
+        &budget,
+    )
+    .expect("sweep runs");
 
     assert_eq!(
         waveform_bits(&sequential),

@@ -1,0 +1,143 @@
+//! Satellite coverage for the stiff path: the diode clamp provably fails
+//! Newton at the nominal `dt = 1e-4` (the full-scale edge overshoots far
+//! up the exponential), completes under adaptive retry/backoff, and the
+//! adaptive waveform matches a fine-`dt` reference to ≤1e-5 NRMSE.
+//!
+//! Both runs discretize with backward Euler; the clamp's time constant
+//! (R·C = 1 µs) is far below the nominal step, so at every nominal
+//! boundary both trajectories sit at the settled operating point — the
+//! comparison checks the adaptive machinery lands on the same solution,
+//! not that two step sizes share truncation error.
+
+use amsim::{AmsError, Simulation, StepControl};
+use amsvp_core::circuits::{diode_clamp, SquareWave};
+use obs::Obs;
+
+const NOMINAL_DT: f64 = 1e-4;
+/// Fine reference step: `NOMINAL_DT / 1000`, small enough that the
+/// capacitor companion conductance keeps the first Newton iterate below
+/// the clamp voltage even on full-scale edges.
+const FINE_DT: f64 = 1e-7;
+const REFINE: usize = 1000;
+const STEPS: usize = 60;
+
+fn stimulus() -> SquareWave {
+    // Period = 40 nominal steps: edges at k = 20, 40 re-excite the clamp.
+    // The low level keeps the diode conducting — with the clamp off, a
+    // single nominal backward-Euler step legitimately leaves a
+    // `1/(1 + dt/τ)` decay residue (~1%) that is truncation error, not a
+    // solver fault, and would swamp the NRMSE budget.
+    SquareWave {
+        period: 40.0 * NOMINAL_DT,
+        high: 1.0,
+        low: 0.8,
+    }
+}
+
+#[test]
+fn fixed_dt_provably_fails_on_the_clamp() {
+    let m = vams_parser::parse_module(&diode_clamp()).unwrap();
+    let mut sim = Simulation::new(&m)
+        .dt(NOMINAL_DT)
+        .output("V(out)")
+        .build()
+        .unwrap();
+    match sim.try_step(&[1.0]) {
+        Err(AmsError::NoConvergence {
+            time,
+            iterations,
+            residual_norm,
+            dt,
+        }) => {
+            assert_eq!(time, 0.0);
+            assert!(iterations > 0);
+            assert!(
+                residual_norm.is_finite() && residual_norm > 0.0,
+                "best residual norm must be a usable diagnostic, got {residual_norm}"
+            );
+            assert_eq!(dt, NOMINAL_DT, "error must carry the failing step");
+        }
+        other => panic!("want NoConvergence at fixed dt, got {other:?}"),
+    }
+    // The failed step left the simulator at its initial state.
+    assert_eq!(sim.time(), 0.0);
+}
+
+#[test]
+fn adaptive_run_matches_fine_reference_within_nrmse() {
+    let m = vams_parser::parse_module(&diode_clamp()).unwrap();
+    let stim = stimulus();
+
+    // Adaptive run at the failing nominal step.
+    let obs = Obs::recording();
+    let mut adaptive = Simulation::new(&m)
+        .dt(NOMINAL_DT)
+        .output("V(out)")
+        .step_control(StepControl::new(1e-9).max_retries(20))
+        .collector(obs.clone())
+        .build()
+        .unwrap();
+    let mut wave = Vec::with_capacity(STEPS);
+    for k in 0..STEPS {
+        let u = stim.value(k as f64 * NOMINAL_DT);
+        adaptive
+            .try_step(&[u])
+            .unwrap_or_else(|e| panic!("adaptive step {k} failed: {e}"));
+        wave.push(adaptive.output(0));
+    }
+    assert!(
+        (adaptive.time() - STEPS as f64 * NOMINAL_DT).abs() < 1e-12,
+        "adaptive run must close every nominal interval exactly"
+    );
+    assert!(adaptive.steps_rejected() > 0, "clamp edges must reject");
+    assert!(adaptive.step_retries() > 0);
+    assert!(adaptive.dt_shrinks() > 0);
+    assert!(
+        adaptive.dt_grows() > 0,
+        "dt must regrow toward nominal between edges"
+    );
+    drop(adaptive);
+    let report = obs.report().unwrap();
+    assert!(report.counter("amsim.step.rejected") > 0);
+    assert!(report.counter("amsim.step.dt_shrink") > 0);
+    assert!(report.counter("amsim.step.dt_grow") > 0);
+    assert!(
+        report.timers["amsim.dt"].count > STEPS as u64,
+        "sub-stepping must accept more sub-steps than nominal steps"
+    );
+
+    // Fine-dt reference, inputs held per *nominal* index (zero-order
+    // hold, exactly the drive the adaptive run saw).
+    let mut reference = Simulation::new(&m)
+        .dt(FINE_DT)
+        .output("V(out)")
+        .build()
+        .unwrap();
+    let mut ref_wave = Vec::with_capacity(STEPS);
+    for kf in 0..STEPS * REFINE {
+        let u = stim.value((kf / REFINE) as f64 * NOMINAL_DT);
+        reference
+            .try_step(&[u])
+            .unwrap_or_else(|e| panic!("reference step {kf} failed: {e}"));
+        if (kf + 1) % REFINE == 0 {
+            ref_wave.push(reference.output(0));
+        }
+    }
+
+    let scale = ref_wave.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    assert!(
+        scale > 0.05,
+        "reference waveform suspiciously small: {scale}"
+    );
+    let mse = wave
+        .iter()
+        .zip(&ref_wave)
+        .map(|(a, r)| (a - r) * (a - r))
+        .sum::<f64>()
+        / STEPS as f64;
+    let nrmse = mse.sqrt() / scale;
+    assert!(
+        nrmse <= 1e-5,
+        "adaptive vs fine-dt reference NRMSE {nrmse:.3e} exceeds 1e-5"
+    );
+}

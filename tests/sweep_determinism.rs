@@ -11,7 +11,9 @@ use std::sync::Arc;
 use amsim::{CompiledModel, Simulation};
 use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
 use obs::{Obs, Report};
-use sweep::{run_ams_sweep, AmsScenario, SweepEngine, SweepOutcome};
+use sweep::{
+    run_ams_sweep, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine, SweepOutcome,
+};
 
 const DIODE: &str = "module dio(in, out);
    input in; output out;
@@ -56,6 +58,7 @@ fn scenarios(n: usize, steps: usize, hold: f64, hi: f64) -> Vec<AmsScenario> {
                 1 => Some(1e-9),
                 _ => Some(1e-6),
             },
+            step_control: None,
         })
         .collect()
 }
@@ -71,11 +74,16 @@ fn solver_counters(report: &Report) -> Vec<(String, u64)> {
         .collect()
 }
 
-fn waveform_bits(outcome: &SweepOutcome<sweep::AmsRun>) -> Vec<Vec<u64>> {
+type AmsOutcome = SweepOutcome<ScenarioOutcome<sweep::AmsRun, amsim::AmsError>>;
+
+fn waveform_bits(outcome: &AmsOutcome) -> Vec<Vec<u64>> {
     outcome
         .results
         .iter()
-        .map(|r| r.waveform.iter().map(|v| v.to_bits()).collect())
+        .map(|r| {
+            let run = r.ok().expect("healthy scenarios complete");
+            run.waveform.iter().map(|v| v.to_bits()).collect()
+        })
         .collect()
 }
 
@@ -86,11 +94,17 @@ fn worker_count_never_changes_results() {
         ("diode", DIODE.to_string(), 1e-6, 200, 0.75),
     ] {
         let model = compile(&source, dt);
-        let runs: Vec<SweepOutcome<sweep::AmsRun>> = [1usize, 2, 8]
+        let runs: Vec<AmsOutcome> = [1usize, 2, 8]
             .into_iter()
             .map(|w| {
                 let engine = SweepEngine::new().workers(w);
-                run_ams_sweep(&engine, &model, &scenarios(12, steps, 40.0 * dt, hi)).unwrap()
+                run_ams_sweep(
+                    &engine,
+                    &model,
+                    &scenarios(12, steps, 40.0 * dt, hi),
+                    &ScenarioBudget::unlimited(),
+                )
+                .unwrap()
             })
             .collect();
 
@@ -127,7 +141,13 @@ fn model_is_compiled_once_no_matter_the_sweep_size() {
             .compile()
             .unwrap();
         let engine = SweepEngine::new().workers(4);
-        let out = run_ams_sweep(&engine, &model, &scenarios(n_scenarios, 50, 2e-5, 1.0)).unwrap();
+        let out = run_ams_sweep(
+            &engine,
+            &model,
+            &scenarios(n_scenarios, 50, 2e-5, 1.0),
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap();
         let mut merged = obs.report().unwrap();
         merged.merge(&out.report);
         merged.counter("amsim.jacobian.builds")

@@ -1,0 +1,212 @@
+//! Acceptance scenario for fault-isolated sweeps: 64 diode-clamp
+//! scenarios with two injected faults — one panicking stimulus, one
+//! non-convergent fixed-dt run — must yield 62 bit-identical waveforms
+//! plus 2 typed fault records for any worker count, with no lost or
+//! duplicated indices.
+
+use std::sync::Arc;
+
+use amsim::{AmsError, CompiledModel, Simulation, StepControl};
+use amsvp_core::circuits::{diode_clamp, PiecewiseConstant, SquareWave, Stimulus};
+use obs::Report;
+use sweep::{
+    run_ams_sweep, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine, SweepOutcome,
+};
+
+const DT: f64 = 1e-4;
+const STEPS: usize = 30;
+const N: usize = 64;
+const PANIC_AT: usize = 13;
+const DIVERGE_AT: usize = 37;
+
+/// Stimulus that blows up mid-run: drives 0.8 V, then panics once the
+/// requested time is reached — simulating a buggy user waveform.
+struct PanicAt(f64);
+
+impl Stimulus for PanicAt {
+    fn value(&self, t: f64) -> f64 {
+        assert!(t < self.0, "injected stimulus failure at t = {t}");
+        0.8
+    }
+}
+
+fn compile_clamp() -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(&diode_clamp()).unwrap();
+    Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+fn scenarios() -> Vec<AmsScenario> {
+    (0..N)
+        .map(|i| {
+            if i == PANIC_AT {
+                AmsScenario {
+                    name: format!("s{i}-panic"),
+                    stim: Box::new(PanicAt(5.0 * DT)),
+                    steps: STEPS,
+                    newton_tol: None,
+                    step_control: Some(StepControl::new(1e-9).max_retries(20)),
+                }
+            } else if i == DIVERGE_AT {
+                // Fixed-dt (no step control) against a full-scale edge:
+                // deterministic NoConvergence on the first step.
+                AmsScenario {
+                    name: format!("s{i}-diverge"),
+                    stim: Box::new(SquareWave {
+                        period: 20.0 * DT,
+                        high: 1.0,
+                        low: 0.8,
+                    }),
+                    steps: STEPS,
+                    newton_tol: None,
+                    step_control: None,
+                }
+            } else {
+                AmsScenario {
+                    name: format!("s{i}"),
+                    stim: Box::new(PiecewiseConstant::seeded(
+                        i as u64 + 1,
+                        5,
+                        6.0 * DT,
+                        0.0,
+                        0.8,
+                    )),
+                    steps: STEPS,
+                    newton_tol: None,
+                    step_control: Some(StepControl::new(1e-9).max_retries(20)),
+                }
+            }
+        })
+        .collect()
+}
+
+type ClampOutcome = SweepOutcome<ScenarioOutcome<sweep::AmsRun, AmsError>>;
+
+fn ok_waveform_bits(out: &ClampOutcome) -> Vec<(usize, Vec<u64>)> {
+    out.results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            r.ok()
+                .map(|run| (i, run.waveform.iter().map(|v| v.to_bits()).collect()))
+        })
+        .collect()
+}
+
+/// Merged counters with the scheduling-dependent `sweep.workers` /
+/// `sweep.worker.*` family stripped; everything else — solver work and
+/// the fault tallies included — must not depend on worker count.
+fn stable_counters(report: &Report) -> Vec<(String, u64)> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.starts_with("sweep.worker"))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+#[test]
+fn two_faults_sixty_two_survivors_any_worker_count() {
+    let model = compile_clamp();
+    let runs: Vec<ClampOutcome> = [1usize, 2, 8]
+        .into_iter()
+        .map(|w| {
+            run_ams_sweep(
+                &SweepEngine::new().workers(w),
+                &model,
+                &scenarios(),
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    for (run, w) in runs.iter().zip([1usize, 2, 8]) {
+        assert_eq!(run.results.len(), N, "{w} workers: no lost indices");
+        // Fault records land exactly where they were injected.
+        match &run.results[PANIC_AT] {
+            ScenarioOutcome::Panicked(msg) => assert!(
+                msg.contains("injected stimulus failure"),
+                "{w} workers: panic payload lost: {msg}"
+            ),
+            other => panic!("{w} workers, slot {PANIC_AT}: want Panicked, got {other:?}"),
+        }
+        match &run.results[DIVERGE_AT] {
+            ScenarioOutcome::Failed(AmsError::NoConvergence {
+                residual_norm, dt, ..
+            }) => {
+                assert!(residual_norm.is_finite() && *residual_norm > 0.0);
+                assert_eq!(*dt, DT);
+            }
+            other => panic!("{w} workers, slot {DIVERGE_AT}: want NoConvergence, got {other:?}"),
+        }
+        // Fault tallies and per-worker conservation.
+        assert_eq!(run.report.counter("sweep.scenarios.ok"), (N - 2) as u64);
+        assert_eq!(run.report.counter("sweep.scenarios.failed"), 1);
+        assert_eq!(run.report.counter("sweep.scenarios.panicked"), 1);
+        assert_eq!(run.report.counter("sweep.scenarios.budget"), 0);
+        assert_eq!(run.report.counter("sweep.scenarios"), N as u64);
+        let per_worker: u64 = (0..w)
+            .map(|i| run.report.counter(&format!("sweep.worker.{i}.scenarios")))
+            .sum();
+        assert_eq!(per_worker, N as u64, "{w} workers: scenario conservation");
+        // Healthy adaptive scenarios exercised the backoff machinery.
+        assert!(run.report.counter("amsim.step.rejected") > 0);
+        assert!(run.report.counter("amsim.step.dt_grow") > 0);
+    }
+
+    // Survivors are bit-identical across worker counts, and so are the
+    // scheduling-independent merged counters (the faulted scenarios'
+    // partial counters flush on instance drop, deterministically).
+    let reference_waves = ok_waveform_bits(&runs[0]);
+    assert_eq!(reference_waves.len(), N - 2);
+    let reference_counters = stable_counters(&runs[0].report);
+    for run in &runs[1..] {
+        assert_eq!(ok_waveform_bits(run), reference_waves);
+        assert_eq!(stable_counters(&run.report), reference_counters);
+    }
+}
+
+#[test]
+fn step_budget_records_typed_outcome() {
+    let model = compile_clamp();
+    // Healthy scenarios only, but a cap below the per-scenario step
+    // count: every slot must come back as a Budget record, tripped on
+    // the first tick past the cap.
+    let cap = (STEPS / 2) as u64;
+    let scenarios: Vec<AmsScenario> = (0..4)
+        .map(|i| AmsScenario {
+            name: format!("b{i}"),
+            stim: Box::new(PiecewiseConstant::seeded(
+                i as u64 + 1,
+                5,
+                6.0 * DT,
+                0.0,
+                0.8,
+            )),
+            steps: STEPS,
+            newton_tol: None,
+            step_control: Some(StepControl::new(1e-9).max_retries(20)),
+        })
+        .collect();
+    let out = run_ams_sweep(
+        &SweepEngine::new().workers(2),
+        &model,
+        &scenarios,
+        &ScenarioBudget::unlimited().max_steps(cap),
+    )
+    .unwrap();
+    assert_eq!(out.report.counter("sweep.scenarios.budget"), 4);
+    for (i, r) in out.results.iter().enumerate() {
+        match r {
+            ScenarioOutcome::Budget(b) => {
+                assert_eq!(b.steps, cap + 1, "slot {i} trips right past the cap");
+                assert_eq!(b.max_steps, Some(cap));
+            }
+            other => panic!("slot {i}: want Budget, got {other:?}"),
+        }
+    }
+}

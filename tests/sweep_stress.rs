@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
-use sweep::{run_ams_sweep, AmsScenario, SweepEngine};
+use sweep::{run_ams_sweep, AmsScenario, ScenarioBudget, SweepEngine};
 
 #[test]
 fn two_hundred_scenarios_none_lost_none_duplicated() {
@@ -61,11 +61,19 @@ fn stress_with_real_instances_keeps_slots_straight() {
             stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 3, 5e-6, 0.0, 1.0)),
             steps: 12,
             newton_tol: None,
+            step_control: None,
         })
         .collect();
-    let out = run_ams_sweep(&SweepEngine::new().workers(8), &model, &scenarios).unwrap();
+    let out = run_ams_sweep(
+        &SweepEngine::new().workers(8),
+        &model,
+        &scenarios,
+        &ScenarioBudget::unlimited(),
+    )
+    .unwrap();
     assert_eq!(out.results.len(), 200);
-    for (i, run) in out.results.iter().enumerate() {
+    for (i, outcome) in out.results.iter().enumerate() {
+        let run = outcome.ok().expect("healthy scenarios complete");
         assert_eq!(
             run.name,
             format!("run-{i}"),
