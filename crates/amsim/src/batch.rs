@@ -1,0 +1,1165 @@
+//! Lane-batched transient execution: one [`CompiledModel`] stepped over
+//! `L` scenario lanes at once.
+//!
+//! # Layout
+//!
+//! Every per-lane vector is stored structure-of-arrays with the lane
+//! index contiguous: slot `s` of lane `l` lives at `slots[s * lanes + l]`.
+//! A compiled program then evaluates over all lanes per opcode
+//! ([`Program::eval_lanes`]) and the shared-factor linear solve runs over
+//! all lanes per substitution row ([`LuFactors::solve_lanes_into`]), so
+//! the inner loops stride adjacent memory and auto-vectorize.
+//!
+//! # Masking
+//!
+//! Lanes converge, reject and back off independently. A lane leaves the
+//! Newton iteration the moment it converges or faults; the batched
+//! residual pass still *computes* every lane (arithmetic on a retired
+//! lane's stale slots is harmless — IEEE ops never trap) but masked lanes
+//! are never *committed*: norms, factorization policy, state updates and
+//! history refresh consult the per-lane masks. The wasted lane-iterations
+//! are surfaced as the `amsim.batch.masked_iterations` counter next to
+//! `amsim.batch.lanes`.
+//!
+//! # Determinism
+//!
+//! A lane's trajectory is **bit-identical** to a scalar [`Instance`] run
+//! of the same scenario: per lane, the batch performs the same IEEE-754
+//! operations in the same order as the scalar hot path — only the loop
+//! nesting over lanes changes, never the arithmetic. Debug builds assert
+//! this against the scalar VM after every batched residual pass.
+
+use std::sync::Arc;
+
+use linalg::{FactorError, LuFactors, Matrix};
+use obs::{CounterTracker, Obs};
+
+use crate::sim::stamp_jacobian;
+use crate::sim::{AmsError, CompiledModel, Instance, StepControl};
+
+/// Per-lane solver state: everything the scalar [`Instance`] keeps
+/// per run, minus the (shared, SoA) slot/iterate storage.
+struct Lane {
+    /// Newton convergence tolerance for this lane.
+    newton_tol: f64,
+    /// Adaptive-stepping policy; `None` keeps strict fixed-`dt` stepping.
+    step_control: Option<StepControl>,
+    /// Current adaptive sub-step `h ≤ dt`; persists across nominal steps.
+    cur_dt: f64,
+    /// Consecutive first-try accepted sub-steps (drives regrowth).
+    accept_streak: u32,
+    /// Lane-owned LU factors, allocated lazily the first time this lane
+    /// refactors away from the model's shared zero-state factorization.
+    /// `None` means the lane still solves through `CompiledModel::init_lu`
+    /// — the case that enables the batched shared-factor solve.
+    lu: Option<LuFactors>,
+    /// Whether the lane's current factors (owned or shared) still
+    /// describe a usable linearization.
+    lu_valid: bool,
+    /// Simulated time of the last accepted sub-step.
+    time: f64,
+    /// Nominal steps completed.
+    steps: u64,
+    /// Newton iterations spent by this lane.
+    newton_iters: u64,
+    /// Terminal fault, if the lane has been retired by one.
+    error: Option<AmsError>,
+    /// Whether the lane still participates in stepping.
+    active: bool,
+}
+
+/// A batch of `L` independent runs of one [`CompiledModel`], stepped
+/// together through lane-batched bytecode and linear algebra.
+///
+/// Obtain one via [`CompiledModel::batch_instance`] /
+/// [`CompiledModel::batch_instance_builder`]. Inputs and outputs are
+/// addressed `(index, lane)`; [`BatchInstance::try_step`] advances every
+/// active lane by one nominal step. A faulted lane is retired to a typed
+/// [`AmsError`] ([`BatchInstance::lane_error`]) without disturbing its
+/// siblings; see the [module docs](self) for layout, masking and the
+/// bit-determinism contract.
+pub struct BatchInstance {
+    model: Arc<CompiledModel>,
+    lanes: usize,
+    /// SoA evaluation state, `[slot][lane]`:
+    /// `[unknowns | inputs | ddt prev | idt state | h | 1/h]` × lanes.
+    slots: Vec<f64>,
+    /// Last accepted solution, `[unknown][lane]`.
+    x: Vec<f64>,
+    /// Warm-start / rewind state, `[unknown][lane]`.
+    x_prev: Vec<f64>,
+    lane: Vec<Lane>,
+
+    // ---- shared scratch ----
+    /// Residuals `[equation][lane]`, negated in place into the Newton rhs.
+    res: Vec<f64>,
+    /// Newton updates `[unknown][lane]`.
+    delta: Vec<f64>,
+    /// Batched VM operand stack (`[depth][lane]`).
+    stack: Vec<f64>,
+    /// Scalar VM stack for Jacobian stamping and the debug oracle.
+    scalar_stack: Vec<f64>,
+    /// One lane's slots gathered contiguously (Jacobian stamping, oracle).
+    gather: Vec<f64>,
+    /// Per-lane scalar solve rhs / solution (mixed-factor fallback path).
+    lane_rhs: Vec<f64>,
+    lane_delta: Vec<f64>,
+    /// Row accumulator for the batched shared-factor solve (`lanes` wide).
+    acc: Vec<f64>,
+    /// Batched program output (`lanes` wide) for history refresh.
+    lane_out: Vec<f64>,
+    /// Dense Jacobian storage, re-stamped per lane refactor.
+    jm: Matrix,
+
+    // ---- per-lane driver state (reused across steps) ----
+    h: Vec<f64>,
+    remaining: Vec<f64>,
+    rejects: Vec<u32>,
+    t_start: Vec<f64>,
+    stepping: Vec<bool>,
+    solving: Vec<bool>,
+    converged: Vec<bool>,
+    fault: Vec<Option<AmsError>>,
+    best: Vec<f64>,
+    prev_rel: Vec<f64>,
+    stale: Vec<u32>,
+    fresh: Vec<bool>,
+
+    // ---- aggregate counters (sum over lanes) ----
+    steps: u64,
+    newton_iters: u64,
+    jacobian_builds: u64,
+    lu_factorizations: u64,
+    jacobian_reuse_hits: u64,
+    jacobian_refactors: u64,
+    steps_rejected: u64,
+    step_retries: u64,
+    dt_shrinks: u64,
+    dt_grows: u64,
+    /// Lane-iterations computed but masked out (lane already converged,
+    /// faulted or retired while siblings kept iterating).
+    masked_iters: u64,
+
+    obs: Obs,
+    obs_steps: CounterTracker,
+    obs_newton: CounterTracker,
+    obs_jacobian: CounterTracker,
+    obs_factorizations: CounterTracker,
+    obs_reuse_hits: CounterTracker,
+    obs_refactors: CounterTracker,
+    obs_rejected: CounterTracker,
+    obs_retries: CounterTracker,
+    obs_shrinks: CounterTracker,
+    obs_grows: CounterTracker,
+    obs_lanes: CounterTracker,
+    obs_masked: CounterTracker,
+}
+
+/// Builder for a [`BatchInstance`] with per-lane settings — the batched
+/// analogue of [`InstanceBuilder`](crate::InstanceBuilder).
+#[must_use = "call build() to construct the batch instance"]
+pub struct BatchInstanceBuilder {
+    model: Arc<CompiledModel>,
+    obs: Obs,
+    newton_tols: Vec<f64>,
+    step_controls: Vec<Option<StepControl>>,
+}
+
+impl BatchInstanceBuilder {
+    /// Attaches an instrumentation collector; the batch reports the same
+    /// `amsim.*` counter families as a scalar instance (aggregated over
+    /// lanes) plus `amsim.batch.lanes` and
+    /// `amsim.batch.masked_iterations`.
+    pub fn collector(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides the Newton convergence tolerance for every lane.
+    pub fn newton_tol(mut self, tol: f64) -> Self {
+        self.newton_tols.fill(tol);
+        self
+    }
+
+    /// Overrides the Newton convergence tolerance for one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_newton_tol(mut self, lane: usize, tol: f64) -> Self {
+        self.newton_tols[lane] = tol;
+        self
+    }
+
+    /// Overrides the adaptive-stepping policy for every lane — pass a
+    /// [`StepControl`] to enable retry/backoff, or `None` to force
+    /// fixed-`dt` stepping even when the model carries a default.
+    pub fn step_control(mut self, sc: impl Into<Option<StepControl>>) -> Self {
+        self.step_controls.fill(sc.into());
+        self
+    }
+
+    /// Overrides the adaptive-stepping policy for one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_step_control(mut self, lane: usize, sc: impl Into<Option<StepControl>>) -> Self {
+        self.step_controls[lane] = sc.into();
+        self
+    }
+
+    /// Creates the batch instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmsError::InvalidTolerance`] when any lane's tolerance is not
+    ///   positive and finite;
+    /// * [`AmsError::InvalidStepControl`] when any lane's step-control
+    ///   override is inconsistent with the model's nominal step.
+    pub fn build(self) -> Result<BatchInstance, AmsError> {
+        for &tol in &self.newton_tols {
+            if !(tol.is_finite() && tol > 0.0) {
+                return Err(AmsError::InvalidTolerance { tol });
+            }
+        }
+        for sc in self.step_controls.iter().flatten() {
+            sc.validate(self.model.dt)?;
+        }
+        Ok(BatchInstance::with_model(
+            self.model,
+            self.obs,
+            self.newton_tols,
+            self.step_controls,
+        ))
+    }
+}
+
+impl CompiledModel {
+    /// Spawns a lane-batched instance over `lanes` independent runs with
+    /// the model's default tolerance and step-control policy in every
+    /// lane and no collector — the cheap path for batched sweep workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn batch_instance(self: &Arc<Self>, lanes: usize) -> BatchInstance {
+        self.batch_instance_builder(lanes)
+            .build()
+            .expect("model defaults validated at compile time")
+    }
+
+    /// Starts a [`BatchInstanceBuilder`] for a batch with per-lane
+    /// settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn batch_instance_builder(self: &Arc<Self>, lanes: usize) -> BatchInstanceBuilder {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        BatchInstanceBuilder {
+            model: Arc::clone(self),
+            obs: Obs::none(),
+            newton_tols: vec![self.newton_tol; lanes],
+            step_controls: vec![self.step_control; lanes],
+        }
+    }
+}
+
+impl BatchInstance {
+    fn with_model(
+        model: Arc<CompiledModel>,
+        obs: Obs,
+        newton_tols: Vec<f64>,
+        step_controls: Vec<Option<StepControl>>,
+    ) -> BatchInstance {
+        let lanes = newton_tols.len();
+        let n = model.unknowns.len();
+        let mut slots = vec![0.0; model.slot_count * lanes];
+        // Per-lane step slots, written with the same ops as the scalar
+        // constructor so lane 0 of a fresh batch equals a fresh instance.
+        for l in 0..lanes {
+            slots[model.dt_slot * lanes + l] = model.dt;
+            slots[(model.dt_slot + 1) * lanes + l] = 1.0 / model.dt;
+        }
+        let lu_valid = model.init_lu.is_some();
+        let lane: Vec<Lane> = newton_tols
+            .into_iter()
+            .zip(step_controls)
+            .map(|(newton_tol, step_control)| Lane {
+                newton_tol,
+                step_control,
+                cur_dt: model.dt,
+                accept_streak: 0,
+                lu: None,
+                lu_valid,
+                time: 0.0,
+                steps: 0,
+                newton_iters: 0,
+                error: None,
+                active: true,
+            })
+            .collect();
+        BatchInstance {
+            lanes,
+            slots,
+            x: vec![0.0; n * lanes],
+            x_prev: vec![0.0; n * lanes],
+            lane,
+            res: vec![0.0; n * lanes],
+            delta: vec![0.0; n * lanes],
+            stack: Vec::new(),
+            scalar_stack: Vec::with_capacity(model.max_stack),
+            gather: vec![0.0; model.slot_count],
+            lane_rhs: vec![0.0; n],
+            lane_delta: vec![0.0; n],
+            acc: vec![0.0; lanes],
+            lane_out: vec![0.0; lanes],
+            jm: Matrix::zeros(n, n),
+            h: vec![0.0; lanes],
+            remaining: vec![0.0; lanes],
+            rejects: vec![0; lanes],
+            t_start: vec![0.0; lanes],
+            stepping: vec![false; lanes],
+            solving: vec![false; lanes],
+            converged: vec![false; lanes],
+            fault: vec![None; lanes],
+            best: vec![0.0; lanes],
+            prev_rel: vec![0.0; lanes],
+            stale: vec![0; lanes],
+            fresh: vec![false; lanes],
+            steps: 0,
+            newton_iters: 0,
+            jacobian_builds: 0,
+            lu_factorizations: 0,
+            jacobian_reuse_hits: 0,
+            jacobian_refactors: 0,
+            steps_rejected: 0,
+            step_retries: 0,
+            dt_shrinks: 0,
+            dt_grows: 0,
+            masked_iters: 0,
+            obs,
+            obs_steps: CounterTracker::default(),
+            obs_newton: CounterTracker::default(),
+            obs_jacobian: CounterTracker::default(),
+            obs_factorizations: CounterTracker::default(),
+            obs_reuse_hits: CounterTracker::default(),
+            obs_refactors: CounterTracker::default(),
+            obs_rejected: CounterTracker::default(),
+            obs_retries: CounterTracker::default(),
+            obs_shrinks: CounterTracker::default(),
+            obs_grows: CounterTracker::default(),
+            obs_lanes: CounterTracker::default(),
+            obs_masked: CounterTracker::default(),
+            model,
+        }
+    }
+
+    /// Number of lanes in the batch (fixed at construction).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lanes still participating in stepping.
+    pub fn active_lanes(&self) -> usize {
+        self.lane.iter().filter(|l| l.active).count()
+    }
+
+    /// Whether lane `l` still participates in stepping.
+    pub fn lane_active(&self, l: usize) -> bool {
+        self.lane[l].active
+    }
+
+    /// The typed fault that retired lane `l`, if any.
+    pub fn lane_error(&self, l: usize) -> Option<&AmsError> {
+        self.lane[l].error.as_ref()
+    }
+
+    /// Simulated time of lane `l`'s last accepted sub-step, in seconds.
+    pub fn lane_time(&self, l: usize) -> f64 {
+        self.lane[l].time
+    }
+
+    /// Newton iterations spent by lane `l` (performance counter).
+    pub fn lane_newton_iterations(&self, l: usize) -> u64 {
+        self.lane[l].newton_iters
+    }
+
+    /// Nominal steps completed by lane `l`.
+    pub fn lane_steps(&self, l: usize) -> u64 {
+        self.lane[l].steps
+    }
+
+    /// Value of output `i` in lane `l` after the last accepted step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `l` is out of range.
+    pub fn output(&self, i: usize, l: usize) -> f64 {
+        assert!(l < self.lanes, "lane out of range");
+        self.x[self.model.output_indices[i] * self.lanes + l]
+    }
+
+    /// The shared compiled artifact this batch steps over.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// Number of unknowns in the DAE system.
+    pub fn dim(&self) -> usize {
+        self.model.unknowns.len()
+    }
+
+    /// Lane-iterations computed but masked out so far (see module docs).
+    pub fn masked_iterations(&self) -> u64 {
+        self.masked_iters
+    }
+
+    /// Retires lane `l` without an error: it stops stepping (its state
+    /// and outputs freeze at the last accepted sub-step) and its slot in
+    /// every batched pass becomes masked overhead. Used when scenarios in
+    /// one block want different step counts. Idempotent.
+    pub fn retire(&mut self, l: usize) {
+        self.lane[l].active = false;
+    }
+
+    /// Writes the step slots of lane `l`. A changed step invalidates the
+    /// lane's cached LU factors, exactly as the scalar path does.
+    fn set_lane_dt(&mut self, l: usize, h: f64) {
+        let s = self.model.dt_slot * self.lanes + l;
+        if self.slots[s] != h {
+            self.slots[s] = h;
+            self.slots[s + self.lanes] = 1.0 / h;
+            self.lane[l].lu_valid = false;
+        }
+    }
+
+    /// Marks lane `l` failed for this sub-step attempt (driver decides
+    /// whether to back off or retire).
+    fn fail_lane(&mut self, l: usize, e: AmsError) {
+        self.fault[l] = Some(e);
+        self.solving[l] = false;
+    }
+
+    /// Retires lane `l` with a terminal fault.
+    fn retire_with(&mut self, l: usize, e: AmsError) {
+        self.lane[l].error = Some(e);
+        self.lane[l].active = false;
+    }
+
+    /// Builds and factors lane `l`'s Jacobian at its current slot state.
+    /// The lane's slots are gathered contiguously so the scalar stamping
+    /// routine (and its in-place numeric differencing) runs unchanged —
+    /// bit-identical entries to a scalar instance at the same state.
+    fn build_and_factor_lane(&mut self, l: usize, iteration: u32) -> Result<(), AmsError> {
+        let lanes = self.lanes;
+        let model = Arc::clone(&self.model);
+        self.jacobian_builds += 1;
+        for s in 0..model.slot_count {
+            self.gather[s] = self.slots[s * lanes + l];
+        }
+        stamp_jacobian(
+            &model.jacobian,
+            &model.programs,
+            &mut self.gather,
+            &mut self.scalar_stack,
+            &mut self.jm,
+        );
+        self.lu_factorizations += 1;
+        // First refactor allocates lane-owned factors; later ones refresh
+        // them in place. Both run the same elimination over the same
+        // matrix as the scalar `factor_into`, so the factors are
+        // bit-identical.
+        let r = if self.lane[l].lu.is_some() {
+            self.lane[l]
+                .lu
+                .as_mut()
+                .expect("checked just above")
+                .factor_into(&self.jm)
+        } else {
+            match LuFactors::factor(&self.jm) {
+                Ok(f) => {
+                    self.lane[l].lu = Some(f);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        };
+        match r {
+            Ok(()) => {
+                self.lane[l].lu_valid = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.lane[l].lu_valid = false;
+                Err(match e {
+                    FactorError::NonFinite { .. } => AmsError::NonFinite {
+                        time: self.lane[l].time,
+                        iteration,
+                        residual_norm: self.best[l],
+                    },
+                    _ => AmsError::Singular,
+                })
+            }
+        }
+    }
+
+    /// Asserts (debug builds only) that every solving lane's batched
+    /// residual is bit-identical to the scalar VM at the gathered lane
+    /// state — the determinism contract the sweep layers build on.
+    #[cfg(debug_assertions)]
+    fn debug_check_batch_oracle(&mut self) {
+        let lanes = self.lanes;
+        let model = Arc::clone(&self.model);
+        for l in 0..lanes {
+            if !self.solving[l] {
+                continue;
+            }
+            for s in 0..model.slot_count {
+                self.gather[s] = self.slots[s * lanes + l];
+            }
+            for (i, prog) in model.programs.iter().enumerate() {
+                let scalar = prog.eval(&self.gather, &mut self.scalar_stack);
+                let batch = self.res[i * lanes + l];
+                debug_assert!(
+                    scalar.to_bits() == batch.to_bits(),
+                    "batched residual {i} lane {l} diverged from scalar VM: \
+                     {batch:?} vs {scalar:?}"
+                );
+            }
+        }
+    }
+
+    /// Runs the Newton iteration over every lane flagged in
+    /// `self.solving`, with per-lane masking: a lane leaves the iteration
+    /// when it converges (`self.converged`) or faults (`self.fault`);
+    /// siblings keep iterating. Per lane, every decision — divergence
+    /// guards, factor/reuse policy, stall test, error payloads — mirrors
+    /// the scalar [`Instance`] solver exactly.
+    fn newton_solve_lanes(&mut self) {
+        let lanes = self.lanes;
+        let n = self.model.unknowns.len();
+        let model = Arc::clone(&self.model);
+        for l in 0..lanes {
+            self.converged[l] = false;
+            self.fault[l] = None;
+            if self.solving[l] {
+                self.best[l] = f64::INFINITY;
+                self.prev_rel[l] = f64::INFINITY;
+                self.stale[l] = 0;
+            }
+        }
+        for iter in 1..=Instance::MAX_NEWTON_ITERS {
+            let solving_count = self.solving.iter().filter(|&&s| s).count();
+            if solving_count == 0 {
+                return;
+            }
+            self.masked_iters += (lanes - solving_count) as u64;
+            self.newton_iters += solving_count as u64;
+            for l in 0..lanes {
+                if self.solving[l] {
+                    self.lane[l].newton_iters += 1;
+                }
+            }
+
+            // Batched residual pass over every lane (masked lanes are
+            // computed but never committed).
+            for (i, prog) in model.programs.iter().enumerate() {
+                prog.eval_lanes(
+                    &self.slots,
+                    lanes,
+                    &mut self.stack,
+                    &mut self.res[i * lanes..(i + 1) * lanes],
+                );
+            }
+            #[cfg(debug_assertions)]
+            self.debug_check_batch_oracle();
+
+            // Per-lane norm fold + modified-Newton factorization policy.
+            for l in 0..lanes {
+                if !self.solving[l] {
+                    continue;
+                }
+                let mut res_norm: f64 = 0.0;
+                let mut finite = true;
+                for i in 0..n {
+                    let v = self.res[i * lanes + l];
+                    finite &= v.is_finite();
+                    res_norm = res_norm.max(v.abs());
+                }
+                if !finite {
+                    self.lane[l].lu_valid = false;
+                    let e = AmsError::NonFinite {
+                        time: self.lane[l].time,
+                        iteration: iter,
+                        residual_norm: self.best[l],
+                    };
+                    self.fail_lane(l, e);
+                    continue;
+                }
+                self.best[l] = self.best[l].min(res_norm);
+                let fresh = !self.lane[l].lu_valid;
+                self.fresh[l] = fresh;
+                if fresh {
+                    if let Err(e) = self.build_and_factor_lane(l, iter) {
+                        self.fail_lane(l, e);
+                        continue;
+                    }
+                    self.stale[l] = 0;
+                } else {
+                    self.jacobian_reuse_hits += 1;
+                    self.stale[l] += 1;
+                }
+            }
+            if !self.solving.iter().any(|&s| s) {
+                continue; // every lane resolved during the fold
+            }
+
+            // Solve J·δ = −F. Negate the residual in place as the rhs
+            // (masked lanes included — their values are discarded), then
+            // either one batched multi-rhs solve through the shared
+            // zero-state factors or per-lane gathered solves when any
+            // solving lane owns its own factors.
+            self.res.iter_mut().for_each(|v| *v = -*v);
+            let shared = model.init_lu.is_some()
+                && (0..lanes).all(|l| !self.solving[l] || self.lane[l].lu.is_none());
+            if shared {
+                model
+                    .init_lu
+                    .as_ref()
+                    .expect("checked above")
+                    .solve_lanes_into(&self.res, &mut self.delta, lanes, &mut self.acc);
+            } else {
+                for l in 0..lanes {
+                    if !self.solving[l] {
+                        continue;
+                    }
+                    for i in 0..n {
+                        self.lane_rhs[i] = self.res[i * lanes + l];
+                    }
+                    let lu = match self.lane[l].lu.as_ref() {
+                        Some(lu) => lu,
+                        None => model
+                            .init_lu
+                            .as_ref()
+                            .expect("a lane without owned factors solves through init_lu"),
+                    };
+                    lu.solve_into(&self.lane_rhs, &mut self.lane_delta);
+                    for i in 0..n {
+                        self.delta[i * lanes + l] = self.lane_delta[i];
+                    }
+                }
+            }
+
+            // Per-lane update, divergence guard, convergence and stall
+            // tests.
+            for l in 0..lanes {
+                if !self.solving[l] {
+                    continue;
+                }
+                let mut max_rel: f64 = 0.0;
+                let mut update_finite = true;
+                for i in 0..n {
+                    let di = self.delta[i * lanes + l];
+                    let xi = &mut self.slots[i * lanes + l];
+                    *xi += di;
+                    update_finite &= xi.is_finite();
+                    max_rel = max_rel.max(di.abs() / (1.0 + xi.abs()));
+                }
+                if !update_finite {
+                    self.lane[l].lu_valid = false;
+                    let e = AmsError::NonFinite {
+                        time: self.lane[l].time,
+                        iteration: iter,
+                        residual_norm: self.best[l],
+                    };
+                    self.fail_lane(l, e);
+                    continue;
+                }
+                if max_rel < self.lane[l].newton_tol {
+                    self.converged[l] = true;
+                    self.solving[l] = false;
+                    continue;
+                }
+                let contracting = max_rel < 0.5 * self.prev_rel[l];
+                let stalled = !contracting || self.stale[l] >= Instance::MAX_STALE_ITERS;
+                if !self.fresh[l] && stalled {
+                    self.lane[l].lu_valid = false;
+                    self.jacobian_refactors += 1;
+                }
+                self.prev_rel[l] = max_rel;
+            }
+        }
+        // Lanes still solving exhausted the iteration budget.
+        for l in 0..lanes {
+            if !self.solving[l] {
+                continue;
+            }
+            self.lane[l].lu_valid = false;
+            let e = AmsError::NoConvergence {
+                time: self.lane[l].time,
+                iterations: Instance::MAX_NEWTON_ITERS,
+                residual_norm: self.best[l],
+                dt: self.h[l],
+            };
+            self.fail_lane(l, e);
+        }
+    }
+
+    /// Commits every converged lane's iterate after a solve: refreshes
+    /// the `ddt`/`idt` history (sequentially in `k`, batched over lanes),
+    /// publishes the solution and advances lane time. Masked lanes'
+    /// history, state and time are untouched.
+    fn accept_lanes(&mut self) {
+        if !self.converged.iter().any(|&c| c) {
+            return;
+        }
+        let lanes = self.lanes;
+        let n = self.model.unknowns.len();
+        let model = Arc::clone(&self.model);
+        for k in 0..model.ddt_progs.len() {
+            model.ddt_progs[k].eval_lanes(&self.slots, lanes, &mut self.stack, &mut self.lane_out);
+            let base = (model.ddt_off + k) * lanes;
+            for l in 0..lanes {
+                if self.converged[l] {
+                    self.slots[base + l] = self.lane_out[l];
+                }
+            }
+        }
+        for k in 0..model.idt_progs.len() {
+            model.idt_progs[k].eval_lanes(&self.slots, lanes, &mut self.stack, &mut self.lane_out);
+            let base = (model.idt_off + k) * lanes;
+            for l in 0..lanes {
+                if self.converged[l] {
+                    self.slots[base + l] += self.h[l] * self.lane_out[l];
+                }
+            }
+        }
+        for i in 0..n {
+            for l in 0..lanes {
+                if self.converged[l] {
+                    let v = self.slots[i * lanes + l];
+                    self.x[i * lanes + l] = v;
+                    self.x_prev[i * lanes + l] = v;
+                }
+            }
+        }
+        for l in 0..lanes {
+            if self.converged[l] {
+                self.lane[l].time += self.h[l];
+            }
+        }
+    }
+
+    /// Advances every active lane by one nominal step and returns how
+    /// many lanes completed it.
+    ///
+    /// `inputs` is a `[input][lane]` block (`input_count * lanes` values,
+    /// lane index contiguous) applied with zero-order hold across any
+    /// adaptive sub-steps, exactly like the scalar path. Lanes reject and
+    /// back off independently under their own [`StepControl`]; a lane
+    /// that exhausts its budget (or faults without one) is retired with
+    /// its typed error — inspect [`BatchInstance::lane_error`] — while
+    /// siblings complete normally. Retired lanes are skipped (masked) and
+    /// never contribute to the return count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count * lanes`.
+    pub fn try_step(&mut self, inputs: &[f64]) -> usize {
+        let lanes = self.lanes;
+        let n = self.model.unknowns.len();
+        let n_inputs = self.model.input_names.len();
+        assert_eq!(inputs.len(), n_inputs * lanes, "input lane-block arity");
+        let off = self.model.input_off * lanes;
+        self.slots[off..off + inputs.len()].copy_from_slice(inputs);
+        let nominal = self.model.dt;
+
+        for l in 0..lanes {
+            self.stepping[l] = self.lane[l].active;
+            self.remaining[l] = nominal;
+            self.rejects[l] = 0;
+            self.t_start[l] = self.lane[l].time;
+        }
+        let mut completed = 0usize;
+
+        loop {
+            // Open the next sub-step attempt per lane: pick `h`, write the
+            // step slots, rewind the iterate to the last accepted state.
+            // Lanes whose interval has closed snap to the exact nominal
+            // boundary (same `t_start + nominal` arithmetic as scalar).
+            let mut any = false;
+            for l in 0..lanes {
+                if !self.stepping[l] {
+                    continue;
+                }
+                if self.remaining[l] <= nominal * 1e-12 {
+                    self.lane[l].time = self.t_start[l] + nominal;
+                    self.lane[l].steps += 1;
+                    self.steps += 1;
+                    self.stepping[l] = false;
+                    completed += 1;
+                    continue;
+                }
+                any = true;
+                let h = self.lane[l].cur_dt.min(self.remaining[l]);
+                self.h[l] = h;
+                self.set_lane_dt(l, h);
+                for i in 0..n {
+                    self.slots[i * lanes + l] = self.x_prev[i * lanes + l];
+                }
+                self.solving[l] = true;
+            }
+            if !any {
+                break;
+            }
+
+            self.newton_solve_lanes();
+            self.accept_lanes();
+
+            // Per-lane accept/reject bookkeeping, mirroring the scalar
+            // fixed and adaptive drivers.
+            for l in 0..lanes {
+                if !self.stepping[l] {
+                    continue;
+                }
+                if self.converged[l] {
+                    self.remaining[l] -= self.h[l];
+                    self.rejects[l] = 0;
+                    if let Some(sc) = self.lane[l].step_control {
+                        if self.obs.enabled() {
+                            self.obs.time("amsim.dt", self.h[l]);
+                        }
+                        if self.lane[l].cur_dt < nominal {
+                            self.lane[l].accept_streak += 1;
+                            if self.lane[l].accept_streak >= sc.grow_streak {
+                                self.lane[l].cur_dt = (2.0 * self.lane[l].cur_dt).min(nominal);
+                                self.dt_grows += 1;
+                                self.lane[l].accept_streak = 0;
+                            }
+                        }
+                    }
+                } else {
+                    let e = self.fault[l].take().expect("attempted lane resolved");
+                    match self.lane[l].step_control {
+                        // Fixed-dt lane: surface the failure immediately.
+                        None => {
+                            self.retire_with(l, e);
+                            self.stepping[l] = false;
+                        }
+                        Some(sc) => {
+                            self.steps_rejected += 1;
+                            self.lane[l].accept_streak = 0;
+                            self.rejects[l] += 1;
+                            let half = 0.5 * self.h[l];
+                            if self.rejects[l] > sc.max_retries || half < sc.min_dt {
+                                // Budget exhausted: retire with the last
+                                // solver error. Lane state and time stay
+                                // at the last accepted sub-step.
+                                self.retire_with(l, e);
+                                self.stepping[l] = false;
+                            } else {
+                                self.step_retries += 1;
+                                self.lane[l].cur_dt = half;
+                                self.dt_shrinks += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        completed
+    }
+
+    /// Reports counter deltas to the attached collector: the scalar
+    /// `amsim.*` families aggregated over lanes, plus `amsim.batch.lanes`
+    /// (lane slots provisioned by this batch) and
+    /// `amsim.batch.masked_iterations`. Called automatically on drop.
+    pub fn flush_counters(&mut self) {
+        if self.obs.enabled() {
+            let (steps, newton, jacobian) = (self.steps, self.newton_iters, self.jacobian_builds);
+            let (factorizations, reuse_hits, refactors) = (
+                self.lu_factorizations,
+                self.jacobian_reuse_hits,
+                self.jacobian_refactors,
+            );
+            self.obs_steps.flush(&self.obs, "amsim.steps", steps);
+            self.obs_newton
+                .flush(&self.obs, "amsim.newton_iterations", newton);
+            self.obs_jacobian
+                .flush(&self.obs, "amsim.jacobian.builds", jacobian);
+            self.obs_factorizations
+                .flush(&self.obs, "amsim.lu.factorizations", factorizations);
+            self.obs_reuse_hits
+                .flush(&self.obs, "amsim.jacobian.reuse_hits", reuse_hits);
+            self.obs_refactors
+                .flush(&self.obs, "amsim.jacobian.refactor", refactors);
+            let (rejected, retries, shrinks, grows) = (
+                self.steps_rejected,
+                self.step_retries,
+                self.dt_shrinks,
+                self.dt_grows,
+            );
+            self.obs_rejected
+                .flush(&self.obs, "amsim.step.rejected", rejected);
+            self.obs_retries
+                .flush(&self.obs, "amsim.step.retries", retries);
+            self.obs_shrinks
+                .flush(&self.obs, "amsim.step.dt_shrink", shrinks);
+            self.obs_grows.flush(&self.obs, "amsim.step.dt_grow", grows);
+            let (lanes, masked) = (self.lanes as u64, self.masked_iters);
+            self.obs_lanes.flush(&self.obs, "amsim.batch.lanes", lanes);
+            self.obs_masked
+                .flush(&self.obs, "amsim.batch.masked_iterations", masked);
+        }
+    }
+}
+
+impl Drop for BatchInstance {
+    fn drop(&mut self) {
+        self.flush_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use vams_parser::parse_module;
+
+    const RC1: &str = "module rc(in, out);
+        input in; output out;
+        electrical in, out, gnd;
+        ground gnd;
+        branch (in, out) res;
+        branch (out, gnd) cap;
+        analog begin
+          V(res) <+ 5k * I(res);
+          I(cap) <+ 25n * ddt(V(cap));
+        end
+      endmodule";
+
+    /// Stiff diode clamp: small sub-steps stiffen the cap conductance, so
+    /// hard input swings reject at the nominal step and need backoff.
+    const STIFF_CLAMP: &str = "module clamp(in, out);
+        input in; output out;
+        electrical in, out, gnd;
+        ground gnd;
+        branch (in, out) r;
+        branch (out, gnd) d;
+        branch (out, gnd) c;
+        analog begin
+          V(r) <+ 1k * I(r);
+          I(d) <+ 1p * (exp(V(d) / 5m) - 1);
+          I(c) <+ 1n * ddt(V(c));
+        end
+      endmodule";
+
+    /// Per-lane step amplitudes exercising distinct trajectories.
+    fn amps(lanes: usize) -> Vec<f64> {
+        (0..lanes).map(|l| 0.25 + 0.5 * l as f64).collect()
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_on_linear_circuit() {
+        let m = parse_module(RC1).unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let lanes = 4;
+        let amps = amps(lanes);
+        let mut batch = model.batch_instance(lanes);
+        let mut scalars: Vec<Instance> = (0..lanes).map(|_| model.instance()).collect();
+        let mut inputs = vec![0.0; lanes];
+        for k in 0..100 {
+            for (l, a) in amps.iter().enumerate() {
+                inputs[l] = if (k / 20) % 2 == 0 { *a } else { 0.0 };
+            }
+            let done = batch.try_step(&inputs);
+            assert_eq!(done, lanes);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                s.try_step(&inputs[l..=l]).unwrap();
+                assert_eq!(
+                    batch.output(0, l).to_bits(),
+                    s.output(0).to_bits(),
+                    "lane {l} step {k}"
+                );
+                assert_eq!(batch.lane_time(l).to_bits(), s.time().to_bits());
+            }
+        }
+        for (l, s) in scalars.iter().enumerate() {
+            assert_eq!(batch.lane_newton_iterations(l), s.newton_iterations());
+            assert_eq!(batch.lane_steps(l), 100);
+        }
+        // A linear model keeps every lane on the shared zero-state
+        // factors: no per-lane factorization ever happens.
+        assert_eq!(batch.lu_factorizations, 0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_under_adaptive_backoff() {
+        let m = parse_module(STIFF_CLAMP).unwrap();
+        let sc = StepControl::new(1e-12);
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .step_control(sc)
+            .compile()
+            .unwrap();
+        let lanes = 3;
+        // Lane amplitudes chosen so backoff activity differs per lane.
+        let amps = [0.2, 1.0, 2.5];
+        let mut batch = model.batch_instance(lanes);
+        let mut scalars: Vec<Instance> = (0..lanes).map(|_| model.instance()).collect();
+        let mut inputs = vec![0.0; lanes];
+        for k in 0..40 {
+            for (l, a) in amps.iter().enumerate() {
+                inputs[l] = if (k / 10) % 2 == 0 { *a } else { 0.0 };
+            }
+            let done = batch.try_step(&inputs);
+            assert_eq!(done, lanes, "step {k}");
+            for (l, s) in scalars.iter_mut().enumerate() {
+                s.try_step(&inputs[l..=l]).unwrap();
+                assert_eq!(
+                    batch.output(0, l).to_bits(),
+                    s.output(0).to_bits(),
+                    "lane {l} step {k}"
+                );
+                assert_eq!(batch.lane_time(l).to_bits(), s.time().to_bits());
+            }
+        }
+        let scalar_iters: u64 = scalars.iter().map(Instance::newton_iterations).sum();
+        assert_eq!(batch.newton_iters, scalar_iters);
+        let scalar_rejected: u64 = scalars.iter().map(Instance::steps_rejected).sum();
+        assert_eq!(batch.steps_rejected, scalar_rejected);
+        assert!(batch.steps_rejected > 0, "want backoff activity");
+        assert!(
+            batch.masked_iterations() > 0,
+            "lanes with different convergence depths must mask"
+        );
+    }
+
+    #[test]
+    fn faulted_lane_retires_without_disturbing_siblings() {
+        let m = parse_module(STIFF_CLAMP).unwrap();
+        // Fixed-dt stepping: the stiff lane has no backoff to rescue it.
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let lanes = 4;
+        let bad = 2usize;
+        let mut inputs = vec![0.0; lanes];
+        let drive = |l: usize, k: usize| -> f64 {
+            if l == bad {
+                if k >= 5 {
+                    80.0
+                } else {
+                    0.05
+                }
+            } else {
+                0.02 + 0.03 * l as f64
+            }
+        };
+        let mut batch = model.batch_instance(lanes);
+        let mut scalars: Vec<Instance> = (0..lanes).map(|_| model.instance()).collect();
+        let mut scalar_err = None;
+        for k in 0..20 {
+            for (l, slot) in inputs.iter_mut().enumerate() {
+                *slot = drive(l, k);
+            }
+            batch.try_step(&inputs);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                if l == bad {
+                    if scalar_err.is_none() {
+                        scalar_err = s.try_step(&inputs[l..=l]).err();
+                    }
+                    continue;
+                }
+                s.try_step(&inputs[l..=l]).unwrap();
+                assert_eq!(
+                    batch.output(0, l).to_bits(),
+                    s.output(0).to_bits(),
+                    "sibling lane {l} step {k}"
+                );
+            }
+        }
+        let scalar_err = scalar_err.expect("the stiff scenario must fail the scalar run too");
+        assert!(!batch.lane_active(bad), "faulted lane must retire");
+        assert_eq!(batch.active_lanes(), lanes - 1);
+        assert_eq!(
+            batch.lane_error(bad),
+            Some(&scalar_err),
+            "typed fault must match the scalar run's error"
+        );
+        // The faulted lane froze at its last accepted state and time.
+        assert_eq!(batch.lane_steps(bad), 5);
+        assert!(batch.masked_iterations() > 0);
+    }
+
+    #[test]
+    fn batch_counters_report_through_obs() {
+        let m = parse_module(RC1).unwrap();
+        let obs = Obs::recording();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let mut batch = model
+            .batch_instance_builder(5)
+            .collector(obs.clone())
+            .build()
+            .unwrap();
+        batch.retire(4); // one masked lane from the start
+        for _ in 0..10 {
+            batch.try_step(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        }
+        drop(batch);
+        let report = obs.report().expect("recording collector has a report");
+        assert_eq!(report.counter("amsim.batch.lanes"), 5);
+        assert_eq!(report.counter("amsim.steps"), 4 * 10);
+        assert!(report.counter("amsim.batch.masked_iterations") > 0);
+        assert!(report.counter("amsim.newton_iterations") > 0);
+    }
+
+    #[test]
+    fn per_lane_settings_validate() {
+        let m = parse_module(RC1).unwrap();
+        let model = Simulation::new(&m)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        assert!(matches!(
+            model
+                .batch_instance_builder(2)
+                .lane_newton_tol(1, -1.0)
+                .build(),
+            Err(AmsError::InvalidTolerance { .. })
+        ));
+        assert!(matches!(
+            model
+                .batch_instance_builder(2)
+                .lane_step_control(0, StepControl::new(1.0))
+                .build(),
+            Err(AmsError::InvalidStepControl { .. })
+        ));
+        // Per-lane tolerances actually take effect: a loose lane stops
+        // iterating earlier than a tight one.
+        let mut batch = model
+            .batch_instance_builder(2)
+            .lane_newton_tol(0, 1e-2)
+            .lane_newton_tol(1, 1e-14)
+            .build()
+            .unwrap();
+        for _ in 0..5 {
+            batch.try_step(&[1.0, 1.0]);
+        }
+        assert!(batch.lane_newton_iterations(0) < batch.lane_newton_iterations(1));
+    }
+}

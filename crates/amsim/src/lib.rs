@@ -55,9 +55,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod batch;
 pub mod cosim;
 mod sim;
 
+pub use batch::{BatchInstance, BatchInstanceBuilder};
 pub use sim::{
     AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation, StepControl,
 };

@@ -223,7 +223,7 @@ impl StepControl {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Placeholder {
+pub(crate) enum Placeholder {
     /// `ddt` history: value of the operand at the previous step.
     Ddt(usize),
     /// `idt` accumulator state.
@@ -239,7 +239,7 @@ enum Placeholder {
 
 /// One compiled Jacobian entry `dF_i/dx_col`.
 #[derive(Debug, Clone)]
-enum JacEntry {
+pub(crate) enum JacEntry {
     /// Symbolic derivative compiled to VM bytecode.
     Symbolic(Program),
     /// No closed form in the operator set: central differencing of the
@@ -279,45 +279,45 @@ struct Workspace {
 /// [`Simulation::compile`], then spawn runs with
 /// [`CompiledModel::instance`] / [`CompiledModel::instance_builder`].
 pub struct CompiledModel {
-    dt: f64,
+    pub(crate) dt: f64,
     /// Default Newton convergence tolerance for instances of this model.
-    newton_tol: f64,
-    unknowns: Vec<Quantity>,
-    index: BTreeMap<Quantity, usize>,
+    pub(crate) newton_tol: f64,
+    pub(crate) unknowns: Vec<Quantity>,
+    pub(crate) index: BTreeMap<Quantity, usize>,
     /// Discretized residual equations `F_i = 0` (tree form — the oracle).
-    equations: Vec<QExpr>,
+    pub(crate) equations: Vec<QExpr>,
     /// Compiled residual programs, one per equation.
-    programs: Vec<Program>,
+    pub(crate) programs: Vec<Program>,
     /// Compiled Jacobian: per equation, `(column, entry)`.
-    jacobian: Vec<Vec<(usize, JacEntry)>>,
-    placeholders: BTreeMap<Quantity, Placeholder>,
+    pub(crate) jacobian: Vec<Vec<(usize, JacEntry)>>,
+    pub(crate) placeholders: BTreeMap<Quantity, Placeholder>,
     /// Compiled `ddt`/`idt` operand programs (history refresh on accept).
-    ddt_progs: Vec<Program>,
-    idt_progs: Vec<Program>,
+    pub(crate) ddt_progs: Vec<Program>,
+    pub(crate) idt_progs: Vec<Program>,
     /// Offset of the input segment in the slot array (= unknown count).
-    input_off: usize,
+    pub(crate) input_off: usize,
     /// Offset of the `ddt` history segment in the slot array.
-    ddt_off: usize,
+    pub(crate) ddt_off: usize,
     /// Offset of the `idt` accumulator segment in the slot array.
-    idt_off: usize,
+    pub(crate) idt_off: usize,
     /// Slot of the current step `h`; `dt_slot + 1` holds `1/h`.
-    dt_slot: usize,
+    pub(crate) dt_slot: usize,
     /// Total slot count:
     /// `[unknowns | inputs | ddt prev | idt state | h | 1/h]`.
-    slot_count: usize,
+    pub(crate) slot_count: usize,
     /// Default adaptive-stepping policy for instances; `None` means
     /// fixed-`dt` stepping.
-    step_control: Option<StepControl>,
-    input_names: Vec<String>,
-    output_indices: Vec<usize>,
+    pub(crate) step_control: Option<StepControl>,
+    pub(crate) input_names: Vec<String>,
+    pub(crate) output_indices: Vec<usize>,
     /// Deepest operand stack any compiled program needs.
-    max_stack: usize,
+    pub(crate) max_stack: usize,
     /// LU factors of the Jacobian at the all-zero slot state, computed at
     /// compile time so every instance starts from the same deterministic
     /// linearization (modified Newton refreshes it only on a stall).
     /// `None` when the zero-state Jacobian is singular — instances then
     /// factor lazily at their first step, as builds always did.
-    init_lu: Option<LuFactors>,
+    pub(crate) init_lu: Option<LuFactors>,
 }
 
 /// Compiled-bytecode Newton/backward-Euler transient simulator over the
@@ -650,7 +650,7 @@ impl CompiledModel {
 /// entries evaluate their compiled program; numeric fallbacks centrally
 /// difference the residual program, perturbing the unknown's slot in
 /// place (no buffer cloning).
-fn stamp_jacobian(
+pub(crate) fn stamp_jacobian(
     jacobian: &[Vec<(usize, JacEntry)>],
     programs: &[Program],
     slots: &mut [f64],
@@ -1221,11 +1221,11 @@ impl AmsSimulator {
     /// Maximum Newton iterations per step. Higher than the classic fresh-
     /// Jacobian budget because modified Newton trades extra (cheap)
     /// iterations for skipped factorizations.
-    const MAX_NEWTON_ITERS: u32 = 50;
+    pub(crate) const MAX_NEWTON_ITERS: u32 = 50;
 
     /// Iterations a factorization may serve without converging before a
     /// refresh is forced regardless of the contraction rate.
-    const MAX_STALE_ITERS: u32 = 8;
+    pub(crate) const MAX_STALE_ITERS: u32 = 8;
 
     /// Runs the Newton iteration at the current slot state — inputs and
     /// step slots already written, iterate warm-started by the caller.

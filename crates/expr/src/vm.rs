@@ -137,6 +137,120 @@ impl Program {
         debug_assert_eq!(stack.len(), 1, "program left a non-singleton stack");
         stack.pop().expect("empty program")
     }
+
+    /// Evaluates the program over `lanes` independent slot blocks at once
+    /// — the structure-of-arrays hot path of batched scenario sweeps.
+    ///
+    /// `slots` is laid out `[slot][lane]` with the lane index contiguous:
+    /// slot `s` of lane `l` lives at `slots[s * lanes + l]`, so the inner
+    /// lane loops below run over adjacent memory and auto-vectorize. The
+    /// result for lane `l` is written to `out[l]`.
+    ///
+    /// # Determinism
+    ///
+    /// Each lane executes exactly the IEEE-754 operations [`Program::eval`]
+    /// would execute on that lane's slots, in the same order — batching
+    /// only changes the loop nesting, never the arithmetic — so every
+    /// `out[l]` is **bit-identical** to a scalar evaluation of lane `l`
+    /// (NaN payloads included). This is a design requirement the batched
+    /// solver relies on, not a tolerance.
+    ///
+    /// `stack` is scratch space of `max_stack * lanes` values, reused
+    /// across calls; it is resized on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != lanes`, if a `Load` references a slot
+    /// outside `slots` for the given lane count, or if the program is
+    /// empty.
+    pub fn eval_lanes(&self, slots: &[f64], lanes: usize, stack: &mut Vec<f64>, out: &mut [f64]) {
+        assert_eq!(out.len(), lanes, "output lane count");
+        if lanes == 0 {
+            return;
+        }
+        stack.clear();
+        stack.resize(self.max_stack.max(1) * lanes, 0.0);
+        let mut depth = 0usize;
+        for instr in &self.code {
+            match *instr {
+                Instr::Const(v) => {
+                    stack[depth * lanes..(depth + 1) * lanes].fill(v);
+                    depth += 1;
+                }
+                Instr::Load(slot) => {
+                    let src = &slots[slot as usize * lanes..(slot as usize + 1) * lanes];
+                    stack[depth * lanes..(depth + 1) * lanes].copy_from_slice(src);
+                    depth += 1;
+                }
+                Instr::Neg => {
+                    for v in &mut stack[(depth - 1) * lanes..depth * lanes] {
+                        *v = -*v;
+                    }
+                }
+                Instr::Bin(op) => {
+                    depth -= 1;
+                    let (lo, hi) = stack.split_at_mut(depth * lanes);
+                    let a = &mut lo[(depth - 1) * lanes..];
+                    let b = &hi[..lanes];
+                    // Dispatch on the operator once per instruction, not
+                    // once per lane: the four arithmetic ops are the hot
+                    // path and must compile to straight-line lane loops.
+                    match op {
+                        BinOp::Add => {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                        }
+                        BinOp::Sub => {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x -= y;
+                            }
+                        }
+                        BinOp::Mul => {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x *= y;
+                            }
+                        }
+                        BinOp::Div => {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x /= y;
+                            }
+                        }
+                        other => {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x = other.apply(*x, *y);
+                            }
+                        }
+                    }
+                }
+                Instr::Call1(f) => {
+                    for v in &mut stack[(depth - 1) * lanes..depth * lanes] {
+                        *v = f.apply(&[*v]);
+                    }
+                }
+                Instr::Call2(f) => {
+                    depth -= 1;
+                    let (lo, hi) = stack.split_at_mut(depth * lanes);
+                    let a = &mut lo[(depth - 1) * lanes..];
+                    let b = &hi[..lanes];
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x = f.apply(&[*x, *y]);
+                    }
+                }
+                Instr::Select => {
+                    depth -= 2;
+                    let (lo, hi) = stack.split_at_mut(depth * lanes);
+                    let c = &mut lo[(depth - 1) * lanes..];
+                    let (t, e) = hi.split_at(lanes);
+                    for l in 0..lanes {
+                        c[l] = if c[l] != 0.0 { t[l] } else { e[l] };
+                    }
+                }
+            }
+        }
+        assert_eq!(depth, 1, "program left a non-singleton stack");
+        out.copy_from_slice(&stack[..lanes]);
+    }
 }
 
 /// Compiles a resolved expression into a [`Program`].
@@ -285,6 +399,64 @@ mod tests {
         let e = Expr::ddt(x());
         let err = compile(&e, &mut |_, _| Some(0)).unwrap_err();
         assert_eq!(err, CompileError::UnresolvedAnalogOp);
+    }
+
+    #[test]
+    fn lanes_match_scalar_bitwise() {
+        let e = Expr::cond(
+            Expr::bin(BinOp::Gt, x(), Expr::num(0.0)),
+            Expr::call1(Func::Exp, x() * Expr::num(0.5)) / (Expr::var("y") + Expr::num(1.0)),
+            Expr::call2(Func::Pow, Expr::var("y"), x()) - Expr::prev("x"),
+        );
+        let prog = compile_xy(&e);
+        // 3 slots × 5 lanes, SoA: slot s lane l at [s * 5 + l]. Lane 3
+        // carries NaN, lane 4 an infinity — payloads must survive bitwise.
+        let lanes = 5;
+        let per_lane = [
+            [4.0, 1.0, 0.5],
+            [-2.0, 3.0, 0.25],
+            [0.0, -1.0, 7.0],
+            [f64::NAN, 2.0, 1.0],
+            [f64::INFINITY, -0.5, 2.0],
+        ];
+        let mut soa = vec![0.0; 3 * lanes];
+        for (l, vals) in per_lane.iter().enumerate() {
+            for (s, v) in vals.iter().enumerate() {
+                soa[s * lanes + l] = *v;
+            }
+        }
+        let mut stack = Vec::new();
+        let mut out = vec![0.0; lanes];
+        prog.eval_lanes(&soa, lanes, &mut stack, &mut out);
+        let mut scalar_stack = Vec::new();
+        for (l, vals) in per_lane.iter().enumerate() {
+            let scalar = prog.eval(vals, &mut scalar_stack);
+            assert_eq!(
+                scalar.to_bits(),
+                out[l].to_bits(),
+                "lane {l}: scalar {scalar} vs batch {}",
+                out[l]
+            );
+        }
+        // Scratch reuse across calls must not change results.
+        let mut out2 = vec![0.0; lanes];
+        prog.eval_lanes(&soa, lanes, &mut stack, &mut out2);
+        for (a, b) in out.iter().zip(&out2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_lane_is_the_scalar_path() {
+        let e = (x() + Expr::var("y")) * Expr::num(2.0) - Expr::prev("x");
+        let prog = compile_xy(&e);
+        let slots = [3.0, 4.0, 1.0];
+        let mut stack = Vec::new();
+        let mut out = [0.0];
+        prog.eval_lanes(&slots, 1, &mut stack, &mut out);
+        assert_eq!(out[0], 13.0);
+        let mut none: [f64; 0] = [];
+        prog.eval_lanes(&[], 0, &mut stack, &mut none); // no-op, no panic
     }
 
     #[test]

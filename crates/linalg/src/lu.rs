@@ -225,6 +225,60 @@ impl LuFactors {
         }
     }
 
+    /// Solves `A·x = b` for `lanes` right-hand sides at once, sharing the
+    /// stored factors — the structure-of-arrays kernel of lane-batched
+    /// transient sweeps over one linearization.
+    ///
+    /// `b` and `x` are laid out `[row][lane]` with the lane index
+    /// contiguous (`b[i * lanes + l]`), so the inner lane loops run over
+    /// adjacent memory and auto-vectorize.
+    ///
+    /// # Determinism
+    ///
+    /// Lane `l`'s solution is **bit-identical** to
+    /// `solve_into(&b_lane_l, ..)`: per lane the substitution performs the
+    /// same multiply/subtract sequence in the same order; only the loop
+    /// nesting changes. Batched sweeps rely on this to reproduce scalar
+    /// waveforms exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differ from `self.dim() * lanes`,
+    /// or `acc.len() != lanes`.
+    pub fn solve_lanes_into(&self, b: &[f64], x: &mut [f64], lanes: usize, acc: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n * lanes, "rhs lane-block dimension mismatch");
+        assert_eq!(x.len(), n * lanes, "solution lane-block dimension mismatch");
+        assert_eq!(acc.len(), lanes, "accumulator lane count mismatch");
+        // Forward substitution with permutation: L·y = P·b.
+        for i in 0..n {
+            acc.copy_from_slice(&b[self.perm[i] * lanes..(self.perm[i] + 1) * lanes]);
+            let row = self.lu.row(i);
+            for (j, &lij) in row.iter().enumerate().take(i) {
+                let xj = &x[j * lanes..(j + 1) * lanes];
+                for (a, v) in acc.iter_mut().zip(xj) {
+                    *a -= lij * v;
+                }
+            }
+            x[i * lanes..(i + 1) * lanes].copy_from_slice(acc);
+        }
+        // Back substitution: U·x = y.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            acc.copy_from_slice(&x[i * lanes..(i + 1) * lanes]);
+            for (j, &uij) in row.iter().enumerate().skip(i + 1) {
+                let xj = &x[j * lanes..(j + 1) * lanes];
+                for (a, v) in acc.iter_mut().zip(xj) {
+                    *a -= uij * v;
+                }
+            }
+            let uii = row[i];
+            for (xi, a) in x[i * lanes..(i + 1) * lanes].iter_mut().zip(acc.iter()) {
+                *xi = a / uii;
+            }
+        }
+    }
+
     /// Determinant of the original matrix (product of U's diagonal, signed
     /// by the permutation parity).
     pub fn det(&self) -> f64 {
@@ -432,6 +486,48 @@ mod tests {
             err,
             FactorError::Singular(SingularMatrixError { column: 1 })
         );
+    }
+
+    #[test]
+    fn solve_lanes_matches_scalar_bitwise() {
+        // Moderate deterministic system with pivoting, solved for several
+        // lanes at once; each lane must reproduce the scalar solve bit for
+        // bit (the batched-sweep determinism contract).
+        let n = 12;
+        let lanes = 7;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 0xDEADBEEF_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[((i + 1) % n, i)] += n as f64; // off-diagonal dominance forces swaps
+        }
+        let lu = LuFactors::factor(&a).unwrap();
+        let mut b_soa = vec![0.0; n * lanes];
+        for v in b_soa.iter_mut() {
+            *v = next();
+        }
+        let mut x_soa = vec![0.0; n * lanes];
+        let mut acc = vec![0.0; lanes];
+        lu.solve_lanes_into(&b_soa, &mut x_soa, lanes, &mut acc);
+        for l in 0..lanes {
+            let b_lane: Vec<f64> = (0..n).map(|i| b_soa[i * lanes + l]).collect();
+            let x_lane = lu.solve(&b_lane);
+            for i in 0..n {
+                assert_eq!(
+                    x_lane[i].to_bits(),
+                    x_soa[i * lanes + l].to_bits(),
+                    "lane {l} row {i}: scalar {} vs batched {}",
+                    x_lane[i],
+                    x_soa[i * lanes + l]
+                );
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,38 @@ impl ScenarioBudget {
         self.max_wall = Some(secs);
         self
     }
+
+    /// The step cap, if any.
+    pub fn step_cap(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// The wall-clock cap in seconds, if any.
+    pub fn wall_cap(&self) -> Option<f64> {
+        self.max_wall
+    }
+
+    /// Checks already-charged progress against both caps — the stateless
+    /// core of [`ScenarioCtx::tick`], exposed so batched sweep bodies can
+    /// keep **per-lane** accounts against one shared budget.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when `steps` passes `max_steps` or `wall`
+    /// passes `max_wall`.
+    pub fn check(&self, steps: u64, wall: f64) -> Result<(), BudgetExceeded> {
+        let over_steps = self.max_steps.is_some_and(|cap| steps > cap);
+        let over_wall = self.max_wall.is_some_and(|cap| wall > cap);
+        if over_steps || over_wall {
+            return Err(BudgetExceeded {
+                steps,
+                wall,
+                max_steps: self.max_steps,
+                max_wall: self.max_wall,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A scenario exceeded its [`ScenarioBudget`].
@@ -201,22 +233,12 @@ impl ScenarioCtx {
     pub fn tick(&self, steps: u64) -> Result<(), BudgetExceeded> {
         let charged = self.charged.get() + steps;
         self.charged.set(charged);
-        let over_steps = self.limits.max_steps.is_some_and(|cap| charged > cap);
         let wall = if self.limits.max_wall.is_some() {
             self.started.elapsed().as_secs_f64()
         } else {
             0.0
         };
-        let over_wall = self.limits.max_wall.is_some_and(|cap| wall > cap);
-        if over_steps || over_wall {
-            return Err(BudgetExceeded {
-                steps: charged,
-                wall,
-                max_steps: self.limits.max_steps,
-                max_wall: self.limits.max_wall,
-            });
-        }
-        Ok(())
+        self.limits.check(charged, wall)
     }
 }
 
@@ -342,6 +364,140 @@ impl SweepEngine {
         fault_obs.add("sweep.scenarios.budget", over_budget);
         out.report.merge(&fault_obs.report().unwrap_or_default());
         out
+    }
+
+    /// Runs `f` once per **lane-block** of up to `lane_width` scenarios
+    /// (threads × lanes): blocks are work-stolen across the pool exactly
+    /// like scenarios under [`SweepEngine::run`], and the body returns
+    /// one result per scenario in its block, in block order.
+    ///
+    /// The `ctx` handed to the body belongs to the whole block: its
+    /// `index` is the block's **first** scenario index and its `obs`
+    /// collector records for the block; the merged report attaches each
+    /// block's report at that first index, so the merge order — and hence
+    /// the merged [`Report`] — is independent of worker count and
+    /// scheduling, same as the scalar path.
+    ///
+    /// Beyond [`SweepEngine::run`]'s `sweep.scenarios` / `sweep.workers` /
+    /// `sweep.worker.{w}.scenarios` counters (which keep counting
+    /// *scenarios*, not blocks), the merged report gains:
+    ///
+    /// * `sweep.batch.blocks` — number of lane-blocks executed;
+    /// * `sweep.block` — wall-time histogram over blocks (replaces the
+    ///   per-scenario `sweep.scenario` histogram, which a batched run
+    ///   cannot observe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body returns a result count different from its
+    /// block's scenario count; propagates panics from `f` once all
+    /// workers have stopped. (Fault isolation *within* a block is the
+    /// body's job — see [`run_ams_sweep_batched`].)
+    pub fn run_batched<S, R, F>(&self, scenarios: &[S], lane_width: usize, f: F) -> SweepOutcome<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&ScenarioCtx, &[S]) -> Vec<R> + Sync,
+    {
+        let lane_width = lane_width.max(1);
+        let workers = self.workers;
+        let n = scenarios.len();
+        let blocks: Vec<&[S]> = scenarios.chunks(lane_width).collect();
+        let nb = blocks.len();
+        let start = Instant::now();
+
+        let next = AtomicUsize::new(workers.min(nb));
+        let (tx, rx) = mpsc::channel::<(usize, usize, Vec<R>, Report, f64)>();
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut scenario_reports = vec![Report::default(); n];
+        let mut block_secs = vec![0.0_f64; nb];
+        let mut per_worker = vec![0u64; workers];
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                let blocks = &blocks;
+                scope.spawn(move || {
+                    let mut b = if w < nb { w } else { usize::MAX };
+                    while b < nb {
+                        let ctx = ScenarioCtx {
+                            index: b * lane_width,
+                            worker: w,
+                            obs: Obs::recording(),
+                            limits: ScenarioBudget::unlimited(),
+                            charged: Cell::new(0),
+                            started: Instant::now(),
+                        };
+                        let t0 = Instant::now();
+                        let rs = f(&ctx, blocks[b]);
+                        assert_eq!(
+                            rs.len(),
+                            blocks[b].len(),
+                            "batched body must return one result per scenario in the block"
+                        );
+                        let secs = t0.elapsed().as_secs_f64();
+                        let report = ctx.obs.report().unwrap_or_default();
+                        if tx.send((b, w, rs, report, secs)).is_err() {
+                            return;
+                        }
+                        b = next.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(tx);
+            for (b, w, rs, report, secs) in rx {
+                let base = b * lane_width;
+                per_worker[w] += rs.len() as u64;
+                for (i, r) in rs.into_iter().enumerate() {
+                    debug_assert!(
+                        results[base + i].is_none(),
+                        "scenario {} ran twice",
+                        base + i
+                    );
+                    results[base + i] = Some(r);
+                }
+                scenario_reports[base] = report;
+                block_secs[b] = secs;
+            }
+        });
+
+        let wall = start.elapsed().as_secs_f64();
+
+        // Merge in index order (block reports sit at their block's first
+        // scenario index) so the merged report is bit-identical
+        // regardless of which worker ran which block.
+        let mut report = Report::default();
+        for r in &scenario_reports {
+            report.merge(r);
+        }
+        let sweep_obs = Obs::recording();
+        sweep_obs.add("sweep.scenarios", n as u64);
+        sweep_obs.add("sweep.workers", workers as u64);
+        sweep_obs.add("sweep.batch.blocks", nb as u64);
+        for (w, count) in per_worker.iter().enumerate() {
+            sweep_obs.add(&format!("sweep.worker.{w}.scenarios"), *count);
+        }
+        for secs in &block_secs {
+            sweep_obs.time("sweep.block", *secs);
+        }
+        sweep_obs.time("sweep.wall", wall);
+        report.merge(&sweep_obs.report().unwrap_or_default());
+
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every scenario index is covered by exactly one block"))
+            .collect();
+        SweepOutcome {
+            results,
+            scenario_reports,
+            report,
+            wall,
+            workers,
+        }
     }
 
     fn run_with_budget<S, R, F>(
@@ -551,6 +707,164 @@ pub fn run_ams_sweep(
             newton_iters,
         })
     }))
+}
+
+/// Sweeps `scenarios` over one shared compiled Verilog-AMS model in
+/// **lane-blocks** of up to `lane_width` scenarios per
+/// [`amsim::BatchInstance`] (threads × lanes): each worker advances a
+/// whole block per batched bytecode pass instead of one scenario at a
+/// time.
+///
+/// Every lane's waveform is **bit-identical** to the same scenario under
+/// [`run_ams_sweep`] — the batch performs the scalar path's IEEE ops in
+/// the scalar order, per lane — so `lane_width` (like the worker count)
+/// is a pure performance knob. Fault isolation is per **lane**: a lane
+/// that fails Newton is retired by the batch with its typed
+/// [`AmsError`], a panicking stimulus is caught around that lane's
+/// sample alone, and the shared `budget` is accounted per lane
+/// ([`ScenarioBudget::check`]) — siblings in the same block finish
+/// normally in all three cases. (One caveat: lanes of a block share the
+/// block's wall clock for `max_wall` purposes, where scalar scenarios
+/// each start their own.)
+///
+/// The merged report carries the scalar sweep's `amsim.*` and
+/// `sweep.scenarios.{ok,failed,panicked,budget}` families plus the
+/// batch counters `amsim.batch.{lanes,masked_iterations}` and
+/// `sweep.batch.blocks`.
+///
+/// # Errors
+///
+/// As for [`run_ams_sweep`]: ill-formed per-scenario overrides fail the
+/// sweep up front, before any worker starts.
+pub fn run_ams_sweep_batched(
+    engine: &SweepEngine,
+    model: &Arc<CompiledModel>,
+    scenarios: &[AmsScenario],
+    lane_width: usize,
+    budget: &ScenarioBudget,
+) -> Result<SweepOutcome<ScenarioOutcome<AmsRun, AmsError>>, AmsError> {
+    for sc in scenarios {
+        if let Some(tol) = sc.newton_tol {
+            if !(tol.is_finite() && tol > 0.0) {
+                return Err(AmsError::InvalidTolerance { tol });
+            }
+        }
+        if let Some(ctrl) = sc.step_control {
+            ctrl.validate(model.dt())?;
+        }
+    }
+    let dt = model.dt();
+    let n_inputs = model.input_names().len();
+    let mut out = engine.run_batched(scenarios, lane_width, move |ctx, block| {
+        let lanes = block.len();
+        let mut builder = model
+            .batch_instance_builder(lanes)
+            .collector(ctx.obs.clone());
+        for (l, sc) in block.iter().enumerate() {
+            if let Some(tol) = sc.newton_tol {
+                builder = builder.lane_newton_tol(l, tol);
+            }
+            if let Some(ctrl) = sc.step_control {
+                builder = builder.lane_step_control(l, ctrl);
+            }
+        }
+        let mut batch = builder.build().expect("overrides validated up front");
+        let started = Instant::now();
+        let max_steps = block.iter().map(|sc| sc.steps).max().unwrap_or(0);
+        let mut waveforms: Vec<Vec<f64>> = block
+            .iter()
+            .map(|sc| Vec::with_capacity(sc.steps))
+            .collect();
+        // Per-lane faults the *batch* cannot see (stimulus panics, budget
+        // trips); Newton faults live on the batch's lanes themselves.
+        let mut lane_fault: Vec<Option<ScenarioOutcome<AmsRun, AmsError>>> =
+            (0..lanes).map(|_| None).collect();
+        let mut charged = vec![0u64; lanes];
+        let mut inputs = vec![0.0; n_inputs * lanes];
+        for k in 0..max_steps {
+            // Sample every healthy lane's stimulus, catching panics and
+            // charging the budget per lane so one bad scenario never
+            // poisons its block.
+            for (l, sc) in block.iter().enumerate() {
+                if lane_fault[l].is_some() || !batch.lane_active(l) {
+                    continue;
+                }
+                if k >= sc.steps {
+                    // Shorter scenario: done — mask it out of the block.
+                    batch.retire(l);
+                    continue;
+                }
+                charged[l] += 1;
+                let wall = if budget.wall_cap().is_some() {
+                    started.elapsed().as_secs_f64()
+                } else {
+                    0.0
+                };
+                if let Err(b) = budget.check(charged[l], wall) {
+                    lane_fault[l] = Some(ScenarioOutcome::Budget(b));
+                    batch.retire(l);
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| sc.stim.value(k as f64 * dt))) {
+                    Ok(u) => {
+                        for i in 0..n_inputs {
+                            inputs[i * lanes + l] = u;
+                        }
+                    }
+                    Err(payload) => {
+                        lane_fault[l] = Some(ScenarioOutcome::Panicked(panic_message(payload)));
+                        batch.retire(l);
+                    }
+                }
+            }
+            if batch.active_lanes() == 0 {
+                break;
+            }
+            batch.try_step(&inputs);
+            for (l, sc) in block.iter().enumerate() {
+                if k < sc.steps && lane_fault[l].is_none() && batch.lane_active(l) {
+                    waveforms[l].push(batch.output(0, l));
+                }
+            }
+        }
+        let results: Vec<ScenarioOutcome<AmsRun, AmsError>> = block
+            .iter()
+            .enumerate()
+            .zip(waveforms)
+            .map(|((l, sc), waveform)| {
+                if let Some(fault) = lane_fault[l].take() {
+                    return fault;
+                }
+                if let Some(e) = batch.lane_error(l) {
+                    return ScenarioOutcome::Failed(e.clone());
+                }
+                ScenarioOutcome::Ok(AmsRun {
+                    name: sc.name.clone(),
+                    waveform,
+                    newton_iters: batch.lane_newton_iterations(l),
+                })
+            })
+            .collect();
+        batch.flush_counters();
+        results
+    });
+    // Same stable fault-tally schema as the scalar isolated sweep.
+    let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
+    for r in &out.results {
+        match r {
+            ScenarioOutcome::Ok(_) => ok += 1,
+            ScenarioOutcome::Failed(_) => failed += 1,
+            ScenarioOutcome::Panicked(_) => panicked += 1,
+            ScenarioOutcome::Budget(_) => over_budget += 1,
+        }
+    }
+    let fault_obs = Obs::recording();
+    fault_obs.add("sweep.scenarios.ok", ok);
+    fault_obs.add("sweep.scenarios.failed", failed);
+    fault_obs.add("sweep.scenarios.panicked", panicked);
+    fault_obs.add("sweep.scenarios.budget", over_budget);
+    out.report.merge(&fault_obs.report().unwrap_or_default());
+    Ok(out)
 }
 
 // --------------------------------------------------------- eln scenarios
@@ -891,5 +1205,147 @@ mod tests {
         for i in [0usize, 2, 3] {
             assert_eq!(out.results[i].ok().expect("healthy").waveform.len(), 8);
         }
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_bitwise_for_any_lane_width_and_workers() {
+        let module = vams_parser::parse_module(&rc_ladder(2)).unwrap();
+        let model = amsim::Simulation::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let mk = || -> Vec<AmsScenario> {
+            (0..13)
+                .map(|i| AmsScenario {
+                    name: format!("s{i}"),
+                    stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 4, 2e-5, 0.0, 1.0)),
+                    steps: 40,
+                    newton_tol: if i % 3 == 0 { Some(1e-8) } else { None },
+                    step_control: None,
+                })
+                .collect()
+        };
+        let scalar = run_ams_sweep(
+            &SweepEngine::new().workers(2),
+            &model,
+            &mk(),
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap();
+        for (lane_width, workers) in [(1usize, 1usize), (4, 2), (8, 8), (13, 3)] {
+            let batched = run_ams_sweep_batched(
+                &SweepEngine::new().workers(workers),
+                &model,
+                &mk(),
+                lane_width,
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(
+                batched.report.counter("sweep.batch.blocks"),
+                13u64.div_ceil(lane_width as u64),
+                "lane_width {lane_width}"
+            );
+            assert_eq!(batched.report.counter("amsim.batch.lanes"), 13);
+            assert_eq!(batched.report.counter("sweep.scenarios"), 13);
+            assert_eq!(batched.report.counter("sweep.scenarios.ok"), 13);
+            for (i, (b, s)) in batched.results.iter().zip(&scalar.results).enumerate() {
+                let (b, s) = (b.ok().unwrap(), s.ok().unwrap());
+                assert_eq!(b.newton_iters, s.newton_iters, "scenario {i}");
+                assert_eq!(b.waveform.len(), s.waveform.len());
+                for (k, (x, y)) in b.waveform.iter().zip(&s.waveform).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "scenario {i} step {k}: lane_width {lane_width} workers {workers}"
+                    );
+                }
+            }
+            // The shared amsim counter families are conserved: batching
+            // changes scheduling, never the per-scenario work.
+            for c in [
+                "amsim.steps",
+                "amsim.newton_iterations",
+                "amsim.jacobian.reuse_hits",
+            ] {
+                assert_eq!(
+                    batched.report.counter(c),
+                    scalar.report.counter(c),
+                    "{c} at lane_width {lane_width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sweep_accounts_budget_per_lane() {
+        let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+        let model = amsim::Simulation::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        // Scenario 1 wants 30 steps against a 10-step cap; its block
+        // siblings stay within budget and must be unaffected.
+        let scenarios: Vec<AmsScenario> = [8usize, 30, 8, 8]
+            .iter()
+            .enumerate()
+            .map(|(i, &steps)| AmsScenario {
+                name: format!("s{i}"),
+                stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 3, 1e-5, 0.0, 1.0)),
+                steps,
+                newton_tol: None,
+                step_control: None,
+            })
+            .collect();
+        let budget = ScenarioBudget::unlimited().max_steps(10);
+        let out = run_ams_sweep_batched(
+            &SweepEngine::new().workers(2),
+            &model,
+            &scenarios,
+            4,
+            &budget,
+        )
+        .unwrap();
+        match &out.results[1] {
+            ScenarioOutcome::Budget(b) => {
+                assert_eq!(b.steps, 11, "tripped on the first step past the cap");
+                assert_eq!(b.max_steps, Some(10));
+            }
+            other => panic!("slot 1: want Budget, got {other:?}"),
+        }
+        for i in [0usize, 2, 3] {
+            assert_eq!(
+                out.results[i].ok().expect("within budget").waveform.len(),
+                8
+            );
+        }
+        assert_eq!(out.report.counter("sweep.scenarios.budget"), 1);
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 3);
+    }
+
+    #[test]
+    fn batched_engine_runs_generic_blocks() {
+        let engine = SweepEngine::new().workers(3);
+        let scenarios: Vec<u64> = (0..11).collect();
+        let out = engine.run_batched(&scenarios, 4, |ctx, block| {
+            ctx.obs.add("blocks.seen", 1);
+            block.iter().map(|s| s * 2).collect()
+        });
+        assert_eq!(out.results, (0..11).map(|s| s * 2).collect::<Vec<_>>());
+        assert_eq!(out.report.counter("sweep.batch.blocks"), 3);
+        assert_eq!(out.report.counter("blocks.seen"), 3);
+        assert_eq!(out.report.counter("sweep.scenarios"), 11);
+        let per_worker: u64 = (0..3)
+            .map(|w| out.report.counter(&format!("sweep.worker.{w}.scenarios")))
+            .sum();
+        assert_eq!(per_worker, 11);
+        assert_eq!(out.report.timers["sweep.block"].count, 3);
+        // Empty input: no blocks, no results.
+        let empty: [u64; 0] = [];
+        let out = engine.run_batched(&empty, 4, |_, block| block.to_vec());
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.counter("sweep.batch.blocks"), 0);
     }
 }

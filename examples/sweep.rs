@@ -133,16 +133,19 @@ fn main() {
         );
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if cores >= WORKERS {
+    // Wall-clock ratios depend on the host (core count, load, frequency
+    // scaling), so the speedup is asserted only on request — correctness
+    // (the bit-identity check above) is asserted unconditionally.
+    if std::env::var("AMSVP_ASSERT_SPEEDUP").is_ok_and(|v| v == "1") {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         assert!(
             speedup >= 3.0,
-            "with {cores} cores a {WORKERS}-worker sweep should be ≥3× faster \
-             (got {speedup:.2}×)"
+            "AMSVP_ASSERT_SPEEDUP=1 on a {cores}-core host: a {WORKERS}-worker \
+             sweep should be ≥3× faster (got {speedup:.2}×)"
         );
     } else {
-        println!("(speedup assertion skipped: only {cores} core(s) available)");
+        println!("(speedup assertion skipped; opt in with AMSVP_ASSERT_SPEEDUP=1)");
     }
 }

@@ -1,0 +1,349 @@
+//! Golden-waveform corpus: the five benchmark circuits (Table I's 2IN,
+//! RC1, RC20, OA, plus the stiff diode clamp) simulated on the scalar
+//! path with fixed seeds, serialized to `tests/golden/*.json`, and held
+//! bit-exact forever after.
+//!
+//! Every execution mode must reproduce the checked-in bits *exactly* —
+//! f64 bit patterns, not tolerances:
+//!
+//! * the scalar [`amsim::Instance`] loop (the path that produced the
+//!   corpus),
+//! * a lane-batched [`amsim::BatchInstance`] carrying all scenarios of a
+//!   circuit at once,
+//! * [`sweep::run_ams_sweep`] at 1, 2, and 8 workers,
+//! * [`sweep::run_ams_sweep_batched`] at 1, 2, and 8 workers with a
+//!   lane width that splits the scenarios unevenly.
+//!
+//! A drift in any of them — an optimization that reorders IEEE ops, a
+//! scheduling leak into numerics, a solver change that silently alters
+//! results — fails this test before it reaches users.
+//!
+//! # Regenerating the corpus
+//!
+//! When a waveform change is *intended* (e.g. a deliberate solver
+//! change), bless new goldens from the scalar path and commit the diff:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test --test golden_waveforms
+//! ```
+//!
+//! Review the diff of `tests/golden/*.json` like source: every changed
+//! bit pattern is a changed simulation result.
+//!
+//! Waveforms are stored as 16-digit hex IEEE-754 bit patterns (not
+//! decimal) so the corpus is exact by construction and diffs are
+//! byte-stable across platforms and float-formatting changes.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use amsim::{CompiledModel, Simulation, StepControl};
+use amsvp_core::circuits::{diode_clamp, opamp, rc_ladder, two_inputs, PiecewiseConstant};
+use sweep::{run_ams_sweep, AmsScenario, ScenarioBudget, SweepEngine};
+
+const STEPS: usize = 60;
+const N_SCENARIOS: usize = 4;
+/// Splits 4 scenarios as 3 + 1 — deliberately uneven.
+const LANE_WIDTH: usize = 3;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+struct Circuit {
+    label: &'static str,
+    src: String,
+    dt: f64,
+    /// Upper bound of the seeded piecewise-constant drive.
+    hi: f64,
+    /// Adaptive stepping for the stiff clamp; fixed dt elsewhere.
+    step_control: Option<StepControl>,
+}
+
+fn corpus() -> Vec<Circuit> {
+    let clamp_ctrl = StepControl::new(1e-9).max_retries(20);
+    vec![
+        Circuit {
+            label: "2IN",
+            src: two_inputs(),
+            dt: 1e-6,
+            hi: 1.0,
+            step_control: None,
+        },
+        Circuit {
+            label: "RC1",
+            src: rc_ladder(1),
+            dt: 1e-6,
+            hi: 1.0,
+            step_control: None,
+        },
+        Circuit {
+            label: "RC20",
+            src: rc_ladder(20),
+            dt: 1e-6,
+            hi: 1.0,
+            step_control: None,
+        },
+        Circuit {
+            label: "OA",
+            src: opamp(),
+            dt: 1e-6,
+            hi: 1.0,
+            step_control: None,
+        },
+        Circuit {
+            label: "CLAMP",
+            src: diode_clamp(),
+            dt: 1e-4,
+            hi: 0.8,
+            step_control: Some(clamp_ctrl),
+        },
+    ]
+}
+
+fn compile(c: &Circuit) -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(&c.src).unwrap();
+    Simulation::new(&module)
+        .dt(c.dt)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+fn stim(c: &Circuit, i: usize) -> PiecewiseConstant {
+    PiecewiseConstant::seeded(i as u64 + 1, 5, 6.0 * c.dt, 0.0, c.hi)
+}
+
+fn scenarios(c: &Circuit) -> Vec<AmsScenario> {
+    (0..N_SCENARIOS)
+        .map(|i| AmsScenario {
+            name: format!("{}/{i}", c.label),
+            stim: Box::new(stim(c, i)),
+            steps: STEPS,
+            newton_tol: None,
+            step_control: c.step_control,
+        })
+        .collect()
+}
+
+/// The scalar reference path: one [`amsim::Instance`] per scenario, the
+/// stimulus broadcast to every model input — exactly the arithmetic
+/// `run_ams_sweep` performs per scenario.
+fn scalar_waveforms(c: &Circuit, model: &Arc<CompiledModel>) -> Vec<Vec<u64>> {
+    let n_inputs = model.input_names().len();
+    (0..N_SCENARIOS)
+        .map(|i| {
+            let mut builder = model.instance_builder();
+            if let Some(ctrl) = c.step_control {
+                builder = builder.step_control(ctrl);
+            }
+            let mut inst = builder.build().unwrap();
+            let s = stim(c, i);
+            let mut wave = Vec::with_capacity(STEPS);
+            for k in 0..STEPS {
+                let u = s.value(k as f64 * c.dt);
+                inst.try_step(&vec![u; n_inputs]).unwrap();
+                wave.push(inst.output(0).to_bits());
+            }
+            wave
+        })
+        .collect()
+}
+
+/// All scenarios of a circuit in one [`amsim::BatchInstance`]; lane `l`
+/// carries scenario `l`.
+fn batched_waveforms(c: &Circuit, model: &Arc<CompiledModel>) -> Vec<Vec<u64>> {
+    let n_inputs = model.input_names().len();
+    let mut builder = model.batch_instance_builder(N_SCENARIOS);
+    if let Some(ctrl) = c.step_control {
+        builder = builder.step_control(ctrl);
+    }
+    let mut batch = builder.build().unwrap();
+    let stims: Vec<PiecewiseConstant> = (0..N_SCENARIOS).map(|i| stim(c, i)).collect();
+    let mut waves: Vec<Vec<u64>> = (0..N_SCENARIOS)
+        .map(|_| Vec::with_capacity(STEPS))
+        .collect();
+    let mut inputs = vec![0.0; n_inputs * N_SCENARIOS];
+    for k in 0..STEPS {
+        for (l, s) in stims.iter().enumerate() {
+            let u = s.value(k as f64 * c.dt);
+            for i in 0..n_inputs {
+                inputs[i * N_SCENARIOS + l] = u;
+            }
+        }
+        assert_eq!(batch.try_step(&inputs), N_SCENARIOS);
+        for (l, wave) in waves.iter_mut().enumerate() {
+            wave.push(batch.output(0, l).to_bits());
+        }
+    }
+    waves
+}
+
+fn golden_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{label}.json"))
+}
+
+fn render_golden(c: &Circuit, waves: &[Vec<u64>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"circuit\": \"{}\",", c.label);
+    let _ = writeln!(s, "  \"dt_bits\": \"{:016x}\",", c.dt.to_bits());
+    let _ = writeln!(s, "  \"steps\": {STEPS},");
+    let _ = writeln!(s, "  \"scenarios\": [");
+    for (i, wave) in waves.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"seed\": {},", i + 1);
+        let _ = writeln!(s, "      \"waveform_bits\": [");
+        for (k, bits) in wave.iter().enumerate() {
+            let comma = if k + 1 < wave.len() { "," } else { "" };
+            let _ = writeln!(s, "        \"{bits:016x}\"{comma}");
+        }
+        let _ = writeln!(s, "      ]");
+        let comma = if i + 1 < waves.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Minimal parser for the corpus files this test writes: one waveform
+/// per `"waveform_bits"` array, entries as 16-digit hex bit patterns.
+fn parse_golden(text: &str) -> Vec<Vec<u64>> {
+    fn hex_strings(chunk: &str) -> Vec<u64> {
+        // Quoted 16-hex-digit tokens up to the closing bracket.
+        let body = chunk.split(']').next().unwrap_or("");
+        body.split('"')
+            .filter(|t| t.len() == 16 && t.bytes().all(|b| b.is_ascii_hexdigit()))
+            .map(|t| u64::from_str_radix(t, 16).unwrap())
+            .collect()
+    }
+    text.split("\"waveform_bits\"")
+        .skip(1)
+        .map(hex_strings)
+        .collect()
+}
+
+fn assert_waves_eq(label: &str, mode: &str, got: &[Vec<u64>], golden: &[Vec<u64>]) {
+    assert_eq!(
+        got.len(),
+        golden.len(),
+        "{label}/{mode}: scenario count drifted from the golden corpus"
+    );
+    for (i, (g, want)) in got.iter().zip(golden).enumerate() {
+        assert_eq!(g.len(), want.len(), "{label}/{mode}: scenario {i} length");
+        for (k, (a, b)) in g.iter().zip(want).enumerate() {
+            assert_eq!(
+                a, b,
+                "{label}/{mode}: scenario {i} sample {k}: {a:#018x} vs golden {b:#018x} \
+                 (bit-exact waveform reproduction violated; if this change is intended, \
+                 regenerate with BLESS_GOLDEN=1 and commit the corpus diff)"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_execution_modes_reproduce_the_golden_corpus() {
+    let bless = std::env::var("BLESS_GOLDEN").is_ok_and(|v| v == "1");
+    for c in corpus() {
+        let model = compile(&c);
+        let scalar = scalar_waveforms(&c, &model);
+
+        let path = golden_path(c.label);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, render_golden(&c, &scalar)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: golden file missing ({e}); generate the corpus with \
+                 BLESS_GOLDEN=1 cargo test --test golden_waveforms",
+                path.display()
+            )
+        });
+        let golden = parse_golden(&text);
+        assert_eq!(golden.len(), N_SCENARIOS, "{}: corpus shape", c.label);
+
+        assert_waves_eq(c.label, "scalar", &scalar, &golden);
+        assert_waves_eq(c.label, "batch", &batched_waveforms(&c, &model), &golden);
+
+        for workers in WORKER_COUNTS {
+            let engine = SweepEngine::new().workers(workers);
+            let swept = run_ams_sweep(
+                &engine,
+                &model,
+                &scenarios(&c),
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap();
+            let waves: Vec<Vec<u64>> = swept
+                .results
+                .iter()
+                .map(|r| {
+                    r.ok()
+                        .unwrap_or_else(|| panic!("{}: sweep scenario failed", c.label))
+                        .waveform
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect()
+                })
+                .collect();
+            assert_waves_eq(c.label, &format!("sweep/w{workers}"), &waves, &golden);
+
+            let batched = sweep::run_ams_sweep_batched(
+                &engine,
+                &model,
+                &scenarios(&c),
+                LANE_WIDTH,
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap();
+            let waves: Vec<Vec<u64>> = batched
+                .results
+                .iter()
+                .map(|r| {
+                    r.ok()
+                        .unwrap_or_else(|| panic!("{}: batched sweep scenario failed", c.label))
+                        .waveform
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect()
+                })
+                .collect();
+            assert_waves_eq(
+                c.label,
+                &format!("batched-sweep/w{workers}"),
+                &waves,
+                &golden,
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_files_are_well_formed() {
+    // Independent of simulation: the five files exist, parse, and carry
+    // the expected shape — so corpus corruption is reported as such
+    // rather than as a waveform mismatch.
+    for c in corpus() {
+        let path = golden_path(c.label);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: unreadable golden file: {e}", path.display()));
+        assert!(
+            text.contains(&format!("\"circuit\": \"{}\"", c.label)),
+            "{}: circuit label missing",
+            path.display()
+        );
+        assert!(
+            text.contains(&format!("\"dt_bits\": \"{:016x}\"", c.dt.to_bits())),
+            "{}: dt drifted from the corpus",
+            path.display()
+        );
+        let waves = parse_golden(&text);
+        assert_eq!(waves.len(), N_SCENARIOS, "{}", path.display());
+        for (i, w) in waves.iter().enumerate() {
+            assert_eq!(w.len(), STEPS, "{}: scenario {i}", path.display());
+        }
+    }
+}

@@ -10,7 +10,8 @@ use amsim::{AmsError, CompiledModel, Simulation, StepControl};
 use amsvp_core::circuits::{diode_clamp, PiecewiseConstant, SquareWave, Stimulus};
 use obs::Report;
 use sweep::{
-    run_ams_sweep, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine, SweepOutcome,
+    run_ams_sweep, run_ams_sweep_batched, AmsScenario, ScenarioBudget, ScenarioOutcome,
+    SweepEngine, SweepOutcome,
 };
 
 const DT: f64 = 1e-4;
@@ -167,6 +168,102 @@ fn two_faults_sixty_two_survivors_any_worker_count() {
     for run in &runs[1..] {
         assert_eq!(ok_waveform_bits(run), reference_waves);
         assert_eq!(stable_counters(&run.report), reference_counters);
+    }
+}
+
+#[test]
+fn batched_two_faults_retire_only_their_lanes_any_worker_count() {
+    // Same 64 scenarios through the lane-batched engine: the panicking
+    // stimulus and the divergent fixed-dt run each land *inside* an
+    // 8-lane block, and must retire only their own lane — the blocks'
+    // sibling lanes finish with waveforms bit-identical to the scalar
+    // sweep, for any worker count.
+    const LANE_WIDTH: usize = 8;
+    let model = compile_clamp();
+    let scalar = run_ams_sweep(
+        &SweepEngine::new().workers(1),
+        &model,
+        &scenarios(),
+        &ScenarioBudget::unlimited(),
+    )
+    .unwrap();
+    let runs: Vec<ClampOutcome> = [1usize, 2, 8]
+        .into_iter()
+        .map(|w| {
+            run_ams_sweep_batched(
+                &SweepEngine::new().workers(w),
+                &model,
+                &scenarios(),
+                LANE_WIDTH,
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    for (run, w) in runs.iter().zip([1usize, 2, 8]) {
+        assert_eq!(run.results.len(), N, "{w} workers: no lost indices");
+        match &run.results[PANIC_AT] {
+            ScenarioOutcome::Panicked(msg) => assert!(
+                msg.contains("injected stimulus failure"),
+                "{w} workers: panic payload lost: {msg}"
+            ),
+            other => panic!("{w} workers, slot {PANIC_AT}: want Panicked, got {other:?}"),
+        }
+        match &run.results[DIVERGE_AT] {
+            ScenarioOutcome::Failed(AmsError::NoConvergence {
+                residual_norm, dt, ..
+            }) => {
+                assert!(residual_norm.is_finite() && *residual_norm > 0.0);
+                assert_eq!(*dt, DT);
+            }
+            other => panic!("{w} workers, slot {DIVERGE_AT}: want NoConvergence, got {other:?}"),
+        }
+        // Fault tallies, batch bookkeeping, per-worker conservation.
+        assert_eq!(run.report.counter("sweep.scenarios.ok"), (N - 2) as u64);
+        assert_eq!(run.report.counter("sweep.scenarios.failed"), 1);
+        assert_eq!(run.report.counter("sweep.scenarios.panicked"), 1);
+        assert_eq!(run.report.counter("sweep.scenarios.budget"), 0);
+        assert_eq!(run.report.counter("sweep.scenarios"), N as u64);
+        assert_eq!(run.report.counter("amsim.batch.lanes"), N as u64);
+        assert_eq!(
+            run.report.counter("sweep.batch.blocks"),
+            (N / LANE_WIDTH) as u64
+        );
+        let per_worker: u64 = (0..w)
+            .map(|i| run.report.counter(&format!("sweep.worker.{i}.scenarios")))
+            .sum();
+        assert_eq!(per_worker, N as u64, "{w} workers: scenario conservation");
+    }
+
+    // Survivors are bit-identical to the scalar sweep: the faulted
+    // lanes' masked siblings never see a perturbed operand.
+    let scalar_waves = ok_waveform_bits(&scalar);
+    assert_eq!(scalar_waves.len(), N - 2);
+    for run in &runs {
+        assert_eq!(ok_waveform_bits(run), scalar_waves);
+    }
+
+    // Solver-work conservation against the scalar sweep: every counter
+    // the scalar path emits (amsim.* families, fault tallies) must come
+    // out of the batched sweep unchanged — batching only regroups the
+    // arithmetic. The batched report additionally carries the
+    // amsim.batch.* / sweep.batch.* families, checked above.
+    let scalar_counters = stable_counters(&scalar.report);
+    for (run, w) in runs.iter().zip([1usize, 2, 8]) {
+        for (key, want) in &scalar_counters {
+            assert_eq!(
+                run.report.counter(key),
+                *want,
+                "{w} workers: counter `{key}` not conserved under batching"
+            );
+        }
+    }
+    // And the batched runs agree with each other exactly, batch
+    // counters included — scheduling must not leak into any tally.
+    let reference = stable_counters(&runs[0].report);
+    for run in &runs[1..] {
+        assert_eq!(stable_counters(&run.report), reference);
     }
 }
 
