@@ -7,8 +7,8 @@
 //! index contiguous: slot `s` of lane `l` lives at `slots[s * lanes + l]`.
 //! A compiled program then evaluates over all lanes per opcode
 //! ([`Program::eval_lanes`]) and the shared-factor linear solve runs over
-//! all lanes per substitution row ([`LuFactors::solve_lanes_into`]), so
-//! the inner loops stride adjacent memory and auto-vectorize.
+//! all lanes per substitution row ([`Factorization::solve_lanes_into`]),
+//! so the inner loops stride adjacent memory and auto-vectorize.
 //!
 //! # Masking
 //!
@@ -31,7 +31,7 @@
 
 use std::sync::Arc;
 
-use linalg::{FactorError, LuFactors, Matrix};
+use linalg::{AnyLu, FactorError, Factorization, Triplets};
 use obs::{CounterTracker, Obs};
 
 use crate::sim::stamp_jacobian;
@@ -48,11 +48,11 @@ struct Lane {
     cur_dt: f64,
     /// Consecutive first-try accepted sub-steps (drives regrowth).
     accept_streak: u32,
-    /// Lane-owned LU factors, allocated lazily the first time this lane
+    /// Lane-owned factors, allocated lazily the first time this lane
     /// refactors away from the model's shared zero-state factorization.
     /// `None` means the lane still solves through `CompiledModel::init_lu`
     /// — the case that enables the batched shared-factor solve.
-    lu: Option<LuFactors>,
+    lu: Option<AnyLu>,
     /// Whether the lane's current factors (owned or shared) still
     /// describe a usable linearization.
     lu_valid: bool,
@@ -108,8 +108,9 @@ pub struct BatchInstance {
     acc: Vec<f64>,
     /// Batched program output (`lanes` wide) for history refresh.
     lane_out: Vec<f64>,
-    /// Dense Jacobian storage, re-stamped per lane refactor.
-    jm: Matrix,
+    /// Jacobian triplet stamps, re-pushed per lane refactor in the fixed
+    /// coordinate order the sparse backend's frozen pattern relies on.
+    jt: Triplets,
 
     // ---- per-lane driver state (reused across steps) ----
     h: Vec<f64>,
@@ -153,6 +154,9 @@ pub struct BatchInstance {
     obs_grows: CounterTracker,
     obs_lanes: CounterTracker,
     obs_masked: CounterTracker,
+    obs_sparse_analyze: CounterTracker,
+    obs_sparse_refactor: CounterTracker,
+    obs_sparse_fill: CounterTracker,
 }
 
 /// Builder for a [`BatchInstance`] with per-lane settings — the batched
@@ -315,7 +319,7 @@ impl BatchInstance {
             lane_delta: vec![0.0; n],
             acc: vec![0.0; lanes],
             lane_out: vec![0.0; lanes],
-            jm: Matrix::zeros(n, n),
+            jt: Triplets::new(n, n),
             h: vec![0.0; lanes],
             remaining: vec![0.0; lanes],
             rejects: vec![0; lanes],
@@ -352,6 +356,9 @@ impl BatchInstance {
             obs_grows: CounterTracker::default(),
             obs_lanes: CounterTracker::default(),
             obs_masked: CounterTracker::default(),
+            obs_sparse_analyze: CounterTracker::default(),
+            obs_sparse_refactor: CounterTracker::default(),
+            obs_sparse_fill: CounterTracker::default(),
             model,
         }
     }
@@ -464,28 +471,36 @@ impl BatchInstance {
             &model.programs,
             &mut self.gather,
             &mut self.scalar_stack,
-            &mut self.jm,
+            &mut self.jt,
         );
         self.lu_factorizations += 1;
-        // First refactor allocates lane-owned factors; later ones refresh
-        // them in place. Both run the same elimination over the same
-        // matrix as the scalar `factor_into`, so the factors are
-        // bit-identical.
-        let r = if self.lane[l].lu.is_some() {
-            self.lane[l]
-                .lu
-                .as_mut()
-                .expect("checked just above")
-                .factor_into(&self.jm)
-        } else {
-            match LuFactors::factor(&self.jm) {
-                Ok(f) => {
-                    self.lane[l].lu = Some(f);
-                    Ok(())
+        // The first refactor clones the lane's factors from the model's
+        // compile-time seed — the same starting point a scalar instance's
+        // workspace gets — so the lane's numeric trajectory (the sparse
+        // backend's pivot sequence included) is bit-identical to a scalar
+        // run. Later refactors refresh the clone in place.
+        if self.lane[l].lu.is_none() {
+            let mut lu = match &model.init_lu {
+                Some(lu) => lu.clone(),
+                // Zero-state Jacobian was singular: identity seed on the
+                // model's backend, exactly like the scalar constructor.
+                None => {
+                    let dim = model.unknowns.len().max(1);
+                    let mut ident = Triplets::new(dim, dim);
+                    for i in 0..dim {
+                        ident.push(i, i, 1.0);
+                    }
+                    AnyLu::analyze_with(model.backend, &ident).expect("identity is never singular")
                 }
-                Err(e) => Err(e),
-            }
-        };
+            };
+            lu.reset_stats();
+            self.lane[l].lu = Some(lu);
+        }
+        let r = self.lane[l]
+            .lu
+            .as_mut()
+            .expect("seeded just above")
+            .refactor(&self.jt);
         match r {
             Ok(()) => {
                 self.lane[l].lu_valid = true;
@@ -912,6 +927,23 @@ impl BatchInstance {
             self.obs_lanes.flush(&self.obs, "amsim.batch.lanes", lanes);
             self.obs_masked
                 .flush(&self.obs, "amsim.batch.masked_iterations", masked);
+            // Sparse-backend work summed over lane-owned factors (all
+            // zeros on the dense backend).
+            let mut sparse = linalg::SparseStats::default();
+            for lane in &self.lane {
+                if let Some(lu) = &lane.lu {
+                    let s = lu.sparse_stats();
+                    sparse.analyze += s.analyze;
+                    sparse.refactor += s.refactor;
+                    sparse.fill += s.fill;
+                }
+            }
+            self.obs_sparse_analyze
+                .flush(&self.obs, "linalg.sparse.analyze", sparse.analyze);
+            self.obs_sparse_refactor
+                .flush(&self.obs, "linalg.sparse.refactor", sparse.refactor);
+            self.obs_sparse_fill
+                .flush(&self.obs, "linalg.sparse.fill", sparse.fill);
         }
     }
 }

@@ -63,3 +63,7 @@ pub use batch::{BatchInstance, BatchInstanceBuilder};
 pub use sim::{
     AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation, StepControl,
 };
+
+// Re-exported so call sites can pick a backend via
+// [`Simulation::solver`] without depending on the linalg crate directly.
+pub use linalg::SolverKind;

@@ -7,7 +7,7 @@ use amsvp_core::acquire::acquire;
 use amsvp_core::{conservative_relations, AbstractError, OutputSpec};
 use expr::vm::{self, Program};
 use expr::Expr;
-use linalg::{FactorError, LuFactors, Matrix};
+use linalg::{AnyLu, FactorError, Factorization, SolverKind, Triplets};
 use netlist::{QExpr, Quantity};
 use obs::{CounterTracker, Obs};
 use vams_ast::Module;
@@ -258,10 +258,12 @@ struct Workspace {
     residual: Vec<f64>,
     /// Newton update `δ` solved from `J·δ = −F`.
     delta: Vec<f64>,
-    /// Dense Jacobian storage, re-stamped on each (re)build.
-    jm: Matrix,
-    /// LU factors, refreshed in place via [`LuFactors::factor_into`].
-    lu: LuFactors,
+    /// Jacobian stamps in coordinate form, re-pushed on each (re)build
+    /// in a fixed order so the sparse backend's frozen pattern applies.
+    jt: Triplets,
+    /// Factorization (dense or sparse by the model's resolved backend),
+    /// refreshed in place via [`Factorization::refactor`].
+    lu: AnyLu,
     /// Whether `lu` still describes a usable linearization. Survives
     /// across iterations *and* accepted steps (modified Newton).
     lu_valid: bool,
@@ -312,12 +314,18 @@ pub struct CompiledModel {
     pub(crate) output_indices: Vec<usize>,
     /// Deepest operand stack any compiled program needs.
     pub(crate) max_stack: usize,
-    /// LU factors of the Jacobian at the all-zero slot state, computed at
-    /// compile time so every instance starts from the same deterministic
-    /// linearization (modified Newton refreshes it only on a stall).
-    /// `None` when the zero-state Jacobian is singular — instances then
-    /// factor lazily at their first step, as builds always did.
-    pub(crate) init_lu: Option<LuFactors>,
+    /// Factorization of the Jacobian at the all-zero slot state, computed
+    /// at compile time so every instance starts from the same
+    /// deterministic linearization (modified Newton refreshes it only on
+    /// a stall). `None` when the zero-state Jacobian is singular —
+    /// instances then factor lazily at their first step, as builds always
+    /// did.
+    pub(crate) init_lu: Option<AnyLu>,
+    /// Resolved linear-solver backend (never [`SolverKind::Auto`]):
+    /// chosen at compile time from the zero-state Jacobian's size and
+    /// structural density, or forced via [`Simulation::solver`]. Every
+    /// instance and batch lane of this model solves through it.
+    pub(crate) backend: SolverKind,
 }
 
 /// Compiled-bytecode Newton/backward-Euler transient simulator over the
@@ -372,6 +380,9 @@ pub struct Instance {
     obs_retries: CounterTracker,
     obs_shrinks: CounterTracker,
     obs_grows: CounterTracker,
+    obs_sparse_analyze: CounterTracker,
+    obs_sparse_refactor: CounterTracker,
+    obs_sparse_fill: CounterTracker,
 }
 
 /// Historical name of [`Instance`], kept so existing call sites (and the
@@ -413,6 +424,7 @@ pub struct Simulation<'m> {
     newton_tol: f64,
     step_control: Option<StepControl>,
     outputs: Vec<OutputSpec>,
+    solver: SolverKind,
     obs: Obs,
 }
 
@@ -426,8 +438,19 @@ impl<'m> Simulation<'m> {
             newton_tol: DEFAULT_NEWTON_TOL,
             step_control: None,
             outputs: Vec::new(),
+            solver: SolverKind::Auto,
             obs: Obs::none(),
         }
+    }
+
+    /// Selects the linear-solver backend of the compiled model. The
+    /// default, [`SolverKind::Auto`], resolves at compile time from the
+    /// assembled system's size and structural density (small/dense systems
+    /// stay on the dense kernel, RC500-class ladders go sparse);
+    /// [`SolverKind::Dense`] / [`SolverKind::Sparse`] force a backend.
+    pub fn solver(mut self, kind: SolverKind) -> Self {
+        self.solver = kind;
+        self
     }
 
     /// Sets the fixed time step in seconds.
@@ -492,6 +515,7 @@ impl<'m> Simulation<'m> {
             self.newton_tol,
             self.step_control,
             self.outputs,
+            self.solver,
         )?);
         let tol = model.newton_tol;
         let sc = model.step_control;
@@ -517,10 +541,20 @@ impl<'m> Simulation<'m> {
             self.newton_tol,
             self.step_control,
             self.outputs,
+            self.solver,
         )?;
-        if self.obs.enabled() && model.init_lu.is_some() {
-            self.obs.add("amsim.jacobian.builds", 1);
-            self.obs.add("amsim.lu.factorizations", 1);
+        if self.obs.enabled() {
+            if model.init_lu.is_some() {
+                self.obs.add("amsim.jacobian.builds", 1);
+                self.obs.add("amsim.lu.factorizations", 1);
+            }
+            if let Some(lu) = &model.init_lu {
+                let stats = lu.sparse_stats();
+                if stats.analyze > 0 {
+                    self.obs.add("linalg.sparse.analyze", stats.analyze);
+                    self.obs.add("linalg.sparse.fill", stats.fill);
+                }
+            }
         }
         Ok(Arc::new(model))
     }
@@ -622,6 +656,12 @@ impl CompiledModel {
         self.step_control
     }
 
+    /// The linear-solver backend this model's instances solve through,
+    /// resolved at compile time (never [`SolverKind::Auto`]).
+    pub fn solver_kind(&self) -> SolverKind {
+        self.backend
+    }
+
     /// Spawns a run instance with the model's default tolerance,
     /// step-control policy and no collector — the cheap path for sweep
     /// workers.
@@ -646,18 +686,21 @@ impl CompiledModel {
     }
 }
 
-/// Stamps the Jacobian at the current slot state into `jm`. Symbolic
-/// entries evaluate their compiled program; numeric fallbacks centrally
-/// difference the residual program, perturbing the unknown's slot in
-/// place (no buffer cloning).
+/// Stamps the Jacobian at the current slot state into `jt` as coordinate
+/// triplets. The push order is fixed by the compiled Jacobian layout, so
+/// every rebuild produces the same coordinate sequence — the contract
+/// that lets the sparse backend reuse its frozen pattern without
+/// re-analysis. Symbolic entries evaluate their compiled program; numeric
+/// fallbacks centrally difference the residual program, perturbing the
+/// unknown's slot in place (no buffer cloning).
 pub(crate) fn stamp_jacobian(
     jacobian: &[Vec<(usize, JacEntry)>],
     programs: &[Program],
     slots: &mut [f64],
     stack: &mut Vec<f64>,
-    jm: &mut Matrix,
+    jt: &mut Triplets,
 ) {
-    jm.clear();
+    jt.clear();
     for (i, row) in jacobian.iter().enumerate() {
         for (col, entry) in row {
             let v = match entry {
@@ -673,7 +716,7 @@ pub(crate) fn stamp_jacobian(
                     (fp - fm) / (2.0 * h)
                 }
             };
-            jm.stamp(i, *col, v);
+            jt.push(i, *col, v);
         }
     }
 }
@@ -686,6 +729,7 @@ fn compile_model(
     newton_tol: f64,
     step_control: Option<StepControl>,
     output_specs: Vec<OutputSpec>,
+    solver: SolverKind,
 ) -> Result<CompiledModel, AmsError> {
     if !(dt.is_finite() && dt > 0.0) {
         return Err(AmsError::InvalidTimeStep { dt });
@@ -843,9 +887,13 @@ fn compile_model(
     slots[dt_slot] = dt;
     slots[dt_slot + 1] = 1.0 / dt;
     let mut stack = Vec::with_capacity(max_stack);
-    let mut jm = Matrix::zeros(n, n);
-    stamp_jacobian(&jacobian, &programs, &mut slots, &mut stack, &mut jm);
-    let init_lu = LuFactors::factor(&jm).ok();
+    let mut jt = Triplets::new(n, n);
+    stamp_jacobian(&jacobian, &programs, &mut slots, &mut stack, &mut jt);
+    // Resolve `Auto` once, against the zero-state stamp pattern: the
+    // backend is part of the compiled artifact, so every instance and
+    // batch lane of this model solves the same way.
+    let backend = solver.resolve(n, jt.pattern().len());
+    let init_lu = AnyLu::analyze_with(backend, &jt).ok();
 
     Ok(CompiledModel {
         dt,
@@ -868,31 +916,11 @@ fn compile_model(
         output_indices,
         max_stack,
         init_lu,
+        backend,
     })
 }
 
 impl AmsSimulator {
-    /// Lowers a module into its full DAE system and prepares the Newton
-    /// solver at fixed step `dt`. `outputs` use the same syntax as the
-    /// abstraction pipeline (`"V(out)"`, `"I(cap)"`).
-    ///
-    /// # Errors
-    ///
-    /// * [`AmsError::Acquire`] when the module cannot be lowered;
-    /// * [`AmsError::NotSquare`] for ill-posed descriptions;
-    /// * [`AmsError::UnknownOutput`] for bad output specs;
-    /// * [`AmsError::InvalidTimeStep`] for a bad `dt`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use amsim::Simulation::new(module).dt(..).output(..).build()"
-    )]
-    pub fn new(module: &Module, dt: f64, outputs: &[&str]) -> Result<Self, AmsError> {
-        let specs = outputs.iter().map(|s| OutputSpec::parse(s)).collect();
-        let model = Arc::new(compile_model(module, dt, DEFAULT_NEWTON_TOL, None, specs)?);
-        let tol = model.newton_tol;
-        Ok(Instance::with_model(model, Obs::none(), tol, None, true))
-    }
-
     /// Builds the per-run state over a compiled model. When
     /// `seed_compile_counters` is set the compile-time Jacobian
     /// build/factorization is accounted on this instance's local counters
@@ -907,13 +935,30 @@ impl AmsSimulator {
     ) -> Instance {
         let n = model.unknowns.len();
         let (lu, lu_valid) = match &model.init_lu {
-            Some(lu) => (lu.clone(), true),
-            // Seed factors so refreshes can reuse the storage; marked
-            // invalid until the first real Jacobian is factored.
-            None => (
-                LuFactors::factor(&Matrix::identity(n.max(1))).expect("identity is never singular"),
-                false,
-            ),
+            Some(lu) => {
+                let mut lu = lu.clone();
+                // Compile-time sparse work is reported by the compile
+                // path (or, on the single-run `build` path, stays on the
+                // seeded instance like the compile counters below).
+                if !seed {
+                    lu.reset_stats();
+                }
+                (lu, true)
+            }
+            // Seed identity factors on the model's backend so refreshes
+            // can reuse the storage; marked invalid until the first real
+            // Jacobian is factored.
+            None => {
+                let dim = n.max(1);
+                let mut ident = Triplets::new(dim, dim);
+                for i in 0..dim {
+                    ident.push(i, i, 1.0);
+                }
+                let mut lu =
+                    AnyLu::analyze_with(model.backend, &ident).expect("identity is never singular");
+                lu.reset_stats();
+                (lu, false)
+            }
         };
         let compile_cost = if seed && model.init_lu.is_some() {
             1
@@ -935,7 +980,7 @@ impl AmsSimulator {
                 stack: Vec::with_capacity(model.max_stack),
                 residual: vec![0.0; n],
                 delta: vec![0.0; n],
-                jm: Matrix::zeros(n, n),
+                jt: Triplets::new(n, n),
                 lu,
                 lu_valid,
             },
@@ -961,6 +1006,9 @@ impl AmsSimulator {
             obs_retries: CounterTracker::default(),
             obs_shrinks: CounterTracker::default(),
             obs_grows: CounterTracker::default(),
+            obs_sparse_analyze: CounterTracker::default(),
+            obs_sparse_refactor: CounterTracker::default(),
+            obs_sparse_fill: CounterTracker::default(),
             model,
         }
     }
@@ -1001,6 +1049,14 @@ impl AmsSimulator {
             self.obs_shrinks
                 .flush(&self.obs, "amsim.step.dt_shrink", shrinks);
             self.obs_grows.flush(&self.obs, "amsim.step.dt_grow", grows);
+            // Sparse-backend work (all zeros on the dense backend).
+            let sparse = self.ws.lu.sparse_stats();
+            self.obs_sparse_analyze
+                .flush(&self.obs, "linalg.sparse.analyze", sparse.analyze);
+            self.obs_sparse_refactor
+                .flush(&self.obs, "linalg.sparse.refactor", sparse.refactor);
+            self.obs_sparse_fill
+                .flush(&self.obs, "linalg.sparse.fill", sparse.fill);
         }
     }
 
@@ -1187,8 +1243,10 @@ impl AmsSimulator {
     }
 
     /// Builds the Jacobian at the current slot state into the workspace
-    /// matrix and refreshes the LU factors in place. `iteration` and
-    /// `best_residual` only label the error on a NaN/Inf Jacobian.
+    /// triplets and refreshes the factors in place through the
+    /// [`Factorization`] seam (pattern-reusing refactor on the sparse
+    /// backend). `iteration` and `best_residual` only label the error on
+    /// a NaN/Inf Jacobian.
     fn build_and_factor(&mut self, iteration: u32, best_residual: f64) -> Result<(), AmsError> {
         self.jacobian_builds += 1;
         stamp_jacobian(
@@ -1196,10 +1254,10 @@ impl AmsSimulator {
             &self.model.programs,
             &mut self.slots,
             &mut self.ws.stack,
-            &mut self.ws.jm,
+            &mut self.ws.jt,
         );
         self.lu_factorizations += 1;
-        match self.ws.lu.factor_into(&self.ws.jm) {
+        match self.ws.lu.refactor(&self.ws.jt) {
             Ok(()) => {
                 self.ws.lu_valid = true;
                 Ok(())

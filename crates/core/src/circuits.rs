@@ -164,6 +164,17 @@ impl XorShift64 {
 
 /// Verilog-AMS source of an `n`-stage RC ladder (the paper's RCn).
 ///
+/// The conservative MNA system has `5n` unknowns (per stage: two branch
+/// voltages, two branch currents, one node), so the family doubles as
+/// the scaling axis for the factorization backends: below the sparse
+/// threshold (RC20 and smaller) `SolverKind::Auto` keeps the dense LU,
+/// while RC30 and up resolve to the sparse pattern-reusing backend
+/// (RC500 — 2500 unknowns — is the `sparse_smoke` headline benchmark).
+/// Internal nets are named `n1..n{n-1}`, observable as e.g. `V(n3)`;
+/// each stage contributes a τ = RC = 125 µs, and the signal diffuses, so
+/// `V(out)` of a long ladder needs ~`n²·RC/2` to respond — observe a
+/// near-input net when benchmarking short transients.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.

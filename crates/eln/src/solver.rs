@@ -3,7 +3,9 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use linalg::{LuFactors, Matrix};
+use linalg::{
+    AnyLu, FactorError, Factorization, LuFactors, Matrix, SolverKind, SparseStats, Triplets,
+};
 use obs::{CounterTracker, Obs};
 
 use crate::network::{Component, ElnNetwork, NodeId, SourceId, SwitchId};
@@ -112,8 +114,12 @@ pub struct CompiledNet {
     /// Branch-current unknowns: component index → row offset.
     branch_of: Vec<Option<usize>>,
     /// Factors of `G + C/dt` (or the trapezoidal companion) at the
-    /// initial switch state.
-    lu: LuFactors,
+    /// initial switch state, on the resolved backend.
+    lu: AnyLu,
+    /// Resolved linear-solver backend (never [`SolverKind::Auto`]),
+    /// chosen at compile time from the MNA system's size and density or
+    /// forced via [`Transient::solver`].
+    backend: SolverKind,
     g: Matrix,
     c_over_dt: Matrix,
     /// Source component indices with their row info, for rhs builds.
@@ -130,7 +136,7 @@ pub struct CompiledNet {
 /// allocate no matrix storage of their own.
 #[derive(Debug)]
 struct OwnedSystem {
-    lu: LuFactors,
+    lu: AnyLu,
     g: Matrix,
     c_over_dt: Matrix,
 }
@@ -166,6 +172,9 @@ pub struct ElnSolver {
     obs: Obs,
     obs_steps: CounterTracker,
     obs_refactorizations: CounterTracker,
+    obs_sparse_analyze: CounterTracker,
+    obs_sparse_refactor: CounterTracker,
+    obs_sparse_fill: CounterTracker,
 }
 
 /// Builder for an [`ElnSolver`] fixed-step transient analysis.
@@ -195,6 +204,7 @@ pub struct Transient<'n> {
     net: &'n ElnNetwork,
     dt: f64,
     method: Method,
+    solver: SolverKind,
     obs: Obs,
 }
 
@@ -206,8 +216,18 @@ impl<'n> Transient<'n> {
             net,
             dt: 1e-6,
             method: Method::default(),
+            solver: SolverKind::Auto,
             obs: Obs::none(),
         }
+    }
+
+    /// Selects the linear-solver backend of the compiled network. The
+    /// default, [`SolverKind::Auto`], resolves at compile time from the
+    /// MNA system's size and structural density;
+    /// [`SolverKind::Dense`] / [`SolverKind::Sparse`] force a backend.
+    pub fn solver(mut self, kind: SolverKind) -> Self {
+        self.solver = kind;
+        self
     }
 
     /// Sets the fixed time step in seconds.
@@ -257,8 +277,37 @@ impl<'n> Transient<'n> {
             self.net,
             self.dt,
             self.method,
+            self.solver,
             &self.obs,
         )?))
+    }
+}
+
+/// Converts the structural nonzeros of a dense system matrix into
+/// triplet stamps for the sparse backend (exact zeros are structurally
+/// absent — a switch that opens removes its conductance from the
+/// pattern, which the sparse refactor detects and re-analyzes).
+fn dense_to_triplets(a: &Matrix) -> Triplets {
+    let mut t = Triplets::new(a.rows(), a.cols());
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let v = a[(i, j)];
+            if v != 0.0 {
+                t.push(i, j, v);
+            }
+        }
+    }
+    t
+}
+
+/// Refreshes `lu` from a dense system matrix. The dense backend factors
+/// the matrix directly — bit-identical to the historical `factor_into`
+/// path — while the sparse backend goes through triplet stamps and its
+/// pattern-reusing refactor.
+fn refactor_from_dense(lu: &mut AnyLu, a: &Matrix) -> Result<(), FactorError> {
+    match lu {
+        AnyLu::Dense(f) => f.factor_into(a),
+        AnyLu::Sparse(_) => lu.refactor(&dense_to_triplets(a)),
     }
 }
 
@@ -267,6 +316,7 @@ fn compile_net(
     net: &ElnNetwork,
     dt: f64,
     method: Method,
+    solver: SolverKind,
     obs: &Obs,
 ) -> Result<CompiledNet, ElnError> {
     if !(dt.is_finite() && dt > 0.0) {
@@ -313,9 +363,28 @@ fn compile_net(
         Method::Trapezoidal => &g + &(&c_mat * (2.0 / dt)),
     };
     let timer = obs.enabled().then(Instant::now);
-    let lu = LuFactors::factor(&a)?;
+    // Resolve `Auto` once, against the assembled system's structural
+    // density; the backend is part of the compiled artifact. The dense
+    // path factors the dense matrix directly (bit-identical to the
+    // historical behavior); the sparse path analyzes triplet stamps.
+    let nnz = (0..dim)
+        .flat_map(|i| (0..dim).map(move |j| (i, j)))
+        .filter(|&(i, j)| a[(i, j)] != 0.0)
+        .count();
+    let backend = solver.resolve(dim, nnz);
+    let lu = match backend {
+        SolverKind::Sparse => AnyLu::analyze_with(SolverKind::Sparse, &dense_to_triplets(&a))?,
+        _ => AnyLu::Dense(LuFactors::factor(&a)?),
+    };
     if let Some(start) = timer {
         obs.time("eln.factor", start.elapsed().as_secs_f64());
+    }
+    if obs.enabled() {
+        let stats = lu.sparse_stats();
+        if stats.analyze > 0 {
+            obs.add("linalg.sparse.analyze", stats.analyze);
+            obs.add("linalg.sparse.fill", stats.fill);
+        }
     }
     Ok(CompiledNet {
         dt,
@@ -324,6 +393,7 @@ fn compile_net(
         dim,
         branch_of,
         lu,
+        backend,
         g,
         c_over_dt,
         sources: net.sources.clone(),
@@ -354,6 +424,12 @@ impl CompiledNet {
         self.n_nodes
     }
 
+    /// The linear-solver backend this network's instances solve through,
+    /// resolved at compile time (never [`SolverKind::Auto`]).
+    pub fn solver_kind(&self) -> SolverKind {
+        self.backend
+    }
+
     /// Spawns a run instance with no collector — the cheap path for
     /// sweep workers.
     pub fn instance(self: &Arc<Self>) -> ElnSolver {
@@ -380,27 +456,15 @@ impl CompiledNet {
             obs,
             obs_steps: CounterTracker::default(),
             obs_refactorizations: CounterTracker::default(),
+            obs_sparse_analyze: CounterTracker::default(),
+            obs_sparse_refactor: CounterTracker::default(),
+            obs_sparse_fill: CounterTracker::default(),
             net: Arc::clone(self),
         }
     }
 }
 
 impl ElnSolver {
-    /// Assembles and factors the MNA system.
-    ///
-    /// # Errors
-    ///
-    /// * [`ElnError::InvalidTimeStep`] for a bad `dt`;
-    /// * [`ElnError::Empty`] for a node-less network;
-    /// * [`ElnError::Singular`] when the topology is ill-posed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use eln::Transient::new(net).dt(..).method(..).build()"
-    )]
-    pub fn new(net: &ElnNetwork, dt: f64, method: Method) -> Result<Self, ElnError> {
-        Transient::new(net).dt(dt).method(method).build()
-    }
-
     /// The shared compiled artifact this run steps over.
     pub fn compiled(&self) -> &Arc<CompiledNet> {
         &self.net
@@ -415,6 +479,18 @@ impl ElnSolver {
             self.obs_steps.flush(&self.obs, "eln.steps", steps);
             self.obs_refactorizations
                 .flush(&self.obs, "eln.refactorizations", refactorizations);
+            // Sparse-backend work of this run's copy-on-toggle factors
+            // (the shared compile-time analyze is reported by `compile`).
+            let sparse = match &self.owned {
+                Some(o) => o.lu.sparse_stats(),
+                None => SparseStats::default(),
+            };
+            self.obs_sparse_analyze
+                .flush(&self.obs, "linalg.sparse.analyze", sparse.analyze);
+            self.obs_sparse_refactor
+                .flush(&self.obs, "linalg.sparse.refactor", sparse.refactor);
+            self.obs_sparse_fill
+                .flush(&self.obs, "linalg.sparse.fill", sparse.fill);
         }
     }
 
@@ -453,13 +529,16 @@ impl ElnSolver {
         // CompiledNet are unaffected.
         let net = &self.net;
         let owned = self.owned.get_or_insert_with(|| {
+            let mut lu = net.lu.clone();
+            // Run-time counters must not re-report compile-time work.
+            lu.reset_stats();
             Box::new(OwnedSystem {
-                lu: net.lu.clone(),
+                lu,
                 g: net.g.clone(),
                 c_over_dt: net.c_over_dt.clone(),
             })
         });
-        if let Err(e) = owned.lu.factor_into(&a) {
+        if let Err(e) = refactor_from_dense(&mut owned.lu, &a) {
             // Leave the solver usable: revert the toggle and restore the
             // factors of the previous (known-good) topology.
             self.switch_closed[sw.0] = !closed;
@@ -475,10 +554,7 @@ impl ElnSolver {
                 Method::Trapezoidal => &g0 + &(&c0 * (2.0 / dt)),
             };
             let owned = self.owned.as_mut().expect("materialized above");
-            owned
-                .lu
-                .factor_into(&a0)
-                .expect("previous topology factored before");
+            refactor_from_dense(&mut owned.lu, &a0).expect("previous topology factored before");
             owned.g = g0;
             owned.c_over_dt = &c0 * (1.0 / dt);
             return Err(e.into());

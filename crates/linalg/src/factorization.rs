@@ -1,0 +1,340 @@
+//! The `Factorization` seam: one API over dense and sparse direct solvers.
+//!
+//! Solver cores ([`amsim`'s Newton loop, `eln`'s fixed-matrix transient)
+//! talk to their linear algebra exclusively through [`Factorization`]:
+//! analyze once per compiled model, refactor on every Jacobian rebuild,
+//! solve (scalar or lane-batched) every iteration. [`AnyLu`] is the
+//! concrete handle they store — a two-variant enum rather than a trait
+//! object, because factors are cloned into run-time instances and solved
+//! through `&self` from many threads, and static dispatch keeps the
+//! per-iteration solve calls free of vtable indirection.
+//!
+//! Backends are picked per compiled model by [`SolverKind`]: `Auto` (the
+//! default) applies a size/density heuristic, `Dense`/`Sparse` force a
+//! backend. The dense path through this seam reproduces the historical
+//! `LuFactors` behavior **bit for bit** — same stamp accumulation order,
+//! same elimination — which is what keeps the golden waveform corpus
+//! byte-stable across the redesign.
+
+use crate::{FactorError, LuFactors, SparseLu, SparseStats, Triplets};
+
+/// Backend selection for the [`Factorization`] seam.
+///
+/// `Auto` resolves at model-compile time from the assembled system's size
+/// and density; the resolved choice is then fixed for the model's
+/// lifetime (clones, instances, and batch lanes inherit it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Pick [`SolverKind::Sparse`] for large, sparse systems and
+    /// [`SolverKind::Dense`] otherwise (see [`SolverKind::resolve`]).
+    #[default]
+    Auto,
+    /// Dense LU with partial pivoting ([`LuFactors`]).
+    Dense,
+    /// Sparse LU with a frozen symbolic pattern ([`SparseLu`]).
+    Sparse,
+}
+
+/// `Auto` resolves to sparse only at or above this dimension: below it the
+/// dense kernel's tight loops win regardless of structure, and every
+/// pre-existing corpus circuit (≤ ~100 unknowns) stays bit-identical on
+/// the dense path.
+pub const SPARSE_DIM_THRESHOLD: usize = 128;
+
+impl SolverKind {
+    /// Resolves `Auto` against a system's dimension and structural
+    /// nonzero count; `Dense` and `Sparse` return themselves. The
+    /// heuristic: sparse when `dim >= 128` and at most a quarter of the
+    /// matrix is structurally nonzero.
+    pub fn resolve(self, dim: usize, structural_nnz: usize) -> SolverKind {
+        match self {
+            SolverKind::Auto => {
+                if dim >= SPARSE_DIM_THRESHOLD && structural_nnz * 4 <= dim * dim {
+                    SolverKind::Sparse
+                } else {
+                    SolverKind::Dense
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+/// Direct-solver factorization of a square system assembled as
+/// [`Triplets`] stamps.
+///
+/// The life cycle is *analyze once, refactor many, solve often*:
+///
+/// * [`Factorization::analyze`] does everything that may allocate or make
+///   structural decisions (orderings, fill patterns);
+/// * [`Factorization::refactor`] renews the numeric factors after the
+///   caller re-stamped the same structure with new values (Newton
+///   rebuilds, time-step changes) — steady-state allocation-free;
+/// * [`Factorization::solve_into`] / [`Factorization::solve_lanes_into`]
+///   take `&self` and no internal scratch, so one factorization may serve
+///   many threads and lanes concurrently.
+pub trait Factorization: Sized {
+    /// Builds a factorization from scratch, choosing structure and
+    /// performing the first numeric factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotSquare`], [`FactorError::NonFinite`], or
+    /// [`FactorError::Singular`] exactly as the dense
+    /// [`LuFactors::factor`] taxonomy defines them.
+    fn analyze(a: &Triplets) -> Result<Self, FactorError>;
+
+    /// Renews the numeric factors for freshly stamped values.
+    ///
+    /// # Errors
+    ///
+    /// As [`Factorization::analyze`]; after an error the factors must be
+    /// treated as invalid until a subsequent call succeeds.
+    fn refactor(&mut self, a: &Triplets) -> Result<(), FactorError>;
+
+    /// Dimension of the factored system.
+    fn dim(&self) -> usize;
+
+    /// Solves `A·x = b` into the caller's buffer. Panics on dimension
+    /// mismatch.
+    fn solve_into(&self, b: &[f64], x: &mut [f64]);
+
+    /// Solves `lanes` right-hand sides over the `[row][lane]` SoA layout;
+    /// per lane bit-identical to [`Factorization::solve_into`]. `acc` is
+    /// caller scratch of length `lanes`. Panics on dimension mismatch.
+    fn solve_lanes_into(&self, b: &[f64], x: &mut [f64], lanes: usize, acc: &mut [f64]);
+}
+
+impl Factorization for LuFactors {
+    fn analyze(a: &Triplets) -> Result<Self, FactorError> {
+        // `to_dense` stamps in push order — the accumulation order the
+        // historical dense path used, preserved for bit-identity.
+        if a.rows() != a.cols() {
+            return Err(FactorError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        LuFactors::factor(&a.to_dense())
+    }
+
+    fn refactor(&mut self, a: &Triplets) -> Result<(), FactorError> {
+        LuFactors::refactor(self, a)
+    }
+
+    fn dim(&self) -> usize {
+        LuFactors::dim(self)
+    }
+
+    fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        LuFactors::solve_into(self, b, x);
+    }
+
+    fn solve_lanes_into(&self, b: &[f64], x: &mut [f64], lanes: usize, acc: &mut [f64]) {
+        LuFactors::solve_lanes_into(self, b, x, lanes, acc);
+    }
+}
+
+impl Factorization for SparseLu {
+    fn analyze(a: &Triplets) -> Result<Self, FactorError> {
+        SparseLu::analyze(a)
+    }
+
+    fn refactor(&mut self, a: &Triplets) -> Result<(), FactorError> {
+        SparseLu::refactor(self, a)
+    }
+
+    fn dim(&self) -> usize {
+        SparseLu::dim(self)
+    }
+
+    fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        SparseLu::solve_into(self, b, x);
+    }
+
+    fn solve_lanes_into(&self, b: &[f64], x: &mut [f64], lanes: usize, acc: &mut [f64]) {
+        SparseLu::solve_lanes_into(self, b, x, lanes, acc);
+    }
+}
+
+/// A dense-or-sparse factorization behind one concrete, cloneable type —
+/// what the solver cores store in compiled models, workspaces, and batch
+/// lanes.
+///
+/// ```
+/// use amsvp_linalg::{AnyLu, Factorization, SolverKind, Triplets};
+///
+/// # fn main() -> Result<(), amsvp_linalg::FactorError> {
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 1, 4.0);
+/// // 2×2 is far below the sparse threshold: Auto resolves to Dense.
+/// let kind = SolverKind::Auto.resolve(t.rows(), t.pattern().len());
+/// assert_eq!(kind, SolverKind::Dense);
+/// let lu = AnyLu::analyze_with(kind, &t)?;
+/// let mut x = [0.0; 2];
+/// lu.solve_into(&[2.0, 8.0], &mut x);
+/// assert_eq!(x, [1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnyLu {
+    /// Dense LU with partial pivoting.
+    Dense(LuFactors),
+    /// Sparse LU over a frozen symbolic pattern (boxed: the symbolic
+    /// tables dwarf the dense handle, and `AnyLu` values are moved and
+    /// cloned when models are instantiated).
+    Sparse(Box<SparseLu>),
+}
+
+impl AnyLu {
+    /// Analyzes `a` with the requested backend. `kind` must already be
+    /// resolved ([`SolverKind::Auto`] is resolved here against `a`'s
+    /// dimensions and structural density as a convenience).
+    pub fn analyze_with(kind: SolverKind, a: &Triplets) -> Result<AnyLu, FactorError> {
+        match kind.resolve(a.rows(), a.pattern().len()) {
+            SolverKind::Dense => Ok(AnyLu::Dense(<LuFactors as Factorization>::analyze(a)?)),
+            _ => Ok(AnyLu::Sparse(Box::new(SparseLu::analyze(a)?))),
+        }
+    }
+
+    /// The backend this factorization runs on (never `Auto`).
+    pub fn kind(&self) -> SolverKind {
+        match self {
+            AnyLu::Dense(_) => SolverKind::Dense,
+            AnyLu::Sparse(_) => SolverKind::Sparse,
+        }
+    }
+
+    /// Sparse-backend statistics; zeros on the dense backend (the dense
+    /// path has no analyze/fill notion — its counters live in the solver
+    /// cores).
+    pub fn sparse_stats(&self) -> SparseStats {
+        match self {
+            AnyLu::Dense(_) => SparseStats::default(),
+            AnyLu::Sparse(s) => s.stats(),
+        }
+    }
+
+    /// Zeroes the sparse statistics — called when a compile-time template
+    /// factorization is cloned into a run-time instance, so instance
+    /// counters report run-time work only.
+    pub fn reset_stats(&mut self) {
+        if let AnyLu::Sparse(s) = self {
+            s.reset_stats();
+        }
+    }
+}
+
+impl Factorization for AnyLu {
+    /// Auto-selects the backend by the [`SolverKind::resolve`] heuristic.
+    fn analyze(a: &Triplets) -> Result<Self, FactorError> {
+        AnyLu::analyze_with(SolverKind::Auto, a)
+    }
+
+    fn refactor(&mut self, a: &Triplets) -> Result<(), FactorError> {
+        match self {
+            AnyLu::Dense(f) => f.refactor(a),
+            AnyLu::Sparse(f) => f.refactor(a),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            AnyLu::Dense(f) => f.dim(),
+            AnyLu::Sparse(f) => f.dim(),
+        }
+    }
+
+    fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        match self {
+            AnyLu::Dense(f) => f.solve_into(b, x),
+            AnyLu::Sparse(f) => f.solve_into(b, x),
+        }
+    }
+
+    fn solve_lanes_into(&self, b: &[f64], x: &mut [f64], lanes: usize, acc: &mut [f64]) {
+        match self {
+            AnyLu::Dense(f) => f.solve_lanes_into(b, x, lanes, acc),
+            AnyLu::Sparse(f) => f.solve_lanes_into(b, x, lanes, acc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(n: usize) -> Triplets {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0 + i as f64 * 0.01);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn auto_resolution_heuristic() {
+        assert_eq!(SolverKind::Auto.resolve(8, 20), SolverKind::Dense);
+        assert_eq!(SolverKind::Auto.resolve(100, 300), SolverKind::Dense);
+        assert_eq!(SolverKind::Auto.resolve(500, 1500), SolverKind::Sparse);
+        // Large but dense stays dense.
+        assert_eq!(SolverKind::Auto.resolve(200, 200 * 200), SolverKind::Dense);
+        // Forced kinds pass through untouched.
+        assert_eq!(SolverKind::Dense.resolve(500, 1500), SolverKind::Dense);
+        assert_eq!(SolverKind::Sparse.resolve(8, 20), SolverKind::Sparse);
+    }
+
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let t = system(20);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut dense = AnyLu::analyze_with(SolverKind::Dense, &t).unwrap();
+        let mut sparse = AnyLu::analyze_with(SolverKind::Sparse, &t).unwrap();
+        assert_eq!(dense.kind(), SolverKind::Dense);
+        assert_eq!(sparse.kind(), SolverKind::Sparse);
+        assert_eq!(dense.dim(), 20);
+        assert_eq!(sparse.dim(), 20);
+        let mut xd = vec![0.0; 20];
+        let mut xs = vec![0.0; 20];
+        dense.solve_into(&b, &mut xd);
+        sparse.solve_into(&b, &mut xs);
+        for (d, s) in xd.iter().zip(&xs) {
+            assert!((d - s).abs() < 1e-12, "dense {d} vs sparse {s}");
+        }
+        // Refactor both with scaled values; they must stay in agreement.
+        let mut t2 = Triplets::new(20, 20);
+        for (i, j, v) in t.iter() {
+            t2.push(i, j, v * 2.0);
+        }
+        dense.refactor(&t2).unwrap();
+        sparse.refactor(&t2).unwrap();
+        dense.solve_into(&b, &mut xd);
+        sparse.solve_into(&b, &mut xs);
+        for (d, s) in xd.iter().zip(&xs) {
+            assert!((d - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_reset_on_instance_clone() {
+        let t = system(10);
+        let template = AnyLu::analyze_with(SolverKind::Sparse, &t).unwrap();
+        assert_eq!(template.sparse_stats().analyze, 1);
+        let mut instance = template.clone();
+        instance.reset_stats();
+        assert_eq!(instance.sparse_stats(), SparseStats::default());
+        instance.refactor(&t).unwrap();
+        assert_eq!(instance.sparse_stats().refactor, 1);
+        assert_eq!(instance.sparse_stats().analyze, 0);
+        // Dense backends report zeros and tolerate resets.
+        let mut dense = AnyLu::analyze_with(SolverKind::Dense, &t).unwrap();
+        dense.reset_stats();
+        assert_eq!(dense.sparse_stats(), SparseStats::default());
+    }
+}

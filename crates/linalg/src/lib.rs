@@ -1,48 +1,59 @@
-//! Small dense linear algebra kernel used by the MNA-based solvers.
+//! Linear algebra kernel used by the MNA-based solvers: dense and sparse
+//! LU behind one [`Factorization`] seam.
 //!
 //! This crate provides exactly the operations the electrical solvers in this
 //! workspace need:
 //!
 //! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual arithmetic.
-//! * [`LuFactors`] — LU factorization with partial pivoting, reusable for
-//!   repeated solves against the same matrix (the fixed-timestep linear
-//!   transient case of the ELN solver).
-//! * [`Triplets`] — a coordinate-format builder that accumulates MNA stamps
-//!   and converts to a dense matrix (circuit matrices in this workspace are
-//!   small; the paper's circuits peak at 22 nodes / 41 branches).
+//! * [`Triplets`] — a coordinate-format builder that accumulates MNA stamps;
+//!   the common input of both factorization backends.
+//! * [`LuFactors`] — dense LU with partial pivoting (small systems: the
+//!   paper's circuits peak at 22 nodes / 41 branches).
+//! * [`SparseLu`] — sparse LU with one-time symbolic analysis (minimum-degree
+//!   ordering, frozen fill pattern) and allocation-free numeric
+//!   refactorization (large systems: RC500-class ladders and up).
+//! * [`Factorization`] / [`AnyLu`] / [`SolverKind`] — the backend seam:
+//!   `analyze` once per model, `refactor` per Jacobian rebuild,
+//!   `solve_into` / `solve_lanes_into` per iteration, with `Auto`
+//!   selection by size and density.
 //! * Vector helpers ([`norm2`], [`norm_inf`], [`nrmse`]) including the
 //!   normalized root-mean-square error metric the paper reports.
 //!
 //! # Example
 //!
 //! ```
-//! use amsvp_linalg::{Matrix, LuFactors};
+//! use amsvp_linalg::{AnyLu, Factorization, SolverKind, Triplets};
 //!
 //! # fn main() -> Result<(), amsvp_linalg::FactorError> {
-//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
-//! let lu = LuFactors::factor(&a)?;
-//! let x = lu.solve(&[9.0, 13.0]);
+//! let mut t = Triplets::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 2.0);
+//! t.push(1, 1, 3.0);
+//! let lu = AnyLu::analyze_with(SolverKind::Auto, &t)?;
+//! let mut x = [0.0; 2];
+//! lu.solve_into(&[9.0, 13.0], &mut x);
 //! assert!((x[0] - 1.4).abs() < 1e-12);
 //! assert!((x[1] - 3.4).abs() < 1e-12);
 //! # Ok(())
 //! # }
 //! ```
 
+mod factorization;
 mod lu;
 mod matrix;
+mod sparse;
 mod triplet;
 mod vector;
 
+pub use factorization::{AnyLu, Factorization, SolverKind, SPARSE_DIM_THRESHOLD};
 pub use lu::{FactorError, LuFactors, SingularMatrixError};
 pub use matrix::Matrix;
+pub use sparse::{SparseLu, SparseStats};
 pub use triplet::Triplets;
 pub use vector::{axpy, dot, norm2, norm_inf, nrmse, rmse, scale};
 
 /// Solves the dense linear system `a * x = b` in one call.
-///
-/// This is a convenience wrapper around [`LuFactors::factor`] followed by
-/// [`LuFactors::solve`]. Prefer keeping the [`LuFactors`] around when the
-/// same matrix is solved against many right-hand sides.
 ///
 /// # Errors
 ///
@@ -52,17 +63,14 @@ pub use vector::{axpy, dot, norm2, norm_inf, nrmse, rmse, scale};
 /// # Panics
 ///
 /// Panics if `b.len() != a.rows()`.
-///
-/// # Example
-///
-/// ```
-/// # fn main() -> Result<(), amsvp_linalg::FactorError> {
-/// let a = amsvp_linalg::Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
-/// let x = amsvp_linalg::solve(&a, &[2.0, 8.0])?;
-/// assert_eq!(x, vec![1.0, 2.0]);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "factor through the `Factorization` trait (`AnyLu::analyze_with` or \
+            `LuFactors::factor`) and reuse the factors with `solve_into`"
+)]
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, FactorError> {
-    Ok(LuFactors::factor(a)?.solve(b))
+    let lu = LuFactors::factor(a)?;
+    let mut x = vec![0.0; b.len()];
+    lu.solve_into(b, &mut x);
+    Ok(x)
 }

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::Matrix;
+use crate::{Matrix, Triplets};
 
 /// Error returned when a matrix is singular to working precision.
 ///
@@ -35,7 +35,7 @@ impl Error for SingularMatrixError {}
 /// evaluation). All are data-dependent conditions for callers assembling
 /// matrices from user netlists, so they surface as `Err` rather than
 /// panicking, and NaNs are caught here instead of propagating silently
-/// through [`LuFactors::solve`].
+/// through [`LuFactors::solve_into`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FactorError {
     /// The matrix is not square, so no LU factorization exists.
@@ -88,9 +88,10 @@ impl From<SingularMatrixError> for FactorError {
 
 /// LU factorization with partial pivoting (`P·A = L·U`).
 ///
-/// Factor once, then call [`LuFactors::solve`] for each right-hand side.
-/// This is exactly the pattern of a fixed-timestep linear transient solver:
-/// the MNA matrix is constant, only the excitation changes every step.
+/// Factor once, then call [`LuFactors::solve_into`] for each right-hand
+/// side. This is exactly the pattern of a fixed-timestep linear transient
+/// solver: the MNA matrix is constant, only the excitation changes every
+/// step.
 ///
 /// # Example
 ///
@@ -100,7 +101,8 @@ impl From<SingularMatrixError> for FactorError {
 /// # fn main() -> Result<(), amsvp_linalg::FactorError> {
 /// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]); // needs pivoting
 /// let lu = LuFactors::factor(&a)?;
-/// let x = lu.solve(&[4.0, 3.0]);
+/// let mut x = [0.0; 2];
+/// lu.solve_into(&[4.0, 3.0], &mut x);
 /// assert!((x[0] - 1.0).abs() < 1e-12);
 /// assert!((x[1] - 2.0).abs() < 1e-12);
 /// # Ok(())
@@ -117,8 +119,9 @@ pub struct LuFactors {
 }
 
 /// Pivots smaller than this (relative to the largest element in the column)
-/// are treated as zero.
-const PIVOT_EPS: f64 = 1e-13;
+/// are treated as zero. Shared with the sparse backend so the two report
+/// singularity at the same threshold.
+pub(crate) const PIVOT_EPS: f64 = 1e-13;
 
 impl LuFactors {
     /// Factors the square matrix `a`.
@@ -179,6 +182,45 @@ impl LuFactors {
         Ok(())
     }
 
+    /// Re-factors the system accumulated in `a` into this value's
+    /// existing storage — the dense implementation of
+    /// [`Factorization::refactor`](crate::Factorization::refactor).
+    ///
+    /// The stamps are accumulated in push order into zeroed storage, which
+    /// is exactly how the solver cores historically filled their dense
+    /// work matrix, so the resulting factors (and every later solve) are
+    /// bit-identical to the pre-seam code path.
+    ///
+    /// # Errors
+    ///
+    /// As [`LuFactors::factor`]. On [`FactorError::NotSquare`] the stored
+    /// factors are untouched; after any other error they are invalid
+    /// until a subsequent factorization succeeds.
+    pub fn refactor(&mut self, a: &Triplets) -> Result<(), FactorError> {
+        if a.rows() != a.cols() {
+            return Err(FactorError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if self.lu.rows() != n || self.lu.cols() != n {
+            self.lu = Matrix::zeros(n, n);
+        } else {
+            self.lu.clear();
+        }
+        for (i, j, v) in a.iter() {
+            self.lu.stamp(i, j, v);
+        }
+        if let Some((row, col)) = first_non_finite(&self.lu) {
+            return Err(FactorError::NonFinite { row, col });
+        }
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.perm_sign = eliminate(&mut self.lu, &mut self.perm)?;
+        Ok(())
+    }
+
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.lu.rows()
@@ -189,6 +231,11 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; use `solve_into` (the `Factorization` trait method) \
+                with a caller-owned buffer instead"
+    )]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let mut x = vec![0.0; b.len()];
         self.solve_into(b, &mut x);
@@ -364,10 +411,18 @@ mod tests {
         }
     }
 
+    /// Allocating convenience over `solve_into` for test brevity (the
+    /// public allocating `solve` is deprecated).
+    fn solve(lu: &LuFactors, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; b.len()];
+        lu.solve_into(b, &mut x);
+        x
+    }
+
     #[test]
     fn solve_identity() {
         let lu = LuFactors::factor(&Matrix::identity(3)).unwrap();
-        assert_close(&lu.solve(&[1.0, 2.0, 3.0]), &[1.0, 2.0, 3.0], 1e-14);
+        assert_close(&solve(&lu, &[1.0, 2.0, 3.0]), &[1.0, 2.0, 3.0], 1e-14);
         assert_eq!(lu.dim(), 3);
     }
 
@@ -376,7 +431,54 @@ mod tests {
         // Zero on the first diagonal position forces a row swap.
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let lu = LuFactors::factor(&a).unwrap();
-        assert_close(&lu.solve(&[5.0, 7.0]), &[7.0, 5.0], 1e-14);
+        assert_close(&solve(&lu, &[5.0, 7.0]), &[7.0, 5.0], 1e-14);
+    }
+
+    #[test]
+    fn deprecated_allocating_solve_still_works() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        #[allow(deprecated)]
+        let x = lu.solve(&[2.0, 8.0]);
+        assert_close(&x, &[1.0, 2.0], 1e-14);
+    }
+
+    #[test]
+    fn refactor_from_triplets_matches_factor_bitwise() {
+        // `refactor` stamps push-order into zeroed storage — it must
+        // reproduce the dense factor of the accumulated matrix bit for
+        // bit (the golden-corpus stability contract of the seam).
+        let mut t = Triplets::new(3, 3);
+        t.push(2, 0, 1.5);
+        t.push(0, 0, 0.5);
+        t.push(0, 0, 0.25); // duplicate accumulates
+        t.push(1, 1, -2.0);
+        t.push(0, 2, 3.0);
+        t.push(2, 2, 1.0);
+        t.push(1, 0, 0.125);
+        let mut lu = LuFactors::factor(&Matrix::identity(3)).unwrap();
+        lu.refactor(&t).unwrap();
+        let fresh = LuFactors::factor(&t.to_dense()).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let (mut x1, mut x2) = ([0.0; 3], [0.0; 3]);
+        lu.solve_into(&b, &mut x1);
+        fresh.solve_into(&b, &mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Error taxonomy flows through unchanged.
+        let rect = Triplets::new(2, 3);
+        assert_eq!(
+            lu.refactor(&rect).unwrap_err(),
+            FactorError::NotSquare { rows: 2, cols: 3 }
+        );
+        let mut nan = Triplets::new(2, 2);
+        nan.push(0, 0, 1.0);
+        nan.push(1, 1, f64::NAN);
+        assert_eq!(
+            lu.refactor(&nan).unwrap_err(),
+            FactorError::NonFinite { row: 1, col: 1 }
+        );
     }
 
     #[test]
@@ -403,7 +505,7 @@ mod tests {
         let err = lu.factor_into(&rect).unwrap_err();
         assert_eq!(err, FactorError::NotSquare { rows: 2, cols: 3 });
         assert!(err.to_string().contains("non-square"));
-        let x = lu.solve(&[5.0, 10.0]);
+        let x = solve(&lu, &[5.0, 10.0]);
         let back = a.mul_vec(&x);
         assert_close(&back, &[5.0, 10.0], 1e-12);
     }
@@ -433,7 +535,7 @@ mod tests {
             FactorError::NonFinite { row: 0, col: 0 }
         );
         // The stored factors still describe `good`.
-        let x = lu.solve(&[5.0, 10.0]);
+        let x = solve(&lu, &[5.0, 10.0]);
         assert_close(&good.mul_vec(&x), &[5.0, 10.0], 1e-12);
     }
 
@@ -468,12 +570,16 @@ mod tests {
         let mut lu = LuFactors::factor(&a).unwrap();
         lu.factor_into(&b).unwrap();
         let fresh = LuFactors::factor(&b).unwrap();
-        assert_close(&lu.solve(&[5.0, 10.0]), &fresh.solve(&[5.0, 10.0]), 1e-14);
+        assert_close(
+            &solve(&lu, &[5.0, 10.0]),
+            &solve(&fresh, &[5.0, 10.0]),
+            1e-14,
+        );
         assert!((lu.det() - fresh.det()).abs() < 1e-12);
         // Dimension changes are allowed: buffers grow to fit.
         lu.factor_into(&Matrix::identity(3)).unwrap();
         assert_eq!(lu.dim(), 3);
-        assert_close(&lu.solve(&[1.0, 2.0, 3.0]), &[1.0, 2.0, 3.0], 1e-14);
+        assert_close(&solve(&lu, &[1.0, 2.0, 3.0]), &[1.0, 2.0, 3.0], 1e-14);
     }
 
     #[test]
@@ -517,7 +623,7 @@ mod tests {
         lu.solve_lanes_into(&b_soa, &mut x_soa, lanes, &mut acc);
         for l in 0..lanes {
             let b_lane: Vec<f64> = (0..n).map(|i| b_soa[i * lanes + l]).collect();
-            let x_lane = lu.solve(&b_lane);
+            let x_lane = solve(&lu, &b_lane);
             for i in 0..n {
                 assert_eq!(
                     x_lane[i].to_bits(),
@@ -547,7 +653,7 @@ mod tests {
             a[(i, i)] += n as f64; // diagonal dominance
         }
         let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let x = LuFactors::factor(&a).unwrap().solve(&b);
+        let x = solve(&LuFactors::factor(&a).unwrap(), &b);
         let r = a.mul_vec(&x);
         for (ri, bi) in r.iter().zip(&b) {
             assert!((ri - bi).abs() < 1e-9);

@@ -80,9 +80,83 @@ impl Triplets {
         m
     }
 
-    /// Iterates over the raw entries in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
-        self.entries.iter()
+    /// Iterates over the raw entries as `(row, col, val)` in insertion
+    /// order. Duplicate coordinates appear once per push; use
+    /// [`Triplets::sort_dedup`] first when one entry per coordinate is
+    /// needed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_linalg::Triplets;
+    ///
+    /// let mut t = Triplets::new(2, 2);
+    /// t.push(1, 0, 2.5);
+    /// t.push(0, 1, -1.0);
+    /// let entries: Vec<(usize, usize, f64)> = t.iter().collect();
+    /// assert_eq!(entries, vec![(1, 0, 2.5), (0, 1, -1.0)]);
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Coalesces duplicate stamps in place: entries are sorted by
+    /// `(row, col)` and duplicates are summed (in insertion order, so the
+    /// accumulated values match [`Triplets::to_dense`] bit for bit). After
+    /// this call every coordinate appears at most once.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_linalg::Triplets;
+    ///
+    /// let mut t = Triplets::new(2, 2);
+    /// t.push(1, 1, 4.0);
+    /// t.push(0, 0, 1.0);
+    /// t.push(0, 0, 2.0);
+    /// t.sort_dedup();
+    /// let entries: Vec<(usize, usize, f64)> = t.iter().collect();
+    /// assert_eq!(entries, vec![(0, 0, 3.0), (1, 1, 4.0)]);
+    /// ```
+    pub fn sort_dedup(&mut self) {
+        // Stable sort keeps duplicates in insertion order, so summing
+        // runs left to right exactly like dense stamping does.
+        self.entries.sort_by_key(|&(i, j, _)| (i, j));
+        let mut out = 0usize;
+        for k in 0..self.entries.len() {
+            let (i, j, v) = self.entries[k];
+            if out > 0 && self.entries[out - 1].0 == i && self.entries[out - 1].1 == j {
+                self.entries[out - 1].2 += v;
+            } else {
+                self.entries[out] = (i, j, v);
+                out += 1;
+            }
+        }
+        self.entries.truncate(out);
+    }
+
+    /// Returns the structural nonzeros — the distinct `(row, col)`
+    /// coordinates stamped so far, sorted row-major — without modifying
+    /// the accumulator. This is the input of symbolic analysis: a
+    /// coordinate counts even when its values cancel to zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amsvp_linalg::Triplets;
+    ///
+    /// let mut t = Triplets::new(2, 2);
+    /// t.push(1, 1, 1.0);
+    /// t.push(0, 0, 2.0);
+    /// t.push(1, 1, -1.0); // cancels numerically, still structural
+    /// assert_eq!(t.pattern(), vec![(0, 0), (1, 1)]);
+    /// ```
+    pub fn pattern(&self) -> Vec<(usize, usize)> {
+        let mut coords: Vec<(usize, usize)> =
+            self.entries.iter().map(|&(i, j, _)| (i, j)).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        coords
     }
 }
 
@@ -133,5 +207,35 @@ mod tests {
         assert_eq!(t.iter().count(), 2);
         let m = t.to_dense();
         assert_eq!(m[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn sort_dedup_coalesces_and_matches_dense() {
+        let mut t = Triplets::new(3, 3);
+        t.push(2, 1, 0.5);
+        t.push(0, 0, 1.0);
+        t.push(2, 1, 0.25);
+        t.push(0, 0, -0.125);
+        let dense = t.to_dense();
+        t.sort_dedup();
+        assert_eq!(t.len(), 2);
+        let entries: Vec<(usize, usize, f64)> = t.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 0.875), (2, 1, 0.75)]);
+        // Coalescing must not change the materialized matrix.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.to_dense()[(i, j)].to_bits(), dense[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_is_sorted_structural_and_nondestructive() {
+        let mut t = Triplets::new(2, 2);
+        t.push(1, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, -1.0); // cancels numerically, still a structural entry
+        assert_eq!(t.pattern(), vec![(0, 1), (1, 0)]);
+        assert_eq!(t.len(), 3, "pattern() must not coalesce the entries");
     }
 }

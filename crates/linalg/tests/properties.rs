@@ -2,7 +2,9 @@
 //! xorshift generator so every run checks the same reproducible random
 //! matrices.
 
-use amsvp_linalg::{norm_inf, solve, LuFactors, Matrix, Triplets};
+use amsvp_linalg::{
+    norm_inf, AnyLu, Factorization, LuFactors, Matrix, SolverKind, SparseLu, Triplets,
+};
 
 /// Deterministic xorshift64* generator.
 struct Rng(u64);
@@ -58,7 +60,9 @@ fn solve_residual_is_small() {
         let a = dominant_matrix(&mut rng);
         let n = a.rows();
         let b: Vec<f64> = (0..n).map(|i| (i as f64) - 0.5 * n as f64).collect();
-        let x = solve(&a, &b).expect("dominant matrix must factor");
+        let lu = LuFactors::factor(&a).expect("dominant matrix must factor");
+        let mut x = vec![0.0; n];
+        lu.solve_into(&b, &mut x);
         let r = a.mul_vec(&x);
         let err: Vec<f64> = r.iter().zip(&b).map(|(u, v)| u - v).collect();
         assert!(norm_inf(&err) < 1e-8, "residual too large: {err:?}");
@@ -75,10 +79,11 @@ fn inverse_via_lu() {
         let n = a.rows();
         let lu = LuFactors::factor(&a).unwrap();
         let mut inv = Matrix::zeros(n, n);
+        let mut col = vec![0.0; n];
         for j in 0..n {
             let mut e = vec![0.0; n];
             e[j] = 1.0;
-            let col = lu.solve(&e);
+            lu.solve_into(&e, &mut col);
             for i in 0..n {
                 inv[(i, j)] = col[i];
             }
@@ -114,6 +119,53 @@ fn det_sign_flips_on_row_swap() {
         }
         let ds = LuFactors::factor(&swapped).unwrap().det();
         assert!((d + ds).abs() < 1e-6 * d.abs().max(ds.abs()).max(1.0));
+    }
+}
+
+/// A random sparse diagonally-dominant system as triplet stamps, with
+/// duplicate coordinates to exercise accumulation.
+fn sparse_system(rng: &mut Rng) -> Triplets {
+    let n = rng.usize_in(2, 40);
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, (n as f64) + 2.0 + rng.range(-0.5, 0.5));
+        let offdiag = rng.usize_in(0, 4);
+        for _ in 0..offdiag {
+            t.push(i, rng.usize_in(0, n), rng.range(-1.0, 1.0));
+        }
+    }
+    t
+}
+
+/// Both `Factorization` backends must solve the same stamped system to
+/// the same answer, including after pattern-reusing refactorizations.
+#[test]
+fn backends_agree_on_random_sparse_systems() {
+    let mut rng = Rng::new(0x5ba5_e10c);
+    for _ in 0..CASES {
+        let t = sparse_system(&mut rng);
+        let n = t.rows();
+        let b: Vec<f64> = (0..n).map(|_| rng.range(-2.0, 2.0)).collect();
+        let dense = AnyLu::analyze_with(SolverKind::Dense, &t).unwrap();
+        let mut sparse = SparseLu::analyze(&t).unwrap();
+        let mut xd = vec![0.0; n];
+        let mut xs = vec![0.0; n];
+        dense.solve_into(&b, &mut xd);
+        sparse.solve_into(&b, &mut xs);
+        let err: Vec<f64> = xd.iter().zip(&xs).map(|(u, v)| u - v).collect();
+        assert!(norm_inf(&err) < 1e-9, "backends disagree: {err:?}");
+        // New values over the same stamps: numeric-only refactor.
+        let mut t2 = Triplets::new(n, n);
+        for (i, j, v) in t.iter() {
+            t2.push(i, j, v * 1.25 + if i == j { 0.5 } else { 0.0 });
+        }
+        sparse.refactor(&t2).unwrap();
+        let dense2 = AnyLu::analyze_with(SolverKind::Dense, &t2).unwrap();
+        sparse.solve_into(&b, &mut xs);
+        dense2.solve_into(&b, &mut xd);
+        let err: Vec<f64> = xd.iter().zip(&xs).map(|(u, v)| u - v).collect();
+        assert!(norm_inf(&err) < 1e-9, "refactor diverged: {err:?}");
+        assert_eq!(sparse.stats().refactor, 1);
     }
 }
 

@@ -1,5 +1,6 @@
-//! Golden-waveform corpus: the five benchmark circuits (Table I's 2IN,
-//! RC1, RC20, OA, plus the stiff diode clamp) simulated on the scalar
+//! Golden-waveform corpus: the six benchmark circuits (Table I's 2IN,
+//! RC1, RC20, OA, the stiff diode clamp, plus a 30-stage RC ladder that
+//! exercises the sparse factorization backend) simulated on the scalar
 //! path with fixed seeds, serialized to `tests/golden/*.json`, and held
 //! bit-exact forever after.
 //!
@@ -95,6 +96,18 @@ fn corpus() -> Vec<Circuit> {
             dt: 1e-4,
             hi: 0.8,
             step_control: Some(clamp_ctrl),
+        },
+        // 30 stages → 150 unknowns, above the sparse threshold: under
+        // `SolverKind::Auto` every execution mode below runs the sparse
+        // backend, pinning its pivot sequence bit-exactly. dt is coarse
+        // (1 ms vs the ~56 ms ladder diffusion time) so `V(out)` resolves
+        // visibly within the 60-step window.
+        Circuit {
+            label: "RC30",
+            src: rc_ladder(30),
+            dt: 1e-3,
+            hi: 1.0,
+            step_control: None,
         },
     ]
 }
@@ -323,7 +336,7 @@ fn all_execution_modes_reproduce_the_golden_corpus() {
 
 #[test]
 fn golden_corpus_files_are_well_formed() {
-    // Independent of simulation: the five files exist, parse, and carry
+    // Independent of simulation: the six files exist, parse, and carry
     // the expected shape — so corpus corruption is reported as such
     // rather than as a waveform mismatch.
     for c in corpus() {

@@ -16,8 +16,8 @@
 //! are independent implementations sharing only the backward-Euler
 //! discretization, so they must agree to solver tolerance (NRMSE ≤ 1e-5).
 
-use amsim::Simulation;
-use amsvp_core::circuits::{paper_benchmarks, PiecewiseConstant};
+use amsim::{Simulation, SolverKind};
+use amsvp_core::circuits::{paper_benchmarks, rc_ladder, PiecewiseConstant};
 use amsvp_core::Abstraction;
 use de::{Kernel, SimTime};
 use eln::{ElnNetwork, Method, NodeId, SourceId, Transient};
@@ -225,6 +225,179 @@ fn substrates_agree_pairwise_on_table1_circuits() {
         assert!(
             hi - lo > 0.1,
             "{label}: stimulus produced a nearly flat response ({lo}..{hi})"
+        );
+    }
+}
+
+/// Run the conservative AMS simulator with an explicit factorization
+/// backend, returning the waveform and the backend the compile actually
+/// selected.
+fn ams_waveform_with(
+    source: &str,
+    n_inputs: usize,
+    dt: f64,
+    steps: usize,
+    output: &str,
+    stim: &PiecewiseConstant,
+    kind: SolverKind,
+) -> (Vec<f64>, SolverKind) {
+    let module = vams_parser::parse_module(source).unwrap();
+    let model = Simulation::new(&module)
+        .dt(dt)
+        .output(output)
+        .solver(kind)
+        .compile()
+        .unwrap();
+    let mut inst = model.instance();
+    let mut buf = vec![0.0; n_inputs];
+    let wave = (0..steps)
+        .map(|k| {
+            let u = stim.value(k as f64 * dt);
+            buf.iter_mut().for_each(|v| *v = u);
+            inst.try_step(&buf).unwrap();
+            inst.output(0)
+        })
+        .collect();
+    (wave, model.solver_kind())
+}
+
+/// The AMS simulator must produce the same waveform (to rounding) no
+/// matter which factorization backend solves its Newton systems: dense
+/// Gaussian elimination and the sparse pattern-reusing LU differ only in
+/// elimination order, never in the system being solved.
+#[test]
+fn factorization_backends_agree_on_table1_circuits() {
+    const EXACT: f64 = 1e-12;
+    for (i, (label, source, n_inputs)) in paper_benchmarks().into_iter().enumerate() {
+        let dt = dt_for(label);
+        let stim = stim_for(i, dt);
+        let (dense, dk) = ams_waveform_with(
+            &source,
+            n_inputs,
+            dt,
+            STEPS,
+            "V(out)",
+            &stim,
+            SolverKind::Dense,
+        );
+        let (sparse, sk) = ams_waveform_with(
+            &source,
+            n_inputs,
+            dt,
+            STEPS,
+            "V(out)",
+            &stim,
+            SolverKind::Sparse,
+        );
+        assert_eq!(dk, SolverKind::Dense, "{label}: forced Dense not honored");
+        assert_eq!(sk, SolverKind::Sparse, "{label}: forced Sparse not honored");
+        let err = nrmse(&dense, &sparse);
+        assert!(
+            err <= EXACT,
+            "{label}: dense vs sparse backend NRMSE {err:.3e} exceeds {EXACT:.0e}"
+        );
+        if label == "2IN" {
+            // The auto heuristic keeps small dense systems on the dense path.
+            let (auto, ak) = ams_waveform_with(
+                &source,
+                n_inputs,
+                dt,
+                STEPS,
+                "V(out)",
+                &stim,
+                SolverKind::Auto,
+            );
+            assert_eq!(ak, SolverKind::Dense, "2IN: Auto must resolve to Dense");
+            assert_eq!(
+                nrmse(&auto, &dense),
+                0.0,
+                "2IN: Auto and Dense must be the same path bit-for-bit"
+            );
+        }
+    }
+}
+
+/// Dense-vs-sparse differential on the RC ladder family, where the
+/// sparse backend is the one `SolverKind::Auto` actually selects. The
+/// release build runs the paper-scale RC500 (2500 unknowns); the debug
+/// build substitutes an 80-stage ladder because symbolic compilation of
+/// RC500 — unrelated to the factorization backend — dominates unoptimized
+/// runtime. `V(n3)` near the driven end responds well within the window,
+/// making the comparison numerically meaningful.
+#[test]
+fn factorization_backends_agree_on_rc_ladder() {
+    const EXACT: f64 = 1e-12;
+    let stages = if cfg!(debug_assertions) { 80 } else { 500 };
+    let steps = 400;
+    let dt = 50e-6;
+    let source = rc_ladder(stages);
+    // Faster level switching than `stim_for`: 25 steps (1.25 ms) per level
+    // so the 400-step window sees 16 levels and `V(n3)` swings visibly.
+    let stim = PiecewiseConstant::seeded(0xC0FFEE + 7, 16, 25.0 * dt, -0.5, 1.0);
+    let (dense, dk) = ams_waveform_with(&source, 1, dt, steps, "V(n3)", &stim, SolverKind::Dense);
+    let (sparse, sk) = ams_waveform_with(&source, 1, dt, steps, "V(n3)", &stim, SolverKind::Auto);
+    assert_eq!(
+        dk,
+        SolverKind::Dense,
+        "RC{stages}: forced Dense not honored"
+    );
+    assert_eq!(
+        sk,
+        SolverKind::Sparse,
+        "RC{stages}: Auto must resolve to Sparse above the size threshold"
+    );
+    let err = nrmse(&dense, &sparse);
+    assert!(
+        err <= EXACT,
+        "RC{stages}: dense vs sparse backend NRMSE {err:.3e} exceeds {EXACT:.0e}"
+    );
+    // Sanity: the observed net actually moved.
+    let (lo, hi) = dense
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    assert!(
+        hi - lo > 0.1,
+        "RC{stages}: V(n3) nearly flat ({lo}..{hi}); comparison is vacuous"
+    );
+}
+
+/// The ELN solver's backend seam: forced sparse and dense factorization
+/// of the same MNA system agree to rounding under both integration
+/// methods, and the copy-on-toggle switch path refactors correctly on
+/// the sparse backend too.
+#[test]
+fn eln_backends_agree_on_rc_ladder() {
+    const EXACT: f64 = 1e-12;
+    let (net, src, out) = rc_ladder_eln(20);
+    let dt = dt_for("RC20");
+    let stim = stim_for(2, dt);
+    for method in [Method::BackwardEuler, Method::Trapezoidal] {
+        let mut waves = Vec::new();
+        for kind in [SolverKind::Dense, SolverKind::Sparse] {
+            let compiled = Transient::new(&net)
+                .dt(dt)
+                .method(method)
+                .solver(kind)
+                .compile()
+                .unwrap();
+            assert_eq!(compiled.solver_kind(), kind, "forced backend not honored");
+            let mut solver = compiled.instance();
+            let wave: Vec<f64> = (0..STEPS)
+                .map(|k| {
+                    let u = stim.value(k as f64 * dt);
+                    solver.set_source(src, u);
+                    solver.step();
+                    solver.node_voltage(out)
+                })
+                .collect();
+            waves.push(wave);
+        }
+        let err = nrmse(&waves[0], &waves[1]);
+        assert!(
+            err <= EXACT,
+            "eln {method:?}: dense vs sparse NRMSE {err:.3e} exceeds {EXACT:.0e}"
         );
     }
 }

@@ -8,11 +8,12 @@
 
 use std::sync::Arc;
 
-use amsim::{CompiledModel, Simulation};
-use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+use amsim::{CompiledModel, Simulation, SolverKind, StepControl};
+use amsvp_core::circuits::{diode_clamp, rc_ladder, PiecewiseConstant};
 use obs::{Obs, Report};
 use sweep::{
-    run_ams_sweep, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine, SweepOutcome,
+    run_ams_sweep, run_ams_sweep_batched, AmsScenario, ScenarioBudget, ScenarioOutcome,
+    SweepEngine, SweepOutcome,
 };
 
 const DIODE: &str = "module dio(in, out);
@@ -28,10 +29,15 @@ const DIODE: &str = "module dio(in, out);
  endmodule";
 
 fn compile(source: &str, dt: f64) -> Arc<CompiledModel> {
+    compile_with(source, dt, SolverKind::Auto)
+}
+
+fn compile_with(source: &str, dt: f64, kind: SolverKind) -> Arc<CompiledModel> {
     let module = vams_parser::parse_module(source).unwrap();
     Simulation::new(&module)
         .dt(dt)
         .output("V(out)")
+        .solver(kind)
         .compile()
         .unwrap()
 }
@@ -158,5 +164,152 @@ fn model_is_compiled_once_no_matter_the_sweep_size() {
     assert_eq!(
         many, one,
         "64 scenarios must not trigger any additional Jacobian builds"
+    );
+}
+
+/// Determinism must survive the sparse backend: a 30-stage ladder (150
+/// unknowns, above the sparse threshold) swept scalar and 8-lane-batched
+/// at 1/2/8 workers produces one bit-exact answer. The sparse pivot
+/// sequence and fill pattern are frozen per compiled model, so neither
+/// lane packing nor scheduling can perturb the elimination order.
+#[test]
+fn sparse_backend_sweeps_are_deterministic() {
+    let model = compile_with(&rc_ladder(30), 1e-3, SolverKind::Auto);
+    assert_eq!(
+        model.solver_kind(),
+        SolverKind::Sparse,
+        "RC30 must auto-select the sparse backend for this test to mean anything"
+    );
+    // 12 scenarios over 8-wide lanes: one full lane block plus an uneven
+    // 4-lane remainder.
+    let scen = scenarios(12, 100, 25e-3, 1.0);
+
+    let reference = run_ams_sweep(
+        &SweepEngine::new().workers(1),
+        &model,
+        &scen,
+        &ScenarioBudget::unlimited(),
+    )
+    .unwrap();
+    let reference_waves = waveform_bits(&reference);
+    let reference_counters = solver_counters(&reference.report);
+    assert_ne!(reference_waves[0], reference_waves[1]);
+
+    for workers in [1usize, 2, 8] {
+        let engine = SweepEngine::new().workers(workers);
+        let scalar = run_ams_sweep(&engine, &model, &scen, &ScenarioBudget::unlimited()).unwrap();
+        assert_eq!(
+            waveform_bits(&scalar),
+            reference_waves,
+            "sparse scalar sweep at {workers} workers drifted"
+        );
+        assert_eq!(
+            solver_counters(&scalar.report),
+            reference_counters,
+            "sparse solver counters at {workers} workers drifted"
+        );
+
+        let batched =
+            run_ams_sweep_batched(&engine, &model, &scen, 8, &ScenarioBudget::unlimited()).unwrap();
+        assert_eq!(
+            waveform_bits(&batched),
+            reference_waves,
+            "8-lane sparse batched sweep at {workers} workers drifted from the scalar path"
+        );
+    }
+}
+
+/// The factorization backend is an implementation detail of the linear
+/// solve: swapping it must not change how the simulation *works* — same
+/// steps, same Newton iterations, same number of factorizations — only
+/// how each factorization is carried out. The sparse run additionally
+/// reports its own `linalg.sparse.*` counters; the dense run reports
+/// none.
+#[test]
+fn factorization_backend_conserves_solver_counters() {
+    let scen = scenarios(8, 100, 25e-3, 1.0);
+    let run = |kind: SolverKind| {
+        let model = compile_with(&rc_ladder(30), 1e-3, kind);
+        assert_eq!(model.solver_kind(), kind);
+        run_ams_sweep(
+            &SweepEngine::new().workers(2),
+            &model,
+            &scen,
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap()
+    };
+    let dense = run(SolverKind::Dense);
+    let sparse = run(SolverKind::Sparse);
+
+    let amsim_counters = |r: &Report| {
+        r.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("amsim."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        amsim_counters(&dense.report),
+        amsim_counters(&sparse.report),
+        "amsim.* counters must be conserved across factorization backends"
+    );
+
+    assert_eq!(
+        dense.report.counter("linalg.sparse.refactor"),
+        0,
+        "the dense backend must not report sparse counters"
+    );
+    assert_eq!(
+        sparse.report.counter("linalg.sparse.refactor"),
+        sparse.report.counter("amsim.lu.factorizations"),
+        "every run-time factorization on the sparse path is a pattern-reusing refactor"
+    );
+    assert_eq!(
+        sparse.report.counter("linalg.sparse.analyze"),
+        0,
+        "instances inherit the frozen symbolic analysis; no run-time re-analysis on a \
+         fixed-pattern ladder"
+    );
+}
+
+/// The stiff diode clamp under adaptive stepping, forced onto the sparse
+/// backend despite its small dimension: Newton retries, dt backoff, and
+/// refactor-on-stall all route through `SparseLu::refactor`, and the
+/// waveform stays within rounding of the dense reference.
+#[test]
+fn sparse_backend_handles_nonlinear_adaptive_stepping() {
+    let src = diode_clamp();
+    let dt = 1e-4;
+    let steps = 60;
+    let stim = PiecewiseConstant::seeded(3, 5, 6.0 * dt, 0.0, 0.8);
+    let waveform = |kind: SolverKind| {
+        let model = compile_with(&src, dt, kind);
+        assert_eq!(model.solver_kind(), kind);
+        let mut inst = model
+            .instance_builder()
+            .step_control(StepControl::new(1e-9).max_retries(20))
+            .build()
+            .unwrap();
+        (0..steps)
+            .map(|k| {
+                inst.try_step(&[stim.value(k as f64 * dt)]).unwrap();
+                inst.output(0)
+            })
+            .collect::<Vec<f64>>()
+    };
+    let dense = waveform(SolverKind::Dense);
+    let sparse = waveform(SolverKind::Sparse);
+    let err = {
+        let sum_sq: f64 = dense
+            .iter()
+            .zip(&sparse)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum_sq / dense.len() as f64).sqrt()
+    };
+    assert!(
+        err <= 1e-12,
+        "diode clamp: dense vs sparse RMSE {err:.3e} exceeds 1e-12"
     );
 }
