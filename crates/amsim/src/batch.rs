@@ -35,7 +35,7 @@ use linalg::{AnyLu, FactorError, Factorization, Triplets};
 use obs::{CounterTracker, Obs};
 
 use crate::sim::stamp_jacobian;
-use crate::sim::{AmsError, CompiledModel, Instance, StepControl};
+use crate::sim::{AmsError, CompiledModel, Instance, Snapshot, SnapshotLu, StepControl};
 
 /// Per-lane solver state: everything the scalar [`Instance`] keeps
 /// per run, minus the (shared, SoA) slot/iterate storage.
@@ -140,6 +140,8 @@ pub struct BatchInstance {
     /// Lane-iterations computed but masked out (lane already converged,
     /// faulted or retired while siblings kept iterating).
     masked_iters: u64,
+    snapshots_taken: u64,
+    snapshots_restored: u64,
 
     obs: Obs,
     obs_steps: CounterTracker,
@@ -157,6 +159,8 @@ pub struct BatchInstance {
     obs_sparse_analyze: CounterTracker,
     obs_sparse_refactor: CounterTracker,
     obs_sparse_fill: CounterTracker,
+    obs_snap_taken: CounterTracker,
+    obs_snap_restored: CounterTracker,
 }
 
 /// Builder for a [`BatchInstance`] with per-lane settings — the batched
@@ -343,6 +347,8 @@ impl BatchInstance {
             dt_shrinks: 0,
             dt_grows: 0,
             masked_iters: 0,
+            snapshots_taken: 0,
+            snapshots_restored: 0,
             obs,
             obs_steps: CounterTracker::default(),
             obs_newton: CounterTracker::default(),
@@ -359,7 +365,134 @@ impl BatchInstance {
             obs_sparse_analyze: CounterTracker::default(),
             obs_sparse_refactor: CounterTracker::default(),
             obs_sparse_fill: CounterTracker::default(),
+            obs_snap_taken: CounterTracker::default(),
+            obs_snap_restored: CounterTracker::default(),
             model,
+        }
+    }
+
+    /// Seeds a fresh `lanes`-wide batch from one checkpoint: every lane
+    /// starts at the snapshot's state (slots, committed unknowns,
+    /// adaptive-step controller, LU validity) and the snapshot's
+    /// tolerance/step-control settings, then diverges under its own
+    /// inputs — the fan-out primitive tree-structured sweeps use at fork
+    /// points.
+    ///
+    /// Per-lane step and Newton counters
+    /// ([`BatchInstance::lane_steps`] /
+    /// [`BatchInstance::lane_newton_iterations`]) resume from the
+    /// snapshot's watermarks, so they report **path-cumulative** totals
+    /// (shared prefix + own suffix) exactly as if the lane had run flat
+    /// from `t = 0`. The aggregate counters reported to `obs` start at
+    /// zero: only work this batch actually performs is flushed, keeping
+    /// sweep-level counter conservation exact.
+    ///
+    /// A snapshot still on the model's shared zero-state factors
+    /// ([`Snapshot::owns_factors`] `== false`) seeds lanes that keep the
+    /// batched shared-factor multi-RHS solve fast path; private factors
+    /// are cloned per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn fork_from(snap: &Snapshot, lanes: usize, obs: Obs) -> BatchInstance {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        let mut batch = BatchInstance::with_model(
+            Arc::clone(&snap.model),
+            obs,
+            vec![snap.newton_tol; lanes],
+            vec![snap.step_control; lanes],
+        );
+        // Scatter the flat snapshot state into every lane of the SoA
+        // block. The reserved h / 1/h slots ride along, so the first
+        // `set_lane_dt` comparison sees exactly the value a flat run
+        // would have had at this point.
+        for s in 0..snap.model.slot_count {
+            for l in 0..lanes {
+                batch.slots[s * lanes + l] = snap.slots[s];
+            }
+        }
+        let n = snap.model.unknowns.len();
+        for i in 0..n {
+            for l in 0..lanes {
+                batch.x[i * lanes + l] = snap.x[i];
+                batch.x_prev[i * lanes + l] = snap.x_prev[i];
+            }
+        }
+        for lane in &mut batch.lane {
+            lane.cur_dt = snap.cur_dt;
+            lane.accept_streak = snap.accept_streak;
+            lane.time = snap.time;
+            lane.steps = snap.steps;
+            lane.newton_iters = snap.newton_iters;
+            match &snap.lu {
+                // Shared zero-state factors: `lu: None` keeps the lane
+                // eligible for the batched multi-RHS solve.
+                SnapshotLu::Shared { valid } => {
+                    lane.lu = None;
+                    lane.lu_valid = *valid && snap.model.init_lu.is_some();
+                }
+                SnapshotLu::Private { lu, valid } => {
+                    lane.lu = Some(lu.clone());
+                    lane.lu_valid = *valid;
+                }
+            }
+        }
+        batch.snapshots_restored = lanes as u64;
+        batch
+    }
+
+    /// Captures a checkpoint of lane `l`: the lane's column of the SoA
+    /// state gathered into a flat [`Snapshot`] interchangeable with one
+    /// taken from a scalar [`Instance`] at the same point. Valid on
+    /// retired lanes too — retirement freezes state, it does not destroy
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn snapshot_lane(&mut self, l: usize) -> Snapshot {
+        assert!(l < self.lanes, "lane out of range");
+        let lanes = self.lanes;
+        let n = self.model.unknowns.len();
+        let mut slots = vec![0.0; self.model.slot_count];
+        for (s, slot) in slots.iter_mut().enumerate() {
+            *slot = self.slots[s * lanes + l];
+        }
+        let mut x = vec![0.0; n];
+        let mut x_prev = vec![0.0; n];
+        for i in 0..n {
+            x[i] = self.x[i * lanes + l];
+            x_prev[i] = self.x_prev[i * lanes + l];
+        }
+        let lane = &self.lane[l];
+        let lu = match &lane.lu {
+            None => SnapshotLu::Shared {
+                valid: lane.lu_valid,
+            },
+            Some(owned) => {
+                let mut owned = owned.clone();
+                owned.reset_stats();
+                SnapshotLu::Private {
+                    lu: owned,
+                    valid: lane.lu_valid,
+                }
+            }
+        };
+        self.snapshots_taken += 1;
+        Snapshot {
+            model: Arc::clone(&self.model),
+            slots,
+            x,
+            x_prev,
+            newton_tol: lane.newton_tol,
+            step_control: lane.step_control,
+            cur_dt: lane.cur_dt,
+            accept_streak: lane.accept_streak,
+            time: lane.time,
+            steps: lane.steps,
+            newton_iters: lane.newton_iters,
+            lu,
         }
     }
 
@@ -944,6 +1077,11 @@ impl BatchInstance {
                 .flush(&self.obs, "linalg.sparse.refactor", sparse.refactor);
             self.obs_sparse_fill
                 .flush(&self.obs, "linalg.sparse.fill", sparse.fill);
+            let (taken, restored) = (self.snapshots_taken, self.snapshots_restored);
+            self.obs_snap_taken
+                .flush(&self.obs, "amsim.snapshot.taken", taken);
+            self.obs_snap_restored
+                .flush(&self.obs, "amsim.snapshot.restored", restored);
         }
     }
 }

@@ -61,7 +61,8 @@ mod sim;
 
 pub use batch::{BatchInstance, BatchInstanceBuilder};
 pub use sim::{
-    AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation, StepControl,
+    AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation, Snapshot,
+    StepControl,
 };
 
 // Re-exported so call sites can pick a backend via

@@ -369,6 +369,8 @@ pub struct Instance {
     step_retries: u64,
     dt_shrinks: u64,
     dt_grows: u64,
+    snapshots_taken: u64,
+    snapshots_restored: u64,
     obs: Obs,
     obs_steps: CounterTracker,
     obs_newton: CounterTracker,
@@ -383,11 +385,94 @@ pub struct Instance {
     obs_sparse_analyze: CounterTracker,
     obs_sparse_refactor: CounterTracker,
     obs_sparse_fill: CounterTracker,
+    obs_snap_taken: CounterTracker,
+    obs_snap_restored: CounterTracker,
 }
 
 /// Historical name of [`Instance`], kept so existing call sites (and the
 /// co-simulation plumbing) keep compiling unchanged.
 pub type AmsSimulator = Instance;
+
+/// Captured LU state of a snapshot: either "the run was still on the
+/// model's shared zero-state factors" (cheap — restore re-clones from
+/// [`CompiledModel`]) or a private clone of factors the run had already
+/// refreshed, together with the modified-Newton validity flag.
+#[derive(Clone)]
+pub(crate) enum SnapshotLu {
+    /// The run had never factored privately: restore clones the model's
+    /// `init_lu` (when present) and keeps the recorded validity. Batch
+    /// lanes restored from this state stay eligible for the shared
+    /// multi-RHS solve fast path.
+    Shared { valid: bool },
+    /// Private factors, cloned at snapshot time with their sparse-work
+    /// stats reset (the parent run already reported that work).
+    Private { lu: AnyLu, valid: bool },
+}
+
+/// Cheap checkpoint of one transient run (or one batch lane): everything
+/// a resumed simulation needs to continue **bit-identically** with a run
+/// that never stopped.
+///
+/// Captures the flat slot block
+/// `[unknowns | inputs | ddt prev | idt state | h | 1/h]` (the idt
+/// accumulators and ddt history live inside it), the committed unknown
+/// vectors, the adaptive-step controller state (current sub-step and
+/// grow streak), the LU validity ([`SnapshotLu`]), and watermarks of the
+/// monotone work counters so forked runs can report path-cumulative
+/// totals without double-counting prefix work.
+///
+/// Take one with [`Instance::snapshot`] or
+/// [`BatchInstance::snapshot_lane`](crate::BatchInstance::snapshot_lane);
+/// resume with [`Instance::restore`] or fan out with
+/// [`BatchInstance::fork_from`](crate::BatchInstance::fork_from).
+/// Snapshots are `Clone + Send + Sync` and tied to their originating
+/// [`CompiledModel`] (restoring onto a different model panics).
+#[derive(Clone)]
+pub struct Snapshot {
+    pub(crate) model: Arc<CompiledModel>,
+    /// Flat scalar slot state at the checkpoint.
+    pub(crate) slots: Vec<f64>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) x_prev: Vec<f64>,
+    pub(crate) newton_tol: f64,
+    pub(crate) step_control: Option<StepControl>,
+    pub(crate) cur_dt: f64,
+    pub(crate) accept_streak: u32,
+    pub(crate) time: f64,
+    /// Watermark: nominal steps completed on the captured path.
+    pub(crate) steps: u64,
+    /// Watermark: Newton iterations spent on the captured path.
+    pub(crate) newton_iters: u64,
+    pub(crate) lu: SnapshotLu,
+}
+
+impl Snapshot {
+    /// Simulated time at the checkpoint, in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Nominal steps the captured run had completed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Newton iterations the captured run had spent.
+    pub fn newton_iterations(&self) -> u64 {
+        self.newton_iters
+    }
+
+    /// The compiled model this checkpoint belongs to.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// Whether the checkpoint carries private LU factors (as opposed to
+    /// still riding the model's shared zero-state factorization).
+    pub fn owns_factors(&self) -> bool {
+        matches!(self.lu, SnapshotLu::Private { .. })
+    }
+}
 
 /// Builder for an [`AmsSimulator`] reference transient.
 ///
@@ -995,6 +1080,8 @@ impl AmsSimulator {
             step_retries: 0,
             dt_shrinks: 0,
             dt_grows: 0,
+            snapshots_taken: 0,
+            snapshots_restored: 0,
             obs,
             obs_steps: CounterTracker::default(),
             obs_newton: CounterTracker::default(),
@@ -1009,6 +1096,8 @@ impl AmsSimulator {
             obs_sparse_analyze: CounterTracker::default(),
             obs_sparse_refactor: CounterTracker::default(),
             obs_sparse_fill: CounterTracker::default(),
+            obs_snap_taken: CounterTracker::default(),
+            obs_snap_restored: CounterTracker::default(),
             model,
         }
     }
@@ -1057,7 +1146,107 @@ impl AmsSimulator {
                 .flush(&self.obs, "linalg.sparse.refactor", sparse.refactor);
             self.obs_sparse_fill
                 .flush(&self.obs, "linalg.sparse.fill", sparse.fill);
+            let (taken, restored) = (self.snapshots_taken, self.snapshots_restored);
+            self.obs_snap_taken
+                .flush(&self.obs, "amsim.snapshot.taken", taken);
+            self.obs_snap_restored
+                .flush(&self.obs, "amsim.snapshot.restored", restored);
         }
+    }
+
+    /// Captures a checkpoint of the current run state: slots (ddt/idt
+    /// history and the reserved `h`/`1/h` slots included), committed
+    /// unknowns, adaptive-step controller state, LU factors + validity,
+    /// and the step/Newton watermarks. The factors are cloned with their
+    /// sparse stats reset — this run has already reported that work.
+    ///
+    /// `&mut self` only for the `amsim.snapshot.taken` counter; the run
+    /// state is untouched and stepping may continue immediately.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let mut lu = self.ws.lu.clone();
+        lu.reset_stats();
+        self.snapshots_taken += 1;
+        Snapshot {
+            model: Arc::clone(&self.model),
+            slots: self.slots.clone(),
+            x: self.x.clone(),
+            x_prev: self.x_prev.clone(),
+            newton_tol: self.newton_tol,
+            step_control: self.step_control,
+            cur_dt: self.cur_dt,
+            accept_streak: self.accept_streak,
+            time: self.time,
+            steps: self.steps,
+            newton_iters: self.newton_iters,
+            lu: SnapshotLu::Private {
+                lu,
+                valid: self.ws.lu_valid,
+            },
+        }
+    }
+
+    /// Rewinds this run to a checkpoint taken from the **same** compiled
+    /// model. Subsequent steps are bit-identical to a run that reached
+    /// the checkpoint and never stopped: the slot block replays the exact
+    /// ddt/idt history, the adaptive controller resumes its sub-step and
+    /// grow streak, and the captured factors (validity included) are
+    /// reinstated, so the modified-Newton refresh schedule is preserved.
+    ///
+    /// Work counters stay monotone — they are never rewound, so an
+    /// attached [`Obs`] collector cannot double-count. After rewinding
+    /// the *same* instance, per-run accessors such as
+    /// [`Instance::newton_iterations`] keep counting from the high-water
+    /// mark; forked lanes seeded via
+    /// [`BatchInstance::fork_from`](crate::BatchInstance::fork_from)
+    /// instead report path-cumulative totals from the snapshot's
+    /// watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a different compiled model.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert!(
+            Arc::ptr_eq(&self.model, &snap.model),
+            "Instance::restore: snapshot belongs to a different compiled model"
+        );
+        self.slots.copy_from_slice(&snap.slots);
+        self.x.copy_from_slice(&snap.x);
+        self.x_prev.copy_from_slice(&snap.x_prev);
+        self.newton_tol = snap.newton_tol;
+        self.step_control = snap.step_control;
+        self.cur_dt = snap.cur_dt;
+        self.accept_streak = snap.accept_streak;
+        self.time = snap.time;
+        match &snap.lu {
+            SnapshotLu::Private { lu, valid } => {
+                self.ws.lu = lu.clone();
+                self.ws.lu_valid = *valid;
+            }
+            SnapshotLu::Shared { valid } => {
+                if let Some(init) = &self.model.init_lu {
+                    let mut lu = init.clone();
+                    lu.reset_stats();
+                    self.ws.lu = lu;
+                    self.ws.lu_valid = *valid;
+                } else {
+                    // No shared zero-state factors exist: the storage is
+                    // reused and the first step refactors lazily, exactly
+                    // like a fresh instance.
+                    self.ws.lu_valid = false;
+                }
+            }
+        }
+        self.snapshots_restored += 1;
+    }
+
+    /// Checkpoints taken from this run (performance counter).
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// Checkpoints restored into this run (performance counter).
+    pub fn snapshots_restored(&self) -> u64 {
+        self.snapshots_restored
     }
 
     /// Time step in seconds.

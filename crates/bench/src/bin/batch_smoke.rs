@@ -14,7 +14,7 @@
 //!   lane-block: the shared-factor triangular solves and residual
 //!   programs run over contiguous `[slot][lane]` memory).
 //!
-//! Writes the merged batched report as `BENCH_obs.json`. Exits nonzero
+//! Writes the merged batched report as `BENCH_batch_smoke.json`. Exits nonzero
 //! on any violation.
 
 use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
@@ -68,8 +68,8 @@ fn main() {
     let mut report = compile_obs.report().expect("recording collector reports");
     report.merge(&batched.report);
     report
-        .write_json("BENCH_obs.json")
-        .expect("BENCH_obs.json is writable");
+        .write_json("BENCH_batch_smoke.json")
+        .expect("BENCH_batch_smoke.json is writable");
 
     let mut failures = Vec::new();
     // Bit-identity: every batched waveform equals its scalar twin.

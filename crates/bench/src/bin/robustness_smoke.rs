@@ -4,7 +4,7 @@
 //! faults — a panicking stimulus and a fixed-dt non-convergent run —
 //! and asserts the healthy 14 complete, the faults come back as typed
 //! records in their slots, the fault counters tally, and no scenario is
-//! lost or duplicated. Writes the merged report as `BENCH_obs.json` and
+//! lost or duplicated. Writes the merged report as `BENCH_robustness_smoke.json` and
 //! exits nonzero on any violation.
 
 use amsim::StepControl;
@@ -93,8 +93,8 @@ fn main() {
 
     let report = &outcome.report;
     report
-        .write_json("BENCH_obs.json")
-        .expect("BENCH_obs.json is writable");
+        .write_json("BENCH_robustness_smoke.json")
+        .expect("BENCH_robustness_smoke.json is writable");
 
     let mut failures = Vec::new();
     if outcome.results.len() != SCENARIOS {

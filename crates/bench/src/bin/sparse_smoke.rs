@@ -20,7 +20,7 @@
 //! * sparse per-step cost scales near-linearly: RC500 costs at most
 //!   `MAX_STEP_RATIO`× RC20 per step, against a 25× size ratio.
 //!
-//! Writes the merged report as `BENCH_obs.json`. Exits nonzero on any
+//! Writes the merged report as `BENCH_sparse_smoke.json`. Exits nonzero on any
 //! violation.
 
 use amsim::{Simulation, SolverKind, StepControl};
@@ -222,8 +222,8 @@ fn main() {
     report.merge(&sparse.report);
     report.merge(&dio.report);
     report
-        .write_json("BENCH_obs.json")
-        .expect("BENCH_obs.json is writable");
+        .write_json("BENCH_sparse_smoke.json")
+        .expect("BENCH_sparse_smoke.json is writable");
 
     println!("sparse_smoke: RC500 transient, {STEPS} steps at dt {DT:.0e}");
     println!("  dense    {:>8.3} s", dense.secs);

@@ -1,7 +1,7 @@
 //! CI smoke check for the parallel sweep engine.
 //!
 //! Runs a small RC1 tolerance sweep on a 4-worker pool over one shared
-//! compiled model, writes the merged report as `BENCH_obs.json`, and
+//! compiled model, writes the merged report as `BENCH_sweep_smoke.json`, and
 //! asserts the sweep-level counters plus the compile-once guarantee —
 //! so a regression that silently recompiles per scenario (or loses
 //! scenarios) fails CI. Exits nonzero on any violation.
@@ -44,8 +44,8 @@ fn main() {
     let mut report = compile_obs.report().expect("recording collector reports");
     report.merge(&outcome.report);
     report
-        .write_json("BENCH_obs.json")
-        .expect("BENCH_obs.json is writable");
+        .write_json("BENCH_sweep_smoke.json")
+        .expect("BENCH_sweep_smoke.json is writable");
 
     let mut failures = Vec::new();
     if outcome.results.len() != SCENARIOS {

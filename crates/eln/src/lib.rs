@@ -44,7 +44,7 @@ mod solver;
 
 pub use network::{ComponentId, ElnNetwork, NodeId, SourceId, SwitchId};
 pub use process::ElnProcess;
-pub use solver::{CompiledNet, ElnError, ElnSolver, Method, Transient};
+pub use solver::{CompiledNet, ElnError, ElnSnapshot, ElnSolver, Method, Transient};
 
 // Re-exported so call sites can pick a backend via [`Transient::solver`]
 // without depending on the linalg crate directly.

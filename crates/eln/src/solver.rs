@@ -134,11 +134,55 @@ pub struct CompiledNet {
 /// run diverges from the compiled switch state (copy-on-toggle). Runs that
 /// never toggle a switch solve against the shared compiled factors and
 /// allocate no matrix storage of their own.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OwnedSystem {
     lu: AnyLu,
     g: Matrix,
     c_over_dt: Matrix,
+}
+
+/// Cheap checkpoint of one [`ElnSolver`] run: solution history, source
+/// values, switch states and (when the run has toggled away from the
+/// compiled topology) a clone of the copy-on-toggle factors. Restoring
+/// resumes stepping **bit-identically** with a run that never stopped.
+///
+/// Take one with [`ElnSolver::snapshot`], resume with
+/// [`ElnSolver::restore`]. Snapshots are `Clone + Send + Sync` and tied
+/// to their originating [`CompiledNet`].
+#[derive(Debug, Clone)]
+pub struct ElnSnapshot {
+    net: Arc<CompiledNet>,
+    x: Vec<f64>,
+    x_prev: Vec<f64>,
+    source_values: Vec<f64>,
+    prev_source_values: Vec<f64>,
+    switch_closed: Vec<bool>,
+    owned: Option<Box<OwnedSystem>>,
+    time: f64,
+    steps: u64,
+}
+
+impl ElnSnapshot {
+    /// Simulated time at the checkpoint, in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps the captured run had completed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The compiled network this checkpoint belongs to.
+    pub fn compiled(&self) -> &Arc<CompiledNet> {
+        &self.net
+    }
+
+    /// Whether the checkpoint carries copy-on-toggle factors (the run
+    /// had left the compiled switch state).
+    pub fn owns_factors(&self) -> bool {
+        self.owned.is_some()
+    }
 }
 
 /// Fixed-timestep MNA transient solver for an [`ElnNetwork`]: the mutable
@@ -492,6 +536,56 @@ impl ElnSolver {
             self.obs_sparse_fill
                 .flush(&self.obs, "linalg.sparse.fill", sparse.fill);
         }
+    }
+
+    /// Captures a checkpoint of the current run state. Copy-on-toggle
+    /// factors (when materialized) are cloned with their sparse stats
+    /// reset — this run has already reported that work.
+    pub fn snapshot(&self) -> ElnSnapshot {
+        let owned = self.owned.as_ref().map(|o| {
+            let mut o = o.clone();
+            o.lu.reset_stats();
+            o
+        });
+        ElnSnapshot {
+            net: Arc::clone(&self.net),
+            x: self.x.clone(),
+            x_prev: self.x_prev.clone(),
+            source_values: self.source_values.clone(),
+            prev_source_values: self.prev_source_values.clone(),
+            switch_closed: self.switch_closed.clone(),
+            owned,
+            time: self.time,
+            steps: self.steps,
+        }
+    }
+
+    /// Rewinds this run to a checkpoint taken from the **same** compiled
+    /// network. Subsequent steps are bit-identical to a run that reached
+    /// the checkpoint and never stopped: solution history, source values,
+    /// switch states and the solve path (shared compiled factors vs. the
+    /// checkpoint's copy-on-toggle clone) are all reinstated. The step
+    /// counter stays monotone so an attached collector cannot
+    /// double-count; [`ElnSolver::steps`] keeps counting from the
+    /// high-water mark after a same-instance rewind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a different compiled
+    /// network.
+    pub fn restore(&mut self, snap: &ElnSnapshot) {
+        assert!(
+            Arc::ptr_eq(&self.net, &snap.net),
+            "ElnSolver::restore: snapshot belongs to a different compiled network"
+        );
+        self.x.copy_from_slice(&snap.x);
+        self.x_prev.copy_from_slice(&snap.x_prev);
+        self.source_values.copy_from_slice(&snap.source_values);
+        self.prev_source_values
+            .copy_from_slice(&snap.prev_source_values);
+        self.switch_closed.copy_from_slice(&snap.switch_closed);
+        self.owned = snap.owned.clone();
+        self.time = snap.time;
     }
 
     /// Opens or closes a digitally controlled switch. A state change

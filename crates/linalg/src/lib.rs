@@ -52,25 +52,3 @@ pub use matrix::Matrix;
 pub use sparse::{SparseLu, SparseStats};
 pub use triplet::Triplets;
 pub use vector::{axpy, dot, norm2, norm_inf, nrmse, rmse, scale};
-
-/// Solves the dense linear system `a * x = b` in one call.
-///
-/// # Errors
-///
-/// Returns [`FactorError::NotSquare`] when `a` is not square and
-/// [`FactorError::Singular`] when it is singular to working precision.
-///
-/// # Panics
-///
-/// Panics if `b.len() != a.rows()`.
-#[deprecated(
-    since = "0.1.0",
-    note = "factor through the `Factorization` trait (`AnyLu::analyze_with` or \
-            `LuFactors::factor`) and reuse the factors with `solve_into`"
-)]
-pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, FactorError> {
-    let lu = LuFactors::factor(a)?;
-    let mut x = vec![0.0; b.len()];
-    lu.solve_into(b, &mut x);
-    Ok(x)
-}

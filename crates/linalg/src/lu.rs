@@ -226,22 +226,6 @@ impl LuFactors {
         self.lu.rows()
     }
 
-    /// Solves `A·x = b` using the stored factors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `b.len() != self.dim()`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates per call; use `solve_into` (the `Factorization` trait method) \
-                with a caller-owned buffer instead"
-    )]
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let mut x = vec![0.0; b.len()];
-        self.solve_into(b, &mut x);
-        x
-    }
-
     /// Solves `A·x = b`, writing the solution into a caller-provided buffer
     /// to avoid per-step allocation in transient loops.
     ///
@@ -412,7 +396,7 @@ mod tests {
     }
 
     /// Allocating convenience over `solve_into` for test brevity (the
-    /// public allocating `solve` is deprecated).
+    /// public API is buffer-based only).
     fn solve(lu: &LuFactors, b: &[f64]) -> Vec<f64> {
         let mut x = vec![0.0; b.len()];
         lu.solve_into(b, &mut x);
@@ -432,15 +416,6 @@ mod tests {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let lu = LuFactors::factor(&a).unwrap();
         assert_close(&solve(&lu, &[5.0, 7.0]), &[7.0, 5.0], 1e-14);
-    }
-
-    #[test]
-    fn deprecated_allocating_solve_still_works() {
-        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
-        let lu = LuFactors::factor(&a).unwrap();
-        #[allow(deprecated)]
-        let x = lu.solve(&[2.0, 8.0]);
-        assert_close(&x, &[1.0, 2.0], 1e-14);
     }
 
     #[test]

@@ -39,15 +39,16 @@
 //! ```
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use amsim::{AmsError, CompiledModel};
+use amsim::{AmsError, BatchInstance, CompiledModel, Snapshot};
 use amsvp_core::circuits::Stimulus;
 use eln::{CompiledNet, ElnError, NodeId, SourceId};
 use obs::{Obs, Report};
@@ -723,9 +724,10 @@ pub fn run_ams_sweep(
 /// [`AmsError`], a panicking stimulus is caught around that lane's
 /// sample alone, and the shared `budget` is accounted per lane
 /// ([`ScenarioBudget::check`]) — siblings in the same block finish
-/// normally in all three cases. (One caveat: lanes of a block share the
-/// block's wall clock for `max_wall` purposes, where scalar scenarios
-/// each start their own.)
+/// normally in all three cases. `max_wall` is charged per lane too:
+/// stimulus-sampling time goes to the sampling lane alone and each
+/// batched solve's time is split evenly over the lanes that entered it,
+/// so a slow sibling cannot trip a healthy lane's wall cap.
 ///
 /// The merged report carries the scalar sweep's `amsim.*` and
 /// `sweep.scenarios.{ok,failed,panicked,budget}` families plus the
@@ -769,7 +771,7 @@ pub fn run_ams_sweep_batched(
             }
         }
         let mut batch = builder.build().expect("overrides validated up front");
-        let started = Instant::now();
+        let track_wall = budget.wall_cap().is_some();
         let max_steps = block.iter().map(|sc| sc.steps).max().unwrap_or(0);
         let mut waveforms: Vec<Vec<f64>> = block
             .iter()
@@ -780,6 +782,12 @@ pub fn run_ams_sweep_batched(
         let mut lane_fault: Vec<Option<ScenarioOutcome<AmsRun, AmsError>>> =
             (0..lanes).map(|_| None).collect();
         let mut charged = vec![0u64; lanes];
+        // Per-lane wall account: each lane is charged only for time spent
+        // on its own behalf (its stimulus samples, its share of each
+        // batched solve), so a slow sibling cannot trip a healthy lane's
+        // `max_wall` the way the block's shared clock used to.
+        let mut lane_wall = vec![0.0f64; lanes];
+        let mut in_solve = vec![false; lanes];
         let mut inputs = vec![0.0; n_inputs * lanes];
         for k in 0..max_steps {
             // Sample every healthy lane's stimulus, catching panics and
@@ -795,16 +803,12 @@ pub fn run_ams_sweep_batched(
                     continue;
                 }
                 charged[l] += 1;
-                let wall = if budget.wall_cap().is_some() {
-                    started.elapsed().as_secs_f64()
-                } else {
-                    0.0
-                };
-                if let Err(b) = budget.check(charged[l], wall) {
+                if let Err(b) = budget.check(charged[l], lane_wall[l]) {
                     lane_fault[l] = Some(ScenarioOutcome::Budget(b));
                     batch.retire(l);
                     continue;
                 }
+                let sample_t0 = track_wall.then(Instant::now);
                 match catch_unwind(AssertUnwindSafe(|| sc.stim.value(k as f64 * dt))) {
                     Ok(u) => {
                         for i in 0..n_inputs {
@@ -816,11 +820,25 @@ pub fn run_ams_sweep_batched(
                         batch.retire(l);
                     }
                 }
+                if let Some(t0) = sample_t0 {
+                    lane_wall[l] += t0.elapsed().as_secs_f64();
+                }
             }
-            if batch.active_lanes() == 0 {
+            let solving = batch.active_lanes();
+            if solving == 0 {
                 break;
             }
+            for (l, s) in in_solve.iter_mut().enumerate() {
+                *s = batch.lane_active(l);
+            }
+            let solve_t0 = track_wall.then(Instant::now);
             batch.try_step(&inputs);
+            if let Some(t0) = solve_t0 {
+                let share = t0.elapsed().as_secs_f64() / solving as f64;
+                for (l, _) in in_solve.iter().enumerate().filter(|(_, s)| **s) {
+                    lane_wall[l] += share;
+                }
+            }
             for (l, sc) in block.iter().enumerate() {
                 if k < sc.steps && lane_fault[l].is_none() && batch.lane_active(l) {
                     waveforms[l].push(batch.output(0, l));
@@ -865,6 +883,637 @@ pub fn run_ams_sweep_batched(
     fault_obs.add("sweep.scenarios.budget", over_budget);
     out.report.merge(&fault_obs.report().unwrap_or_default());
     Ok(out)
+}
+
+// ----------------------------------------------------- scenario trees
+
+/// One stimulus segment of a scenario tree: `steps` nominal-dt steps
+/// driven by `stim` (sampled at **absolute** simulation time), then a
+/// fork into `children`. A segment with no children is a leaf and
+/// produces one [`AmsRun`] whose waveform spans the whole root-to-leaf
+/// path.
+pub struct ScenarioSegment {
+    /// Segment label; a leaf's label becomes [`AmsRun::name`].
+    pub name: String,
+    /// Stimulus driving every model input over this segment. Sampled at
+    /// absolute time `t = (global step index) · dt`, so moving a segment
+    /// boundary never changes what any path sees.
+    pub stim: Box<dyn Stimulus + Send + Sync>,
+    /// Nominal-dt steps this segment contributes to every path below it.
+    pub steps: usize,
+    /// Divergent continuations; empty makes this segment a leaf.
+    pub children: Vec<ScenarioSegment>,
+}
+
+impl ScenarioSegment {
+    fn count_nodes(&self) -> usize {
+        1 + self.children.iter().map(Self::count_nodes).sum::<usize>()
+    }
+
+    fn count_leaves(&self) -> usize {
+        if self.children.is_empty() {
+            1
+        } else {
+            self.children.iter().map(Self::count_leaves).sum()
+        }
+    }
+}
+
+/// One root of a [`ScenarioTree`]: a segment tree plus the solver
+/// overrides for **every** path below it. Overrides are per root by
+/// construction — forked lanes inherit them through the snapshot, so a
+/// path cannot change tolerance or step policy mid-run (which would
+/// break bit-identity with the flat sweep).
+pub struct TreeScenario {
+    /// Newton tolerance override; `None` keeps the model's tolerance.
+    pub newton_tol: Option<f64>,
+    /// Adaptive step-control override; `None` keeps the model's control.
+    pub step_control: Option<amsim::StepControl>,
+    /// The root stimulus segment.
+    pub segment: ScenarioSegment,
+}
+
+/// A forest of stimulus segments for [`run_ams_sweep_tree`]: shared
+/// prefixes are simulated **once** and children fork from a snapshot at
+/// each segment boundary.
+///
+/// Leaves are indexed depth-first, left to right — result slot `i` of
+/// the tree sweep is the `i`-th leaf in that order. A flat
+/// `Vec<AmsScenario>` converts into the equivalent depth-1 forest via
+/// `From`, making the tree API a strict superset of the flat one.
+pub struct ScenarioTree {
+    /// The independent root scenarios.
+    pub roots: Vec<TreeScenario>,
+}
+
+impl ScenarioTree {
+    /// Total segments in the forest.
+    pub fn node_count(&self) -> usize {
+        self.roots.iter().map(|r| r.segment.count_nodes()).sum()
+    }
+
+    /// Total leaves — the number of result slots a tree sweep produces.
+    pub fn leaf_count(&self) -> usize {
+        self.roots.iter().map(|r| r.segment.count_leaves()).sum()
+    }
+}
+
+impl From<Vec<AmsScenario>> for ScenarioTree {
+    /// A flat scenario list is a depth-1 forest: every scenario becomes
+    /// a childless root, so [`run_ams_sweep_tree`] degenerates to the
+    /// flat batched sweep (same results, same per-scenario budget
+    /// accounting, leaf order = input order).
+    fn from(scenarios: Vec<AmsScenario>) -> ScenarioTree {
+        ScenarioTree {
+            roots: scenarios
+                .into_iter()
+                .map(|sc| TreeScenario {
+                    newton_tol: sc.newton_tol,
+                    step_control: sc.step_control,
+                    segment: ScenarioSegment {
+                        name: sc.name,
+                        stim: sc.stim,
+                        steps: sc.steps,
+                        children: Vec::new(),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Flattened view of one segment, in depth-first preorder.
+struct FlatNode<'t> {
+    seg: &'t ScenarioSegment,
+    /// Preorder ids of the segment's children.
+    children: Vec<usize>,
+    /// Absolute step index at which this segment starts.
+    k0: usize,
+    /// First leaf index below this node (leaves below any node are
+    /// contiguous in depth-first order).
+    first_leaf: usize,
+    /// Number of leaves below this node (≥ 1); the amortization share
+    /// for budget charging.
+    leaves_below: usize,
+    /// Root overrides, copied down so root-chunk jobs can build lanes.
+    newton_tol: Option<f64>,
+    step_control: Option<amsim::StepControl>,
+}
+
+fn flatten_segment<'t>(
+    seg: &'t ScenarioSegment,
+    k0: usize,
+    first_leaf: usize,
+    newton_tol: Option<f64>,
+    step_control: Option<amsim::StepControl>,
+    flat: &mut Vec<FlatNode<'t>>,
+) -> usize {
+    let id = flat.len();
+    flat.push(FlatNode {
+        seg,
+        children: Vec::new(),
+        k0,
+        first_leaf,
+        leaves_below: 0,
+        newton_tol,
+        step_control,
+    });
+    if seg.children.is_empty() {
+        flat[id].leaves_below = 1;
+        return id;
+    }
+    let mut leaf = first_leaf;
+    let mut child_ids = Vec::with_capacity(seg.children.len());
+    for child in &seg.children {
+        let cid = flatten_segment(child, k0 + seg.steps, leaf, newton_tol, step_control, flat);
+        leaf += flat[cid].leaves_below;
+        child_ids.push(cid);
+    }
+    flat[id].children = child_ids;
+    flat[id].leaves_below = leaf - first_leaf;
+    id
+}
+
+/// One chunk of sibling segments simulated as one [`BatchInstance`]:
+/// either a root chunk (fresh lanes from `t = 0`) or a fork chunk
+/// seeded from the parent's snapshot.
+struct TreeJob {
+    /// Preorder node ids, ≤ `lane_width` of them, one per lane.
+    nodes: Vec<usize>,
+    /// Checkpoint to fork from; `None` for root chunks.
+    snap: Option<Arc<Snapshot>>,
+    /// Waveform of the shared prefix (chained back to the root).
+    prefix: Option<Arc<WaveSeg>>,
+    /// Amortized budget steps already charged to this path at entry.
+    charged: f64,
+    /// Wall seconds already attributed to this path at entry.
+    wall: f64,
+}
+
+/// One segment's worth of `output(0)` samples, chained to its parent —
+/// leaves concatenate the chain into a full root-to-leaf waveform.
+struct WaveSeg {
+    parent: Option<Arc<WaveSeg>>,
+    samples: Vec<f64>,
+}
+
+fn path_waveform(prefix: &Option<Arc<WaveSeg>>, own: &[f64]) -> Vec<f64> {
+    let mut chain = Vec::new();
+    let mut cur = prefix.as_ref();
+    while let Some(seg) = cur {
+        chain.push(seg);
+        cur = seg.parent.as_ref();
+    }
+    let total: usize = chain.iter().map(|s| s.samples.len()).sum::<usize>() + own.len();
+    let mut wave = Vec::with_capacity(total);
+    for seg in chain.iter().rev() {
+        wave.extend_from_slice(&seg.samples);
+    }
+    wave.extend_from_slice(own);
+    wave
+}
+
+/// A fault that retires a whole subtree: recorded once on the faulting
+/// lane, materialized into every leaf slot below it.
+enum SubtreeFault {
+    Failed(AmsError),
+    Panicked(String),
+    Budget(BudgetExceeded),
+}
+
+impl SubtreeFault {
+    fn outcome(&self) -> ScenarioOutcome<AmsRun, AmsError> {
+        match self {
+            SubtreeFault::Failed(e) => ScenarioOutcome::Failed(e.clone()),
+            SubtreeFault::Panicked(msg) => ScenarioOutcome::Panicked(msg.clone()),
+            SubtreeFault::Budget(b) => ScenarioOutcome::Budget(*b),
+        }
+    }
+}
+
+/// Work queue for subtree jobs. Unlike the fixed-list engines, jobs
+/// *create* jobs (a finished prefix fans its children out), so the pool
+/// tracks outstanding work explicitly: workers sleep on the condvar
+/// while the queue is empty but running jobs may still fork, and exit
+/// once no job is queued or running.
+struct TreeQueue {
+    /// `(queued jobs, jobs created but not yet completed)`.
+    state: Mutex<(VecDeque<TreeJob>, usize)>,
+    cv: Condvar,
+}
+
+impl TreeQueue {
+    fn seeded(jobs: Vec<TreeJob>) -> TreeQueue {
+        let outstanding = jobs.len();
+        TreeQueue {
+            state: Mutex::new((jobs.into(), outstanding)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claims a job, blocking while outstanding jobs may still fork new
+    /// ones; `None` once the whole forest is drained.
+    fn pop(&self) -> Option<TreeJob> {
+        let mut s = self.state.lock().expect("tree queue poisoned");
+        loop {
+            if let Some(job) = s.0.pop_front() {
+                return Some(job);
+            }
+            if s.1 == 0 {
+                return None;
+            }
+            s = self.cv.wait(s).expect("tree queue poisoned");
+        }
+    }
+
+    /// Enqueues fork jobs created by a running (still-outstanding) job.
+    fn push(&self, jobs: Vec<TreeJob>) {
+        let mut s = self.state.lock().expect("tree queue poisoned");
+        s.1 += jobs.len();
+        s.0.extend(jobs);
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Marks one claimed job finished; wakes sleepers when the forest is
+    /// drained so they can exit.
+    fn complete(&self) {
+        let mut s = self.state.lock().expect("tree queue poisoned");
+        s.1 -= 1;
+        let drained = s.1 == 0;
+        drop(s);
+        if drained {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Sweeps a [`ScenarioTree`] over one shared compiled Verilog-AMS model,
+/// simulating every shared prefix **once**: a segment with children runs
+/// as a single lane, snapshots at its end
+/// ([`BatchInstance::snapshot_lane`]), and fans the children out into
+/// fresh lane-blocks seeded from that checkpoint
+/// ([`BatchInstance::fork_from`]). Subtrees are work-stolen by the
+/// engine's pool, so independent branches simulate concurrently.
+///
+/// Results land in **leaf order** (depth-first, left to right), one
+/// [`ScenarioOutcome`] per leaf. Every leaf's waveform is
+/// **bit-identical** to the same root-to-leaf path simulated flat from
+/// `t = 0` — the snapshot replays the exact ddt/idt history, adaptive-dt
+/// state and factorization validity, and stimuli are sampled at absolute
+/// time — so tree structure (like `lane_width` and the worker count) is
+/// a pure performance knob. A flat `Vec<AmsScenario>` converted via
+/// `ScenarioTree::from` reproduces [`run_ams_sweep_batched`] exactly.
+///
+/// **Budgets** are charged against each lane's own path: a step of a
+/// segment shared by `s` leaves charges `1/s` of a step to the lane
+/// (the flat sweep would have charged it `s` times across those leaves),
+/// and wall time is attributed like the batched sweep — sampling to the
+/// sampling lane, each solve split over its entering lanes — divided by
+/// the same share. A depth-1 tree therefore degenerates to the flat
+/// accounting. **Fault isolation** is per subtree: a fault (Newton,
+/// panic, budget) on a segment retires only that lane and records the
+/// fault in every leaf slot below it; sibling subtrees are untouched.
+///
+/// The merged report carries the batched sweep's families plus
+/// `sweep.tree.nodes` (static segment count),
+/// `sweep.tree.forks` (segments that completed and fanned out) and
+/// `sweep.tree.prefix_steps_saved` (nominal steps the flat sweep would
+/// have re-simulated: `Σ steps · (leaves_below − 1)` over forked
+/// segments), and `amsim.snapshot.{taken,restored}` from the solver
+/// layer. `sweep.scenarios` counts leaves.
+///
+/// # Errors
+///
+/// As for [`run_ams_sweep`]: ill-formed per-root overrides fail the
+/// sweep up front, before any worker starts.
+pub fn run_ams_sweep_tree(
+    engine: &SweepEngine,
+    model: &Arc<CompiledModel>,
+    tree: &ScenarioTree,
+    lane_width: usize,
+    budget: &ScenarioBudget,
+) -> Result<SweepOutcome<ScenarioOutcome<AmsRun, AmsError>>, AmsError> {
+    for root in &tree.roots {
+        if let Some(tol) = root.newton_tol {
+            if !(tol.is_finite() && tol > 0.0) {
+                return Err(AmsError::InvalidTolerance { tol });
+            }
+        }
+        if let Some(ctrl) = root.step_control {
+            ctrl.validate(model.dt())?;
+        }
+    }
+    let lane_width = lane_width.max(1);
+    let workers = engine.worker_count();
+    let dt = model.dt();
+    let n_inputs = model.input_names().len();
+    let start = Instant::now();
+
+    // Flatten the forest in depth-first preorder; leaves below any node
+    // come out contiguous, so a subtree fault maps to a leaf range.
+    let mut flat: Vec<FlatNode<'_>> = Vec::new();
+    let mut root_ids = Vec::with_capacity(tree.roots.len());
+    let mut first_leaf = 0;
+    for root in &tree.roots {
+        let id = flatten_segment(
+            &root.segment,
+            0,
+            first_leaf,
+            root.newton_tol,
+            root.step_control,
+            &mut flat,
+        );
+        first_leaf += flat[id].leaves_below;
+        root_ids.push(id);
+    }
+    let n_leaves = first_leaf;
+    let n_nodes = flat.len();
+
+    // Seed the queue with root chunks; forks are pushed by running jobs.
+    let seed_jobs: Vec<TreeJob> = root_ids
+        .chunks(lane_width)
+        .map(|nodes| TreeJob {
+            nodes: nodes.to_vec(),
+            snap: None,
+            prefix: None,
+            charged: 0.0,
+            wall: 0.0,
+        })
+        .collect();
+    let queue = TreeQueue::seeded(seed_jobs);
+
+    type LeafResults = Vec<(usize, ScenarioOutcome<AmsRun, AmsError>)>;
+    let (tx, rx) = mpsc::channel::<(usize, usize, LeafResults, Report, f64)>();
+
+    let mut results: Vec<Option<ScenarioOutcome<AmsRun, AmsError>>> = Vec::with_capacity(n_leaves);
+    results.resize_with(n_leaves, || None);
+    let mut scenario_reports = vec![Report::default(); n_leaves];
+    let mut per_worker = vec![0u64; workers];
+    // `(first node id, report, secs)` per job, sorted by node id before
+    // merging so the merged report never depends on scheduling.
+    let mut job_reports: Vec<(usize, Report, f64)> = Vec::new();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let flat = &flat;
+            scope.spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let t0 = Instant::now();
+                    let obs = Obs::recording();
+                    let (leaves, forks) =
+                        run_tree_job(&job, flat, model, dt, n_inputs, lane_width, budget, &obs);
+                    let secs = t0.elapsed().as_secs_f64();
+                    let report = obs.report().unwrap_or_default();
+                    let disconnected = tx.send((job.nodes[0], w, leaves, report, secs)).is_err();
+                    // Children go in before this job completes, so the
+                    // outstanding count never transiently hits zero.
+                    queue.push(forks);
+                    queue.complete();
+                    if disconnected {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (node0, w, leaves, report, secs) in rx {
+            per_worker[w] += leaves.len() as u64;
+            for (leaf, outcome) in leaves {
+                debug_assert!(results[leaf].is_none(), "leaf {leaf} resolved twice");
+                results[leaf] = Some(outcome);
+            }
+            job_reports.push((node0, report, secs));
+        }
+    });
+
+    let wall = start.elapsed().as_secs_f64();
+
+    // A job's report is attached at its first node's first leaf. Two
+    // jobs can share that leaf (a prefix and its first fork chunk), so
+    // reports are merged in node-id order — deterministic for any
+    // scheduling — rather than assigned.
+    job_reports.sort_by_key(|(node0, _, _)| *node0);
+    for (node0, report, _) in &job_reports {
+        scenario_reports[flat[*node0].first_leaf].merge(report);
+    }
+    let mut report = Report::default();
+    for r in &scenario_reports {
+        report.merge(r);
+    }
+    let sweep_obs = Obs::recording();
+    sweep_obs.add("sweep.scenarios", n_leaves as u64);
+    sweep_obs.add("sweep.workers", workers as u64);
+    sweep_obs.add("sweep.batch.blocks", job_reports.len() as u64);
+    sweep_obs.add("sweep.tree.nodes", n_nodes as u64);
+    for (w, count) in per_worker.iter().enumerate() {
+        sweep_obs.add(&format!("sweep.worker.{w}.scenarios"), *count);
+    }
+    for (_, _, secs) in &job_reports {
+        sweep_obs.time("sweep.block", *secs);
+    }
+    sweep_obs.time("sweep.wall", wall);
+    report.merge(&sweep_obs.report().unwrap_or_default());
+
+    let results: Vec<ScenarioOutcome<AmsRun, AmsError>> = results
+        .into_iter()
+        .map(|r| r.expect("every leaf is resolved by exactly one job"))
+        .collect();
+    // Same stable fault-tally schema as the other isolated sweeps.
+    let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
+    for r in &results {
+        match r {
+            ScenarioOutcome::Ok(_) => ok += 1,
+            ScenarioOutcome::Failed(_) => failed += 1,
+            ScenarioOutcome::Panicked(_) => panicked += 1,
+            ScenarioOutcome::Budget(_) => over_budget += 1,
+        }
+    }
+    let fault_obs = Obs::recording();
+    fault_obs.add("sweep.scenarios.ok", ok);
+    fault_obs.add("sweep.scenarios.failed", failed);
+    fault_obs.add("sweep.scenarios.panicked", panicked);
+    fault_obs.add("sweep.scenarios.budget", over_budget);
+    report.merge(&fault_obs.report().unwrap_or_default());
+
+    Ok(SweepOutcome {
+        results,
+        scenario_reports,
+        report,
+        wall,
+        workers,
+    })
+}
+
+/// Leaf results of one tree job: `(leaf index, outcome)` pairs.
+type LeafOutcomes = Vec<(usize, ScenarioOutcome<AmsRun, AmsError>)>;
+
+/// Runs one [`TreeJob`]: steps its sibling segments as a lane-block,
+/// then classifies each lane into leaf outcomes (emitted now) or fork
+/// jobs (returned for the queue).
+#[allow(clippy::too_many_arguments)]
+fn run_tree_job(
+    job: &TreeJob,
+    flat: &[FlatNode<'_>],
+    model: &Arc<CompiledModel>,
+    dt: f64,
+    n_inputs: usize,
+    lane_width: usize,
+    budget: &ScenarioBudget,
+    obs: &Obs,
+) -> (LeafOutcomes, Vec<TreeJob>) {
+    let lanes = job.nodes.len();
+    let mut batch = match &job.snap {
+        Some(snap) => BatchInstance::fork_from(snap, lanes, obs.clone()),
+        None => {
+            let mut builder = model.batch_instance_builder(lanes).collector(obs.clone());
+            for (l, &id) in job.nodes.iter().enumerate() {
+                if let Some(tol) = flat[id].newton_tol {
+                    builder = builder.lane_newton_tol(l, tol);
+                }
+                if let Some(ctrl) = flat[id].step_control {
+                    builder = builder.lane_step_control(l, ctrl);
+                }
+            }
+            builder.build().expect("overrides validated up front")
+        }
+    };
+    let track_wall = budget.wall_cap().is_some();
+    let max_steps = job
+        .nodes
+        .iter()
+        .map(|&id| flat[id].seg.steps)
+        .max()
+        .unwrap_or(0);
+    let mut waveforms: Vec<Vec<f64>> = job
+        .nodes
+        .iter()
+        .map(|&id| Vec::with_capacity(flat[id].seg.steps))
+        .collect();
+    let mut lane_fault: Vec<Option<SubtreeFault>> = (0..lanes).map(|_| None).collect();
+    // Budget accounts continue the path's: a step of a segment shared by
+    // `s` leaves charges 1/s of a step (and 1/s of the measured wall
+    // share), amortizing prefix cost exactly over its beneficiaries.
+    let mut charged = vec![job.charged; lanes];
+    let mut lane_wall = vec![job.wall; lanes];
+    let mut in_solve = vec![false; lanes];
+    let mut inputs = vec![0.0; n_inputs * lanes];
+    for k in 0..max_steps {
+        for (l, &id) in job.nodes.iter().enumerate() {
+            if lane_fault[l].is_some() || !batch.lane_active(l) {
+                continue;
+            }
+            let node = &flat[id];
+            if k >= node.seg.steps {
+                // Shorter sibling: done — mask it out of the block.
+                batch.retire(l);
+                continue;
+            }
+            let share = node.leaves_below as f64;
+            charged[l] += 1.0 / share;
+            if let Err(b) = budget.check(charged[l].round() as u64, lane_wall[l]) {
+                lane_fault[l] = Some(SubtreeFault::Budget(b));
+                batch.retire(l);
+                continue;
+            }
+            let sample_t0 = track_wall.then(Instant::now);
+            // Absolute-time sampling: the same instant the flat run
+            // would have sampled at step `k0 + k`.
+            let t = (node.k0 + k) as f64 * dt;
+            match catch_unwind(AssertUnwindSafe(|| node.seg.stim.value(t))) {
+                Ok(u) => {
+                    for i in 0..n_inputs {
+                        inputs[i * lanes + l] = u;
+                    }
+                }
+                Err(payload) => {
+                    lane_fault[l] = Some(SubtreeFault::Panicked(panic_message(payload)));
+                    batch.retire(l);
+                }
+            }
+            if let Some(t0) = sample_t0 {
+                lane_wall[l] += t0.elapsed().as_secs_f64() / share;
+            }
+        }
+        let solving = batch.active_lanes();
+        if solving == 0 {
+            break;
+        }
+        for (l, s) in in_solve.iter_mut().enumerate() {
+            *s = batch.lane_active(l);
+        }
+        let solve_t0 = track_wall.then(Instant::now);
+        batch.try_step(&inputs);
+        if let Some(t0) = solve_t0 {
+            let split = t0.elapsed().as_secs_f64() / solving as f64;
+            for (l, &id) in job.nodes.iter().enumerate() {
+                if in_solve[l] {
+                    lane_wall[l] += split / flat[id].leaves_below as f64;
+                }
+            }
+        }
+        for (l, &id) in job.nodes.iter().enumerate() {
+            if k < flat[id].seg.steps && lane_fault[l].is_none() && batch.lane_active(l) {
+                waveforms[l].push(batch.output(0, l));
+            }
+        }
+    }
+
+    let mut leaves: Vec<(usize, ScenarioOutcome<AmsRun, AmsError>)> = Vec::new();
+    let mut forks: Vec<TreeJob> = Vec::new();
+    for (l, &id) in job.nodes.iter().enumerate() {
+        let node = &flat[id];
+        // A fault retires the whole subtree: every leaf below gets the
+        // record, and no children are forked.
+        let fault = match lane_fault[l].take() {
+            Some(f) => Some(f),
+            None => batch.lane_error(l).map(|e| SubtreeFault::Failed(e.clone())),
+        };
+        if let Some(fault) = fault {
+            for leaf in node.first_leaf..node.first_leaf + node.leaves_below {
+                leaves.push((leaf, fault.outcome()));
+            }
+            continue;
+        }
+        if node.children.is_empty() {
+            leaves.push((
+                node.first_leaf,
+                ScenarioOutcome::Ok(AmsRun {
+                    name: node.seg.name.clone(),
+                    waveform: path_waveform(&job.prefix, &waveforms[l]),
+                    // Path-cumulative: fork_from seeds the lane from the
+                    // snapshot's watermark, so this equals the flat
+                    // run's count for the same root-to-leaf path.
+                    newton_iters: batch.lane_newton_iterations(l),
+                }),
+            ));
+            continue;
+        }
+        // Healthy internal segment: checkpoint once, fan children out.
+        let snap = Arc::new(batch.snapshot_lane(l));
+        let prefix = Arc::new(WaveSeg {
+            parent: job.prefix.clone(),
+            samples: std::mem::take(&mut waveforms[l]),
+        });
+        obs.add("sweep.tree.forks", 1);
+        obs.add(
+            "sweep.tree.prefix_steps_saved",
+            node.seg.steps as u64 * (node.leaves_below as u64 - 1),
+        );
+        for chunk in node.children.chunks(lane_width) {
+            forks.push(TreeJob {
+                nodes: chunk.to_vec(),
+                snap: Some(Arc::clone(&snap)),
+                prefix: Some(Arc::clone(&prefix)),
+                charged: charged[l],
+                wall: lane_wall[l],
+            });
+        }
+    }
+    batch.flush_counters();
+    (leaves, forks)
 }
 
 // --------------------------------------------------------- eln scenarios
@@ -1347,5 +1996,410 @@ mod tests {
         let out = engine.run_batched(&empty, 4, |_, block| block.to_vec());
         assert!(out.results.is_empty());
         assert_eq!(out.report.counter("sweep.batch.blocks"), 0);
+    }
+
+    /// Stimulus that switches sources at `t0` — the flat-run equivalent
+    /// of a segment boundary in a scenario tree.
+    struct SwitchAt {
+        t0: f64,
+        before: Box<dyn Stimulus + Send + Sync>,
+        after: Box<dyn Stimulus + Send + Sync>,
+    }
+
+    impl Stimulus for SwitchAt {
+        fn value(&self, t: f64) -> f64 {
+            if t < self.t0 {
+                self.before.value(t)
+            } else {
+                self.after.value(t)
+            }
+        }
+    }
+
+    const TREE_DT: f64 = 1e-6;
+    const SEG_STEPS: usize = 10;
+
+    fn tree_model() -> Arc<CompiledModel> {
+        let module = vams_parser::parse_module(&rc_ladder(2)).unwrap();
+        amsim::Simulation::new(&module)
+            .dt(TREE_DT)
+            .output("V(out)")
+            .compile()
+            .unwrap()
+    }
+
+    fn seg_stim(seed: u64) -> Box<dyn Stimulus + Send + Sync> {
+        Box::new(PiecewiseConstant::seeded(seed, 4, 3.0 * TREE_DT, 0.0, 1.0))
+    }
+
+    /// Two-level test forest (6 nodes, 4 leaves): a shared root, three
+    /// children, the first child itself forking into two grandchildren.
+    ///
+    /// ```text
+    /// root ─┬─ c0 ─┬─ g0
+    ///       │      └─ g1
+    ///       ├─ c1
+    ///       └─ c2
+    /// ```
+    fn two_level_tree() -> ScenarioTree {
+        let grandchildren = vec![
+            ScenarioSegment {
+                name: "g0".into(),
+                stim: seg_stim(20),
+                steps: SEG_STEPS,
+                children: Vec::new(),
+            },
+            ScenarioSegment {
+                name: "g1".into(),
+                stim: seg_stim(21),
+                steps: SEG_STEPS,
+                children: Vec::new(),
+            },
+        ];
+        ScenarioTree {
+            roots: vec![TreeScenario {
+                newton_tol: Some(1e-8),
+                step_control: None,
+                segment: ScenarioSegment {
+                    name: "root".into(),
+                    stim: seg_stim(99),
+                    steps: SEG_STEPS,
+                    children: vec![
+                        ScenarioSegment {
+                            name: "c0".into(),
+                            stim: seg_stim(10),
+                            steps: SEG_STEPS,
+                            children: grandchildren,
+                        },
+                        ScenarioSegment {
+                            name: "c1".into(),
+                            stim: seg_stim(11),
+                            steps: SEG_STEPS,
+                            children: Vec::new(),
+                        },
+                        ScenarioSegment {
+                            name: "c2".into(),
+                            stim: seg_stim(12),
+                            steps: SEG_STEPS,
+                            children: Vec::new(),
+                        },
+                    ],
+                },
+            }],
+        }
+    }
+
+    /// The flat scenarios equivalent to [`two_level_tree`]'s four
+    /// root-to-leaf paths, stitched with [`SwitchAt`] at the segment
+    /// boundaries so every path samples the identical stimulus values.
+    fn two_level_flat() -> Vec<AmsScenario> {
+        let t1 = SEG_STEPS as f64 * TREE_DT;
+        let t2 = 2.0 * t1;
+        let leaf = |name: &str, mid: u64, last: Option<u64>| -> AmsScenario {
+            let after: Box<dyn Stimulus + Send + Sync> = match last {
+                Some(seed) => Box::new(SwitchAt {
+                    t0: t2,
+                    before: seg_stim(mid),
+                    after: seg_stim(seed),
+                }),
+                None => seg_stim(mid),
+            };
+            AmsScenario {
+                name: name.into(),
+                stim: Box::new(SwitchAt {
+                    t0: t1,
+                    before: seg_stim(99),
+                    after,
+                }),
+                steps: SEG_STEPS * if last.is_some() { 3 } else { 2 },
+                newton_tol: Some(1e-8),
+                step_control: None,
+            }
+        };
+        vec![
+            leaf("g0", 10, Some(20)),
+            leaf("g1", 10, Some(21)),
+            leaf("c1", 11, None),
+            leaf("c2", 12, None),
+        ]
+    }
+
+    #[test]
+    fn tree_sweep_depth1_conversion_matches_batched_sweep_bitwise() {
+        let model = tree_model();
+        let mk = || -> Vec<AmsScenario> {
+            (0..7)
+                .map(|i| AmsScenario {
+                    name: format!("s{i}"),
+                    stim: seg_stim(i as u64 + 1),
+                    steps: 25,
+                    newton_tol: if i % 2 == 0 { Some(1e-8) } else { None },
+                    step_control: None,
+                })
+                .collect()
+        };
+        let flat = run_ams_sweep_batched(
+            &SweepEngine::new().workers(2),
+            &model,
+            &mk(),
+            4,
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap();
+        let tree = ScenarioTree::from(mk());
+        assert_eq!(tree.node_count(), 7);
+        assert_eq!(tree.leaf_count(), 7);
+        for workers in [1usize, 2, 8] {
+            let out = run_ams_sweep_tree(
+                &SweepEngine::new().workers(workers),
+                &model,
+                &tree,
+                4,
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(out.results.len(), 7);
+            assert_eq!(out.report.counter("sweep.scenarios"), 7);
+            assert_eq!(out.report.counter("sweep.scenarios.ok"), 7);
+            assert_eq!(out.report.counter("sweep.tree.nodes"), 7);
+            // Depth-1: no shared prefixes, so nothing forks or is saved.
+            assert_eq!(out.report.counter("sweep.tree.forks"), 0);
+            assert_eq!(out.report.counter("sweep.tree.prefix_steps_saved"), 0);
+            assert_eq!(out.report.counter("amsim.snapshot.taken"), 0);
+            for (i, (t, f)) in out.results.iter().zip(&flat.results).enumerate() {
+                let (t, f) = (t.ok().unwrap(), f.ok().unwrap());
+                assert_eq!(t.name, f.name);
+                assert_eq!(t.newton_iters, f.newton_iters, "leaf {i}");
+                let tb: Vec<u64> = t.waveform.iter().map(|v| v.to_bits()).collect();
+                let fb: Vec<u64> = f.waveform.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(tb, fb, "leaf {i} at {workers} workers");
+            }
+            for c in ["amsim.steps", "amsim.newton_iterations"] {
+                assert_eq!(out.report.counter(c), flat.report.counter(c), "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sweep_forked_paths_match_flat_runs_bitwise() {
+        let model = tree_model();
+        let flat = run_ams_sweep_batched(
+            &SweepEngine::new().workers(2),
+            &model,
+            &two_level_flat(),
+            4,
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap();
+        let tree = two_level_tree();
+        assert_eq!(tree.node_count(), 6);
+        assert_eq!(tree.leaf_count(), 4);
+        let mut reference: Option<Vec<(String, u64)>> = None;
+        for (workers, lane_width) in [(1usize, 1usize), (2, 2), (8, 4)] {
+            let out = run_ams_sweep_tree(
+                &SweepEngine::new().workers(workers),
+                &model,
+                &tree,
+                lane_width,
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(out.results.len(), 4);
+            assert_eq!(out.report.counter("sweep.scenarios.ok"), 4);
+            assert_eq!(out.report.counter("sweep.tree.nodes"), 6);
+            // Two segments fan out: the root (4 leaves below) and c0 (2).
+            assert_eq!(out.report.counter("sweep.tree.forks"), 2);
+            assert_eq!(
+                out.report.counter("sweep.tree.prefix_steps_saved"),
+                (SEG_STEPS * 3 + SEG_STEPS) as u64
+            );
+            assert_eq!(out.report.counter("amsim.snapshot.taken"), 2);
+            assert_eq!(out.report.counter("amsim.snapshot.restored"), 5);
+            for (i, (t, f)) in out.results.iter().zip(&flat.results).enumerate() {
+                let (t, f) = (t.ok().unwrap(), f.ok().unwrap());
+                assert_eq!(t.name, f.name, "leaf order is depth-first");
+                assert_eq!(t.newton_iters, f.newton_iters, "leaf {i} path-cumulative");
+                assert_eq!(t.waveform.len(), f.waveform.len());
+                let tb: Vec<u64> = t.waveform.iter().map(|v| v.to_bits()).collect();
+                let fb: Vec<u64> = f.waveform.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    tb, fb,
+                    "leaf {i}: forked waveform must be byte-identical to flat"
+                );
+            }
+            // Solver-work counters are scheduling-independent. Only the
+            // scheduling-dependent per-worker tallies and the job count
+            // (`sweep.batch.blocks` follows lane_width chunking) vary.
+            let stable: Vec<(String, u64)> = out
+                .report
+                .counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with("sweep.worker") && *k != "sweep.batch.blocks")
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            match &reference {
+                None => reference = Some(stable),
+                Some(r) => assert_eq!(&stable, r, "{workers} workers / {lane_width} lanes"),
+            }
+            let per_worker: u64 = (0..workers)
+                .map(|w| out.report.counter(&format!("sweep.worker.{w}.scenarios")))
+                .sum();
+            assert_eq!(per_worker, 4, "every leaf resolved exactly once");
+        }
+    }
+
+    #[test]
+    fn tree_sweep_amortizes_budget_over_shared_prefix() {
+        let model = tree_model();
+        // Each root-to-leaf path simulates 2·SEG_STEPS steps, but the
+        // root is shared by two leaves, so a lane's own account is
+        // SEG_STEPS/2 + SEG_STEPS = 15 charged steps.
+        let tree = ScenarioTree {
+            roots: vec![TreeScenario {
+                newton_tol: None,
+                step_control: None,
+                segment: ScenarioSegment {
+                    name: "root".into(),
+                    stim: seg_stim(99),
+                    steps: SEG_STEPS,
+                    children: vec![
+                        ScenarioSegment {
+                            name: "a".into(),
+                            stim: seg_stim(1),
+                            steps: SEG_STEPS,
+                            children: Vec::new(),
+                        },
+                        ScenarioSegment {
+                            name: "b".into(),
+                            stim: seg_stim(2),
+                            steps: SEG_STEPS,
+                            children: Vec::new(),
+                        },
+                    ],
+                },
+            }],
+        };
+        // A 15-step cap covers the amortized path cost: both leaves pass
+        // where the flat 20-step path would have tripped.
+        let out = run_ams_sweep_tree(
+            &SweepEngine::new().workers(2),
+            &model,
+            &tree,
+            2,
+            &ScenarioBudget::unlimited().max_steps(15),
+        )
+        .unwrap();
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 2);
+        // A cap below the amortized cost still trips — on the lane's own
+        // account, not the block clock.
+        let out = run_ams_sweep_tree(
+            &SweepEngine::new().workers(2),
+            &model,
+            &tree,
+            2,
+            &ScenarioBudget::unlimited().max_steps(12),
+        )
+        .unwrap();
+        assert_eq!(out.report.counter("sweep.scenarios.budget"), 2);
+        for r in &out.results {
+            match r {
+                ScenarioOutcome::Budget(b) => assert_eq!(b.steps, 13),
+                other => panic!("want Budget, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sweep_fault_retires_only_its_subtree() {
+        struct PanicAt(f64);
+        impl Stimulus for PanicAt {
+            fn value(&self, t: f64) -> f64 {
+                assert!(t < self.0, "injected tree stimulus failure at t = {t}");
+                0.5
+            }
+        }
+        let model = tree_model();
+        // The faulting segment has two leaves below it: both slots must
+        // carry the panic record while the sibling subtree survives.
+        let tree = ScenarioTree {
+            roots: vec![TreeScenario {
+                newton_tol: None,
+                step_control: None,
+                segment: ScenarioSegment {
+                    name: "root".into(),
+                    stim: seg_stim(99),
+                    steps: SEG_STEPS,
+                    children: vec![
+                        ScenarioSegment {
+                            name: "bad".into(),
+                            stim: Box::new(PanicAt((SEG_STEPS + 3) as f64 * TREE_DT)),
+                            steps: SEG_STEPS,
+                            children: vec![
+                                ScenarioSegment {
+                                    name: "bad-0".into(),
+                                    stim: seg_stim(1),
+                                    steps: SEG_STEPS,
+                                    children: Vec::new(),
+                                },
+                                ScenarioSegment {
+                                    name: "bad-1".into(),
+                                    stim: seg_stim(2),
+                                    steps: SEG_STEPS,
+                                    children: Vec::new(),
+                                },
+                            ],
+                        },
+                        ScenarioSegment {
+                            name: "good".into(),
+                            stim: seg_stim(3),
+                            steps: SEG_STEPS,
+                            children: Vec::new(),
+                        },
+                    ],
+                },
+            }],
+        };
+        for workers in [1usize, 2, 8] {
+            let out = run_ams_sweep_tree(
+                &SweepEngine::new().workers(workers),
+                &model,
+                &tree,
+                2,
+                &ScenarioBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(out.results.len(), 3);
+            for i in [0usize, 1] {
+                match &out.results[i] {
+                    ScenarioOutcome::Panicked(msg) => {
+                        assert!(msg.contains("injected tree stimulus failure"), "{msg}");
+                    }
+                    other => panic!("leaf {i}: want Panicked, got {other:?}"),
+                }
+            }
+            let good = out.results[2].ok().expect("sibling subtree survives");
+            assert_eq!(good.name, "good");
+            assert_eq!(good.waveform.len(), 2 * SEG_STEPS);
+            assert_eq!(out.report.counter("sweep.scenarios.ok"), 1);
+            assert_eq!(out.report.counter("sweep.scenarios.panicked"), 2);
+            assert_eq!(out.report.counter("sweep.scenarios"), 3);
+        }
+    }
+
+    #[test]
+    fn tree_sweep_empty_forest_is_fine() {
+        let model = tree_model();
+        let tree = ScenarioTree { roots: Vec::new() };
+        let out = run_ams_sweep_tree(
+            &SweepEngine::new().workers(4),
+            &model,
+            &tree,
+            8,
+            &ScenarioBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.counter("sweep.scenarios"), 0);
+        assert_eq!(out.report.counter("sweep.tree.nodes"), 0);
     }
 }

@@ -1,0 +1,168 @@
+//! Checkpoint/fork sweep over a scenario tree: shared stimulus prefixes
+//! are simulated **once**.
+//!
+//! Compiles the 20-stage RC ladder once, then runs 32 scenarios that
+//! agree on their first 1500 steps two ways: as a flat batched sweep
+//! (every scenario re-simulates the shared prefix) and as a
+//! [`sweep::ScenarioTree`] (the prefix runs once, a snapshot is taken at
+//! the fork point, and the 32 divergent tails fan out from it via
+//! `BatchInstance::fork_from`). Verifies the forked run is a pure
+//! speedup — every root-to-leaf waveform bit-identical to the flat one —
+//! and prints the tree bookkeeping (nodes, forks, prefix steps saved).
+//!
+//! ```text
+//! cargo run --release --example sweep_tree
+//! ```
+
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant, Stimulus};
+use sweep::{
+    run_ams_sweep_batched, run_ams_sweep_tree, AmsScenario, ScenarioBudget, ScenarioOutcome,
+    ScenarioSegment, ScenarioTree, SweepEngine, SweepOutcome, TreeScenario,
+};
+
+const DT: f64 = 50e-9;
+const PREFIX_STEPS: usize = 1500;
+const TAIL_STEPS: usize = 500;
+const SCENARIOS: usize = 32;
+const WORKERS: usize = 4;
+const LANE_WIDTH: usize = 16;
+
+fn prefix_stim() -> PiecewiseConstant {
+    PiecewiseConstant::seeded(7, 8, 400.0 * DT, -0.5, 1.0)
+}
+
+fn tail_stim(i: usize) -> PiecewiseConstant {
+    PiecewiseConstant::seeded(100 + i as u64, 8, 400.0 * DT, -0.5, 1.0)
+}
+
+/// The tree: one shared 1500-step prefix forking into 32 tails.
+fn tree() -> ScenarioTree {
+    ScenarioTree {
+        roots: vec![TreeScenario {
+            newton_tol: None,
+            step_control: None,
+            segment: ScenarioSegment {
+                name: "rc20/prefix".into(),
+                stim: Box::new(prefix_stim()),
+                steps: PREFIX_STEPS,
+                children: (0..SCENARIOS)
+                    .map(|i| ScenarioSegment {
+                        name: format!("rc20/tail{i}"),
+                        stim: Box::new(tail_stim(i)),
+                        steps: TAIL_STEPS,
+                        children: Vec::new(),
+                    })
+                    .collect(),
+            },
+        }],
+    }
+}
+
+/// The flat equivalent: every scenario re-simulates the prefix, with a
+/// stimulus stitched at the fork time (segments sample absolute time, so
+/// both encodings drive identical inputs at every step).
+fn flat_scenarios() -> Vec<AmsScenario> {
+    struct SwitchAt {
+        t0: f64,
+        before: PiecewiseConstant,
+        after: PiecewiseConstant,
+    }
+    impl Stimulus for SwitchAt {
+        fn value(&self, t: f64) -> f64 {
+            if t < self.t0 {
+                self.before.value(t)
+            } else {
+                self.after.value(t)
+            }
+        }
+    }
+    (0..SCENARIOS)
+        .map(|i| AmsScenario {
+            name: format!("rc20/tail{i}"),
+            stim: Box::new(SwitchAt {
+                t0: PREFIX_STEPS as f64 * DT,
+                before: prefix_stim(),
+                after: tail_stim(i),
+            }),
+            steps: PREFIX_STEPS + TAIL_STEPS,
+            newton_tol: None,
+            step_control: None,
+        })
+        .collect()
+}
+
+fn waveform_bits(
+    outcome: &SweepOutcome<ScenarioOutcome<sweep::AmsRun, amsim::AmsError>>,
+) -> Vec<Vec<u64>> {
+    outcome
+        .results
+        .iter()
+        .map(|r| {
+            let run = r.ok().expect("healthy scenarios complete");
+            run.waveform.iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let module = vams_parser::parse_module(&rc_ladder(20)).expect("RC20 parses");
+    let model = amsim::Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .expect("RC20 compiles");
+    let t = tree();
+    println!(
+        "compiled RC20 once; scenario tree: {} nodes, {} leaves, \
+         {PREFIX_STEPS}/{} steps shared",
+        t.node_count(),
+        t.leaf_count(),
+        PREFIX_STEPS + TAIL_STEPS
+    );
+
+    let engine = SweepEngine::new().workers(WORKERS);
+    let budget = ScenarioBudget::unlimited();
+    let flat = run_ams_sweep_batched(&engine, &model, &flat_scenarios(), LANE_WIDTH, &budget)
+        .expect("flat batched sweep runs");
+    let forked =
+        run_ams_sweep_tree(&engine, &model, &t, LANE_WIDTH, &budget).expect("tree sweep runs");
+
+    // Forking is a scheduling choice, not a numerical one: a forked lane
+    // replays the exact machine state the prefix lane had at the fork
+    // point, so every path matches the flat run to the last bit.
+    assert_eq!(
+        waveform_bits(&flat),
+        waveform_bits(&forked),
+        "tree sweep must be bit-identical to the flat batched one"
+    );
+
+    let speedup = flat.wall / forked.wall;
+    println!(
+        "{SCENARIOS} scenarios × {} steps on {WORKERS} workers: \
+         flat {:.2} s, forked {:.2} s ({speedup:.2}× speedup)",
+        PREFIX_STEPS + TAIL_STEPS,
+        flat.wall,
+        forked.wall
+    );
+    println!(
+        "tree bookkeeping: {} nodes, {} forks, {} prefix steps saved, \
+         {} snapshot taken / {} restored",
+        forked.report.counter("sweep.tree.nodes"),
+        forked.report.counter("sweep.tree.forks"),
+        forked.report.counter("sweep.tree.prefix_steps_saved"),
+        forked.report.counter("amsim.snapshot.taken"),
+        forked.report.counter("amsim.snapshot.restored"),
+    );
+
+    // Wall-clock ratios depend on the host, so the speedup is asserted
+    // only on request — correctness is asserted unconditionally above.
+    if std::env::var("AMSVP_ASSERT_SPEEDUP").is_ok_and(|v| v == "1") {
+        assert!(
+            speedup >= 1.5,
+            "AMSVP_ASSERT_SPEEDUP=1: forking a 75% shared prefix should be \
+             ≥1.5× faster on RC20 (got {speedup:.2}×)"
+        );
+    } else {
+        println!("(speedup assertion skipped; opt in with AMSVP_ASSERT_SPEEDUP=1)");
+    }
+}

@@ -41,7 +41,7 @@ use std::sync::Arc;
 
 use amsim::{CompiledModel, Simulation, StepControl};
 use amsvp_core::circuits::{diode_clamp, opamp, rc_ladder, two_inputs, PiecewiseConstant};
-use sweep::{run_ams_sweep, AmsScenario, ScenarioBudget, SweepEngine};
+use sweep::{run_ams_sweep, run_ams_sweep_tree, AmsScenario, ScenarioBudget, SweepEngine};
 
 const STEPS: usize = 60;
 const N_SCENARIOS: usize = 4;
@@ -330,6 +330,79 @@ fn all_execution_modes_reproduce_the_golden_corpus() {
                 &waves,
                 &golden,
             );
+        }
+    }
+}
+
+/// Each scenario as a two-segment chain (20-step root, 40-step child
+/// sampling the same stimulus at absolute time): every path crosses one
+/// snapshot/fork boundary, so this pins the checkpoint/fork machinery —
+/// including the sparse RC30 path and the adaptive CLAMP — to the same
+/// golden bits as the uninterrupted runs.
+fn chain_split_tree(c: &Circuit) -> sweep::ScenarioTree {
+    const SPLIT: usize = 20;
+    sweep::ScenarioTree {
+        roots: (0..N_SCENARIOS)
+            .map(|i| sweep::TreeScenario {
+                newton_tol: None,
+                step_control: c.step_control,
+                segment: sweep::ScenarioSegment {
+                    name: format!("{}/{i}/prefix", c.label),
+                    stim: Box::new(stim(c, i)),
+                    steps: SPLIT,
+                    children: vec![sweep::ScenarioSegment {
+                        name: format!("{}/{i}", c.label),
+                        stim: Box::new(stim(c, i)),
+                        steps: STEPS - SPLIT,
+                        children: Vec::new(),
+                    }],
+                },
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn tree_sweep_modes_reproduce_the_golden_corpus() {
+    for c in corpus() {
+        let model = compile(&c);
+        let path = golden_path(c.label);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: golden file missing ({e})", path.display()));
+        let golden = parse_golden(&text);
+
+        for workers in WORKER_COUNTS {
+            let engine = SweepEngine::new().workers(workers);
+            // Depth-1 conversion: the tree API degenerating to the flat
+            // batched sweep.
+            let flat_tree = sweep::ScenarioTree::from(scenarios(&c));
+            // Chain-split: every path forks once mid-transient.
+            for (mode, tree) in [
+                ("tree-flat", flat_tree),
+                ("tree-split", chain_split_tree(&c)),
+            ] {
+                let swept = run_ams_sweep_tree(
+                    &engine,
+                    &model,
+                    &tree,
+                    LANE_WIDTH,
+                    &ScenarioBudget::unlimited(),
+                )
+                .unwrap();
+                let waves: Vec<Vec<u64>> = swept
+                    .results
+                    .iter()
+                    .map(|r| {
+                        r.ok()
+                            .unwrap_or_else(|| panic!("{}: {mode} scenario failed", c.label))
+                            .waveform
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect()
+                    })
+                    .collect();
+                assert_waves_eq(c.label, &format!("{mode}/w{workers}"), &waves, &golden);
+            }
         }
     }
 }

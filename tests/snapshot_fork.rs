@@ -1,0 +1,425 @@
+//! Property tests for checkpoint/fork execution: `snapshot`/`restore`
+//! round-trips bit-exactly mid-transient, lane fan-out via `fork_from`
+//! reproduces scalar runs from `t = 0`, and tree sweeps conserve every
+//! `amsim.*` counter at any worker count.
+//!
+//! Circuits come from the paper's Table 1 set (RC ladders, the opamp,
+//! the stiff diode clamp), with both dense and forced-sparse backends
+//! and adaptive stepping in the mix — a snapshot must capture the whole
+//! machine state (slots, integrator history, step control, factor
+//! validity), so every one of those paths is a distinct way to get it
+//! wrong.
+
+use std::sync::Arc;
+
+use amsim::{CompiledModel, Simulation, Snapshot, StepControl};
+use amsvp_core::circuits::{diode_clamp, opamp, rc_ladder, PiecewiseConstant, Stimulus};
+use linalg::SolverKind;
+use obs::Obs;
+use sweep::{
+    run_ams_sweep_batched, run_ams_sweep_tree, AmsScenario, ScenarioBudget, ScenarioSegment,
+    ScenarioTree, SweepEngine, TreeScenario,
+};
+
+const STEPS: usize = 48;
+
+struct Case {
+    label: &'static str,
+    src: String,
+    dt: f64,
+    hi: f64,
+    solver: SolverKind,
+    step_control: Option<StepControl>,
+}
+
+/// Table 1 circuits across the backend/stepping matrix: dense fixed-dt,
+/// forced-sparse fixed-dt (pivot order must survive the round-trip),
+/// and adaptive stepping (current dt and grow streak must survive it).
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            label: "RC4/dense",
+            src: rc_ladder(4),
+            dt: 1e-6,
+            hi: 1.0,
+            solver: SolverKind::Auto,
+            step_control: None,
+        },
+        Case {
+            label: "RC4/sparse",
+            src: rc_ladder(4),
+            dt: 1e-6,
+            hi: 1.0,
+            solver: SolverKind::Sparse,
+            step_control: None,
+        },
+        Case {
+            label: "2IN/dense",
+            src: amsvp_core::circuits::two_inputs(),
+            dt: 1e-6,
+            hi: 1.0,
+            solver: SolverKind::Auto,
+            step_control: None,
+        },
+        Case {
+            label: "OA/sparse",
+            src: opamp(),
+            dt: 1e-6,
+            hi: 1.0,
+            solver: SolverKind::Sparse,
+            step_control: None,
+        },
+        Case {
+            label: "CLAMP/adaptive",
+            src: diode_clamp(),
+            dt: 1e-4,
+            hi: 0.8,
+            solver: SolverKind::Auto,
+            step_control: Some(StepControl::new(1e-9).max_retries(20)),
+        },
+        Case {
+            label: "CLAMP/adaptive-sparse",
+            src: diode_clamp(),
+            dt: 1e-4,
+            hi: 0.8,
+            solver: SolverKind::Sparse,
+            step_control: Some(StepControl::new(1e-9).max_retries(20)),
+        },
+    ]
+}
+
+fn compile(c: &Case) -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(&c.src).unwrap();
+    Simulation::new(&module)
+        .dt(c.dt)
+        .solver(c.solver)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+fn stim(c: &Case, seed: u64) -> PiecewiseConstant {
+    PiecewiseConstant::seeded(seed, 5, 6.0 * c.dt, 0.0, c.hi)
+}
+
+/// Reference run from `t = 0`, optionally snapshotting at step `snap_at`.
+fn scalar_run(
+    c: &Case,
+    model: &Arc<CompiledModel>,
+    s: &dyn Stimulus,
+    snap_at: Option<usize>,
+) -> (Vec<u64>, Option<Snapshot>) {
+    let n_inputs = model.input_names().len();
+    let mut builder = model.instance_builder();
+    if let Some(ctrl) = c.step_control {
+        builder = builder.step_control(ctrl);
+    }
+    let mut inst = builder.build().unwrap();
+    let mut wave = Vec::with_capacity(STEPS);
+    let mut snap = None;
+    for k in 0..STEPS {
+        if snap_at == Some(k) {
+            snap = Some(inst.snapshot());
+        }
+        let u = s.value(k as f64 * c.dt);
+        inst.try_step(&vec![u; n_inputs]).unwrap();
+        wave.push(inst.output(0).to_bits());
+    }
+    (wave, snap)
+}
+
+#[test]
+fn snapshot_restore_roundtrips_bitwise_mid_transient() {
+    for c in cases() {
+        let model = compile(&c);
+        let n_inputs = model.input_names().len();
+        for seed in 1..=4u64 {
+            let s = stim(&c, seed);
+            // Snapshot point varies with the seed — a cheap way to probe
+            // different integrator/factor states without a framework.
+            let snap_at = 5 + (seed as usize * 7) % (STEPS - 10);
+            let (reference, snap) = scalar_run(&c, &model, &s, Some(snap_at));
+            let snap = snap.unwrap();
+            assert_eq!(snap.steps(), snap_at as u64, "{}: watermark", c.label);
+
+            let drive = |inst: &mut amsim::Instance, wave: &mut Vec<u64>| {
+                for k in snap_at..STEPS {
+                    let u = s.value(k as f64 * c.dt);
+                    inst.try_step(&vec![u; n_inputs]).unwrap();
+                    wave.push(inst.output(0).to_bits());
+                }
+            };
+
+            // Restore into a fresh instance: the tail must be bitwise
+            // identical to the uninterrupted run.
+            let mut builder = model.instance_builder();
+            if let Some(ctrl) = c.step_control {
+                builder = builder.step_control(ctrl);
+            }
+            let mut fresh = builder.build().unwrap();
+            fresh.restore(&snap);
+            let mut tail = Vec::new();
+            drive(&mut fresh, &mut tail);
+            assert_eq!(
+                tail,
+                reference[snap_at..],
+                "{}/seed{seed}: fresh-restore tail diverged",
+                c.label
+            );
+
+            // Same-instance rewind: restore again and replay — the second
+            // pass must reproduce the first bit for bit.
+            fresh.restore(&snap);
+            let mut replay = Vec::new();
+            drive(&mut fresh, &mut replay);
+            assert_eq!(
+                replay,
+                reference[snap_at..],
+                "{}/seed{seed}: rewind replay diverged",
+                c.label
+            );
+        }
+    }
+}
+
+#[test]
+fn forked_lanes_match_scalar_runs_from_zero() {
+    const LANES: usize = 3;
+    for c in cases() {
+        let model = compile(&c);
+        let n_inputs = model.input_names().len();
+        let prefix = stim(&c, 42);
+        let snap_at = STEPS / 2;
+        let (_, snap) = scalar_run(&c, &model, &prefix, Some(snap_at));
+        let snap = snap.unwrap();
+
+        // Fan the snapshot out into lanes with divergent tail stimuli.
+        let mut batch = amsim::BatchInstance::fork_from(&snap, LANES, Obs::none());
+        let tails: Vec<PiecewiseConstant> = (0..LANES).map(|l| stim(&c, 100 + l as u64)).collect();
+        let mut forked: Vec<Vec<u64>> = vec![Vec::new(); LANES];
+        let mut inputs = vec![0.0; n_inputs * LANES];
+        for k in snap_at..STEPS {
+            for (l, t) in tails.iter().enumerate() {
+                let u = t.value(k as f64 * c.dt);
+                for i in 0..n_inputs {
+                    inputs[i * LANES + l] = u;
+                }
+            }
+            assert_eq!(batch.try_step(&inputs), LANES, "{}: lane fault", c.label);
+            for (l, wave) in forked.iter_mut().enumerate() {
+                wave.push(batch.output(0, l).to_bits());
+            }
+        }
+
+        // Each lane must equal a scalar run from t = 0 whose stimulus
+        // switches from the prefix to that lane's tail at the snapshot.
+        for (l, t) in tails.iter().enumerate() {
+            let pre = prefix.clone();
+            let stitched = move |time: f64| {
+                if time < snap_at as f64 * c.dt {
+                    pre.value(time)
+                } else {
+                    t.value(time)
+                }
+            };
+            struct F<G: Fn(f64) -> f64>(G);
+            impl<G: Fn(f64) -> f64> Stimulus for F<G> {
+                fn value(&self, t: f64) -> f64 {
+                    (self.0)(t)
+                }
+            }
+            let (flat, _) = scalar_run(&c, &model, &F(stitched), None);
+            assert_eq!(
+                forked[l],
+                flat[snap_at..],
+                "{}/lane{l}: forked tail diverged from scalar run",
+                c.label
+            );
+        }
+    }
+}
+
+/// A shared 24-step prefix forking into 6 tails, and its flat
+/// (re-simulate-the-prefix) equivalent.
+fn conservation_fixture() -> (Arc<CompiledModel>, ScenarioTree, Vec<AmsScenario>) {
+    const DT: f64 = 1e-6;
+    const SEG: usize = 24;
+    const FANOUT: usize = 6;
+    let module = vams_parser::parse_module(&rc_ladder(6)).unwrap();
+    let model = Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .unwrap();
+    let prefix = || PiecewiseConstant::seeded(9, 4, 5.0 * DT, 0.0, 1.0);
+    let tail = |i: usize| PiecewiseConstant::seeded(200 + i as u64, 4, 5.0 * DT, 0.0, 1.0);
+    let tree = ScenarioTree {
+        roots: vec![TreeScenario {
+            newton_tol: None,
+            step_control: None,
+            segment: ScenarioSegment {
+                name: "prefix".into(),
+                stim: Box::new(prefix()),
+                steps: SEG,
+                children: (0..FANOUT)
+                    .map(|i| ScenarioSegment {
+                        name: format!("tail{i}"),
+                        stim: Box::new(tail(i)),
+                        steps: SEG,
+                        children: Vec::new(),
+                    })
+                    .collect(),
+            },
+        }],
+    };
+    struct SwitchAt {
+        t0: f64,
+        before: PiecewiseConstant,
+        after: PiecewiseConstant,
+    }
+    impl Stimulus for SwitchAt {
+        fn value(&self, t: f64) -> f64 {
+            if t < self.t0 {
+                self.before.value(t)
+            } else {
+                self.after.value(t)
+            }
+        }
+    }
+    let flat = (0..FANOUT)
+        .map(|i| AmsScenario {
+            name: format!("tail{i}"),
+            stim: Box::new(SwitchAt {
+                t0: SEG as f64 * DT,
+                before: prefix(),
+                after: tail(i),
+            }),
+            steps: 2 * SEG,
+            newton_tol: None,
+            step_control: None,
+        })
+        .collect();
+    (model, tree, flat)
+}
+
+#[test]
+fn tree_sweep_conserves_amsim_counters_across_worker_counts() {
+    let (model, tree, flat) = conservation_fixture();
+    let budget = ScenarioBudget::unlimited();
+    for workers in [1usize, 2, 8] {
+        let engine = SweepEngine::new().workers(workers);
+        let flat_out = run_ams_sweep_batched(&engine, &model, &flat, 4, &budget).unwrap();
+        let tree_out = run_ams_sweep_tree(&engine, &model, &tree, 4, &budget).unwrap();
+
+        // The tree simulated the prefix once; adding back the steps it
+        // saved must land exactly on the flat sweep's step count.
+        let saved = tree_out.report.counter("sweep.tree.prefix_steps_saved");
+        assert!(saved > 0, "w{workers}: no prefix steps saved");
+        assert_eq!(
+            tree_out.report.counter("amsim.steps") + saved,
+            flat_out.report.counter("amsim.steps"),
+            "w{workers}: step conservation"
+        );
+        // One fork point, fanned out to 6 lanes (lane width 4 → chunks
+        // of 4 + 2, both restored from the same snapshot).
+        assert_eq!(tree_out.report.counter("amsim.snapshot.taken"), 1);
+        assert_eq!(tree_out.report.counter("amsim.snapshot.restored"), 6);
+        assert_eq!(tree_out.report.counter("sweep.tree.forks"), 1);
+        // Obs-visible solver counters must not depend on scheduling.
+        for counter in [
+            "amsim.steps",
+            "amsim.newton_iterations",
+            "amsim.lu.factorizations",
+            "amsim.snapshot.taken",
+            "amsim.snapshot.restored",
+            "sweep.tree.prefix_steps_saved",
+        ] {
+            assert_eq!(
+                tree_out.report.counter(counter),
+                run_ams_sweep_tree(&SweepEngine::new().workers(1), &model, &tree, 4, &budget)
+                    .unwrap()
+                    .report
+                    .counter(counter),
+                "w{workers}: counter `{counter}` varies with scheduling"
+            );
+        }
+    }
+}
+
+/// RC500 pushes the sparse backend well past the dense threshold; the
+/// debug profile is too slow for it, and there is no RC500 golden file,
+/// so parity is asserted tree-vs-flat instead.
+#[cfg(not(debug_assertions))]
+#[test]
+fn rc500_sparse_fork_parity() {
+    const DT: f64 = 1e-3;
+    const SEG: usize = 12;
+    const FANOUT: usize = 4;
+    let module = vams_parser::parse_module(&rc_ladder(500)).unwrap();
+    let model = Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .unwrap();
+    let prefix = || PiecewiseConstant::seeded(5, 3, 4.0 * DT, 0.0, 1.0);
+    let tail = |i: usize| PiecewiseConstant::seeded(300 + i as u64, 3, 4.0 * DT, 0.0, 1.0);
+    let tree = ScenarioTree {
+        roots: vec![TreeScenario {
+            newton_tol: None,
+            step_control: None,
+            segment: ScenarioSegment {
+                name: "prefix".into(),
+                stim: Box::new(prefix()),
+                steps: SEG,
+                children: (0..FANOUT)
+                    .map(|i| ScenarioSegment {
+                        name: format!("tail{i}"),
+                        stim: Box::new(tail(i)),
+                        steps: SEG,
+                        children: Vec::new(),
+                    })
+                    .collect(),
+            },
+        }],
+    };
+    struct SwitchAt {
+        t0: f64,
+        before: PiecewiseConstant,
+        after: PiecewiseConstant,
+    }
+    impl Stimulus for SwitchAt {
+        fn value(&self, t: f64) -> f64 {
+            if t < self.t0 {
+                self.before.value(t)
+            } else {
+                self.after.value(t)
+            }
+        }
+    }
+    let flat: Vec<AmsScenario> = (0..FANOUT)
+        .map(|i| AmsScenario {
+            name: format!("tail{i}"),
+            stim: Box::new(SwitchAt {
+                t0: SEG as f64 * DT,
+                before: prefix(),
+                after: tail(i),
+            }),
+            steps: 2 * SEG,
+            newton_tol: None,
+            step_control: None,
+        })
+        .collect();
+
+    let engine = SweepEngine::new().workers(2);
+    let budget = ScenarioBudget::unlimited();
+    let flat_out = run_ams_sweep_batched(&engine, &model, &flat, 2, &budget).unwrap();
+    let tree_out = run_ams_sweep_tree(&engine, &model, &tree, 2, &budget).unwrap();
+    for (i, (f, t)) in flat_out.results.iter().zip(&tree_out.results).enumerate() {
+        let (f, t) = (f.ok().unwrap(), t.ok().unwrap());
+        assert_eq!(f.name, t.name, "leaf {i}");
+        let fb: Vec<u64> = f.waveform.iter().map(|v| v.to_bits()).collect();
+        let tb: Vec<u64> = t.waveform.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, tb, "leaf {i}: RC500 sparse fork parity violated");
+    }
+    assert!(tree_out.report.counter("sweep.tree.prefix_steps_saved") > 0);
+}

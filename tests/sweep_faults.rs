@@ -267,6 +267,69 @@ fn batched_two_faults_retire_only_their_lanes_any_worker_count() {
     }
 }
 
+/// Stimulus that stalls on every sample — a stand-in for an expensive
+/// user waveform (table lookup, co-simulation round-trip, …).
+struct SlowStim(std::time::Duration);
+
+impl Stimulus for SlowStim {
+    fn value(&self, _t: f64) -> f64 {
+        std::thread::sleep(self.0);
+        0.8
+    }
+}
+
+#[test]
+fn batched_wall_budget_charges_each_lane_from_its_own_account() {
+    // Lane 0 carries a stimulus that sleeps ~25 ms per sample; lane 1 is
+    // an ordinary fast scenario sharing the same 2-lane block. With a
+    // wall cap well below lane 0's sampling cost, only lane 0 may trip:
+    // wall time is charged per lane (sampling to the sampling lane,
+    // solve time split over the lanes that entered the solve), so a slow
+    // sibling must not consume a healthy lane's budget. Under the old
+    // shared-block clock both lanes would have come back as Budget.
+    let model = compile_clamp();
+    let ctrl = Some(StepControl::new(1e-9).max_retries(20));
+    let scenarios = vec![
+        AmsScenario {
+            name: "slow".into(),
+            stim: Box::new(SlowStim(std::time::Duration::from_millis(25))),
+            steps: STEPS,
+            newton_tol: None,
+            step_control: ctrl,
+        },
+        AmsScenario {
+            name: "fast".into(),
+            stim: Box::new(PiecewiseConstant::seeded(1, 5, 6.0 * DT, 0.0, 0.8)),
+            steps: STEPS,
+            newton_tol: None,
+            step_control: ctrl,
+        },
+    ];
+    let out = run_ams_sweep_batched(
+        &SweepEngine::new().workers(1),
+        &model,
+        &scenarios,
+        2,
+        &ScenarioBudget::unlimited().max_wall(0.15),
+    )
+    .unwrap();
+    match &out.results[0] {
+        ScenarioOutcome::Budget(b) => {
+            assert_eq!(b.max_wall, Some(0.15), "slow lane trips the wall cap");
+            assert!(b.wall > 0.15);
+        }
+        other => panic!("slot 0: want Budget, got {other:?}"),
+    }
+    match &out.results[1] {
+        ScenarioOutcome::Ok(run) => {
+            assert_eq!(run.waveform.len(), STEPS, "fast lane runs to completion");
+        }
+        other => panic!("slot 1: want Ok, got {other:?}"),
+    }
+    assert_eq!(out.report.counter("sweep.scenarios.ok"), 1);
+    assert_eq!(out.report.counter("sweep.scenarios.budget"), 1);
+}
+
 #[test]
 fn step_budget_records_typed_outcome() {
     let model = compile_clamp();
