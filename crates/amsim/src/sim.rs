@@ -326,6 +326,9 @@ pub struct CompiledModel {
     /// structural density, or forced via [`Simulation::solver`]. Every
     /// instance and batch lane of this model solves through it.
     pub(crate) backend: SolverKind,
+    /// Stable content hash of the compiled artifact (see
+    /// [`CompiledModel::model_hash`]).
+    pub(crate) model_hash: u64,
 }
 
 /// Compiled-bytecode Newton/backward-Euler transient simulator over the
@@ -747,6 +750,19 @@ impl CompiledModel {
         self.backend
     }
 
+    /// Cheap, stable content hash of the compiled artifact.
+    ///
+    /// Computed once at compile time (FNV-1a over the discretized
+    /// equations, unknown/input layout, outputs, `dt`, tolerance, step
+    /// control, and resolved backend), so two independent compiles of the
+    /// same module with the same settings — even in different processes —
+    /// agree, while any numerically meaningful difference changes the
+    /// hash. The serve daemon keys its model cache on it and clients can
+    /// use it to verify a resubmission hit the same artifact.
+    pub fn model_hash(&self) -> u64 {
+        self.model_hash
+    }
+
     /// Spawns a run instance with the model's default tolerance,
     /// step-control policy and no collector — the cheap path for sweep
     /// workers.
@@ -980,6 +996,32 @@ fn compile_model(
     let backend = solver.resolve(n, jt.pattern().len());
     let init_lu = AnyLu::analyze_with(backend, &jt).ok();
 
+    // Stable content hash over everything that determines the model's
+    // numerics: the discretized equations, the slot layout, the solve
+    // configuration. Two compiles of the same module with the same
+    // settings — in the same process or not — produce the same hash, so
+    // model caches (the serve daemon's LRU) and resubmission checks can
+    // key on it cheaply.
+    let mut hasher = Fnv1a::new();
+    hasher.write(module.name.as_bytes());
+    hasher.write_u64(dt.to_bits());
+    hasher.write_u64(newton_tol.to_bits());
+    hasher.write(format!("{step_control:?}").as_bytes());
+    hasher.write(format!("{backend:?}").as_bytes());
+    for q in &unknowns {
+        hasher.write(format!("{q:?}").as_bytes());
+    }
+    for name in &input_names {
+        hasher.write(name.as_bytes());
+    }
+    for &i in &output_indices {
+        hasher.write_u64(i as u64);
+    }
+    for eq in &equations {
+        hasher.write(format!("{eq:?}").as_bytes());
+    }
+    let model_hash = hasher.finish();
+
     Ok(CompiledModel {
         dt,
         newton_tol,
@@ -1002,7 +1044,37 @@ fn compile_model(
         max_stack,
         init_lu,
         backend,
+        model_hash,
     })
+}
+
+/// The 64-bit FNV-1a hash — tiny, dependency-free, and stable across
+/// processes and platforms (unlike `std::hash`, whose `DefaultHasher` is
+/// explicitly unstable between releases).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separate fields so ("ab","c") and ("a","bc") hash differently.
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl AmsSimulator {
@@ -1808,6 +1880,37 @@ mod tests {
           I(cap) <+ C * ddt(V(cap));
         end
       endmodule";
+
+    #[test]
+    fn model_hash_is_stable_and_discriminating() {
+        let m = parse_module(RC1).unwrap();
+        let compile = |dt: f64| {
+            Simulation::new(&m)
+                .dt(dt)
+                .output("V(out)")
+                .compile()
+                .unwrap()
+        };
+        // Two independent compiles of the same module + settings agree.
+        assert_eq!(compile(1e-6).model_hash(), compile(1e-6).model_hash());
+        // A numerically meaningful difference changes the hash.
+        assert_ne!(compile(1e-6).model_hash(), compile(2e-6).model_hash());
+        let other = parse_module(&amsvp_core::circuits::rc_ladder(2)).unwrap();
+        let other = Simulation::new(&other)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        assert_ne!(compile(1e-6).model_hash(), other.model_hash());
+        // Tolerance and step-control differences are part of the key too.
+        let tol = Simulation::new(&m)
+            .dt(1e-6)
+            .newton_tol(1e-7)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        assert_ne!(compile(1e-6).model_hash(), tol.model_hash());
+    }
 
     #[test]
     fn rc_step_response() {

@@ -1,0 +1,337 @@
+//! CI smoke check for the sweep-as-a-service daemon.
+//!
+//! Boots an in-process server, submits a 64-scenario RC1 job over a real
+//! socket, and asserts the service contract end to end: the streamed
+//! records equal a local batch run bit for bit, resubmitting the same
+//! module is a model-cache hit, and a submission past the forced
+//! one-job cap bounces with `429` + `Retry-After`. Writes the final
+//! server report as `BENCH_serve_smoke.json` and exits nonzero on any
+//! violation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+use serve::json::{self, Json, JsonBuf};
+use serve::{ServeConfig, Server};
+use sweep::{run_ams_sweep_batched, AmsScenario, ScenarioBudget, SweepEngine};
+
+const SCENARIOS: usize = 64;
+const STEPS: usize = 200;
+const LANE_WIDTH: usize = 4;
+
+fn main() {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        lane_width: LANE_WIDTH,
+        max_jobs: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let mut failures = Vec::new();
+
+    // --- Streamed job vs local batch run -------------------------------
+    let module_src = rc_ladder(1);
+    let body = job_body(&module_src);
+    let first = post_job(addr, &body);
+    if first.0 != 200 {
+        failures.push(format!("first job answered {} not 200", first.0));
+    }
+    let records: Vec<Json> = first
+        .1
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| json::parse(l).expect("stream record parses"))
+        .collect();
+
+    let module = vams_parser::parse_module(&module_src).expect("RC1 parses");
+    let model: Arc<_> = amsim::Simulation::new(&module)
+        .dt(1e-6)
+        .output("V(out)")
+        .compile()
+        .expect("RC1 compiles");
+    let scenarios: Vec<AmsScenario> = (0..SCENARIOS)
+        .map(|i| AmsScenario {
+            name: format!("s{i}"),
+            stim: Box::new(PiecewiseConstant::seeded(i as u64 + 1, 5, 5e-5, 0.0, 1.0)),
+            steps: STEPS,
+            newton_tol: None,
+            step_control: None,
+        })
+        .collect();
+    let outcome = run_ams_sweep_batched(
+        &SweepEngine::new().workers(4),
+        &model,
+        &scenarios,
+        LANE_WIDTH,
+        &ScenarioBudget::unlimited(),
+    )
+    .expect("local sweep runs");
+
+    if records.len() != SCENARIOS + 3 {
+        failures.push(format!(
+            "expected {} records (accepted + scenarios + report + done), got {}",
+            SCENARIOS + 3,
+            records.len()
+        ));
+    } else {
+        if records[0].get("cache").and_then(Json::as_str) != Some("miss") {
+            failures.push("first submission must be a cache miss".into());
+        }
+        for (i, rec) in records[1..=SCENARIOS].iter().enumerate() {
+            let local = outcome.results[i].ok().expect("local scenario healthy");
+            if rec.get("index").and_then(Json::as_u64) != Some(i as u64) {
+                failures.push(format!("record {i} carries the wrong index"));
+                break;
+            }
+            let wave = rec.get("waveform").and_then(Json::as_array).unwrap_or(&[]);
+            let identical = wave.len() == local.waveform.len()
+                && wave
+                    .iter()
+                    .zip(&local.waveform)
+                    .all(|(s, l)| s.as_f64().map(f64::to_bits) == Some(l.to_bits()));
+            if !identical {
+                failures.push(format!(
+                    "scenario {i}: streamed waveform diverged from the local batch run"
+                ));
+                break;
+            }
+        }
+        let done = records.last().unwrap();
+        if done.get("ok").and_then(Json::as_u64) != Some(SCENARIOS as u64) {
+            failures.push(format!("job.done lacks {SCENARIOS} ok scenarios"));
+        }
+    }
+
+    // --- Cache hit on resubmit -----------------------------------------
+    let second = post_job(addr, &body);
+    let second_first = second
+        .1
+        .lines()
+        .next()
+        .map(|l| json::parse(l).expect("record parses"));
+    if second.0 != 200
+        || second_first
+            .as_ref()
+            .and_then(|r| r.get("cache"))
+            .and_then(Json::as_str)
+            != Some("hit")
+    {
+        failures.push("resubmitting the identical job must be a model-cache hit".into());
+    }
+
+    // --- One 429 under the forced single-job cap -----------------------
+    // Hold the only slot with a long-running job; probe once the stats
+    // endpoint confirms the blocker is in the slot (nothing else is
+    // submitting, so acceptance #3 can only be the blocker).
+    let slow_body = job_body_slow(&module_src);
+    let blocker = std::thread::spawn(move || post_job(addr, &slow_body));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while accepted_jobs(addr) < 3 {
+        if Instant::now() >= deadline {
+            failures.push("blocking job was never accepted".into());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (status, body_text, retry_after) = post_raw(addr, &body);
+    if status != 429 {
+        failures.push(format!(
+            "expected 429 under the forced one-job cap, got {status}"
+        ));
+    } else {
+        if retry_after.is_none() {
+            failures.push("429 response is missing Retry-After".into());
+        }
+        if !body_text.contains("job.rejected") {
+            failures.push("429 body lacks the typed job.rejected record".into());
+        }
+    }
+    let blocker = blocker.join().expect("blocker thread");
+    if blocker.0 != 200 {
+        failures.push(format!("blocking job answered {} not 200", blocker.0));
+    }
+
+    // --- Report + conservation -----------------------------------------
+    let report = server.shutdown();
+    report
+        .write_json("BENCH_serve_smoke.json")
+        .expect("BENCH_serve_smoke.json is writable");
+    if report.counter("serve.jobs.completed") != report.counter("serve.jobs.accepted") {
+        failures.push(format!(
+            "accepted {} != completed {}",
+            report.counter("serve.jobs.accepted"),
+            report.counter("serve.jobs.completed")
+        ));
+    }
+    if report.counter("serve.jobs.rejected") == 0 {
+        failures.push("counter serve.jobs.rejected stayed 0".into());
+    }
+    if report.counter("serve.cache.hits") == 0 {
+        failures.push("counter serve.cache.hits stayed 0 (resubmit recompiled?)".into());
+    }
+    if report.counter("serve.cache.misses") != 1 {
+        failures.push(format!(
+            "counter serve.cache.misses is {}, want 1 (compile-once violated)",
+            report.counter("serve.cache.misses")
+        ));
+    }
+
+    if !failures.is_empty() {
+        eprintln!("serve_smoke FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "serve_smoke OK: {SCENARIOS}-scenario stream identical to the batch run, \
+         cache hit on resubmit, 429 under cap; {} jobs, {} stream records",
+        report.counter("serve.jobs.accepted"),
+        report.counter("serve.stream.records"),
+    );
+}
+
+fn job_body(module: &str) -> String {
+    let mut b = JsonBuf::new();
+    b.begin_obj()
+        .str_field("module", module)
+        .f64_field("dt", 1e-6)
+        .str_field("output", "V(out)")
+        .u64_field("lane_width", LANE_WIDTH as u64);
+    b.begin_arr("scenarios");
+    for i in 0..SCENARIOS as u64 {
+        b.begin_obj()
+            .str_field("name", &format!("s{i}"))
+            .u64_field("steps", STEPS as u64)
+            .key("stim");
+        b.begin_obj()
+            .str_field("kind", "pwc")
+            .u64_field("seed", i + 1)
+            .u64_field("segments", 5)
+            .f64_field("hold", 5e-5)
+            .f64_field("lo", 0.0)
+            .f64_field("hi", 1.0)
+            .end_obj();
+        b.end_obj();
+    }
+    b.end_arr();
+    b.end_obj();
+    b.into_string()
+}
+
+/// A job long enough to hold the single slot while the probe submits.
+fn job_body_slow(module: &str) -> String {
+    let mut b = JsonBuf::new();
+    b.begin_obj()
+        .str_field("module", module)
+        .f64_field("dt", 1e-6)
+        .str_field("output", "V(out)");
+    b.begin_arr("scenarios");
+    for i in 0..128u64 {
+        b.begin_obj()
+            .str_field("name", &format!("slow{i}"))
+            .u64_field("steps", 5000)
+            .key("stim");
+        b.begin_obj()
+            .str_field("kind", "const")
+            .f64_field("value", 0.5)
+            .end_obj();
+        b.end_obj();
+    }
+    b.end_arr();
+    b.end_obj();
+    b.into_string()
+}
+
+/// Reads `serve.jobs.accepted` off the stats endpoint.
+fn accepted_jobs(addr: SocketAddr) -> u64 {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(
+        s,
+        "GET /v1/stats HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read stats");
+    let text = String::from_utf8_lossy(&raw);
+    let body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    json::parse(body)
+        .ok()
+        .and_then(|v| {
+            v.get("counters")
+                .and_then(|c| c.get("serve.jobs.accepted"))
+                .and_then(Json::as_u64)
+        })
+        .unwrap_or(0)
+}
+
+/// POSTs a job and returns `(status, chunk-decoded body)`.
+fn post_job(addr: SocketAddr, body: &str) -> (u16, String) {
+    let (status, body, _) = post_raw(addr, body);
+    (status, body)
+}
+
+fn post_raw(addr: SocketAddr, body: &str) -> (u16, String, Option<String>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    write!(
+        s,
+        "POST /v1/jobs HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let retry_after = head
+        .lines()
+        .find_map(|l| {
+            l.split_once(':')
+                .filter(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+        })
+        .map(|(_, v)| v.trim().to_string());
+    let chunked = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("transfer-encoding") && l.contains("chunked"));
+    let mut rest = &raw[head_end + 4..];
+    let body = if chunked {
+        let mut out = Vec::new();
+        loop {
+            let line_end = rest
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .expect("chunk size");
+            let size = usize::from_str_radix(std::str::from_utf8(&rest[..line_end]).unwrap(), 16)
+                .expect("hex chunk size");
+            rest = &rest[line_end + 2..];
+            if size == 0 {
+                break;
+            }
+            out.extend_from_slice(&rest[..size]);
+            rest = &rest[size + 2..];
+        }
+        out
+    } else {
+        rest.to_vec()
+    };
+    (
+        status,
+        String::from_utf8(body).expect("UTF-8 body"),
+        retry_after,
+    )
+}

@@ -380,6 +380,33 @@ impl Report {
         s
     }
 
+    /// Folds another report into this one with every counter and timer
+    /// name prefixed by `prefix` — the namespacing merge a long-running
+    /// service needs when it aggregates per-job reports into one
+    /// server-wide report without letting job-local names (`sweep.*`,
+    /// `amsim.*`) collide with its own `serve.*` families.
+    ///
+    /// ```
+    /// use amsvp_obs::{Obs, Report};
+    ///
+    /// let job = Obs::recording();
+    /// job.add("sweep.scenarios", 8);
+    /// let mut server = Report::default();
+    /// server.merge_prefixed(&job.report().unwrap(), "jobs.");
+    /// assert_eq!(server.counter("jobs.sweep.scenarios"), 8);
+    /// ```
+    pub fn merge_prefixed(&mut self, other: &Report, prefix: &str) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{k}")).or_insert(0) += v;
+        }
+        for (k, v) in &other.timers {
+            self.timers
+                .entry(format!("{prefix}{k}"))
+                .or_default()
+                .merge(v);
+        }
+    }
+
     /// Value of counter `name`, or 0 when it was never incremented —
     /// convenient for smoke checks asserting on reported counters.
     pub fn counter(&self, name: &str) -> u64 {
@@ -607,6 +634,24 @@ mod tests {
         assert_eq!(a.counters["n"], 3);
         assert_eq!(a.timers["t"].count, 2);
         assert!((a.timers["t"].max - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_counters_and_timers() {
+        let job = Obs::recording();
+        job.add("sweep.scenarios", 4);
+        job.time("sweep.wall", 0.25);
+        let mut server = Report::default();
+        server.merge_prefixed(&job.report().unwrap(), "jobs.");
+        server.merge_prefixed(&job.report().unwrap(), "jobs.");
+        assert_eq!(server.counter("jobs.sweep.scenarios"), 8);
+        assert_eq!(server.counter("sweep.scenarios"), 0);
+        assert_eq!(server.timers["jobs.sweep.wall"].count, 2);
+        assert!(!server.timers.contains_key("sweep.wall"));
+        // Empty prefix degenerates to a plain merge.
+        let mut plain = Report::default();
+        plain.merge_prefixed(&job.report().unwrap(), "");
+        assert_eq!(plain.counter("sweep.scenarios"), 4);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! A minimal HTTP/1.1 server-side protocol layer over `std::io`.
+//!
+//! Only the slice of HTTP the job protocol needs is implemented:
+//! request-line + header parsing with hard size caps, `Content-Length`
+//! bodies, keep-alive pipelining, and chunked transfer encoding for
+//! streamed responses. Every malformed or abusive input maps to a typed
+//! [`HttpError`] that the connection handler turns into a 4xx status —
+//! the parser itself must never panic (the protocol fuzz tests feed it
+//! arbitrary bytes) and never read more than the configured caps.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Size and count caps applied while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line plus all header bytes (431 when exceeded).
+    pub max_header_bytes: usize,
+    /// Cap on the declared body size (413 when exceeded).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/jobs`.
+    pub target: String,
+    /// Headers with lowercased names; duplicate names keep the last value.
+    pub headers: BTreeMap<String, String>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// A typed request-read failure. The numeric status is what the server
+/// should answer with before (usually) closing the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// 400 — the bytes do not form a valid request.
+    Malformed(&'static str),
+    /// 408 — the socket timed out mid-request.
+    Timeout,
+    /// 413 — declared body larger than the cap.
+    BodyTooLarge,
+    /// 431 — request line + headers larger than the cap.
+    HeadersTooLarge,
+    /// The client vanished mid-request (no response possible).
+    Disconnected,
+}
+
+impl HttpError {
+    /// Status code and reason phrase for this error, if one can be sent.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::Timeout => Some((408, "Request Timeout")),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::Disconnected => None,
+        }
+    }
+
+    /// A short machine-readable description for the error body.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(m) => m,
+            HttpError::Timeout => "timed out reading request",
+            HttpError::BodyTooLarge => "request body exceeds limit",
+            HttpError::HeadersTooLarge => "request headers exceed limit",
+            HttpError::Disconnected => "client disconnected",
+        }
+    }
+}
+
+/// Reads one request from `r`.
+///
+/// Returns `Ok(None)` on clean EOF *before any request byte* — the
+/// normal end of a keep-alive connection. EOF or a read error anywhere
+/// after the first byte is [`HttpError::Disconnected`] (or
+/// [`HttpError::Timeout`] for timeouts).
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    let mut head = Vec::new();
+    // Read byte-wise until CRLFCRLF (or LFLF, accepted leniently) with a
+    // hard cap; byte-wise is fine because `R` is buffered.
+    loop {
+        let mut b = [0u8; 1];
+        match r.read(&mut b) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Disconnected);
+            }
+            Ok(_) => head.push(b[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Timeout)
+            }
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+        if head.len() > limits.max_header_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+
+    let head_text =
+        std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 request head"))?;
+    let mut lines = head_text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) || method.is_empty() {
+        return Err(HttpError::Malformed("invalid method token"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line missing ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let mut body = Vec::new();
+    if let Some(len) = headers.get("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("invalid Content-Length"))?;
+        if len > limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge);
+        }
+        body.resize(len, 0);
+        if let Err(e) = r.read_exact(&mut body) {
+            return Err(
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                    HttpError::Timeout
+                } else {
+                    HttpError::Disconnected
+                },
+            );
+        }
+    } else if headers.contains_key("transfer-encoding") {
+        return Err(HttpError::Malformed("chunked request bodies unsupported"));
+    }
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Writes a complete non-streamed response with a JSON body.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n")?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// A chunked-transfer-encoded response stream.
+///
+/// The caller writes whole records with [`write_chunk`](Self::write_chunk)
+/// and must call [`finish`](Self::finish) to emit the terminating chunk.
+/// Write failures (client gone mid-stream) are surfaced as errors; the
+/// job runner records them and stops streaming, it never panics.
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head for a chunked `application/x-ndjson`
+    /// stream and returns the chunk writer.
+    pub fn begin(mut w: W, status: u16, reason: &str) -> io::Result<ChunkedWriter<W>> {
+        write!(
+            w,
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )?;
+        w.flush()?;
+        Ok(ChunkedWriter { w, finished: false })
+    }
+
+    /// Sends one chunk (one JSON-lines record, newline included by the
+    /// caller) and flushes so clients observe records incrementally.
+    pub fn write_chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data.as_bytes())?;
+        write!(self.w, "\r\n")?;
+        self.w.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.finished = true;
+        write!(self.w, "0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn req(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_request_with_body_and_keepalive_default() {
+        let r = req(b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.target, "/v1/jobs");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"abcd");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert!(req(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_request_is_disconnect() {
+        assert!(matches!(
+            req(b"GET / HTTP/1.1\r\nHos"),
+            Err(HttpError::Disconnected)
+        ));
+        assert!(matches!(
+            req(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bad in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"G=T / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"\xff\xfe / HTTP/1.1\r\n\r\n",
+        ] {
+            match req(bad) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("expected Malformed for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let limits = Limits {
+            max_header_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let mut big = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        big.extend(std::iter::repeat_n(b'a', 100));
+        big.extend(b"\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut BufReader::new(big.as_slice()), &limits),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        assert!(matches!(
+            read_request(
+                &mut BufReader::new(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n".as_slice()),
+                &limits
+            ),
+            Err(HttpError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let bytes = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(bytes.as_slice());
+        let a = read_request(&mut r, &Limits::default()).unwrap().unwrap();
+        let b = read_request(&mut r, &Limits::default()).unwrap().unwrap();
+        assert_eq!(a.target, "/a");
+        assert_eq!(b.target, "/b");
+        assert!(b.wants_close());
+        assert!(read_request(&mut r, &Limits::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_writer_frames_records() {
+        let mut buf = Vec::new();
+        {
+            let mut cw = ChunkedWriter::begin(&mut buf, 200, "OK").unwrap();
+            cw.write_chunk("{\"a\":1}\n").unwrap();
+            cw.write_chunk("{\"b\":2}\n").unwrap();
+            cw.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

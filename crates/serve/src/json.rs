@@ -1,0 +1,577 @@
+//! A minimal, dependency-free JSON parser and writer.
+//!
+//! The serve daemon speaks JSON on both sides of its protocol — job
+//! submissions in, streamed records out — under the same offline
+//! constraint as the rest of the workspace (no external crates), so both
+//! directions are hand-rolled here. The parser is a plain recursive
+//! descent over `&str` with an explicit depth cap; it is the surface the
+//! protocol fuzz tests hammer, so its contract is strict: **any** input,
+//! well-formed or hostile, must produce either a [`Json`] value or a
+//! typed [`JsonError`] — never a panic and never unbounded work beyond
+//! the input length.
+//!
+//! The writer side ([`JsonBuf`]) produces deterministic output: object
+//! keys are emitted in insertion order by the caller, and `f64`s use
+//! Rust's shortest round-trip `Display` formatting, so a record built
+//! from identical values is byte-identical — the property the streaming
+//! determinism tests pin end to end.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts; deeper input is rejected
+/// with a typed error instead of risking stack exhaustion.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` gives deterministic iteration order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is an integral number
+    /// that fits `u64` exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A typed parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let bytes = src.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static [u8], v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|mut e| {
+                e.msg = "expected object key string";
+                e
+            })?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the digits; skip the
+                            // shared increment below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (input is &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let ch = s.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one leading zero or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII by scan");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+/// An append-only JSON writer with deterministic formatting.
+///
+/// Callers compose records field by field; keys come out in call order
+/// and floats in Rust's shortest round-trip form, so identical values
+/// always serialize to identical bytes.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Whether the current aggregate already has a first element.
+    needs_comma: bool,
+}
+
+impl JsonBuf {
+    /// An empty buffer.
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    /// The serialized bytes so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the buffer into its backing string.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn elem(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        self.needs_comma = true;
+    }
+
+    /// Opens an object (as a value position element).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.elem();
+        self.out.push('{');
+        self.needs_comma = false;
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.out.push('}');
+        self.needs_comma = true;
+        self
+    }
+
+    /// Opens an array under `key`.
+    pub fn begin_arr(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        self.needs_comma = false;
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.out.push(']');
+        self.needs_comma = true;
+        self
+    }
+
+    /// Writes `"key":` (with the element comma as needed).
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.elem();
+        push_escaped(&mut self.out, key);
+        self.out.push(':');
+        self.needs_comma = false;
+        self
+    }
+
+    /// Writes a string field.
+    pub fn str_field(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        push_escaped(&mut self.out, v);
+        self.needs_comma = true;
+        self
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&v.to_string());
+        self.needs_comma = true;
+        self
+    }
+
+    /// Writes a float field (shortest round-trip form; non-finite values
+    /// become `null`).
+    pub fn f64_field(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key);
+        push_f64(&mut self.out, v);
+        self.needs_comma = true;
+        self
+    }
+
+    /// Appends one float element to the open array.
+    pub fn f64_elem(&mut self, v: f64) -> &mut Self {
+        self.elem();
+        push_f64(&mut self.out, v);
+        self
+    }
+}
+
+fn push_escaped(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // Keep integral floats unambiguously floats.
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+        out.push_str(".0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_aggregates() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let v = parse(r#"{"a": [1, 2, {"b": "c"}], "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("c")
+        );
+        assert_eq!(v.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        assert_eq!(parse(r#""\u00e9""#).unwrap(), Json::Str("é".into()));
+        // Surrogate pair → astral char.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ud83dx""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "\"abc",
+            "\"\\q\"",
+            "[1]]",
+            "{\"a\":1,}",
+            "\u{1}",
+        ] {
+            let e = parse(bad).expect_err(bad);
+            assert!(!e.msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(parse(&deep).unwrap_err().msg, "nesting too deep");
+        let ok = "[".repeat(60) + &"]".repeat(60);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn as_u64_is_exact() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_round_trips() {
+        let mut b = JsonBuf::new();
+        b.begin_obj()
+            .str_field("type", "scenario")
+            .u64_field("index", 3)
+            .f64_field("x", 0.1 + 0.2);
+        b.begin_arr("wave").f64_elem(1.0).f64_elem(-0.5).end_arr();
+        b.end_obj();
+        let s = b.into_string();
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("index").unwrap().as_u64(), Some(3));
+        // Shortest-round-trip float formatting parses back bit-exactly.
+        let x = v.get("x").unwrap().as_f64().unwrap();
+        assert_eq!(x.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(
+            v.get("wave").unwrap().as_array().unwrap()[0],
+            Json::Num(1.0)
+        );
+    }
+}

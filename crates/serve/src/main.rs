@@ -1,0 +1,84 @@
+//! The `amsvp-serve` daemon: sweep-as-a-service over plain TCP.
+//!
+//! ```text
+//! amsvp-serve [--addr HOST:PORT] [--workers N] [--lane-width N]
+//!             [--max-jobs N] [--cache N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7878`), prints the bound
+//! address on stdout, and serves until stdin closes or a line reading
+//! `shutdown` arrives — the std-only stand-in for a termination signal.
+//! Shutdown is graceful: in-flight jobs drain and flush before the
+//! process exits, and the final server report is printed as JSON.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use amsvp_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--lane-width" => config.lane_width = parse(&value("--lane-width"), "--lane-width"),
+            "--max-jobs" => config.max_jobs = parse(&value("--max-jobs"), "--max-jobs"),
+            "--cache" => config.cache_models = parse(&value("--cache"), "--cache"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: amsvp-serve [--addr HOST:PORT] [--workers N] [--lane-width N] \
+                     [--max-jobs N] [--cache N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.lane_width == 0 {
+        eprintln!("--lane-width must be at least 1");
+        std::process::exit(2);
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("amsvp-serve listening on {}", server.local_addr());
+    println!("POST jobs to /v1/jobs; type `shutdown` (or close stdin) to drain and exit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    eprintln!("draining...");
+    let report = server.shutdown_within(Duration::from_secs(30));
+    println!("{}", report.to_json());
+}
+
+fn parse(s: &str, what: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {what}: {s}");
+        std::process::exit(2)
+    })
+}

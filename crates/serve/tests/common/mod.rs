@@ -1,0 +1,120 @@
+//! A minimal blocking HTTP client for exercising the serve daemon over
+//! real sockets in tests: just enough request writing and
+//! chunked-response decoding to read back a job stream.
+
+// Each test binary compiles this module separately and uses a different
+// subset of it.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded HTTP response.
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    /// Chunk-decoded (or plain) body bytes.
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body split into JSON-lines records.
+    pub fn records(&self) -> Vec<&str> {
+        self.body.lines().filter(|l| !l.is_empty()).collect()
+    }
+}
+
+/// POSTs `body` to `path` on a one-shot connection and reads the full
+/// response (panics on transport or framing errors — tests want loud
+/// failures).
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    read_response(&mut s)
+}
+
+/// GETs `path` on a one-shot connection.
+pub fn get(addr: SocketAddr, path: &str) -> Response {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    read_response(&mut s)
+}
+
+/// Reads one response from an already-written connection.
+pub fn read_response(s: &mut TcpStream) -> Response {
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Response {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.to_string(), v.trim().to_string()))
+        .collect();
+    let mut body_bytes = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+    let body = if chunked {
+        let mut out = Vec::new();
+        loop {
+            let line_end = body_bytes
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .expect("chunk size line");
+            let size = usize::from_str_radix(
+                std::str::from_utf8(&body_bytes[..line_end]).expect("chunk size UTF-8"),
+                16,
+            )
+            .expect("hex chunk size");
+            body_bytes = &body_bytes[line_end + 2..];
+            if size == 0 {
+                break;
+            }
+            out.extend_from_slice(&body_bytes[..size]);
+            assert_eq!(&body_bytes[size..size + 2], b"\r\n", "chunk trailer");
+            body_bytes = &body_bytes[size + 2..];
+        }
+        out
+    } else {
+        body_bytes.to_vec()
+    };
+    Response {
+        status,
+        headers,
+        body: String::from_utf8(body).expect("UTF-8 body"),
+    }
+}

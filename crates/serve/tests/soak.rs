@@ -1,0 +1,263 @@
+//! Release-gated soak battery: thousands of jobs from dozens of client
+//! threads against one in-process server, with a deliberately nasty
+//! mix — three interleaved model variants churning a 2-entry cache,
+//! injected stimulus panics, budget-tripping scenarios, and a job cap
+//! low enough that clients constantly bounce off 429s.
+//!
+//! What must hold at the end:
+//!
+//! - every submission eventually lands (429 is backpressure, not loss),
+//! - every accepted job streams its scenario records exactly once, in
+//!   index order, with tallies matching its composition,
+//! - the `serve.*` / `jobs.sweep.*` counters conserve: accepted =
+//!   completed, rejections equal client-observed 429s, stream records
+//!   and scenario totals match what clients read, cache hits + misses =
+//!   accepted with evictions = misses − capacity,
+//! - shutdown after the storm is a clean drain.
+
+mod common;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use amsvp_core::circuits::rc_ladder;
+use amsvp_serve::json::{self, JsonBuf};
+use amsvp_serve::{ServeConfig, Server};
+
+const CLIENTS: usize = 16;
+const JOBS_PER_CLIENT: usize = 80;
+const CACHE_CAPACITY: usize = 2;
+const BUDGET_STEPS: u64 = 25;
+const BASE_STEPS: u64 = 20;
+
+struct JobShape {
+    body: String,
+    scenarios: u64,
+    ok: u64,
+    panicked: u64,
+    budget: u64,
+}
+
+/// Builds job `k` of a client: dt rotates over three values (three cache
+/// keys against a two-slot cache), every 3rd job carries a
+/// budget-tripping scenario and every 8th an injected panic.
+fn job_shape(module: &str, k: usize) -> JobShape {
+    let dt = [1e-6, 2e-6, 4e-6][k % 3];
+    let with_budget_trip = k.is_multiple_of(3);
+    let with_panic = k.is_multiple_of(8);
+    let mut b = JsonBuf::new();
+    b.begin_obj()
+        .str_field("module", module)
+        .f64_field("dt", dt)
+        .str_field("output", "V(out)");
+    b.key("budget");
+    b.begin_obj().u64_field("max_steps", BUDGET_STEPS).end_obj();
+    b.begin_arr("scenarios");
+    let mut scenarios = 0u64;
+    for i in 0..3u64 {
+        b.begin_obj()
+            .str_field("name", &format!("a{i}"))
+            .u64_field("steps", BASE_STEPS)
+            .key("stim");
+        b.begin_obj()
+            .str_field("kind", "pwc")
+            .u64_field("seed", k as u64 * 31 + i + 1)
+            .u64_field("segments", 4)
+            .f64_field("hold", 5e-6)
+            .f64_field("lo", 0.0)
+            .f64_field("hi", 1.0)
+            .end_obj();
+        b.end_obj();
+        scenarios += 1;
+    }
+    if with_budget_trip {
+        b.begin_obj()
+            .str_field("name", "greedy")
+            .u64_field("steps", BUDGET_STEPS + 25)
+            .key("stim");
+        b.begin_obj()
+            .str_field("kind", "const")
+            .f64_field("value", 0.5)
+            .end_obj();
+        b.end_obj();
+        scenarios += 1;
+    }
+    if with_panic {
+        b.begin_obj()
+            .str_field("name", "hostile")
+            .u64_field("steps", BASE_STEPS)
+            .key("stim");
+        b.begin_obj()
+            .str_field("kind", "panic_at")
+            .u64_field("step", 3)
+            .end_obj();
+        b.end_obj();
+        scenarios += 1;
+    }
+    b.end_arr();
+    b.end_obj();
+    JobShape {
+        body: b.into_string(),
+        scenarios,
+        ok: 3,
+        panicked: with_panic as u64,
+        budget: with_budget_trip as u64,
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "soak battery is release-gated: run with `cargo test --release -p amsvp-serve --test soak`"
+)]
+fn soak_thousands_of_jobs_conserve_every_record() {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        lane_width: 4,
+        max_jobs: 3,
+        cache_models: CACHE_CAPACITY,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let module = Arc::new(rc_ladder(1));
+
+    let rejected = Arc::new(AtomicU64::new(0));
+    let exp_scenarios = Arc::new(AtomicU64::new(0));
+    let exp_ok = Arc::new(AtomicU64::new(0));
+    let exp_panicked = Arc::new(AtomicU64::new(0));
+    let exp_budget = Arc::new(AtomicU64::new(0));
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let module = Arc::clone(&module);
+            let rejected = Arc::clone(&rejected);
+            let exp_scenarios = Arc::clone(&exp_scenarios);
+            let exp_ok = Arc::clone(&exp_ok);
+            let exp_panicked = Arc::clone(&exp_panicked);
+            let exp_budget = Arc::clone(&exp_budget);
+            std::thread::spawn(move || {
+                for k in 0..JOBS_PER_CLIENT {
+                    let shape = job_shape(&module, c * JOBS_PER_CLIENT + k);
+                    // Bounce off 429 backpressure until a slot frees up.
+                    let resp = loop {
+                        let resp = common::post(addr, "/v1/jobs", &shape.body);
+                        if resp.status == 429 {
+                            assert!(
+                                resp.header("Retry-After").is_some(),
+                                "429 must advise when to retry"
+                            );
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(500));
+                            continue;
+                        }
+                        break resp;
+                    };
+                    assert_eq!(resp.status, 200, "job rejected: {}", resp.body);
+                    verify_stream(&resp.body, &shape);
+                    exp_scenarios.fetch_add(shape.scenarios, Ordering::Relaxed);
+                    exp_ok.fetch_add(shape.ok, Ordering::Relaxed);
+                    exp_panicked.fetch_add(shape.panicked, Ordering::Relaxed);
+                    exp_budget.fetch_add(shape.budget, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let total_jobs = (CLIENTS * JOBS_PER_CLIENT) as u64;
+    let report = server.shutdown();
+
+    // Job conservation: everything submitted was eventually accepted and
+    // completed; rejections match what clients saw.
+    assert_eq!(report.counter("serve.jobs.accepted"), total_jobs);
+    assert_eq!(report.counter("serve.jobs.completed"), total_jobs);
+    assert_eq!(report.counter("serve.jobs.failed"), 0);
+    assert_eq!(
+        report.counter("serve.jobs.rejected"),
+        rejected.load(Ordering::Relaxed)
+    );
+
+    // Stream conservation: each job emitted job.accepted + one record
+    // per scenario + job.report + job.done, and nothing else.
+    assert_eq!(
+        report.counter("serve.stream.records"),
+        exp_scenarios.load(Ordering::Relaxed) + 3 * total_jobs
+    );
+
+    // Cache conservation: one lookup per job; every miss inserted, and
+    // with the cache forever full past warmup, evictions lag misses by
+    // exactly the capacity.
+    let hits = report.counter("serve.cache.hits");
+    let misses = report.counter("serve.cache.misses");
+    assert_eq!(hits + misses, total_jobs);
+    assert!(misses >= 3, "three dt variants cannot fit {misses} misses");
+    assert_eq!(
+        report.counter("serve.cache.evictions"),
+        misses - CACHE_CAPACITY as u64
+    );
+
+    // Sweep conservation under the `jobs.` prefix: per-scenario verdicts
+    // summed over every job match the client-side composition.
+    assert_eq!(
+        report.counter("jobs.sweep.scenarios"),
+        exp_scenarios.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        report.counter("jobs.sweep.scenarios.ok"),
+        exp_ok.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        report.counter("jobs.sweep.scenarios.panicked"),
+        exp_panicked.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        report.counter("jobs.sweep.scenarios.budget"),
+        exp_budget.load(Ordering::Relaxed)
+    );
+    assert_eq!(report.counter("jobs.sweep.scenarios.failed"), 0);
+
+    // Every completed job left one wall-time observation.
+    let job_timer = report.timers.get("serve.job").expect("serve.job histogram");
+    assert_eq!(job_timer.count, total_jobs);
+}
+
+/// Checks one job's stream: records parse, scenario indices cover
+/// `0..n` exactly once in order, and the tallies match the composition.
+fn verify_stream(body: &str, shape: &JobShape) {
+    let records: Vec<_> = body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| json::parse(l).expect("record parses"))
+        .collect();
+    assert_eq!(records.len() as u64, shape.scenarios + 3);
+    assert_eq!(
+        records[0].get("type").unwrap().as_str(),
+        Some("job.accepted")
+    );
+    let mut tallies = [0u64; 3];
+    for (i, rec) in records[1..=shape.scenarios as usize].iter().enumerate() {
+        assert_eq!(rec.get("type").unwrap().as_str(), Some("scenario"));
+        assert_eq!(
+            rec.get("index").unwrap().as_u64(),
+            Some(i as u64),
+            "scenario records must arrive exactly once, in index order"
+        );
+        match rec.get("status").unwrap().as_str().unwrap() {
+            "ok" => tallies[0] += 1,
+            "panicked" => tallies[1] += 1,
+            "budget" => tallies[2] += 1,
+            other => panic!("unexpected scenario status {other}"),
+        }
+    }
+    assert_eq!(tallies, [shape.ok, shape.panicked, shape.budget]);
+    let done = records.last().unwrap();
+    assert_eq!(done.get("type").unwrap().as_str(), Some("job.done"));
+    assert_eq!(done.get("ok").unwrap().as_u64(), Some(shape.ok));
+    assert_eq!(done.get("panicked").unwrap().as_u64(), Some(shape.panicked));
+    assert_eq!(done.get("budget").unwrap().as_u64(), Some(shape.budget));
+    assert_eq!(done.get("failed").unwrap().as_u64(), Some(0));
+}

@@ -243,6 +243,34 @@ impl ScenarioCtx {
     }
 }
 
+/// One finished unit of sweep work, handed to the incremental result
+/// observer of [`SweepEngine::run_isolated_with`] /
+/// [`SweepEngine::run_batched_with`] **before** the final merge.
+///
+/// Scalar sweeps deliver one scenario per event (`results.len() == 1`,
+/// `first_index` = the scenario index); batched sweeps deliver one
+/// lane-block per event (`first_index` = the block's first scenario
+/// index, `results` in block order). Events arrive in **completion
+/// order** — scheduling-dependent by nature; a streaming consumer that
+/// needs a deterministic byte stream must reorder on `first_index`
+/// (the per-scenario payloads themselves are bit-identical for any
+/// worker count, so index order is all it takes).
+///
+/// `report` is the unit's private [`Obs`] snapshot, taken **after** the
+/// scenario body finished — including instance `Drop`/`flush_counters`
+/// — so a faulted scenario's partial solver counters are already in it
+/// when the observer fires (the same guarantee merged reports have).
+pub struct SweepEvent<'a, R> {
+    /// Input index of the first scenario this event covers.
+    pub first_index: usize,
+    /// One result per covered scenario, in input order.
+    pub results: &'a [R],
+    /// The unit's instrumentation snapshot (counters already flushed).
+    pub report: &'a Report,
+    /// Worker that executed the unit (scheduling-dependent).
+    pub worker: usize,
+}
+
 /// Everything a finished sweep produces.
 pub struct SweepOutcome<R> {
     /// One result per scenario, in input order.
@@ -313,7 +341,7 @@ impl SweepEngine {
         R: Send,
         F: Fn(&ScenarioCtx, &S) -> R + Sync,
     {
-        self.run_with_budget(scenarios, ScenarioBudget::unlimited(), f)
+        self.run_with_budget(scenarios, ScenarioBudget::unlimited(), f, |_| {})
     }
 
     /// Runs `f` once per scenario with full fault isolation: the body is
@@ -341,14 +369,45 @@ impl SweepEngine {
         E: Send,
         F: Fn(&ScenarioCtx, &S) -> Result<R, SweepFault<E>> + Sync,
     {
-        let mut out = self.run_with_budget(scenarios, *budget, |ctx, s| {
-            match catch_unwind(AssertUnwindSafe(|| f(ctx, s))) {
+        self.run_isolated_with(scenarios, budget, f, |_| {})
+    }
+
+    /// [`SweepEngine::run_isolated`] with an incremental result observer:
+    /// `observe` fires on the caller's thread once per finished scenario,
+    /// in completion order, **before** the final merge — the seam a
+    /// streaming consumer (the serve daemon) taps to emit per-scenario
+    /// records without buffering the whole sweep.
+    ///
+    /// Each [`SweepEvent`] carries the scenario's own report snapshot,
+    /// taken after the body returned (instance drops included), so a
+    /// faulted scenario's partial solver counters are visible at observe
+    /// time. The returned [`SweepOutcome`] is identical to
+    /// [`SweepEngine::run_isolated`]'s.
+    pub fn run_isolated_with<S, R, E, F, O>(
+        &self,
+        scenarios: &[S],
+        budget: &ScenarioBudget,
+        f: F,
+        observe: O,
+    ) -> SweepOutcome<ScenarioOutcome<R, E>>
+    where
+        S: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&ScenarioCtx, &S) -> Result<R, SweepFault<E>> + Sync,
+        O: FnMut(SweepEvent<'_, ScenarioOutcome<R, E>>),
+    {
+        let mut out = self.run_with_budget(
+            scenarios,
+            *budget,
+            |ctx, s| match catch_unwind(AssertUnwindSafe(|| f(ctx, s))) {
                 Ok(Ok(r)) => ScenarioOutcome::Ok(r),
                 Ok(Err(SweepFault::Error(e))) => ScenarioOutcome::Failed(e),
                 Ok(Err(SweepFault::Budget(b))) => ScenarioOutcome::Budget(b),
                 Err(payload) => ScenarioOutcome::Panicked(panic_message(payload)),
-            }
-        });
+            },
+            observe,
+        );
         let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
         for r in &out.results {
             match r {
@@ -399,6 +458,31 @@ impl SweepEngine {
         S: Sync,
         R: Send,
         F: Fn(&ScenarioCtx, &[S]) -> Vec<R> + Sync,
+    {
+        self.run_batched_with(scenarios, lane_width, f, |_| {})
+    }
+
+    /// [`SweepEngine::run_batched`] with an incremental result observer:
+    /// `observe` fires on the caller's thread once per finished
+    /// lane-block, in completion order, **before** the final merge. The
+    /// event's `first_index` is the block's first scenario index and its
+    /// `results` cover the block in input order; its `report` is the
+    /// block's snapshot taken after the body returned (so a body that
+    /// flushes its batch counters before returning — as
+    /// [`run_ams_sweep_batched`] does — delivers every lane's partial
+    /// counters with the event, faulted lanes included).
+    pub fn run_batched_with<S, R, F, O>(
+        &self,
+        scenarios: &[S],
+        lane_width: usize,
+        f: F,
+        mut observe: O,
+    ) -> SweepOutcome<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&ScenarioCtx, &[S]) -> Vec<R> + Sync,
+        O: FnMut(SweepEvent<'_, R>),
     {
         let lane_width = lane_width.max(1);
         let workers = self.workers;
@@ -452,6 +536,12 @@ impl SweepEngine {
             drop(tx);
             for (b, w, rs, report, secs) in rx {
                 let base = b * lane_width;
+                observe(SweepEvent {
+                    first_index: base,
+                    results: &rs,
+                    report: &report,
+                    worker: w,
+                });
                 per_worker[w] += rs.len() as u64;
                 for (i, r) in rs.into_iter().enumerate() {
                     debug_assert!(
@@ -501,16 +591,18 @@ impl SweepEngine {
         }
     }
 
-    fn run_with_budget<S, R, F>(
+    fn run_with_budget<S, R, F, O>(
         &self,
         scenarios: &[S],
         budget: ScenarioBudget,
         f: F,
+        mut observe: O,
     ) -> SweepOutcome<R>
     where
         S: Sync,
         R: Send,
         F: Fn(&ScenarioCtx, &S) -> R + Sync,
+        O: FnMut(SweepEvent<'_, R>),
     {
         let workers = self.workers;
         let n = scenarios.len();
@@ -557,6 +649,12 @@ impl SweepEngine {
             drop(tx);
             // Drain completions on the caller's thread while workers run.
             for (idx, w, result, report, secs) in rx {
+                observe(SweepEvent {
+                    first_index: idx,
+                    results: std::slice::from_ref(&result),
+                    report: &report,
+                    worker: w,
+                });
                 debug_assert!(results[idx].is_none(), "scenario {idx} ran twice");
                 results[idx] = Some(result);
                 scenario_reports[idx] = report;
@@ -745,6 +843,28 @@ pub fn run_ams_sweep_batched(
     lane_width: usize,
     budget: &ScenarioBudget,
 ) -> Result<SweepOutcome<ScenarioOutcome<AmsRun, AmsError>>, AmsError> {
+    run_ams_sweep_batched_with(engine, model, scenarios, lane_width, budget, |_| {})
+}
+
+/// [`run_ams_sweep_batched`] with an incremental result observer
+/// ([`SweepEngine::run_batched_with`]): `observe` fires once per finished
+/// lane-block with that block's [`ScenarioOutcome`]s and its counter
+/// snapshot, before the final merge. The block body flushes its batch
+/// instance's counters **before** returning, so the event's report
+/// already contains every lane's partial `amsim.*` counters — including
+/// lanes that faulted, panicked, or tripped the budget mid-block (the
+/// `Drop`-flush guarantee merged reports have, extended to the stream).
+pub fn run_ams_sweep_batched_with<O>(
+    engine: &SweepEngine,
+    model: &Arc<CompiledModel>,
+    scenarios: &[AmsScenario],
+    lane_width: usize,
+    budget: &ScenarioBudget,
+    observe: O,
+) -> Result<SweepOutcome<ScenarioOutcome<AmsRun, AmsError>>, AmsError>
+where
+    O: FnMut(SweepEvent<'_, ScenarioOutcome<AmsRun, AmsError>>),
+{
     for sc in scenarios {
         if let Some(tol) = sc.newton_tol {
             if !(tol.is_finite() && tol > 0.0) {
@@ -757,7 +877,7 @@ pub fn run_ams_sweep_batched(
     }
     let dt = model.dt();
     let n_inputs = model.input_names().len();
-    let mut out = engine.run_batched(scenarios, lane_width, move |ctx, block| {
+    let body = move |ctx: &ScenarioCtx, block: &[AmsScenario]| {
         let lanes = block.len();
         let mut builder = model
             .batch_instance_builder(lanes)
@@ -865,7 +985,8 @@ pub fn run_ams_sweep_batched(
             .collect();
         batch.flush_counters();
         results
-    });
+    };
+    let mut out = engine.run_batched_with(scenarios, lane_width, body, observe);
     // Same stable fault-tally schema as the scalar isolated sweep.
     let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
     for r in &out.results {
@@ -1925,6 +2046,95 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn observer_sees_every_scenario_once_with_its_report() {
+        let engine = SweepEngine::new().workers(3);
+        let scenarios: Vec<u64> = (0..17).collect();
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        let out = engine.run_isolated_with::<_, _, (), _, _>(
+            &scenarios,
+            &ScenarioBudget::unlimited(),
+            |ctx, s| {
+                ctx.obs.add("unit.work", *s);
+                Ok(s * 3)
+            },
+            |ev| {
+                assert_eq!(ev.results.len(), 1, "scalar events cover one scenario");
+                seen.push((ev.first_index, ev.report.counter("unit.work")));
+            },
+        );
+        assert_eq!(seen.len(), 17);
+        seen.sort_by_key(|(i, _)| *i);
+        for (i, (idx, work)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i, "every index observed exactly once");
+            assert_eq!(*work, i as u64, "event carries the scenario's own report");
+        }
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 17);
+    }
+
+    /// The result-callback seam's flush guarantee: by the time a block's
+    /// event fires, the batch instance's counters — including a faulted
+    /// lane's partial steps — are already flushed into the event report,
+    /// exactly like they reach merged reports via `Drop`/`flush_counters`.
+    #[test]
+    fn observer_events_carry_faulted_lanes_partial_counters() {
+        let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+        let model = amsim::Simulation::new(&module)
+            .dt(1e-6)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        struct PanicAt(usize);
+        impl Stimulus for PanicAt {
+            fn value(&self, t: f64) -> f64 {
+                let k = (t / 1e-6).round() as usize;
+                if k >= self.0 {
+                    panic!("injected stimulus panic at step {k}");
+                }
+                1.0
+            }
+        }
+        // One block of 4: lane 1 panics at step 5 of 20, siblings finish.
+        let scenarios: Vec<AmsScenario> = (0..4)
+            .map(|i| AmsScenario {
+                name: format!("s{i}"),
+                stim: if i == 1 {
+                    Box::new(PanicAt(5))
+                } else {
+                    Box::new(PiecewiseConstant::seeded(i as u64 + 1, 3, 1e-5, 0.0, 1.0))
+                },
+                steps: 20,
+                newton_tol: None,
+                step_control: None,
+            })
+            .collect();
+        let mut events = 0usize;
+        let out = run_ams_sweep_batched_with(
+            &SweepEngine::new().workers(1),
+            &model,
+            &scenarios,
+            4,
+            &ScenarioBudget::unlimited(),
+            |ev| {
+                events += 1;
+                assert_eq!(ev.first_index, 0);
+                assert_eq!(ev.results.len(), 4);
+                assert!(matches!(ev.results[1], ScenarioOutcome::Panicked(_)));
+                // The faulted lane ran 5 steps before panicking; the
+                // event report must already include them (block total =
+                // 3 × 20 survivors + 5 partial).
+                assert_eq!(ev.report.counter("amsim.steps"), 65);
+                assert!(ev.report.counter("amsim.newton_iterations") > 0);
+            },
+        )
+        .unwrap();
+        assert_eq!(events, 1, "one block, one event");
+        // The merged report agrees with what the event saw.
+        assert_eq!(out.report.counter("amsim.steps"), 65);
+        assert_eq!(out.report.counter("sweep.scenarios.panicked"), 1);
+        assert_eq!(out.report.counter("sweep.scenarios.ok"), 3);
     }
 
     #[test]
