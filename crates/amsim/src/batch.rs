@@ -629,6 +629,16 @@ impl BatchInstance {
             lu.reset_stats();
             self.lane[l].lu = Some(lu);
         }
+        #[cfg(feature = "fault-inject")]
+        match crate::fault::active_for(l) {
+            Some(crate::fault::SolverFault::RefactorSingular) => {
+                linalg::fault::arm_refactor_failure(linalg::fault::RefactorFault::Singular)
+            }
+            Some(crate::fault::SolverFault::RefactorNonFinite) => {
+                linalg::fault::arm_refactor_failure(linalg::fault::RefactorFault::NonFinite)
+            }
+            _ => {}
+        }
         let r = self.lane[l]
             .lu
             .as_mut()
@@ -664,6 +674,15 @@ impl BatchInstance {
             if !self.solving[l] {
                 continue;
             }
+            // A poisoned residual intentionally disagrees with the
+            // scalar VM — skip the faulted lane, its siblings still hold.
+            #[cfg(feature = "fault-inject")]
+            if matches!(
+                crate::fault::active_for(l),
+                Some(crate::fault::SolverFault::ResidualNan)
+            ) {
+                continue;
+            }
             for s in 0..model.slot_count {
                 self.gather[s] = self.slots[s * lanes + l];
             }
@@ -696,6 +715,26 @@ impl BatchInstance {
                 self.best[l] = f64::INFINITY;
                 self.prev_rel[l] = f64::INFINITY;
                 self.stale[l] = 0;
+            }
+        }
+        // Injected faults (`fault-inject` builds): a residual fault
+        // poisons the target lane of this solve's first residual pass, a
+        // refactor fault invalidates the lane's factors so the forced
+        // failure fires on its first factorization.
+        #[cfg(feature = "fault-inject")]
+        for l in 0..lanes {
+            if !self.solving[l] {
+                continue;
+            }
+            match crate::fault::active_for(l) {
+                Some(crate::fault::SolverFault::ResidualNan) => {
+                    expr::fault::poison_next_eval_lane(l)
+                }
+                Some(
+                    crate::fault::SolverFault::RefactorSingular
+                    | crate::fault::SolverFault::RefactorNonFinite,
+                ) => self.lane[l].lu_valid = false,
+                None => {}
             }
         }
         for iter in 1..=Instance::MAX_NEWTON_ITERS {

@@ -1,0 +1,142 @@
+//! Deterministic solver fault injection (the `fault-inject` feature).
+//!
+//! The sweep layer installs a [`FaultGuard`] around one nominal
+//! `try_step` call; while the guard lives, the targeted lanes fail the
+//! way a genuinely sick circuit would — a NaN residual out of the VM, a
+//! singular or non-finite Jacobian out of the refactorization — through
+//! the *production* error paths, not a parallel code path. The guard is
+//! thread-local and cleared on drop, so:
+//!
+//! * a fault is **sticky within one nominal step**: adaptive sub-step
+//!   retries under the same guard keep failing (the in-step backoff
+//!   cannot absorb an injected fault — it escalates to the recovery
+//!   ladder, which is the point), and
+//! * concurrent sweep workers never observe each other's faults, which
+//!   keeps injection deterministic under work-stealing.
+//!
+//! Lane indices are block-local ([`crate::BatchInstance`] lanes); a
+//! scalar [`crate::Instance`] is lane 0.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+/// A forced solver failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverFault {
+    /// The residual evaluation returns NaN (poisoned VM evaluation) —
+    /// surfaces as [`crate::AmsError::NonFinite`].
+    ResidualNan,
+    /// The next Jacobian refactorization reports singularity —
+    /// surfaces as [`crate::AmsError::Singular`].
+    RefactorSingular,
+    /// The next Jacobian refactorization reports a non-finite entry —
+    /// surfaces as [`crate::AmsError::NonFinite`].
+    RefactorNonFinite,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<(usize, SolverFault)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Keeps the installed faults armed until dropped. Not `Send`: the
+/// faults live in the installing thread's state.
+#[must_use = "faults stay armed only while the guard lives"]
+pub struct FaultGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Arms `faults` (lane, failure mode) for solver calls on this thread
+/// until the returned guard drops. Installing an empty slice is a no-op
+/// guard.
+pub fn inject(faults: &[(usize, SolverFault)]) -> FaultGuard {
+    ACTIVE.with(|a| a.borrow_mut().extend_from_slice(faults));
+    FaultGuard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| a.borrow_mut().clear());
+    }
+}
+
+/// The fault armed for `lane` on this thread, if any.
+pub(crate) fn active_for(lane: usize) -> Option<SolverFault> {
+    ACTIVE.with(|a| a.borrow().iter().find(|(l, _)| *l == lane).map(|&(_, f)| f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AmsError, Simulation};
+    use vams_parser::parse_module;
+
+    const RC1: &str = "module rc(in, out);
+        input in; output out;
+        parameter real R = 5k;
+        parameter real C = 25n;
+        electrical in, out, gnd;
+        ground gnd;
+        branch (in, out) res;
+        branch (out, gnd) cap;
+        analog begin
+          V(res) <+ R * I(res);
+          I(cap) <+ C * ddt(V(cap));
+        end
+      endmodule";
+
+    #[test]
+    fn scalar_faults_fire_once_through_typed_errors() {
+        let m = parse_module(RC1).unwrap();
+        let dt = 5e3 * 25e-9 / 100.0;
+        let mut sim = Simulation::new(&m).dt(dt).output("V(out)").build().unwrap();
+        {
+            let _g = inject(&[(0, SolverFault::ResidualNan)]);
+            assert!(matches!(
+                sim.try_step(&[1.0]),
+                Err(AmsError::NonFinite { .. })
+            ));
+        }
+        // Guard dropped: the instance recovers on the next step.
+        sim.try_step(&[1.0]).unwrap();
+        {
+            let _g = inject(&[(0, SolverFault::RefactorSingular)]);
+            assert!(matches!(sim.try_step(&[1.0]), Err(AmsError::Singular)));
+        }
+        sim.try_step(&[1.0]).unwrap();
+        {
+            let _g = inject(&[(0, SolverFault::RefactorNonFinite)]);
+            assert!(matches!(
+                sim.try_step(&[1.0]),
+                Err(AmsError::NonFinite { .. })
+            ));
+        }
+        sim.try_step(&[1.0]).unwrap();
+    }
+
+    #[test]
+    fn batched_fault_retires_only_the_target_lane() {
+        let m = parse_module(RC1).unwrap();
+        let dt = 5e3 * 25e-9 / 100.0;
+        let model = Simulation::new(&m)
+            .dt(dt)
+            .output("V(out)")
+            .compile()
+            .unwrap();
+        let mut batch = model.batch_instance(2);
+        {
+            let _g = inject(&[(1, SolverFault::ResidualNan)]);
+            batch.try_step(&[1.0, 1.0]);
+        }
+        assert!(batch.lane_active(0));
+        assert!(!batch.lane_active(1));
+        assert!(matches!(
+            batch.lane_error(1),
+            Some(AmsError::NonFinite { .. })
+        ));
+        // The healthy lane keeps stepping bit-normally.
+        batch.try_step(&[1.0, 1.0]);
+        assert!(batch.lane_active(0));
+    }
+}

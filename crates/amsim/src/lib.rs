@@ -57,12 +57,14 @@
 
 mod batch;
 pub mod cosim;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod sim;
 
 pub use batch::{BatchInstance, BatchInstanceBuilder};
 pub use sim::{
-    AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, Simulation, Snapshot,
-    StepControl,
+    AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, RecoveryPolicy, Simulation,
+    Snapshot, StepControl,
 };
 
 // Re-exported so call sites can pick a backend via

@@ -222,6 +222,62 @@ impl StepControl {
     }
 }
 
+/// Automatic-recovery policy for faulted sweep scenarios.
+///
+/// When a scenario faults under a sweep that enables recovery, the
+/// engine escalates through a deterministic ladder instead of retiring
+/// the scenario: resume from the last periodic [`Snapshot`] under a
+/// *tightened* step control, restart from `t = 0` under the tightened
+/// control, then restart on a fallback solver backend. This type holds
+/// the knobs; the ladder itself lives in the sweep layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Periodic snapshot cadence in nominal steps; `0` disables
+    /// checkpoints (the resume rung is skipped, restart rungs remain).
+    pub snapshot_every_n_steps: u64,
+    /// Total recovery attempts allowed per scenario across all rungs;
+    /// `0` disables the ladder entirely.
+    pub max_recoveries: u32,
+    /// Factor applied to [`StepControl::min_dt`] when tightening
+    /// (clamped into `(0, 1]`; smaller means a deeper backoff floor).
+    pub min_dt_scale: f64,
+    /// Added to [`StepControl::max_retries`] when tightening.
+    pub extra_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Checkpoint every 64 steps, at most 3 recoveries, backoff floor
+    /// ×1/4 with 8 extra retries on recovery rungs.
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            snapshot_every_n_steps: 64,
+            max_recoveries: 3,
+            min_dt_scale: 0.25,
+            extra_retries: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The step control a recovery rung runs under: the backoff floor
+    /// scaled down and the retry budget raised. Fixed-`dt` scenarios
+    /// (`None`) stay fixed-`dt` — injected transients are rescued by the
+    /// replay itself, and tightening must never change the accept/reject
+    /// decisions of steps the original run accepted.
+    pub fn tightened(&self, sc: Option<StepControl>) -> Option<StepControl> {
+        let scale = if self.min_dt_scale > 0.0 && self.min_dt_scale <= 1.0 {
+            self.min_dt_scale
+        } else {
+            1.0
+        };
+        sc.map(|sc| StepControl {
+            min_dt: (sc.min_dt * scale).max(f64::MIN_POSITIVE),
+            max_retries: sc.max_retries.saturating_add(self.extra_retries),
+            grow_streak: sc.grow_streak,
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Placeholder {
     /// `ddt` history: value of the operand at the previous step.
@@ -1311,6 +1367,24 @@ impl AmsSimulator {
         self.snapshots_restored += 1;
     }
 
+    /// Replaces the adaptive-stepping policy mid-run; `None` switches to
+    /// strict fixed-`dt` stepping. [`Instance::restore`] reinstates the
+    /// *snapshot's* policy, so the recovery ladder calls this right
+    /// after restoring to resume under a tightened control.
+    ///
+    /// # Errors
+    ///
+    /// [`AmsError::InvalidStepControl`] when the policy does not
+    /// validate against the model's nominal `dt`; the current policy is
+    /// left unchanged.
+    pub fn set_step_control(&mut self, sc: Option<StepControl>) -> Result<(), AmsError> {
+        if let Some(sc) = &sc {
+            sc.validate(self.model.dt)?;
+        }
+        self.step_control = sc;
+        Ok(())
+    }
+
     /// Checkpoints taken from this run (performance counter).
     pub fn snapshots_taken(&self) -> u64 {
         self.snapshots_taken
@@ -1518,6 +1592,16 @@ impl AmsSimulator {
             &mut self.ws.jt,
         );
         self.lu_factorizations += 1;
+        #[cfg(feature = "fault-inject")]
+        match crate::fault::active_for(0) {
+            Some(crate::fault::SolverFault::RefactorSingular) => {
+                linalg::fault::arm_refactor_failure(linalg::fault::RefactorFault::Singular)
+            }
+            Some(crate::fault::SolverFault::RefactorNonFinite) => {
+                linalg::fault::arm_refactor_failure(linalg::fault::RefactorFault::NonFinite)
+            }
+            _ => {}
+        }
         match self.ws.lu.refactor(&self.ws.jt) {
             Ok(()) => {
                 self.ws.lu_valid = true;
@@ -1556,6 +1640,21 @@ impl AmsSimulator {
     fn newton_solve(&mut self) -> Result<(), AmsError> {
         let n = self.dim();
         let h = self.slots[self.model.dt_slot];
+        // Injected faults (`fault-inject` builds; a scalar instance is
+        // lane 0): a residual fault poisons the first VM evaluation of
+        // this solve, a refactor fault invalidates the cached factors so
+        // the forced failure fires on this solve's first factorization.
+        #[cfg(feature = "fault-inject")]
+        let injected = crate::fault::active_for(0);
+        #[cfg(feature = "fault-inject")]
+        match injected {
+            Some(crate::fault::SolverFault::ResidualNan) => expr::fault::poison_next_eval(),
+            Some(
+                crate::fault::SolverFault::RefactorSingular
+                | crate::fault::SolverFault::RefactorNonFinite,
+            ) => self.ws.lu_valid = false,
+            None => {}
+        }
         let mut best_residual = f64::INFINITY;
         let mut prev_max_rel = f64::INFINITY;
         let mut stale_iters = 0u32;
@@ -1575,7 +1674,17 @@ impl AmsSimulator {
                 self.ws.residual[i] = v;
             }
             #[cfg(debug_assertions)]
-            self.debug_check_residual_oracle();
+            {
+                // A poisoned residual intentionally disagrees with the
+                // tree oracle — skip the check for that solve only.
+                #[cfg(feature = "fault-inject")]
+                let skip_oracle = matches!(injected, Some(crate::fault::SolverFault::ResidualNan));
+                #[cfg(not(feature = "fault-inject"))]
+                let skip_oracle = false;
+                if !skip_oracle {
+                    self.debug_check_residual_oracle();
+                }
+            }
             if !finite {
                 self.ws.lu_valid = false;
                 return Err(AmsError::NonFinite {

@@ -79,7 +79,7 @@ fn eln_method() {
             for &s in sources {
                 solver.set_source(s, u);
             }
-            solver.step();
+            solver.try_step().unwrap();
             k += 1;
             solver.node_voltage(*out)
         });

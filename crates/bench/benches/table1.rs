@@ -53,7 +53,7 @@ fn main() {
                 for &s in sources {
                     solver.set_source(s, u);
                 }
-                solver.step();
+                solver.try_step().unwrap();
                 k += 1;
                 solver.node_voltage(*out)
             });

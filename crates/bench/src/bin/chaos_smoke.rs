@@ -1,0 +1,235 @@
+//! CI smoke check for the recovery ladder under deterministic fault
+//! injection (requires `--features fault-inject`).
+//!
+//! Runs 64 diode-clamp scenarios on a 4-worker pool with 8 planned
+//! faults — residual NaNs, singular/non-finite refactorizations and a
+//! stimulus panic, half landing past the first checkpoint (resume rung)
+//! and half before it (restart rung) — and asserts every fault recovers
+//! on its expected rung, each recovered waveform is bit-identical to a
+//! from-`t=0` rerun on that rung's configuration, and the recovery /
+//! fault / scenario counters conserve. Writes the merged report as
+//! `BENCH_chaos_smoke.json` and exits nonzero on any violation.
+
+#[cfg(not(feature = "fault-inject"))]
+fn main() {
+    eprintln!("chaos_smoke requires the fault-inject feature:");
+    eprintln!("  cargo run --release --features fault-inject --bin chaos_smoke");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "fault-inject")]
+fn main() {
+    chaos::run();
+}
+
+#[cfg(feature = "fault-inject")]
+mod chaos {
+    use std::sync::Arc;
+
+    use amsim::{CompiledModel, RecoveryPolicy, StepControl};
+    use amsvp_core::circuits::{diode_clamp, PiecewiseConstant};
+    use sweep::{
+        run_ams_sweep_recovering, AmsScenario, FaultKind, FaultPlan, FaultSpec, Recovery,
+        RecoveryRung, ScenarioBudget, ScenarioOutcome, SweepEngine,
+    };
+
+    const SCENARIOS: usize = 64;
+    const WORKERS: usize = 4;
+    const LANES: usize = 8;
+    const STEPS: usize = 40;
+    const DT: f64 = 1e-4;
+    const SNAPSHOT_EVERY: u64 = 8;
+
+    /// The 8 planned faults: (scenario index, kind, nominal step). Steps
+    /// at or past the checkpoint cadence recover on the resume rung;
+    /// earlier ones skip straight to restart.
+    const FAULTS: [(usize, FaultKind, u64); 8] = [
+        (3, FaultKind::ResidualNan, 13),
+        (19, FaultKind::RefactorSingular, 21),
+        (35, FaultKind::RefactorNonFinite, 17),
+        (51, FaultKind::ResidualNan, 30),
+        (7, FaultKind::RefactorNonFinite, 2),
+        (23, FaultKind::StimulusPanic, 5),
+        (39, FaultKind::ResidualNan, 0),
+        (55, FaultKind::RefactorSingular, 4),
+    ];
+
+    fn scenarios() -> Vec<AmsScenario> {
+        (0..SCENARIOS)
+            .map(|i| AmsScenario {
+                name: format!("clamp/{i}"),
+                stim: Box::new(PiecewiseConstant::seeded(
+                    i as u64 + 1,
+                    5,
+                    6.0 * DT,
+                    0.0,
+                    0.8,
+                )),
+                steps: STEPS,
+                newton_tol: None,
+                step_control: Some(StepControl::new(1e-9).max_retries(20)),
+            })
+            .collect()
+    }
+
+    /// From-`t=0` rerun on the rung's configuration: a scalar instance
+    /// under the policy-tightened step control (both surviving rungs
+    /// replay on the primary model here).
+    fn reference_bits(
+        model: &Arc<CompiledModel>,
+        sc: &AmsScenario,
+        policy: &RecoveryPolicy,
+    ) -> Vec<u64> {
+        let mut builder = model.instance_builder();
+        if let Some(ctrl) = sc.step_control {
+            builder = builder.step_control(ctrl);
+        }
+        let mut inst = builder.build().expect("instance builds");
+        inst.set_step_control(policy.tightened(inst.step_control()))
+            .expect("tightened control is valid");
+        let n_inputs = model.input_names().len();
+        (0..sc.steps)
+            .map(|k| {
+                let u = sc.stim.value(k as f64 * model.dt());
+                inst.try_step(&vec![u; n_inputs]).expect("healthy rerun");
+                inst.output(0).to_bits()
+            })
+            .collect()
+    }
+
+    pub fn run() {
+        let module = vams_parser::parse_module(&diode_clamp()).expect("clamp parses");
+        let model = amsim::Simulation::new(&module)
+            .dt(DT)
+            .output("V(out)")
+            .compile()
+            .expect("clamp compiles");
+
+        let policy = RecoveryPolicy {
+            snapshot_every_n_steps: SNAPSHOT_EVERY,
+            ..RecoveryPolicy::default()
+        };
+        let mut plan = FaultPlan::new();
+        for (index, kind, step) in FAULTS {
+            plan = plan.target(index, FaultSpec { kind, step });
+        }
+        let recovery = Recovery {
+            policy,
+            plan,
+            ..Recovery::default()
+        };
+
+        // The injected stimulus panic is expected; keep its backtrace
+        // out of the CI log (the ladder catches and recovers it).
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = run_ams_sweep_recovering(
+            &SweepEngine::new().workers(WORKERS),
+            &model,
+            &scenarios(),
+            LANES,
+            &ScenarioBudget::unlimited(),
+            &recovery,
+        )
+        .expect("sweep runs");
+        drop(std::panic::take_hook());
+
+        let report = &outcome.report;
+        report
+            .write_json("BENCH_chaos_smoke.json")
+            .expect("BENCH_chaos_smoke.json is writable");
+
+        let mut failures = Vec::new();
+        if outcome.results.len() != SCENARIOS {
+            failures.push(format!(
+                "expected {SCENARIOS} results, got {}",
+                outcome.results.len()
+            ));
+        }
+
+        // Every planned fault recovers on its exact rung, bit-identical
+        // to the from-t=0 rerun on that rung's configuration.
+        let reference_scenarios = scenarios();
+        let mut recovered_total = 0u64;
+        for (index, _, step) in FAULTS {
+            let want_rung = if step >= SNAPSHOT_EVERY {
+                RecoveryRung::Resume
+            } else {
+                RecoveryRung::Restart
+            };
+            match &outcome.results[index] {
+                ScenarioOutcome::Recovered { result, rung, .. } => {
+                    recovered_total += 1;
+                    if *rung != want_rung {
+                        failures.push(format!(
+                            "slot {index}: recovered on {rung:?}, want {want_rung:?}"
+                        ));
+                    }
+                    let got: Vec<u64> = result.waveform.iter().map(|v| v.to_bits()).collect();
+                    let want = reference_bits(&model, &reference_scenarios[index], &policy);
+                    if got != want {
+                        failures.push(format!(
+                            "slot {index}: recovered waveform differs from the \
+                             from-t=0 rerun on the {want_rung:?} configuration"
+                        ));
+                    }
+                }
+                other => failures.push(format!("slot {index}: want Recovered, got {other:?}")),
+            }
+        }
+        if recovered_total < 6 {
+            failures.push(format!(
+                "only {recovered_total} of 8 faults recovered, want >= 6"
+            ));
+        }
+
+        // Counter conservation: scenario tallies, rung tallies and the
+        // per-kind injection counts all match the plan exactly.
+        let healthy = (SCENARIOS - FAULTS.len()) as u64;
+        for (key, want) in [
+            ("sweep.scenarios", SCENARIOS as u64),
+            ("sweep.scenarios.ok", healthy),
+            ("sweep.scenarios.recovered", FAULTS.len() as u64),
+            ("sweep.scenarios.failed", 0),
+            ("sweep.scenarios.panicked", 0),
+            ("sweep.scenarios.budget", 0),
+            ("recovery.attempts.resume", 4),
+            ("recovery.recovered.resume", 4),
+            ("recovery.attempts.restart", 4),
+            ("recovery.recovered.restart", 4),
+            ("recovery.attempts.backend", 0),
+            ("recovery.gave_up", 0),
+            ("fault.injected.residual_nan", 3),
+            ("fault.injected.refactor_singular", 2),
+            ("fault.injected.refactor_non_finite", 2),
+            ("fault.injected.stimulus_panic", 1),
+        ] {
+            if report.counter(key) != want {
+                failures.push(format!(
+                    "counter `{key}` is {}, want {want}",
+                    report.counter(key)
+                ));
+            }
+        }
+        let per_worker: u64 = (0..WORKERS)
+            .map(|w| report.counter(&format!("sweep.worker.{w}.scenarios")))
+            .sum();
+        if per_worker != SCENARIOS as u64 {
+            failures.push(format!(
+                "per-worker scenario counts sum to {per_worker}, want {SCENARIOS} \
+                 (scenarios lost or duplicated)"
+            ));
+        }
+
+        if !failures.is_empty() {
+            eprintln!("chaos_smoke FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "chaos_smoke OK: {recovered_total}/8 faults recovered (4 resume, 4 restart), \
+             {healthy} healthy scenarios bit-stable, counters conserve"
+        );
+    }
+}

@@ -110,7 +110,10 @@ fn main() {
         )),
     }
     match &outcome.results[DIVERGE_AT] {
-        ScenarioOutcome::Failed(amsim::AmsError::NoConvergence { dt, .. }) if *dt == DT => {}
+        ScenarioOutcome::Failed {
+            error: amsim::AmsError::NoConvergence { dt, .. },
+            ..
+        } if *dt == DT => {}
         other => failures.push(format!(
             "slot {DIVERGE_AT}: want Failed(NoConvergence) at dt = {DT}, got {other:?}"
         )),

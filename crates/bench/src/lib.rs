@@ -290,7 +290,7 @@ pub fn eln_waveform(spec: &CircuitSpec, wl: &Workload, steps: usize) -> Vec<f64>
         for &s in sources {
             solver.set_source(s, u);
         }
-        solver.step();
+        solver.try_step().unwrap();
         out.push(solver.node_voltage(*node));
         t += wl.dt;
     }

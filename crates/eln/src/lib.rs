@@ -31,7 +31,7 @@
 //! let mut solver = Transient::new(&net).dt(tau / 100.0).build()?;
 //! solver.set_source(vin, 1.0);
 //! for _ in 0..100 {
-//!     solver.step();
+//!     solver.try_step()?;
 //! }
 //! let analytic = 1.0 - (-1.0_f64).exp();
 //! assert!((solver.node_voltage(out) - analytic).abs() < 5e-3);

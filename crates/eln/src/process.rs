@@ -49,7 +49,9 @@ impl Process for ElnProcess {
             let v = ctx.read(sig);
             self.solver.set_source(src, v);
         }
-        self.solver.step();
+        self.solver
+            .try_step()
+            .unwrap_or_else(|e| panic!("eln process step failed: {e}"));
         for &(node, sig) in &self.outputs {
             ctx.write(sig, self.solver.node_voltage(node));
         }

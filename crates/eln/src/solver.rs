@@ -239,7 +239,7 @@ pub struct ElnSolver {
 ///     .method(Method::BackwardEuler)
 ///     .build()?;
 /// solver.set_source(vin, 1.0);
-/// solver.step();
+/// solver.try_step()?;
 /// # Ok::<(), amsvp_eln::ElnError>(())
 /// ```
 #[must_use = "call build() to construct the solver"]
@@ -731,6 +731,10 @@ impl ElnSolver {
     /// source value, or a degenerate topology slipping past the
     /// factorization). Use [`ElnSolver::try_step`] to handle that as a
     /// typed error instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on divergence; use `try_step` and handle the typed error"
+    )]
     pub fn step(&mut self) {
         if let Err(e) = self.try_step() {
             panic!("ElnSolver::step failed: {e}");
@@ -949,7 +953,7 @@ mod tests {
             .unwrap();
         s.set_source(v, 1.0);
         for _ in 0..1000 {
-            s.step();
+            s.try_step().unwrap();
         }
         let analytic = 1.0 - (-1.0_f64).exp();
         assert!((s.node_voltage(out) - analytic).abs() < 1e-3);
@@ -974,7 +978,7 @@ mod tests {
             for k in 0..steps {
                 let t = (k + 1) as f64 * dt;
                 s.set_source(v, (omega * t).sin());
-                s.step();
+                s.try_step().unwrap();
                 if k > steps / 2 {
                     let expect = gain * (omega * t + phase).sin();
                     err = err.max((s.node_voltage(out) - expect).abs());
@@ -1004,7 +1008,7 @@ mod tests {
             .build()
             .unwrap();
         s.set_source(v, 4.0);
-        s.step();
+        s.try_step().unwrap();
         assert!((s.node_voltage(mid) - 3.0).abs() < 1e-12);
         // Source current flows from + through the circuit: 1 mA.
         let i = s.branch_current(rtop);
@@ -1029,7 +1033,7 @@ mod tests {
             .build()
             .unwrap();
         s.set_source(v, 1.0);
-        s.step();
+        s.try_step().unwrap();
         assert!((s.node_voltage(out) + 4.0).abs() < 1e-3, "gain −R2/R1");
     }
 
@@ -1048,7 +1052,7 @@ mod tests {
             .build()
             .unwrap();
         s.set_source(v, 1.0);
-        s.step();
+        s.try_step().unwrap();
         assert!((s.node_voltage(out) + 2.0).abs() < 1e-12);
     }
 
@@ -1069,7 +1073,7 @@ mod tests {
             .unwrap();
         s.set_source(v, 1.0);
         for _ in 0..1000 {
-            s.step();
+            s.try_step().unwrap();
         }
         let i = s.branch_current(l).unwrap();
         let analytic = (1.0 / 100.0) * (1.0 - (-1.0_f64).exp());
@@ -1091,18 +1095,18 @@ mod tests {
             .build()
             .unwrap();
         s.set_source(v, 2.0);
-        s.step();
+        s.try_step().unwrap();
         assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed: half");
         assert!(s.switch_closed(sw));
         s.set_switch(sw, false).unwrap();
-        s.step();
+        s.try_step().unwrap();
         assert!(s.node_voltage(out).abs() < 1e-5, "open: pulled to ground");
         assert_eq!(s.refactorizations(), 1);
         // Toggling to the same state is free.
         s.set_switch(sw, false).unwrap();
         assert_eq!(s.refactorizations(), 1);
         s.set_switch(sw, true).unwrap();
-        s.step();
+        s.try_step().unwrap();
         assert!((s.node_voltage(out) - 1.0).abs() < 1e-9, "closed again");
         assert_eq!(s.refactorizations(), 2);
     }
@@ -1130,8 +1134,8 @@ mod tests {
             let u = 0.25 * k as f64;
             toggled.set_source(v, u);
             pristine.set_source(v, u);
-            toggled.step();
-            pristine.step();
+            toggled.try_step().unwrap();
+            pristine.try_step().unwrap();
         }
         let err = toggled
             .set_switch(sw, false)
@@ -1150,8 +1154,8 @@ mod tests {
             let u = if k % 2 == 0 { 1.5 } else { -0.5 };
             toggled.set_source(v, u);
             pristine.set_source(v, u);
-            toggled.step();
-            pristine.step();
+            toggled.try_step().unwrap();
+            pristine.try_step().unwrap();
             assert_eq!(
                 toggled.node_voltage(out).to_bits(),
                 pristine.node_voltage(out).to_bits(),
@@ -1171,7 +1175,7 @@ mod tests {
             .unwrap();
         s.set_source(v, 1.0);
         for _ in 0..10 {
-            s.step();
+            s.try_step().unwrap();
         }
         let v_before = s.node_voltage(out);
         let (t_before, n_before) = (s.time(), s.steps());
@@ -1216,8 +1220,8 @@ mod tests {
             let u = if (k / 40) % 2 == 0 { 1.0 } else { -0.5 };
             whole.set_source(v, u);
             inst.set_source(v, u);
-            whole.step();
-            inst.step();
+            whole.try_step().unwrap();
+            inst.try_step().unwrap();
             assert_eq!(
                 whole.node_voltage(out).to_bits(),
                 inst.node_voltage(out).to_bits()
@@ -1243,8 +1247,8 @@ mod tests {
         toggled.set_source(v, 2.0);
         untouched.set_source(v, 2.0);
         toggled.set_switch(sw, false).unwrap();
-        toggled.step();
-        untouched.step();
+        toggled.try_step().unwrap();
+        untouched.try_step().unwrap();
         assert!(toggled.node_voltage(out).abs() < 1e-5, "open: pulled down");
         assert!(
             (untouched.node_voltage(out) - 1.0).abs() < 1e-9,
@@ -1255,8 +1259,29 @@ mod tests {
         // And a fresh instance still starts from the compiled state.
         let mut fresh = compiled.instance();
         fresh.set_source(v, 2.0);
-        fresh.step();
+        fresh.try_step().unwrap();
         assert!((fresh.node_voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    /// The deprecated panicking wrapper stays behaviorally identical to
+    /// `try_step` on healthy networks — downstream code migrating off it
+    /// must not observe a numeric change.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_step_shim_matches_try_step() {
+        let (net, v, out) = rc();
+        let mut legacy = Transient::new(&net).dt(1e-6).build().unwrap();
+        let mut typed = Transient::new(&net).dt(1e-6).build().unwrap();
+        legacy.set_source(v, 1.0);
+        typed.set_source(v, 1.0);
+        for _ in 0..50 {
+            legacy.step();
+            typed.try_step().unwrap();
+        }
+        assert_eq!(
+            legacy.node_voltage(out).to_bits(),
+            typed.node_voltage(out).to_bits()
+        );
     }
 
     #[test]

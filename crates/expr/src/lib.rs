@@ -37,6 +37,8 @@
 mod derivative;
 mod display;
 mod eval;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod linear;
 mod simplify;
 pub mod vm;

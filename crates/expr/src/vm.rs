@@ -135,7 +135,12 @@ impl Program {
             }
         }
         debug_assert_eq!(stack.len(), 1, "program left a non-singleton stack");
-        stack.pop().expect("empty program")
+        let result = stack.pop().expect("empty program");
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::take_scalar_poison() {
+            return f64::NAN;
+        }
+        result
     }
 
     /// Evaluates the program over `lanes` independent slot blocks at once
@@ -250,6 +255,17 @@ impl Program {
         }
         assert_eq!(depth, 1, "program left a non-singleton stack");
         out.copy_from_slice(&stack[..lanes]);
+        #[cfg(feature = "fault-inject")]
+        {
+            let mask = crate::fault::take_lane_poison();
+            if mask != 0 {
+                for (l, v) in out.iter_mut().enumerate().take(64) {
+                    if mask & (1u64 << l) != 0 {
+                        *v = f64::NAN;
+                    }
+                }
+            }
+        }
     }
 }
 

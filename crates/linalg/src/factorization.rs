@@ -234,6 +234,10 @@ impl Factorization for AnyLu {
     }
 
     fn refactor(&mut self, a: &Triplets) -> Result<(), FactorError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(e) = crate::fault::take_refactor_failure() {
+            return Err(e);
+        }
         match self {
             AnyLu::Dense(f) => f.refactor(a),
             AnyLu::Sparse(f) => f.refactor(a),

@@ -1,0 +1,84 @@
+//! Deterministic fault injection for the factorization seam.
+//!
+//! Compiled only under the `fault-inject` feature. A test (or a chaos
+//! harness) *arms* a forced refactorization failure on the current
+//! thread; the next call to [`AnyLu::refactor`](crate::AnyLu) on that
+//! thread consumes the armed fault and returns the corresponding
+//! [`FactorError`](crate::FactorError) without touching the numeric
+//! kernels. Take-once semantics keep injection deterministic: exactly
+//! one refactor fails per arming, and the thread-local scoping means
+//! concurrent sweep workers never observe each other's faults.
+
+use std::cell::Cell;
+
+use crate::lu::{FactorError, SingularMatrixError};
+
+/// Which forced failure the next `refactor` call should report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefactorFault {
+    /// Report the matrix singular (pivot breakdown at column 0).
+    Singular,
+    /// Report a non-finite entry (at row 0, column 0).
+    NonFinite,
+}
+
+thread_local! {
+    static ARMED: Cell<Option<RefactorFault>> = const { Cell::new(None) };
+}
+
+/// Arms a forced failure for the next [`crate::AnyLu::refactor`] call on
+/// this thread.
+pub fn arm_refactor_failure(kind: RefactorFault) {
+    ARMED.with(|c| c.set(Some(kind)));
+}
+
+/// Clears any armed failure on this thread.
+pub fn disarm_refactor_failure() {
+    ARMED.with(|c| c.set(None));
+}
+
+/// Consumes the armed failure, if any, converting it to the error the
+/// refactor call reports.
+pub(crate) fn take_refactor_failure() -> Option<FactorError> {
+    ARMED.with(|c| c.take()).map(|k| match k {
+        RefactorFault::Singular => FactorError::Singular(SingularMatrixError { column: 0 }),
+        RefactorFault::NonFinite => FactorError::NonFinite { row: 0, col: 0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnyLu, Factorization, SolverKind, Triplets};
+
+    #[test]
+    fn armed_fault_fails_exactly_one_refactor() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 3.0);
+        let mut lu = AnyLu::analyze_with(SolverKind::Dense, &t).unwrap();
+        arm_refactor_failure(RefactorFault::Singular);
+        assert!(matches!(lu.refactor(&t), Err(FactorError::Singular(_))));
+        // Take-once: the next refactor succeeds again.
+        assert!(lu.refactor(&t).is_ok());
+
+        arm_refactor_failure(RefactorFault::NonFinite);
+        assert!(matches!(
+            lu.refactor(&t),
+            Err(FactorError::NonFinite { .. })
+        ));
+        assert!(lu.refactor(&t).is_ok());
+    }
+
+    #[test]
+    fn disarm_clears_the_pending_fault() {
+        let mut t = Triplets::new(1, 1);
+        t.push(0, 0, 2.0);
+        let mut lu = AnyLu::analyze_with(SolverKind::Dense, &t).unwrap();
+        arm_refactor_failure(RefactorFault::Singular);
+        disarm_refactor_failure();
+        assert!(lu.refactor(&t).is_ok());
+    }
+}

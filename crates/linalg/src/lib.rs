@@ -40,6 +40,8 @@
 //! ```
 
 mod factorization;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod lu;
 mod matrix;
 mod sparse;

@@ -10,7 +10,7 @@
 //! in-flight map, and compiles are short relative to jobs.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use amsim::CompiledModel;
 use obs::Obs;
@@ -52,7 +52,9 @@ impl ModelCache {
         obs: &Obs,
         compile: impl FnOnce() -> Result<Arc<CompiledModel>, E>,
     ) -> Result<(Arc<CompiledModel>, bool), E> {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        // A poisoned lock only means another compile panicked mid-insert;
+        // the map itself is always left consistent, so keep serving.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(e) = inner.entries.get_mut(&key) {
@@ -82,7 +84,7 @@ impl ModelCache {
     pub fn len(&self) -> usize {
         self.inner
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entries
             .len()
     }

@@ -1,0 +1,144 @@
+//! Socket-level fault injection (the `fault-inject` feature).
+//!
+//! A client opts a single exchange into a fault with an `x-fault`
+//! request header; the server then wraps that response's writer in a
+//! [`FaultyStream`] which misbehaves the way a flaky network peer
+//! would — short writes, a mid-stream connection reset, or a stalled
+//! write. The request parser and job engine are untouched: faults act
+//! only on the already-produced response bytes, so they exercise the
+//! server's disconnect/backpressure handling without perturbing
+//! results. Compiled out entirely unless `fault-inject` is enabled.
+//!
+//! Header grammar (one fault per request):
+//!
+//! * `x-fault: reset_after:N` — deliver the first `N` response bytes,
+//!   then fail every write with `ConnectionReset`.
+//! * `x-fault: stall_ms:N` — sleep `N` milliseconds before the first
+//!   write, then behave normally (a slow-start peer).
+//! * `x-fault: short_write` — accept at most one byte per `write`
+//!   call, forcing every caller through its `write_all` retry loop.
+
+use std::io::{self, Read, Write};
+use std::thread;
+use std::time::Duration;
+
+use crate::http::Request;
+
+/// One parsed socket fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Reset the connection after this many response bytes.
+    ResetAfter(usize),
+    /// Stall this long before the first response byte.
+    StallMs(u64),
+    /// Accept at most one byte per `write` call.
+    ShortWrite,
+}
+
+impl SocketFault {
+    /// The fault requested by the exchange's `x-fault` header, if any.
+    /// Malformed values are ignored (no fault) rather than rejected —
+    /// the header is a test-only backdoor, not part of the API surface.
+    pub fn from_request(req: &Request) -> Option<SocketFault> {
+        let v = req.header("x-fault")?;
+        if v == "short_write" {
+            return Some(SocketFault::ShortWrite);
+        }
+        if let Some(n) = v.strip_prefix("reset_after:") {
+            return n.trim().parse().ok().map(SocketFault::ResetAfter);
+        }
+        if let Some(n) = v.strip_prefix("stall_ms:") {
+            return n.trim().parse().ok().map(SocketFault::StallMs);
+        }
+        None
+    }
+}
+
+/// A writer that injects the configured [`SocketFault`].
+pub struct FaultyStream<'a, W: Write> {
+    inner: &'a mut W,
+    fault: SocketFault,
+    written: usize,
+    stalled: bool,
+}
+
+impl<'a, W: Write> FaultyStream<'a, W> {
+    pub fn new(inner: &'a mut W, fault: SocketFault) -> FaultyStream<'a, W> {
+        FaultyStream {
+            inner,
+            fault,
+            written: 0,
+            stalled: false,
+        }
+    }
+}
+
+impl<W: Write> Write for FaultyStream<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.fault {
+            SocketFault::ResetAfter(limit) => {
+                if self.written >= limit {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected connection reset",
+                    ));
+                }
+                let allow = (limit - self.written).min(buf.len());
+                let n = self.inner.write(&buf[..allow])?;
+                self.written += n;
+                Ok(n)
+            }
+            SocketFault::StallMs(millis) => {
+                if !self.stalled {
+                    self.stalled = true;
+                    thread::sleep(Duration::from_millis(millis));
+                }
+                self.inner.write(buf)
+            }
+            SocketFault::ShortWrite => {
+                let n = self.inner.write(&buf[..buf.len().min(1)])?;
+                self.written += n;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that returns at most one byte per `read` call — drives the
+/// request parser through its short-read paths. Used by the chaos tests
+/// on the client side of the socket.
+pub struct ShortReader<R: Read>(pub R);
+
+impl<R: Read> Read for ShortReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(1);
+        self.0.read(&mut buf[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_after_delivers_prefix_then_resets() {
+        let mut out = Vec::new();
+        let mut fw = FaultyStream::new(&mut out, SocketFault::ResetAfter(5));
+        assert!(fw.write_all(b"hello").is_ok());
+        let err = fw.write_all(b"world").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn short_write_still_completes_via_write_all() {
+        let mut out = Vec::new();
+        let mut fw = FaultyStream::new(&mut out, SocketFault::ShortWrite);
+        fw.write_all(b"chunked body").unwrap();
+        assert_eq!(out, b"chunked body");
+    }
+}

@@ -47,6 +47,8 @@
 //! [`obs::Report::merge_prefixed`].
 
 pub mod cache;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod http;
 pub mod json;
 
@@ -54,18 +56,19 @@ use std::collections::BTreeMap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use amsim::SolverKind;
+use amsim::{RecoveryPolicy, SolverKind};
 use amsvp_core::circuits::{PiecewiseConstant, SquareWave, Stimulus};
 use cache::ModelCache;
 use http::{ChunkedWriter, Limits, Request};
 use json::{Json, JsonBuf};
 use obs::{Obs, Report};
 use sweep::{
-    run_ams_sweep_batched_with, AmsScenario, ScenarioBudget, ScenarioOutcome, SweepEngine,
+    run_ams_sweep_batched_with, run_ams_sweep_recovering_with, AmsScenario, FaultKind, FaultPlan,
+    FaultSpec, Recovery, ScenarioBudget, ScenarioOutcome, SweepEngine,
 };
 
 /// Server tuning knobs. `Default` is sized for tests and local use.
@@ -164,8 +167,7 @@ impl Server {
         let accept_shared = Arc::clone(&shared);
         let accept_thread = thread::Builder::new()
             .name("serve-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, accept_shared))?;
         Ok(Server {
             shared,
             accept_thread: Some(accept_thread),
@@ -180,12 +182,16 @@ impl Server {
     /// A snapshot of the server-wide report: `serve.*` counters plus
     /// every finished job's sweep report merged under the `jobs.` prefix.
     pub fn report(&self) -> Report {
-        let mut r = self
+        // The server obs is always a recording collector, and a poisoned
+        // report lock only means some job thread panicked mid-merge —
+        // both degrade to the counters gathered so far, never a panic in
+        // the caller asking for stats.
+        let mut r = self.shared.obs.report().unwrap_or_default();
+        let jobs = self
             .shared
-            .obs
-            .report()
-            .expect("server obs is a recording collector");
-        let jobs = self.shared.job_reports.lock().expect("job report lock");
+            .job_reports
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         r.merge_prefixed(&jobs, "jobs.");
         r
     }
@@ -222,7 +228,15 @@ impl Server {
         // observes the flag. A failed connect means it is already gone.
         let _ = TcpStream::connect(self.shared.local_addr);
         let start = Instant::now();
-        let mut conns = self.shared.conns.lock().expect("conns lock");
+        // A poisoned connection count means a handler thread panicked
+        // while holding it; the count itself stays valid (it is bumped
+        // before and after the handler body), so drain proceeds on the
+        // recovered guard instead of poisoning the shutdown path too.
+        let mut conns = self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while *conns > 0 {
             match deadline {
                 Some(d) => {
@@ -235,19 +249,23 @@ impl Server {
                             .shared
                             .conns_done
                             .wait_timeout(conns, Duration::from_millis(50))
-                            .expect("conns cv");
+                            .unwrap_or_else(PoisonError::into_inner);
                         conns = g;
                     } else {
                         let (g, _) = self
                             .shared
                             .conns_done
                             .wait_timeout(conns, left)
-                            .expect("conns cv");
+                            .unwrap_or_else(PoisonError::into_inner);
                         conns = g;
                     }
                 }
                 None => {
-                    conns = self.shared.conns_done.wait(conns).expect("conns cv");
+                    conns = self
+                        .shared
+                        .conns_done
+                        .wait(conns)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -275,7 +293,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Err(_) => continue,
         };
         {
-            let mut conns = shared.conns.lock().expect("conns lock");
+            let mut conns = shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
             if *conns >= shared.config.max_connections {
                 drop(conns);
                 let mut s = stream;
@@ -291,15 +309,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             *conns += 1;
         }
         let conn_shared = Arc::clone(&shared);
-        let _ = thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name("serve-conn".to_string())
             .spawn(move || {
                 handle_connection(stream, &conn_shared);
-                let mut conns = conn_shared.conns.lock().expect("conns lock");
-                *conns -= 1;
-                conn_shared.conns_done.notify_all();
+                release_conn(&conn_shared);
             });
+        if spawned.is_err() {
+            // Thread exhaustion must not leak the slot we just took, or
+            // the drain path would wait on a connection that never ran.
+            release_conn(&shared);
+        }
     }
+}
+
+/// Gives a connection slot back and wakes the drain waiter.
+fn release_conn(shared: &Shared) {
+    let mut conns = shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+    *conns -= 1;
+    shared.conns_done.notify_all();
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
@@ -328,7 +356,22 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
         };
         let close = req.wants_close();
-        if handle_request(&req, &mut writer, shared).is_err() {
+        // With the `fault-inject` feature compiled in, an `x-fault`
+        // request header wraps this response's write path in a faulty
+        // stream (short writes, a mid-stream reset after N bytes, or a
+        // stalled writer) so tests can drive the server's disconnect
+        // handling deterministically. Compiled out otherwise.
+        #[cfg(feature = "fault-inject")]
+        let served = match fault::SocketFault::from_request(&req) {
+            Some(plan) => {
+                let mut fw = fault::FaultyStream::new(&mut writer, plan);
+                handle_request(&req, &mut fw, shared)
+            }
+            None => handle_request(&req, &mut writer, shared),
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let served = handle_request(&req, &mut writer, shared);
+        if served.is_err() {
             return;
         }
         if close {
@@ -337,7 +380,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn handle_request(req: &Request, w: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+fn handle_request<W: Write>(req: &Request, w: &mut W, shared: &Shared) -> io::Result<()> {
     match (req.method.as_str(), req.target.as_str()) {
         ("GET", "/v1/health") => {
             let mut b = JsonBuf::new();
@@ -356,11 +399,11 @@ fn handle_request(req: &Request, w: &mut TcpStream, shared: &Shared) -> io::Resu
             http::write_response(w, 200, "OK", &[], &body)
         }
         ("GET", "/v1/stats") => {
-            let mut r = shared
-                .obs
-                .report()
-                .expect("server obs is a recording collector");
-            let jobs = shared.job_reports.lock().expect("job report lock");
+            let mut r = shared.obs.report().unwrap_or_default();
+            let jobs = shared
+                .job_reports
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             r.merge_prefixed(&jobs, "jobs.");
             drop(jobs);
             let body = r.to_json() + "\n";
@@ -374,7 +417,7 @@ fn handle_request(req: &Request, w: &mut TcpStream, shared: &Shared) -> io::Resu
     }
 }
 
-fn reject(w: &mut TcpStream, status: u16, reason: &str, kind: &str, msg: &str) -> io::Result<()> {
+fn reject<W: Write>(w: &mut W, status: u16, reason: &str, kind: &str, msg: &str) -> io::Result<()> {
     let mut b = JsonBuf::new();
     b.begin_obj()
         .str_field("type", kind)
@@ -384,7 +427,7 @@ fn reject(w: &mut TcpStream, status: u16, reason: &str, kind: &str, msg: &str) -
     http::write_response(w, status, reason, &[], &body)
 }
 
-fn handle_job(req: &Request, w: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+fn handle_job<W: Write>(req: &Request, w: &mut W, shared: &Shared) -> io::Result<()> {
     if shared.draining.load(Ordering::SeqCst) {
         shared.obs.add("serve.jobs.rejected", 1);
         return reject(
@@ -439,16 +482,17 @@ fn handle_job(req: &Request, w: &mut TcpStream, shared: &Shared) -> io::Result<(
     result
 }
 
-fn run_job(job: &JobSpec, w: &mut TcpStream, shared: &Shared) -> io::Result<()> {
-    let started = Instant::now();
-    shared.obs.add("serve.jobs.accepted", 1);
-    let job_id = shared.next_job_id.fetch_add(1, Ordering::SeqCst);
-
-    let (model, cache_hit) = match shared.cache.get_or_compile(job.cache_key, &shared.obs, || {
+fn compile_into_cache(
+    job: &JobSpec,
+    solver: SolverKind,
+    key: u64,
+    shared: &Shared,
+) -> Result<(Arc<amsim::CompiledModel>, bool), String> {
+    shared.cache.get_or_compile(key, &shared.obs, || {
         let module = vams_parser::parse_module(&job.module).map_err(|e| e.to_string())?;
         let mut sim = amsim::Simulation::new(&module)
             .dt(job.dt)
-            .solver(job.solver)
+            .solver(solver)
             .collector(shared.obs.clone());
         if let Some(out) = &job.output {
             sim = sim.output(out.as_str());
@@ -457,12 +501,35 @@ fn run_job(job: &JobSpec, w: &mut TcpStream, shared: &Shared) -> io::Result<()> 
             sim = sim.newton_tol(tol);
         }
         sim.compile().map_err(|e| e.to_string())
-    }) {
+    })
+}
+
+fn run_job<W: Write>(job: &JobSpec, w: &mut W, shared: &Shared) -> io::Result<()> {
+    let started = Instant::now();
+    shared.obs.add("serve.jobs.accepted", 1);
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::SeqCst);
+
+    let (model, cache_hit) = match compile_into_cache(job, job.solver, job.cache_key, shared) {
         Ok(pair) => pair,
         Err(msg) => {
             shared.obs.add("serve.jobs.failed", 1);
             return reject(w, 400, "Bad Request", "job.invalid", &msg);
         }
+    };
+    // The backend rung's model goes through the same LRU under the key a
+    // plain dense-solver job of this module would use, so the recompile
+    // is shared with (and by) ordinary submissions.
+    let fallback = match &job.recovery {
+        Some(r) if r.fallback_dense && job.solver != SolverKind::Dense => {
+            match compile_into_cache(job, SolverKind::Dense, job.dense_cache_key, shared) {
+                Ok((m, _)) => Some(m),
+                Err(msg) => {
+                    shared.obs.add("serve.jobs.failed", 1);
+                    return reject(w, 400, "Bad Request", "job.invalid", &msg);
+                }
+            }
+        }
+        _ => None,
     };
 
     let scenarios = job.build_scenarios(model.dt());
@@ -493,26 +560,51 @@ fn run_job(job: &JobSpec, w: &mut TcpStream, shared: &Shared) -> io::Result<()> 
         SweepEngine::new().workers(shared.config.workers)
     };
     let names: Vec<&str> = job.scenarios.iter().map(|s| s.name.as_str()).collect();
-    let outcome = run_ams_sweep_batched_with(
-        &engine,
-        &model,
-        &scenarios,
-        job.lane_width,
-        &job.budget,
-        |ev| {
-            if shared.hard_drain.load(Ordering::SeqCst) {
-                return;
-            }
-            for (off, res) in ev.results.iter().enumerate() {
-                let idx = ev.first_index + off;
-                pending.insert(idx, scenario_record(idx, names[idx], res));
-            }
-            while let Some(rec) = pending.remove(&next_emit) {
-                stream.record_str(&rec);
-                next_emit += 1;
-            }
-        },
-    );
+    let recovering = job.recovery.is_some();
+    let observe = |ev: sweep::SweepEvent<'_, ScenarioOutcome<sweep::AmsRun, amsim::AmsError>>| {
+        if shared.hard_drain.load(Ordering::SeqCst) {
+            return;
+        }
+        for (off, res) in ev.results.iter().enumerate() {
+            let idx = ev.first_index + off;
+            pending.insert(idx, scenario_record(idx, names[idx], res));
+        }
+        while let Some(rec) = pending.remove(&next_emit) {
+            stream.record_str(&rec);
+            next_emit += 1;
+        }
+    };
+    let mut watchdog = None;
+    let outcome = match &job.recovery {
+        None => run_ams_sweep_batched_with(
+            &engine,
+            &model,
+            &scenarios,
+            job.lane_width,
+            &job.budget,
+            observe,
+        ),
+        Some(r) => {
+            let cancel = Arc::new(AtomicBool::new(false));
+            let recovery = Recovery {
+                policy: r.policy,
+                fallback,
+                plan: r.plan.clone(),
+                cancel: Some(Arc::clone(&cancel)),
+            };
+            watchdog = r.watchdog_secs.and_then(|secs| Watchdog::arm(secs, cancel));
+            run_ams_sweep_recovering_with(
+                &engine,
+                &model,
+                &scenarios,
+                job.lane_width,
+                &job.budget,
+                &recovery,
+                observe,
+            )
+        }
+    };
+    let watchdog_fired = watchdog.take().is_some_and(Watchdog::disarm);
 
     match outcome {
         Ok(outcome) => {
@@ -539,35 +631,77 @@ fn run_job(job: &JobSpec, w: &mut TcpStream, shared: &Shared) -> io::Result<()> 
                 b.end_obj();
                 stream.record(b);
 
-                let mut tally = [0u64; 4];
+                let mut tally = [0u64; 5];
+                let mut by_rung = [0u64; 3];
                 for r in &outcome.results {
                     let slot = match r {
                         ScenarioOutcome::Ok(_) => 0,
-                        ScenarioOutcome::Failed(_) => 1,
+                        ScenarioOutcome::Failed { .. } => 1,
                         ScenarioOutcome::Panicked(_) => 2,
                         ScenarioOutcome::Budget(_) => 3,
+                        ScenarioOutcome::Recovered { rung, .. } => {
+                            by_rung[match rung {
+                                sweep::RecoveryRung::Resume => 0,
+                                sweep::RecoveryRung::Restart => 1,
+                                sweep::RecoveryRung::Backend => 2,
+                            }] += 1;
+                            4
+                        }
                     };
                     tally[slot] += 1;
                 }
-                let mut b = JsonBuf::new();
-                b.begin_obj()
-                    .str_field("type", "job.done")
-                    .u64_field("job", job_id)
-                    .u64_field("ok", tally[0])
-                    .u64_field("failed", tally[1])
-                    .u64_field("panicked", tally[2])
-                    .u64_field("budget", tally[3])
-                    .end_obj();
-                stream.record(b);
+                // Recovering jobs summarize their rescues before the
+                // terminal record; plain jobs keep the historical stream
+                // byte-for-byte (no `recovered` field, no extra record).
+                if recovering && tally[4] > 0 {
+                    let mut b = JsonBuf::new();
+                    b.begin_obj()
+                        .str_field("type", "job.recovered")
+                        .u64_field("job", job_id)
+                        .u64_field("resume", by_rung[0])
+                        .u64_field("restart", by_rung[1])
+                        .u64_field("backend", by_rung[2])
+                        .end_obj();
+                    stream.record(b);
+                }
+                if watchdog_fired {
+                    let mut b = JsonBuf::new();
+                    b.begin_obj()
+                        .str_field("type", "job.watchdog")
+                        .u64_field("job", job_id)
+                        .u64_field("killed", tally[3])
+                        .end_obj();
+                    stream.record(b);
+                } else {
+                    let mut b = JsonBuf::new();
+                    b.begin_obj()
+                        .str_field("type", "job.done")
+                        .u64_field("job", job_id)
+                        .u64_field("ok", tally[0]);
+                    if recovering {
+                        b.u64_field("recovered", tally[4]);
+                    }
+                    b.u64_field("failed", tally[1])
+                        .u64_field("panicked", tally[2])
+                        .u64_field("budget", tally[3])
+                        .end_obj();
+                    stream.record(b);
+                }
             }
-            shared.obs.add("serve.jobs.completed", 1);
+            if watchdog_fired {
+                // Conservation contract: every accepted job lands in
+                // exactly one of completed / watchdog / failed.
+                shared.obs.add("serve.jobs.watchdog", 1);
+            } else {
+                shared.obs.add("serve.jobs.completed", 1);
+            }
             shared
                 .obs
                 .time("serve.job", started.elapsed().as_secs_f64());
             shared
                 .job_reports
                 .lock()
-                .expect("job report lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .merge(&outcome.report);
         }
         Err(e) => {
@@ -658,9 +792,29 @@ fn scenario_record(
             }
             b.end_arr();
         }
-        ScenarioOutcome::Failed(e) => {
+        ScenarioOutcome::Recovered {
+            result: run,
+            rung,
+            attempts,
+        } => {
+            b.str_field("status", "recovered")
+                .str_field("rung", rung.name())
+                .u64_field("attempts", attempts.len() as u64)
+                .u64_field("newton_iters", run.newton_iters);
+            b.begin_arr("waveform");
+            for v in &run.waveform {
+                b.f64_elem(*v);
+            }
+            b.end_arr();
+        }
+        ScenarioOutcome::Failed { error, attempts } => {
             b.str_field("status", "failed")
-                .str_field("error", &e.to_string());
+                .str_field("error", &error.to_string());
+            // Plain jobs always have an empty trail, keeping their
+            // stream bytes identical to the pre-recovery protocol.
+            if !attempts.is_empty() {
+                b.u64_field("attempts", attempts.len() as u64);
+            }
         }
         ScenarioOutcome::Panicked(msg) => {
             b.str_field("status", "panicked").str_field("error", msg);
@@ -674,6 +828,67 @@ fn scenario_record(
     }
     b.end_obj();
     b.into_string()
+}
+
+/// Per-job watchdog: a helper thread that trips the sweep's cancel
+/// token once the job overruns its deadline, hard-killing every
+/// still-running lane with a budget verdict at the next step boundary.
+struct Watchdog {
+    fired: Arc<AtomicBool>,
+    done: Arc<(Mutex<bool>, Condvar)>,
+    handle: thread::JoinHandle<()>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog that sets `cancel` after `secs` seconds unless
+    /// disarmed first. `None` if the thread cannot be spawned — the job
+    /// then simply runs unwatched rather than failing.
+    fn arm(secs: f64, cancel: Arc<AtomicBool>) -> Option<Watchdog> {
+        let fired = Arc::new(AtomicBool::new(false));
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let handle = thread::Builder::new()
+            .name("serve-watchdog".to_string())
+            .spawn({
+                let fired = Arc::clone(&fired);
+                let done = Arc::clone(&done);
+                move || {
+                    let deadline = Duration::from_secs_f64(secs.max(0.0));
+                    let start = Instant::now();
+                    let (lock, cv) = &*done;
+                    let mut finished = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    while !*finished {
+                        let left = deadline.saturating_sub(start.elapsed());
+                        if left.is_zero() {
+                            fired.store(true, Ordering::SeqCst);
+                            cancel.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        let (g, _) = cv
+                            .wait_timeout(finished, left)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        finished = g;
+                    }
+                }
+            })
+            .ok()?;
+        Some(Watchdog {
+            fired,
+            done,
+            handle,
+        })
+    }
+
+    /// Stops the watchdog and reports whether it fired.
+    fn disarm(self) -> bool {
+        {
+            let (lock, cv) = &*self.done;
+            let mut finished = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            *finished = true;
+            cv.notify_all();
+        }
+        let _ = self.handle.join();
+        self.fired.load(Ordering::SeqCst)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -693,6 +908,22 @@ struct JobSpec {
     /// FNV-1a over everything that affects compilation — the model-cache
     /// key (scenarios deliberately excluded: they only affect instances).
     cache_key: u64,
+    /// Cache key the same job would get with `solver: "dense"` — where
+    /// the backend-switch rung's fallback model lives in the LRU.
+    dense_cache_key: u64,
+    /// Recovery-ladder configuration; `None` routes the legacy batched
+    /// sweep path with byte-identical stream output.
+    recovery: Option<JobRecovery>,
+}
+
+/// Recovery-ladder knobs carried by a job.
+struct JobRecovery {
+    policy: RecoveryPolicy,
+    /// Compile a dense fallback model for the backend-switch rung.
+    fallback_dense: bool,
+    plan: FaultPlan,
+    /// Hard deadline in seconds; overruns trip the sweep's cancel token.
+    watchdog_secs: Option<f64>,
 }
 
 struct ScenarioSpec {
@@ -818,14 +1049,21 @@ impl JobSpec {
             scenarios.push(ScenarioSpec::from_json(sv, i, config)?);
         }
 
-        let mut h = Fnv1a::new();
-        h.write(module.as_bytes());
-        h.write_u64(dt.to_bits());
-        h.write(output.as_deref().unwrap_or("").as_bytes());
-        h.write_u64(newton_tol.map(f64::to_bits).unwrap_or(u64::MAX));
-        h.write(format!("{solver:?}").as_bytes());
+        let recovery = JobRecovery::from_json(v)?;
+
+        let key = |s: SolverKind| {
+            let mut h = Fnv1a::new();
+            h.write(module.as_bytes());
+            h.write_u64(dt.to_bits());
+            h.write(output.as_deref().unwrap_or("").as_bytes());
+            h.write_u64(newton_tol.map(f64::to_bits).unwrap_or(u64::MAX));
+            h.write(format!("{s:?}").as_bytes());
+            h.finish()
+        };
 
         Ok(JobSpec {
+            cache_key: key(solver),
+            dense_cache_key: key(SolverKind::Dense),
             module,
             dt,
             output,
@@ -834,7 +1072,7 @@ impl JobSpec {
             lane_width,
             budget,
             scenarios,
-            cache_key: h.finish(),
+            recovery,
         })
     }
 
@@ -866,6 +1104,121 @@ impl JobSpec {
                 step_control: None,
             })
             .collect()
+    }
+}
+
+impl JobRecovery {
+    /// Parses the recovery-related top-level keys. Any of `recovery`,
+    /// `faults`, `fault_seed`/`fault_period` or `watchdog_secs` present
+    /// enables the ladder path; all absent keeps the legacy pipeline.
+    fn from_json(v: &Json) -> Result<Option<JobRecovery>, String> {
+        let rv = v.get("recovery");
+        let fv = v.get("faults");
+        let seed = v.get("fault_seed");
+        let period = v.get("fault_period");
+        let wd = v.get("watchdog_secs");
+        if rv.is_none() && fv.is_none() && seed.is_none() && period.is_none() && wd.is_none() {
+            return Ok(None);
+        }
+
+        let mut policy = RecoveryPolicy::default();
+        let mut fallback_dense = true;
+        if let Some(rv) = rv {
+            if let Some(n) = rv.get("max_recoveries") {
+                let n = n
+                    .as_u64()
+                    .ok_or("`recovery.max_recoveries` must be an integer")?;
+                policy.max_recoveries = n.min(u32::MAX as u64) as u32;
+            }
+            if let Some(n) = rv.get("snapshot_every") {
+                policy.snapshot_every_n_steps = n
+                    .as_u64()
+                    .ok_or("`recovery.snapshot_every` must be an integer")?;
+            }
+            if let Some(n) = rv.get("min_dt_scale") {
+                let s = n
+                    .as_f64()
+                    .ok_or("`recovery.min_dt_scale` must be a number")?;
+                if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                    return Err("`recovery.min_dt_scale` must be in (0, 1]".to_string());
+                }
+                policy.min_dt_scale = s;
+            }
+            if let Some(n) = rv.get("extra_retries") {
+                let n = n
+                    .as_u64()
+                    .ok_or("`recovery.extra_retries` must be an integer")?;
+                policy.extra_retries = n.min(u32::MAX as u64) as u32;
+            }
+            match rv.get("fallback").map(Json::as_str) {
+                None => {}
+                Some(Some("dense")) => fallback_dense = true,
+                Some(Some("none")) => fallback_dense = false,
+                _ => return Err("`recovery.fallback` must be \"dense\" or \"none\"".to_string()),
+            }
+        }
+
+        let mut plan = FaultPlan::new();
+        if let Some(fv) = fv {
+            let list = fv.as_array().ok_or("`faults` must be an array")?;
+            for (i, f) in list.iter().enumerate() {
+                let index = f
+                    .get("index")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("`faults[{i}].index` (integer) is required"))?
+                    as usize;
+                let step = f
+                    .get("step")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("`faults[{i}].step` (integer) is required"))?;
+                let kind = match f.get("kind").and_then(Json::as_str) {
+                    Some("residual_nan") => FaultKind::ResidualNan,
+                    Some("refactor_singular") => FaultKind::RefactorSingular,
+                    Some("refactor_non_finite") => FaultKind::RefactorNonFinite,
+                    Some("stimulus_panic") => FaultKind::StimulusPanic,
+                    Some("stimulus_stall") => FaultKind::StimulusStall {
+                        millis: f.get("millis").and_then(Json::as_u64).unwrap_or(10),
+                    },
+                    _ => {
+                        return Err(format!(
+                            "`faults[{i}].kind` must be one of residual_nan, \
+                             refactor_singular, refactor_non_finite, \
+                             stimulus_panic, stimulus_stall"
+                        ))
+                    }
+                };
+                plan = plan.target(index, FaultSpec { kind, step });
+            }
+        }
+        if seed.is_some() || period.is_some() {
+            let s = seed
+                .map(|s| s.as_u64().ok_or("`fault_seed` must be an integer"))
+                .transpose()?
+                .unwrap_or(0);
+            let p = period
+                .map(|p| p.as_u64().ok_or("`fault_period` must be an integer"))
+                .transpose()?
+                .unwrap_or(0);
+            plan = plan.seeded(s, p);
+        }
+
+        let watchdog_secs = match wd {
+            None => None,
+            Some(w) => {
+                let w = w.as_f64().ok_or("`watchdog_secs` must be a number")?;
+                if !(w.is_finite() && w > 0.0) {
+                    return Err("`watchdog_secs` must be positive".to_string());
+                }
+                Some(w)
+            }
+        };
+
+        Ok(Some(JobRecovery {
+            policy,
+            fallback_dense,
+            plan,
+            watchdog_secs,
+        }))
     }
 }
 

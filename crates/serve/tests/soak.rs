@@ -225,6 +225,265 @@ fn soak_thousands_of_jobs_conserve_every_record() {
     assert_eq!(job_timer.count, total_jobs);
 }
 
+/// Chaos variant of the battery (ISSUE 9): the same 16-thread job mix,
+/// but every job runs under an active `FaultPlan` — injected residual
+/// NaNs and singular refactorizations that the recovery ladder must
+/// absorb, watchdog-killed stalls, and mid-stream socket resets. The
+/// conservation contract tightens to accepted = completed +
+/// watchdog-killed, every readable stream stays record-for-record in
+/// index order, and shutdown still drains cleanly (no hung workers).
+#[cfg(feature = "fault-inject")]
+mod chaos {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    const CLIENTS: usize = 16;
+    const JOBS_PER_CLIENT: usize = 5;
+    const STEPS: u64 = 16;
+    /// `k % JOBS_PER_CLIENT` slots: this one stalls + gets watchdogged.
+    const WATCHDOG_SLOT: usize = 4;
+    /// This one has its response socket reset mid-stream.
+    const RESET_SLOT: usize = 2;
+
+    /// A fault-carrying job: four healthy pwc scenarios with two
+    /// injected solver faults — one past the first checkpoint (resume
+    /// rung) and one before it (restart rung) — or, in the watchdog
+    /// slot, a stalled stimulus under a much shorter deadline.
+    fn chaos_job(module: &str, k: usize) -> String {
+        let watchdog = k % JOBS_PER_CLIENT == WATCHDOG_SLOT;
+        let mut b = JsonBuf::new();
+        b.begin_obj()
+            .str_field("module", module)
+            .f64_field("dt", 1e-6)
+            .str_field("output", "V(out)");
+        b.key("recovery");
+        b.begin_obj().u64_field("snapshot_every", 4).end_obj();
+        b.begin_arr("faults");
+        if watchdog {
+            b.begin_obj()
+                .str_field("kind", "stimulus_stall")
+                .u64_field("index", 2)
+                .u64_field("step", 2)
+                .u64_field("millis", 500)
+                .end_obj();
+        } else {
+            b.begin_obj()
+                .str_field("kind", "residual_nan")
+                .u64_field("index", 1)
+                .u64_field("step", 10)
+                .end_obj();
+            b.begin_obj()
+                .str_field("kind", "refactor_singular")
+                .u64_field("index", 2)
+                .u64_field("step", 1)
+                .end_obj();
+        }
+        b.end_arr();
+        if watchdog {
+            b.f64_field("watchdog_secs", 0.1);
+        }
+        b.begin_arr("scenarios");
+        for i in 0..4u64 {
+            b.begin_obj()
+                .str_field("name", &format!("c{i}"))
+                .u64_field("steps", STEPS)
+                .key("stim");
+            b.begin_obj()
+                .str_field("kind", "pwc")
+                .u64_field("seed", k as u64 * 37 + i + 1)
+                .u64_field("segments", 4)
+                .f64_field("hold", 5e-6)
+                .f64_field("lo", 0.0)
+                .f64_field("hi", 1.0)
+                .end_obj();
+            b.end_obj();
+        }
+        b.end_arr();
+        b.end_obj();
+        b.into_string()
+    }
+
+    /// Best-effort POST that survives an injected mid-stream reset:
+    /// returns the status (if the head arrived) and the raw body bytes.
+    fn lossy_post(
+        addr: std::net::SocketAddr,
+        body: &str,
+        fault_header: Option<&str>,
+    ) -> (Option<u16>, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let fault = fault_header.map_or(String::new(), |f| format!("X-Fault: {f}\r\n"));
+        write!(
+            s,
+            "POST /v1/jobs HTTP/1.1\r\nHost: test\r\n{fault}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send request");
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw); // reset mid-read is expected
+        let status = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .and_then(|head_end| {
+                std::str::from_utf8(&raw[..head_end])
+                    .ok()?
+                    .split(' ')
+                    .nth(1)?
+                    .parse()
+                    .ok()
+            });
+        (status, raw)
+    }
+
+    #[test]
+    fn chaos_mix_conserves_jobs_and_stream_order() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            lane_width: 4,
+            max_jobs: 4,
+            cache_models: CACHE_CAPACITY,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.local_addr();
+        let module = Arc::new(rc_ladder(1));
+
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let module = Arc::clone(&module);
+                std::thread::spawn(move || {
+                    for k in 0..JOBS_PER_CLIENT {
+                        let body = chaos_job(&module, c * JOBS_PER_CLIENT + k);
+                        let slot = k % JOBS_PER_CLIENT;
+                        let fault = (slot == RESET_SLOT).then_some("reset_after:400");
+                        // Bounce off 429 backpressure until a slot frees.
+                        let (status, raw) = loop {
+                            let got = lossy_post(addr, &body, fault);
+                            if got.0 == Some(429) {
+                                std::thread::sleep(Duration::from_micros(500));
+                                continue;
+                            }
+                            break got;
+                        };
+                        if slot == RESET_SLOT {
+                            // The reset may land anywhere — even before
+                            // the head — so only liveness is asserted:
+                            // the server answered and moved on.
+                            continue;
+                        }
+                        assert_eq!(status, Some(200), "job rejected");
+                        verify_chaos_stream(&raw, slot == WATCHDOG_SLOT);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+
+        let total = (CLIENTS * JOBS_PER_CLIENT) as u64;
+        let watchdogged = (CLIENTS * JOBS_PER_CLIENT / JOBS_PER_CLIENT) as u64;
+        // `shutdown` returning at all is the no-hung-workers assertion:
+        // it joins every connection and worker thread.
+        let report = server.shutdown();
+
+        // Conservation: every accepted job lands in exactly one bucket,
+        // and the watchdog killed exactly the stalled slots.
+        assert_eq!(report.counter("serve.jobs.accepted"), total);
+        assert_eq!(report.counter("serve.jobs.watchdog"), watchdogged);
+        assert_eq!(
+            report.counter("serve.jobs.completed"),
+            total - watchdogged,
+            "accepted = completed + watchdog-killed"
+        );
+        assert_eq!(report.counter("serve.jobs.failed"), 0);
+
+        // Every non-watchdog job recovered one lane per rung; the
+        // injected-fault tallies match the plan exactly.
+        let faulted = total - watchdogged;
+        assert_eq!(report.counter("jobs.recovery.recovered.resume"), faulted);
+        assert_eq!(report.counter("jobs.recovery.recovered.restart"), faulted);
+        assert_eq!(report.counter("jobs.recovery.gave_up"), 0);
+        assert_eq!(report.counter("jobs.fault.injected.residual_nan"), faulted);
+        assert_eq!(
+            report.counter("jobs.fault.injected.refactor_singular"),
+            faulted
+        );
+        assert_eq!(
+            report.counter("jobs.fault.injected.stimulus_stall"),
+            watchdogged
+        );
+        assert_eq!(
+            report.counter("jobs.sweep.scenarios.recovered"),
+            2 * faulted
+        );
+    }
+
+    /// One intact chaos stream: chunk-decodes, records arrive in index
+    /// order, recoveries land where injected, and the terminal record
+    /// matches the job's fate.
+    fn verify_chaos_stream(raw: &[u8], watchdogged: bool) {
+        let text = String::from_utf8(raw.to_vec()).expect("UTF-8 response");
+        let body_start = text.find("\r\n\r\n").expect("head terminator") + 4;
+        // Chunk-decode: strip size lines, keep payload lines.
+        let mut body = String::new();
+        let mut rest = &text[body_start..];
+        loop {
+            let (size_line, after) = rest.split_once("\r\n").expect("chunk size line");
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+            if size == 0 {
+                break;
+            }
+            body.push_str(&after[..size]);
+            rest = &after[size + 2..];
+        }
+        let records: Vec<_> = body
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(|l| json::parse(l).expect("record parses"))
+            .collect();
+        assert_eq!(
+            records[0].get("type").unwrap().as_str(),
+            Some("job.accepted")
+        );
+        for (i, rec) in records[1..=4].iter().enumerate() {
+            assert_eq!(rec.get("type").unwrap().as_str(), Some("scenario"));
+            assert_eq!(
+                rec.get("index").unwrap().as_u64(),
+                Some(i as u64),
+                "scenario records must arrive exactly once, in index order"
+            );
+            let status = rec.get("status").unwrap().as_str().unwrap();
+            if watchdogged {
+                assert!(
+                    status == "ok" || status == "budget",
+                    "watchdogged job scenarios are completed or killed, got {status}"
+                );
+            } else {
+                let want = match i {
+                    1 | 2 => "recovered",
+                    _ => "ok",
+                };
+                assert_eq!(status, want, "scenario {i}");
+            }
+        }
+        let last = records.last().unwrap().get("type").unwrap();
+        if watchdogged {
+            assert_eq!(last.as_str(), Some("job.watchdog"));
+        } else {
+            assert_eq!(last.as_str(), Some("job.done"));
+            let recovered_rec = records
+                .iter()
+                .find(|r| r.get("type").unwrap().as_str() == Some("job.recovered"))
+                .expect("recovering job with rescues emits job.recovered");
+            assert_eq!(recovered_rec.get("resume").unwrap().as_u64(), Some(1));
+            assert_eq!(recovered_rec.get("restart").unwrap().as_u64(), Some(1));
+            assert_eq!(recovered_rec.get("backend").unwrap().as_u64(), Some(0));
+        }
+    }
+}
+
 /// Checks one job's stream: records parse, scenario indices cover
 /// `0..n` exactly once in order, and the tallies match the composition.
 fn verify_stream(body: &str, shape: &JobShape) {

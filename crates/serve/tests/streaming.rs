@@ -247,12 +247,15 @@ fn stream_matches_local_batch_run_bit_for_bit() {
                     assert_eq!(rec.get("status").unwrap().as_str(), Some("panicked"));
                     assert_eq!(rec.get("error").unwrap().as_str(), Some(msg.as_str()));
                 }
-                ScenarioOutcome::Failed(e) => {
+                ScenarioOutcome::Failed { error, .. } => {
                     assert_eq!(rec.get("status").unwrap().as_str(), Some("failed"));
                     assert_eq!(
                         rec.get("error").unwrap().as_str(),
-                        Some(e.to_string().as_str())
+                        Some(error.to_string().as_str())
                     );
+                }
+                ScenarioOutcome::Recovered { .. } => {
+                    assert_eq!(rec.get("status").unwrap().as_str(), Some("recovered"));
                 }
             }
         }

@@ -53,6 +53,12 @@ use amsvp_core::circuits::Stimulus;
 use eln::{CompiledNet, ElnError, NodeId, SourceId};
 use obs::{Obs, Report};
 
+mod recovery;
+pub use recovery::{
+    run_ams_sweep_recovering, run_ams_sweep_recovering_with, FaultKind, FaultPlan, FaultSpec,
+    Recovery, RecoveryAttempt, RecoveryRung,
+};
+
 /// Per-scenario step/wall-clock budget for fault-isolated sweeps.
 ///
 /// A runaway scenario — an adaptive run grinding at `min_dt`, an
@@ -172,8 +178,27 @@ impl<E> From<BudgetExceeded> for SweepFault<E> {
 pub enum ScenarioOutcome<R, E> {
     /// The scenario completed; its result.
     Ok(R),
+    /// The scenario faulted but a rung of the recovery ladder completed
+    /// it ([`run_ams_sweep_recovering`]); the result is **bit-identical**
+    /// to the same scenario run from `t = 0` on the rung's configuration.
+    Recovered {
+        /// The completed run.
+        result: R,
+        /// The rung that rescued the scenario.
+        rung: RecoveryRung,
+        /// The failures that preceded the rescue: the original fault
+        /// (`rung: None`) plus one entry per failed rung.
+        attempts: Vec<RecoveryAttempt>,
+    },
     /// The scenario returned a typed error.
-    Failed(E),
+    Failed {
+        /// The original typed error.
+        error: E,
+        /// The recovery trail, when a ladder ran and gave up: the
+        /// original fault (`rung: None`) plus one entry per failed rung.
+        /// Empty under the non-recovering entry points.
+        attempts: Vec<RecoveryAttempt>,
+    },
     /// The scenario body panicked; the stringified payload.
     Panicked(String),
     /// The scenario exceeded its [`ScenarioBudget`].
@@ -181,12 +206,17 @@ pub enum ScenarioOutcome<R, E> {
 }
 
 impl<R, E> ScenarioOutcome<R, E> {
-    /// Whether the scenario completed.
+    /// Whether the scenario completed on the first attempt.
     pub fn is_ok(&self) -> bool {
         matches!(self, ScenarioOutcome::Ok(_))
     }
 
-    /// The result, if the scenario completed.
+    /// Whether a recovery rung completed the scenario.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, ScenarioOutcome::Recovered { .. })
+    }
+
+    /// The result, if the scenario completed on the first attempt.
     pub fn ok(&self) -> Option<&R> {
         match self {
             ScenarioOutcome::Ok(r) => Some(r),
@@ -194,11 +224,28 @@ impl<R, E> ScenarioOutcome<R, E> {
         }
     }
 
-    /// Consumes the outcome into the result, if the scenario completed.
+    /// Consumes the outcome into the result, if the scenario completed
+    /// on the first attempt.
     pub fn into_ok(self) -> Option<R> {
         match self {
             ScenarioOutcome::Ok(r) => Some(r),
             _ => None,
+        }
+    }
+
+    /// The completed result, whether first-attempt or recovered.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            ScenarioOutcome::Ok(r) | ScenarioOutcome::Recovered { result: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Convenience shorthand for constructing a non-recovering failure.
+    pub(crate) fn failed(error: E) -> Self {
+        ScenarioOutcome::Failed {
+            error,
+            attempts: Vec::new(),
         }
     }
 }
@@ -402,27 +449,13 @@ impl SweepEngine {
             *budget,
             |ctx, s| match catch_unwind(AssertUnwindSafe(|| f(ctx, s))) {
                 Ok(Ok(r)) => ScenarioOutcome::Ok(r),
-                Ok(Err(SweepFault::Error(e))) => ScenarioOutcome::Failed(e),
+                Ok(Err(SweepFault::Error(e))) => ScenarioOutcome::failed(e),
                 Ok(Err(SweepFault::Budget(b))) => ScenarioOutcome::Budget(b),
                 Err(payload) => ScenarioOutcome::Panicked(panic_message(payload)),
             },
             observe,
         );
-        let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
-        for r in &out.results {
-            match r {
-                ScenarioOutcome::Ok(_) => ok += 1,
-                ScenarioOutcome::Failed(_) => failed += 1,
-                ScenarioOutcome::Panicked(_) => panicked += 1,
-                ScenarioOutcome::Budget(_) => over_budget += 1,
-            }
-        }
-        let fault_obs = Obs::recording();
-        fault_obs.add("sweep.scenarios.ok", ok);
-        fault_obs.add("sweep.scenarios.failed", failed);
-        fault_obs.add("sweep.scenarios.panicked", panicked);
-        fault_obs.add("sweep.scenarios.budget", over_budget);
-        out.report.merge(&fault_obs.report().unwrap_or_default());
+        merge_fault_tally(&mut out.report, &out.results, false);
         out
     }
 
@@ -715,6 +748,39 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Folds the per-scenario fault tally into `report` under the stable
+/// `sweep.scenarios.{ok,failed,panicked,budget}` schema — all four keys
+/// always present, so downstream dashboards see stable schemas.
+/// `with_recovered` additionally emits `sweep.scenarios.recovered`; only
+/// the recovering entry point ([`run_ams_sweep_recovering`]) opts in, so
+/// every pre-existing sweep keeps its historical report schema exactly.
+fn merge_fault_tally<R, E>(
+    report: &mut Report,
+    results: &[ScenarioOutcome<R, E>],
+    with_recovered: bool,
+) {
+    let (mut ok, mut recovered, mut failed, mut panicked, mut over_budget) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for r in results {
+        match r {
+            ScenarioOutcome::Ok(_) => ok += 1,
+            ScenarioOutcome::Recovered { .. } => recovered += 1,
+            ScenarioOutcome::Failed { .. } => failed += 1,
+            ScenarioOutcome::Panicked(_) => panicked += 1,
+            ScenarioOutcome::Budget(_) => over_budget += 1,
+        }
+    }
+    let fault_obs = Obs::recording();
+    fault_obs.add("sweep.scenarios.ok", ok);
+    if with_recovered {
+        fault_obs.add("sweep.scenarios.recovered", recovered);
+    }
+    fault_obs.add("sweep.scenarios.failed", failed);
+    fault_obs.add("sweep.scenarios.panicked", panicked);
+    fault_obs.add("sweep.scenarios.budget", over_budget);
+    report.merge(&fault_obs.report().unwrap_or_default());
+}
+
 // ------------------------------------------------------- amsim scenarios
 
 /// One conservative-simulator run: a stimulus, a step count, and
@@ -974,7 +1040,7 @@ where
                     return fault;
                 }
                 if let Some(e) = batch.lane_error(l) {
-                    return ScenarioOutcome::Failed(e.clone());
+                    return ScenarioOutcome::failed(e.clone());
                 }
                 ScenarioOutcome::Ok(AmsRun {
                     name: sc.name.clone(),
@@ -988,21 +1054,7 @@ where
     };
     let mut out = engine.run_batched_with(scenarios, lane_width, body, observe);
     // Same stable fault-tally schema as the scalar isolated sweep.
-    let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
-    for r in &out.results {
-        match r {
-            ScenarioOutcome::Ok(_) => ok += 1,
-            ScenarioOutcome::Failed(_) => failed += 1,
-            ScenarioOutcome::Panicked(_) => panicked += 1,
-            ScenarioOutcome::Budget(_) => over_budget += 1,
-        }
-    }
-    let fault_obs = Obs::recording();
-    fault_obs.add("sweep.scenarios.ok", ok);
-    fault_obs.add("sweep.scenarios.failed", failed);
-    fault_obs.add("sweep.scenarios.panicked", panicked);
-    fault_obs.add("sweep.scenarios.budget", over_budget);
-    out.report.merge(&fault_obs.report().unwrap_or_default());
+    merge_fault_tally(&mut out.report, &out.results, false);
     Ok(out)
 }
 
@@ -1205,7 +1257,7 @@ enum SubtreeFault {
 impl SubtreeFault {
     fn outcome(&self) -> ScenarioOutcome<AmsRun, AmsError> {
         match self {
-            SubtreeFault::Failed(e) => ScenarioOutcome::Failed(e.clone()),
+            SubtreeFault::Failed(e) => ScenarioOutcome::failed(e.clone()),
             SubtreeFault::Panicked(msg) => ScenarioOutcome::Panicked(msg.clone()),
             SubtreeFault::Budget(b) => ScenarioOutcome::Budget(*b),
         }
@@ -1443,21 +1495,7 @@ pub fn run_ams_sweep_tree(
         .map(|r| r.expect("every leaf is resolved by exactly one job"))
         .collect();
     // Same stable fault-tally schema as the other isolated sweeps.
-    let (mut ok, mut failed, mut panicked, mut over_budget) = (0u64, 0u64, 0u64, 0u64);
-    for r in &results {
-        match r {
-            ScenarioOutcome::Ok(_) => ok += 1,
-            ScenarioOutcome::Failed(_) => failed += 1,
-            ScenarioOutcome::Panicked(_) => panicked += 1,
-            ScenarioOutcome::Budget(_) => over_budget += 1,
-        }
-    }
-    let fault_obs = Obs::recording();
-    fault_obs.add("sweep.scenarios.ok", ok);
-    fault_obs.add("sweep.scenarios.failed", failed);
-    fault_obs.add("sweep.scenarios.panicked", panicked);
-    fault_obs.add("sweep.scenarios.budget", over_budget);
-    report.merge(&fault_obs.report().unwrap_or_default());
+    merge_fault_tally(&mut report, &results, false);
 
     Ok(SweepOutcome {
         results,
@@ -1888,7 +1926,7 @@ mod tests {
             .results
             .iter()
             .enumerate()
-            .filter(|(_, r)| matches!(r, ScenarioOutcome::Failed(_)))
+            .filter(|(_, r)| matches!(r, ScenarioOutcome::Failed { .. }))
             .map(|(i, _)| i)
             .collect();
         assert_eq!(failed, vec![0, 3, 6]);
@@ -1969,7 +2007,10 @@ mod tests {
         assert_eq!(out.report.counter("sweep.scenarios.ok"), 3);
         assert_eq!(out.report.counter("sweep.scenarios.failed"), 1);
         match &out.results[1] {
-            ScenarioOutcome::Failed(ElnError::NonFiniteSolution { .. }) => {}
+            ScenarioOutcome::Failed {
+                error: ElnError::NonFiniteSolution { .. },
+                ..
+            } => {}
             other => panic!("slot 1: want NonFiniteSolution, got {other:?}"),
         }
         for i in [0usize, 2, 3] {

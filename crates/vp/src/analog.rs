@@ -257,7 +257,9 @@ impl<S: Stimulus + 'static> Process for ElnAnalog<S> {
         for &s in &self.sources {
             self.solver.set_source(s, u);
         }
-        self.solver.step();
+        self.solver
+            .try_step()
+            .unwrap_or_else(|e| panic!("eln analog step failed: {e}"));
         publish(&self.bridge, self.solver.node_voltage(self.out));
         self.k += 1;
         ctx.notify_self_after(self.step);
@@ -475,7 +477,7 @@ mod tests {
         for &src in &sources {
             s.set_source(src, 1.0);
         }
-        s.step();
+        s.try_step().unwrap();
         let want = -(10.0 / 3.0 + 10.0 / 14.0);
         assert!((s.node_voltage(out) - want).abs() < 2e-3);
 
@@ -488,7 +490,7 @@ mod tests {
             .unwrap();
         s.set_source(src, 0.5);
         for _ in 0..100_000 {
-            s.step();
+            s.try_step().unwrap();
         }
         assert!((s.node_voltage(out) + 2.0).abs() < 5e-3);
     }

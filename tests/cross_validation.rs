@@ -91,7 +91,7 @@ fn eln_models_match_conservative_reference() {
             for &s in &sources {
                 solver.set_source(s, u);
             }
-            solver.step();
+            solver.try_step().unwrap();
             worst = worst.max((reference.output(0) - solver.node_voltage(out)).abs());
         }
         assert!(
@@ -155,9 +155,9 @@ fn trapezoidal_eln_converges_to_same_steady_state() {
         .unwrap();
     for _ in 0..200_000 {
         be.set_source(src, 0.7);
-        be.step();
+        be.try_step().unwrap();
         tr.set_source(src, 0.7);
-        tr.step();
+        tr.try_step().unwrap();
     }
     assert!((be.node_voltage(out) - 0.7).abs() < 1e-6);
     assert!((tr.node_voltage(out) - 0.7).abs() < 1e-6);

@@ -62,14 +62,14 @@ fn eln_switched_capacitor_discharges() {
     s.set_source(v, 1.0);
     // Charge phase: τ = 100 µs, run 1 ms.
     for _ in 0..1000 {
-        s.step();
+        s.try_step().unwrap();
     }
     assert!((s.node_voltage(top) - 1.0).abs() < 1e-3, "charged");
     // Swap switches: isolate from the source, discharge into 1 kΩ.
     s.set_switch(charge, false).unwrap();
     s.set_switch(discharge, true).unwrap();
     for _ in 0..1000 {
-        s.step(); // 1 ms = 1τ of discharge
+        s.try_step().unwrap(); // 1 ms = 1τ of discharge
     }
     let expect = (-1.0_f64).exp();
     assert!(

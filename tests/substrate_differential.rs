@@ -139,7 +139,7 @@ fn eln_waveform(
             for &s in sources {
                 solver.set_source(s, u);
             }
-            solver.step();
+            solver.try_step().unwrap();
             solver.node_voltage(out)
         })
         .collect()
@@ -388,7 +388,7 @@ fn eln_backends_agree_on_rc_ladder() {
                 .map(|k| {
                     let u = stim.value(k as f64 * dt);
                     solver.set_source(src, u);
-                    solver.step();
+                    solver.try_step().unwrap();
                     solver.node_voltage(out)
                 })
                 .collect();

@@ -136,9 +136,13 @@ fn two_faults_sixty_two_survivors_any_worker_count() {
             other => panic!("{w} workers, slot {PANIC_AT}: want Panicked, got {other:?}"),
         }
         match &run.results[DIVERGE_AT] {
-            ScenarioOutcome::Failed(AmsError::NoConvergence {
-                residual_norm, dt, ..
-            }) => {
+            ScenarioOutcome::Failed {
+                error:
+                    AmsError::NoConvergence {
+                        residual_norm, dt, ..
+                    },
+                ..
+            } => {
                 assert!(residual_norm.is_finite() && *residual_norm > 0.0);
                 assert_eq!(*dt, DT);
             }
@@ -211,9 +215,13 @@ fn batched_two_faults_retire_only_their_lanes_any_worker_count() {
             other => panic!("{w} workers, slot {PANIC_AT}: want Panicked, got {other:?}"),
         }
         match &run.results[DIVERGE_AT] {
-            ScenarioOutcome::Failed(AmsError::NoConvergence {
-                residual_norm, dt, ..
-            }) => {
+            ScenarioOutcome::Failed {
+                error:
+                    AmsError::NoConvergence {
+                        residual_norm, dt, ..
+                    },
+                ..
+            } => {
                 assert!(residual_norm.is_finite() && *residual_norm > 0.0);
                 assert_eq!(*dt, DT);
             }
