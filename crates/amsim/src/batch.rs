@@ -1131,11 +1131,99 @@ impl Drop for BatchInstance {
     }
 }
 
+/// Owned staging buffer for [`BatchInstance::try_step`] inputs in the
+/// batch's `[input][lane]` structure-of-arrays layout.
+///
+/// Callers that drive lanes from independent sources (one device per
+/// lane, one stimulus per scenario) address samples by `(input, lane)`
+/// instead of hand-rolling the `i * lanes + l` stride, and hand the
+/// finished frame to `try_step` via [`InputFrame::as_slice`]. Values
+/// persist across steps: a lane that is masked out keeps its last
+/// written samples, which is harmless — retired lanes are never
+/// committed.
+#[derive(Debug, Clone)]
+pub struct InputFrame {
+    data: Vec<f64>,
+    n_inputs: usize,
+    lanes: usize,
+}
+
+impl InputFrame {
+    /// A zero-filled frame for `n_inputs` model inputs over `lanes`
+    /// lanes.
+    pub fn new(n_inputs: usize, lanes: usize) -> InputFrame {
+        InputFrame {
+            data: vec![0.0; n_inputs * lanes],
+            n_inputs,
+            lanes,
+        }
+    }
+
+    /// Number of lanes the frame spans.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of model inputs per lane.
+    pub fn inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Writes input `i` of lane `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `l` is out of range.
+    pub fn set(&mut self, i: usize, l: usize, v: f64) {
+        assert!(i < self.n_inputs, "input out of range");
+        assert!(l < self.lanes, "lane out of range");
+        self.data[i * self.lanes + l] = v;
+    }
+
+    /// Drives every input of lane `l` with the same sample — the common
+    /// case of a single stimulus broadcast to all of a device's inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn broadcast(&mut self, l: usize, v: f64) {
+        assert!(l < self.lanes, "lane out of range");
+        for i in 0..self.n_inputs {
+            self.data[i * self.lanes + l] = v;
+        }
+    }
+
+    /// The frame in [`BatchInstance::try_step`]'s expected layout.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl BatchInstance {
+    /// A zero-filled [`InputFrame`] shaped for this batch (the model's
+    /// input count × the batch's lane count).
+    pub fn input_frame(&self) -> InputFrame {
+        InputFrame::new(self.model.input_names().len(), self.lanes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sim::Simulation;
     use vams_parser::parse_module;
+
+    #[test]
+    fn input_frame_addresses_the_soa_layout() {
+        let mut frame = InputFrame::new(2, 3);
+        assert_eq!(frame.inputs(), 2);
+        assert_eq!(frame.lanes(), 3);
+        frame.set(0, 1, 0.25);
+        frame.set(1, 2, 0.5);
+        assert_eq!(frame.as_slice(), &[0.0, 0.25, 0.0, 0.0, 0.0, 0.5]);
+        frame.broadcast(0, 1.0);
+        assert_eq!(frame.as_slice(), &[1.0, 0.25, 0.0, 1.0, 0.0, 0.5]);
+    }
 
     const RC1: &str = "module rc(in, out);
         input in; output out;

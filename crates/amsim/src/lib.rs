@@ -61,7 +61,7 @@ pub mod cosim;
 pub mod fault;
 mod sim;
 
-pub use batch::{BatchInstance, BatchInstanceBuilder};
+pub use batch::{BatchInstance, BatchInstanceBuilder, InputFrame};
 pub use sim::{
     AmsError, AmsSimulator, CompiledModel, Instance, InstanceBuilder, RecoveryPolicy, Simulation,
     Snapshot, StepControl,

@@ -1,0 +1,173 @@
+//! CI smoke check for fleet execution — the headline benchmark of the
+//! fleet work: N full smart-system instances (CPU + firmware + UART +
+//! analog bridge each) in one process, over **one** shared compiled
+//! model and **one** shared firmware image.
+//!
+//! Runs an RC1 fleet at 100 and 1000 devices and asserts that
+//!
+//! * every device completes (`ok + failed + panicked + budget == N`,
+//!   all of them `ok`);
+//! * the 100-device fleet at 4 workers is **bit-identical** to the same
+//!   fleet at 1 worker — waveform bits, UART bytes, instruction counts;
+//! * the analog model really is compiled once: the merged report
+//!   (compile collector included) carries `amsim.jacobian.builds == 1`
+//!   — the model count — with zero rebuilds and zero refactorizations
+//!   across all 1000 devices;
+//! * per-worker shard counters conserve the device count.
+//!
+//! Prints devices/sec at both fleet sizes and writes the merged
+//! 1000-device report as `BENCH_fleet_smoke.json`. Exits nonzero on any
+//! violation.
+
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant};
+use obs::Obs;
+use std::time::Instant;
+use vp::{monitor_firmware, run_fleet, DeviceScenario, Firmware, FleetConfig, FleetOutcome};
+
+const SMALL: usize = 100;
+const LARGE: usize = 1000;
+const WORKERS: usize = 4;
+const LANE_WIDTH: usize = 8;
+const STEPS: usize = 200;
+const DT: f64 = 1e-6;
+
+fn devices(n: usize) -> Vec<DeviceScenario> {
+    (0..n)
+        .map(|i| {
+            DeviceScenario::new(
+                format!("dev{i}"),
+                PiecewiseConstant::seeded(i as u64 + 1, 5, 12.0 * DT, 0.0, 1.0),
+                STEPS,
+            )
+        })
+        .collect()
+}
+
+/// Per-device comparable payload for the bit-identity check.
+fn payload(out: &FleetOutcome) -> Vec<(Vec<u64>, Vec<u8>, u64)> {
+    out.devices
+        .iter()
+        .filter_map(|r| r.ok())
+        .map(|run| {
+            (
+                run.waveform.iter().map(|v| v.to_bits()).collect(),
+                run.report.uart.clone(),
+                run.report.instructions,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let compile_obs = Obs::recording();
+    let module = vams_parser::parse_module(&rc_ladder(1)).expect("RC1 parses");
+    let model = amsim::Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .collector(compile_obs.clone())
+        .compile()
+        .expect("RC1 compiles");
+    let firmware = Firmware::from(monitor_firmware());
+    let config = FleetConfig::new(firmware)
+        .workers(WORKERS)
+        .lane_width(LANE_WIDTH);
+
+    // Warm-up (page in the model, stabilize frequencies), then measure.
+    run_fleet(&model, &config, &devices(WORKERS * LANE_WIDTH)).expect("warm-up runs");
+
+    let t0 = Instant::now();
+    let small = run_fleet(&model, &config, &devices(SMALL)).expect("small fleet runs");
+    let small_secs = t0.elapsed().as_secs_f64();
+    let small_rate = SMALL as f64 / small_secs;
+
+    let t0 = Instant::now();
+    let large = run_fleet(&model, &config, &devices(LARGE)).expect("large fleet runs");
+    let large_secs = t0.elapsed().as_secs_f64();
+    let large_rate = LARGE as f64 / large_secs;
+
+    // The determinism reference: same 100 devices on a single worker.
+    let single = run_fleet(&model, &config.clone().workers(1), &devices(SMALL))
+        .expect("single-worker fleet runs");
+
+    let mut report = compile_obs.report().expect("recording collector reports");
+    report.merge(&large.report);
+    let bench_obs = Obs::recording();
+    bench_obs.add("bench.fleet.devices.small", SMALL as u64);
+    bench_obs.add("bench.fleet.devices.large", LARGE as u64);
+    bench_obs.add("bench.fleet.small.devices_per_sec", small_rate as u64);
+    bench_obs.add("bench.fleet.large.devices_per_sec", large_rate as u64);
+    report.merge(&bench_obs.report().expect("recording collector reports"));
+    report
+        .write_json("BENCH_fleet_smoke.json")
+        .expect("BENCH_fleet_smoke.json is writable");
+
+    let mut failures = Vec::new();
+    for (label, out, n) in [("small", &small, SMALL), ("large", &large, LARGE)] {
+        let tally = out.tally();
+        if tally.ok != n as u64 || tally.total() != n as u64 {
+            failures.push(format!(
+                "{label} fleet: {} ok of {} accounted, want {n} of {n}",
+                tally.ok,
+                tally.total()
+            ));
+        }
+        if out.report.counter("fleet.devices") != n as u64 {
+            failures.push(format!(
+                "{label} fleet: counter `fleet.devices` is {}, want {n}",
+                out.report.counter("fleet.devices")
+            ));
+        }
+        let per_worker: u64 = (0..WORKERS)
+            .map(|w| out.report.counter(&format!("sweep.worker.{w}.scenarios")))
+            .sum();
+        if per_worker != n as u64 {
+            failures.push(format!(
+                "{label} fleet: worker shards carry {per_worker} devices, want {n}"
+            ));
+        }
+    }
+    // Bit-identity: 4 workers vs 1 worker on the same 100 devices.
+    if payload(&small) != payload(&single) {
+        failures.push(
+            "100-device fleet differs between 4 workers and 1 worker \
+             (bit-identity is a design requirement, not a tolerance)"
+                .to_string(),
+        );
+    }
+    // Compile-once: one Jacobian build for the whole process (the
+    // model's), zero device-side rebuilds or refactorizations.
+    if report.counter("amsim.jacobian.builds") != 1 {
+        failures.push(format!(
+            "counter `amsim.jacobian.builds` is {}, want 1 (model compiled more than once)",
+            report.counter("amsim.jacobian.builds")
+        ));
+    }
+    if large.report.counter("amsim.jacobian.builds") != 0
+        || large.report.counter("amsim.lu.factorizations") != 0
+    {
+        failures.push(format!(
+            "large fleet rebuilt solver state: jacobian.builds {}, lu.factorizations {} \
+             (shared-model path lost)",
+            large.report.counter("amsim.jacobian.builds"),
+            large.report.counter("amsim.lu.factorizations")
+        ));
+    }
+
+    println!("fleet_smoke: RC1 x {STEPS} steps/device, {WORKERS} workers, lane width {LANE_WIDTH}");
+    println!("  {SMALL:>5} devices  {small_secs:>8.3} s  ({small_rate:>9.1} devices/s)");
+    println!("  {LARGE:>5} devices  {large_secs:>8.3} s  ({large_rate:>9.1} devices/s)");
+    println!(
+        "  instructions retired: {}  uart bytes: {}",
+        large.report.counter("vp.device.instructions"),
+        large.report.counter("vp.device.uart.bytes")
+    );
+
+    if failures.is_empty() {
+        println!("fleet_smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("fleet_smoke FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -413,6 +413,30 @@ impl Report {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Counters whose name starts with `prefix`, in name order — the
+    /// read-side companion to [`Report::merge_prefixed`] for asserting
+    /// on one namespaced family (`fleet.*`, `vp.device.*`) at a time.
+    ///
+    /// ```
+    /// use amsvp_obs::Obs;
+    ///
+    /// let obs = Obs::recording();
+    /// obs.add("fleet.devices.ok", 7);
+    /// obs.add("sweep.scenarios", 7);
+    /// let report = obs.report().unwrap();
+    /// let fleet: Vec<_> = report.counters_with_prefix("fleet.").collect();
+    /// assert_eq!(fleet, vec![("fleet.devices.ok", 7)]);
+    /// ```
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Writes [`Report::to_json`] to `path`.
     ///
     /// # Errors

@@ -48,7 +48,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use amsim::{AmsError, BatchInstance, CompiledModel, Snapshot};
+use amsim::{AmsError, BatchInstance, CompiledModel, InputFrame, Snapshot};
 use amsvp_core::circuits::Stimulus;
 use eln::{CompiledNet, ElnError, NodeId, SourceId};
 use obs::{Obs, Report};
@@ -738,7 +738,12 @@ impl Default for SweepEngine {
 
 /// Stringifies a panic payload: `panic!("...")` payloads are `String` or
 /// `&'static str`; anything else gets a placeholder.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+///
+/// Public so callers that build their own fault-isolated block bodies on
+/// [`SweepEngine::run_batched`] (the fleet runner does) record the same
+/// payload text in their [`ScenarioOutcome::Panicked`] slots as the
+/// built-in sweeps.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -748,37 +753,75 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Folds the per-scenario fault tally into `report` under the stable
-/// `sweep.scenarios.{ok,failed,panicked,budget}` schema — all four keys
-/// always present, so downstream dashboards see stable schemas.
-/// `with_recovered` additionally emits `sweep.scenarios.recovered`; only
-/// the recovering entry point ([`run_ams_sweep_recovering`]) opts in, so
-/// every pre-existing sweep keeps its historical report schema exactly.
+/// Per-outcome counts of a fault-isolated run — the tally behind the
+/// `sweep.scenarios.{ok,failed,panicked,budget}` counters, generalized
+/// over the counter namespace so other units of isolation (the fleet
+/// runner's *devices*) report the same stable schema under their own
+/// prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Scenarios that completed on the first attempt.
+    pub ok: u64,
+    /// Scenarios a recovery rung completed.
+    pub recovered: u64,
+    /// Scenarios that returned a typed error.
+    pub failed: u64,
+    /// Scenarios whose body panicked.
+    pub panicked: u64,
+    /// Scenarios that exceeded their [`ScenarioBudget`].
+    pub budget: u64,
+}
+
+impl OutcomeTally {
+    /// Tallies one outcome slice.
+    pub fn of<R, E>(results: &[ScenarioOutcome<R, E>]) -> OutcomeTally {
+        let mut t = OutcomeTally::default();
+        for r in results {
+            match r {
+                ScenarioOutcome::Ok(_) => t.ok += 1,
+                ScenarioOutcome::Recovered { .. } => t.recovered += 1,
+                ScenarioOutcome::Failed { .. } => t.failed += 1,
+                ScenarioOutcome::Panicked(_) => t.panicked += 1,
+                ScenarioOutcome::Budget(_) => t.budget += 1,
+            }
+        }
+        t
+    }
+
+    /// Total outcomes tallied — always the input slice's length, so
+    /// `ok + recovered + failed + panicked + budget == N` is the
+    /// conservation law every fault-isolated run must satisfy.
+    pub fn total(&self) -> u64 {
+        self.ok + self.recovered + self.failed + self.panicked + self.budget
+    }
+
+    /// Folds the tally into `report` as `{prefix}.{ok,failed,panicked,
+    /// budget}` — all four keys always present, so downstream dashboards
+    /// see stable schemas. `with_recovered` additionally emits
+    /// `{prefix}.recovered`; only the recovering entry point
+    /// ([`run_ams_sweep_recovering`]) opts in, so every pre-existing
+    /// sweep keeps its historical report schema exactly.
+    pub fn merge_into(&self, report: &mut Report, prefix: &str, with_recovered: bool) {
+        let fault_obs = Obs::recording();
+        fault_obs.add(&format!("{prefix}.ok"), self.ok);
+        if with_recovered {
+            fault_obs.add(&format!("{prefix}.recovered"), self.recovered);
+        }
+        fault_obs.add(&format!("{prefix}.failed"), self.failed);
+        fault_obs.add(&format!("{prefix}.panicked"), self.panicked);
+        fault_obs.add(&format!("{prefix}.budget"), self.budget);
+        report.merge(&fault_obs.report().unwrap_or_default());
+    }
+}
+
+/// Folds the per-scenario fault tally into `report` under the sweep's
+/// historical `sweep.scenarios.*` namespace.
 fn merge_fault_tally<R, E>(
     report: &mut Report,
     results: &[ScenarioOutcome<R, E>],
     with_recovered: bool,
 ) {
-    let (mut ok, mut recovered, mut failed, mut panicked, mut over_budget) =
-        (0u64, 0u64, 0u64, 0u64, 0u64);
-    for r in results {
-        match r {
-            ScenarioOutcome::Ok(_) => ok += 1,
-            ScenarioOutcome::Recovered { .. } => recovered += 1,
-            ScenarioOutcome::Failed { .. } => failed += 1,
-            ScenarioOutcome::Panicked(_) => panicked += 1,
-            ScenarioOutcome::Budget(_) => over_budget += 1,
-        }
-    }
-    let fault_obs = Obs::recording();
-    fault_obs.add("sweep.scenarios.ok", ok);
-    if with_recovered {
-        fault_obs.add("sweep.scenarios.recovered", recovered);
-    }
-    fault_obs.add("sweep.scenarios.failed", failed);
-    fault_obs.add("sweep.scenarios.panicked", panicked);
-    fault_obs.add("sweep.scenarios.budget", over_budget);
-    report.merge(&fault_obs.report().unwrap_or_default());
+    OutcomeTally::of(results).merge_into(report, "sweep.scenarios", with_recovered);
 }
 
 // ------------------------------------------------------- amsim scenarios
@@ -974,7 +1017,7 @@ where
         // `max_wall` the way the block's shared clock used to.
         let mut lane_wall = vec![0.0f64; lanes];
         let mut in_solve = vec![false; lanes];
-        let mut inputs = vec![0.0; n_inputs * lanes];
+        let mut inputs = InputFrame::new(n_inputs, lanes);
         for k in 0..max_steps {
             // Sample every healthy lane's stimulus, catching panics and
             // charging the budget per lane so one bad scenario never
@@ -996,11 +1039,7 @@ where
                 }
                 let sample_t0 = track_wall.then(Instant::now);
                 match catch_unwind(AssertUnwindSafe(|| sc.stim.value(k as f64 * dt))) {
-                    Ok(u) => {
-                        for i in 0..n_inputs {
-                            inputs[i * lanes + l] = u;
-                        }
-                    }
+                    Ok(u) => inputs.broadcast(l, u),
                     Err(payload) => {
                         lane_fault[l] = Some(ScenarioOutcome::Panicked(panic_message(payload)));
                         batch.retire(l);
@@ -1018,7 +1057,7 @@ where
                 *s = batch.lane_active(l);
             }
             let solve_t0 = track_wall.then(Instant::now);
-            batch.try_step(&inputs);
+            batch.try_step(inputs.as_slice());
             if let Some(t0) = solve_t0 {
                 let share = t0.elapsed().as_secs_f64() / solving as f64;
                 for (l, _) in in_solve.iter().enumerate().filter(|(_, s)| **s) {

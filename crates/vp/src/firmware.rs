@@ -1,6 +1,52 @@
-//! Reference firmware for the platform experiments.
+//! Reference firmware for the platform experiments, and the shared
+//! decoded-image handle fleets load into every device.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::asm::assemble;
+
+/// An assembled firmware image shared across platform instances.
+///
+/// Wraps the instruction words in an `Arc<[u32]>` the way
+/// [`amsim::CompiledModel`] shares analog bytecode: a fleet assembles
+/// (or decodes) the image **once** and every device's bus loads from the
+/// same allocation — cloning a `Firmware` is a reference-count bump, not
+/// a copy of the image.
+#[derive(Debug, Clone)]
+pub struct Firmware(Arc<[u32]>);
+
+impl Firmware {
+    /// Wraps assembled instruction words in a shared image.
+    pub fn new(words: Vec<u32>) -> Firmware {
+        Firmware(words.into())
+    }
+
+    /// The instruction words, as loaded at address 0.
+    pub fn words(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Whether two handles share one image allocation (no per-device
+    /// copies — the sharing the fleet runner relies on).
+    pub fn shares_image(&self, other: &Firmware) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl From<Vec<u32>> for Firmware {
+    fn from(words: Vec<u32>) -> Firmware {
+        Firmware::new(words)
+    }
+}
+
+impl Deref for Firmware {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        &self.0
+    }
+}
 
 /// The monitoring firmware of the Table III experiments: polls the ADC,
 /// detects crossings of a 0.5 V threshold on the *magnitude* of the
@@ -48,5 +94,14 @@ mod tests {
     fn monitor_firmware_assembles() {
         let words = monitor_firmware();
         assert!(words.len() > 10);
+    }
+
+    #[test]
+    fn firmware_clones_share_one_image() {
+        let fw = Firmware::from(monitor_firmware());
+        let other = fw.clone();
+        assert!(fw.shares_image(&other));
+        assert_eq!(fw.words(), other.words());
+        assert!(!fw.shares_image(&Firmware::from(monitor_firmware())));
     }
 }

@@ -29,11 +29,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+//!
+//! Beyond the single platform, [`run_fleet`] scales the fast build to a
+//! *fleet*: N independent smart-system instances in one process, sharing
+//! one compiled analog model and one [`Firmware`] image, sharded across
+//! the sweep pool with per-device fault isolation.
+
 mod analog;
 mod asm;
 mod bus;
 mod cpu;
 mod firmware;
+mod fleet;
 mod platform;
 
 pub use analog::{
@@ -47,7 +54,9 @@ pub use bus::{
     UART_STATUS, UART_TX,
 };
 pub use cpu::{Bus32, CpuCore};
-pub use firmware::{monitor_firmware, MONITOR_FIRMWARE};
+pub use firmware::{monitor_firmware, Firmware, MONITOR_FIRMWARE};
+pub use fleet::{run_fleet, DeviceOutcome, DeviceRun, DeviceScenario, FleetConfig, FleetOutcome};
 pub use platform::{
-    run_de_platform, run_fast_platform, AnalogIntegration, PlatformConfig, PlatformReport,
+    run_de_platform, run_fast_platform, AnalogIntegration, FastAnalog, PlatformConfig,
+    PlatformReport,
 };

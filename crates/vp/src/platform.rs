@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use amsim::cosim::CosimHandle;
-use amsvp_core::circuits::SquareWave;
+use amsvp_core::circuits::{SquareWave, Stimulus};
 use amsvp_core::SignalFlowModel;
 use de::{Kernel, ProcCtx, Process, SimTime};
 use eln::{ElnSolver, NodeId, SourceId};
@@ -13,14 +13,16 @@ use crate::analog::{build_tdf_cluster, CompiledAnalog, CosimAnalog, ElnAnalog, T
 use crate::bus::{new_bridge, PlatformBus, SharedUart};
 use crate::cpu::CpuCore;
 
-/// Platform parameters shared by both builds.
+/// Platform parameters shared by both builds, generic over the analog
+/// stimulus (default: the paper's square wave) — so a fleet can hand
+/// every device its own seeded waveform without a parallel config type.
 #[derive(Debug, Clone)]
-pub struct PlatformConfig {
+pub struct PlatformConfig<S: Stimulus = SquareWave> {
     /// CPU clock period (default 20 ns — 50 MHz).
     pub cpu_period: SimTime,
     /// Stimulus applied to the analog component (default: the paper's
     /// 1 ms square wave).
-    pub stimulus: SquareWave,
+    pub stimulus: S,
     /// Firmware image, loaded at address 0.
     pub firmware: Vec<u32>,
 }
@@ -31,6 +33,18 @@ impl PlatformConfig {
         PlatformConfig {
             cpu_period: SimTime::ns(20),
             stimulus: SquareWave::paper(),
+            firmware,
+        }
+    }
+}
+
+impl<S: Stimulus> PlatformConfig<S> {
+    /// Config with paper defaults, the given firmware, and a custom
+    /// stimulus.
+    pub fn with_stimulus(firmware: Vec<u32>, stimulus: S) -> Self {
+        PlatformConfig {
+            cpu_period: SimTime::ns(20),
+            stimulus,
             firmware,
         }
     }
@@ -104,11 +118,14 @@ impl Process for CpuProcess {
 ///
 /// Panics if the kernel reports a zero-delay loop (impossible with this
 /// fixed process set) or an analog solver fails mid-run.
-pub fn run_de_platform(
+pub fn run_de_platform<S>(
     integration: AnalogIntegration,
-    config: &PlatformConfig,
+    config: &PlatformConfig<S>,
     sim_time: SimTime,
-) -> PlatformReport {
+) -> PlatformReport
+where
+    S: Stimulus + Clone + 'static,
+{
     let uart: SharedUart = Rc::new(RefCell::new(Vec::new()));
     let bridge = new_bridge();
     let mut kernel = Kernel::new();
@@ -123,10 +140,14 @@ pub fn run_de_platform(
 
     match integration {
         AnalogIntegration::CompiledDe(model) => {
-            kernel.register(CompiledAnalog::new(model, bridge.clone(), config.stimulus));
+            kernel.register(CompiledAnalog::new(
+                model,
+                bridge.clone(),
+                config.stimulus.clone(),
+            ));
         }
         AnalogIntegration::Tdf(model) => {
-            let exec = build_tdf_cluster(model, bridge.clone(), config.stimulus)
+            let exec = build_tdf_cluster(model, bridge.clone(), config.stimulus.clone())
                 .expect("fixed pipeline elaborates");
             kernel.register(TdfClusterProcess::new(exec));
         }
@@ -140,7 +161,7 @@ pub fn run_de_platform(
                 sources,
                 output,
                 bridge.clone(),
-                config.stimulus,
+                config.stimulus.clone(),
             ));
         }
         AnalogIntegration::Cosim { handle, inputs, dt } => {
@@ -149,7 +170,7 @@ pub fn run_de_platform(
                 inputs,
                 dt,
                 bridge.clone(),
-                config.stimulus,
+                config.stimulus.clone(),
             ));
         }
     }
@@ -174,16 +195,73 @@ pub fn run_de_platform(
     }
 }
 
+/// A fixed-step analog engine the fast (event-queue-free) platform build
+/// can interleave with the CPU: the abstracted [`SignalFlowModel`] or a
+/// conservative [`amsim::Instance`] over a shared compiled model.
+///
+/// The fleet runner batches the [`amsim::Instance`] form of this loop
+/// over many devices ([`crate::run_fleet`]); per the lane≡scalar batch
+/// contract, a one-device fleet reproduces [`run_fast_platform`] on the
+/// instance engine bit for bit.
+pub trait FastAnalog {
+    /// Nominal analog step in seconds.
+    fn dt(&self) -> f64;
+    /// Number of analog inputs (all driven with the stimulus + DAC sum).
+    fn input_count(&self) -> usize;
+    /// Advances one nominal step and returns output 0.
+    ///
+    /// # Panics
+    ///
+    /// Implementations over fallible solvers panic on solver failure —
+    /// the fast build, like the DE build, treats an analog fault as fatal
+    /// (the fleet runner isolates faults per device instead).
+    fn step_sample(&mut self, inputs: &[f64]) -> f64;
+}
+
+impl FastAnalog for SignalFlowModel {
+    fn dt(&self) -> f64 {
+        SignalFlowModel::dt(self)
+    }
+
+    fn input_count(&self) -> usize {
+        self.input_names().len()
+    }
+
+    fn step_sample(&mut self, inputs: &[f64]) -> f64 {
+        self.step(inputs);
+        self.output(0)
+    }
+}
+
+impl FastAnalog for amsim::Instance {
+    fn dt(&self) -> f64 {
+        amsim::Instance::dt(self)
+    }
+
+    fn input_count(&self) -> usize {
+        self.input_names().len()
+    }
+
+    fn step_sample(&mut self, inputs: &[f64]) -> f64 {
+        self.step(inputs);
+        self.output(0)
+    }
+}
+
 /// Runs the "pure C++" platform: a single loop interleaving CPU
 /// instructions and compiled analog steps, with no event queue.
 ///
 /// `sim_seconds` is the simulated duration; the CPU executes
 /// `dt / cpu_period` instructions per analog step.
-pub fn run_fast_platform(
-    mut model: SignalFlowModel,
-    config: &PlatformConfig,
+pub fn run_fast_platform<A, S>(
+    mut model: A,
+    config: &PlatformConfig<S>,
     sim_seconds: f64,
-) -> PlatformReport {
+) -> PlatformReport
+where
+    A: FastAnalog,
+    S: Stimulus,
+{
     let uart: SharedUart = Rc::new(RefCell::new(Vec::new()));
     let bridge = new_bridge();
     let mut bus = PlatformBus::new(uart.clone(), bridge.clone());
@@ -195,7 +273,7 @@ pub fn run_fast_platform(
     // even when the analog step is not an integer multiple of the cycle.
     let cycles_per_analog = dt / config.cpu_period.as_seconds();
     let steps = (sim_seconds / dt).round() as usize;
-    let n_inputs = model.input_names().len();
+    let n_inputs = model.input_count();
     let mut inputs = vec![0.0; n_inputs];
     let mut cycle_debt = 0.0_f64;
 
@@ -211,10 +289,10 @@ pub fn run_fast_platform(
         let t = k as f64 * dt;
         let u = config.stimulus.value(t) + bridge.borrow().dac;
         inputs.iter_mut().for_each(|v| *v = u);
-        model.step(&inputs);
+        let y = model.step_sample(&inputs);
         {
             let mut b = bridge.borrow_mut();
-            b.aout = model.output(0);
+            b.aout = y;
             b.samples = b.samples.wrapping_add(1);
         }
     }

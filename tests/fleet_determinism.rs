@@ -1,0 +1,184 @@
+//! Acceptance battery for fleet execution: a 100-device fleet — shared
+//! compiled RC model, shared monitor firmware, per-device seeded stimuli
+//! — must produce bit-identical results (every device's waveform by
+//! `f64::to_bits`, UART byte stream, and instruction count, plus the
+//! scheduling-independent merged counters) across worker counts
+//! {1, 2, 8} × lane widths {1, 8}; and a one-device fleet must be
+//! bit-identical to `run_fast_platform` on the scalar instance engine.
+
+use std::sync::Arc;
+
+use amsim::{CompiledModel, Simulation};
+use amsvp_core::circuits::{rc_ladder, PiecewiseConstant, SquareWave};
+use obs::Report;
+use vp::{
+    monitor_firmware, run_fast_platform, run_fleet, DeviceScenario, Firmware, FleetConfig,
+    FleetOutcome, PlatformConfig,
+};
+
+const DT: f64 = 1e-6;
+const STEPS: usize = 300;
+const N: usize = 100;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const LANE_WIDTHS: [usize; 2] = [1, 8];
+
+fn compile_rc1() -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+    Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+fn seeded(i: usize) -> PiecewiseConstant {
+    PiecewiseConstant::seeded(i as u64 + 1, 5, 12.0 * DT, 0.0, 1.0)
+}
+
+/// 100 devices with mixed stimuli: mostly seeded piecewise-constant
+/// waves, every seventh device on a square wave.
+fn devices() -> Vec<DeviceScenario> {
+    (0..N)
+        .map(|i| {
+            if i % 7 == 3 {
+                DeviceScenario::new(
+                    format!("dev{i}"),
+                    SquareWave {
+                        period: 100.0 * DT,
+                        high: 1.0,
+                        low: 0.0,
+                    },
+                    STEPS,
+                )
+            } else {
+                DeviceScenario::new(format!("dev{i}"), seeded(i), STEPS)
+            }
+        })
+        .collect()
+}
+
+fn config() -> FleetConfig {
+    FleetConfig::new(Firmware::from(monitor_firmware()))
+}
+
+/// The comparable payload of one device: waveform bit patterns, UART
+/// bytes, and the retired instruction count.
+#[derive(PartialEq, Eq, Debug)]
+struct DeviceBits {
+    waveform: Vec<u64>,
+    uart: Vec<u8>,
+    instructions: u64,
+}
+
+fn device_bits(out: &FleetOutcome) -> Vec<DeviceBits> {
+    out.devices
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let run = r.ok().unwrap_or_else(|| panic!("device {i} faulted"));
+            DeviceBits {
+                waveform: run.waveform.iter().map(|v| v.to_bits()).collect(),
+                uart: run.report.uart.clone(),
+                instructions: run.report.instructions,
+            }
+        })
+        .collect()
+}
+
+/// Merged counters minus the run-shape families: `sweep.workers` /
+/// `sweep.worker.*` depend on the worker count and `sweep.batch.blocks`
+/// on the lane width; everything else — solver work, fleet tallies,
+/// per-device platform counters — must be bit-identical across every
+/// configuration.
+fn stable_counters(report: &Report) -> Vec<(String, u64)> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.starts_with("sweep.worker") && k.as_str() != "sweep.batch.blocks")
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+#[test]
+fn hundred_device_fleet_is_bit_identical_across_workers_and_lane_widths() {
+    let model = compile_rc1();
+    let reference = run_fleet(&model, &config().workers(1).lane_width(1), &devices()).unwrap();
+    let reference_bits = device_bits(&reference);
+    assert_eq!(reference_bits.len(), N);
+    let reference_counters = stable_counters(&reference.report);
+
+    for workers in WORKER_COUNTS {
+        for lane_width in LANE_WIDTHS {
+            let out = run_fleet(
+                &model,
+                &config().workers(workers).lane_width(lane_width),
+                &devices(),
+            )
+            .unwrap();
+            assert_eq!(
+                device_bits(&out),
+                reference_bits,
+                "{workers} workers / lane width {lane_width}: device payloads drifted"
+            );
+            assert_eq!(
+                stable_counters(&out.report),
+                reference_counters,
+                "{workers} workers / lane width {lane_width}: merged counters drifted"
+            );
+
+            // Device conservation: every slot accounted for, exactly once.
+            let tally = out.tally();
+            assert_eq!(tally.ok, N as u64);
+            assert_eq!(tally.total(), N as u64);
+            assert_eq!(out.report.counter("fleet.devices"), N as u64);
+            assert_eq!(out.report.counter("fleet.devices.ok"), N as u64);
+            assert_eq!(out.report.counter("sweep.scenarios"), N as u64);
+            let per_worker: u64 = (0..workers)
+                .map(|w| out.report.counter(&format!("sweep.worker.{w}.scenarios")))
+                .sum();
+            assert_eq!(per_worker, N as u64, "worker shard conservation");
+
+            // Compile-once: the shared linear model is compiled by the
+            // caller; no device rebuilds a Jacobian or refactors away
+            // from the shared zero-state factors.
+            assert_eq!(out.report.counter("amsim.jacobian.builds"), 0);
+            assert_eq!(out.report.counter("amsim.lu.factorizations"), 0);
+        }
+    }
+}
+
+#[test]
+fn one_device_fleet_matches_run_fast_platform_bit_for_bit() {
+    let model = compile_rc1();
+    let fleet_devices = vec![DeviceScenario::new("solo", seeded(0), STEPS)];
+    let out = run_fleet(&model, &config().workers(1).lane_width(1), &fleet_devices).unwrap();
+    let run = out.devices[0].ok().expect("healthy device");
+
+    let platform_config = PlatformConfig::with_stimulus(monitor_firmware(), seeded(0));
+    let fast = run_fast_platform(model.instance(), &platform_config, STEPS as f64 * DT);
+
+    assert_eq!(run.report, fast, "fleet device vs fast platform report");
+    assert_eq!(
+        run.report.final_output.to_bits(),
+        fast.final_output.to_bits(),
+        "final analog sample must match bit for bit"
+    );
+    assert_eq!(
+        run.waveform.last().map(|v| v.to_bits()),
+        Some(fast.final_output.to_bits()),
+        "fleet waveform tail vs fast platform output"
+    );
+    assert_eq!(run.waveform.len(), STEPS);
+}
+
+#[test]
+fn fleet_shares_one_firmware_image_across_devices() {
+    // Cloning the fleet's firmware handle per device bumps a refcount
+    // rather than copying the image — the digital twin of the shared
+    // Arc<CompiledModel>.
+    let fw = Firmware::from(monitor_firmware());
+    let config = FleetConfig::new(fw.clone());
+    assert!(config.firmware.shares_image(&fw));
+    let per_device = config.firmware.clone();
+    assert!(per_device.shares_image(&fw));
+}

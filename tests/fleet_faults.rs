@@ -1,0 +1,218 @@
+//! Fault isolation at fleet scale: a 64-device fleet with two injected
+//! faults — device 13 boots a panicking stimulus, device 37 an analog
+//! lane that diverges under fixed dt — must finish with 62 healthy
+//! devices bit-identical to the no-fault run plus 2 typed fault records
+//! in the right slots, for any worker count. A separate case injects
+//! firmware with an illegal opcode into one device and expects the CPU
+//! panic to retire only that device.
+
+use std::sync::Arc;
+
+use amsim::{AmsError, CompiledModel, Simulation, StepControl};
+use amsvp_core::circuits::{diode_clamp, PiecewiseConstant, SquareWave, Stimulus};
+use de::SimTime;
+use obs::Report;
+use sweep::ScenarioOutcome;
+use vp::{monitor_firmware, run_fleet, DeviceScenario, Firmware, FleetConfig, FleetOutcome};
+
+const DT: f64 = 1e-4;
+const STEPS: usize = 30;
+const N: usize = 64;
+const PANIC_AT: usize = 13;
+const DIVERGE_AT: usize = 37;
+const LANE_WIDTH: usize = 8;
+
+/// Stimulus that blows up mid-run: drives 0.8 V, then panics once the
+/// requested time is reached — simulating a buggy user waveform.
+struct PanicAt(f64);
+
+impl Stimulus for PanicAt {
+    fn value(&self, t: f64) -> f64 {
+        assert!(t < self.0, "injected stimulus failure at t = {t}");
+        0.8
+    }
+}
+
+fn compile_clamp() -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(&diode_clamp()).unwrap();
+    Simulation::new(&module)
+        .dt(DT)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+fn healthy_device(i: usize) -> DeviceScenario {
+    let mut d = DeviceScenario::new(
+        format!("dev{i}"),
+        PiecewiseConstant::seeded(i as u64 + 1, 5, 6.0 * DT, 0.0, 0.8),
+        STEPS,
+    );
+    d.step_control = Some(StepControl::new(1e-9).max_retries(20));
+    d
+}
+
+/// 64 devices; with `inject` the two fault vectors replace the healthy
+/// configuration at slots 13 and 37 — every other slot is identical in
+/// both variants, which is what makes the survivor comparison valid.
+fn devices(inject: bool) -> Vec<DeviceScenario> {
+    (0..N)
+        .map(|i| {
+            if inject && i == PANIC_AT {
+                let mut d = DeviceScenario::new(format!("dev{i}-panic"), PanicAt(5.0 * DT), STEPS);
+                d.step_control = Some(StepControl::new(1e-9).max_retries(20));
+                d
+            } else if inject && i == DIVERGE_AT {
+                // Fixed-dt (no step control) against a full-scale edge:
+                // deterministic NoConvergence on the first step.
+                DeviceScenario::new(
+                    format!("dev{i}-diverge"),
+                    SquareWave {
+                        period: 20.0 * DT,
+                        high: 1.0,
+                        low: 0.8,
+                    },
+                    STEPS,
+                )
+            } else {
+                healthy_device(i)
+            }
+        })
+        .collect()
+}
+
+fn config() -> FleetConfig {
+    // Slow the CPU clock relative to the coarse analog dt so a device
+    // retires ~100 instructions per analog step, not 5000.
+    FleetConfig::new(Firmware::from(monitor_firmware()))
+        .cpu_period(SimTime::from_seconds(1e-6))
+        .lane_width(LANE_WIDTH)
+}
+
+/// Healthy devices' comparable payload, keyed by slot index.
+fn survivor_bits(out: &FleetOutcome) -> Vec<(usize, Vec<u64>, Vec<u8>, u64)> {
+    out.devices
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            r.ok().map(|run| {
+                (
+                    i,
+                    run.waveform.iter().map(|v| v.to_bits()).collect(),
+                    run.report.uart.clone(),
+                    run.report.instructions,
+                )
+            })
+        })
+        .collect()
+}
+
+fn stable_counters(report: &Report) -> Vec<(String, u64)> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.starts_with("sweep.worker"))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+#[test]
+fn two_faults_sixty_two_survivors_any_worker_count() {
+    let model = compile_clamp();
+    let baseline = run_fleet(&model, &config().workers(1), &devices(false)).unwrap();
+    assert_eq!(baseline.tally().ok, N as u64, "baseline fleet is healthy");
+    // Survivor payloads from the no-fault run, restricted to the slots
+    // that stay healthy when the faults go in.
+    let baseline_survivors: Vec<_> = survivor_bits(&baseline)
+        .into_iter()
+        .filter(|(i, ..)| *i != PANIC_AT && *i != DIVERGE_AT)
+        .collect();
+
+    let runs: Vec<FleetOutcome> = [1usize, 2, 8]
+        .into_iter()
+        .map(|w| run_fleet(&model, &config().workers(w), &devices(true)).unwrap())
+        .collect();
+
+    for (run, w) in runs.iter().zip([1usize, 2, 8]) {
+        assert_eq!(run.devices.len(), N, "{w} workers: no lost devices");
+        // Typed fault records land exactly where they were injected.
+        match &run.devices[PANIC_AT] {
+            ScenarioOutcome::Panicked(msg) => assert!(
+                msg.contains("injected stimulus failure"),
+                "{w} workers: panic payload lost: {msg}"
+            ),
+            other => panic!("{w} workers, device {PANIC_AT}: want Panicked, got {other:?}"),
+        }
+        match &run.devices[DIVERGE_AT] {
+            ScenarioOutcome::Failed {
+                error:
+                    AmsError::NoConvergence {
+                        residual_norm, dt, ..
+                    },
+                ..
+            } => {
+                assert!(residual_norm.is_finite() && *residual_norm > 0.0);
+                assert_eq!(*dt, DT);
+            }
+            other => panic!("{w} workers, device {DIVERGE_AT}: want NoConvergence, got {other:?}"),
+        }
+        // Tallies and conservation: every device accounted for once.
+        let tally = run.tally();
+        assert_eq!(tally.ok, (N - 2) as u64);
+        assert_eq!(tally.failed, 1);
+        assert_eq!(tally.panicked, 1);
+        assert_eq!(tally.total(), N as u64);
+        assert_eq!(run.report.counter("fleet.devices"), N as u64);
+        assert_eq!(run.report.counter("fleet.devices.ok"), (N - 2) as u64);
+        assert_eq!(run.report.counter("fleet.devices.failed"), 1);
+        assert_eq!(run.report.counter("fleet.devices.panicked"), 1);
+        assert_eq!(run.report.counter("fleet.devices.budget"), 0);
+        let per_worker: u64 = (0..w)
+            .map(|i| run.report.counter(&format!("sweep.worker.{i}.scenarios")))
+            .sum();
+        assert_eq!(per_worker, N as u64, "{w} workers: device conservation");
+
+        // The 62 healthy devices — including the faulted devices'
+        // lane-block siblings — are bit-identical to the no-fault run.
+        assert_eq!(
+            survivor_bits(run),
+            baseline_survivors,
+            "{w} workers: survivors perturbed by the injected faults"
+        );
+    }
+
+    // Scheduling-independent merged counters agree across worker counts,
+    // fault tallies and the aggregated vp.device.* family included.
+    let reference = stable_counters(&runs[0].report);
+    for run in &runs[1..] {
+        assert_eq!(stable_counters(&run.report), reference);
+    }
+}
+
+#[test]
+fn illegal_opcode_firmware_retires_only_its_device() {
+    let model = compile_clamp();
+    let mut devs: Vec<DeviceScenario> = (0..4).map(healthy_device).collect();
+    // Device 2 boots its own image whose first word is a reserved
+    // encoding (opcode 0x3f): the CPU panics on the first retired
+    // instruction, and the fault must stay inside that device.
+    devs[2].firmware = Some(Firmware::new(vec![0xFC00_0000]));
+    let out = run_fleet(&model, &config().lane_width(4), &devs).unwrap();
+    match &out.devices[2] {
+        ScenarioOutcome::Panicked(msg) => assert!(
+            msg.contains("unsupported opcode"),
+            "panic payload lost: {msg}"
+        ),
+        other => panic!("device 2: want Panicked, got {other:?}"),
+    }
+    for (i, r) in out.devices.iter().enumerate() {
+        if i != 2 {
+            let run = r.ok().unwrap_or_else(|| panic!("device {i} faulted"));
+            assert_eq!(run.waveform.len(), STEPS, "device {i} ran to completion");
+        }
+    }
+    assert_eq!(out.tally().ok, 3);
+    assert_eq!(out.tally().panicked, 1);
+    // The shared image is untouched by the override.
+    assert_eq!(out.report.counter("fleet.devices"), 4);
+}

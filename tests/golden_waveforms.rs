@@ -40,8 +40,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use amsim::{CompiledModel, Simulation, StepControl};
-use amsvp_core::circuits::{diode_clamp, opamp, rc_ladder, two_inputs, PiecewiseConstant};
+use amsvp_core::circuits::{
+    diode_clamp, opamp, rc_ladder, two_inputs, PiecewiseConstant, SquareWave,
+};
 use sweep::{run_ams_sweep, run_ams_sweep_tree, AmsScenario, ScenarioBudget, SweepEngine};
+use vp::{monitor_firmware, run_fleet, DeviceScenario, Firmware, FleetConfig};
 
 const STEPS: usize = 60;
 const N_SCENARIOS: usize = 4;
@@ -405,6 +408,186 @@ fn tree_sweep_modes_reproduce_the_golden_corpus() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Fleet fixture: FLEET8 — eight full virtual platforms (CPU + firmware +
+// UART + analog bridge) over one shared RC model, mixed square-wave and
+// seeded piecewise-constant stimuli. Pins the *whole device payload* —
+// waveform bits AND the firmware's UART byte stream — across worker
+// counts and lane widths, so a numerics drift anywhere in the
+// CPU/analog interleaving shows up as a corpus mismatch.
+// ---------------------------------------------------------------------
+
+const FLEET_LABEL: &str = "FLEET8";
+const FLEET_DEVICES: usize = 8;
+const FLEET_STEPS: usize = 200;
+const FLEET_DT: f64 = 2e-6;
+/// Splits 8 devices as 3 + 3 + 2 — deliberately uneven.
+const FLEET_LANE_WIDTHS: [usize; 3] = [1, 3, 8];
+
+fn fleet_model() -> Arc<CompiledModel> {
+    let module = vams_parser::parse_module(&rc_ladder(1)).unwrap();
+    Simulation::new(&module)
+        .dt(FLEET_DT)
+        .output("V(out)")
+        .compile()
+        .unwrap()
+}
+
+/// Even devices ride a slow square wave that crosses the monitor
+/// firmware's 0.5 V threshold (so the UART stream is non-trivial); odd
+/// devices get seeded piecewise-constant waves.
+fn fleet_devices() -> Vec<DeviceScenario> {
+    (0..FLEET_DEVICES)
+        .map(|d| {
+            if d % 2 == 0 {
+                DeviceScenario::new(
+                    format!("dev{d}"),
+                    SquareWave {
+                        period: 200.0 * FLEET_DT,
+                        high: 1.0,
+                        low: 0.0,
+                    },
+                    FLEET_STEPS,
+                )
+            } else {
+                DeviceScenario::new(
+                    format!("dev{d}"),
+                    PiecewiseConstant::seeded(d as u64 + 1, 5, 25.0 * FLEET_DT, 0.0, 1.0),
+                    FLEET_STEPS,
+                )
+            }
+        })
+        .collect()
+}
+
+/// One fleet run's comparable payload: per device, the waveform bit
+/// patterns and the UART bytes the firmware emitted.
+fn fleet_payload(workers: usize, lane_width: usize) -> Vec<(Vec<u64>, Vec<u8>)> {
+    let model = fleet_model();
+    let config = FleetConfig::new(Firmware::from(monitor_firmware()))
+        .workers(workers)
+        .lane_width(lane_width);
+    let out = run_fleet(&model, &config, &fleet_devices()).unwrap();
+    out.devices
+        .iter()
+        .enumerate()
+        .map(|(d, r)| {
+            let run = r.ok().unwrap_or_else(|| panic!("fleet device {d} faulted"));
+            (
+                run.waveform.iter().map(|v| v.to_bits()).collect(),
+                run.report.uart.clone(),
+            )
+        })
+        .collect()
+}
+
+fn render_fleet_golden(payload: &[(Vec<u64>, Vec<u8>)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"circuit\": \"{FLEET_LABEL}\",");
+    let _ = writeln!(s, "  \"dt_bits\": \"{:016x}\",", FLEET_DT.to_bits());
+    let _ = writeln!(s, "  \"steps\": {FLEET_STEPS},");
+    let _ = writeln!(s, "  \"devices\": [");
+    for (d, (wave, uart)) in payload.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"device\": {d},");
+        let uart_hex: String = uart.iter().map(|b| format!("{b:02x}")).collect();
+        let _ = writeln!(s, "      \"uart_hex\": \"{uart_hex}\",");
+        let _ = writeln!(s, "      \"waveform_bits\": [");
+        for (k, bits) in wave.iter().enumerate() {
+            let comma = if k + 1 < wave.len() { "," } else { "" };
+            let _ = writeln!(s, "        \"{bits:016x}\"{comma}");
+        }
+        let _ = writeln!(s, "      ]");
+        let comma = if d + 1 < payload.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Companion to [`parse_golden`] for the fleet fixture: one UART byte
+/// string per `"uart_hex"` field (possibly empty).
+fn parse_fleet_uart(text: &str) -> Vec<Vec<u8>> {
+    text.split("\"uart_hex\"")
+        .skip(1)
+        .map(|chunk| {
+            let hex = chunk.split('"').nth(1).unwrap_or("");
+            hex.as_bytes()
+                .chunks(2)
+                .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_reproduces_the_golden_corpus() {
+    let bless = std::env::var("BLESS_GOLDEN").is_ok_and(|v| v == "1");
+    let reference = fleet_payload(1, 1);
+    let path = golden_path(FLEET_LABEL);
+    if bless {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, render_fleet_golden(&reference)).unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: golden file missing ({e}); generate the corpus with \
+             BLESS_GOLDEN=1 cargo test --test golden_waveforms",
+            path.display()
+        )
+    });
+    let golden_waves = parse_golden(&text);
+    let golden_uart = parse_fleet_uart(&text);
+    assert_eq!(golden_waves.len(), FLEET_DEVICES, "corpus shape");
+    assert_eq!(golden_uart.len(), FLEET_DEVICES, "corpus shape");
+    // At least one device must exercise the UART path, or the fixture
+    // pins nothing about the digital half.
+    assert!(
+        golden_uart.iter().any(|u| !u.is_empty()),
+        "FLEET8 fixture carries no UART traffic"
+    );
+
+    for workers in WORKER_COUNTS {
+        for lane_width in FLEET_LANE_WIDTHS {
+            let payload = fleet_payload(workers, lane_width);
+            let mode = format!("fleet/w{workers}/l{lane_width}");
+            let waves: Vec<Vec<u64>> = payload.iter().map(|(w, _)| w.clone()).collect();
+            assert_waves_eq(FLEET_LABEL, &mode, &waves, &golden_waves);
+            for (d, (_, uart)) in payload.iter().enumerate() {
+                assert_eq!(
+                    uart, &golden_uart[d],
+                    "{FLEET_LABEL}/{mode}: device {d} UART stream drifted from the corpus"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_golden_file_is_well_formed() {
+    let path = golden_path(FLEET_LABEL);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: unreadable golden file: {e}", path.display()));
+    assert!(
+        text.contains(&format!("\"circuit\": \"{FLEET_LABEL}\"")),
+        "{}: circuit label missing",
+        path.display()
+    );
+    assert!(
+        text.contains(&format!("\"dt_bits\": \"{:016x}\"", FLEET_DT.to_bits())),
+        "{}: dt drifted from the corpus",
+        path.display()
+    );
+    let waves = parse_golden(&text);
+    assert_eq!(waves.len(), FLEET_DEVICES, "{}", path.display());
+    for (d, w) in waves.iter().enumerate() {
+        assert_eq!(w.len(), FLEET_STEPS, "{}: device {d}", path.display());
+    }
+    assert_eq!(parse_fleet_uart(&text).len(), FLEET_DEVICES);
 }
 
 #[test]
